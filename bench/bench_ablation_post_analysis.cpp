@@ -1,0 +1,117 @@
+// Ablation: error resilience of the two Nyx post-analyses the paper names —
+// the halo finder (keyed on density extremes) versus the matter power
+// spectrum (an average over all cells).  For the six SDC-capable metadata
+// fields, the spectrum of the over-density contrast is invariant under a
+// pure rescale (Exponent Bias!) but reacts to shape changes, mirroring how
+// the "inherent error masking capability" differs per analysis (paper I).
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "ffis/analysis/field_injector.hpp"
+#include "ffis/apps/nyx/halo_finder.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/apps/nyx/power_spectrum.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+int main() {
+  bench::print_header(
+      "Ablation: halo finder vs power spectrum under metadata SDC fields",
+      "paper I/V-A (per-analysis error masking; Nyx's two post-analyses)");
+
+  nyx::NyxConfig config;
+  config.field.n = 32;  // power of two for the FFT
+  nyx::NyxApp app(config);
+
+  vfs::MemFs golden_fs;
+  core::RunContext ctx{.fs = golden_fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  const auto golden_field = nyx::read_plotfile(golden_fs, config.plotfile_path);
+  const auto golden_halos = nyx::find_halos(golden_field, config.halo);
+  const auto golden_spectrum = nyx::compute_power_spectrum(golden_field);
+  const auto snapshot = vfs::snapshot_tree(golden_fs);
+
+  h5::H5File shape;
+  {
+    h5::Dataset ds;
+    ds.name = nyx::kDensityDatasetName;
+    const auto n = static_cast<std::uint64_t>(config.field.n);
+    ds.dims = {n, n, n};
+    ds.data.assign(n * n * n, 0.0);
+    shape.datasets.push_back(std::move(ds));
+  }
+  const h5::WriteInfo layout = h5::plan_layout(shape, config.h5_options);
+  const std::string prefix = "objectHeader[baryon_density].";
+
+  struct Case {
+    const char* label;
+    std::function<void(vfs::FileSystem&)> inject;
+  };
+  const Case cases[] = {
+      {"Exponent Bias (-12)",
+       [&](vfs::FileSystem& fs) {
+         analysis::add_field_delta(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.exponentBias", -12);
+       }},
+      {"Mantissa Size (bit flip)",
+       [&](vfs::FileSystem& fs) {
+         analysis::flip_field_bits(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.mantissaSize", 2);
+       }},
+      {"Mantissa Normalization (bit 5)",
+       [&](vfs::FileSystem& fs) {
+         analysis::flip_field_bits(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.classBitField0", 5);
+       }},
+      {"ARD (-1 grid row)",
+       [&](vfs::FileSystem& fs) {
+         analysis::add_field_delta(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "layout.addressOfRawData",
+                                   -8 * static_cast<std::int64_t>(config.field.n));
+       }},
+  };
+
+  std::printf("\ngolden: %zu halos; spectrum over %zu shells\n\n",
+              golden_halos.halos.size(), golden_spectrum.k.size());
+  std::printf("%-32s %-28s %s\n", "injected field", "halo finder", "power spectrum");
+  for (const auto& c : cases) {
+    vfs::MemFs fs;
+    vfs::restore_tree(fs, snapshot);
+    c.inject(fs);
+
+    std::string halo_verdict, spectrum_verdict;
+    try {
+      const auto field = nyx::read_plotfile(fs, config.plotfile_path);
+      const auto halos = nyx::find_halos(field, config.halo);
+      if (halos.to_text() == golden_halos.to_text()) {
+        halo_verdict = "output identical";
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%zu halos (was %zu)", halos.halos.size(),
+                      golden_halos.halos.size());
+        halo_verdict = buf;
+      }
+      const auto spectrum = nyx::compute_power_spectrum(field);
+      const double dev = spectrum.max_relative_deviation(golden_spectrum);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "max shell deviation %.2e", dev);
+      spectrum_verdict = buf;
+    } catch (const std::exception& e) {
+      halo_verdict = spectrum_verdict = std::string("crash: ") + e.what();
+    }
+    std::printf("%-32s %-28s %s\n", c.label, halo_verdict.c_str(),
+                spectrum_verdict.c_str());
+  }
+  std::printf("\nkey contrast: the Exponent-Bias fault rescales every value, so the\n"
+              "over-density spectrum is bit-identical (deviation ~0) while halo\n"
+              "masses silently scale — the spectrum analysis masks exactly the SDC\n"
+              "the halo analysis suffers, and vice versa for shape-changing fields.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the reproduction harnesses.
+//
+// Sample sizes default to a few hundred runs per cell so the whole bench
+// suite finishes in minutes; set FFIS_RUNS=1000 to reproduce the paper's
+// full sample size (1-2 % error bars at 95 % confidence).
+
+#include <cstdio>
+#include <string>
+
+#include "ffis/analysis/stats.hpp"
+#include "ffis/core/campaign.hpp"
+#include "ffis/util/env.hpp"
+
+namespace ffis::bench {
+
+inline std::uint64_t runs_per_cell(std::uint64_t fallback = 200) {
+  return static_cast<std::uint64_t>(util::env_int("FFIS_RUNS", static_cast<std::int64_t>(fallback)));
+}
+
+inline std::uint64_t campaign_seed() {
+  return static_cast<std::uint64_t>(util::env_int("FFIS_SEED", 42));
+}
+
+inline void print_header(const std::string& title, const std::string& paper_reference) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("================================================================\n");
+}
+
+inline core::CampaignResult run_campaign(const core::Application& app,
+                                         const std::string& fault, std::uint64_t runs,
+                                         int stage = -1, bool keep_details = false) {
+  faults::CampaignConfig config;
+  config.application = app.name();
+  config.fault = fault;
+  config.runs = runs;
+  config.seed = campaign_seed();
+  config.stage = stage;
+  core::Campaign campaign(app, faults::FaultGenerator(config), keep_details);
+  return campaign.run();
+}
+
+}  // namespace ffis::bench

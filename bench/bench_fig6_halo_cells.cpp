@@ -1,0 +1,94 @@
+// Figure 6 — a halo under a faulty Mantissa Size field: the number of halo
+// cell candidates drops below the formation threshold, so halos disappear.
+// Prints candidate-count maps around the most massive golden halo.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ffis/analysis/field_injector.hpp"
+#include "ffis/apps/nyx/halo_finder.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+namespace {
+
+void candidate_map(const char* label, const nyx::DensityField& field, double threshold,
+                   std::size_t cx, std::size_t cy, std::size_t cz) {
+  std::printf("\n-- %s: candidate cells ('#' > threshold) near halo at (%zu,%zu,%zu) --\n",
+              label, cx, cy, cz);
+  const std::size_t r = 6;
+  std::size_t candidates = 0;
+  for (std::size_t y = cy - std::min(cy, r); y <= std::min(field.n() - 1, cy + r); ++y) {
+    for (std::size_t x = cx - std::min(cx, r); x <= std::min(field.n() - 1, cx + r); ++x) {
+      const bool hot = field.at(x, y, cz) > threshold;
+      std::printf("%c", hot ? '#' : '.');
+      if (hot) ++candidates;
+    }
+    std::printf("\n");
+  }
+  std::printf("candidate cells in this window: %zu\n", candidates);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6: halo cell candidates under a faulty Mantissa Size",
+                      "paper Fig. 6 (original vs faulty halo candidate boxes)");
+
+  nyx::NyxConfig config;
+  config.field.n = static_cast<std::size_t>(util::env_int("FFIS_NYX_GRID", 48));
+  nyx::NyxApp app(config);
+
+  vfs::MemFs golden_fs;
+  core::RunContext ctx{.fs = golden_fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  const auto golden = nyx::read_plotfile(golden_fs, config.plotfile_path);
+  const auto golden_catalog = nyx::find_halos(golden, config.halo);
+  if (golden_catalog.halos.empty()) {
+    std::printf("no halos in the golden run; increase the grid\n");
+    return 1;
+  }
+  const auto& halo = golden_catalog.halos.front();
+
+  // Faulty Mantissa Size (bit flip), as in the paper's example.
+  const auto snapshot = vfs::snapshot_tree(golden_fs);
+  h5::H5File shape;
+  {
+    h5::Dataset ds;
+    ds.name = nyx::kDensityDatasetName;
+    const auto n = static_cast<std::uint64_t>(config.field.n);
+    ds.dims = {n, n, n};
+    ds.data.assign(n * n * n, 0.0);
+    shape.datasets.push_back(std::move(ds));
+  }
+  const h5::WriteInfo layout = h5::plan_layout(shape, config.h5_options);
+  vfs::MemFs faulty_fs;
+  vfs::restore_tree(faulty_fs, snapshot);
+  analysis::flip_field_bits(
+      faulty_fs, config.plotfile_path, layout.field_map,
+      "objectHeader[baryon_density].dataType.floatProperty.mantissaSize", 2);
+  const auto faulty = nyx::read_plotfile(faulty_fs, config.plotfile_path);
+  const auto faulty_catalog = nyx::find_halos(faulty, config.halo);
+
+  std::printf("\ngolden: %zu halos (threshold %.3f); faulty mantissa size: %zu halos "
+              "(threshold %.3f)\n",
+              golden_catalog.halos.size(), golden_catalog.threshold,
+              faulty_catalog.halos.size(), faulty_catalog.threshold);
+  std::printf("golden candidate cells: %llu; faulty: %llu\n",
+              static_cast<unsigned long long>(golden_catalog.candidate_cells),
+              static_cast<unsigned long long>(faulty_catalog.candidate_cells));
+
+  const auto cx = static_cast<std::size_t>(std::lround(halo.cx));
+  const auto cy = static_cast<std::size_t>(std::lround(halo.cy));
+  const auto cz = static_cast<std::size_t>(std::lround(halo.cz));
+  candidate_map("(a) original", golden, golden_catalog.threshold, cx, cy, cz);
+  candidate_map("(b) faulty mantissa size", faulty, faulty_catalog.threshold, cx, cy, cz);
+  return 0;
+}

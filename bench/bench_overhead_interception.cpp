@@ -1,0 +1,85 @@
+// Interception overhead microbenchmark (google-benchmark): cost of routing
+// pwrite through the FFIS decorators versus the bare backing store.  The
+// paper's transparency requirement (R1) implies the instrumentation must be
+// cheap relative to real device I/O.
+
+#include <benchmark/benchmark.h>
+
+#include "ffis/faults/fault_signature.hpp"
+#include "ffis/faults/faulting_fs.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+namespace {
+
+util::Bytes payload(std::size_t n) {
+  util::Bytes buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<std::byte>(i & 0xff);
+  return buf;
+}
+
+void BM_BareMemFs(benchmark::State& state) {
+  vfs::MemFs fs;
+  const util::Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  vfs::File f(fs, "/bench.bin", vfs::OpenMode::Write);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pwrite(data, offset));
+    offset = (offset + data.size()) % (1 << 22);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_CountingFs(benchmark::State& state) {
+  vfs::MemFs backing;
+  vfs::CountingFs fs(backing);
+  const util::Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  vfs::File f(fs, "/bench.bin", vfs::OpenMode::Write);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pwrite(data, offset));
+    offset = (offset + data.size()) % (1 << 22);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_FaultingFsUnarmed(benchmark::State& state) {
+  vfs::MemFs backing;
+  faults::FaultingFs fs(backing);
+  fs.configure(faults::parse_fault_signature("BF"));
+  const util::Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  vfs::File f(fs, "/bench.bin", vfs::OpenMode::Write);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pwrite(data, offset));
+    offset = (offset + data.size()) % (1 << 22);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_FaultingFsArmedNeverFires(benchmark::State& state) {
+  vfs::MemFs backing;
+  faults::FaultingFs fs(backing);
+  fs.arm(faults::parse_fault_signature("BF"), ~0ULL, 1);
+  const util::Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  vfs::File f(fs, "/bench.bin", vfs::OpenMode::Write);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pwrite(data, offset));
+    offset = (offset + data.size()) % (1 << 22);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_BareMemFs)->Arg(512)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_CountingFs)->Arg(512)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_FaultingFsUnarmed)->Arg(512)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_FaultingFsArmedNeverFires)->Arg(512)->Arg(4096)->Arg(65536);

@@ -1,0 +1,56 @@
+// Table II — description of the tested HPC applications, with measured
+// dataset sizes and I/O profiles from one fault-free run of each mini-app.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ffis/apps/montage/montage_app.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/qmc/qmc_app.hpp"
+#include "ffis/core/io_profiler.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+namespace {
+
+void profile_row(const core::Application& app, const char* domain, const char* method) {
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  core::RunContext ctx{.fs = counting, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+
+  std::uint64_t files = 0;
+  for (const auto& [path, bytes] : vfs::snapshot_tree(backing)) {
+    (void)path;
+    (void)bytes;
+    ++files;
+  }
+  std::printf("%-10s %-18s %7.2f MB %6llu files %6llu pwrites   %s\n",
+              app.name().c_str(), domain,
+              static_cast<double>(backing.total_bytes()) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(files),
+              static_cast<unsigned long long>(counting.count(vfs::Primitive::Pwrite)),
+              method);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table II: description of tested HPC applications",
+                      "paper Table II (domain, package size, method)");
+  std::printf("\npaper originals: Nyx 71.9MB/21K LoC, QMCPACK 381MB/403K LoC, "
+              "Montage 126MB/31K LoC\nmini-app equivalents (measured):\n\n");
+  std::printf("%-10s %-18s %10s %12s %14s   %s\n", "benchmark", "domain", "dataset",
+              "files", "writes", "method");
+
+  profile_row(nyx::NyxApp(), "Astrophysics",
+              "AMR-style cosmological density field + FoF halo finder");
+  profile_row(qmc::QmcApp(), "Quantum Chemistry",
+              "Variational + Diffusion Monte Carlo for the He atom");
+  profile_row(montage::MontageApp(), "Astronomy",
+              "Astronomical image mosaic (project/diff/background/co-add)");
+  return 0;
+}

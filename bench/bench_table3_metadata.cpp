@@ -1,0 +1,86 @@
+// Table III — output classification of byte-by-byte faults in the HDF5
+// metadata of a Nyx plotfile: SDC / Benign / Crash counts with the example
+// metadata fields responsible for each class.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ffis/analysis/metadata_sweep.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/h5/writer.hpp"
+
+using namespace ffis;
+
+int main() {
+  bench::print_header("Table III: output classification of faulty HDF5 metadata",
+                      "paper Table III (SDC 0.2%, Benign 85.7%, Crash 14.1% of 2432 cases)");
+
+  nyx::NyxConfig config;
+  config.field.n = static_cast<std::size_t>(util::env_int("FFIS_NYX_GRID", 48));
+  nyx::NyxApp app(config);
+
+  // Structural layout of the plotfile (locates every metadata byte).
+  h5::H5File shape;
+  {
+    h5::Dataset ds;
+    ds.name = nyx::kDensityDatasetName;
+    const auto n = static_cast<std::uint64_t>(config.field.n);
+    ds.dims = {n, n, n};
+    ds.data.assign(n * n * n, 0.0);
+    shape.datasets.push_back(std::move(ds));
+  }
+  const h5::WriteInfo layout = h5::plan_layout(shape, config.h5_options);
+
+  analysis::MetadataSweepConfig sweep_config;
+  sweep_config.target_path = config.plotfile_path;
+  sweep_config.metadata_bytes = layout.metadata_size;
+  sweep_config.seed = bench::campaign_seed();
+  const auto sweep = analysis::metadata_sweep(app, /*app_seed=*/1, sweep_config);
+
+  std::printf("\nmetadata bytes swept: %llu (one 2-bit flip per byte)\n\n",
+              static_cast<unsigned long long>(layout.metadata_size));
+  std::printf("%-10s %8s %8s    paper\n", "class", "cases", "percent");
+  const auto row = [&](core::Outcome o, const char* paper) {
+    std::printf("%-10s %8llu %7.1f%%    %s\n",
+                std::string(core::outcome_name(o)).c_str(),
+                static_cast<unsigned long long>(sweep.tally.count(o)),
+                100.0 * sweep.tally.fraction(o), paper);
+  };
+  row(core::Outcome::Sdc, "4 (0.2%)");
+  row(core::Outcome::Benign, "2085 (85.7%)");
+  row(core::Outcome::Crash, "343 (14.1%)");
+  row(core::Outcome::Detected, "(folded into the above by the paper)");
+
+  // Example fields per class (Table III's right column).
+  std::printf("\nexample metadata fields per class:\n");
+  const auto by_field = sweep.tally_by_field(layout.field_map);
+  for (const core::Outcome o :
+       {core::Outcome::Sdc, core::Outcome::Crash, core::Outcome::Benign}) {
+    std::vector<std::pair<std::string, std::uint64_t>> fields;
+    for (const auto& [name, tally] : by_field) {
+      if (tally.count(o) > 0) fields.emplace_back(name, tally.count(o));
+    }
+    std::sort(fields.begin(), fields.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("  %s:\n", std::string(core::outcome_name(o)).c_str());
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, fields.size()); ++i) {
+      std::printf("    %-64s %llu byte(s)\n", fields[i].first.c_str(),
+                  static_cast<unsigned long long>(fields[i].second));
+    }
+  }
+
+  // Byte budget by structural class (the benign-dominance explanation).
+  std::printf("\nmetadata byte budget (why benign dominates):\n");
+  const std::uint64_t unused = layout.field_map.bytes_of_class(h5::FieldClass::Unused) +
+                               layout.field_map.bytes_of_class(h5::FieldClass::Reserved);
+  std::printf("  reserved/unused bytes: %llu of %llu (%.1f%%; paper: B-tree nodes "
+              "alone are 72%% of metadata at ~10%% occupancy)\n",
+              static_cast<unsigned long long>(unused),
+              static_cast<unsigned long long>(layout.metadata_size),
+              100.0 * static_cast<double>(unused) /
+                  static_cast<double>(layout.metadata_size));
+  return 0;
+}

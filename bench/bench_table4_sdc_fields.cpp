@@ -1,0 +1,193 @@
+// Table IV — erroneous post-analysis results in Nyx for the six SDC-capable
+// metadata fields: Mantissa Normalization (bit 5), Exponent Location,
+// Mantissa Location, Mantissa Size, Exponent Bias, Address of Raw Data.
+// For each field we inject a targeted corruption and report how halo mass,
+// halo locations, halo number and the average input value react.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "ffis/analysis/field_injector.hpp"
+#include "ffis/apps/nyx/halo_finder.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+namespace {
+
+struct Comparison {
+  std::string mass, locations;
+  std::size_t halos_golden = 0, halos_faulty = 0;
+  double mean = 0.0;
+  bool crashed = false;
+};
+
+Comparison compare(const nyx::HaloCatalog& golden, const nyx::HaloCatalog& faulty) {
+  Comparison out;
+  out.halos_golden = golden.halos.size();
+  out.halos_faulty = faulty.halos.size();
+  out.mean = faulty.mean_density;
+
+  // Halo masses: unchanged / scaled by a common factor / changed.
+  if (golden.halos.size() == faulty.halos.size() && !golden.halos.empty()) {
+    bool identical = true, scaled = true;
+    const double ratio0 = faulty.halos[0].mass / golden.halos[0].mass;
+    for (std::size_t i = 0; i < golden.halos.size(); ++i) {
+      const double ratio = faulty.halos[i].mass / golden.halos[i].mass;
+      if (faulty.halos[i].mass != golden.halos[i].mass) identical = false;
+      if (std::fabs(ratio - ratio0) > 1e-6 * std::fabs(ratio0)) scaled = false;
+    }
+    if (identical) {
+      out.mass = "unchanged";
+    } else if (scaled) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "scaled x%.4g", ratio0);
+      out.mass = buf;
+    } else {
+      out.mass = "changed";
+    }
+  } else {
+    out.mass = "changed";
+  }
+
+  // Halo locations: unchanged / shifted by a common displacement / changed.
+  if (golden.halos.size() == faulty.halos.size() && !golden.halos.empty()) {
+    bool identical = true, shifted = true;
+    const double dx = faulty.halos[0].cx - golden.halos[0].cx;
+    const double dy = faulty.halos[0].cy - golden.halos[0].cy;
+    const double dz = faulty.halos[0].cz - golden.halos[0].cz;
+    for (std::size_t i = 0; i < golden.halos.size(); ++i) {
+      const auto& g = golden.halos[i];
+      const auto& f = faulty.halos[i];
+      if (f.cx != g.cx || f.cy != g.cy || f.cz != g.cz) identical = false;
+      if (std::fabs(f.cx - g.cx - dx) > 1e-6 || std::fabs(f.cy - g.cy - dy) > 1e-6 ||
+          std::fabs(f.cz - g.cz - dz) > 1e-6) {
+        shifted = false;
+      }
+    }
+    if (identical) {
+      out.locations = "unchanged";
+    } else if (shifted) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "shifted (%.2f,%.2f,%.2f)", dx, dy, dz);
+      out.locations = buf;
+    } else {
+      out.locations = "changed";
+    }
+  } else {
+    out.locations = "changed";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table IV: Nyx post-analysis under SDC-causing metadata fields",
+                      "paper Table IV (per-field halo mass/location/number/average)");
+
+  nyx::NyxConfig config;
+  config.field.n = static_cast<std::size_t>(util::env_int("FFIS_NYX_GRID", 48));
+  nyx::NyxApp app(config);
+
+  // Golden run.
+  vfs::MemFs golden_fs;
+  core::RunContext ctx{.fs = golden_fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  const auto golden_field = nyx::read_plotfile(golden_fs, config.plotfile_path);
+  const auto golden_catalog = nyx::find_halos(golden_field, config.halo);
+  const auto snapshot = vfs::snapshot_tree(golden_fs);
+
+  h5::H5File shape;
+  {
+    h5::Dataset ds;
+    ds.name = nyx::kDensityDatasetName;
+    const auto n = static_cast<std::uint64_t>(config.field.n);
+    ds.dims = {n, n, n};
+    ds.data.assign(n * n * n, 0.0);
+    shape.datasets.push_back(std::move(ds));
+  }
+  const h5::WriteInfo layout = h5::plan_layout(shape, config.h5_options);
+  const std::string prefix = "objectHeader[baryon_density].";
+
+  struct FieldCase {
+    const char* label;
+    const char* paper;
+    std::function<void(vfs::FileSystem&)> inject;
+  };
+  const FieldCase cases[] = {
+      {"Mantissa Normalization (bit 5)",
+       "mass changed; 45% locations changed; halos +24%; avg -> 0.55",
+       [&](vfs::FileSystem& fs) {
+         analysis::flip_field_bits(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.classBitField0", 5);
+       }},
+      {"Exponent Location",
+       "mass changed; all locations changed; halos +20%; avg -> 1.04",
+       [&](vfs::FileSystem& fs) {
+         analysis::flip_field_bits(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.exponentLocation", 0);
+       }},
+      {"Mantissa Location",
+       "mass changed; most locations changed; halos changed; avg 1.04-1.55",
+       [&](vfs::FileSystem& fs) {
+         analysis::set_field_value(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.mantissaLocation", 2);
+       }},
+      {"Mantissa Size",
+       "mass changed; most locations changed; halos changed; avg 1.04-1.55",
+       [&](vfs::FileSystem& fs) {
+         analysis::flip_field_bits(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.mantissaSize", 2);
+       }},
+      {"Exponent Bias",
+       "mass scaled by power of two; locations unchanged; halos unchanged",
+       [&](vfs::FileSystem& fs) {
+         analysis::add_field_delta(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "dataType.floatProperty.exponentBias", -12);
+       }},
+      {"Address of Raw Data (ARD)",
+       "mass unchanged; all locations shifted; halos unchanged; avg unchanged",
+       [&](vfs::FileSystem& fs) {
+         analysis::add_field_delta(fs, config.plotfile_path, layout.field_map,
+                                   prefix + "layout.addressOfRawData",
+                                   -8 * static_cast<std::int64_t>(config.field.n));
+       }},
+  };
+
+  std::printf("\ngolden: %zu halos, mean density %.6f\n\n", golden_catalog.halos.size(),
+              golden_catalog.mean_density);
+  std::printf("%-32s %-18s %-26s %9s %12s\n", "field", "halo mass", "halo locations",
+              "halos", "avg value");
+
+  for (const auto& c : cases) {
+    vfs::MemFs fs;
+    vfs::restore_tree(fs, snapshot);
+    c.inject(fs);
+
+    Comparison cmp;
+    try {
+      const auto faulty_field = nyx::read_plotfile(fs, config.plotfile_path);
+      const auto faulty_catalog = nyx::find_halos(faulty_field, config.halo);
+      cmp = compare(golden_catalog, faulty_catalog);
+    } catch (const std::exception&) {
+      cmp.crashed = true;
+    }
+
+    if (cmp.crashed) {
+      std::printf("%-32s %s\n", c.label, "(crashed — value rejected by the library)");
+    } else {
+      std::printf("%-32s %-18s %-26s %4zu->%-4zu %12.4f\n", c.label, cmp.mass.c_str(),
+                  cmp.locations.c_str(), cmp.halos_golden, cmp.halos_faulty, cmp.mean);
+    }
+    std::printf("%-32s paper: %s\n", "", c.paper);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Metadata explorer: write a small HDF5 file and print its byte-exact
+// metadata field map (the basis of the Table III sweep), a hexdump of the
+// metadata block, and the per-class byte budget showing why most metadata
+// faults are benign (mostly-empty B-tree nodes, reserved space).
+
+#include <cstdio>
+#include <map>
+
+#include "ffis/h5/reader.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+using namespace ffis;
+
+int main() {
+  h5::H5File file;
+  h5::Dataset ds;
+  ds.name = "baryon_density";
+  ds.dims = {4, 4, 4};
+  ds.data.resize(64, 1.0);
+  file.datasets.push_back(std::move(ds));
+
+  vfs::MemFs fs;
+  const h5::WriteInfo info = h5::write_h5(fs, "/demo.h5", file);
+
+  std::printf("file size: %llu bytes, metadata block: %llu bytes, ARD: %llu\n\n",
+              static_cast<unsigned long long>(info.file_size),
+              static_cast<unsigned long long>(info.metadata_size),
+              static_cast<unsigned long long>(info.data_addresses[0]));
+
+  std::printf("== field map ==\n%s\n", info.field_map.to_tsv().c_str());
+
+  std::printf("== metadata byte budget by class ==\n");
+  using FC = h5::FieldClass;
+  for (const FC cls : {FC::Signature, FC::Version, FC::StructSize, FC::Address,
+                       FC::DatatypeField, FC::DataspaceField, FC::LayoutField,
+                       FC::HeapData, FC::FillValue, FC::Reserved, FC::Unused}) {
+    const auto bytes = info.field_map.bytes_of_class(cls);
+    std::printf("  %-12s %5llu bytes (%5.1f%%)\n",
+                std::string(h5::field_class_name(cls)).c_str(),
+                static_cast<unsigned long long>(bytes),
+                100.0 * static_cast<double>(bytes) /
+                    static_cast<double>(info.metadata_size));
+  }
+
+  std::printf("\n== metadata hexdump (first 256 bytes) ==\n");
+  const util::Bytes image = vfs::read_file(fs, "/demo.h5");
+  std::printf("%s", util::hexdump(util::ByteSpan(image).first(info.metadata_size), 256).c_str());
+
+  // Round-trip check.
+  const h5::H5File back = h5::read_h5(fs, "/demo.h5");
+  std::printf("\nround-trip: %zu dataset(s), first value %.1f\n", back.datasets.size(),
+              back.datasets[0].data[0]);
+  return 0;
+}

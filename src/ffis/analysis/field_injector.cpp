@@ -1,0 +1,64 @@
+#include "ffis/analysis/field_injector.hpp"
+
+#include <stdexcept>
+
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::analysis {
+
+namespace {
+const h5::FieldEntry& entry_of(const h5::FieldMap& map, const std::string& field_name) {
+  const h5::FieldEntry* entry = map.find_by_name(field_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("no such metadata field: " + field_name);
+  }
+  if (entry->length > 8) {
+    throw std::invalid_argument("field too wide for integer injection: " + field_name);
+  }
+  return *entry;
+}
+}  // namespace
+
+std::uint64_t read_field_value(vfs::FileSystem& fs, const std::string& path,
+                               const h5::FieldMap& map, const std::string& field_name) {
+  const h5::FieldEntry& e = entry_of(map, field_name);
+  util::Bytes buf(e.length);
+  vfs::File file(fs, path, vfs::OpenMode::Read);
+  if (file.pread(buf, e.offset) != e.length) {
+    throw std::out_of_range("field read past end of file: " + field_name);
+  }
+  return util::get_le(buf, 0, e.length);
+}
+
+void set_field_value(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::uint64_t value) {
+  const h5::FieldEntry& e = entry_of(map, field_name);
+  util::Bytes bytes;
+  util::put_le(bytes, value, e.length);
+  vfs::File file(fs, path, vfs::OpenMode::ReadWrite);
+  if (file.pwrite(bytes, e.offset) != e.length) {
+    throw std::out_of_range("field write past end of file: " + field_name);
+  }
+}
+
+void add_field_delta(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::int64_t delta) {
+  const std::uint64_t value = read_field_value(fs, path, map, field_name);
+  set_field_value(fs, path, map, field_name,
+                  value + static_cast<std::uint64_t>(delta));
+}
+
+void flip_field_bits(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::size_t bit, std::size_t width) {
+  const h5::FieldEntry& e = entry_of(map, field_name);
+  if (bit >= e.length * 8) {
+    throw std::out_of_range("bit index beyond field width: " + field_name);
+  }
+  std::uint64_t value = read_field_value(fs, path, map, field_name);
+  for (std::size_t i = 0; i < width && bit + i < e.length * 8; ++i) {
+    value ^= (1ULL << (bit + i));
+  }
+  set_field_value(fs, path, map, field_name, value);
+}
+
+}  // namespace ffis::analysis

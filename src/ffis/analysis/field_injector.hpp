@@ -1,0 +1,32 @@
+#pragma once
+// Targeted metadata-field fault injection: set, offset, or bit-flip a named
+// on-disk field of an HDF5 file.  Drives the per-field experiments of
+// Table IV and Figures 5/6 and the doctor's correction tests.
+
+#include <cstdint>
+#include <string>
+
+#include "ffis/h5/field_map.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::analysis {
+
+/// Reads a field's little-endian integer value from the file.
+[[nodiscard]] std::uint64_t read_field_value(vfs::FileSystem& fs, const std::string& path,
+                                             const h5::FieldMap& map,
+                                             const std::string& field_name);
+
+/// Overwrites the field with `value` (little-endian, field width).
+void set_field_value(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::uint64_t value);
+
+/// Adds `delta` to the field value (two's-complement within field width).
+void add_field_delta(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::int64_t delta);
+
+/// Flips `width` consecutive bits at `bit` (0 = LSB of the field).
+void flip_field_bits(vfs::FileSystem& fs, const std::string& path, const h5::FieldMap& map,
+                     const std::string& field_name, std::size_t bit,
+                     std::size_t width = 1);
+
+}  // namespace ffis::analysis

@@ -1,0 +1,62 @@
+#pragma once
+// Byte-by-byte HDF5-metadata fault injection (the Table III experiment).
+//
+// The paper identifies the metadata write (the penultimate write of the HDF5
+// protocol) and injects "starting from the offset value specified by the
+// fwrite and till the end of the buffer byte-by-byte".  Because the raw data
+// region is untouched by that write, corrupting byte k of the metadata write
+// is equivalent to corrupting byte k of the final file's metadata block —
+// which is what this sweep does, replaying a snapshot of the golden run's
+// file tree into a fresh file system per case instead of re-running the
+// producing application ~2400 times.
+//
+// Per case: restore the golden tree, flip `flip_width` consecutive bits at a
+// seeded position inside the target byte, run the application's
+// post-analysis, and classify (Benign: bit-wise identical comparison
+// artifact; Crash: the analysis threw; otherwise the application's
+// Detected/SDC rule).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/outcome.hpp"
+#include "ffis/h5/field_map.hpp"
+
+namespace ffis::analysis {
+
+struct MetadataSweepConfig {
+  std::string target_path;            ///< the HDF5 file within the app's tree
+  std::uint64_t metadata_bytes = 0;   ///< sweep range [0, metadata_bytes)
+  std::uint32_t flip_width = 2;       ///< consecutive bits per injection
+  std::uint64_t seed = 0x5eed;
+  std::size_t threads = 0;            ///< 0 = hardware concurrency
+};
+
+struct ByteCase {
+  std::uint64_t offset = 0;
+  core::Outcome outcome = core::Outcome::Benign;
+  std::string crash_reason;
+};
+
+struct MetadataSweepResult {
+  std::vector<ByteCase> cases;        ///< one per metadata byte, in order
+  core::OutcomeTally tally;
+
+  /// Field names observed per outcome (for Table III's example column),
+  /// resolved against a field map.
+  [[nodiscard]] std::map<std::string, core::OutcomeTally> tally_by_field(
+      const h5::FieldMap& map) const;
+  [[nodiscard]] std::map<std::string, core::OutcomeTally> tally_by_class(
+      const h5::FieldMap& map) const;
+};
+
+/// Runs the sweep.  `app` must already be deterministic for `app_seed`; the
+/// golden run is executed once internally.
+[[nodiscard]] MetadataSweepResult metadata_sweep(const core::Application& app,
+                                                 std::uint64_t app_seed,
+                                                 const MetadataSweepConfig& config);
+
+}  // namespace ffis::analysis

@@ -1,0 +1,101 @@
+#include "ffis/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ffis::analysis {
+
+double normal_quantile_two_sided(double confidence) {
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("confidence must be in (0, 1)");
+  }
+  // Acklam's rational approximation for the inverse normal CDF at
+  // p = 1 - (1-confidence)/2; accurate to ~1e-9, far below campaign noise.
+  const double p = 1.0 - (1.0 - confidence) / 2.0;
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+Proportion wald_interval(std::uint64_t successes, std::uint64_t trials, double confidence) {
+  if (trials == 0) throw std::invalid_argument("wald_interval: trials must be > 0");
+  const double z = normal_quantile_two_sided(confidence);
+  const double p = static_cast<double>(successes) / static_cast<double>(trials);
+  const double half = z * std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+  Proportion out;
+  out.estimate = p;
+  out.low = std::max(0.0, p - half);
+  out.high = std::min(1.0, p + half);
+  return out;
+}
+
+Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                           double confidence) {
+  if (trials == 0) throw std::invalid_argument("wilson_interval: trials must be > 0");
+  const double z = normal_quantile_two_sided(confidence);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  Proportion out;
+  out.estimate = p;
+  out.low = std::max(0.0, centre - half);
+  out.high = std::min(1.0, centre + half);
+  return out;
+}
+
+std::string outcome_row_header() {
+  char line[160];
+  std::snprintf(line, sizeof line, "%-10s %22s %22s %22s %22s", "cell", "benign",
+                "detected", "sdc", "crash");
+  return std::string(line);
+}
+
+std::string format_outcome_row(const std::string& label, const core::OutcomeTally& tally) {
+  char line[256];
+  char cells[4][32];
+  const std::uint64_t total = tally.total();
+  for (std::size_t i = 0; i < core::kOutcomeCount; ++i) {
+    const auto o = static_cast<core::Outcome>(i);
+    if (total == 0) {
+      std::snprintf(cells[i], sizeof cells[i], "-");
+      continue;
+    }
+    const Proportion ci = wilson_interval(tally.count(o), total);
+    std::snprintf(cells[i], sizeof cells[i], "%6.1f%% (+/-%4.1f%%)", 100.0 * ci.estimate,
+                  100.0 * ci.half_width());
+  }
+  std::snprintf(line, sizeof line, "%-10s %22s %22s %22s %22s", label.c_str(), cells[0],
+                cells[1], cells[2], cells[3]);
+  return std::string(line);
+}
+
+}  // namespace ffis::analysis

@@ -1,0 +1,43 @@
+#pragma once
+// Campaign statistics: binomial proportion estimates with confidence
+// intervals.  The paper runs 1000 injections per (application, fault model)
+// cell, quoting a 1-2 % error bar at 95 % confidence — these helpers
+// reproduce those error bars and render Figure-7-style rows.
+
+#include <cstdint>
+#include <string>
+
+#include "ffis/core/outcome.hpp"
+
+namespace ffis::analysis {
+
+struct Proportion {
+  double estimate = 0.0;  ///< successes / trials
+  double low = 0.0;       ///< CI lower bound
+  double high = 0.0;      ///< CI upper bound
+
+  /// Half-width of the interval (the paper's "error bar").
+  [[nodiscard]] double half_width() const noexcept { return (high - low) / 2.0; }
+};
+
+/// Wald (normal-approximation) interval, clamped to [0, 1].
+[[nodiscard]] Proportion wald_interval(std::uint64_t successes, std::uint64_t trials,
+                                       double confidence = 0.95);
+
+/// Wilson score interval — better behaved near 0 and 1 (relevant for the
+/// paper's 0.2 % SDC rates).
+[[nodiscard]] Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                         double confidence = 0.95);
+
+/// Two-sided normal quantile for the given confidence (e.g. 0.95 -> 1.9600).
+[[nodiscard]] double normal_quantile_two_sided(double confidence);
+
+/// Renders one Figure-7-style row: label followed by the four outcome
+/// percentages with 95 % Wilson half-widths.
+[[nodiscard]] std::string format_outcome_row(const std::string& label,
+                                             const core::OutcomeTally& tally);
+
+/// Header matching format_outcome_row's columns.
+[[nodiscard]] std::string outcome_row_header();
+
+}  // namespace ffis::analysis

@@ -1,0 +1,34 @@
+#pragma once
+// FITS-like image serialization for the mini-Montage pipeline.
+//
+// Faithful to the FITS constraints that matter for fault behaviour: an ASCII
+// header of 80-character cards padded to a 2880-byte block, followed by
+// big-endian IEEE binary64 pixels padded to a 2880 multiple.  The reader
+// validates the mandatory cards (SIMPLE / BITPIX / NAXIS...), so corrupted
+// header bytes in intermediate files crash the next pipeline stage — the
+// Montage crash mode of the paper.  Writes go out as one header pwrite plus
+// chunked data pwrites.
+
+#include <stdexcept>
+#include <string>
+
+#include "ffis/apps/montage/image.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::montage {
+
+class FitsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FitsIoOptions {
+  std::size_t data_chunk_bytes = 8192;
+};
+
+void write_fits(vfs::FileSystem& fs, const std::string& path, const Image& image,
+                const FitsIoOptions& options = {});
+
+[[nodiscard]] Image read_fits(vfs::FileSystem& fs, const std::string& path);
+
+}  // namespace ffis::montage

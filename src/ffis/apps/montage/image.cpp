@@ -1,0 +1,47 @@
+#include "ffis/apps/montage/image.hpp"
+
+#include <algorithm>
+
+namespace ffis::montage {
+
+double Image::finite_min() const noexcept {
+  double m = kBlank;
+  for (const double v : pixels) {
+    if (std::isfinite(v) && (!std::isfinite(m) || v < m)) m = v;
+  }
+  return m;
+}
+
+double Image::finite_max() const noexcept {
+  double m = kBlank;
+  for (const double v : pixels) {
+    if (std::isfinite(v) && (!std::isfinite(m) || v > m)) m = v;
+  }
+  return m;
+}
+
+std::size_t Image::finite_count() const noexcept {
+  std::size_t n = 0;
+  for (const double v : pixels) {
+    if (std::isfinite(v)) ++n;
+  }
+  return n;
+}
+
+std::string render_pgm(const Image& image, double lo, double hi) {
+  std::string out = "P5\n" + std::to_string(image.width) + " " +
+                    std::to_string(image.height) + "\n255\n";
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  out.reserve(out.size() + image.pixels.size());
+  for (const double v : image.pixels) {
+    unsigned char level = 0;
+    if (std::isfinite(v)) {
+      const double t = std::clamp((v - lo) / span, 0.0, 1.0);
+      level = static_cast<unsigned char>(std::lround(t * 255.0));
+    }
+    out.push_back(static_cast<char>(level));
+  }
+  return out;
+}
+
+}  // namespace ffis::montage

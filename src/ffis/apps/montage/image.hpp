@@ -1,0 +1,50 @@
+#pragma once
+// Image container for the mini-Montage pipeline: a double-precision raster
+// positioned on the common mosaic grid (CRVAL-style integer/fractional
+// origin).  Blank pixels are NaN, as in Montage's FITS conventions.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ffis::montage {
+
+inline constexpr double kBlank = std::numeric_limits<double>::quiet_NaN();
+
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  double x0 = 0.0;  ///< mosaic x of pixel column 0 (may be fractional pre-projection)
+  double y0 = 0.0;  ///< mosaic y of pixel row 0
+  std::vector<double> pixels;  ///< row-major (y, x)
+
+  Image() = default;
+  Image(std::size_t w, std::size_t h, double origin_x, double origin_y, double fill = 0.0)
+      : width(w), height(h), x0(origin_x), y0(origin_y), pixels(w * h, fill) {}
+
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const noexcept {
+    return pixels[y * width + x];
+  }
+  double& at(std::size_t x, std::size_t y) noexcept { return pixels[y * width + x]; }
+
+  /// Minimum / maximum over finite (non-blank) pixels; NaN when none.
+  [[nodiscard]] double finite_min() const noexcept;
+  [[nodiscard]] double finite_max() const noexcept;
+  [[nodiscard]] std::size_t finite_count() const noexcept;
+
+  /// True when the mosaic-grid point (gx, gy) falls on this image.
+  [[nodiscard]] bool contains(double gx, double gy) const noexcept {
+    return gx >= x0 && gy >= y0 && gx < x0 + static_cast<double>(width) &&
+           gy < y0 + static_cast<double>(height);
+  }
+};
+
+/// Renders an 8-bit PGM with a linear stretch over [lo, hi]; blanks map to 0.
+/// This is the "m101_mosaic.jpg" analogue whose bytes define the Benign test
+/// (8-bit quantization masks sub-quantum pixel changes, as with the paper's
+/// JPEG comparison).
+[[nodiscard]] std::string render_pgm(const Image& image, double lo, double hi);
+
+}  // namespace ffis::montage

@@ -1,0 +1,84 @@
+#include "ffis/apps/montage/montage_app.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ffis::montage {
+
+MontageApp::MontageApp(MontageConfig config) : config_(std::move(config)) {}
+
+std::shared_ptr<const MontageApp::Inputs> MontageApp::inputs(std::uint64_t seed) const {
+  std::lock_guard lock(cache_mutex_);
+  if (!cached_inputs_ || cached_seed_ != seed) {
+    SceneConfig sc = config_.scene;
+    sc.seed = seed;
+    auto in = std::make_shared<Inputs>(Inputs{Scene(sc), {}});
+    in->raw_tiles.reserve(in->scene.config().tile_count());
+    for (std::size_t k = 0; k < in->scene.config().tile_count(); ++k) {
+      in->raw_tiles.push_back(in->scene.make_raw_tile(k));
+    }
+    cached_inputs_ = std::move(in);
+    cached_seed_ = seed;
+  }
+  return cached_inputs_;
+}
+
+void MontageApp::run(const core::RunContext& ctx) const {
+  const auto in = inputs(ctx.app_seed);
+  const auto& paths = config_.paths;
+
+  // Ingest (stage 0: the paper does not instrument the raw-archive fetch).
+  vfs::mkdirs(ctx.fs, paths.raw_dir);
+  for (std::size_t k = 0; k < in->raw_tiles.size(); ++k) {
+    write_fits(ctx.fs, paths.raw_tile(k), in->raw_tiles[k], config_.stages.fits_io);
+  }
+
+  ctx.enter_stage(1);
+  stage1_project(ctx.fs, in->scene, paths, config_.stages);
+  ctx.leave_stage(1);
+
+  ctx.enter_stage(2);
+  stage2_diff_and_fit(ctx.fs, in->scene, paths, config_.stages);
+  ctx.leave_stage(2);
+
+  ctx.enter_stage(3);
+  stage3_background_correct(ctx.fs, in->scene, paths, config_.stages);
+  ctx.leave_stage(3);
+
+  ctx.enter_stage(4);
+  stage4_coadd(ctx.fs, in->scene, paths, config_.stages);
+  ctx.leave_stage(4);
+}
+
+core::AnalysisResult MontageApp::analyze(vfs::FileSystem& fs) const {
+  const auto& paths = config_.paths;
+  core::AnalysisResult result;
+  // The preview image is the comparison artifact (the paper diffs
+  // m101_mosaic.jpg); absence of the file is a crash, surfaced as VfsError.
+  result.comparison_blob = vfs::read_file(fs, paths.preview());
+
+  const std::string stats = vfs::read_text_file(fs, paths.statistics());
+  double min_value = std::nan(""), max_value = std::nan("");
+  long long finite = 0;
+  if (std::sscanf(stats.c_str(), "min=%lf\nmax=%lf\nfinite=%lld", &min_value, &max_value,
+                  &finite) < 2) {
+    throw FitsError("statistics file is unparsable");
+  }
+  result.report = stats;
+  result.metrics["min"] = min_value;
+  result.metrics["max"] = max_value;
+  result.metrics["finite_pixels"] = static_cast<double>(finite);
+  return result;
+}
+
+core::Outcome MontageApp::classify(const core::AnalysisResult& /*golden*/,
+                                   const core::AnalysisResult& faulty) const {
+  const double min_value = faulty.metric("min");
+  if (std::isfinite(min_value) && min_value >= config_.sdc_window_low &&
+      min_value <= config_.sdc_window_high) {
+    return core::Outcome::Sdc;
+  }
+  return core::Outcome::Detected;
+}
+
+}  // namespace ffis::montage

@@ -1,0 +1,57 @@
+#pragma once
+// Mini-Montage as an FFIS-characterized application.
+//
+// run(): write the raw tiles (uninstrumented ingest), then execute the four
+//        instrumented stages, bracketing each with enter_stage/leave_stage so
+//        that a campaign configured for stage k (MT1..MT4 in Figure 7) plants
+//        its fault only in that stage's writes.
+// analyze(): read the preview image bytes (comparison blob) and the "min"
+//        statistic of the final step.
+// classify() (paper rule): min within [82.82, 82.83] -> SDC, else Detected;
+//        missing/corrupted files crash earlier and are recorded as Crash.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ffis/apps/montage/scene.hpp"
+#include "ffis/apps/montage/stages.hpp"
+#include "ffis/core/application.hpp"
+
+namespace ffis::montage {
+
+struct MontageConfig {
+  SceneConfig scene{};
+  PipelinePaths paths{};
+  StageOptions stages{};
+  double sdc_window_low = 82.82;
+  double sdc_window_high = 82.83;
+};
+
+class MontageApp final : public core::Application {
+ public:
+  explicit MontageApp(MontageConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "montage"; }
+  void run(const core::RunContext& ctx) const override;
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
+                                       const core::AnalysisResult& faulty) const override;
+
+  [[nodiscard]] const MontageConfig& config() const noexcept { return config_; }
+
+  /// Cached deterministic scene + raw tiles for a seed.
+  struct Inputs {
+    Scene scene;
+    std::vector<Image> raw_tiles;
+  };
+  [[nodiscard]] std::shared_ptr<const Inputs> inputs(std::uint64_t seed) const;
+
+ private:
+  MontageConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::uint64_t cached_seed_ = 0;
+  mutable std::shared_ptr<const Inputs> cached_inputs_;
+};
+
+}  // namespace ffis::montage

@@ -1,0 +1,102 @@
+#include "ffis/apps/montage/scene.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ffis/util/rng.hpp"
+
+namespace ffis::montage {
+
+Scene::Scene(SceneConfig config) : config_(std::move(config)) {
+  if (config_.tile_x0.empty() || config_.tile_y0.empty()) {
+    throw std::invalid_argument("scene needs at least one tile");
+  }
+  util::Rng rng(config_.seed);
+
+  stars_.reserve(config_.star_count);
+  const double spot_exclusion = 4.0 * config_.dark_spot_sigma;
+  for (std::size_t s = 0; s < config_.star_count; ++s) {
+    Star star;
+    // Keep stars off the dark spot: its depth pins the mosaic minimum.
+    do {
+      star.x = rng.uniform(2.0, config_.mosaic_width() - 2.0);
+      star.y = rng.uniform(2.0, config_.mosaic_height() - 2.0);
+    } while (std::hypot(star.x - config_.dark_spot_x, star.y - config_.dark_spot_y) <
+             spot_exclusion);
+    star.peak = rng.uniform(config_.star_peak_min, config_.star_peak_max);
+    stars_.push_back(star);
+  }
+
+  pointings_.reserve(config_.tile_count());
+  for (std::size_t k = 0; k < config_.tile_count(); ++k) {
+    TilePointing p;
+    p.dx = rng.uniform(0.1, 0.9);
+    p.dy = rng.uniform(0.1, 0.9);
+    if (k == 0) {
+      // Tile 0 anchors the background solution at zero.
+      p.c0 = p.c1 = p.c2 = 0.0;
+    } else {
+      p.c0 = rng.uniform(-config_.bg_offset_max, config_.bg_offset_max);
+      p.c1 = rng.uniform(-config_.bg_gradient_max, config_.bg_gradient_max);
+      p.c2 = rng.uniform(-config_.bg_gradient_max, config_.bg_gradient_max);
+    }
+    pointings_.push_back(p);
+  }
+}
+
+double Scene::truth_at(double x, double y) const noexcept {
+  double value = config_.sky;
+
+  // Dark dust feature pinning the mosaic minimum.
+  {
+    const double dx = x - config_.dark_spot_x;
+    const double dy = y - config_.dark_spot_y;
+    const double s2 = config_.dark_spot_sigma * config_.dark_spot_sigma;
+    value -= config_.dark_spot_depth * std::exp(-(dx * dx + dy * dy) / (2.0 * s2));
+  }
+
+  // Spiral galaxy: exponential disc with two logarithmic-ish arms.
+  const double gx = x - config_.galaxy_cx;
+  const double gy = y - config_.galaxy_cy;
+  const double r = std::sqrt(gx * gx + gy * gy);
+  const double theta = std::atan2(gy, gx);
+  const double arm = 1.0 + config_.spiral_contrast *
+                               std::cos(2.0 * theta - config_.spiral_pitch * r /
+                                                          config_.galaxy_scale);
+  value += config_.galaxy_peak * std::exp(-r / config_.galaxy_scale) * arm;
+
+  // Point sources.
+  const double inv_two_sigma2 = 1.0 / (2.0 * config_.star_sigma * config_.star_sigma);
+  for (const auto& star : stars_) {
+    const double dx = x - star.x;
+    const double dy = y - star.y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < 25.0) value += star.peak * std::exp(-d2 * inv_two_sigma2);
+  }
+  return value;
+}
+
+double Scene::background_at(std::size_t k, double x, double y) const noexcept {
+  const auto& p = pointings_[k];
+  return p.c0 + p.c1 * x + p.c2 * y;
+}
+
+Image Scene::make_raw_tile(std::size_t k) const {
+  if (k >= config_.tile_count()) throw std::out_of_range("tile index out of range");
+  const std::size_t cols = config_.tile_x0.size();
+  const double x0 = config_.tile_x0[k % cols];
+  const double y0 = config_.tile_y0[k / cols];
+  const auto& p = pointings_[k];
+
+  Image tile(config_.tile_size, config_.tile_size, x0 + p.dx, y0 + p.dy);
+  for (std::size_t j = 0; j < tile.height; ++j) {
+    for (std::size_t i = 0; i < tile.width; ++i) {
+      const double mx = tile.x0 + static_cast<double>(i);
+      const double my = tile.y0 + static_cast<double>(j);
+      tile.at(i, j) = truth_at(mx, my) + background_at(k, mx, my);
+    }
+  }
+  return tile;
+}
+
+}  // namespace ffis::montage

@@ -1,0 +1,101 @@
+#pragma once
+// Synthetic m101-like scene for the mini-Montage pipeline.
+//
+// The paper builds a mosaic of ten 2MASS tiles around m101 in the J band.
+// We synthesize the equivalent: a spiral galaxy plus point sources on a flat
+// sky of 82.825 DN (chosen so the fault-free mosaic minimum falls inside the
+// paper's [82.82, 82.83] classification window), observed as ten overlapping
+// tiles with sub-pixel pointing offsets and per-tile background planes that
+// the background-matching stage must remove.
+
+#include <cstdint>
+#include <vector>
+
+#include "ffis/apps/montage/image.hpp"
+
+namespace ffis::montage {
+
+struct SceneConfig {
+  std::uint64_t seed = 7;
+  std::size_t tile_size = 48;
+  std::vector<double> tile_x0 = {0, 37, 74, 111, 148};  ///< 5 columns
+  std::vector<double> tile_y0 = {0, 36};                ///< 2 rows -> 10 tiles
+  /// Flat sky level.  Chosen so the mosaic minimum — the dark-spot centre,
+  /// sky - dark_spot_depth plus the ~+0.004 bilinear shallowing of the dip —
+  /// lands mid-window at 82.825 DN.
+  double sky = 83.321;
+
+  /// A dark feature (dust lane) that pins the mosaic minimum.  It sits in
+  /// the sole-coverage interior of tile 0, the background anchor, so the
+  /// fault-free minimum is independent of background-matching residuals.
+  double dark_spot_x = 18.0;
+  double dark_spot_y = 18.0;
+  double dark_spot_depth = 0.5;
+  double dark_spot_sigma = 5.0;
+
+  // Galaxy (centred on the mosaic).
+  double galaxy_peak = 30.0;
+  double galaxy_scale = 8.0;    ///< exponential disc scale (px); small enough
+                                ///< that the disc tail is negligible at the
+                                ///< mosaic corners, keeping the fault-free
+                                ///< minimum at the sky level
+  /// Galaxy centre in mosaic coordinates.  Sits between overlap strips (the
+  /// tile seams) so the sky-plane fits are not dominated by disc structure,
+  /// as with the real m101 footprint relative to the 2MASS tiling.
+  double galaxy_cx = 98.0;
+  double galaxy_cy = 20.0;
+
+  double spiral_contrast = 0.9;
+  double spiral_pitch = 6.0;    ///< radians of arm winding per scale length
+
+  std::size_t star_count = 30;
+  double star_peak_min = 5.0, star_peak_max = 60.0;
+  double star_sigma = 0.8;
+
+  // Per-tile background planes (tile 0 is the zero-plane anchor).
+  double bg_offset_max = 0.15;     ///< |constant| term
+  double bg_gradient_max = 0.001;  ///< |gradient| per pixel
+
+  [[nodiscard]] std::size_t tile_count() const noexcept {
+    return tile_x0.size() * tile_y0.size();
+  }
+  [[nodiscard]] double mosaic_width() const noexcept {
+    return tile_x0.back() + static_cast<double>(tile_size);
+  }
+  [[nodiscard]] double mosaic_height() const noexcept {
+    return tile_y0.back() + static_cast<double>(tile_size);
+  }
+};
+
+/// Point-evaluates the noiseless truth sky (galaxy + stars + flat sky) at
+/// mosaic coordinates.  Deterministic for a given config.
+class Scene {
+ public:
+  explicit Scene(SceneConfig config);
+
+  [[nodiscard]] double truth_at(double x, double y) const noexcept;
+
+  /// Raw tile k: truth sampled at the tile's (sub-pixel) pointing, plus the
+  /// tile's background plane.  CRVAL records the fractional origin.
+  [[nodiscard]] Image make_raw_tile(std::size_t k) const;
+
+  [[nodiscard]] const SceneConfig& config() const noexcept { return config_; }
+
+  /// Background plane value of tile k at mosaic coordinates.
+  [[nodiscard]] double background_at(std::size_t k, double x, double y) const noexcept;
+
+ private:
+  struct Star {
+    double x, y, peak;
+  };
+  struct TilePointing {
+    double dx, dy;           ///< sub-pixel offsets in [0.1, 0.9)
+    double c0, c1, c2;       ///< background plane: c0 + c1 x + c2 y
+  };
+
+  SceneConfig config_;
+  std::vector<Star> stars_;
+  std::vector<TilePointing> pointings_;
+};
+
+}  // namespace ffis::montage

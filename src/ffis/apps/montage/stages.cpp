@@ -1,0 +1,590 @@
+#include "ffis/apps/montage/stages.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::montage {
+
+namespace {
+
+/// Integer-grid footprint of a projected tile: the largest integer-origin
+/// rectangle with full bilinear support inside the raw tile.
+struct Footprint {
+  std::int64_t x0, y0;
+  std::size_t width, height;
+};
+
+Footprint projected_footprint(const Image& raw) {
+  Footprint fp{};
+  fp.x0 = static_cast<std::int64_t>(std::ceil(raw.x0));
+  fp.y0 = static_cast<std::int64_t>(std::ceil(raw.y0));
+  // Source sample s = g - raw.origin must satisfy s in [0, size-1).
+  const auto last_x = static_cast<std::int64_t>(
+      std::ceil(raw.x0 + static_cast<double>(raw.width) - 1.0) - 1);
+  const auto last_y = static_cast<std::int64_t>(
+      std::ceil(raw.y0 + static_cast<double>(raw.height) - 1.0) - 1);
+  fp.width = static_cast<std::size_t>(std::max<std::int64_t>(0, last_x - fp.x0 + 1));
+  fp.height = static_cast<std::size_t>(std::max<std::int64_t>(0, last_y - fp.y0 + 1));
+  return fp;
+}
+
+double bilinear(const Image& img, double sx, double sy) {
+  const auto ix = static_cast<std::size_t>(sx);
+  const auto iy = static_cast<std::size_t>(sy);
+  const double fx = sx - static_cast<double>(ix);
+  const double fy = sy - static_cast<double>(iy);
+  const double v00 = img.at(ix, iy);
+  const double v10 = img.at(ix + 1, iy);
+  const double v01 = img.at(ix, iy + 1);
+  const double v11 = img.at(ix + 1, iy + 1);
+  return v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) + v01 * (1 - fx) * fy +
+         v11 * fx * fy;
+}
+
+struct Overlap {
+  std::int64_t x0, y0;
+  std::size_t width, height;
+  [[nodiscard]] std::size_t pixels() const noexcept { return width * height; }
+};
+
+Overlap intersect(const Image& a, const Image& b) {
+  const auto ax0 = static_cast<std::int64_t>(std::llround(a.x0));
+  const auto ay0 = static_cast<std::int64_t>(std::llround(a.y0));
+  const auto bx0 = static_cast<std::int64_t>(std::llround(b.x0));
+  const auto by0 = static_cast<std::int64_t>(std::llround(b.y0));
+  const std::int64_t x0 = std::max(ax0, bx0);
+  const std::int64_t y0 = std::max(ay0, by0);
+  const std::int64_t x1 = std::min(ax0 + static_cast<std::int64_t>(a.width),
+                                   bx0 + static_cast<std::int64_t>(b.width));
+  const std::int64_t y1 = std::min(ay0 + static_cast<std::int64_t>(a.height),
+                                   by0 + static_cast<std::int64_t>(b.height));
+  Overlap o{x0, y0, 0, 0};
+  if (x1 > x0 && y1 > y0) {
+    o.width = static_cast<std::size_t>(x1 - x0);
+    o.height = static_cast<std::size_t>(y1 - y0);
+  }
+  return o;
+}
+
+double sample(const Image& img, std::int64_t gx, std::int64_t gy) {
+  const auto x = static_cast<std::size_t>(gx - static_cast<std::int64_t>(std::llround(img.x0)));
+  const auto y = static_cast<std::size_t>(gy - static_cast<std::int64_t>(std::llround(img.y0)));
+  return img.at(x, y);
+}
+
+}  // namespace
+
+// --- Paths ------------------------------------------------------------------
+
+std::string PipelinePaths::raw_tile(std::size_t k) const {
+  return raw_dir + "/tile_" + std::to_string(k) + ".fits";
+}
+std::string PipelinePaths::proj_image(std::size_t k) const {
+  return proj_dir + "/img_" + std::to_string(k) + ".fits";
+}
+std::string PipelinePaths::proj_area(std::size_t k) const {
+  return proj_dir + "/area_" + std::to_string(k) + ".fits";
+}
+std::string PipelinePaths::diff_image(std::size_t i, std::size_t j) const {
+  return diff_dir + "/diff_" + std::to_string(i) + "_" + std::to_string(j) + ".fits";
+}
+std::string PipelinePaths::fits_table() const { return diff_dir + "/fits.tbl"; }
+std::string PipelinePaths::corr_image(std::size_t k) const {
+  return corr_dir + "/img_" + std::to_string(k) + ".fits";
+}
+std::string PipelinePaths::corr_area(std::size_t k) const {
+  return corr_dir + "/area_" + std::to_string(k) + ".fits";
+}
+std::string PipelinePaths::mosaic_image() const { return mosaic_dir + "/mosaic.fits"; }
+std::string PipelinePaths::mosaic_area() const { return mosaic_dir + "/mosaic_area.fits"; }
+std::string PipelinePaths::uncorrected_mosaic() const {
+  return mosaic_dir + "/mosaic_uncorrected.fits";
+}
+std::string PipelinePaths::preview() const { return mosaic_dir + "/m101_mosaic.pgm"; }
+std::string PipelinePaths::statistics() const { return mosaic_dir + "/stats.txt"; }
+
+// --- Plane fitting ------------------------------------------------------------
+
+Plane fit_plane(const std::vector<double>& xs, const std::vector<double>& ys,
+                const std::vector<double>& vs) {
+  if (xs.size() != ys.size() || xs.size() != vs.size() || xs.size() < 3) {
+    throw FitsError("plane fit needs at least 3 samples");
+  }
+
+  const auto solve = [&](const std::vector<double>& weights) -> Plane {
+    // Weighted normal equations for v ~ a + b x + c y.
+    double n = 0, sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0, sv = 0, sxv = 0, syv = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double w = weights[i];
+      if (w <= 0) continue;
+      n += w;
+      sx += w * xs[i];
+      sy += w * ys[i];
+      sxx += w * xs[i] * xs[i];
+      sxy += w * xs[i] * ys[i];
+      syy += w * ys[i] * ys[i];
+      sv += w * vs[i];
+      sxv += w * xs[i] * vs[i];
+      syv += w * ys[i] * vs[i];
+    }
+    // Cramer's rule on the 3x3 system.
+    const double d = n * (sxx * syy - sxy * sxy) - sx * (sx * syy - sxy * sy) +
+                     sy * (sx * sxy - sxx * sy);
+    if (!std::isfinite(d) || std::fabs(d) < 1e-12) {
+      throw FitsError("degenerate plane fit");
+    }
+    Plane p;
+    p.a = (sv * (sxx * syy - sxy * sxy) - sx * (sxv * syy - sxy * syv) +
+           sy * (sxv * sxy - sxx * syv)) /
+          d;
+    p.b = (n * (sxv * syy - sxy * syv) - sv * (sx * syy - sxy * sy) +
+           sy * (sx * syv - sxv * sy)) /
+          d;
+    p.c = (n * (sxx * syv - sxv * sxy) - sx * (sx * syv - sxv * sy) +
+           sv * (sx * sxy - sxx * sy)) /
+          d;
+    return p;
+  };
+
+  // mFitplane-style robust fit.  Difference images are an *exact* plane on
+  // sky pixels but carry large resampling residuals wherever the source
+  // gradient is strong (galaxy arms, stars), and contaminated pixels can be
+  // a large minority of a thin overlap strip.  Iteratively-reweighted least
+  // squares with an L1 (inverse-residual) weight pulls the fit onto the
+  // planar sky component, after which a tight clip isolates the sky pixels.
+  std::vector<double> weights(xs.size(), 0.0);
+  std::size_t finite_count = 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (std::isfinite(vs[i])) {
+      weights[i] = 1.0;
+      ++finite_count;
+    }
+  }
+  if (finite_count < 3) throw FitsError("plane fit needs at least 3 finite samples");
+
+  Plane p = solve(weights);
+  for (int pass = 0; pass < 12; ++pass) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (!std::isfinite(vs[i])) continue;
+      const double r = std::fabs(vs[i] - p.at(xs[i], ys[i]));
+      weights[i] = 1.0 / std::max(r, 1e-6);
+    }
+    p = solve(weights);
+  }
+
+  // Final pass: unweighted least squares on the sky inliers only.
+  double abs_sum = 0.0;
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!std::isfinite(vs[i])) continue;
+    abs_sum += std::fabs(vs[i] - p.at(xs[i], ys[i]));
+    wsum += 1.0;
+  }
+  const double mean_abs = abs_sum / std::max(1.0, wsum);
+  const double clip = std::max(3.0 * mean_abs, 1e-9);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const bool in = std::isfinite(vs[i]) && std::fabs(vs[i] - p.at(xs[i], ys[i])) <= clip;
+    weights[i] = in ? 1.0 : 0.0;
+    if (in) ++kept;
+  }
+  if (kept >= 3) p = solve(weights);
+  return p;
+}
+
+// --- Stage 1: mProjExec ---------------------------------------------------------
+
+void stage1_project(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                    const StageOptions& options) {
+  vfs::mkdirs(fs, paths.proj_dir);
+  for (std::size_t k = 0; k < scene.config().tile_count(); ++k) {
+    const Image raw = read_fits(fs, paths.raw_tile(k));
+    const Footprint fp = projected_footprint(raw);
+    if (fp.width == 0 || fp.height == 0) {
+      throw FitsError("tile " + std::to_string(k) + " has an empty projected footprint");
+    }
+
+    Image proj(fp.width, fp.height, static_cast<double>(fp.x0), static_cast<double>(fp.y0));
+    Image area(fp.width, fp.height, static_cast<double>(fp.x0), static_cast<double>(fp.y0));
+    for (std::size_t j = 0; j < fp.height; ++j) {
+      for (std::size_t i = 0; i < fp.width; ++i) {
+        const double gx = static_cast<double>(fp.x0) + static_cast<double>(i);
+        const double gy = static_cast<double>(fp.y0) + static_cast<double>(j);
+        proj.at(i, j) = bilinear(raw, gx - raw.x0, gy - raw.y0);
+        area.at(i, j) = 1.0;
+      }
+    }
+    write_fits(fs, paths.proj_image(k), proj, options.fits_io);
+    write_fits(fs, paths.proj_area(k), area, options.fits_io);
+  }
+}
+
+// --- Stage 2: mDiffExec + mFitplane ----------------------------------------------
+
+void stage2_diff_and_fit(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                         const StageOptions& options) {
+  vfs::mkdirs(fs, paths.diff_dir);
+  const std::size_t tiles = scene.config().tile_count();
+
+  // Montage tools tolerate unreadable inputs: a tile whose projected image
+  // is corrupt is skipped (with its pairs) rather than aborting the run.
+  std::vector<Image> proj(tiles);
+  std::vector<bool> readable(tiles, false);
+  for (std::size_t k = 0; k < tiles; ++k) {
+    try {
+      proj[k] = read_fits(fs, paths.proj_image(k));
+      readable[k] = true;
+    } catch (const FitsError&) {
+    } catch (const vfs::VfsError&) {
+    }
+  }
+
+  std::string table = "# i j a b c npix\n";
+  for (std::size_t i = 0; i < tiles; ++i) {
+    for (std::size_t j = i + 1; j < tiles; ++j) {
+      if (!readable[i] || !readable[j]) continue;
+      const Overlap o = intersect(proj[i], proj[j]);
+      if (o.pixels() < options.min_overlap_pixels) continue;
+
+      Image diff(o.width, o.height, static_cast<double>(o.x0), static_cast<double>(o.y0));
+      for (std::size_t y = 0; y < o.height; ++y) {
+        for (std::size_t x = 0; x < o.width; ++x) {
+          const std::int64_t gx = o.x0 + static_cast<std::int64_t>(x);
+          const std::int64_t gy = o.y0 + static_cast<std::int64_t>(y);
+          diff.at(x, y) = sample(proj[i], gx, gy) - sample(proj[j], gx, gy);
+        }
+      }
+      write_fits(fs, paths.diff_image(i, j), diff, options.fits_io);
+
+      // mFitplane is a separate executable: it reads the difference image
+      // back from disk, so faults planted in the diff files propagate into
+      // the plane coefficients.
+      try {
+        diff = read_fits(fs, paths.diff_image(i, j));
+      } catch (const FitsError&) {
+        continue;  // unreadable diff: the pair contributes no constraint
+      }
+      if (diff.width != o.width || diff.height != o.height) continue;
+
+      // Sample selection for the sky fit: background planes vary by at most
+      // a few 1e-3 per pixel, while source resampling residuals are rough at
+      // the pixel scale, so pixels whose local diff gradient is large carry
+      // source structure and are excluded (mFitplane rejects them as
+      // outliers over its iterations).
+      std::vector<double> xs, ys, vs;
+      xs.reserve(o.pixels());
+      ys.reserve(o.pixels());
+      vs.reserve(o.pixels());
+      for (std::size_t y = 0; y < o.height; ++y) {
+        for (std::size_t x = 0; x < o.width; ++x) {
+          const double d = diff.at(x, y);
+          if (!std::isfinite(d)) continue;
+          double grad = 0.0;
+          if (x + 1 < o.width && std::isfinite(diff.at(x + 1, y))) {
+            grad = std::max(grad, std::fabs(diff.at(x + 1, y) - d));
+          }
+          if (y + 1 < o.height && std::isfinite(diff.at(x, y + 1))) {
+            grad = std::max(grad, std::fabs(diff.at(x, y + 1) - d));
+          }
+          if (x > 0 && std::isfinite(diff.at(x - 1, y))) {
+            grad = std::max(grad, std::fabs(diff.at(x - 1, y) - d));
+          }
+          if (y > 0 && std::isfinite(diff.at(x, y - 1))) {
+            grad = std::max(grad, std::fabs(diff.at(x, y - 1) - d));
+          }
+          if (grad > options.fit_gradient_gate) continue;
+          xs.push_back(static_cast<double>(o.x0 + static_cast<std::int64_t>(x)));
+          ys.push_back(static_cast<double>(o.y0 + static_cast<std::int64_t>(y)));
+          vs.push_back(d);
+        }
+      }
+      if (vs.size() < o.pixels() / 10 || vs.size() < 16) {
+        // Gate too aggressive for this pair (heavily source-covered overlap):
+        // fall back to all finite pixels and let the robust fit cope.
+        xs.clear();
+        ys.clear();
+        vs.clear();
+        for (std::size_t y = 0; y < o.height; ++y) {
+          for (std::size_t x = 0; x < o.width; ++x) {
+            const double d = diff.at(x, y);
+            if (!std::isfinite(d)) continue;
+            xs.push_back(static_cast<double>(o.x0 + static_cast<std::int64_t>(x)));
+            ys.push_back(static_cast<double>(o.y0 + static_cast<std::int64_t>(y)));
+            vs.push_back(d);
+          }
+        }
+      }
+      const Plane p = fit_plane(xs, ys, vs);
+      char row[160];
+      std::snprintf(row, sizeof row, "%zu %zu %.10e %.10e %.10e %zu\n", i, j, p.a, p.b,
+                    p.c, vs.size());
+      table += row;
+    }
+  }
+  vfs::write_text_file(fs, paths.fits_table(), table);
+}
+
+// --- Stage 3: mBgModel + mBgExec ---------------------------------------------------
+
+void stage3_background_correct(vfs::FileSystem& fs, const Scene& scene,
+                               const PipelinePaths& paths, const StageOptions& options) {
+  vfs::mkdirs(fs, paths.corr_dir);
+  const std::size_t tiles = scene.config().tile_count();
+
+  // Parse fits.tbl; skip malformed rows (tolerant tooling) but require at
+  // least one usable constraint.
+  struct Constraint {
+    std::size_t i, j;
+    Plane p;
+  };
+  std::vector<Constraint> constraints;
+  const std::string table = vfs::read_text_file(fs, paths.fits_table());
+  std::size_t pos = 0;
+  while (pos < table.size()) {
+    auto end = table.find('\n', pos);
+    if (end == std::string::npos) end = table.size();
+    const std::string line = table.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    Constraint c{};
+    unsigned long long ti = 0, tj = 0, npix = 0;
+    if (std::sscanf(line.c_str(), "%llu %llu %lf %lf %lf %llu", &ti, &tj, &c.p.a, &c.p.b,
+                    &c.p.c, &npix) == 6 &&
+        ti < tiles && tj < tiles && ti != tj && std::isfinite(c.p.a) &&
+        std::isfinite(c.p.b) && std::isfinite(c.p.c)) {
+      c.i = ti;
+      c.j = tj;
+      constraints.push_back(c);
+    }
+  }
+  if (constraints.empty()) {
+    throw FitsError("fits.tbl contains no usable plane constraints");
+  }
+
+  // mBgModel: solve min sum_edges |corr_i - corr_j - p_ij|^2 with tile 0
+  // anchored at zero.  The three plane coefficients decouple, giving three
+  // identical graph-Laplacian systems, solved exactly by Gaussian
+  // elimination (the graph is tiny).  Only tiles that appear in fits.tbl
+  // participate; absent tiles (their images were unreadable upstream) keep a
+  // zero correction, as the real tool simply leaves them uncorrected.
+  std::vector<Plane> corr(tiles);
+  std::vector<std::size_t> node_index(tiles, SIZE_MAX);  // tile -> unknown index
+  std::vector<std::size_t> node_tile;                    // unknown index -> tile
+  for (const auto& c : constraints) {
+    for (const std::size_t t : {c.i, c.j}) {
+      if (t != 0 && node_index[t] == SIZE_MAX) {
+        node_index[t] = node_tile.size();
+        node_tile.push_back(t);
+      }
+    }
+  }
+  const std::size_t unknowns = node_tile.size();
+  if (unknowns > 0) {
+    std::vector<double> laplacian(unknowns * unknowns, 0.0);
+    std::array<std::vector<double>, 3> rhs = {std::vector<double>(unknowns, 0.0),
+                                              std::vector<double>(unknowns, 0.0),
+                                              std::vector<double>(unknowns, 0.0)};
+    const auto idx = [&](std::size_t node) { return node_index[node]; };
+    for (const auto& c : constraints) {
+      const double coeff[3] = {c.p.a, c.p.b, c.p.c};
+      if (c.i != 0) {
+        laplacian[idx(c.i) * unknowns + idx(c.i)] += 1.0;
+        for (int t = 0; t < 3; ++t) rhs[t][idx(c.i)] += coeff[t];
+        if (c.j != 0) laplacian[idx(c.i) * unknowns + idx(c.j)] -= 1.0;
+      }
+      if (c.j != 0) {
+        laplacian[idx(c.j) * unknowns + idx(c.j)] += 1.0;
+        for (int t = 0; t < 3; ++t) rhs[t][idx(c.j)] -= coeff[t];
+        if (c.i != 0) laplacian[idx(c.j) * unknowns + idx(c.i)] -= 1.0;
+      }
+    }
+
+    // Components disconnected from the anchor have a floating gauge; a tiny
+    // Tikhonov term selects the minimal-norm solution (what an iterative
+    // solver started from zero would converge to) instead of aborting.
+    for (std::size_t d2 = 0; d2 < unknowns; ++d2) laplacian[d2 * unknowns + d2] += 1e-9;
+
+    // Gaussian elimination with partial pivoting on [L | rhs_a rhs_b rhs_c].
+    for (std::size_t col = 0; col < unknowns; ++col) {
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < unknowns; ++r) {
+        if (std::fabs(laplacian[r * unknowns + col]) >
+            std::fabs(laplacian[pivot * unknowns + col])) {
+          pivot = r;
+        }
+      }
+      if (std::fabs(laplacian[pivot * unknowns + col]) < 1e-12) {
+        throw FitsError("background-matching system is singular");
+      }
+      if (pivot != col) {
+        for (std::size_t c2 = 0; c2 < unknowns; ++c2) {
+          std::swap(laplacian[col * unknowns + c2], laplacian[pivot * unknowns + c2]);
+        }
+        for (int t = 0; t < 3; ++t) std::swap(rhs[t][col], rhs[t][pivot]);
+      }
+      for (std::size_t r = col + 1; r < unknowns; ++r) {
+        const double factor = laplacian[r * unknowns + col] / laplacian[col * unknowns + col];
+        if (factor == 0.0) continue;
+        for (std::size_t c2 = col; c2 < unknowns; ++c2) {
+          laplacian[r * unknowns + c2] -= factor * laplacian[col * unknowns + c2];
+        }
+        for (int t = 0; t < 3; ++t) rhs[t][r] -= factor * rhs[t][col];
+      }
+    }
+    std::array<std::vector<double>, 3> solution = rhs;
+    for (std::size_t col = unknowns; col-- > 0;) {
+      for (int t = 0; t < 3; ++t) {
+        double v = solution[t][col];
+        for (std::size_t c2 = col + 1; c2 < unknowns; ++c2) {
+          v -= laplacian[col * unknowns + c2] * solution[t][c2];
+        }
+        solution[t][col] = v / laplacian[col * unknowns + col];
+      }
+    }
+    for (std::size_t node = 1; node < tiles; ++node) {
+      corr[node].a = solution[0][idx(node)];
+      corr[node].b = solution[1][idx(node)];
+      corr[node].c = solution[2][idx(node)];
+    }
+  }
+
+  // mBgExec: subtract each tile's correction plane and pass areas through.
+  // Tiles whose projected image or area is unreadable are skipped (no
+  // corrected output), as the real tool does.
+  std::size_t written = 0;
+  for (std::size_t k = 0; k < tiles; ++k) {
+    Image img, area;
+    try {
+      img = read_fits(fs, paths.proj_image(k));
+      area = read_fits(fs, paths.proj_area(k));
+    } catch (const FitsError&) {
+      continue;
+    } catch (const vfs::VfsError&) {
+      continue;
+    }
+    for (std::size_t y = 0; y < img.height; ++y) {
+      for (std::size_t x = 0; x < img.width; ++x) {
+        const double gx = img.x0 + static_cast<double>(x);
+        const double gy = img.y0 + static_cast<double>(y);
+        img.at(x, y) -= corr[k].at(gx, gy);
+      }
+    }
+    write_fits(fs, paths.corr_image(k), img, options.fits_io);
+    write_fits(fs, paths.corr_area(k), area, options.fits_io);
+    ++written;
+  }
+  if (written == 0) throw FitsError("mBgExec: no readable projected images");
+}
+
+// --- Stage 4: mAdd + preview/statistics ----------------------------------------------
+
+namespace {
+
+Image coadd(const std::vector<Image>& images, const std::vector<Image>& areas) {
+  // Mosaic bounds from the images' integer origins.
+  std::int64_t x0 = INT64_MAX, y0 = INT64_MAX, x1 = INT64_MIN, y1 = INT64_MIN;
+  for (const auto& img : images) {
+    const auto ix0 = static_cast<std::int64_t>(std::llround(img.x0));
+    const auto iy0 = static_cast<std::int64_t>(std::llround(img.y0));
+    x0 = std::min(x0, ix0);
+    y0 = std::min(y0, iy0);
+    x1 = std::max(x1, ix0 + static_cast<std::int64_t>(img.width));
+    y1 = std::max(y1, iy0 + static_cast<std::int64_t>(img.height));
+  }
+  if (x1 <= x0 || y1 <= y0 || x1 - x0 > 4096 || y1 - y0 > 4096) {
+    throw FitsError("implausible mosaic bounds");
+  }
+
+  Image mosaic(static_cast<std::size_t>(x1 - x0), static_cast<std::size_t>(y1 - y0),
+               static_cast<double>(x0), static_cast<double>(y0), kBlank);
+  Image weight_sum(mosaic.width, mosaic.height, mosaic.x0, mosaic.y0, 0.0);
+  Image value_sum(mosaic.width, mosaic.height, mosaic.x0, mosaic.y0, 0.0);
+
+  for (std::size_t k = 0; k < images.size(); ++k) {
+    const Image& img = images[k];
+    const Image& area = areas[k];
+    const auto ix0 = static_cast<std::int64_t>(std::llround(img.x0));
+    const auto iy0 = static_cast<std::int64_t>(std::llround(img.y0));
+    for (std::size_t y = 0; y < img.height; ++y) {
+      for (std::size_t x = 0; x < img.width; ++x) {
+        const double v = img.at(x, y);
+        double w = 0.0;
+        if (x < area.width && y < area.height) w = area.at(x, y);
+        if (!std::isfinite(v) || !std::isfinite(w) || w <= 0.0) continue;
+        const auto mx = static_cast<std::size_t>(ix0 + static_cast<std::int64_t>(x) -
+                                                 static_cast<std::int64_t>(std::llround(mosaic.x0)));
+        const auto my = static_cast<std::size_t>(iy0 + static_cast<std::int64_t>(y) -
+                                                 static_cast<std::int64_t>(std::llround(mosaic.y0)));
+        value_sum.at(mx, my) += w * v;
+        weight_sum.at(mx, my) += w;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < mosaic.pixels.size(); ++i) {
+    if (weight_sum.pixels[i] > 0.2) {
+      mosaic.pixels[i] = value_sum.pixels[i] / weight_sum.pixels[i];
+    }
+  }
+  return mosaic;
+}
+
+}  // namespace
+
+void stage4_coadd(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                  const StageOptions& options) {
+  vfs::mkdirs(fs, paths.mosaic_dir);
+  const std::size_t tiles = scene.config().tile_count();
+
+  // mAdd skips tiles it cannot read (image or area) instead of aborting.
+  std::vector<Image> corr_imgs, corr_areas, proj_imgs, proj_areas;
+  for (std::size_t k = 0; k < tiles; ++k) {
+    try {
+      Image img = read_fits(fs, paths.corr_image(k));
+      Image area = read_fits(fs, paths.corr_area(k));
+      corr_imgs.push_back(std::move(img));
+      corr_areas.push_back(std::move(area));
+    } catch (const FitsError&) {
+    } catch (const vfs::VfsError&) {
+    }
+    try {
+      Image img = read_fits(fs, paths.proj_image(k));
+      Image area = read_fits(fs, paths.proj_area(k));
+      proj_imgs.push_back(std::move(img));
+      proj_areas.push_back(std::move(area));
+    } catch (const FitsError&) {
+    } catch (const vfs::VfsError&) {
+    }
+  }
+  if (corr_imgs.empty()) throw FitsError("mAdd: no readable corrected images");
+  if (proj_imgs.empty()) throw FitsError("mAdd: no readable projected images");
+
+  const Image mosaic = coadd(corr_imgs, corr_areas);
+  write_fits(fs, paths.mosaic_image(), mosaic, options.fits_io);
+
+  Image weight(mosaic.width, mosaic.height, mosaic.x0, mosaic.y0, 0.0);
+  for (std::size_t i = 0; i < weight.pixels.size(); ++i) {
+    weight.pixels[i] = std::isfinite(mosaic.pixels[i]) ? 1.0 : 0.0;
+  }
+  write_fits(fs, paths.mosaic_area(), weight, options.fits_io);
+
+  // Paper: "both background-matched and uncorrected versions of the mosaic".
+  const Image uncorrected = coadd(proj_imgs, proj_areas);
+  write_fits(fs, paths.uncorrected_mosaic(), uncorrected, options.fits_io);
+
+  // Final step: re-read the mosaic from disk (as the JPEG/statistics tool
+  // does) and emit the preview + the "min" statistic the paper classifies on.
+  const Image final_mosaic = read_fits(fs, paths.mosaic_image());
+  const double lo = final_mosaic.finite_min();
+  const double hi = final_mosaic.finite_max();
+  vfs::write_text_file(fs, paths.preview(), render_pgm(final_mosaic, lo, hi));
+  vfs::write_text_file(
+      fs, paths.statistics(),
+      util::fmt("min={:.6f}\nmax={:.6f}\nfinite={}\n", lo, hi, final_mosaic.finite_count()));
+}
+
+}  // namespace ffis::montage

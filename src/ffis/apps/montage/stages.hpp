@@ -1,0 +1,81 @@
+#pragma once
+// The four I/O-intensive Montage stages the paper instruments (§V-B):
+//
+//   1. mProjExec — reproject each raw tile onto the integer mosaic grid
+//      (bilinear), writing a projected image and its area (weight) image.
+//   2. mDiffExec — difference each overlapping projected pair and fit a
+//      plane to every difference (mFitplane), writing difference images and
+//      the fits.tbl coefficient table.
+//   3. mBgExec — solve the background-matching problem from the plane
+//      coefficients (mBgModel-style relaxation anchored at tile 0) and write
+//      background-corrected images (+ area copies).
+//   4. mAdd — area-weighted co-add into the mosaic (corrected and
+//      uncorrected versions), then render the preview image and the min/max
+//      statistics used for outcome classification.
+//
+// Every stage communicates with the previous one exclusively through files
+// on the VFS, so injected faults propagate exactly as on the paper's
+// testbed: a corrupted intermediate FITS header crashes the next stage, a
+// corrupted area image silently re-weights the co-add, etc.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffis/apps/montage/fits.hpp"
+#include "ffis/apps/montage/scene.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::montage {
+
+struct PipelinePaths {
+  std::string raw_dir = "/raw";
+  std::string proj_dir = "/proj";
+  std::string diff_dir = "/diff";
+  std::string corr_dir = "/corr";
+  std::string mosaic_dir = "/mosaic";
+
+  [[nodiscard]] std::string raw_tile(std::size_t k) const;
+  [[nodiscard]] std::string proj_image(std::size_t k) const;
+  [[nodiscard]] std::string proj_area(std::size_t k) const;
+  [[nodiscard]] std::string diff_image(std::size_t i, std::size_t j) const;
+  [[nodiscard]] std::string fits_table() const;
+  [[nodiscard]] std::string corr_image(std::size_t k) const;
+  [[nodiscard]] std::string corr_area(std::size_t k) const;
+  [[nodiscard]] std::string mosaic_image() const;
+  [[nodiscard]] std::string mosaic_area() const;
+  [[nodiscard]] std::string uncorrected_mosaic() const;
+  [[nodiscard]] std::string preview() const;       ///< m101_mosaic.pgm
+  [[nodiscard]] std::string statistics() const;    ///< stats.txt
+};
+
+/// Plane a + b x + c y over mosaic coordinates.
+struct Plane {
+  double a = 0.0, b = 0.0, c = 0.0;
+
+  [[nodiscard]] double at(double x, double y) const noexcept { return a + b * x + c * y; }
+};
+
+/// Least-squares plane fit with one outlier-rejection repass (mFitplane
+/// behaviour: source structure must not bias the sky fit).
+[[nodiscard]] Plane fit_plane(const std::vector<double>& xs, const std::vector<double>& ys,
+                              const std::vector<double>& vs);
+
+struct StageOptions {
+  std::size_t min_overlap_pixels = 200;
+  /// Pixels whose local diff gradient exceeds this carry source structure
+  /// and are excluded from the sky-plane fit (see stage 2).
+  double fit_gradient_gate = 0.02;
+  FitsIoOptions fits_io{};
+};
+
+void stage1_project(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                    const StageOptions& options = {});
+void stage2_diff_and_fit(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                         const StageOptions& options = {});
+void stage3_background_correct(vfs::FileSystem& fs, const Scene& scene,
+                               const PipelinePaths& paths, const StageOptions& options = {});
+void stage4_coadd(vfs::FileSystem& fs, const Scene& scene, const PipelinePaths& paths,
+                  const StageOptions& options = {});
+
+}  // namespace ffis::montage

@@ -1,0 +1,107 @@
+#include "ffis/apps/nyx/halo_finder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::nyx {
+
+double HaloCatalog::total_mass() const noexcept {
+  double sum = 0.0;
+  for (const auto& h : halos) sum += h.mass;
+  return sum;
+}
+
+std::string HaloCatalog::to_text() const {
+  std::string out = "# halo catalog: id cx cy cz cells mass\n";
+  char line[160];
+  for (std::size_t i = 0; i < halos.size(); ++i) {
+    const auto& h = halos[i];
+    std::snprintf(line, sizeof line, "%zu %.6f %.6f %.6f %llu %.6e\n", i, h.cx, h.cy,
+                  h.cz, static_cast<unsigned long long>(h.cells), h.mass);
+    out += line;
+  }
+  out += util::fmt("total_halos={}\n", halos.size());
+  return out;
+}
+
+HaloCatalog find_halos(const DensityField& field, const HaloFinderConfig& config) {
+  const std::size_t n = field.n();
+  const std::size_t total = field.size();
+
+  HaloCatalog catalog;
+  catalog.mean_density = field.mean();
+  catalog.threshold = config.threshold_factor * catalog.mean_density;
+  // A non-finite mean (overflowed or NaN-poisoned data) yields a threshold no
+  // cell can satisfy; the catalog comes out empty, which the application
+  // classifies as Detected ("no halo found").
+  if (!std::isfinite(catalog.threshold)) return catalog;
+
+  std::vector<std::uint8_t> candidate(total, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double v = field.data()[i];
+    if (std::isfinite(v) && v > catalog.threshold) {
+      candidate[i] = 1;
+      ++catalog.candidate_cells;
+    }
+  }
+
+  // 6-connected component growth (friends-of-friends at linking length 1).
+  std::vector<std::uint8_t> visited(total, 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < total; ++start) {
+    if (!candidate[start] || visited[start]) continue;
+    stack.assign(1, start);
+    visited[start] = 1;
+
+    double sx = 0.0, sy = 0.0, sz = 0.0, mass = 0.0;
+    std::uint64_t cells = 0;
+    while (!stack.empty()) {
+      const std::size_t idx = stack.back();
+      stack.pop_back();
+      const std::size_t x = idx % n;
+      const std::size_t y = (idx / n) % n;
+      const std::size_t z = idx / (n * n);
+      sx += static_cast<double>(x);
+      sy += static_cast<double>(y);
+      sz += static_cast<double>(z);
+      mass += field.data()[idx];
+      ++cells;
+
+      const auto visit = [&](std::size_t nx, std::size_t ny, std::size_t nz) {
+        const std::size_t nidx = (nz * n + ny) * n + nx;
+        if (candidate[nidx] && !visited[nidx]) {
+          visited[nidx] = 1;
+          stack.push_back(nidx);
+        }
+      };
+      if (x > 0) visit(x - 1, y, z);
+      if (x + 1 < n) visit(x + 1, y, z);
+      if (y > 0) visit(x, y - 1, z);
+      if (y + 1 < n) visit(x, y + 1, z);
+      if (z > 0) visit(x, y, z - 1);
+      if (z + 1 < n) visit(x, y, z + 1);
+    }
+
+    if (cells >= config.min_cells) {
+      Halo halo;
+      halo.cells = cells;
+      halo.mass = mass;
+      halo.cx = sx / static_cast<double>(cells);
+      halo.cy = sy / static_cast<double>(cells);
+      halo.cz = sz / static_cast<double>(cells);
+      catalog.halos.push_back(halo);
+    }
+  }
+
+  std::sort(catalog.halos.begin(), catalog.halos.end(), [](const Halo& a, const Halo& b) {
+    if (a.mass != b.mass) return a.mass > b.mass;
+    if (a.cz != b.cz) return a.cz < b.cz;
+    if (a.cy != b.cy) return a.cy < b.cy;
+    return a.cx < b.cx;
+  });
+  return catalog;
+}
+
+}  // namespace ffis::nyx

@@ -1,0 +1,46 @@
+#pragma once
+// Friends-of-Friends-style halo finder (the paper's Nyx post-analysis).
+//
+// Criteria (paper §V-B): (1) a cell is a halo-cell candidate when its
+// density exceeds 81.66x the mean density of the whole dataset; (2) a halo
+// is a 6-connected component of candidates with at least `min_cells` cells.
+// For each halo the finder reports position (cell centroid), cell count and
+// mass (sum of member densities) — the NVB_integral-style output whose
+// bit-wise comparison defines the Benign class.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffis/apps/nyx/density_field.hpp"
+
+namespace ffis::nyx {
+
+struct Halo {
+  double cx = 0.0, cy = 0.0, cz = 0.0;  ///< centroid (cell coordinates)
+  std::uint64_t cells = 0;
+  double mass = 0.0;
+};
+
+struct HaloFinderConfig {
+  double threshold_factor = 81.66;  ///< candidate threshold over mean density
+  std::uint64_t min_cells = 8;      ///< minimum component size to form a halo
+};
+
+struct HaloCatalog {
+  std::vector<Halo> halos;          ///< sorted: mass desc, then position
+  double mean_density = 0.0;
+  double threshold = 0.0;
+  std::uint64_t candidate_cells = 0;
+
+  /// Deterministic text rendering (positions %.6f, mass %.6e) — the
+  /// comparison artifact for outcome classification.
+  [[nodiscard]] std::string to_text() const;
+
+  [[nodiscard]] double total_mass() const noexcept;
+};
+
+[[nodiscard]] HaloCatalog find_halos(const DensityField& field,
+                                     const HaloFinderConfig& config = {});
+
+}  // namespace ffis::nyx

@@ -1,0 +1,56 @@
+#include "ffis/apps/nyx/nyx_app.hpp"
+
+#include <cmath>
+
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::nyx {
+
+NyxApp::NyxApp(NyxConfig config) : config_(std::move(config)) {}
+
+const DensityField& NyxApp::field(std::uint64_t seed) const {
+  std::lock_guard lock(cache_mutex_);
+  if (!cached_field_ || cached_seed_ != seed) {
+    FieldConfig fc = config_.field;
+    fc.seed = seed;
+    cached_field_ = std::make_shared<const DensityField>(generate_density_field(fc));
+    cached_seed_ = seed;
+  }
+  return *cached_field_;
+}
+
+void NyxApp::run(const core::RunContext& ctx) const {
+  const DensityField& f = field(ctx.app_seed);
+  (void)write_plotfile(ctx.fs, config_.plotfile_path, f, config_.h5_options);
+}
+
+core::AnalysisResult NyxApp::analyze(vfs::FileSystem& fs) const {
+  const DensityField f = read_plotfile(fs, config_.plotfile_path);
+  const HaloCatalog catalog = find_halos(f, config_.halo);
+
+  core::AnalysisResult result;
+  result.report = catalog.to_text();
+  result.comparison_blob = util::to_bytes(result.report);
+  result.metrics["halo_count"] = static_cast<double>(catalog.halos.size());
+  result.metrics["mean_density"] = catalog.mean_density;
+  result.metrics["candidate_cells"] = static_cast<double>(catalog.candidate_cells);
+  result.metrics["total_mass"] = catalog.total_mass();
+  return result;
+}
+
+core::Outcome NyxApp::classify(const core::AnalysisResult& /*golden*/,
+                               const core::AnalysisResult& faulty) const {
+  if (config_.use_average_value_detector) {
+    // Mass conservation check: the mean of the original input data must be 1.
+    const double mean = faulty.metric("mean_density");
+    if (!std::isfinite(mean) || std::fabs(mean - 1.0) > config_.average_value_tolerance) {
+      return core::Outcome::Detected;
+    }
+  }
+  // Paper rule: outputs differ; no halo found -> Detected, else SDC.
+  if (faulty.metric("halo_count") == 0.0) return core::Outcome::Detected;
+  return core::Outcome::Sdc;
+}
+
+}  // namespace ffis::nyx

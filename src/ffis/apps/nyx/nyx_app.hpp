@@ -1,0 +1,57 @@
+#pragma once
+// Mini-Nyx as an FFIS-characterized application.
+//
+// run():     generate the baryon-density field (cached — the simulation is
+//            deterministic and the paper only perturbs the I/O path) and
+//            write the HDF5 plotfile through the instrumented file system.
+// analyze(): read the plotfile back (HDF5 exceptions -> Crash) and run the
+//            halo finder; the comparison blob is the halo catalog text.
+// classify() (paper rule): output differs and no halo found -> Detected;
+//            otherwise -> SDC.  With the paper's proposed average-value
+//            method enabled, any |mean - 1| beyond tolerance is Detected
+//            first (this is the improvement evaluated in Figure 7's note).
+
+#include <memory>
+#include <mutex>
+
+#include "ffis/apps/nyx/density_field.hpp"
+#include "ffis/apps/nyx/halo_finder.hpp"
+#include "ffis/core/application.hpp"
+#include "ffis/h5/writer.hpp"
+
+namespace ffis::nyx {
+
+struct NyxConfig {
+  FieldConfig field{};
+  HaloFinderConfig halo{};
+  h5::WriteOptions h5_options{};
+  std::string plotfile_path = "/plt00000.h5";
+
+  /// Enables the paper's average-value-based SDC detector in classify().
+  bool use_average_value_detector = false;
+  double average_value_tolerance = 1e-3;
+};
+
+class NyxApp final : public core::Application {
+ public:
+  explicit NyxApp(NyxConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "nyx"; }
+  void run(const core::RunContext& ctx) const override;
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
+                                       const core::AnalysisResult& faulty) const override;
+
+  [[nodiscard]] const NyxConfig& config() const noexcept { return config_; }
+
+  /// The cached field for the given seed (generated on first use).
+  [[nodiscard]] const DensityField& field(std::uint64_t seed) const;
+
+ private:
+  NyxConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::uint64_t cached_seed_ = 0;
+  mutable std::shared_ptr<const DensityField> cached_field_;
+};
+
+}  // namespace ffis::nyx

@@ -1,0 +1,30 @@
+#include "ffis/apps/nyx/plotfile.hpp"
+
+#include <cmath>
+
+#include "ffis/h5/reader.hpp"
+
+namespace ffis::nyx {
+
+h5::WriteInfo write_plotfile(vfs::FileSystem& fs, const std::string& path,
+                             const DensityField& field, const h5::WriteOptions& options) {
+  h5::H5File file;
+  h5::Dataset ds;
+  ds.name = kDensityDatasetName;
+  const auto n = static_cast<std::uint64_t>(field.n());
+  ds.dims = {n, n, n};
+  ds.data = field.data();
+  file.datasets.push_back(std::move(ds));
+  return h5::write_h5(fs, path, file, options);
+}
+
+DensityField read_plotfile(vfs::FileSystem& fs, const std::string& path) {
+  h5::Dataset ds = h5::read_dataset(fs, path, kDensityDatasetName);
+  if (ds.dims.size() != 3 || ds.dims[0] != ds.dims[1] || ds.dims[1] != ds.dims[2]) {
+    throw h5::H5FormatError("baryon_density is not a cubic 3-D dataset");
+  }
+  const auto n = static_cast<std::size_t>(ds.dims[0]);
+  return DensityField(n, std::move(ds.data));
+}
+
+}  // namespace ffis::nyx

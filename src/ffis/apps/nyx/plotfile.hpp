@@ -1,0 +1,24 @@
+#pragma once
+// Nyx plotfile I/O: the baryon-density field stored as an HDF5 dataset.
+
+#include <string>
+
+#include "ffis/apps/nyx/density_field.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::nyx {
+
+inline constexpr const char* kDensityDatasetName = "baryon_density";
+
+/// Writes the field as an HDF5 plotfile through the (possibly instrumented)
+/// file system; returns the writer's layout info (field map, ARD...).
+h5::WriteInfo write_plotfile(vfs::FileSystem& fs, const std::string& path,
+                             const DensityField& field,
+                             const h5::WriteOptions& options = {});
+
+/// Reads the baryon-density dataset back.  Throws H5Exception subclasses on
+/// corrupted metadata (the application-crash path).
+[[nodiscard]] DensityField read_plotfile(vfs::FileSystem& fs, const std::string& path);
+
+}  // namespace ffis::nyx

@@ -1,0 +1,150 @@
+#include "ffis/apps/nyx/power_spectrum.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+namespace ffis::nyx {
+
+void fft_1d(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_1d: size must be a power of two");
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void fft_3d(std::vector<std::complex<double>>& data, std::size_t n, bool inverse) {
+  if (data.size() != n * n * n) throw std::invalid_argument("fft_3d: size mismatch");
+  std::vector<std::complex<double>> line(n);
+
+  // x lines (contiguous).
+  for (std::size_t plane = 0; plane < n * n; ++plane) {
+    for (std::size_t x = 0; x < n; ++x) line[x] = data[plane * n + x];
+    fft_1d(line, inverse);
+    for (std::size_t x = 0; x < n; ++x) data[plane * n + x] = line[x];
+  }
+  // y lines.
+  for (std::size_t z = 0; z < n; ++z) {
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = 0; y < n; ++y) line[y] = data[(z * n + y) * n + x];
+      fft_1d(line, inverse);
+      for (std::size_t y = 0; y < n; ++y) data[(z * n + y) * n + x] = line[y];
+    }
+  }
+  // z lines.
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t z = 0; z < n; ++z) line[z] = data[(z * n + y) * n + x];
+      fft_1d(line, inverse);
+      for (std::size_t z = 0; z < n; ++z) data[(z * n + y) * n + x] = line[z];
+    }
+  }
+}
+
+std::string PowerSpectrum::to_text() const {
+  std::string out = "# power spectrum: k P(k) modes\n";
+  char line[96];
+  for (std::size_t b = 0; b < k.size(); ++b) {
+    std::snprintf(line, sizeof line, "%8.4f %.8e %llu\n", k[b], power[b],
+                  static_cast<unsigned long long>(modes[b]));
+    out += line;
+  }
+  return out;
+}
+
+double PowerSpectrum::max_relative_deviation(const PowerSpectrum& reference) const {
+  double worst = 0.0;
+  const std::size_t bins = std::min(power.size(), reference.power.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (reference.power[b] <= 0.0) continue;
+    worst = std::max(worst, std::fabs(power[b] - reference.power[b]) / reference.power[b]);
+  }
+  return worst;
+}
+
+PowerSpectrum compute_power_spectrum(const DensityField& field) {
+  const std::size_t n = field.n();
+  if (n < 8 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("power spectrum needs a power-of-two grid >= 8");
+  }
+
+  const double mean = field.mean();
+  if (!(mean > 0.0) || !std::isfinite(mean)) {
+    throw std::invalid_argument("power spectrum needs positive finite mean density");
+  }
+
+  std::vector<std::complex<double>> delta(n * n * n);
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const double v = field.data()[i];
+    delta[i] = std::complex<double>(std::isfinite(v) ? v / mean - 1.0 : 0.0, 0.0);
+  }
+  fft_3d(delta, n);
+
+  // Radial binning over integer wavenumber shells up to the Nyquist limit.
+  const std::size_t bins = n / 2;
+  PowerSpectrum spectrum;
+  spectrum.k.resize(bins);
+  spectrum.power.assign(bins, 0.0);
+  spectrum.modes.assign(bins, 0);
+  for (std::size_t b = 0; b < bins; ++b) spectrum.k[b] = static_cast<double>(b) + 0.5;
+
+  const double norm = 1.0 / static_cast<double>(delta.size());
+  const auto half = static_cast<std::ptrdiff_t>(n / 2);
+  for (std::size_t z = 0; z < n; ++z) {
+    const auto kz = static_cast<std::ptrdiff_t>(z) <= half
+                        ? static_cast<std::ptrdiff_t>(z)
+                        : static_cast<std::ptrdiff_t>(z) - static_cast<std::ptrdiff_t>(n);
+    for (std::size_t y = 0; y < n; ++y) {
+      const auto ky = static_cast<std::ptrdiff_t>(y) <= half
+                          ? static_cast<std::ptrdiff_t>(y)
+                          : static_cast<std::ptrdiff_t>(y) - static_cast<std::ptrdiff_t>(n);
+      for (std::size_t x = 0; x < n; ++x) {
+        const auto kx = static_cast<std::ptrdiff_t>(x) <= half
+                            ? static_cast<std::ptrdiff_t>(x)
+                            : static_cast<std::ptrdiff_t>(x) - static_cast<std::ptrdiff_t>(n);
+        const double kmag = std::sqrt(static_cast<double>(kx * kx + ky * ky + kz * kz));
+        const auto bin = static_cast<std::size_t>(kmag);
+        if (bin == 0 || bin > bins) continue;  // skip DC; clamp at Nyquist
+        const auto amplitude = std::abs(delta[(z * n + y) * n + x]) * norm;
+        spectrum.power[bin - 1] += amplitude * amplitude;
+        ++spectrum.modes[bin - 1];
+      }
+    }
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (spectrum.modes[b] > 0) {
+      spectrum.power[b] /= static_cast<double>(spectrum.modes[b]);
+    }
+  }
+  return spectrum;
+}
+
+}  // namespace ffis::nyx

@@ -1,0 +1,44 @@
+#pragma once
+// Matter power spectrum — the other Nyx post-analysis the paper names
+// ("power spectrum (statistically describing the amount of the Universe at
+// each physical scale)").  Computes the radially binned power of the
+// over-density contrast delta = rho/mean - 1 via an in-house radix-2 3-D
+// FFT, so the error-resilience of the two post-analyses can be compared
+// (spectra average over all cells; halo finding keys on extremes).
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffis/apps/nyx/density_field.hpp"
+
+namespace ffis::nyx {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.  data.size() must be a
+/// power of two; inverse=true applies the 1/N normalization.
+void fft_1d(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// 3-D FFT of a cubic grid (n^3 complex values, row-major z,y,x; n a power
+/// of two), transforming along each axis.
+void fft_3d(std::vector<std::complex<double>>& data, std::size_t n,
+            bool inverse = false);
+
+struct PowerSpectrum {
+  std::vector<double> k;       ///< bin centres (grid wavenumber units)
+  std::vector<double> power;   ///< mean |delta_k|^2 per bin
+  std::vector<std::uint64_t> modes;  ///< modes per bin
+
+  /// Deterministic text rendering (comparison artifact).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Largest relative per-bin deviation versus a reference spectrum
+  /// (bins with zero reference power are skipped).
+  [[nodiscard]] double max_relative_deviation(const PowerSpectrum& reference) const;
+};
+
+/// Computes the spectrum of the field's over-density contrast.  Throws
+/// std::invalid_argument unless n is a power of two >= 8.
+[[nodiscard]] PowerSpectrum compute_power_spectrum(const DensityField& field);
+
+}  // namespace ffis::nyx

@@ -1,0 +1,146 @@
+#include "ffis/apps/qmc/dmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ffis::qmc {
+
+namespace {
+
+/// Drift-limited velocity (Umrigar smoothing) avoids runaway drift steps
+/// near the nucleus where |grad ln psi| diverges.
+Vec3 limited_drift(const Vec3& g, double tau) noexcept {
+  const double v2 = g[0] * g[0] + g[1] * g[1] + g[2] * g[2];
+  if (v2 < 1e-12) return g;
+  const double scale = (-1.0 + std::sqrt(1.0 + 2.0 * v2 * tau)) / (v2 * tau);
+  return {g[0] * scale, g[1] * scale, g[2] * scale};
+}
+
+}  // namespace
+
+DmcResult run_dmc(const TrialWavefunction& psi, std::vector<Walker> population,
+                  const DmcConfig& config, util::Rng& rng) {
+  if (population.empty()) throw std::invalid_argument("DMC needs a seed population");
+
+  const double sqrt_tau = std::sqrt(config.tau);
+  std::vector<double> energies(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    energies[i] = psi.local_energy(population[i]);
+  }
+
+  // Initial trial energy: population average.
+  double e_trial = 0.0;
+  for (const double e : energies) e_trial += e;
+  e_trial /= static_cast<double>(energies.size());
+
+  DmcResult result;
+  result.rows.reserve(config.steps);
+  const std::uint64_t total_steps = config.warmup_steps + config.steps;
+  double energy_accum = 0.0;
+
+  std::vector<Walker> next;
+  std::vector<double> next_energies;
+
+  for (std::uint64_t step = 0; step < total_steps; ++step) {
+    next.clear();
+    next_energies.clear();
+    double sum_we = 0.0, sum_we2 = 0.0, sum_w = 0.0;
+
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      const Walker& old = population[i];
+      const double e_old = energies[i];
+
+      // Drift-diffusion proposal with Metropolis accept/reject (removes the
+      // leading time-step bias of plain drift-diffusion DMC).
+      Vec3 g1{}, g2{};
+      psi.drift(old, g1, g2);
+      const Vec3 d1 = limited_drift(g1, config.tau);
+      const Vec3 d2 = limited_drift(g2, config.tau);
+      Walker proposal = old;
+      for (int k = 0; k < 3; ++k) {
+        proposal.r1[k] += config.tau * d1[k] + sqrt_tau * rng.gaussian();
+        proposal.r2[k] += config.tau * d2[k] + sqrt_tau * rng.gaussian();
+      }
+
+      Vec3 h1{}, h2{};
+      psi.drift(proposal, h1, h2);
+      const Vec3 b1 = limited_drift(h1, config.tau);
+      const Vec3 b2 = limited_drift(h2, config.tau);
+      // log G(new->old) - log G(old->new) over both electrons.
+      double log_g = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        const double f1 = old.r1[k] - proposal.r1[k] - config.tau * b1[k];
+        const double f2 = old.r2[k] - proposal.r2[k] - config.tau * b2[k];
+        const double r1 = proposal.r1[k] - old.r1[k] - config.tau * d1[k];
+        const double r2 = proposal.r2[k] - old.r2[k] - config.tau * d2[k];
+        log_g += (r1 * r1 + r2 * r2 - f1 * f1 - f2 * f2) / (2.0 * config.tau);
+      }
+      const double log_ratio =
+          2.0 * (psi.log_psi(proposal) - psi.log_psi(old)) + log_g;
+
+      Walker w = old;
+      double e_new = e_old;
+      if (std::log(rng.uniform01() + 1e-300) < log_ratio) {
+        w = proposal;
+        e_new = psi.local_energy(w);
+      }
+
+      // Branching weight with energy-average smoothing; clamp extreme local
+      // energies (nuclear-cusp outliers) for population stability.
+      const double e_avg =
+          0.5 * (std::clamp(e_old, -20.0, 10.0) + std::clamp(e_new, -20.0, 10.0));
+      const double weight = std::exp(-config.tau * (e_avg - e_trial));
+
+      // Stochastic rounding of the branching multiplicity.
+      const auto copies =
+          static_cast<std::uint64_t>(weight + rng.uniform01());
+      for (std::uint64_t c = 0; c < copies; ++c) {
+        next.push_back(w);
+        next_energies.push_back(e_new);
+      }
+      sum_we += weight * e_new;
+      sum_we2 += weight * e_new * e_new;
+      sum_w += weight;
+    }
+
+    if (next.empty()) {
+      // Population extinction (pathological parameters): re-seed one walker.
+      next.push_back(population.front());
+      next_energies.push_back(energies.front());
+      sum_w = 1.0;
+      sum_we = next_energies.front();
+      sum_we2 = sum_we * sum_we;
+    }
+    const std::uint64_t cap = config.target_walkers * config.max_population_factor;
+    if (next.size() > cap) {
+      next.resize(cap);
+      next_energies.resize(cap);
+    }
+    population.swap(next);
+    energies.swap(next_energies);
+
+    // Population control: steer E_T towards the target population size.
+    const double mixed_energy = sum_we / sum_w;
+    e_trial = mixed_energy -
+              (config.feedback / config.tau) *
+                  std::log(static_cast<double>(population.size()) /
+                           static_cast<double>(config.target_walkers)) *
+                  config.tau;
+
+    if (step >= config.warmup_steps) {
+      ScalarRow row;
+      row.index = step - config.warmup_steps;
+      row.local_energy = mixed_energy;
+      row.variance = sum_we2 / sum_w - mixed_energy * mixed_energy;
+      row.weight = sum_w;
+      result.rows.push_back(row);
+      energy_accum += mixed_energy;
+    }
+  }
+
+  result.mean_energy = energy_accum / static_cast<double>(config.steps);
+  return result;
+}
+
+}  // namespace ffis::qmc

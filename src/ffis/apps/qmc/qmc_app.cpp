@@ -1,0 +1,76 @@
+#include "ffis/apps/qmc/qmc_app.hpp"
+
+#include <cmath>
+
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::qmc {
+
+QmcApp::QmcApp(QmcAppConfig config) : config_(std::move(config)) {}
+
+std::shared_ptr<const QmcApp::Trace> QmcApp::trace(std::uint64_t seed) const {
+  std::lock_guard lock(cache_mutex_);
+  if (!cached_trace_ || cached_seed_ != seed) {
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234abcdULL);
+    auto t = std::make_shared<Trace>();
+    VmcResult vmc = run_vmc(config_.psi, config_.vmc, rng);
+    DmcResult dmc = run_dmc(config_.psi, std::move(vmc.walkers), config_.dmc, rng);
+    t->vmc_rows = std::move(vmc.rows);
+    t->dmc_rows = std::move(dmc.rows);
+    t->dmc_mean_energy = dmc.mean_energy;
+    cached_trace_ = std::move(t);
+    cached_seed_ = seed;
+  }
+  return cached_trace_;
+}
+
+void QmcApp::run(const core::RunContext& ctx) const {
+  const auto t = trace(ctx.app_seed);
+
+  // Input echo, written first like QMCPACK's <project>.cont.xml.
+  const std::string xml = util::fmt(
+      "<?xml version=\"1.0\"?>\n<simulation>\n"
+      "  <project id=\"He\" series=\"0\"/>\n"
+      "  <qmc method=\"vmc\" walkers=\"{}\" steps=\"{}\"/>\n"
+      "  <qmc method=\"dmc\" walkers=\"{}\" steps=\"{}\" timestep=\"{}\"/>\n"
+      "</simulation>\n",
+      config_.vmc.walkers, config_.vmc.steps, config_.dmc.target_walkers,
+      config_.dmc.steps, config_.dmc.tau);
+  vfs::write_text_file(ctx.fs, config_.prefix + ".cont.xml", xml);
+
+  write_scalar_file(ctx.fs, vmc_path(), t->vmc_rows, config_.io);
+  write_scalar_file(ctx.fs, dmc_path(), t->dmc_rows, config_.io);
+}
+
+core::AnalysisResult QmcApp::analyze(vfs::FileSystem& fs) const {
+  // The paper compares He.s001.scalar.dat bit-wise and then post-analyzes it.
+  const util::Bytes s001 = vfs::read_file(fs, dmc_path());
+  const QmcaResult qmca = analyze_scalar_text(util::to_string(s001), config_.qmca);
+
+  core::AnalysisResult result;
+  result.comparison_blob = s001;
+  result.report = util::fmt("He series 001: E = {:.6f} +/- {:.6f} Ha ({} rows, {} skipped{})\n",
+                            qmca.mean_energy, qmca.error_bar, qmca.rows_used,
+                            qmca.rows_skipped,
+                            qmca.nul_bytes_found ? ", binary garbage detected" : "");
+  result.metrics["energy"] = qmca.mean_energy;
+  result.metrics["error_bar"] = qmca.error_bar;
+  result.metrics["rows_used"] = static_cast<double>(qmca.rows_used);
+  result.metrics["rows_skipped"] = static_cast<double>(qmca.rows_skipped);
+  result.metrics["nul_detected"] = qmca.nul_bytes_found ? 1.0 : 0.0;
+  return result;
+}
+
+core::Outcome QmcApp::classify(const core::AnalysisResult& /*golden*/,
+                               const core::AnalysisResult& faulty) const {
+  // Binary garbage in the text series is corruption the tool chain reports.
+  if (faulty.metric("nul_detected") != 0.0) return core::Outcome::Detected;
+  const double energy = faulty.metric("energy");
+  if (std::isfinite(energy) && energy >= config_.sdc_window_low &&
+      energy <= config_.sdc_window_high) {
+    return core::Outcome::Sdc;
+  }
+  return core::Outcome::Detected;
+}
+
+}  // namespace ffis::qmc

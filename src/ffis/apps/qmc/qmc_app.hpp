@@ -1,0 +1,66 @@
+#pragma once
+// Mini-QMCPACK as an FFIS-characterized application.
+//
+// run():     VMC (He.s000.scalar.dat) then DMC (He.s001.scalar.dat), plus a
+//            small input-echo XML — all through the instrumented VFS.  The
+//            Monte Carlo trace is deterministic for a given seed and cached,
+//            since the paper perturbs only the I/O path.
+// analyze(): QMCA over the s001 series (parse failure -> Crash); the
+//            comparison blob is the raw s001 file bytes, per the paper's
+//            benign rule.
+// classify() (paper rule, after consulting the QMCPACK developers): final
+//            energy within [-2.91, -2.90] Ha -> SDC, otherwise Detected.
+//            QMCA's binary-garbage flag (NUL bytes from a dropped write's
+//            hole) is likewise Detected.
+
+#include <memory>
+#include <mutex>
+
+#include "ffis/apps/qmc/dmc.hpp"
+#include "ffis/apps/qmc/qmca.hpp"
+#include "ffis/apps/qmc/scalar_io.hpp"
+#include "ffis/core/application.hpp"
+
+namespace ffis::qmc {
+
+struct QmcAppConfig {
+  TrialWavefunction psi{};
+  VmcConfig vmc{};
+  DmcConfig dmc{};
+  ScalarIoOptions io{};
+  QmcaOptions qmca{};
+  std::string prefix = "/He";   ///< output files <prefix>.s00{0,1}.scalar.dat
+  double sdc_window_low = -2.91;
+  double sdc_window_high = -2.90;
+};
+
+class QmcApp final : public core::Application {
+ public:
+  explicit QmcApp(QmcAppConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "qmcpack"; }
+  void run(const core::RunContext& ctx) const override;
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
+                                       const core::AnalysisResult& faulty) const override;
+
+  [[nodiscard]] const QmcAppConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::string vmc_path() const { return config_.prefix + ".s000.scalar.dat"; }
+  [[nodiscard]] std::string dmc_path() const { return config_.prefix + ".s001.scalar.dat"; }
+
+  /// The cached deterministic simulation trace for a seed.
+  struct Trace {
+    std::vector<ScalarRow> vmc_rows;
+    std::vector<ScalarRow> dmc_rows;
+    double dmc_mean_energy = 0.0;
+  };
+  [[nodiscard]] std::shared_ptr<const Trace> trace(std::uint64_t seed) const;
+
+ private:
+  QmcAppConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::uint64_t cached_seed_ = 0;
+  mutable std::shared_ptr<const Trace> cached_trace_;
+};
+
+}  // namespace ffis::qmc

@@ -1,0 +1,79 @@
+#include "ffis/apps/qmc/qmca.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace ffis::qmc {
+
+QmcaResult analyze_scalar_text(const std::string& text, const QmcaOptions& options) {
+  // Header: the first line must be a comment naming the LocalEnergy column.
+  // A destroyed header (e.g. its write was dropped) aborts the tool chain.
+  const auto first_newline = text.find('\n');
+  if (first_newline == std::string::npos) throw QmcaError("scalar file has no lines");
+  const std::string header = text.substr(0, first_newline);
+  if (header.empty() || header[0] != '#' || header.find("LocalEnergy") == std::string::npos) {
+    throw QmcaError("scalar file header is missing or corrupted");
+  }
+
+  QmcaResult result;
+
+  // Binary garbage in a text series is detectable corruption: the numpy
+  // tool chain refuses files with NUL bytes.  QMCA reports it (Detected)
+  // rather than aborting.
+  result.nul_bytes_found = text.find('\0', first_newline + 1) != std::string::npos;
+
+  std::vector<double> energies;
+  std::size_t pos = first_newline + 1;
+  while (pos < text.size()) {
+    auto end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;
+
+    // Columns: index, LocalEnergy, ...  Unparseable rows are skipped and
+    // counted (genfromtxt-style tolerance).
+    const char* cursor = line.c_str();
+    char* after = nullptr;
+    (void)std::strtod(cursor, &after);  // index column
+    if (after == cursor) {
+      ++result.rows_skipped;
+      continue;
+    }
+    cursor = after;
+    const double energy = std::strtod(cursor, &after);
+    if (after == cursor || !std::isfinite(energy)) {
+      ++result.rows_skipped;
+      continue;
+    }
+    energies.push_back(energy);
+  }
+
+  if (energies.size() <= options.equilibration_rows) {
+    throw QmcaError("scalar file has no post-equilibration rows (" +
+                    std::to_string(energies.size()) + " total)");
+  }
+
+  double sum = 0.0, sum2 = 0.0;
+  std::uint64_t n = 0;
+  for (std::size_t i = options.equilibration_rows; i < energies.size(); ++i) {
+    sum += energies[i];
+    sum2 += energies[i] * energies[i];
+    ++n;
+  }
+  result.rows_used = n;
+  result.mean_energy = sum / static_cast<double>(n);
+  const double variance =
+      std::max(0.0, sum2 / static_cast<double>(n) - result.mean_energy * result.mean_energy);
+  result.error_bar = std::sqrt(variance / static_cast<double>(n));
+  return result;
+}
+
+QmcaResult analyze_scalar_file(vfs::FileSystem& fs, const std::string& path,
+                               const QmcaOptions& options) {
+  return analyze_scalar_text(vfs::read_text_file(fs, path), options);
+}
+
+}  // namespace ffis::qmc

@@ -1,0 +1,31 @@
+#pragma once
+// scalar.dat serialization: QMCPACK's per-step text output.  Writes go
+// through the VFS in flush-sized pwrite chunks so that injected faults land
+// in realistic write granularities (header write + several data-buffer
+// flushes per series).
+
+#include <string>
+#include <vector>
+
+#include "ffis/apps/qmc/vmc.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::qmc {
+
+struct ScalarIoOptions {
+  std::size_t flush_bytes = 4096;  ///< buffered-writer flush threshold
+};
+
+/// Renders the canonical header line ("#   index   LocalEnergy ...").
+[[nodiscard]] std::string scalar_header();
+
+/// Renders one row exactly as the writer emits it.
+[[nodiscard]] std::string format_row(const ScalarRow& row);
+
+/// Writes header + rows to `path` (header pwrite first, then flush-sized
+/// data pwrites — mirroring a stdio-buffered fprintf loop).
+void write_scalar_file(vfs::FileSystem& fs, const std::string& path,
+                       const std::vector<ScalarRow>& rows,
+                       const ScalarIoOptions& options = {});
+
+}  // namespace ffis::qmc

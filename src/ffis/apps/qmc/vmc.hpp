@@ -1,0 +1,38 @@
+#pragma once
+// Variational Monte Carlo for the He-atom trial wavefunction: Metropolis
+// sampling of |psi_T|^2.  Produces the paper's "000" output series and the
+// equilibrated walker population that seeds DMC.
+
+#include <cstdint>
+#include <vector>
+
+#include "ffis/apps/qmc/wavefunction.hpp"
+#include "ffis/util/rng.hpp"
+
+namespace ffis::qmc {
+
+/// One per-step row of a scalar.dat file.
+struct ScalarRow {
+  std::uint64_t index = 0;
+  double local_energy = 0.0;
+  double variance = 0.0;   ///< population variance of E_L this step
+  double weight = 0.0;     ///< walkers (VMC) / total branching weight (DMC)
+};
+
+struct VmcConfig {
+  std::uint64_t walkers = 1024;
+  std::uint64_t steps = 800;          ///< recorded steps
+  std::uint64_t warmup_steps = 200;   ///< unrecorded equilibration
+  double step_sigma = 0.45;           ///< Gaussian proposal width
+};
+
+struct VmcResult {
+  std::vector<ScalarRow> rows;        ///< one row per recorded step
+  std::vector<Walker> walkers;        ///< final equilibrated population
+  double acceptance = 0.0;
+};
+
+[[nodiscard]] VmcResult run_vmc(const TrialWavefunction& psi, const VmcConfig& config,
+                                util::Rng& rng);
+
+}  // namespace ffis::qmc

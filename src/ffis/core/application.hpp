@@ -1,0 +1,101 @@
+#pragma once
+// The application abstraction FFIS characterizes.
+//
+// A characterized application does three things: (1) run its workload with
+// all I/O going through a provided FileSystem (so an armed FaultingFs can
+// corrupt the I/O path without the application knowing — requirement R1);
+// (2) run its post-analysis over the produced files; (3) classify a faulty
+// analysis against the golden one using its own domain rules (paper §IV-C).
+//
+// Implementations must be const-thread-compatible: `run`, `analyze` and
+// `classify` are const and may be called concurrently on the same instance
+// with distinct file systems (campaign runs execute in parallel).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ffis/core/outcome.hpp"
+#include "ffis/faults/faulting_fs.hpp"
+#include "ffis/util/bytes.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::core {
+
+/// Per-run execution context handed to Application::run.
+struct RunContext {
+  /// The mounted file system.  During injection runs this is a FaultingFs;
+  /// during golden runs it is the bare backing store.
+  vfs::FileSystem& fs;
+
+  /// Seed for the application's own stochastic inputs.  Fixed for a whole
+  /// campaign so every run performs the identical I/O sequence; only the
+  /// fault differs between runs.
+  std::uint64_t app_seed = 1;
+
+  /// Stage to instrument (1-based), or -1 to instrument the whole run.
+  /// Montage campaigns inject per stage (MT1..MT4 in Figure 7).
+  int instrumented_stage = -1;
+
+  /// The instrumentation layer, when one is stacked (null in golden runs).
+  faults::FaultingFs* instrument = nullptr;
+
+  /// Applications call this at stage boundaries; it gates instrumentation so
+  /// faults land only in the configured stage.
+  void enter_stage(int stage) const {
+    if (instrument != nullptr && instrumented_stage > 0) {
+      instrument->set_enabled(stage == instrumented_stage);
+    }
+  }
+  void leave_stage(int /*stage*/) const {
+    if (instrument != nullptr && instrumented_stage > 0) {
+      instrument->set_enabled(false);
+    }
+  }
+};
+
+/// Everything the outcome classifier needs from one run.
+struct AnalysisResult {
+  /// Bytes compared bit-wise against the golden run for the Benign test —
+  /// the *post-analysis output* (halo table, scalar.dat, mosaic image), per
+  /// the paper's per-application classification rules.
+  util::Bytes comparison_blob;
+
+  /// Human-readable post-analysis report.
+  std::string report;
+
+  /// Named scalar metrics ("energy", "min", "halo_count", "mean_density"...)
+  /// used by the Detected/SDC boundary rules.
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] double metric(const std::string& name) const {
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      throw std::out_of_range("AnalysisResult: no metric named " + name);
+    }
+    return it->second;
+  }
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Executes the workload, writing outputs into ctx.fs.  Exceptions
+  /// propagate and the campaign records a Crash.
+  virtual void run(const RunContext& ctx) const = 0;
+
+  /// Runs the post-analysis over the output files.  Exceptions propagate as
+  /// Crash (e.g. HDF5 metadata validation failure, unparsable scalar file).
+  [[nodiscard]] virtual AnalysisResult analyze(vfs::FileSystem& fs) const = 0;
+
+  /// Domain classification rule.  The Benign bit-wise test has already been
+  /// handled by the caller when comparison blobs match; this is consulted
+  /// only when they differ.
+  [[nodiscard]] virtual Outcome classify(const AnalysisResult& golden,
+                                         const AnalysisResult& faulty) const = 0;
+};
+
+}  // namespace ffis::core

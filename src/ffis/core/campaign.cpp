@@ -1,0 +1,47 @@
+#include "ffis/core/campaign.hpp"
+
+#include <atomic>
+
+#include "ffis/util/thread_pool.hpp"
+
+namespace ffis::core {
+
+Campaign::Campaign(const Application& app, faults::FaultGenerator generator,
+                   bool keep_details)
+    : app_(app), generator_(std::move(generator)), keep_details_(keep_details) {}
+
+CampaignResult Campaign::run(std::size_t threads) {
+  const auto& config = generator_.config();
+  FaultInjector injector(app_, generator_.signature(),
+                         /*app_seed=*/config.seed ^ 0x5eedULL, config.stage);
+  injector.prepare();
+
+  const std::uint64_t n = config.runs;
+  std::vector<RunResult> results(n);
+  std::atomic<std::uint64_t> completed{0};
+
+  const auto body = [&](std::size_t i) {
+    results[i] = injector.execute(generator_.run_seed(i));
+    const std::uint64_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (progress_) progress_(done, n);
+  };
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    util::ThreadPool pool(threads);
+    util::parallel_for(pool, n, body);
+  }
+
+  CampaignResult out;
+  out.primitive_count = injector.primitive_count();
+  out.runs = n;
+  for (auto& r : results) {
+    out.tally.add(r.outcome);
+    if (!r.fault_fired && r.outcome != Outcome::Crash) ++out.faults_not_fired;
+  }
+  if (keep_details_) out.details = std::move(results);
+  return out;
+}
+
+}  // namespace ffis::core

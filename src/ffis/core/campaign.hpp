@@ -1,0 +1,48 @@
+#pragma once
+// Campaign: repeats injection runs until the configured sample size is
+// reached (the paper uses 1000 runs per cell for a 1–2 % error bar at 95 %
+// confidence), tallying outcomes.  Runs are independent, so they execute in
+// parallel across a thread pool.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/faults/fault_generator.hpp"
+
+namespace ffis::core {
+
+struct CampaignResult {
+  OutcomeTally tally;
+  std::uint64_t primitive_count = 0;  ///< profiled dynamic count
+  std::uint64_t runs = 0;
+  std::uint64_t faults_not_fired = 0;  ///< should be 0; sanity indicator
+  /// Per-run detail, in run order (kept for figure-level analyses).
+  std::vector<RunResult> details;
+};
+
+class Campaign {
+ public:
+  /// `keep_details` retains every RunResult (memory ~ runs); disable for
+  /// large sweeps that only need the tally.
+  Campaign(const Application& app, faults::FaultGenerator generator,
+           bool keep_details = false);
+
+  /// Executes the full campaign.  `threads` = 0 uses all hardware threads;
+  /// 1 runs serially (deterministic run order either way).
+  [[nodiscard]] CampaignResult run(std::size_t threads = 0);
+
+  /// Progress callback, invoked with (completed, total) from worker threads.
+  void set_progress(std::function<void(std::uint64_t, std::uint64_t)> cb) {
+    progress_ = std::move(cb);
+  }
+
+ private:
+  const Application& app_;
+  faults::FaultGenerator generator_;
+  bool keep_details_;
+  std::function<void(std::uint64_t, std::uint64_t)> progress_;
+};
+
+}  // namespace ffis::core

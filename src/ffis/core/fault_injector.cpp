@@ -1,0 +1,105 @@
+#include "ffis/core/fault_injector.hpp"
+
+#include <stdexcept>
+
+#include "ffis/util/logging.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::core {
+
+FaultInjector::FaultInjector(const Application& app, faults::FaultSignature signature,
+                             std::uint64_t app_seed, int instrumented_stage)
+    : app_(app),
+      signature_(signature),
+      app_seed_(app_seed),
+      instrumented_stage_(instrumented_stage) {}
+
+void FaultInjector::prepare() {
+  if (prepared_) return;
+
+  // Golden run: bare backing store, no instrumentation.
+  vfs::MemFs golden_fs;
+  RunContext ctx{.fs = golden_fs, .app_seed = app_seed_, .instrumented_stage = -1,
+                 .instrument = nullptr};
+  app_.run(ctx);
+  golden_ = app_.analyze(golden_fs);
+
+  // Profiling run: count target-primitive executions fault-free.
+  profile_ = IoProfiler::profile(app_, signature_, app_seed_, instrumented_stage_);
+  if (profile_.primitive_count == 0) {
+    throw std::logic_error("FaultInjector: application never executed primitive '" +
+                           std::string(vfs::primitive_name(signature_.primitive)) +
+                           "' — nothing to inject into");
+  }
+  prepared_ = true;
+}
+
+const AnalysisResult& FaultInjector::golden() const {
+  if (!prepared_) throw std::logic_error("FaultInjector::prepare() not called");
+  return golden_;
+}
+
+std::uint64_t FaultInjector::primitive_count() const {
+  if (!prepared_) throw std::logic_error("FaultInjector::prepare() not called");
+  return profile_.primitive_count;
+}
+
+RunResult FaultInjector::execute(std::uint64_t run_seed) const {
+  if (!prepared_) throw std::logic_error("FaultInjector::prepare() not called");
+  util::Rng rng(run_seed);
+  const std::uint64_t instance = rng.uniform(profile_.primitive_count);
+  return execute_at(instance, rng());
+}
+
+RunResult FaultInjector::execute_at(std::uint64_t target_instance,
+                                    std::uint64_t feature_seed) const {
+  if (!prepared_) throw std::logic_error("FaultInjector::prepare() not called");
+  RunResult result;
+
+  // "In each run, FFISFS would be mounted and unmounted": a fresh backing
+  // store and a fresh instrumentation layer per run.
+  vfs::MemFs backing;
+  faults::FaultingFs instrument(backing);
+  instrument.arm(signature_, target_instance, feature_seed);
+  if (instrumented_stage_ > 0) instrument.set_enabled(false);
+
+  RunContext ctx{.fs = instrument,
+                 .app_seed = app_seed_,
+                 .instrumented_stage = instrumented_stage_,
+                 .instrument = &instrument};
+  try {
+    app_.run(ctx);
+  } catch (const std::exception& e) {
+    result.outcome = Outcome::Crash;
+    result.fault_fired = instrument.fired();
+    result.record = instrument.record();
+    result.crash_reason = e.what();
+    return result;
+  }
+  result.fault_fired = instrument.fired();
+  result.record = instrument.record();
+  if (!result.fault_fired) {
+    util::log_warn("fault did not fire (instance {} of {})", target_instance,
+                   profile_.primitive_count);
+  }
+
+  // Post-analysis reads go straight to the backing store; the fault has
+  // already landed on the "device".
+  try {
+    result.analysis = app_.analyze(backing);
+  } catch (const std::exception& e) {
+    result.outcome = Outcome::Crash;
+    result.crash_reason = e.what();
+    return result;
+  }
+
+  if (result.analysis->comparison_blob == golden_.comparison_blob) {
+    result.outcome = Outcome::Benign;
+  } else {
+    result.outcome = app_.classify(golden_, *result.analysis);
+  }
+  return result;
+}
+
+}  // namespace ffis::core

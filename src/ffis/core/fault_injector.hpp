@@ -1,0 +1,64 @@
+#pragma once
+// Fault injector (paper Figure 4, right): for each injection run it draws a
+// uniform instance of the target primitive, mounts a fresh file system with
+// an armed FaultingFs (mirroring the paper's mount/unmount per run), executes
+// the application, monitors the outcome, and classifies it against the
+// golden run.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/io_profiler.hpp"
+#include "ffis/core/outcome.hpp"
+#include "ffis/faults/fault_signature.hpp"
+
+namespace ffis::core {
+
+struct RunResult {
+  Outcome outcome = Outcome::Benign;
+  bool fault_fired = false;
+  faults::InjectionRecord record{};
+  /// Present when outcome == Crash: what the application threw.
+  std::string crash_reason;
+  /// Faulty analysis, when the run reached post-analysis.
+  std::optional<AnalysisResult> analysis;
+};
+
+class FaultInjector {
+ public:
+  /// `instrumented_stage` scopes profiling and injection to one application
+  /// stage (Montage); -1 instruments the whole run.
+  FaultInjector(const Application& app, faults::FaultSignature signature,
+                std::uint64_t app_seed = 1, int instrumented_stage = -1);
+
+  /// Runs the golden (fault-free) execution and the I/O-profiling pass.
+  /// Must be called once before execute(); idempotent.
+  void prepare();
+
+  [[nodiscard]] const AnalysisResult& golden() const;
+  [[nodiscard]] std::uint64_t primitive_count() const;
+  [[nodiscard]] const faults::FaultSignature& signature() const noexcept { return signature_; }
+
+  /// One injection run, fully isolated (fresh in-memory backing store).
+  /// `run_seed` selects the instance and the fault's random features.
+  /// Thread-safe after prepare().
+  [[nodiscard]] RunResult execute(std::uint64_t run_seed) const;
+
+  /// Like execute() but with a caller-chosen instance (used by targeted and
+  /// ablation experiments).
+  [[nodiscard]] RunResult execute_at(std::uint64_t target_instance,
+                                     std::uint64_t feature_seed) const;
+
+ private:
+  const Application& app_;
+  faults::FaultSignature signature_;
+  std::uint64_t app_seed_;
+  int instrumented_stage_;
+  bool prepared_ = false;
+  AnalysisResult golden_{};
+  ProfileResult profile_{};
+};
+
+}  // namespace ffis::core

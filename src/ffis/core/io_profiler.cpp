@@ -1,0 +1,33 @@
+#include "ffis/core/io_profiler.hpp"
+
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::core {
+
+ProfileResult IoProfiler::profile(const Application& app,
+                                  const faults::FaultSignature& signature,
+                                  std::uint64_t app_seed, int instrumented_stage) {
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  faults::FaultingFs instrument(counting);
+  instrument.configure(signature);
+  if (instrumented_stage > 0) {
+    // Stage-scoped profiling starts gated off; the application's
+    // enter_stage/leave_stage calls open the window.
+    instrument.set_enabled(false);
+  }
+
+  RunContext ctx{.fs = instrument,
+                 .app_seed = app_seed,
+                 .instrumented_stage = instrumented_stage,
+                 .instrument = &instrument};
+  app.run(ctx);
+
+  ProfileResult result;
+  result.primitive_count = instrument.executions();
+  result.bytes_written = counting.bytes_written();
+  return result;
+}
+
+}  // namespace ffis::core

@@ -1,0 +1,31 @@
+#pragma once
+// I/O profiler (paper Figure 4, middle): executes the application fault-free
+// with the target primitive instrumented and reports its dynamic execution
+// count, which bounds the injector's uniform instance selection (R4).
+
+#include <cstdint>
+
+#include "ffis/core/application.hpp"
+#include "ffis/faults/fault_signature.hpp"
+
+namespace ffis::core {
+
+struct ProfileResult {
+  /// Dynamic executions of the target primitive (within the instrumented
+  /// stage, when one is configured).
+  std::uint64_t primitive_count = 0;
+  /// Total bytes written through pwrite during the run (Table II context).
+  std::uint64_t bytes_written = 0;
+};
+
+class IoProfiler {
+ public:
+  /// Runs `app` once on a fresh in-memory file system with an unarmed
+  /// FaultingFs configured for `signature`, and returns the observed count.
+  [[nodiscard]] static ProfileResult profile(const Application& app,
+                                             const faults::FaultSignature& signature,
+                                             std::uint64_t app_seed,
+                                             int instrumented_stage = -1);
+};
+
+}  // namespace ffis::core

@@ -1,0 +1,51 @@
+#include "ffis/core/outcome.hpp"
+
+#include "ffis/util/strfmt.hpp"
+#include <numeric>
+#include <stdexcept>
+
+namespace ffis::core {
+
+std::string_view outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Benign: return "benign";
+    case Outcome::Detected: return "detected";
+    case Outcome::Sdc: return "sdc";
+    case Outcome::Crash: return "crash";
+    case Outcome::kCount: break;
+  }
+  return "?";
+}
+
+Outcome parse_outcome(std::string_view name) {
+  if (name == "benign") return Outcome::Benign;
+  if (name == "detected") return Outcome::Detected;
+  if (name == "sdc" || name == "SDC") return Outcome::Sdc;
+  if (name == "crash") return Outcome::Crash;
+  throw std::invalid_argument("unknown outcome: " + std::string(name));
+}
+
+void OutcomeTally::merge(const OutcomeTally& other) noexcept {
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) counts_[i] += other.counts_[i];
+}
+
+std::uint64_t OutcomeTally::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+double OutcomeTally::fraction(Outcome o) const noexcept {
+  const auto t = total();
+  return t == 0 ? 0.0 : static_cast<double>(count(o)) / static_cast<double>(t);
+}
+
+std::string OutcomeTally::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    if (!out.empty()) out += ' ';
+    out += util::fmt("{}={} ({:.1f}%)", outcome_name(o), count(o), 100.0 * fraction(o));
+  }
+  return out;
+}
+
+}  // namespace ffis::core

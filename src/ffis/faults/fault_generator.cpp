@@ -1,0 +1,55 @@
+#include "ffis/faults/fault_generator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ffis/util/rng.hpp"
+
+namespace ffis::faults {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+}  // namespace
+
+CampaignConfig parse_campaign_config(const std::string& text) {
+  CampaignConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config line " + std::to_string(line_number) +
+                                  ": expected key = value, got: " + line);
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key == "application") config.application = value;
+    else if (key == "fault") config.fault = value;
+    else if (key == "runs") config.runs = std::stoull(value);
+    else if (key == "seed") config.seed = std::stoull(value);
+    else if (key == "stage") config.stage = std::stoi(value);
+    else config.extra[key] = value;
+  }
+  return config;
+}
+
+FaultGenerator::FaultGenerator(CampaignConfig config)
+    : config_(std::move(config)), signature_(parse_fault_signature(config_.fault)) {}
+
+std::uint64_t FaultGenerator::run_seed(std::uint64_t run_index) const noexcept {
+  // Derive decorrelated per-run seeds from the campaign seed.
+  std::uint64_t s = config_.seed ^ (run_index * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+  return util::splitmix64(s);
+}
+
+}  // namespace ffis::faults

@@ -1,0 +1,90 @@
+#include "ffis/faults/fault_signature.hpp"
+
+#include "ffis/util/strfmt.hpp"
+#include <stdexcept>
+
+namespace ffis::faults {
+
+std::string FaultSignature::to_string() const {
+  std::string feature;
+  switch (model) {
+    case FaultModel::BitFlip:
+      feature = util::fmt("width={}", bit_flip.width);
+      break;
+    case FaultModel::ShornWrite:
+      feature = util::fmt("completed={}/8,tail={},sector={},block={}",
+                            shorn.completed_eighths, shorn_tail_name(shorn.tail),
+                            shorn.sector_bytes, shorn.block_bytes);
+      break;
+    case FaultModel::DroppedWrite:
+      // The write is simply ignored: no feature parameters.
+      break;
+    case FaultModel::IoError:
+      // The primitive fails with EIO: no feature parameters.
+      break;
+  }
+  // Built by concatenation: util::fmt has no escape for literal braces.
+  std::string out(fault_model_name(model));
+  out += '@';
+  out += vfs::primitive_name(primitive);
+  if (!feature.empty()) {
+    out += '{';
+    out += feature;
+    out += '}';
+  }
+  return out;
+}
+
+FaultSignature parse_fault_signature(const std::string& text) {
+  FaultSignature sig;
+  std::string model_part = text;
+  std::string rest;
+
+  if (const auto at = text.find('@'); at != std::string::npos) {
+    model_part = text.substr(0, at);
+    rest = text.substr(at + 1);
+  }
+  sig.model = parse_fault_model(model_part);
+
+  if (!rest.empty()) {
+    std::string primitive_part = rest;
+    std::string features;
+    if (const auto brace = rest.find('{'); brace != std::string::npos) {
+      primitive_part = rest.substr(0, brace);
+      if (rest.back() != '}') throw std::invalid_argument("unterminated feature list: " + text);
+      features = rest.substr(brace + 1, rest.size() - brace - 2);
+    }
+    if (!primitive_part.empty()) sig.primitive = vfs::parse_primitive(primitive_part);
+
+    std::size_t pos = 0;
+    while (pos < features.size()) {
+      auto comma = features.find(',', pos);
+      if (comma == std::string::npos) comma = features.size();
+      const std::string item = features.substr(pos, comma - pos);
+      pos = comma + 1;
+      const auto eq = item.find('=');
+      if (eq == std::string::npos) throw std::invalid_argument("bad feature item: " + item);
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      if (key == "width") {
+        sig.bit_flip.width = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "completed") {
+        sig.shorn.completed_eighths = static_cast<std::uint32_t>(std::stoul(value));  // "7/8" -> 7
+      } else if (key == "tail") {
+        if (value == "adjacent-data") sig.shorn.tail = ShornTail::AdjacentData;
+        else if (value == "garbage") sig.shorn.tail = ShornTail::Garbage;
+        else if (value == "stale") sig.shorn.tail = ShornTail::Stale;
+        else throw std::invalid_argument("bad tail mode: " + value);
+      } else if (key == "sector") {
+        sig.shorn.sector_bytes = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "block") {
+        sig.shorn.block_bytes = static_cast<std::uint32_t>(std::stoul(value));
+      } else {
+        throw std::invalid_argument("unknown feature key: " + key);
+      }
+    }
+  }
+  return sig;
+}
+
+}  // namespace ffis::faults

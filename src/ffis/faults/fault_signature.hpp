@@ -1,0 +1,30 @@
+#pragma once
+// A fault signature bundles everything the fault injector needs to plant one
+// fault (paper Figure 4): the fault model, the FUSE primitive hosting it, and
+// the model-specific feature parameters.
+
+#include <cstdint>
+#include <string>
+
+#include "ffis/faults/fault_model.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::faults {
+
+struct FaultSignature {
+  FaultModel model = FaultModel::BitFlip;
+  /// The file-system primitive hosting the fault.  The paper implements all
+  /// three models on FFIS_write; mknod/chmod are also supported.
+  vfs::Primitive primitive = vfs::Primitive::Pwrite;
+  BitFlipSpec bit_flip{};
+  ShornSpec shorn{};
+
+  /// Renders e.g. "BIT_FLIP@pwrite{width=2}".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses a signature from "MODEL@primitive{key=value,...}" or the short
+/// forms "BF", "SW", "DW" (defaulting to pwrite and paper parameters).
+[[nodiscard]] FaultSignature parse_fault_signature(const std::string& text);
+
+}  // namespace ffis::faults

@@ -1,0 +1,206 @@
+#include "ffis/faults/faulting_fs.hpp"
+
+#include "ffis/util/logging.hpp"
+
+namespace ffis::faults {
+
+void FaultingFs::configure(const FaultSignature& signature) {
+  std::lock_guard lock(mutex_);
+  signature_ = signature;
+}
+
+void FaultingFs::arm(const FaultSignature& signature, std::uint64_t target_instance,
+                     std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  signature_ = signature;
+  rng_ = util::Rng(seed);
+  record_ = InjectionRecord{};
+  record_.signature = signature;
+  target_instance_ = target_instance;
+  fired_.store(false, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultingFs::disarm() noexcept { armed_.store(false, std::memory_order_relaxed); }
+
+InjectionRecord FaultingFs::record() const {
+  std::lock_guard lock(mutex_);
+  return record_;
+}
+
+bool FaultingFs::step(vfs::Primitive p) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  bool is_target_primitive;
+  {
+    // signature_.primitive is stable while armed; reading it unlocked would
+    // race with arm() from another thread only in misuse scenarios, but the
+    // counter must always advance for the profiler, so take the cheap path:
+    std::lock_guard lock(mutex_);
+    is_target_primitive = (signature_.primitive == p);
+  }
+  // The profiler counts the target primitive whether or not we are armed;
+  // default signature targets pwrite, matching the paper's experiments.
+  if (!is_target_primitive) return false;
+  const std::uint64_t index = executions_.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  if (index != target_instance_) return false;
+  if (fired_.exchange(true, std::memory_order_relaxed)) return false;
+  return true;
+}
+
+std::size_t FaultingFs::pwrite(vfs::FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
+  if (!step(vfs::Primitive::Pwrite)) return PassthroughFs::pwrite(fh, buf, offset);
+
+  std::lock_guard lock(mutex_);
+  record_.instance = target_instance_;
+  record_.offset = offset;
+  record_.original_size = buf.size();
+
+  WriteMutation mut;
+  switch (signature_.model) {
+    case FaultModel::BitFlip:
+      mut = apply_bit_flip(signature_.bit_flip, rng_, buf);
+      break;
+    case FaultModel::ShornWrite:
+      mut = apply_shorn_write(signature_.shorn, rng_, buf);
+      break;
+    case FaultModel::DroppedWrite:
+      mut = apply_dropped_write();
+      break;
+    case FaultModel::IoError:
+      // Class (a): the failure is reported, not silent.
+      record_.corrupted_bytes = 0;
+      throw vfs::VfsError(vfs::VfsError::Code::IoError,
+                          "injected I/O error on pwrite (device failure detected)");
+  }
+
+  record_.flipped_bit = mut.flipped_bit;
+  record_.shorn_from = mut.shorn_from;
+  record_.dropped = mut.dropped;
+
+  if (mut.dropped) {
+    // The write never reaches the device, yet the application sees success
+    // for the full requested size.
+    record_.corrupted_bytes = buf.size();
+    util::log_debug("DROPPED_WRITE at offset {} size {}", offset, buf.size());
+    return buf.size();
+  }
+
+  record_.corrupted_bytes = util::count_diff_bytes(buf, mut.data);
+  util::ByteSpan forward(mut.data);
+  if (mut.forward_only) forward = forward.first(*mut.forward_only);
+  const std::size_t written = PassthroughFs::pwrite(fh, forward, offset);
+  // Report the original size: the failure is silent from the caller's view.
+  return written >= forward.size() ? buf.size() : written;
+}
+
+std::size_t FaultingFs::pread(vfs::FileHandle fh, util::MutableByteSpan buf,
+                              std::uint64_t offset) {
+  if (!step(vfs::Primitive::Pread)) return PassthroughFs::pread(fh, buf, offset);
+
+  {
+    std::lock_guard error_lock(mutex_);
+    if (signature_.model == FaultModel::IoError) {
+      record_.instance = target_instance_;
+      record_.offset = offset;
+      throw vfs::VfsError(vfs::VfsError::Code::IoError,
+                          "injected I/O error on pread (uncorrectable bit corruption)");
+    }
+  }
+
+  const std::size_t got = PassthroughFs::pread(fh, buf, offset);
+  std::lock_guard lock(mutex_);
+  record_.instance = target_instance_;
+  record_.offset = offset;
+  record_.original_size = got;
+
+  switch (signature_.model) {
+    case FaultModel::BitFlip: {
+      if (got > 0) {
+        const std::size_t bit = rng_.uniform(got * 8);
+        util::flip_bits(buf.first(got), bit, signature_.bit_flip.width);
+        record_.flipped_bit = bit;
+        record_.corrupted_bytes =
+            std::min<std::size_t>((bit % 8 + signature_.bit_flip.width + 7) / 8, got);
+      }
+      return got;
+    }
+    case FaultModel::ShornWrite: {
+      // Partial sector readback: only the leading sectors arrive.
+      std::size_t keep = got * signature_.shorn.completed_eighths / 8;
+      keep -= keep % signature_.shorn.sector_bytes;
+      record_.shorn_from = keep;
+      record_.corrupted_bytes = got - keep;
+      return keep;
+    }
+    case FaultModel::DroppedWrite: {
+      // The read silently returns nothing.
+      record_.dropped = true;
+      record_.corrupted_bytes = got;
+      return 0;
+    }
+    case FaultModel::IoError:
+      break;  // handled above, before the backing read
+  }
+  return got;
+}
+
+void FaultingFs::mknod(const std::string& path, std::uint32_t mode) {
+  if (!step(vfs::Primitive::Mknod)) return PassthroughFs::mknod(path, mode);
+  std::lock_guard lock(mutex_);
+  record_.original_size = sizeof mode;
+  std::uint32_t corrupted = mode;
+  switch (signature_.model) {
+    case FaultModel::BitFlip: {
+      const std::uint32_t bit = static_cast<std::uint32_t>(rng_.uniform(31));
+      const std::uint32_t mask = (signature_.bit_flip.width >= 2) ? (3u << bit) : (1u << bit);
+      corrupted ^= mask;
+      record_.flipped_bit = bit;
+      break;
+    }
+    case FaultModel::ShornWrite:
+      // Mode argument loses its high bits (partial metadata write).
+      corrupted &= 0xff;
+      record_.shorn_from = 1;
+      break;
+    case FaultModel::DroppedWrite:
+      // Node creation silently skipped.
+      record_.dropped = true;
+      return;
+    case FaultModel::IoError:
+      throw vfs::VfsError(vfs::VfsError::Code::IoError,
+                          "injected I/O error on mknod: " + path);
+  }
+  record_.corrupted_bytes = (corrupted == mode) ? 0 : 1;
+  PassthroughFs::mknod(path, corrupted);
+}
+
+void FaultingFs::chmod(const std::string& path, std::uint32_t mode) {
+  if (!step(vfs::Primitive::Chmod)) return PassthroughFs::chmod(path, mode);
+  std::lock_guard lock(mutex_);
+  record_.original_size = sizeof mode;
+  std::uint32_t corrupted = mode;
+  switch (signature_.model) {
+    case FaultModel::BitFlip: {
+      const std::uint32_t bit = static_cast<std::uint32_t>(rng_.uniform(31));
+      const std::uint32_t mask = (signature_.bit_flip.width >= 2) ? (3u << bit) : (1u << bit);
+      corrupted ^= mask;
+      record_.flipped_bit = bit;
+      break;
+    }
+    case FaultModel::ShornWrite:
+      corrupted &= 0xff;
+      record_.shorn_from = 1;
+      break;
+    case FaultModel::DroppedWrite:
+      record_.dropped = true;
+      return;
+    case FaultModel::IoError:
+      throw vfs::VfsError(vfs::VfsError::Code::IoError,
+                          "injected I/O error on chmod: " + path);
+  }
+  record_.corrupted_bytes = (corrupted == mode) ? 0 : 1;
+  PassthroughFs::chmod(path, corrupted);
+}
+
+}  // namespace ffis::faults

@@ -1,0 +1,77 @@
+#include "ffis/h5/field_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::h5 {
+
+std::string_view field_class_name(FieldClass c) noexcept {
+  switch (c) {
+    case FieldClass::Signature: return "signature";
+    case FieldClass::Version: return "version";
+    case FieldClass::StructSize: return "struct-size";
+    case FieldClass::Address: return "address";
+    case FieldClass::DatatypeField: return "datatype";
+    case FieldClass::DataspaceField: return "dataspace";
+    case FieldClass::LayoutField: return "layout";
+    case FieldClass::HeapData: return "heap-data";
+    case FieldClass::FillValue: return "fill-value";
+    case FieldClass::Reserved: return "reserved";
+    case FieldClass::Unused: return "unused";
+  }
+  return "?";
+}
+
+void FieldMap::add(std::uint64_t offset, std::uint64_t length, std::string name,
+                   FieldClass cls) {
+  if (length == 0) return;
+  if (!entries_.empty()) {
+    const auto& last = entries_.back();
+    if (offset < last.offset + last.length) {
+      throw std::logic_error("FieldMap entries must be appended in order without overlap (" +
+                             name + " at " + std::to_string(offset) + ")");
+    }
+  }
+  entries_.push_back(FieldEntry{offset, length, std::move(name), cls});
+}
+
+const FieldEntry* FieldMap::find(std::uint64_t offset) const noexcept {
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), offset,
+                             [](std::uint64_t off, const FieldEntry& e) { return off < e.offset; });
+  if (it == entries_.begin()) return nullptr;
+  --it;
+  return (offset < it->offset + it->length) ? &*it : nullptr;
+}
+
+const FieldEntry* FieldMap::find_by_name(std::string_view name) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t FieldMap::total_bytes() const noexcept {
+  if (entries_.empty()) return 0;
+  const auto& last = entries_.back();
+  return last.offset + last.length;
+}
+
+std::uint64_t FieldMap::bytes_of_class(FieldClass cls) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e.cls == cls) total += e.length;
+  }
+  return total;
+}
+
+std::string FieldMap::to_tsv() const {
+  std::string out = "offset\tlength\tclass\tname\n";
+  for (const auto& e : entries_) {
+    out += util::fmt("{}\t{}\t{}\t{}\n", e.offset, e.length, field_class_name(e.cls), e.name);
+  }
+  return out;
+}
+
+}  // namespace ffis::h5

@@ -1,0 +1,62 @@
+#pragma once
+// Byte-exact map of the packed metadata block: which on-disk field each
+// metadata byte belongs to.  The Table III/IV experiments sweep faults over
+// metadata bytes and attribute outcomes to fields ("we refer to the HDF5
+// File Format Specification to capture the field information of each
+// metadata byte and analyze the results accordingly").
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::h5 {
+
+/// Coarse classification of a field, used to group sweep results.
+enum class FieldClass : std::uint8_t {
+  Signature,      ///< magic bytes ("\x89HDF...", TREE, SNOD, HEAP)
+  Version,        ///< format/structure version numbers
+  StructSize,     ///< size-of-offsets, message counts, ranks...
+  Address,        ///< file offsets (object header addresses, ARD, EOF)
+  DatatypeField,  ///< datatype message fields incl. floating-point property
+  DataspaceField, ///< rank / dimension sizes
+  LayoutField,    ///< data-layout message (ARD lives here too)
+  HeapData,       ///< link name bytes in the local heap
+  FillValue,      ///< fill-value message payload
+  Reserved,       ///< reserved / zero-pad / alignment bytes
+  Unused,         ///< allocated-but-unused space (partially full B-tree...)
+};
+
+[[nodiscard]] std::string_view field_class_name(FieldClass c) noexcept;
+
+struct FieldEntry {
+  std::uint64_t offset = 0;  ///< byte offset within the metadata block
+  std::uint64_t length = 0;
+  std::string name;          ///< dotted path, e.g. "objectHeader.dataType.floatProperty.exponentBias"
+  FieldClass cls = FieldClass::Reserved;
+};
+
+class FieldMap {
+ public:
+  void add(std::uint64_t offset, std::uint64_t length, std::string name, FieldClass cls);
+
+  /// Entry covering `offset`, if any.  Entries never overlap.
+  [[nodiscard]] const FieldEntry* find(std::uint64_t offset) const noexcept;
+
+  /// Entry with exactly this dotted name (first match).
+  [[nodiscard]] const FieldEntry* find_by_name(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<FieldEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_of_class(FieldClass cls) const noexcept;
+
+  /// Tab-separated listing (offset, length, class, name) for tooling.
+  [[nodiscard]] std::string to_tsv() const;
+
+ private:
+  std::vector<FieldEntry> entries_;  // sorted by offset, non-overlapping
+};
+
+}  // namespace ffis::h5

@@ -1,0 +1,19 @@
+#include "ffis/h5/format.hpp"
+
+namespace ffis::h5 {
+
+const Dataset& H5File::dataset(const std::string& name) const {
+  for (const auto& ds : datasets) {
+    if (ds.name == name) return ds;
+  }
+  throw H5NotFoundError("dataset not found: " + name);
+}
+
+bool H5File::has_dataset(const std::string& name) const noexcept {
+  for (const auto& ds : datasets) {
+    if (ds.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace ffis::h5

@@ -1,0 +1,61 @@
+#pragma once
+// Mini-HDF5 writer.
+//
+// Reproduces the write protocol the paper's metadata experiment depends on
+// (§IV-D): the library locks the file, performs multiple writes to store the
+// raw data, then packs *all* metadata into one block and writes it (the
+// penultimate write), finally updates the superblock end-of-file address and
+// unlocks.  All metadata lives at file offset 0, immediately followed by raw
+// data, so the first dataset's Address of Raw Data equals the metadata block
+// size — the invariant the ARD auto-correction uses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffis/h5/field_map.hpp"
+#include "ffis/h5/format.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::h5 {
+
+struct WriteOptions {
+  /// Bytes per raw-data pwrite.  Real HDF5 issues many partial writes for a
+  /// large dataset; the campaign's uniform instance selection then lands
+  /// mostly in data, as on the paper's testbed.
+  std::size_t data_chunk_bytes = 16384;
+
+  /// Whether to create/remove a ".lock" marker around the write (exercises
+  /// the mknod/unlink primitives of the paper's file-locking observation).
+  bool lock_file = true;
+
+  /// Capacity (entry slots) of the root group's B-tree node.  The node is
+  /// deliberately large and mostly empty: the paper measures that B-tree
+  /// nodes occupy 72 % of the metadata and are ~10 % full, which is what
+  /// makes 85.7 % of metadata faults benign.
+  std::size_t btree_capacity = 104;
+
+  /// Capacity of the symbol-table node (entries of 40 bytes).
+  std::size_t snod_capacity = 8;
+
+  /// Trailing "space reserved for future metadata" (bytes).
+  std::size_t reserved_tail_bytes = 120;
+};
+
+struct WriteInfo {
+  std::uint64_t metadata_size = 0;             ///< bytes of the packed block
+  std::uint64_t file_size = 0;                 ///< total file size
+  std::vector<std::uint64_t> data_addresses;   ///< ARD per dataset
+  FieldMap field_map;                          ///< byte map of the metadata
+};
+
+/// Writes `file` to `path` through `fs` using the paper's write protocol.
+[[nodiscard]] WriteInfo write_h5(vfs::FileSystem& fs, const std::string& path,
+                                 const H5File& file, const WriteOptions& options = {});
+
+/// Computes the metadata layout (field map, metadata size, per-dataset ARD)
+/// without performing any I/O.  Deterministic for a given file structure —
+/// used by the metadata doctor to locate fields inside corrupted files.
+[[nodiscard]] WriteInfo plan_layout(const H5File& file, const WriteOptions& options = {});
+
+}  // namespace ffis::h5

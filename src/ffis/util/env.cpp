@@ -1,0 +1,31 @@
+#include "ffis/util/env.hpp"
+
+#include <cstdlib>
+
+namespace ffis::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto raw = env_string(name);
+  if (!raw) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace ffis::util

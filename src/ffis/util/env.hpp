@@ -1,0 +1,21 @@
+#pragma once
+// Environment-variable helpers used by the bench harnesses to scale campaign
+// sizes (e.g. FFIS_RUNS=1000 reproduces the paper's full sample size).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ffis::util {
+
+/// Returns the value of the environment variable, if set and non-empty.
+[[nodiscard]] std::optional<std::string> env_string(const std::string& name);
+
+/// Parses the environment variable as an integer; returns fallback when the
+/// variable is unset or unparseable.
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Parses as double with fallback.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+}  // namespace ffis::util

@@ -1,0 +1,37 @@
+#include "ffis/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace ffis::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+constexpr const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[ffis %-5s] %.*s\n", level_name(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace ffis::util

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal leveled logging.  FFIS components log to stderr; verbosity is
+// controlled globally (benches default to Warn so their stdout tables stay
+// machine-readable).
+
+#include <string_view>
+
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits a message (thread-safe, single write per line).
+void log_message(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log_debug(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, fmt(format, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(std::string_view format, Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, fmt(format, std::forward<Args>(args)...));
+}
+
+}  // namespace ffis::util

@@ -1,0 +1,78 @@
+#pragma once
+// Minimal std::format substitute (GCC 12's libstdc++ ships no <format>).
+// Supports "{}" placeholders and "{:.Nf}"/"{:.Ne}"/"{:.Ng}" floating-point
+// precision specs — the subset FFIS uses.  Extra placeholders render as-is;
+// extra arguments are ignored.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ffis::util {
+
+namespace detail {
+
+inline void append_value(std::string& out, std::string_view spec, double v) {
+  char buf[64];
+  if (spec.size() >= 3 && spec[0] == ':' && spec[1] == '.') {
+    const char conv = spec.back();
+    const int precision = std::atoi(std::string(spec.substr(2, spec.size() - 3)).c_str());
+    char f[8] = {'%', '.', '*', conv, '\0'};
+    std::snprintf(buf, sizeof buf, f, precision, v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%g", v);
+  }
+  out += buf;
+}
+
+inline void append_value(std::string& out, std::string_view spec, float v) {
+  append_value(out, spec, static_cast<double>(v));
+}
+
+template <typename T>
+void append_value(std::string& out, std::string_view /*spec*/, const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out += v ? "true" : "false";
+  } else if constexpr (std::is_integral_v<T>) {
+    out += std::to_string(v);
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    out += std::string_view(v);
+  } else {
+    std::ostringstream os;
+    os << v;
+    out += os.str();
+  }
+}
+
+inline void fmt_rest(std::string& out, std::string_view f) { out += f; }
+
+template <typename First, typename... Rest>
+void fmt_rest(std::string& out, std::string_view f, First&& first, Rest&&... rest) {
+  const auto open = f.find('{');
+  if (open == std::string_view::npos) {
+    out += f;
+    return;
+  }
+  const auto close = f.find('}', open);
+  if (close == std::string_view::npos) {
+    out += f;
+    return;
+  }
+  out += f.substr(0, open);
+  append_value(out, f.substr(open + 1, close - open - 1), std::forward<First>(first));
+  fmt_rest(out, f.substr(close + 1), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string fmt(std::string_view f, Args&&... args) {
+  std::string out;
+  out.reserve(f.size() + sizeof...(args) * 8);
+  detail::fmt_rest(out, f, std::forward<Args>(args)...);
+  return out;
+}
+
+}  // namespace ffis::util

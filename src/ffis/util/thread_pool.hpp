@@ -1,0 +1,60 @@
+#pragma once
+// A small work-stealing-free thread pool plus a blocking parallel_for.
+//
+// Fault-injection campaigns are embarrassingly parallel: each run executes
+// the target application against its own in-memory file system with its own
+// RNG stream.  The pool distributes runs across hardware threads; results
+// are written to per-index slots so no synchronization is needed beyond the
+// final join.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ffis::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap bodies that can throw and
+  /// capture errors into your own slots.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool, blocking until complete.
+/// Chunks iterations to reduce queueing overhead for cheap bodies.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk = 1);
+
+/// Convenience: one-shot parallel_for on a transient pool sized for the
+/// machine. Suitable for campaign-scale bodies (milliseconds+ each).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace ffis::util

@@ -1,0 +1,84 @@
+#include "ffis/vfs/counting_fs.hpp"
+
+namespace ffis::vfs {
+
+FileHandle CountingFs::open(const std::string& path, OpenMode mode) {
+  bump(mode == OpenMode::Read ? Primitive::Open : Primitive::Create);
+  return PassthroughFs::open(path, mode);
+}
+
+void CountingFs::close(FileHandle fh) {
+  bump(Primitive::Close);
+  PassthroughFs::close(fh);
+}
+
+std::size_t CountingFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
+  bump(Primitive::Pread);
+  const std::size_t n = PassthroughFs::pread(fh, buf, offset);
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+std::size_t CountingFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
+  bump(Primitive::Pwrite);
+  const std::size_t n = PassthroughFs::pwrite(fh, buf, offset);
+  bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+void CountingFs::mknod(const std::string& path, std::uint32_t mode) {
+  bump(Primitive::Mknod);
+  PassthroughFs::mknod(path, mode);
+}
+
+void CountingFs::chmod(const std::string& path, std::uint32_t mode) {
+  bump(Primitive::Chmod);
+  PassthroughFs::chmod(path, mode);
+}
+
+void CountingFs::truncate(const std::string& path, std::uint64_t size) {
+  bump(Primitive::Truncate);
+  PassthroughFs::truncate(path, size);
+}
+
+void CountingFs::unlink(const std::string& path) {
+  bump(Primitive::Unlink);
+  PassthroughFs::unlink(path);
+}
+
+void CountingFs::mkdir(const std::string& path) {
+  bump(Primitive::Mkdir);
+  PassthroughFs::mkdir(path);
+}
+
+void CountingFs::rename(const std::string& from, const std::string& to) {
+  bump(Primitive::Rename);
+  PassthroughFs::rename(from, to);
+}
+
+FileStat CountingFs::stat(const std::string& path) {
+  bump(Primitive::Stat);
+  return PassthroughFs::stat(path);
+}
+
+bool CountingFs::exists(const std::string& path) {
+  return PassthroughFs::exists(path);  // existence probes are not a FUSE primitive
+}
+
+std::vector<std::string> CountingFs::readdir(const std::string& path) {
+  bump(Primitive::Readdir);
+  return PassthroughFs::readdir(path);
+}
+
+void CountingFs::fsync(FileHandle fh) {
+  bump(Primitive::Fsync);
+  PassthroughFs::fsync(fh);
+}
+
+void CountingFs::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  bytes_written_.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ffis::vfs

@@ -1,0 +1,57 @@
+#pragma once
+// Primitive-invocation counter, the measurement half of the paper's I/O
+// profiler: "the I/O profiler instruments the primitive inside the FUSE and
+// executes the application fault-free to obtain the total count".
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "ffis/vfs/passthrough_fs.hpp"
+
+namespace ffis::vfs {
+
+class CountingFs final : public PassthroughFs {
+ public:
+  explicit CountingFs(FileSystem& inner) noexcept : PassthroughFs(inner) {}
+
+  FileHandle open(const std::string& path, OpenMode mode) override;
+  void close(FileHandle fh) override;
+  std::size_t pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) override;
+  std::size_t pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) override;
+  void mknod(const std::string& path, std::uint32_t mode) override;
+  void chmod(const std::string& path, std::uint32_t mode) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void unlink(const std::string& path) override;
+  void mkdir(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  FileStat stat(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> readdir(const std::string& path) override;
+  void fsync(FileHandle fh) override;
+
+  [[nodiscard]] std::uint64_t count(Primitive p) const noexcept {
+    return counts_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes that passed through pwrite (diagnostics for Table II).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  void bump(Primitive p) noexcept {
+    counts_[static_cast<std::size_t>(p)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kPrimitiveCount> counts_{};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+};
+
+}  // namespace ffis::vfs

@@ -1,0 +1,106 @@
+#include "ffis/vfs/file_system.hpp"
+
+#include <array>
+
+namespace ffis::vfs {
+
+namespace {
+constexpr std::array<std::string_view, kPrimitiveCount> kNames = {
+    "open",  "create", "close",  "pread", "pwrite", "mknod",  "chmod",
+    "truncate", "unlink", "mkdir", "rename", "stat",  "readdir", "fsync",
+};
+}  // namespace
+
+std::string_view primitive_name(Primitive p) noexcept {
+  const auto idx = static_cast<std::size_t>(p);
+  return idx < kNames.size() ? kNames[idx] : "?";
+}
+
+Primitive parse_primitive(std::string_view name) {
+  // Accept both plain POSIX spellings and the paper's "FFIS_<op>" spellings.
+  constexpr std::string_view kPrefix = "FFIS_";
+  if (name.starts_with(kPrefix)) name.remove_prefix(kPrefix.size());
+  if (name == "write") name = "pwrite";
+  if (name == "read") name = "pread";
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<Primitive>(i);
+  }
+  throw VfsError(VfsError::Code::InvalidArgument,
+                 "unknown primitive name: " + std::string(name));
+}
+
+util::Bytes read_file(FileSystem& fs, const std::string& path) {
+  const auto st = fs.stat(path);
+  if (st.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+  util::Bytes data(st.size);
+  File f(fs, path, OpenMode::Read);
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const std::size_t n = f.pread(util::MutableByteSpan(data).subspan(got), got);
+    if (n == 0) break;  // concurrent truncation; return what we have
+    got += n;
+  }
+  data.resize(got);
+  return data;
+}
+
+void write_file(FileSystem& fs, const std::string& path, util::ByteSpan data) {
+  File f(fs, path, OpenMode::Write);
+  std::size_t put = 0;
+  while (put < data.size()) {
+    const std::size_t n = f.pwrite(data.subspan(put), put);
+    if (n == 0) {
+      throw VfsError(VfsError::Code::IoError, "short write to " + path);
+    }
+    put += n;
+  }
+}
+
+std::string read_text_file(FileSystem& fs, const std::string& path) {
+  return util::to_string(read_file(fs, path));
+}
+
+void write_text_file(FileSystem& fs, const std::string& path, std::string_view text) {
+  write_file(fs, path, util::to_bytes(text));
+}
+
+std::string parent_path(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+void mkdirs(FileSystem& fs, const std::string& path) {
+  if (path.empty() || path == "/") return;
+  if (fs.exists(path)) return;
+  mkdirs(fs, parent_path(path));
+  fs.mkdir(path);
+}
+
+namespace {
+void snapshot_into(FileSystem& fs, const std::string& dir, TreeSnapshot& out) {
+  for (const auto& name : fs.readdir(dir)) {
+    const std::string path = (dir == "/") ? "/" + name : dir + "/" + name;
+    if (fs.stat(path).is_dir) {
+      snapshot_into(fs, path, out);
+    } else {
+      out.emplace_back(path, read_file(fs, path));
+    }
+  }
+}
+}  // namespace
+
+TreeSnapshot snapshot_tree(FileSystem& fs, const std::string& root) {
+  TreeSnapshot out;
+  snapshot_into(fs, root, out);
+  return out;
+}
+
+void restore_tree(FileSystem& fs, const TreeSnapshot& snapshot) {
+  for (const auto& [path, bytes] : snapshot) {
+    mkdirs(fs, parent_path(path));
+    write_file(fs, path, bytes);
+  }
+}
+
+}  // namespace ffis::vfs

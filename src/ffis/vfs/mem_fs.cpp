@@ -1,0 +1,206 @@
+#include "ffis/vfs/mem_fs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ffis::vfs {
+
+MemFs::MemFs() {
+  Node root;
+  root.is_dir = true;
+  root.mode = 0755;
+  nodes_.emplace("/", std::move(root));
+}
+
+std::string MemFs::normalize(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    throw VfsError(VfsError::Code::InvalidArgument, "path must be absolute: " + path);
+  }
+  std::string out = path;
+  // Collapse duplicate slashes and strip a trailing slash (except root).
+  std::size_t w = 1;
+  for (std::size_t r = 1; r < out.size(); ++r) {
+    if (out[r] == '/' && out[w - 1] == '/') continue;
+    out[w++] = out[r];
+  }
+  out.resize(w);
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+MemFs::Node& MemFs::node_at(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
+  return it->second;
+}
+
+void MemFs::check_parent(const std::string& path) const {
+  const std::string parent = parent_path(path);
+  auto it = nodes_.find(parent);
+  if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such directory: " + parent);
+  if (!it->second.is_dir) throw VfsError(VfsError::Code::NotDirectory, parent + " is not a directory");
+}
+
+FileHandle MemFs::open(const std::string& raw_path, OpenMode mode) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(path);
+  if (mode == OpenMode::Read) {
+    if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
+    if (it->second.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+  } else {
+    if (it != nodes_.end() && it->second.is_dir) {
+      throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+    }
+    check_parent(path);
+    if (it == nodes_.end()) {
+      nodes_.emplace(path, Node{});
+    } else if (mode == OpenMode::Write) {
+      it->second.data.clear();
+    }
+  }
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    if (!handles_[i].open) {
+      handles_[i] = OpenFile{path, mode, true};
+      return static_cast<FileHandle>(i);
+    }
+  }
+  handles_.push_back(OpenFile{path, mode, true});
+  return static_cast<FileHandle>(handles_.size() - 1);
+}
+
+void MemFs::close(FileHandle fh) {
+  std::lock_guard lock(mutex_);
+  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
+    throw VfsError(VfsError::Code::BadHandle, "close: bad handle");
+  }
+  handles_[fh].open = false;
+}
+
+std::size_t MemFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
+  std::lock_guard lock(mutex_);
+  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
+    throw VfsError(VfsError::Code::BadHandle, "pread: bad handle");
+  }
+  const Node& node = node_at(handles_[fh].path);
+  if (offset >= node.data.size()) return 0;
+  const std::size_t n = std::min<std::size_t>(buf.size(), node.data.size() - offset);
+  std::memcpy(buf.data(), node.data.data() + offset, n);
+  return n;
+}
+
+std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
+  std::lock_guard lock(mutex_);
+  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
+    throw VfsError(VfsError::Code::BadHandle, "pwrite: bad handle");
+  }
+  if (handles_[fh].mode == OpenMode::Read) {
+    throw VfsError(VfsError::Code::InvalidArgument, "pwrite on read-only handle");
+  }
+  Node& node = node_at(handles_[fh].path);
+  const std::size_t end = offset + buf.size();
+  if (node.data.size() < end) node.data.resize(end);  // gap fills with zero bytes
+  std::memcpy(node.data.data() + offset, buf.data(), buf.size());
+  return buf.size();
+}
+
+void MemFs::mknod(const std::string& raw_path, std::uint32_t mode) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
+  check_parent(path);
+  Node node;
+  node.mode = mode;
+  nodes_.emplace(path, std::move(node));
+}
+
+void MemFs::chmod(const std::string& raw_path, std::uint32_t mode) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  node_at(path).mode = mode;
+}
+
+void MemFs::truncate(const std::string& raw_path, std::uint64_t size) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  Node& node = node_at(path);
+  if (node.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+  node.data.resize(size);
+}
+
+void MemFs::unlink(const std::string& raw_path) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
+  if (it->second.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+  nodes_.erase(it);
+}
+
+void MemFs::mkdir(const std::string& raw_path) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
+  check_parent(path);
+  Node node;
+  node.is_dir = true;
+  node.mode = 0755;
+  nodes_.emplace(path, std::move(node));
+}
+
+void MemFs::rename(const std::string& raw_from, const std::string& raw_to) {
+  const std::string from = normalize(raw_from);
+  const std::string to = normalize(raw_to);
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + from);
+  check_parent(to);
+  Node node = std::move(it->second);
+  nodes_.erase(it);
+  nodes_.insert_or_assign(to, std::move(node));
+}
+
+FileStat MemFs::stat(const std::string& raw_path) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  const Node& node = node_at(path);
+  return FileStat{node.data.size(), node.mode, node.is_dir};
+}
+
+bool MemFs::exists(const std::string& raw_path) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  return nodes_.contains(path);
+}
+
+std::vector<std::string> MemFs::readdir(const std::string& raw_path) {
+  const std::string path = normalize(raw_path);
+  std::lock_guard lock(mutex_);
+  const Node& node = node_at(path);
+  if (!node.is_dir) throw VfsError(VfsError::Code::NotDirectory, path + " is not a directory");
+  std::vector<std::string> names;
+  const std::string prefix = (path == "/") ? "/" : path + "/";
+  for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    const std::string rest = p.substr(prefix.size());
+    if (!rest.empty() && rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration order is already sorted
+}
+
+void MemFs::fsync(FileHandle fh) {
+  std::lock_guard lock(mutex_);
+  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
+    throw VfsError(VfsError::Code::BadHandle, "fsync: bad handle");
+  }
+}
+
+std::uint64_t MemFs::total_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [path, node] : nodes_) total += node.data.size();
+  return total;
+}
+
+}  // namespace ffis::vfs

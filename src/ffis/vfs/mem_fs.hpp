@@ -1,0 +1,61 @@
+#pragma once
+// In-memory file system backend.
+//
+// Campaign runs execute thousands of application instances; each gets a
+// private MemFs so runs are isolated, fast, and need no disk cleanup.  MemFs
+// also lets tests assert on exact on-"disk" byte contents.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::vfs {
+
+class MemFs final : public FileSystem {
+ public:
+  MemFs();
+
+  FileHandle open(const std::string& path, OpenMode mode) override;
+  void close(FileHandle fh) override;
+  std::size_t pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) override;
+  std::size_t pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) override;
+  void mknod(const std::string& path, std::uint32_t mode) override;
+  void chmod(const std::string& path, std::uint32_t mode) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void unlink(const std::string& path) override;
+  void mkdir(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  FileStat stat(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> readdir(const std::string& path) override;
+  void fsync(FileHandle fh) override;
+
+  /// Total bytes stored across all regular files (diagnostics).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  struct Node {
+    util::Bytes data;
+    std::uint32_t mode = 0644;
+    bool is_dir = false;
+  };
+  struct OpenFile {
+    std::string path;
+    OpenMode mode = OpenMode::Read;
+    bool open = false;
+  };
+
+  [[nodiscard]] static std::string normalize(const std::string& path);
+  Node& node_at(const std::string& path);  // throws NotFound
+  void check_parent(const std::string& path) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Node> nodes_;
+  std::vector<OpenFile> handles_;
+};
+
+}  // namespace ffis::vfs

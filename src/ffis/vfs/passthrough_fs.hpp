@@ -1,0 +1,49 @@
+#pragma once
+// Forwarding decorator base.  FFIS instrumentation layers (profiling,
+// counting, fault injection) derive from PassthroughFs and override only the
+// primitives they instrument — the same structure as a FUSE file system whose
+// callbacks default to forwarding to the underlying file system.
+
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::vfs {
+
+class PassthroughFs : public FileSystem {
+ public:
+  /// Does not take ownership; `inner` must outlive the decorator.
+  explicit PassthroughFs(FileSystem& inner) noexcept : inner_(&inner) {}
+
+  FileHandle open(const std::string& path, OpenMode mode) override {
+    return inner_->open(path, mode);
+  }
+  void close(FileHandle fh) override { inner_->close(fh); }
+  std::size_t pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) override {
+    return inner_->pread(fh, buf, offset);
+  }
+  std::size_t pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) override {
+    return inner_->pwrite(fh, buf, offset);
+  }
+  void mknod(const std::string& path, std::uint32_t mode) override { inner_->mknod(path, mode); }
+  void chmod(const std::string& path, std::uint32_t mode) override { inner_->chmod(path, mode); }
+  void truncate(const std::string& path, std::uint64_t size) override {
+    inner_->truncate(path, size);
+  }
+  void unlink(const std::string& path) override { inner_->unlink(path); }
+  void mkdir(const std::string& path) override { inner_->mkdir(path); }
+  void rename(const std::string& from, const std::string& to) override {
+    inner_->rename(from, to);
+  }
+  FileStat stat(const std::string& path) override { return inner_->stat(path); }
+  bool exists(const std::string& path) override { return inner_->exists(path); }
+  std::vector<std::string> readdir(const std::string& path) override {
+    return inner_->readdir(path);
+  }
+  void fsync(FileHandle fh) override { inner_->fsync(fh); }
+
+  [[nodiscard]] FileSystem& inner() noexcept { return *inner_; }
+
+ private:
+  FileSystem* inner_;
+};
+
+}  // namespace ffis::vfs

@@ -1,0 +1,175 @@
+#include "ffis/vfs/posix_fs.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ffis::vfs {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  const int err = errno;
+  VfsError::Code code = VfsError::Code::IoError;
+  if (err == ENOENT) code = VfsError::Code::NotFound;
+  if (err == EEXIST) code = VfsError::Code::AlreadyExists;
+  if (err == EISDIR) code = VfsError::Code::IsDirectory;
+  if (err == ENOTDIR) code = VfsError::Code::NotDirectory;
+  throw VfsError(code, op + " " + path + ": " + std::strerror(err));
+}
+}  // namespace
+
+PosixFs::PosixFs(std::string root) : root_(std::move(root)) {
+  while (root_.size() > 1 && root_.back() == '/') root_.pop_back();
+  struct ::stat st{};
+  if (::stat(root_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    throw VfsError(VfsError::Code::NotFound, "PosixFs root is not a directory: " + root_);
+  }
+}
+
+std::string PosixFs::resolve(const std::string& path) const {
+  if (path.empty() || path.front() != '/') {
+    throw VfsError(VfsError::Code::InvalidArgument, "path must be absolute: " + path);
+  }
+  if (path.find("..") != std::string::npos) {
+    throw VfsError(VfsError::Code::InvalidArgument, "path may not contain '..': " + path);
+  }
+  return root_ + path;
+}
+
+FileHandle PosixFs::open(const std::string& path, OpenMode mode) {
+  const std::string host = resolve(path);
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::Read: flags = O_RDONLY; break;
+    case OpenMode::Write: flags = O_WRONLY | O_CREAT | O_TRUNC; break;
+    case OpenMode::ReadWrite: flags = O_RDWR | O_CREAT; break;
+  }
+  const int fd = ::open(host.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open", path);
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    if (fds_[i] < 0) {
+      fds_[i] = fd;
+      return static_cast<FileHandle>(i);
+    }
+  }
+  fds_.push_back(fd);
+  return static_cast<FileHandle>(fds_.size() - 1);
+}
+
+void PosixFs::close(FileHandle fh) {
+  int fd = -1;
+  {
+    std::lock_guard lock(mutex_);
+    if (fh < 0 || static_cast<std::size_t>(fh) >= fds_.size() || fds_[fh] < 0) {
+      throw VfsError(VfsError::Code::BadHandle, "close: bad handle");
+    }
+    fd = fds_[fh];
+    fds_[fh] = -1;
+  }
+  if (::close(fd) != 0) throw_errno("close", "<fd>");
+}
+
+std::size_t PosixFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
+  int fd;
+  {
+    std::lock_guard lock(mutex_);
+    if (fh < 0 || static_cast<std::size_t>(fh) >= fds_.size() || fds_[fh] < 0) {
+      throw VfsError(VfsError::Code::BadHandle, "pread: bad handle");
+    }
+    fd = fds_[fh];
+  }
+  const ssize_t n = ::pread(fd, buf.data(), buf.size(), static_cast<off_t>(offset));
+  if (n < 0) throw_errno("pread", "<fd>");
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t PosixFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
+  int fd;
+  {
+    std::lock_guard lock(mutex_);
+    if (fh < 0 || static_cast<std::size_t>(fh) >= fds_.size() || fds_[fh] < 0) {
+      throw VfsError(VfsError::Code::BadHandle, "pwrite: bad handle");
+    }
+    fd = fds_[fh];
+  }
+  const ssize_t n = ::pwrite(fd, buf.data(), buf.size(), static_cast<off_t>(offset));
+  if (n < 0) throw_errno("pwrite", "<fd>");
+  return static_cast<std::size_t>(n);
+}
+
+void PosixFs::mknod(const std::string& path, std::uint32_t mode) {
+  const std::string host = resolve(path);
+  const int fd = ::open(host.c_str(), O_WRONLY | O_CREAT | O_EXCL, mode);
+  if (fd < 0) throw_errno("mknod", path);
+  ::close(fd);
+}
+
+void PosixFs::chmod(const std::string& path, std::uint32_t mode) {
+  if (::chmod(resolve(path).c_str(), mode) != 0) throw_errno("chmod", path);
+}
+
+void PosixFs::truncate(const std::string& path, std::uint64_t size) {
+  if (::truncate(resolve(path).c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("truncate", path);
+  }
+}
+
+void PosixFs::unlink(const std::string& path) {
+  if (::unlink(resolve(path).c_str()) != 0) throw_errno("unlink", path);
+}
+
+void PosixFs::mkdir(const std::string& path) {
+  if (::mkdir(resolve(path).c_str(), 0755) != 0) throw_errno("mkdir", path);
+}
+
+void PosixFs::rename(const std::string& from, const std::string& to) {
+  if (::rename(resolve(from).c_str(), resolve(to).c_str()) != 0) throw_errno("rename", from);
+}
+
+FileStat PosixFs::stat(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(resolve(path).c_str(), &st) != 0) throw_errno("stat", path);
+  FileStat out;
+  out.size = static_cast<std::uint64_t>(st.st_size);
+  out.mode = st.st_mode & 07777;
+  out.is_dir = S_ISDIR(st.st_mode);
+  return out;
+}
+
+bool PosixFs::exists(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(resolve(path).c_str(), &st) == 0;
+}
+
+std::vector<std::string> PosixFs::readdir(const std::string& path) {
+  DIR* dir = ::opendir(resolve(path).c_str());
+  if (dir == nullptr) throw_errno("readdir", path);
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void PosixFs::fsync(FileHandle fh) {
+  int fd;
+  {
+    std::lock_guard lock(mutex_);
+    if (fh < 0 || static_cast<std::size_t>(fh) >= fds_.size() || fds_[fh] < 0) {
+      throw VfsError(VfsError::Code::BadHandle, "fsync: bad handle");
+    }
+    fd = fds_[fh];
+  }
+  if (::fsync(fd) != 0) throw_errno("fsync", "<fd>");
+}
+
+}  // namespace ffis::vfs

@@ -1,0 +1,45 @@
+#pragma once
+// POSIX passthrough backend rooted at a host directory, the analogue of the
+// paper's "underline file system client daemon": FFISFS forwards every
+// callback to the real file system, here via pread/pwrite/etc. syscalls.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::vfs {
+
+class PosixFs final : public FileSystem {
+ public:
+  /// `root` must be an existing host directory; all VFS paths resolve
+  /// beneath it.  Paths containing ".." components are rejected.
+  explicit PosixFs(std::string root);
+
+  FileHandle open(const std::string& path, OpenMode mode) override;
+  void close(FileHandle fh) override;
+  std::size_t pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) override;
+  std::size_t pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) override;
+  void mknod(const std::string& path, std::uint32_t mode) override;
+  void chmod(const std::string& path, std::uint32_t mode) override;
+  void truncate(const std::string& path, std::uint64_t size) override;
+  void unlink(const std::string& path) override;
+  void mkdir(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  FileStat stat(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::vector<std::string> readdir(const std::string& path) override;
+  void fsync(FileHandle fh) override;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  [[nodiscard]] std::string resolve(const std::string& path) const;
+
+  std::string root_;
+  mutable std::mutex mutex_;
+  std::vector<int> fds_;  // VFS handle -> host fd, -1 when free
+};
+
+}  // namespace ffis::vfs

@@ -1,0 +1,272 @@
+// Unit tests for ffis::core — outcomes, profiler, injector and campaign,
+// exercised against a small deterministic toy application.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/campaign.hpp"
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/core/io_profiler.hpp"
+#include "ffis/core/outcome.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using core::Outcome;
+
+// A toy application: writes `writes_per_stage` chunks in each of two stages,
+// reads them back and reports their checksum.  Classification: corrupted
+// bytes in stage-2 data -> "Detected" if the header magic broke, else SDC.
+class ToyApp final : public core::Application {
+ public:
+  explicit ToyApp(std::size_t writes_per_stage = 4) : writes_(writes_per_stage) {}
+
+  [[nodiscard]] std::string name() const override { return "toy"; }
+
+  void run(const core::RunContext& ctx) const override {
+    vfs::write_text_file(ctx.fs, "/header", "MAGIC");
+    vfs::File f(ctx.fs, "/data", vfs::OpenMode::Write);
+    util::Rng rng(ctx.app_seed);
+    std::uint64_t offset = 0;
+    for (int stage = 1; stage <= 2; ++stage) {
+      ctx.enter_stage(stage);
+      for (std::size_t w = 0; w < writes_; ++w) {
+        util::Bytes chunk(64);
+        for (auto& b : chunk) b = static_cast<std::byte>(rng() & 0xff);
+        offset += f.pwrite(chunk, offset);
+      }
+      ctx.leave_stage(stage);
+    }
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    const std::string header = vfs::read_text_file(fs, "/header");
+    if (header.size() != 5) throw std::runtime_error("bad header length");
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/data");
+    result.metrics["header_ok"] = (header == "MAGIC") ? 1.0 : 0.0;
+    result.metrics["bytes"] = static_cast<double>(result.comparison_blob.size());
+    return result;
+  }
+
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult& faulty) const override {
+    return faulty.metric("header_ok") != 0.0 ? Outcome::Sdc : Outcome::Detected;
+  }
+
+ private:
+  std::size_t writes_;
+};
+
+// --- Outcome ----------------------------------------------------------------------
+
+TEST(Outcome, NamesRoundtrip) {
+  for (std::size_t i = 0; i < core::kOutcomeCount; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    EXPECT_EQ(core::parse_outcome(core::outcome_name(o)), o);
+  }
+  EXPECT_THROW(core::parse_outcome("weird"), std::invalid_argument);
+}
+
+TEST(OutcomeTally, CountsAndFractions) {
+  core::OutcomeTally tally;
+  EXPECT_EQ(tally.total(), 0u);
+  EXPECT_DOUBLE_EQ(tally.fraction(Outcome::Sdc), 0.0);
+  for (int i = 0; i < 6; ++i) tally.add(Outcome::Benign);
+  for (int i = 0; i < 3; ++i) tally.add(Outcome::Sdc);
+  tally.add(Outcome::Crash);
+  EXPECT_EQ(tally.total(), 10u);
+  EXPECT_DOUBLE_EQ(tally.fraction(Outcome::Benign), 0.6);
+  EXPECT_DOUBLE_EQ(tally.fraction(Outcome::Sdc), 0.3);
+  EXPECT_EQ(tally.count(Outcome::Detected), 0u);
+}
+
+TEST(OutcomeTally, MergeAdds) {
+  core::OutcomeTally a, b;
+  a.add(Outcome::Benign);
+  b.add(Outcome::Benign);
+  b.add(Outcome::Crash);
+  a.merge(b);
+  EXPECT_EQ(a.count(Outcome::Benign), 2u);
+  EXPECT_EQ(a.count(Outcome::Crash), 1u);
+}
+
+TEST(OutcomeTally, ToStringShowsAllClasses) {
+  core::OutcomeTally tally;
+  tally.add(Outcome::Sdc);
+  const std::string s = tally.to_string();
+  EXPECT_NE(s.find("sdc=1 (100.0%)"), std::string::npos);
+  EXPECT_NE(s.find("benign=0"), std::string::npos);
+}
+
+// --- IoProfiler --------------------------------------------------------------------
+
+TEST(IoProfiler, CountsTargetPrimitive) {
+  ToyApp app(4);
+  const auto profile =
+      core::IoProfiler::profile(app, faults::parse_fault_signature("BF"), 1);
+  // 1 header write + 8 data writes.
+  EXPECT_EQ(profile.primitive_count, 9u);
+  EXPECT_EQ(profile.bytes_written, 5u + 8u * 64u);
+}
+
+TEST(IoProfiler, StageScopingLimitsTheWindow) {
+  ToyApp app(4);
+  const auto stage2 =
+      core::IoProfiler::profile(app, faults::parse_fault_signature("BF"), 1, 2);
+  EXPECT_EQ(stage2.primitive_count, 4u);  // only stage-2 writes counted
+}
+
+TEST(IoProfiler, CountIsDeterministic) {
+  ToyApp app(3);
+  const auto a = core::IoProfiler::profile(app, faults::parse_fault_signature("DW"), 7);
+  const auto b = core::IoProfiler::profile(app, faults::parse_fault_signature("DW"), 7);
+  EXPECT_EQ(a.primitive_count, b.primitive_count);
+}
+
+// --- FaultInjector --------------------------------------------------------------------
+
+TEST(FaultInjector, PrepareIsRequired) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("BF"));
+  EXPECT_THROW((void)injector.golden(), std::logic_error);
+  EXPECT_THROW((void)injector.execute(1), std::logic_error);
+  injector.prepare();
+  EXPECT_NO_THROW((void)injector.golden());
+}
+
+TEST(FaultInjector, GoldenMatchesDirectRun) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("BF"), 5);
+  injector.prepare();
+  vfs::MemFs fs;
+  core::RunContext ctx{.fs = fs, .app_seed = 5, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  EXPECT_EQ(injector.golden().comparison_blob, app.analyze(fs).comparison_blob);
+}
+
+TEST(FaultInjector, SameSeedSameResult) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("BF"));
+  injector.prepare();
+  const auto a = injector.execute(11);
+  const auto b = injector.execute(11);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.record.instance, b.record.instance);
+}
+
+TEST(FaultInjector, BitFlipInDataIsSilent) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("BF"));
+  injector.prepare();
+  // Instance 1+ are data writes -> bit flips differ from golden -> SDC.
+  const auto result = injector.execute_at(3, 1);
+  EXPECT_TRUE(result.fault_fired);
+  EXPECT_EQ(result.outcome, Outcome::Sdc);
+}
+
+TEST(FaultInjector, DroppedHeaderCrashes) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("DW"));
+  injector.prepare();
+  // Instance 0 is the 5-byte header write; dropping it leaves an empty
+  // header -> analyze throws -> Crash.
+  const auto result = injector.execute_at(0, 1);
+  EXPECT_EQ(result.outcome, Outcome::Crash);
+  EXPECT_FALSE(result.crash_reason.empty());
+}
+
+TEST(FaultInjector, StageScopedInjectionLandsInStage) {
+  ToyApp app(4);
+  core::FaultInjector injector(app, faults::parse_fault_signature("DW"), 1,
+                               /*instrumented_stage=*/2);
+  injector.prepare();
+  EXPECT_EQ(injector.primitive_count(), 4u);
+  // Every stage-2 instance maps to global data writes 4..7: the dropped
+  // chunk zeroes bytes in the second half of /data.
+  const auto result = injector.execute_at(0, 1);
+  ASSERT_TRUE(result.fault_fired);
+  EXPECT_EQ(result.outcome, Outcome::Sdc);
+  ASSERT_TRUE(result.analysis.has_value());
+  // Dropped write leaves a zero gap; blob differs from golden.
+  EXPECT_NE(result.analysis->comparison_blob, injector.golden().comparison_blob);
+}
+
+TEST(FaultInjector, InstanceBeyondCountNeverFires) {
+  ToyApp app;
+  core::FaultInjector injector(app, faults::parse_fault_signature("BF"));
+  injector.prepare();
+  const auto result = injector.execute_at(injector.primitive_count() + 10, 1);
+  EXPECT_FALSE(result.fault_fired);
+  EXPECT_EQ(result.outcome, Outcome::Benign);
+}
+
+// --- Campaign ----------------------------------------------------------------------
+
+TEST(Campaign, TallyTotalsMatchRuns) {
+  ToyApp app;
+  faults::CampaignConfig config;
+  config.fault = "BF";
+  config.runs = 40;
+  config.seed = 9;
+  core::Campaign campaign(app, faults::FaultGenerator(config));
+  const auto result = campaign.run();
+  EXPECT_EQ(result.tally.total(), 40u);
+  EXPECT_EQ(result.runs, 40u);
+  EXPECT_EQ(result.faults_not_fired, 0u);
+  EXPECT_EQ(result.primitive_count, 9u);
+}
+
+TEST(Campaign, SerialAndParallelAgree) {
+  ToyApp app;
+  faults::CampaignConfig config;
+  config.fault = "DW";
+  config.runs = 30;
+  config.seed = 21;
+  core::Campaign serial(app, faults::FaultGenerator(config));
+  core::Campaign parallel(app, faults::FaultGenerator(config));
+  const auto a = serial.run(/*threads=*/1);
+  const auto b = parallel.run(/*threads=*/4);
+  for (std::size_t i = 0; i < core::kOutcomeCount; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    EXPECT_EQ(a.tally.count(o), b.tally.count(o)) << core::outcome_name(o);
+  }
+}
+
+TEST(Campaign, KeepDetailsRecordsEveryRun) {
+  ToyApp app;
+  faults::CampaignConfig config;
+  config.fault = "BF";
+  config.runs = 10;
+  core::Campaign campaign(app, faults::FaultGenerator(config), /*keep_details=*/true);
+  const auto result = campaign.run();
+  ASSERT_EQ(result.details.size(), 10u);
+  for (const auto& run : result.details) {
+    EXPECT_TRUE(run.fault_fired || run.outcome == Outcome::Crash);
+  }
+}
+
+TEST(Campaign, ProgressCallbackReachesTotal) {
+  ToyApp app;
+  faults::CampaignConfig config;
+  config.fault = "BF";
+  config.runs = 12;
+  core::Campaign campaign(app, faults::FaultGenerator(config));
+  std::atomic<std::uint64_t> last{0};
+  campaign.set_progress([&](std::uint64_t done, std::uint64_t total) {
+    EXPECT_LE(done, total);
+    std::uint64_t prev = last.load();
+    while (done > prev && !last.compare_exchange_weak(prev, done)) {
+    }
+  });
+  (void)campaign.run();
+  EXPECT_EQ(last.load(), 12u);
+}
+
+}  // namespace

@@ -1,0 +1,505 @@
+// Unit tests for ffis::faults — fault models, signatures, generator and the
+// FaultingFs interception layer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ffis/faults/fault_generator.hpp"
+#include "ffis/faults/fault_model.hpp"
+#include "ffis/faults/fault_signature.hpp"
+#include "ffis/faults/faulting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using faults::BitFlipSpec;
+using faults::FaultModel;
+using faults::FaultSignature;
+using faults::ShornSpec;
+using faults::ShornTail;
+using vfs::OpenMode;
+using vfs::Primitive;
+
+util::Bytes pattern_buffer(std::size_t n) {
+  util::Bytes buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<std::byte>(i & 0xff);
+  return buf;
+}
+
+std::size_t count_bit_diffs(util::ByteSpan a, util::ByteSpan b) {
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    auto x = std::to_integer<unsigned>(a[i]) ^ std::to_integer<unsigned>(b[i]);
+    while (x != 0) {
+      diffs += x & 1u;
+      x >>= 1;
+    }
+  }
+  return diffs;
+}
+
+// --- BIT_FLIP -------------------------------------------------------------------
+
+class BitFlipWidth : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitFlipWidth, FlipsConsecutiveBits) {
+  const std::uint32_t width = GetParam();
+  const util::Bytes original = pattern_buffer(256);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    util::Rng rng(seed);
+    const auto mut = faults::apply_bit_flip(BitFlipSpec{width}, rng, original);
+    ASSERT_FALSE(mut.dropped);
+    ASSERT_TRUE(mut.flipped_bit.has_value());
+    ASSERT_EQ(mut.data.size(), original.size());
+    // Bits flipped: exactly `width` consecutive positions from flipped_bit,
+    // clamped at the buffer end.
+    const std::size_t expected =
+        std::min<std::size_t>(width, original.size() * 8 - *mut.flipped_bit);
+    EXPECT_EQ(count_bit_diffs(original, mut.data), expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_NE(util::test_bit(original, *mut.flipped_bit + i),
+                util::test_bit(mut.data, *mut.flipped_bit + i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitFlipWidth, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BitFlip, PaperDefaultIsTwoBits) {
+  EXPECT_EQ(BitFlipSpec{}.width, 2u);
+}
+
+TEST(BitFlip, EmptyBufferUnchanged) {
+  util::Rng rng(1);
+  const auto mut = faults::apply_bit_flip(BitFlipSpec{}, rng, {});
+  EXPECT_TRUE(mut.data.empty());
+  EXPECT_FALSE(mut.flipped_bit.has_value());
+}
+
+TEST(BitFlip, PositionsCoverWholeBuffer) {
+  const util::Bytes original = pattern_buffer(64);
+  util::Rng rng(7);
+  std::size_t min_bit = ~0ULL, max_bit = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto mut = faults::apply_bit_flip(BitFlipSpec{1}, rng, original);
+    min_bit = std::min(min_bit, *mut.flipped_bit);
+    max_bit = std::max(max_bit, *mut.flipped_bit);
+  }
+  EXPECT_LT(min_bit, 16u);       // hits the start region
+  EXPECT_GT(max_bit, 64u * 8 - 16);  // hits the end region
+}
+
+// --- SHORN_WRITE ----------------------------------------------------------------
+
+class ShornFraction : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShornFraction, PreservesSizeAndShearsAtSectorBoundary) {
+  const std::uint32_t eighths = GetParam();
+  ShornSpec spec;
+  spec.completed_eighths = eighths;
+  const util::Bytes original = pattern_buffer(4096);
+  util::Rng rng(3);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  ASSERT_EQ(mut.data.size(), original.size());
+
+  const std::size_t keep = 4096 * eighths / 8 / 512 * 512;
+  if (eighths == 8) {
+    EXPECT_FALSE(mut.shorn_from.has_value());
+    EXPECT_EQ(mut.data, original);
+    return;
+  }
+  ASSERT_TRUE(mut.shorn_from.has_value());
+  EXPECT_EQ(*mut.shorn_from, keep);
+  // Prefix intact.
+  EXPECT_TRUE(std::equal(original.begin(), original.begin() + keep, mut.data.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Eighths, ShornFraction, ::testing::Values(1u, 3u, 4u, 7u, 8u));
+
+TEST(ShornWrite, PaperSpecLosesLastEighth) {
+  // 7/8 completed = the write loses its last 1/8th (paper IV-B).
+  ShornSpec spec;
+  const util::Bytes original = pattern_buffer(4096);
+  util::Rng rng(5);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  EXPECT_EQ(*mut.shorn_from, 4096u - 512u);
+}
+
+TEST(ShornWrite, AdjacentTailCopiesPrecedingRegion) {
+  ShornSpec spec;  // 7/8, adjacent-data
+  const util::Bytes original = pattern_buffer(4096);
+  util::Rng rng(5);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  // The lost 512-byte tail is a copy of the 512 bytes preceding it.
+  const std::size_t from = *mut.shorn_from;
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(mut.data[from + i], original[from - 512 + i]);
+  }
+}
+
+TEST(ShornWrite, GarbageTailDiffersAndIsDeterministic) {
+  ShornSpec spec;
+  spec.tail = ShornTail::Garbage;
+  const util::Bytes original = pattern_buffer(4096);
+  util::Rng rng_a(9), rng_b(9);
+  const auto a = faults::apply_shorn_write(spec, rng_a, original);
+  const auto b = faults::apply_shorn_write(spec, rng_b, original);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_NE(a.data, original);
+}
+
+TEST(ShornWrite, StaleTailForwardsOnlyPrefix) {
+  ShornSpec spec;
+  spec.tail = ShornTail::Stale;
+  const util::Bytes original = pattern_buffer(4096);
+  util::Rng rng(11);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  ASSERT_TRUE(mut.forward_only.has_value());
+  EXPECT_EQ(*mut.forward_only, 4096u - 512u);
+}
+
+TEST(ShornWrite, MultiBlockBuffersShearEveryBlock) {
+  ShornSpec spec;  // 7/8 per 4 KB block
+  // Non-periodic content so a copied tail is guaranteed to differ.
+  util::Bytes original(3 * 4096);
+  util::Rng content_rng(99);
+  for (auto& b : original) b = static_cast<std::byte>(content_rng() & 0xff);
+  util::Rng rng(13);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  // First shorn byte is in block 0.
+  EXPECT_EQ(*mut.shorn_from, 4096u - 512u);
+  // Each block's kept prefix is intact and each tail differs somewhere.
+  for (std::size_t block = 0; block < 3; ++block) {
+    const std::size_t base = block * 4096;
+    EXPECT_TRUE(std::equal(original.begin() + base, original.begin() + base + 3584,
+                           mut.data.begin() + base));
+    EXPECT_FALSE(std::equal(original.begin() + base + 3584,
+                            original.begin() + base + 4096,
+                            mut.data.begin() + base + 3584));
+  }
+}
+
+TEST(ShornWrite, ShortFinalBlockShearsByOwnLength) {
+  ShornSpec spec;  // 7/8 of 1024 = 896 -> sector-aligned 512
+  const util::Bytes original = pattern_buffer(1024);
+  util::Rng rng(17);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  ASSERT_TRUE(mut.shorn_from.has_value());
+  EXPECT_EQ(*mut.shorn_from, 512u);
+}
+
+TEST(ShornWrite, TinyBufferLosesEverything) {
+  ShornSpec spec;  // 7/8 of 66 bytes -> sector-aligned 0: whole write undefined
+  const util::Bytes original = pattern_buffer(66);
+  util::Rng rng(19);
+  const auto mut = faults::apply_shorn_write(spec, rng, original);
+  ASSERT_TRUE(mut.shorn_from.has_value());
+  EXPECT_EQ(*mut.shorn_from, 0u);
+}
+
+TEST(ShornWrite, InvalidFractionRejected) {
+  ShornSpec spec;
+  spec.completed_eighths = 0;
+  util::Rng rng(1);
+  EXPECT_THROW((void)faults::apply_shorn_write(spec, rng, pattern_buffer(8)),
+               std::invalid_argument);
+  spec.completed_eighths = 9;
+  EXPECT_THROW((void)faults::apply_shorn_write(spec, rng, pattern_buffer(8)),
+               std::invalid_argument);
+}
+
+// --- DROPPED_WRITE ------------------------------------------------------------------
+
+TEST(DroppedWrite, MarksDrop) {
+  const auto mut = faults::apply_dropped_write();
+  EXPECT_TRUE(mut.dropped);
+  EXPECT_TRUE(mut.data.empty());
+}
+
+// --- FaultSignature ---------------------------------------------------------------
+
+TEST(FaultSignature, ToStringIncludesModelPrimitiveFeatures) {
+  FaultSignature sig;
+  sig.model = FaultModel::ShornWrite;
+  EXPECT_EQ(sig.to_string(),
+            "SHORN_WRITE@pwrite{completed=7/8,tail=adjacent-data,sector=512,block=4096}");
+}
+
+class SignatureRoundtrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SignatureRoundtrip, ParseThenRenderIsStable) {
+  const auto sig = faults::parse_fault_signature(GetParam());
+  const auto again = faults::parse_fault_signature(sig.to_string());
+  EXPECT_EQ(again.to_string(), sig.to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, SignatureRoundtrip,
+                         ::testing::Values("BF", "SW", "DW", "BIT_FLIP",
+                                           "BIT_FLIP@pwrite{width=4}",
+                                           "SHORN_WRITE@pwrite{completed=3,tail=garbage}",
+                                           "DROPPED_WRITE@mknod",
+                                           "BIT_FLIP@chmod{width=1}"));
+
+TEST(FaultSignature, ShortFormsDefaultToPaperParameters) {
+  const auto bf = faults::parse_fault_signature("BF");
+  EXPECT_EQ(bf.model, FaultModel::BitFlip);
+  EXPECT_EQ(bf.primitive, Primitive::Pwrite);
+  EXPECT_EQ(bf.bit_flip.width, 2u);
+  const auto sw = faults::parse_fault_signature("SW");
+  EXPECT_EQ(sw.shorn.completed_eighths, 7u);
+  EXPECT_EQ(sw.shorn.sector_bytes, 512u);
+  EXPECT_EQ(sw.shorn.block_bytes, 4096u);
+}
+
+TEST(FaultSignature, BadInputsThrow) {
+  EXPECT_THROW(faults::parse_fault_signature("NOPE"), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_signature("BF@pwrite{width=2"), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_signature("BF@pwrite{bogus=1}"), std::invalid_argument);
+}
+
+// --- CampaignConfig ----------------------------------------------------------------
+
+TEST(CampaignConfig, ParsesKeysAndComments) {
+  const auto cfg = faults::parse_campaign_config(
+      "# campaign file\n"
+      "application = qmc\n"
+      "fault = SW   # shorn write\n"
+      "runs = 250\n"
+      "seed = 99\n"
+      "stage = 3\n"
+      "grid = 32\n");
+  EXPECT_EQ(cfg.application, "qmc");
+  EXPECT_EQ(cfg.fault, "SW");
+  EXPECT_EQ(cfg.runs, 250u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.stage, 3);
+  EXPECT_EQ(cfg.extra.at("grid"), "32");
+}
+
+TEST(CampaignConfig, RejectsMalformedLines) {
+  EXPECT_THROW(faults::parse_campaign_config("not a key value"), std::invalid_argument);
+}
+
+TEST(FaultGenerator, RunSeedsAreDistinctAndStable) {
+  faults::CampaignConfig cfg;
+  cfg.seed = 5;
+  faults::FaultGenerator gen(cfg);
+  faults::FaultGenerator gen2(cfg);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(gen.run_seed(i), gen2.run_seed(i));
+    seeds.insert(gen.run_seed(i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+// --- FaultingFs ----------------------------------------------------------------------
+
+TEST(FaultingFs, UnarmedCountsTargetPrimitiveOnly) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.configure(faults::parse_fault_signature("BF"));
+  vfs::write_file(fi, "/a", pattern_buffer(10));
+  vfs::write_file(fi, "/b", pattern_buffer(10));
+  (void)vfs::read_file(fi, "/a");
+  EXPECT_EQ(fi.executions(), 2u);  // pwrite only; reads/opens not counted
+  EXPECT_FALSE(fi.fired());
+}
+
+TEST(FaultingFs, FiresAtExactInstance) {
+  for (std::uint64_t target = 0; target < 4; ++target) {
+    vfs::MemFs backing;
+    faults::FaultingFs fi(backing);
+    fi.arm(faults::parse_fault_signature("DW"), target, 1);
+    for (int i = 0; i < 4; ++i) {
+      vfs::write_file(fi, "/f" + std::to_string(i), pattern_buffer(64));
+    }
+    EXPECT_TRUE(fi.fired());
+    // Exactly the target write was dropped: its file is empty.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const auto size = backing.stat("/f" + std::to_string(i)).size;
+      EXPECT_EQ(size, i == target ? 0u : 64u) << "write " << i;
+    }
+    EXPECT_EQ(fi.record().instance, target);
+    EXPECT_TRUE(fi.record().dropped);
+  }
+}
+
+TEST(FaultingFs, DroppedWriteReportsFullSize) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DW"), 0, 1);
+  vfs::File f(fi, "/f", OpenMode::Write);
+  EXPECT_EQ(f.pwrite(pattern_buffer(128), 0), 128u);  // silent success
+  EXPECT_EQ(backing.stat("/f").size, 0u);
+}
+
+TEST(FaultingFs, BitFlipCorruptsExactlyTwoBits) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("BF"), 0, 42);
+  const util::Bytes original = pattern_buffer(512);
+  vfs::write_file(fi, "/f", original);
+  const util::Bytes written = vfs::read_file(backing, "/f");
+  EXPECT_EQ(count_bit_diffs(original, written), 2u);
+  EXPECT_EQ(fi.record().corrupted_bytes, util::count_diff_bytes(original, written));
+}
+
+TEST(FaultingFs, FiresOnlyOnce) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DW"), 0, 1);
+  vfs::write_file(fi, "/a", pattern_buffer(8));
+  vfs::write_file(fi, "/b", pattern_buffer(8));
+  EXPECT_EQ(backing.stat("/a").size, 0u);
+  EXPECT_EQ(backing.stat("/b").size, 8u);
+}
+
+TEST(FaultingFs, DisarmStopsInjectionButKeepsCounting) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DW"), 1, 1);
+  vfs::write_file(fi, "/a", pattern_buffer(8));
+  fi.disarm();
+  vfs::write_file(fi, "/b", pattern_buffer(8));
+  EXPECT_FALSE(fi.fired());
+  EXPECT_EQ(fi.executions(), 2u);
+  EXPECT_EQ(backing.stat("/b").size, 8u);
+}
+
+TEST(FaultingFs, GateSuppressesCountingAndInjection) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DW"), 0, 1);
+  fi.set_enabled(false);
+  vfs::write_file(fi, "/a", pattern_buffer(8));
+  EXPECT_EQ(fi.executions(), 0u);
+  EXPECT_FALSE(fi.fired());
+  fi.set_enabled(true);
+  vfs::write_file(fi, "/b", pattern_buffer(8));
+  EXPECT_TRUE(fi.fired());
+  EXPECT_EQ(backing.stat("/a").size, 8u);
+  EXPECT_EQ(backing.stat("/b").size, 0u);
+}
+
+TEST(FaultingFs, MknodBitFlipCorruptsMode) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("BIT_FLIP@mknod"), 0, 3);
+  fi.mknod("/n", 0644);
+  const auto mode = backing.stat("/n").mode;
+  EXPECT_NE(mode, 0644u);
+  EXPECT_EQ(fi.executions(), 1u);
+  EXPECT_TRUE(fi.fired());
+}
+
+TEST(FaultingFs, MknodDroppedSkipsCreation) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DROPPED_WRITE@mknod"), 0, 3);
+  fi.mknod("/n", 0644);
+  EXPECT_FALSE(backing.exists("/n"));
+  EXPECT_TRUE(fi.record().dropped);
+}
+
+TEST(FaultingFs, ChmodShornKeepsOnlyLowModeBits) {
+  vfs::MemFs backing;
+  backing.mknod("/n", 0600);
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("SHORN_WRITE@chmod"), 0, 3);
+  fi.chmod("/n", 0755);
+  EXPECT_EQ(backing.stat("/n").mode, 0755u & 0xff);
+}
+
+TEST(FaultingFs, RecordCapturesOffsetAndSize) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("BF"), 1, 9);
+  vfs::File f(fi, "/f", OpenMode::Write);
+  f.pwrite(pattern_buffer(100), 0);
+  f.pwrite(pattern_buffer(50), 100);
+  const auto record = fi.record();
+  EXPECT_EQ(record.instance, 1u);
+  EXPECT_EQ(record.offset, 100u);
+  EXPECT_EQ(record.original_size, 50u);
+}
+
+TEST(FaultingFs, PreadBitFlipCorruptsReturnedData) {
+  vfs::MemFs backing;
+  vfs::write_file(backing, "/f", pattern_buffer(256));
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("BIT_FLIP@pread{width=2}"), 0, 5);
+  const util::Bytes got = vfs::read_file(fi, "/f");
+  EXPECT_TRUE(fi.fired());
+  EXPECT_EQ(count_bit_diffs(pattern_buffer(256), got), 2u);
+  // The on-device data is untouched (read faults are transient).
+  EXPECT_EQ(vfs::read_file(backing, "/f"), pattern_buffer(256));
+}
+
+TEST(FaultingFs, PreadDroppedReturnsNothing) {
+  vfs::MemFs backing;
+  vfs::write_file(backing, "/f", pattern_buffer(64));
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("DROPPED_WRITE@pread"), 0, 5);
+  vfs::File f(fi, "/f", OpenMode::Read);
+  util::Bytes buf(64);
+  EXPECT_EQ(f.pread(buf, 0), 0u);
+  EXPECT_TRUE(fi.record().dropped);
+}
+
+TEST(FaultingFs, PreadShornTruncatesToSectors) {
+  vfs::MemFs backing;
+  vfs::write_file(backing, "/f", pattern_buffer(4096));
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("SHORN_WRITE@pread{completed=7}"), 0, 5);
+  vfs::File f(fi, "/f", OpenMode::Read);
+  util::Bytes buf(4096);
+  EXPECT_EQ(f.pread(buf, 0), 4096u - 512u);
+  EXPECT_EQ(*fi.record().shorn_from, 4096u - 512u);
+}
+
+TEST(FaultingFs, IoErrorThrowsOnWrite) {
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("IO_ERROR@pwrite"), 0, 1);
+  EXPECT_THROW(vfs::write_file(fi, "/f", pattern_buffer(64)), vfs::VfsError);
+  EXPECT_TRUE(fi.fired());
+}
+
+TEST(FaultingFs, IoErrorThrowsOnRead) {
+  vfs::MemFs backing;
+  vfs::write_file(backing, "/f", pattern_buffer(64));
+  faults::FaultingFs fi(backing);
+  fi.arm(faults::parse_fault_signature("EIO@pread"), 0, 1);
+  EXPECT_THROW((void)vfs::read_file(fi, "/f"), vfs::VfsError);
+  // On-device data untouched.
+  EXPECT_EQ(vfs::read_file(backing, "/f"), pattern_buffer(64));
+}
+
+TEST(FaultingFs, IoErrorSignatureRoundtrip) {
+  const auto sig = faults::parse_fault_signature("IO_ERROR@mknod");
+  EXPECT_EQ(sig.model, FaultModel::IoError);
+  EXPECT_EQ(sig.to_string(), "IO_ERROR@mknod");
+  vfs::MemFs backing;
+  faults::FaultingFs fi(backing);
+  fi.arm(sig, 0, 1);
+  EXPECT_THROW(fi.mknod("/n", 0644), vfs::VfsError);
+  EXPECT_FALSE(backing.exists("/n"));
+}
+
+TEST(FaultingFs, SameSeedSameCorruption) {
+  auto run_once = [](std::uint64_t seed) {
+    vfs::MemFs backing;
+    faults::FaultingFs fi(backing);
+    fi.arm(faults::parse_fault_signature("BF"), 0, seed);
+    vfs::write_file(fi, "/f", pattern_buffer(256));
+    return vfs::read_file(backing, "/f");
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace

@@ -1,0 +1,562 @@
+// Unit tests for ffis::h5 — float codec, writer/reader round trips, field
+// map integrity, and the crash/benign/SDC semantics of metadata corruption.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "ffis/h5/field_map.hpp"
+#include "ffis/h5/float_codec.hpp"
+#include "ffis/h5/reader.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using h5::FloatFormat;
+using h5::MantissaNorm;
+
+h5::H5File small_file(std::size_t n = 8) {
+  h5::H5File file;
+  h5::Dataset ds;
+  ds.name = "baryon_density";
+  ds.dims = {n, n, n};
+  ds.data.resize(n * n * n);
+  util::Rng rng(1);
+  for (auto& v : ds.data) v = std::exp(0.5 * rng.gaussian());
+  file.datasets.push_back(std::move(ds));
+  return file;
+}
+
+// --- float codec ---------------------------------------------------------------
+
+TEST(FloatCodec, IeeeDecodeMatchesBitCast) {
+  util::Rng rng(7);
+  const FloatFormat ieee{};
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t bits = rng();
+    const double via_codec = h5::decode_element(bits, ieee);
+    const double via_cast = std::bit_cast<double>(bits);
+    if (std::isnan(via_cast)) {
+      EXPECT_TRUE(std::isnan(via_codec));
+    } else {
+      EXPECT_EQ(via_codec, via_cast);
+    }
+  }
+}
+
+TEST(FloatCodec, IeeeEncodeMatchesBitCast) {
+  util::Rng rng(11);
+  const FloatFormat ieee{};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = std::exp(rng.gaussian(0.0, 5.0)) * (rng.bernoulli(0.5) ? 1 : -1);
+    EXPECT_EQ(h5::encode_element(v, ieee), std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(FloatCodec, IeeeSpecialValues) {
+  const FloatFormat ieee{};
+  for (const double v : {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::denorm_min(),
+                         std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::min()}) {
+    EXPECT_EQ(h5::decode_element(h5::encode_element(v, ieee), ieee), v);
+  }
+  EXPECT_TRUE(std::isnan(h5::decode_element(
+      h5::encode_element(std::nan(""), ieee), ieee)));
+}
+
+// The generic decode path must agree with the IEEE fast path when given a
+// format that is IEEE-shaped in all but one irrelevant detail.
+TEST(FloatCodec, GenericPathMatchesIeeeForNormalValues) {
+  FloatFormat almost_ieee{};
+  almost_ieee.bit_offset = 1;  // disables the fast path; ignored by decode
+  util::Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.gaussian(0.0, 3.0));
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    EXPECT_DOUBLE_EQ(h5::decode_element(bits, almost_ieee), v) << "value " << v;
+  }
+}
+
+class CodecRoundtrip : public ::testing::TestWithParam<MantissaNorm> {};
+
+TEST_P(CodecRoundtrip, EncodeDecodeIsNearIdentity) {
+  FloatFormat f{};
+  f.bit_offset = 1;  // force the generic path
+  f.normalization = GetParam();
+  util::Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::exp(rng.gaussian(0.0, 2.0)) * (rng.bernoulli(0.5) ? 1 : -1);
+    const double back = h5::decode_element(h5::encode_element(v, f), f);
+    EXPECT_NEAR(back, v, std::fabs(v) * 1e-12) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, CodecRoundtrip,
+                         ::testing::Values(MantissaNorm::None, MantissaNorm::MsbSet,
+                                           MantissaNorm::MsbImplied));
+
+TEST(FloatCodec, BiasShiftScalesByPowersOfTwo) {
+  // The Exponent-Bias SDC signature: decoding with bias-k scales by 2^k.
+  const FloatFormat ieee{};
+  FloatFormat biased{};
+  biased.exponent_bias = 1023 - 12;
+  const double v = 1.7340521;
+  const std::uint64_t bits = h5::encode_element(v, ieee);
+  EXPECT_DOUBLE_EQ(h5::decode_element(bits, biased), v * 4096.0);
+}
+
+TEST(FloatCodec, NormalizationBitChangesValues) {
+  const FloatFormat ieee{};
+  FloatFormat mode0{};
+  mode0.normalization = MantissaNorm::None;
+  const double v = 1.5;
+  const std::uint64_t bits = h5::encode_element(v, ieee);
+  const double reinterpreted = h5::decode_element(bits, mode0);
+  // Losing the implied MSB halves-ish the mantissa value.
+  EXPECT_LT(reinterpreted, v);
+  EXPECT_GT(reinterpreted, 0.0);
+}
+
+TEST(FloatCodec, PermissiveClampingForCorruptLocations) {
+  FloatFormat weird{};
+  weird.bit_offset = 1;           // generic path
+  weird.exponent_location = 60;   // runs past the word: clamped, no throw
+  weird.exponent_size = 11;
+  EXPECT_NO_THROW((void)h5::decode_element(0x3ff0000000000000ULL, weird));
+  FloatFormat past{};
+  past.bit_offset = 1;
+  past.mantissa_location = 80;  // entirely outside: decodes as zero mantissa
+  EXPECT_NO_THROW((void)h5::decode_element(0x3ff0000000000000ULL, past));
+}
+
+TEST(FloatCodec, StructurallyImpossibleFormatsThrow) {
+  FloatFormat reserved_norm{};
+  reserved_norm.normalization = static_cast<MantissaNorm>(3);
+  EXPECT_THROW((void)h5::decode_element(0, reserved_norm), h5::H5FormatError);
+
+  FloatFormat zero_exp{};
+  zero_exp.exponent_size = 0;
+  EXPECT_THROW((void)h5::decode_element(0, zero_exp), h5::H5FormatError);
+
+  FloatFormat huge{};
+  huge.size_bytes = 16;
+  EXPECT_THROW((void)h5::decode_element(0, huge), h5::H5FormatError);
+}
+
+TEST(FloatCodec, ArrayRoundtripAndEndianness) {
+  const std::vector<double> values = {1.0, -2.5, 3.25e10, 1e-300};
+  FloatFormat le{};
+  FloatFormat be{};
+  be.big_endian = true;
+  const auto le_bytes = h5::encode_array(values, le);
+  const auto be_bytes = h5::encode_array(values, be);
+  EXPECT_EQ(le_bytes.size(), be_bytes.size());
+  EXPECT_NE(le_bytes, be_bytes);
+  // Byte-reversed per element.
+  for (std::size_t e = 0; e < values.size(); ++e) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      EXPECT_EQ(le_bytes[e * 8 + b], be_bytes[e * 8 + 7 - b]);
+    }
+  }
+  EXPECT_EQ(h5::decode_array(le_bytes, values.size(), le), values);
+  EXPECT_EQ(h5::decode_array(be_bytes, values.size(), be), values);
+}
+
+TEST(FloatCodec, ArrayBoundsChecked) {
+  const auto bytes = h5::encode_array({1.0, 2.0}, FloatFormat{});
+  EXPECT_THROW((void)h5::decode_array(bytes, 3, FloatFormat{}), h5::H5BoundsError);
+}
+
+// --- writer / reader round trip -----------------------------------------------------
+
+class RoundtripDims : public ::testing::TestWithParam<std::vector<std::uint64_t>> {};
+
+TEST_P(RoundtripDims, WritesAndReadsBack) {
+  h5::H5File file;
+  h5::Dataset ds;
+  ds.name = "data";
+  ds.dims = GetParam();
+  ds.data.resize(ds.element_count());
+  util::Rng rng(3);
+  for (auto& v : ds.data) v = rng.gaussian();
+  file.datasets.push_back(ds);
+
+  vfs::MemFs fs;
+  const auto info = h5::write_h5(fs, "/f.h5", file);
+  const auto back = h5::read_h5(fs, "/f.h5");
+  ASSERT_EQ(back.datasets.size(), 1u);
+  EXPECT_EQ(back.datasets[0].name, "data");
+  EXPECT_EQ(back.datasets[0].dims, ds.dims);
+  EXPECT_EQ(back.datasets[0].data, ds.data);
+  EXPECT_EQ(info.data_addresses[0], info.metadata_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RoundtripDims,
+                         ::testing::Values(std::vector<std::uint64_t>{16},
+                                           std::vector<std::uint64_t>{4, 6},
+                                           std::vector<std::uint64_t>{8, 8, 8},
+                                           std::vector<std::uint64_t>{2, 3, 4, 5}));
+
+TEST(Writer, MultipleDatasetsRoundtrip) {
+  h5::H5File file;
+  for (int d = 0; d < 3; ++d) {
+    h5::Dataset ds;
+    ds.name = "var" + std::to_string(d);
+    ds.dims = {8, 8};
+    ds.data.assign(64, static_cast<double>(d) + 0.5);
+    file.datasets.push_back(std::move(ds));
+  }
+  vfs::MemFs fs;
+  const auto info = h5::write_h5(fs, "/multi.h5", file);
+  EXPECT_EQ(info.data_addresses.size(), 3u);
+  const auto back = h5::read_h5(fs, "/multi.h5");
+  ASSERT_EQ(back.datasets.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(back.dataset("var" + std::to_string(d)).data[0],
+              static_cast<double>(d) + 0.5);
+  }
+}
+
+TEST(Writer, PlanLayoutMatchesActualWrite) {
+  const auto file = small_file();
+  const auto plan = h5::plan_layout(file);
+  vfs::MemFs fs;
+  const auto written = h5::write_h5(fs, "/f.h5", file);
+  EXPECT_EQ(plan.metadata_size, written.metadata_size);
+  EXPECT_EQ(plan.file_size, written.file_size);
+  EXPECT_EQ(plan.data_addresses, written.data_addresses);
+  EXPECT_EQ(plan.field_map.entries().size(), written.field_map.entries().size());
+  EXPECT_EQ(fs.stat("/f.h5").size, written.file_size);
+}
+
+TEST(Writer, LockFileProtocol) {
+  const auto file = small_file();
+  vfs::MemFs fs;
+  (void)h5::write_h5(fs, "/f.h5", file);
+  EXPECT_FALSE(fs.exists("/f.h5.lock"));  // created then removed
+  h5::WriteOptions no_lock;
+  no_lock.lock_file = false;
+  (void)h5::write_h5(fs, "/g.h5", file, no_lock);
+  EXPECT_FALSE(fs.exists("/g.h5.lock"));
+}
+
+TEST(Writer, ChunkedDataWrites) {
+  const auto file = small_file(16);  // 16^3 * 8 = 32 KB of raw data
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  h5::WriteOptions options;
+  options.data_chunk_bytes = 4096;
+  (void)h5::write_h5(counting, "/f.h5", file, options);
+  // 8 data chunks + metadata + EOF update.
+  EXPECT_EQ(counting.count(vfs::Primitive::Pwrite), 10u);
+}
+
+TEST(Writer, RejectsInvalidStructures) {
+  vfs::MemFs fs;
+  h5::H5File empty;
+  EXPECT_THROW((void)h5::write_h5(fs, "/f.h5", empty), h5::H5FormatError);
+
+  h5::H5File bad_dims;
+  h5::Dataset ds;
+  ds.name = "d";
+  ds.dims = {4};
+  ds.data.resize(3);  // mismatch
+  bad_dims.datasets.push_back(ds);
+  EXPECT_THROW((void)h5::write_h5(fs, "/f.h5", bad_dims), h5::H5FormatError);
+
+  h5::H5File unnamed;
+  ds.data.resize(4);
+  ds.name.clear();
+  unnamed.datasets.push_back(ds);
+  EXPECT_THROW((void)h5::write_h5(fs, "/f.h5", unnamed), h5::H5FormatError);
+}
+
+// --- field map ---------------------------------------------------------------------
+
+TEST(FieldMap, EntriesAreContiguousAndNonOverlapping) {
+  const auto plan = h5::plan_layout(small_file());
+  std::uint64_t cursor = 0;
+  for (const auto& e : plan.field_map.entries()) {
+    EXPECT_EQ(e.offset, cursor) << "gap before " << e.name;
+    cursor = e.offset + e.length;
+  }
+  EXPECT_EQ(cursor, plan.metadata_size);
+}
+
+TEST(FieldMap, FindLocatesEveryByte) {
+  const auto plan = h5::plan_layout(small_file());
+  for (std::uint64_t off = 0; off < plan.metadata_size; ++off) {
+    const auto* entry = plan.field_map.find(off);
+    ASSERT_NE(entry, nullptr) << "unmapped byte " << off;
+    EXPECT_LE(entry->offset, off);
+    EXPECT_LT(off, entry->offset + entry->length);
+  }
+  EXPECT_EQ(plan.field_map.find(plan.metadata_size), nullptr);
+}
+
+TEST(FieldMap, FindByNameLocatesKeyFields) {
+  const auto plan = h5::plan_layout(small_file());
+  for (const char* name :
+       {"superblock.signature", "superblock.endOfFileAddress", "btree.signature",
+        "snod.signature", "heap.signature",
+        "objectHeader[baryon_density].dataType.floatProperty.exponentBias",
+        "objectHeader[baryon_density].layout.addressOfRawData"}) {
+    EXPECT_NE(plan.field_map.find_by_name(name), nullptr) << name;
+  }
+  EXPECT_EQ(plan.field_map.find_by_name("no.such.field"), nullptr);
+}
+
+TEST(FieldMap, UnusedSpaceDominates) {
+  // The Table III precondition: most metadata bytes are unused/reserved
+  // (mostly-empty B-tree nodes), which is why faults are mostly benign.
+  const auto plan = h5::plan_layout(small_file());
+  const auto unused = plan.field_map.bytes_of_class(h5::FieldClass::Unused) +
+                      plan.field_map.bytes_of_class(h5::FieldClass::Reserved);
+  EXPECT_GT(static_cast<double>(unused) / static_cast<double>(plan.metadata_size), 0.7);
+}
+
+TEST(FieldMap, TsvRendering) {
+  const auto plan = h5::plan_layout(small_file());
+  const std::string tsv = plan.field_map.to_tsv();
+  EXPECT_NE(tsv.find("offset\tlength\tclass\tname"), std::string::npos);
+  EXPECT_NE(tsv.find("btree.signature"), std::string::npos);
+}
+
+// --- reader validation (crash modelling) ---------------------------------------------
+
+class ReaderCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = small_file();
+    info_ = h5::write_h5(fs_, "/f.h5", file_);
+    image_ = vfs::read_file(fs_, "/f.h5");
+  }
+
+  /// Corrupts the named field (xor 0xFF on its first byte) and re-reads.
+  void corrupt_field(const std::string& name) {
+    const auto* entry = info_.field_map.find_by_name(name);
+    ASSERT_NE(entry, nullptr) << name;
+    util::Bytes corrupted = image_;
+    corrupted[entry->offset] ^= std::byte{0xff};
+    vfs::write_file(fs_, "/f.h5", corrupted);
+  }
+
+  h5::H5File file_;
+  vfs::MemFs fs_;
+  h5::WriteInfo info_;
+  util::Bytes image_;
+};
+
+TEST_F(ReaderCorruption, SuperblockSignatureCrashes) {
+  corrupt_field("superblock.signature");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5SignatureError);
+}
+
+TEST_F(ReaderCorruption, BtreeSignatureCrashes) {
+  corrupt_field("btree.signature");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5SignatureError);
+}
+
+TEST_F(ReaderCorruption, SnodSignatureCrashes) {
+  corrupt_field("snod.signature");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5SignatureError);
+}
+
+TEST_F(ReaderCorruption, HeapSignatureCrashes) {
+  corrupt_field("heap.signature");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5SignatureError);
+}
+
+TEST_F(ReaderCorruption, VersionNumbersCrash) {
+  for (const char* field : {"superblock.versionSuperblock", "snod.version",
+                            "heap.version", "objectHeader[baryon_density].version",
+                            "objectHeader[baryon_density].dataspace.version",
+                            "objectHeader[baryon_density].layout.version"}) {
+    SetUp();
+    corrupt_field(field);
+    EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5Exception) << field;
+  }
+}
+
+TEST_F(ReaderCorruption, EofAddressMismatchCrashes) {
+  corrupt_field("superblock.endOfFileAddress");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5BoundsError);
+}
+
+TEST_F(ReaderCorruption, HeapLinkNameCrashesLookup) {
+  corrupt_field("heap.linkName[baryon_density]");
+  // Parsing may succeed (the symbol just has a different name), but the
+  // dataset lookup must fail.
+  EXPECT_THROW((void)h5::read_dataset(fs_, "/f.h5", "baryon_density"), h5::H5Exception);
+}
+
+TEST_F(ReaderCorruption, TruncatedFileCrashes) {
+  util::Bytes truncated(image_.begin(), image_.begin() + 64);
+  vfs::write_file(fs_, "/f.h5", truncated);
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5BoundsError);
+}
+
+TEST_F(ReaderCorruption, MessageTypeUnknownCrashes) {
+  corrupt_field("objectHeader[baryon_density].dataspace.messageType");
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5Exception);
+}
+
+// --- benign fields (paper V-A analysis) -----------------------------------------------
+
+TEST_F(ReaderCorruption, BitOffsetIsBenign) {
+  corrupt_field("objectHeader[baryon_density].dataType.floatProperty.bitOffset");
+  const auto back = h5::read_h5(fs_, "/f.h5");
+  EXPECT_EQ(back.dataset("baryon_density").data, file_.datasets[0].data);
+}
+
+TEST_F(ReaderCorruption, BitPrecisionIsBenign) {
+  corrupt_field("objectHeader[baryon_density].dataType.floatProperty.bitPrecision");
+  const auto back = h5::read_h5(fs_, "/f.h5");
+  EXPECT_EQ(back.dataset("baryon_density").data, file_.datasets[0].data);
+}
+
+TEST_F(ReaderCorruption, StorageSizeBiggerIsBenignSmallerCrashes) {
+  // Paper: "if a fault modifies the size to a bigger value, the application
+  // would still produce the correct output, otherwise a crash would occur."
+  const auto* entry =
+      info_.field_map.find_by_name("objectHeader[baryon_density].layout.contiguousStorageSize");
+  ASSERT_NE(entry, nullptr);
+
+  util::Bytes bigger = image_;
+  const std::uint64_t size = util::get_le(bigger, entry->offset, 8);
+  util::put_le_at(bigger, entry->offset, size * 2, 8);
+  vfs::write_file(fs_, "/f.h5", bigger);
+  EXPECT_EQ(h5::read_h5(fs_, "/f.h5").dataset("baryon_density").data,
+            file_.datasets[0].data);
+
+  util::Bytes smaller = image_;
+  util::put_le_at(smaller, entry->offset, size / 2, 8);
+  vfs::write_file(fs_, "/f.h5", smaller);
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5BoundsError);
+}
+
+TEST_F(ReaderCorruption, ReservedAndUnusedBytesAreBenign) {
+  for (const char* field : {"btree.unusedEntries", "snod.unusedEntry[4]",
+                            "reservedFutureMetadata", "superblock.fileConsistencyFlags"}) {
+    SetUp();
+    corrupt_field(field);
+    const auto back = h5::read_h5(fs_, "/f.h5");
+    EXPECT_EQ(back.dataset("baryon_density").data, file_.datasets[0].data) << field;
+  }
+}
+
+// --- SDC fields (paper Table IV semantics) ----------------------------------------------
+
+TEST_F(ReaderCorruption, ExponentBiasScalesAllValues) {
+  const auto* entry = info_.field_map.find_by_name(
+      "objectHeader[baryon_density].dataType.floatProperty.exponentBias");
+  util::Bytes corrupted = image_;
+  const std::uint64_t bias = util::get_le(corrupted, entry->offset, 4);
+  util::put_le_at(corrupted, entry->offset, bias - 12, 4);
+  vfs::write_file(fs_, "/f.h5", corrupted);
+  const auto back = h5::read_h5(fs_, "/f.h5");
+  const auto& data = back.dataset("baryon_density").data;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ(data[i], file_.datasets[0].data[i] * 4096.0);
+  }
+}
+
+TEST_F(ReaderCorruption, ArdShiftSlidesData) {
+  const auto* entry = info_.field_map.find_by_name(
+      "objectHeader[baryon_density].layout.addressOfRawData");
+  util::Bytes corrupted = image_;
+  const std::uint64_t ard = util::get_le(corrupted, entry->offset, 8);
+  util::put_le_at(corrupted, entry->offset, ard - 16, 8);  // shift by 2 elements
+  vfs::write_file(fs_, "/f.h5", corrupted);
+  const auto back = h5::read_h5(fs_, "/f.h5");
+  const auto& data = back.dataset("baryon_density").data;
+  for (std::size_t i = 2; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], file_.datasets[0].data[i - 2]);
+  }
+}
+
+TEST_F(ReaderCorruption, ArdBeyondEofCrashes) {
+  const auto* entry = info_.field_map.find_by_name(
+      "objectHeader[baryon_density].layout.addressOfRawData");
+  util::Bytes corrupted = image_;
+  const std::uint64_t ard = util::get_le(corrupted, entry->offset, 8);
+  util::put_le_at(corrupted, entry->offset, ard + 4096, 8);
+  vfs::write_file(fs_, "/f.h5", corrupted);
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5BoundsError);
+}
+
+TEST_F(ReaderCorruption, MantissaSizeChangesValuesSilently) {
+  const auto* entry = info_.field_map.find_by_name(
+      "objectHeader[baryon_density].dataType.floatProperty.mantissaSize");
+  util::Bytes corrupted = image_;
+  util::put_le_at(corrupted, entry->offset, 48, 1);
+  vfs::write_file(fs_, "/f.h5", corrupted);
+  const auto back = h5::read_h5(fs_, "/f.h5");
+  EXPECT_NE(back.dataset("baryon_density").data, file_.datasets[0].data);
+}
+
+TEST_F(ReaderCorruption, ReservedNormalizationModeCrashes) {
+  const auto* entry = info_.field_map.find_by_name(
+      "objectHeader[baryon_density].dataType.classBitField0");
+  util::Bytes corrupted = image_;
+  // Set normalization bits (4-5) to the reserved value 3.
+  corrupted[entry->offset] |= std::byte{0x30};
+  vfs::write_file(fs_, "/f.h5", corrupted);
+  EXPECT_THROW((void)h5::read_h5(fs_, "/f.h5"), h5::H5FormatError);
+}
+
+// Property: the validating reader never exhibits UB or unclassifiable
+// behaviour under random corruption — every corrupted image either parses
+// (possibly to different data) or throws an H5Exception subclass.
+class ReaderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReaderFuzz, RandomCorruptionAlwaysClassifies) {
+  vfs::MemFs fs;
+  const auto file = small_file();
+  (void)h5::write_h5(fs, "/f.h5", file);
+  const util::Bytes image = vfs::read_file(fs, "/f.h5");
+
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Bytes corrupted = image;
+    const std::size_t flips = 1 + rng.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      util::flip_bits(corrupted, rng.uniform(corrupted.size() * 8), 1 + rng.uniform(8));
+    }
+    // Occasionally truncate too.
+    if (rng.bernoulli(0.1)) corrupted.resize(rng.uniform(corrupted.size()) + 1);
+    vfs::write_file(fs, "/f.h5", corrupted);
+    try {
+      const auto parsed = h5::read_h5(fs, "/f.h5");
+      for (const auto& ds : parsed.datasets) {
+        EXPECT_LE(ds.data.size(), 1u << 22);  // no runaway allocations
+      }
+    } catch (const h5::H5Exception&) {
+      // classified crash — fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReaderFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Reader, MissingDatasetThrows) {
+  vfs::MemFs fs;
+  (void)h5::write_h5(fs, "/f.h5", small_file());
+  EXPECT_THROW((void)h5::read_dataset(fs, "/f.h5", "nope"), h5::H5NotFoundError);
+}
+
+TEST(Reader, EmptyFileThrows) {
+  vfs::MemFs fs;
+  vfs::write_file(fs, "/f.h5", {});
+  EXPECT_THROW((void)h5::read_h5(fs, "/f.h5"), h5::H5BoundsError);
+}
+
+}  // namespace

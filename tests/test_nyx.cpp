@@ -1,0 +1,275 @@
+// Unit tests for the mini-Nyx application: density field, halo finder,
+// plotfile I/O and outcome classification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "ffis/apps/nyx/density_field.hpp"
+#include "ffis/apps/nyx/halo_finder.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using nyx::DensityField;
+using nyx::FieldConfig;
+using nyx::HaloFinderConfig;
+
+// --- density field --------------------------------------------------------------
+
+TEST(DensityField, GenerationIsDeterministic) {
+  FieldConfig config;
+  config.n = 16;
+  const auto a = nyx::generate_density_field(config);
+  const auto b = nyx::generate_density_field(config);
+  EXPECT_EQ(a.data(), b.data());
+  config.seed = 2;
+  const auto c = nyx::generate_density_field(config);
+  EXPECT_NE(a.data(), c.data());
+}
+
+class FieldMeanIsOne : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldMeanIsOne, MassConservation) {
+  FieldConfig config;
+  config.n = 24;
+  config.seed = GetParam();
+  const auto field = nyx::generate_density_field(config);
+  // The average-value detector relies on |mean - 1| staying far below 1e-3.
+  EXPECT_NEAR(field.mean(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldMeanIsOne, ::testing::Values(1u, 2u, 3u, 42u, 1000u));
+
+TEST(DensityField, ValuesArePositiveWithDenseBlobs) {
+  FieldConfig config;
+  config.n = 32;
+  const auto field = nyx::generate_density_field(config);
+  for (const double v : field.data()) EXPECT_GT(v, 0.0);
+  // Halos make the max far exceed the 81.66x threshold over the mean.
+  EXPECT_GT(field.max(), 81.66);
+}
+
+TEST(DensityField, IndexingIsRowMajorZyx) {
+  DensityField field(4, std::vector<double>(64, 0.0));
+  field.at(1, 2, 3) = 7.0;
+  EXPECT_EQ(field.data()[(3 * 4 + 2) * 4 + 1], 7.0);
+  EXPECT_EQ(field.linear_index(1, 2, 3), (3u * 4 + 2) * 4 + 1);
+}
+
+TEST(DensityField, RejectsMismatchedSizes) {
+  EXPECT_THROW(DensityField(4, std::vector<double>(63)), std::invalid_argument);
+  FieldConfig tiny;
+  tiny.n = 4;
+  EXPECT_THROW((void)nyx::generate_density_field(tiny), std::invalid_argument);
+}
+
+// --- halo finder -----------------------------------------------------------------
+
+DensityField uniform_field(std::size_t n, double value = 1.0) {
+  return DensityField(n, std::vector<double>(n * n * n, value));
+}
+
+TEST(HaloFinder, NoHalosInUniformField) {
+  const auto catalog = nyx::find_halos(uniform_field(8));
+  EXPECT_TRUE(catalog.halos.empty());
+  EXPECT_EQ(catalog.candidate_cells, 0u);
+  EXPECT_DOUBLE_EQ(catalog.mean_density, 1.0);
+  EXPECT_NEAR(catalog.threshold, 81.66, 1e-9);
+}
+
+TEST(HaloFinder, DetectsACraftedBlob) {
+  auto field = uniform_field(16);
+  // A 2x2x2 blob well above threshold (mean stays ~1).
+  for (std::size_t z = 4; z < 6; ++z)
+    for (std::size_t y = 4; y < 6; ++y)
+      for (std::size_t x = 4; x < 6; ++x) field.at(x, y, z) = 500.0;
+
+  const auto catalog = nyx::find_halos(field);
+  ASSERT_EQ(catalog.halos.size(), 1u);
+  EXPECT_EQ(catalog.halos[0].cells, 8u);
+  EXPECT_NEAR(catalog.halos[0].cx, 4.5, 1e-9);
+  EXPECT_NEAR(catalog.halos[0].cy, 4.5, 1e-9);
+  EXPECT_NEAR(catalog.halos[0].cz, 4.5, 1e-9);
+  EXPECT_NEAR(catalog.halos[0].mass, 8 * 500.0, 1e-9);
+}
+
+TEST(HaloFinder, MinCellsRuleFiltersSmallClumps) {
+  auto field = uniform_field(16);
+  for (std::size_t x = 2; x < 6; ++x) field.at(x, 2, 2) = 900.0;  // 4 cells only
+  HaloFinderConfig config;
+  config.min_cells = 8;
+  EXPECT_TRUE(nyx::find_halos(field, config).halos.empty());
+  config.min_cells = 4;
+  EXPECT_EQ(nyx::find_halos(field, config).halos.size(), 1u);
+}
+
+TEST(HaloFinder, SixConnectivityDoesNotLinkDiagonals) {
+  auto field = uniform_field(16);
+  // Two 8-cell blobs touching only at a corner: must remain two halos.
+  for (std::size_t z = 2; z < 4; ++z)
+    for (std::size_t y = 2; y < 4; ++y)
+      for (std::size_t x = 2; x < 4; ++x) field.at(x, y, z) = 800.0;
+  for (std::size_t z = 4; z < 6; ++z)
+    for (std::size_t y = 4; y < 6; ++y)
+      for (std::size_t x = 4; x < 6; ++x) field.at(x, y, z) = 700.0;
+  const auto catalog = nyx::find_halos(field);
+  EXPECT_EQ(catalog.halos.size(), 2u);
+}
+
+TEST(HaloFinder, FaceContactMergesComponents) {
+  auto field = uniform_field(16);
+  for (std::size_t z = 2; z < 4; ++z)
+    for (std::size_t y = 2; y < 4; ++y)
+      for (std::size_t x = 2; x < 6; ++x) field.at(x, y, z) = 600.0;  // one 16-cell bar
+  const auto catalog = nyx::find_halos(field);
+  ASSERT_EQ(catalog.halos.size(), 1u);
+  EXPECT_EQ(catalog.halos[0].cells, 16u);
+}
+
+TEST(HaloFinder, ThresholdScalesWithMean) {
+  // Scaling all data by 2^k scales threshold and masses but keeps the same
+  // candidate set — the Exponent-Bias SDC signature of Table IV.
+  FieldConfig config;
+  config.n = 24;
+  auto field = nyx::generate_density_field(config);
+  const auto golden = nyx::find_halos(field);
+  for (auto& v : field.data()) v *= 4096.0;
+  const auto scaled = nyx::find_halos(field);
+  ASSERT_EQ(scaled.halos.size(), golden.halos.size());
+  for (std::size_t i = 0; i < golden.halos.size(); ++i) {
+    EXPECT_EQ(scaled.halos[i].cells, golden.halos[i].cells);
+    EXPECT_DOUBLE_EQ(scaled.halos[i].cx, golden.halos[i].cx);
+    EXPECT_NEAR(scaled.halos[i].mass, golden.halos[i].mass * 4096.0,
+                golden.halos[i].mass);
+  }
+}
+
+TEST(HaloFinder, NonFiniteDataYieldsEmptyCatalog) {
+  auto field = uniform_field(8);
+  field.at(1, 1, 1) = std::numeric_limits<double>::infinity();
+  const auto catalog = nyx::find_halos(field);
+  EXPECT_TRUE(catalog.halos.empty());  // threshold became infinite
+}
+
+TEST(HaloFinder, SortedByMassDescending) {
+  FieldConfig config;
+  config.n = 32;
+  const auto field = nyx::generate_density_field(config);
+  const auto catalog = nyx::find_halos(field);
+  ASSERT_GE(catalog.halos.size(), 2u);
+  for (std::size_t i = 1; i < catalog.halos.size(); ++i) {
+    EXPECT_GE(catalog.halos[i - 1].mass, catalog.halos[i].mass);
+  }
+}
+
+TEST(HaloFinder, CatalogTextIsStableAndParsable) {
+  FieldConfig config;
+  config.n = 24;
+  const auto field = nyx::generate_density_field(config);
+  const auto a = nyx::find_halos(field).to_text();
+  const auto b = nyx::find_halos(field).to_text();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("total_halos="), std::string::npos);
+}
+
+// --- plotfile I/O -----------------------------------------------------------------
+
+TEST(Plotfile, RoundtripPreservesField) {
+  FieldConfig config;
+  config.n = 16;
+  const auto field = nyx::generate_density_field(config);
+  vfs::MemFs fs;
+  const auto info = nyx::write_plotfile(fs, "/plt.h5", field);
+  EXPECT_EQ(info.data_addresses[0], info.metadata_size);
+  const auto back = nyx::read_plotfile(fs, "/plt.h5");
+  EXPECT_EQ(back.n(), field.n());
+  EXPECT_EQ(back.data(), field.data());
+}
+
+TEST(Plotfile, NonCubicDatasetRejected) {
+  vfs::MemFs fs;
+  h5::H5File file;
+  h5::Dataset ds;
+  ds.name = nyx::kDensityDatasetName;
+  ds.dims = {4, 4, 8};
+  ds.data.resize(128, 1.0);
+  file.datasets.push_back(std::move(ds));
+  (void)h5::write_h5(fs, "/bad.h5", file);
+  EXPECT_THROW((void)nyx::read_plotfile(fs, "/bad.h5"), h5::H5FormatError);
+}
+
+// --- NyxApp ------------------------------------------------------------------------
+
+TEST(NyxApp, RunAnalyzeGoldenIsBenign) {
+  nyx::NyxConfig config;
+  config.field.n = 32;
+  nyx::NyxApp app(config);
+  vfs::MemFs fs;
+  core::RunContext ctx{.fs = fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  const auto a = app.analyze(fs);
+  const auto b = app.analyze(fs);
+  EXPECT_EQ(a.comparison_blob, b.comparison_blob);
+  EXPECT_GE(a.metric("halo_count"), 1.0);
+  EXPECT_NEAR(a.metric("mean_density"), 1.0, 1e-9);
+}
+
+TEST(NyxApp, FieldCacheServesRepeatedRuns) {
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  nyx::NyxApp app(config);
+  const auto& f1 = app.field(3);
+  const auto& f2 = app.field(3);
+  EXPECT_EQ(&f1, &f2);  // same cached object
+  const auto& f3 = app.field(4);
+  EXPECT_NE(f1.data(), f3.data());
+}
+
+TEST(NyxApp, WritesAreChunked) {
+  nyx::NyxConfig config;
+  config.field.n = 16;  // 32 KB raw data
+  config.h5_options.data_chunk_bytes = 4096;
+  nyx::NyxApp app(config);
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  core::RunContext ctx{.fs = counting, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  EXPECT_EQ(counting.count(vfs::Primitive::Pwrite), 10u);  // 8 data + metadata + EOF
+  EXPECT_EQ(counting.count(vfs::Primitive::Mknod), 1u);    // lock protocol
+  EXPECT_EQ(counting.count(vfs::Primitive::Unlink), 1u);
+}
+
+TEST(NyxApp, ClassifyPaperRule) {
+  nyx::NyxApp app;
+  core::AnalysisResult golden, faulty;
+  golden.metrics["halo_count"] = 12;
+  golden.metrics["mean_density"] = 1.0;
+  faulty.metrics["halo_count"] = 0;
+  faulty.metrics["mean_density"] = 1.0;
+  EXPECT_EQ(app.classify(golden, faulty), core::Outcome::Detected);  // no halos
+  faulty.metrics["halo_count"] = 11;
+  EXPECT_EQ(app.classify(golden, faulty), core::Outcome::Sdc);  // halos but different
+}
+
+TEST(NyxApp, AverageValueDetectorFlagsMeanShift) {
+  nyx::NyxConfig config;
+  config.use_average_value_detector = true;
+  nyx::NyxApp app(config);
+  core::AnalysisResult golden, faulty;
+  golden.metrics["halo_count"] = 12;
+  faulty.metrics["halo_count"] = 11;
+  faulty.metrics["mean_density"] = 0.9983;  // the paper's DW signature
+  EXPECT_EQ(app.classify(golden, faulty), core::Outcome::Detected);
+  faulty.metrics["mean_density"] = 1.0000001;
+  EXPECT_EQ(app.classify(golden, faulty), core::Outcome::Sdc);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Unit tests for the Nyx power-spectrum post-analysis and its FFT substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ffis/apps/nyx/power_spectrum.hpp"
+#include "ffis/util/rng.hpp"
+
+namespace {
+
+using namespace ffis;
+using std::complex;
+
+// --- 1-D FFT ---------------------------------------------------------------
+
+TEST(Fft1d, DeltaFunctionHasFlatSpectrum) {
+  std::vector<complex<double>> data(16, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  nyx::fft_1d(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, SingleModeLandsInOneBin) {
+  const std::size_t n = 32;
+  std::vector<complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                        static_cast<double>(n)),
+               0.0};
+  }
+  nyx::fft_1d(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double magnitude = std::abs(data[k]);
+    if (k == 5 || k == n - 5) {
+      EXPECT_NEAR(magnitude, static_cast<double>(n) / 2.0, 1e-9) << k;
+    } else {
+      EXPECT_NEAR(magnitude, 0.0, 1e-9) << k;
+    }
+  }
+}
+
+TEST(Fft1d, ForwardInverseIsIdentity) {
+  util::Rng rng(3);
+  std::vector<complex<double>> data(64);
+  for (auto& x : data) x = {rng.gaussian(), rng.gaussian()};
+  const auto original = data;
+  nyx::fft_1d(data);
+  nyx::fft_1d(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft1d, ParsevalHolds) {
+  util::Rng rng(7);
+  std::vector<complex<double>> data(128);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.gaussian(), 0.0};
+    time_energy += std::norm(x);
+  }
+  nyx::fft_1d(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, time_energy * 1e-9);
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<complex<double>> data(12);
+  EXPECT_THROW(nyx::fft_1d(data), std::invalid_argument);
+}
+
+// --- 3-D FFT ---------------------------------------------------------------
+
+TEST(Fft3d, ForwardInverseIsIdentity) {
+  const std::size_t n = 8;
+  util::Rng rng(9);
+  std::vector<complex<double>> data(n * n * n);
+  for (auto& x : data) x = {rng.gaussian(), 0.0};
+  const auto original = data;
+  nyx::fft_3d(data, n);
+  nyx::fft_3d(data, n, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+  }
+}
+
+TEST(Fft3d, PlaneWaveLandsAtItsWavevector) {
+  const std::size_t n = 8;
+  std::vector<complex<double>> data(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double phase = 2.0 * std::numbers::pi *
+                             (2.0 * static_cast<double>(x) + 1.0 * static_cast<double>(z)) /
+                             static_cast<double>(n);
+        data[(z * n + y) * n + x] = {std::cos(phase), std::sin(phase)};
+      }
+  nyx::fft_3d(data, n);
+  // All energy at (kx, ky, kz) = (2, 0, 1).
+  const auto idx = (1u * n + 0u) * n + 2u;
+  EXPECT_NEAR(std::abs(data[idx]), static_cast<double>(n * n * n), 1e-6);
+  double elsewhere = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != idx) elsewhere = std::max(elsewhere, std::abs(data[i]));
+  }
+  EXPECT_NEAR(elsewhere, 0.0, 1e-6);
+}
+
+// --- power spectrum -----------------------------------------------------------
+
+TEST(PowerSpectrum, UniformFieldHasZeroPower) {
+  const nyx::DensityField field(16, std::vector<double>(16 * 16 * 16, 3.0));
+  const auto spectrum = nyx::compute_power_spectrum(field);
+  for (const double p : spectrum.power) EXPECT_NEAR(p, 0.0, 1e-20);
+}
+
+TEST(PowerSpectrum, SingleModePeaksInItsShell) {
+  const std::size_t n = 16;
+  std::vector<double> data(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        data[(z * n + y) * n + x] =
+            1.0 + 0.1 * std::cos(2.0 * std::numbers::pi * 3.0 * static_cast<double>(x) /
+                                 static_cast<double>(n));
+      }
+  const auto spectrum = nyx::compute_power_spectrum(nyx::DensityField(n, std::move(data)));
+  // Shell |k| in [3,4) is bin index 2 (bins start at |k| = 1).
+  std::size_t peak = 0;
+  for (std::size_t b = 1; b < spectrum.power.size(); ++b) {
+    if (spectrum.power[b] > spectrum.power[peak]) peak = b;
+  }
+  EXPECT_EQ(peak, 2u);
+}
+
+TEST(PowerSpectrum, ScaleInvarianceOfContrast) {
+  // delta = rho/mean - 1 is invariant under rho -> c rho: the Exponent-Bias
+  // SDC is invisible to the spectrum, unlike to halo masses.
+  nyx::FieldConfig config;
+  config.n = 16;
+  auto field = nyx::generate_density_field(config);
+  const auto golden = nyx::compute_power_spectrum(field);
+  for (auto& v : field.data()) v *= 4096.0;
+  const auto scaled = nyx::compute_power_spectrum(field);
+  EXPECT_LT(scaled.max_relative_deviation(golden), 1e-9);
+}
+
+TEST(PowerSpectrum, SensitiveToDroppedChunk) {
+  nyx::FieldConfig config;
+  config.n = 16;
+  auto field = nyx::generate_density_field(config);
+  const auto golden = nyx::compute_power_spectrum(field);
+  for (std::size_t i = 0; i < 512; ++i) field.data()[i] = 0.0;  // a dropped 4 KB
+  const auto faulty = nyx::compute_power_spectrum(field);
+  EXPECT_GT(faulty.max_relative_deviation(golden), 0.01);
+}
+
+TEST(PowerSpectrum, TextRenderingIsStable) {
+  nyx::FieldConfig config;
+  config.n = 16;
+  const auto field = nyx::generate_density_field(config);
+  EXPECT_EQ(nyx::compute_power_spectrum(field).to_text(),
+            nyx::compute_power_spectrum(field).to_text());
+  EXPECT_NE(nyx::compute_power_spectrum(field).to_text().find("# power spectrum"),
+            std::string::npos);
+}
+
+TEST(PowerSpectrum, RejectsBadGrids) {
+  EXPECT_THROW((void)nyx::compute_power_spectrum(
+                   nyx::DensityField(12, std::vector<double>(12 * 12 * 12, 1.0))),
+               std::invalid_argument);
+}
+
+TEST(PowerSpectrum, NonFiniteMeanRejected) {
+  std::vector<double> data(8 * 8 * 8, 1.0);
+  data[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)nyx::compute_power_spectrum(nyx::DensityField(8, std::move(data))),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,324 @@
+// Unit tests for ffis::vfs — MemFs / PosixFs semantics, decorators, helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/file_system.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+#include "ffis/vfs/passthrough_fs.hpp"
+#include "ffis/vfs/posix_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using vfs::OpenMode;
+using vfs::Primitive;
+using vfs::VfsError;
+
+util::Bytes bytes_of(const std::string& s) { return util::to_bytes(s); }
+
+// --- Backend conformance suite, run against both MemFs and PosixFs ----------
+
+enum class Backend { Mem, Posix };
+
+class BackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::Mem) {
+      fs_ = std::make_unique<vfs::MemFs>();
+    } else {
+      root_ = std::filesystem::temp_directory_path() /
+              ("ffis_vfs_test_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter_++));
+      std::filesystem::create_directories(root_);
+      fs_ = std::make_unique<vfs::PosixFs>(root_.string());
+    }
+  }
+  void TearDown() override {
+    fs_.reset();
+    if (!root_.empty()) std::filesystem::remove_all(root_);
+  }
+
+  vfs::FileSystem& fs() { return *fs_; }
+
+ private:
+  std::unique_ptr<vfs::FileSystem> fs_;
+  std::filesystem::path root_;
+  static int counter_;
+};
+
+int BackendTest::counter_ = 0;
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest, ::testing::Values(Backend::Mem, Backend::Posix),
+                         [](const auto& info) {
+                           return info.param == Backend::Mem ? "MemFs" : "PosixFs";
+                         });
+
+TEST_P(BackendTest, WriteThenReadRoundtrip) {
+  vfs::write_file(fs(), "/a.txt", bytes_of("hello"));
+  EXPECT_EQ(vfs::read_text_file(fs(), "/a.txt"), "hello");
+}
+
+TEST_P(BackendTest, OpenReadMissingFileThrows) {
+  EXPECT_THROW(fs().open("/missing", OpenMode::Read), VfsError);
+}
+
+TEST_P(BackendTest, WriteModeTruncatesExisting) {
+  vfs::write_file(fs(), "/f", bytes_of("0123456789"));
+  vfs::write_file(fs(), "/f", bytes_of("ab"));
+  EXPECT_EQ(vfs::read_text_file(fs(), "/f"), "ab");
+}
+
+TEST_P(BackendTest, ReadWriteModeDoesNotTruncate) {
+  vfs::write_file(fs(), "/f", bytes_of("0123456789"));
+  {
+    vfs::File f(fs(), "/f", OpenMode::ReadWrite);
+    f.pwrite(bytes_of("XY"), 2);
+  }
+  EXPECT_EQ(vfs::read_text_file(fs(), "/f"), "01XY456789");
+}
+
+TEST_P(BackendTest, PwriteBeyondEofZeroFillsGap) {
+  vfs::File f(fs(), "/gap", OpenMode::Write);
+  f.pwrite(bytes_of("end"), 10);
+  f.reset();
+  const util::Bytes data = vfs::read_file(fs(), "/gap");
+  ASSERT_EQ(data.size(), 13u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(std::to_integer<int>(data[i]), 0);
+  EXPECT_EQ(util::to_string(util::ByteSpan(data).subspan(10)), "end");
+}
+
+TEST_P(BackendTest, PreadPastEofReturnsZero) {
+  vfs::write_file(fs(), "/f", bytes_of("abc"));
+  vfs::File f(fs(), "/f", OpenMode::Read);
+  util::Bytes buf(10);
+  EXPECT_EQ(f.pread(buf, 100), 0u);
+}
+
+TEST_P(BackendTest, PreadPartialAtEof) {
+  vfs::write_file(fs(), "/f", bytes_of("abcdef"));
+  vfs::File f(fs(), "/f", OpenMode::Read);
+  util::Bytes buf(10);
+  EXPECT_EQ(f.pread(buf, 4), 2u);
+  EXPECT_EQ(util::to_string(util::ByteSpan(buf).first(2)), "ef");
+}
+
+TEST_P(BackendTest, StatReportsSize) {
+  vfs::write_file(fs(), "/f", bytes_of("12345"));
+  const auto st = fs().stat("/f");
+  EXPECT_EQ(st.size, 5u);
+  EXPECT_FALSE(st.is_dir);
+}
+
+TEST_P(BackendTest, MkdirAndStat) {
+  fs().mkdir("/d");
+  EXPECT_TRUE(fs().stat("/d").is_dir);
+  EXPECT_THROW(fs().mkdir("/d"), VfsError);
+}
+
+TEST_P(BackendTest, MkdirsCreatesChain) {
+  vfs::mkdirs(fs(), "/a/b/c");
+  EXPECT_TRUE(fs().stat("/a/b/c").is_dir);
+  vfs::mkdirs(fs(), "/a/b/c");  // idempotent
+}
+
+TEST_P(BackendTest, ReaddirSortedNames) {
+  fs().mkdir("/d");
+  vfs::write_file(fs(), "/d/zz", bytes_of("1"));
+  vfs::write_file(fs(), "/d/aa", bytes_of("2"));
+  fs().mkdir("/d/mm");
+  const auto names = fs().readdir("/d");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "aa");
+  EXPECT_EQ(names[1], "mm");
+  EXPECT_EQ(names[2], "zz");
+}
+
+TEST_P(BackendTest, UnlinkRemoves) {
+  vfs::write_file(fs(), "/f", bytes_of("x"));
+  EXPECT_TRUE(fs().exists("/f"));
+  fs().unlink("/f");
+  EXPECT_FALSE(fs().exists("/f"));
+  EXPECT_THROW(fs().unlink("/f"), VfsError);
+}
+
+TEST_P(BackendTest, RenameMovesContent) {
+  vfs::write_file(fs(), "/src", bytes_of("payload"));
+  fs().rename("/src", "/dst");
+  EXPECT_FALSE(fs().exists("/src"));
+  EXPECT_EQ(vfs::read_text_file(fs(), "/dst"), "payload");
+}
+
+TEST_P(BackendTest, TruncateShrinksAndGrows) {
+  vfs::write_file(fs(), "/f", bytes_of("123456"));
+  fs().truncate("/f", 3);
+  EXPECT_EQ(vfs::read_text_file(fs(), "/f"), "123");
+  fs().truncate("/f", 5);
+  EXPECT_EQ(fs().stat("/f").size, 5u);
+}
+
+TEST_P(BackendTest, MknodCreatesEmptyFileWithMode) {
+  fs().mknod("/node", 0640);
+  EXPECT_TRUE(fs().exists("/node"));
+  EXPECT_EQ(fs().stat("/node").size, 0u);
+  EXPECT_EQ(fs().stat("/node").mode & 0777, 0640u);
+  EXPECT_THROW(fs().mknod("/node", 0640), VfsError);
+}
+
+TEST_P(BackendTest, ChmodChangesMode) {
+  fs().mknod("/node", 0600);
+  fs().chmod("/node", 0444);
+  EXPECT_EQ(fs().stat("/node").mode & 0777, 0444u);
+}
+
+TEST_P(BackendTest, CloseInvalidatesHandle) {
+  vfs::write_file(fs(), "/f", bytes_of("x"));
+  const auto fh = fs().open("/f", OpenMode::Read);
+  fs().close(fh);
+  util::Bytes buf(1);
+  EXPECT_THROW(fs().pread(fh, buf, 0), VfsError);
+  EXPECT_THROW(fs().close(fh), VfsError);
+}
+
+TEST_P(BackendTest, FsyncOnOpenHandle) {
+  vfs::write_file(fs(), "/f", bytes_of("x"));
+  vfs::File f(fs(), "/f", OpenMode::ReadWrite);
+  EXPECT_NO_THROW(f.fsync());
+}
+
+TEST_P(BackendTest, RelativePathsRejected) {
+  EXPECT_THROW(fs().open("relative", OpenMode::Write), VfsError);
+}
+
+TEST_P(BackendTest, SnapshotRestoreRoundtrip) {
+  vfs::mkdirs(fs(), "/a/b");
+  vfs::write_file(fs(), "/top", bytes_of("1"));
+  vfs::write_file(fs(), "/a/mid", bytes_of("22"));
+  vfs::write_file(fs(), "/a/b/deep", bytes_of("333"));
+  const auto snapshot = vfs::snapshot_tree(fs());
+  EXPECT_EQ(snapshot.size(), 3u);
+
+  vfs::MemFs fresh;
+  vfs::restore_tree(fresh, snapshot);
+  EXPECT_EQ(vfs::read_text_file(fresh, "/top"), "1");
+  EXPECT_EQ(vfs::read_text_file(fresh, "/a/mid"), "22");
+  EXPECT_EQ(vfs::read_text_file(fresh, "/a/b/deep"), "333");
+}
+
+// --- MemFs specifics -----------------------------------------------------------
+
+TEST(MemFs, NormalizesDuplicateSlashes) {
+  vfs::MemFs fs;
+  fs.mkdir("/a");
+  vfs::write_file(fs, "//a///b", bytes_of("x"));
+  EXPECT_TRUE(fs.exists("/a/b"));
+}
+
+TEST(MemFs, ParentMustExist) {
+  vfs::MemFs fs;
+  EXPECT_THROW(fs.open("/no/such/dir/file", OpenMode::Write), VfsError);
+}
+
+TEST(MemFs, TotalBytesTracksContent) {
+  vfs::MemFs fs;
+  EXPECT_EQ(fs.total_bytes(), 0u);
+  vfs::write_file(fs, "/f", util::Bytes(100));
+  EXPECT_EQ(fs.total_bytes(), 100u);
+}
+
+TEST(MemFs, DirectoryOpsRejectedOnFiles) {
+  vfs::MemFs fs;
+  vfs::write_file(fs, "/f", bytes_of("x"));
+  EXPECT_THROW(fs.readdir("/f"), VfsError);
+  EXPECT_THROW(fs.open("/f/x", OpenMode::Write), VfsError);
+}
+
+TEST(MemFs, UnlinkRejectsDirectory) {
+  vfs::MemFs fs;
+  fs.mkdir("/d");
+  EXPECT_THROW(fs.unlink("/d"), VfsError);
+}
+
+// --- PosixFs specifics -----------------------------------------------------------
+
+TEST(PosixFs, RejectsDotDotPaths) {
+  const auto root = std::filesystem::temp_directory_path() / "ffis_posix_dotdot";
+  std::filesystem::create_directories(root);
+  vfs::PosixFs fs(root.string());
+  EXPECT_THROW(fs.open("/../escape", OpenMode::Write), VfsError);
+  std::filesystem::remove_all(root);
+}
+
+TEST(PosixFs, RequiresExistingRoot) {
+  EXPECT_THROW(vfs::PosixFs("/no/such/ffis/root"), VfsError);
+}
+
+// --- Primitive names -------------------------------------------------------------
+
+TEST(Primitives, NamesRoundtrip) {
+  for (std::size_t i = 0; i < vfs::kPrimitiveCount; ++i) {
+    const auto p = static_cast<Primitive>(i);
+    EXPECT_EQ(vfs::parse_primitive(vfs::primitive_name(p)), p);
+  }
+}
+
+TEST(Primitives, PaperSpellingsAccepted) {
+  EXPECT_EQ(vfs::parse_primitive("FFIS_write"), Primitive::Pwrite);
+  EXPECT_EQ(vfs::parse_primitive("FFIS_mknod"), Primitive::Mknod);
+  EXPECT_EQ(vfs::parse_primitive("FFIS_chmod"), Primitive::Chmod);
+  EXPECT_EQ(vfs::parse_primitive("read"), Primitive::Pread);
+  EXPECT_THROW(vfs::parse_primitive("bogus"), VfsError);
+}
+
+// --- CountingFs ---------------------------------------------------------------------
+
+TEST(CountingFs, CountsPrimitivesAndBytes) {
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+
+  vfs::write_file(counting, "/f", bytes_of("0123456789"));
+  EXPECT_EQ(counting.count(Primitive::Create), 1u);
+  EXPECT_EQ(counting.count(Primitive::Pwrite), 1u);
+  EXPECT_EQ(counting.count(Primitive::Close), 1u);
+  EXPECT_EQ(counting.bytes_written(), 10u);
+
+  (void)vfs::read_file(counting, "/f");
+  EXPECT_EQ(counting.count(Primitive::Open), 1u);
+  EXPECT_GE(counting.count(Primitive::Pread), 1u);
+  EXPECT_EQ(counting.bytes_read(), 10u);
+
+  counting.mknod("/n", 0600);
+  counting.chmod("/n", 0644);
+  counting.unlink("/n");
+  EXPECT_EQ(counting.count(Primitive::Mknod), 1u);
+  EXPECT_EQ(counting.count(Primitive::Chmod), 1u);
+  EXPECT_EQ(counting.count(Primitive::Unlink), 1u);
+
+  counting.reset();
+  EXPECT_EQ(counting.count(Primitive::Pwrite), 0u);
+  EXPECT_EQ(counting.bytes_written(), 0u);
+}
+
+TEST(CountingFs, ForwardsResults) {
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  vfs::write_file(counting, "/f", bytes_of("data"));
+  // The write is visible through the backing store directly.
+  EXPECT_EQ(vfs::read_text_file(backing, "/f"), "data");
+}
+
+TEST(PassthroughFs, ForwardsEverything) {
+  vfs::MemFs backing;
+  vfs::PassthroughFs pass(backing);
+  vfs::write_file(pass, "/f", bytes_of("x"));
+  pass.mkdir("/d");
+  pass.rename("/f", "/d/f");
+  EXPECT_TRUE(backing.exists("/d/f"));
+  EXPECT_EQ(pass.readdir("/d").size(), 1u);
+  EXPECT_EQ(&pass.inner(), static_cast<vfs::FileSystem*>(&backing));
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// ffis — command-line driver for the FFIS fault-injection framework.
+//
+// Subcommands:
+//   ffis campaign <config-file>   run a fault-injection campaign
+//   ffis sweep    <config-file>   byte-wise HDF5 metadata sweep (Table III)
+//   ffis profile  <config-file>   fault-free I/O profile of an application
+//   ffis doctor   <dir> <file>    diagnose/repair an HDF5 file on disk
+//   ffis demo                     one-shot end-to-end demonstration
+//
+// Config files are "key = value" text (see faults::parse_campaign_config):
+//
+//   application = nyx        # nyx | qmc | montage
+//   fault = BIT_FLIP@pwrite{width=2}
+//   runs = 1000
+//   seed = 42
+//   stage = -1               # 1..4 scopes Montage stages
+//   grid = 64                # application-specific extras
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ffis/analysis/hdf5_doctor.hpp"
+#include "ffis/analysis/metadata_sweep.hpp"
+#include "ffis/analysis/stats.hpp"
+#include "ffis/apps/app_factory.hpp"
+#include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/core/campaign.hpp"
+#include "ffis/core/io_profiler.hpp"
+#include "ffis/h5/reader.hpp"
+#include "ffis/h5/writer.hpp"
+#include "ffis/vfs/posix_fs.hpp"
+
+using namespace ffis;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ffis <campaign|sweep|profile> <config-file>\n"
+               "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
+               "       ffis demo\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+h5::WriteInfo nyx_layout(std::size_t grid) {
+  h5::H5File shape;
+  h5::Dataset ds;
+  ds.name = nyx::kDensityDatasetName;
+  const auto n = static_cast<std::uint64_t>(grid);
+  ds.dims = {n, n, n};
+  ds.data.assign(n * n * n, 0.0);
+  shape.datasets.push_back(std::move(ds));
+  return h5::plan_layout(shape);
+}
+
+int cmd_campaign(const std::string& config_path) {
+  const auto config = faults::parse_campaign_config(slurp(config_path));
+  const auto app = apps::make_application(config);
+  faults::FaultGenerator generator(config);
+
+  std::printf("application : %s\n", app->name().c_str());
+  std::printf("fault       : %s\n", generator.signature().to_string().c_str());
+  std::printf("runs        : %llu   seed: %llu   stage: %d\n\n",
+              static_cast<unsigned long long>(config.runs),
+              static_cast<unsigned long long>(config.seed), config.stage);
+
+  core::Campaign campaign(*app, generator);
+  campaign.set_progress([](std::uint64_t done, std::uint64_t total) {
+    if (done % 100 == 0 || done == total) {
+      std::fprintf(stderr, "\r%llu / %llu runs", static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total));
+      if (done == total) std::fprintf(stderr, "\n");
+    }
+  });
+  const auto result = campaign.run();
+
+  std::printf("profiled %llu dynamic executions of the target primitive\n",
+              static_cast<unsigned long long>(result.primitive_count));
+  std::printf("%s\n%s\n", analysis::outcome_row_header().c_str(),
+              analysis::format_outcome_row(app->name(), result.tally).c_str());
+  if (result.faults_not_fired > 0) {
+    std::printf("warning: %llu faults never fired\n",
+                static_cast<unsigned long long>(result.faults_not_fired));
+  }
+  return 0;
+}
+
+int cmd_sweep(const std::string& config_path) {
+  auto config = faults::parse_campaign_config(slurp(config_path));
+  if (config.application != "nyx") {
+    std::fprintf(stderr, "sweep currently targets the nyx plotfile\n");
+    return 2;
+  }
+  const auto app = apps::make_application(config);
+  const std::size_t grid = config.extra.contains("grid")
+                               ? std::stoul(config.extra.at("grid"))
+                               : 64;
+  const auto layout = nyx_layout(grid);
+
+  analysis::MetadataSweepConfig sweep_config;
+  sweep_config.target_path = "/plt00000.h5";
+  sweep_config.metadata_bytes = layout.metadata_size;
+  sweep_config.seed = config.seed;
+  const auto sweep = analysis::metadata_sweep(*app, /*app_seed=*/config.seed ^ 0x5eedULL,
+                                              sweep_config);
+
+  std::printf("metadata bytes swept: %llu\n",
+              static_cast<unsigned long long>(layout.metadata_size));
+  std::printf("%s\n", sweep.tally.to_string().c_str());
+  std::printf("\nper-field outcomes (non-benign fields only):\n");
+  for (const auto& [field, tally] : sweep.tally_by_field(layout.field_map)) {
+    if (tally.count(core::Outcome::Benign) == tally.total()) continue;
+    std::printf("  %-66s %s\n", field.c_str(), tally.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(const std::string& config_path) {
+  const auto config = faults::parse_campaign_config(slurp(config_path));
+  const auto app = apps::make_application(config);
+  const auto signature = faults::parse_fault_signature(config.fault);
+  const auto profile = core::IoProfiler::profile(*app, signature,
+                                                 config.seed ^ 0x5eedULL, config.stage);
+  std::printf("application : %s\n", app->name().c_str());
+  std::printf("primitive   : %s\n",
+              std::string(vfs::primitive_name(signature.primitive)).c_str());
+  std::printf("stage       : %d\n", config.stage);
+  std::printf("dynamic executions: %llu\n",
+              static_cast<unsigned long long>(profile.primitive_count));
+  std::printf("bytes written     : %llu\n",
+              static_cast<unsigned long long>(profile.bytes_written));
+  return 0;
+}
+
+int cmd_doctor(const std::string& host_dir, const std::string& file, std::size_t grid) {
+  vfs::PosixFs fs(host_dir);
+  const auto layout = nyx_layout(grid);
+  const analysis::Hdf5Doctor doctor(layout, nyx::kDensityDatasetName);
+
+  auto diagnosis = doctor.diagnose(fs, file);
+  std::printf("diagnosis: %s\n", std::string(analysis::faulty_field_name(diagnosis.field)).c_str());
+  if (!diagnosis.description.empty()) std::printf("  %s\n", diagnosis.description.c_str());
+  if (diagnosis.mean_checked) std::printf("  observed mean: %.9f\n", diagnosis.observed_mean);
+  if (diagnosis.healthy()) return 0;
+  if (!diagnosis.correctable()) {
+    std::printf("not auto-correctable\n");
+    return 1;
+  }
+  diagnosis = doctor.diagnose_and_correct(fs, file);
+  std::printf("after correction: %s\n",
+              diagnosis.healthy() ? "healthy" : diagnosis.description.c_str());
+  return diagnosis.healthy() ? 0 : 1;
+}
+
+int cmd_demo() {
+  faults::CampaignConfig config;
+  config.application = "nyx";
+  config.fault = "DW";
+  config.runs = 50;
+  config.extra["grid"] = "32";
+  const auto app = apps::make_application(config);
+  core::Campaign campaign(*app, faults::FaultGenerator(config));
+  const auto result = campaign.run();
+  std::printf("demo: 50 DROPPED_WRITE injections into mini-Nyx (32^3 grid)\n%s\n",
+              result.tally.to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
+    if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
+    if (command == "profile" && argc == 3) return cmd_profile(argv[2]);
+    if (command == "doctor" && (argc == 4 || argc == 6)) {
+      std::size_t grid = 64;
+      if (argc == 6 && std::string(argv[4]) == "--grid") grid = std::stoul(argv[5]);
+      return cmd_doctor(argv[2], argv[3], grid);
+    }
+    if (command == "demo") return cmd_demo();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ffis: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
