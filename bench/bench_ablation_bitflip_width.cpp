@@ -1,5 +1,6 @@
 // Ablation (paper footnote 3): the SDC rate of Nyx stays minimal when the
-// flip width grows from 2 to 4 bits.  We sweep widths 1/2/4/8.
+// flip width grows from 2 to 4 bits.  We sweep widths 1/2/4/8 as one
+// four-cell plan — one golden Nyx execution serves all four widths.
 
 #include <cstdio>
 
@@ -12,18 +13,16 @@ int main() {
   const std::uint64_t runs = bench::runs_per_cell();
   bench::print_header("Ablation: BIT_FLIP width sweep on Nyx",
                       "paper footnote 3 (4-bit flips keep the Nyx SDC rate minimal)");
-  std::printf("runs per cell: %llu\n\n%s\n",
-              static_cast<unsigned long long>(runs),
-              analysis::outcome_row_header().c_str());
+  std::printf("runs per cell: %llu\n\n", static_cast<unsigned long long>(runs));
 
   nyx::NyxApp app;
+  auto builder = bench::plan(runs);
   for (const int width : {1, 2, 4, 8}) {
-    const std::string fault = "BIT_FLIP@pwrite{width=" + std::to_string(width) + "}";
-    const auto result = bench::run_campaign(app, fault, runs);
-    std::printf("%s\n",
-                analysis::format_outcome_row("BF-w" + std::to_string(width), result.tally)
-                    .c_str());
+    builder.cell(app, "BIT_FLIP@pwrite{width=" + std::to_string(width) + "}", -1,
+                 "BF-w" + std::to_string(width));
   }
+  bench::run_plan(builder.build());
+
   std::printf("\nexpected: the SDC rate remains minimal at every width (the paper "
               "tested 2 and 4).\n");
   return 0;

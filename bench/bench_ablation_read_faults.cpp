@@ -4,8 +4,13 @@
 // stages re-read every intermediate file.  Read faults are transient (the
 // on-device data stays intact), so their footprint differs from write
 // faults: only the consuming stage sees the corruption.
+//
+// All six cells are one plan: one golden Montage execution, six profiling
+// passes (the pread and pwrite primitives profile differently), and every
+// injection run interleaved on the shared pool.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "ffis/apps/montage/montage_app.hpp"
@@ -16,23 +21,22 @@ int main() {
   const std::uint64_t runs = bench::runs_per_cell(120);
   bench::print_header("Ablation: read-path faults (pread) vs write-path faults (pwrite)",
                       "paper abstract (faults in data returned from the file system)");
-  std::printf("runs per cell: %llu; application: Montage, stage 3 (mBgExec)\n\n%s\n",
-              static_cast<unsigned long long>(runs),
-              analysis::outcome_row_header().c_str());
+  std::printf("runs per cell: %llu; application: Montage, stage 3 (mBgExec)\n\n",
+              static_cast<unsigned long long>(runs));
 
   montage::MontageApp app;
+  auto builder = bench::plan(runs);
   for (const char* fault :
        {"BIT_FLIP@pwrite{width=2}", "BIT_FLIP@pread{width=2}", "SHORN_WRITE@pwrite",
         "SHORN_WRITE@pread", "DROPPED_WRITE@pwrite", "DROPPED_WRITE@pread"}) {
-    const auto result = bench::run_campaign(app, fault, runs, /*stage=*/3);
     const std::string label = std::string(fault).substr(0, 2) +
                               (std::string(fault).find("pread") != std::string::npos
                                    ? "-read"
                                    : "-write");
-    std::printf("%s   (%llu primitive executions)\n",
-                analysis::format_outcome_row(label, result.tally).c_str(),
-                static_cast<unsigned long long>(result.primitive_count));
+    builder.cell(app, fault, /*stage=*/3, label);
   }
+  bench::run_plan(builder.build(), /*show_primitive_count=*/true);
+
   std::printf("\nnote: a dropped READ truncates what the consuming stage sees (its\n"
               "tolerant readers skip the tile), while a dropped WRITE persists the\n"
               "loss for every later consumer — write faults dominate, matching the\n"

@@ -1,6 +1,7 @@
 // Ablation (paper Table I): SHORN_WRITE completes the first 3/8 or 7/8 of
 // each 4 KB block.  We sweep the completed fraction and the tail model on
-// all three applications.
+// all three applications — an 18-cell plan sharing one thread pool and one
+// golden run per application.
 
 #include <cstdio>
 
@@ -15,39 +16,27 @@ int main() {
   const std::uint64_t runs = bench::runs_per_cell(120);
   bench::print_header("Ablation: SHORN_WRITE completed fraction and tail model",
                       "paper Table I (3/8 vs 7/8 of a 4KB block, 512B sectors)");
-  std::printf("runs per cell: %llu\n\n%s\n",
-              static_cast<unsigned long long>(runs),
-              analysis::outcome_row_header().c_str());
+  std::printf("runs per cell: %llu\n\n", static_cast<unsigned long long>(runs));
 
   nyx::NyxApp nyx_app;
   qmc::QmcApp qmc_app;
   montage::MontageApp montage_app;
 
+  auto builder = bench::plan(runs);
   for (const int eighths : {3, 7}) {
     for (const char* tail : {"adjacent-data", "garbage", "stale"}) {
       const std::string fault = "SHORN_WRITE@pwrite{completed=" +
                                 std::to_string(eighths) + ",tail=" + tail + "}";
       const std::string suffix =
           std::to_string(eighths) + "/8-" + std::string(tail).substr(0, 3);
-      {
-        const auto result = bench::run_campaign(nyx_app, fault, runs);
-        std::printf("%s\n",
-                    analysis::format_outcome_row("NYX-" + suffix, result.tally).c_str());
-      }
-      {
-        const auto result = bench::run_campaign(qmc_app, fault, runs);
-        std::printf("%s\n",
-                    analysis::format_outcome_row("QMC-" + suffix, result.tally).c_str());
-      }
-      {
-        const auto result = bench::run_campaign(montage_app, fault, runs, /*stage=*/1);
-        std::printf("%s\n",
-                    analysis::format_outcome_row("MT1-" + suffix, result.tally).c_str());
-      }
+      builder.cell(nyx_app, fault, -1, "NYX-" + suffix);
+      builder.cell(qmc_app, fault, -1, "QMC-" + suffix);
+      builder.cell(montage_app, fault, /*stage=*/1, "MT1-" + suffix);
     }
-    std::printf("\n");
   }
-  std::printf("expected: losing 5/8 instead of 1/8 raises corruption rates; the\n"
+  bench::run_plan(builder.build());
+
+  std::printf("\nexpected: losing 5/8 instead of 1/8 raises corruption rates; the\n"
               "adjacent-data tail (same-order-of-magnitude replacement, paper V-B)\n"
               "is the mildest, garbage the harshest.\n");
   return 0;

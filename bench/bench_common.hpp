@@ -4,22 +4,40 @@
 // Sample sizes default to a few hundred runs per cell so the whole bench
 // suite finishes in minutes; set FFIS_RUNS=1000 to reproduce the paper's
 // full sample size (1-2 % error bars at 95 % confidence).
+//
+// Campaign grids are expressed as exp::ExperimentPlans and executed by
+// exp::Engine: one shared thread pool for every cell and one golden run per
+// application, streamed to the console as Figure-7-style rows.
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "ffis/analysis/stats.hpp"
-#include "ffis/core/campaign.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/exp/sink.hpp"
 #include "ffis/util/env.hpp"
 
 namespace ffis::bench {
 
 inline std::uint64_t runs_per_cell(std::uint64_t fallback = 200) {
-  return static_cast<std::uint64_t>(util::env_int("FFIS_RUNS", static_cast<std::int64_t>(fallback)));
+  const std::int64_t runs =
+      util::env_int("FFIS_RUNS", static_cast<std::int64_t>(fallback));
+  if (runs <= 0) {
+    throw std::invalid_argument("FFIS_RUNS must be a positive integer, got " +
+                                std::to_string(runs));
+  }
+  return static_cast<std::uint64_t>(runs);
 }
 
 inline std::uint64_t campaign_seed() {
-  return static_cast<std::uint64_t>(util::env_int("FFIS_SEED", 42));
+  const std::int64_t seed = util::env_int("FFIS_SEED", 42);
+  if (seed < 0) {
+    throw std::invalid_argument("FFIS_SEED must be non-negative, got " +
+                                std::to_string(seed));
+  }
+  return static_cast<std::uint64_t>(seed);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_reference) {
@@ -29,17 +47,29 @@ inline void print_header(const std::string& title, const std::string& paper_refe
   std::printf("================================================================\n");
 }
 
-inline core::CampaignResult run_campaign(const core::Application& app,
-                                         const std::string& fault, std::uint64_t runs,
-                                         int stage = -1, bool keep_details = false) {
-  faults::CampaignConfig config;
-  config.application = app.name();
-  config.fault = fault;
-  config.runs = runs;
-  config.seed = campaign_seed();
-  config.stage = stage;
-  core::Campaign campaign(app, faults::FaultGenerator(config), keep_details);
-  return campaign.run();
+/// A PlanBuilder pre-seeded with the harness environment (FFIS_RUNS /
+/// FFIS_SEED).  Add cells, then hand the built plan to run_plan().
+inline exp::PlanBuilder plan(std::uint64_t runs) {
+  exp::PlanBuilder builder;
+  builder.runs(runs).seed(campaign_seed());
+  return builder;
+}
+
+/// Executes the plan on the shared engine with a console table sink and
+/// returns the full report (per-cell tallies in plan order).  A failed cell
+/// throws after the table is printed, so scripted bench runs exit nonzero —
+/// matching the old behavior where a failed campaign escaped main().
+inline exp::ExperimentReport run_plan(const exp::ExperimentPlan& experiment_plan,
+                                      bool show_primitive_count = false) {
+  exp::ConsoleTableSink sink(stdout, show_primitive_count);
+  exp::Engine engine;
+  exp::ExperimentReport report = engine.run(experiment_plan, sink);
+  for (const auto& cell : report.cells) {
+    if (!cell.error.empty()) {
+      throw std::runtime_error("cell " + cell.cell.label + " failed: " + cell.error);
+    }
+  }
+  return report;
 }
 
 }  // namespace ffis::bench

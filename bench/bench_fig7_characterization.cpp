@@ -2,6 +2,10 @@
 // {NYX, QMC, MT1..MT4} x {BIT_FLIP, SHORN_WRITE, DROPPED_WRITE}, plus the
 // note that Nyx's SDC cases all become Detected once the average-value-based
 // method is enabled.
+//
+// The whole grid is ONE experiment plan: 18 cells share a single thread
+// pool, and the engine's golden cache performs each application's golden
+// execution once (3 goldens for 18 cells) instead of once per cell.
 
 #include <cstdio>
 
@@ -18,47 +22,32 @@ int main() {
                       "paper Fig. 7 (outcome fractions per application x fault model)");
   std::printf("runs per cell: %llu (FFIS_RUNS=1000 for the paper's sample size)\n\n",
               static_cast<unsigned long long>(runs));
-  std::printf("%s\n", analysis::outcome_row_header().c_str());
 
   nyx::NyxApp nyx_app;
   qmc::QmcApp qmc_app;
   montage::MontageApp montage_app;
 
+  auto builder = bench::plan(runs);
   for (const char* fault : {"BF", "SW", "DW"}) {
-    {
-      const auto result = bench::run_campaign(nyx_app, fault, runs);
-      std::printf("%s\n",
-                  analysis::format_outcome_row(std::string("NYX-") + fault, result.tally)
-                      .c_str());
-    }
-    {
-      const auto result = bench::run_campaign(qmc_app, fault, runs);
-      std::printf("%s\n",
-                  analysis::format_outcome_row(std::string("QMC-") + fault, result.tally)
-                      .c_str());
-    }
+    builder.cell(nyx_app, fault, -1, std::string("NYX-") + fault);
+    builder.cell(qmc_app, fault, -1, std::string("QMC-") + fault);
     for (int stage = 1; stage <= 4; ++stage) {
-      const auto result = bench::run_campaign(montage_app, fault, runs, stage);
-      std::printf("%s\n",
-                  analysis::format_outcome_row(
-                      "MT" + std::to_string(stage) + "-" + fault, result.tally)
-                      .c_str());
+      builder.cell(montage_app, fault, stage, "MT" + std::to_string(stage) + "-" + fault);
     }
-    std::printf("\n");
   }
+  bench::run_plan(builder.build());
 
   // Paper note under Figure 7: "all SDC cases with Nyx will be changed to
   // detected cases after using the average-value-based method".
-  std::printf("Nyx with the average-value-based detector enabled:\n");
+  std::printf("\nNyx with the average-value-based detector enabled:\n");
   nyx::NyxConfig protected_config;
   protected_config.use_average_value_detector = true;
   nyx::NyxApp protected_nyx(protected_config);
+  auto protected_builder = bench::plan(runs);
   for (const char* fault : {"BF", "SW", "DW"}) {
-    const auto result = bench::run_campaign(protected_nyx, fault, runs);
-    std::printf("%s\n",
-                analysis::format_outcome_row(std::string("NYX*-") + fault, result.tally)
-                    .c_str());
+    protected_builder.cell(protected_nyx, fault, -1, std::string("NYX*-") + fault);
   }
+  bench::run_plan(protected_builder.build());
 
   std::printf("\npaper reference points: NYX-BF 91.1%% benign / 0.8%% SDC; NYX-SW all "
               "benign; NYX-DW 100%% SDC;\n  QMC-BF ~60%% SDC; QMC-SW 54%% SDC, none "

@@ -1,71 +1,81 @@
-// Quickstart: plant one fault into an application's I/O path with FFIS.
+// Quickstart: characterize an application's fault response with FFIS.
 //
-// The "application" below writes a little array through the VFS and reads it
-// back.  We profile its pwrite count, arm a BIT_FLIP at a random dynamic
-// instance, and observe the corruption — the whole FFIS workflow (Figure 4
-// of the paper) in ~60 lines.
+// The "application" below checkpoints 1 KB of counter data through the VFS
+// and reports a checksum.  We declare a three-cell experiment plan — one
+// cell per fault model — and hand it to exp::Engine, which runs the golden
+// execution once, profiles each cell, executes every injection run on a
+// shared thread pool, and streams one outcome row per cell.  The whole FFIS
+// workflow (paper Figure 4), grid included, in a dozen effective lines.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "ffis/faults/fault_signature.hpp"
-#include "ffis/faults/faulting_fs.hpp"
-#include "ffis/util/rng.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/exp/sink.hpp"
 #include "ffis/vfs/mem_fs.hpp"
 
 using namespace ffis;
 
 namespace {
 
-// A tiny "application": checkpoints 1 KB of counter data in four writes.
-void tiny_app(vfs::FileSystem& fs) {
-  vfs::File f(fs, "/checkpoint.bin", vfs::OpenMode::Write);
-  util::Bytes chunk(256);
-  for (std::uint64_t part = 0; part < 4; ++part) {
-    for (std::size_t i = 0; i < chunk.size(); ++i) {
-      chunk[i] = static_cast<std::byte>((part * chunk.size() + i) & 0xff);
+// A tiny characterized application: checkpoints 1 KB of counter data in four
+// writes, then analyzes by reading the checkpoint back.
+class TinyApp final : public core::Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "tiny"; }
+
+  void run(const core::RunContext& ctx) const override {
+    vfs::File f(ctx.fs, "/checkpoint.bin", vfs::OpenMode::Write);
+    util::Bytes chunk(256);
+    for (std::uint64_t part = 0; part < 4; ++part) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        chunk[i] = static_cast<std::byte>((part * chunk.size() + i) & 0xff);
+      }
+      f.pwrite(chunk, part * chunk.size());
     }
-    f.pwrite(chunk, part * chunk.size());
   }
-}
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/checkpoint.bin");
+    result.metrics["bytes"] = static_cast<double>(result.comparison_blob.size());
+    return result;
+  }
+
+  [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
+                                       const core::AnalysisResult& faulty) const override {
+    // A truncated checkpoint is visibly wrong; same-size-but-different bytes
+    // would go unnoticed — silent data corruption.
+    return faulty.metric("bytes") != golden.metric("bytes") ? core::Outcome::Detected
+                                                            : core::Outcome::Sdc;
+  }
+};
 
 }  // namespace
 
 int main() {
-  const auto signature = faults::parse_fault_signature("BIT_FLIP@pwrite{width=2}");
-  std::printf("fault signature: %s\n\n", signature.to_string().c_str());
+  TinyApp app;
 
-  // --- Phase 1: I/O profiling (fault-free run, count the target primitive).
-  vfs::MemFs profile_backing;
-  faults::FaultingFs profiler(profile_backing);
-  profiler.configure(signature);
-  tiny_app(profiler);
-  const std::uint64_t count = profiler.executions();
-  std::printf("profiler: application executed pwrite %llu times\n",
-              static_cast<unsigned long long>(count));
+  // Declare the experiment: 3 fault models x 200 runs against one app.
+  const auto plan = exp::PlanBuilder()
+                        .runs(200)
+                        .seed(2025)
+                        .app(app)
+                        .faults({"BIT_FLIP@pwrite{width=2}", "SHORN_WRITE@pwrite",
+                                 "DROPPED_WRITE@pwrite"})
+                        .build();
 
-  // --- Phase 2: fault injection at a uniformly chosen instance.
-  util::Rng rng(2025);
-  const std::uint64_t instance = rng.uniform(count);
-  vfs::MemFs backing;
-  faults::FaultingFs injector(backing);
-  injector.arm(signature, instance, rng());
-  tiny_app(injector);
+  // Execute it: shared pool, cached golden run, console table output.
+  exp::ConsoleTableSink sink;
+  exp::Engine engine;
+  const auto report = engine.run(plan, sink);
 
-  const auto record = injector.record();
-  std::printf("injector: corrupted pwrite #%llu (offset %llu, %zu bytes, bit %zu)\n",
-              static_cast<unsigned long long>(record.instance),
-              static_cast<unsigned long long>(record.offset), record.original_size,
-              record.flipped_bit.value_or(0));
-
-  // --- Phase 3: observe the outcome.
-  const util::Bytes data = vfs::read_file(backing, "/checkpoint.bin");
-  std::size_t corrupted = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (std::to_integer<std::uint8_t>(data[i]) != (i & 0xff)) ++corrupted;
-  }
-  std::printf("outcome: %zu of %zu checkpoint bytes corrupted — ", corrupted, data.size());
-  std::printf(corrupted == 0 ? "benign\n" : "silent data corruption!\n");
+  std::printf("\n%llu injection runs total; the golden run executed %llu time%s for "
+              "%zu cells.\n",
+              static_cast<unsigned long long>(report.total_runs),
+              static_cast<unsigned long long>(report.golden_executions),
+              report.golden_executions == 1 ? "" : "s", report.cells.size());
   return 0;
 }

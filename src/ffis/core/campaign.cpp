@@ -1,8 +1,10 @@
 #include "ffis/core/campaign.hpp"
 
-#include <atomic>
+#include <stdexcept>
 
-#include "ffis/util/thread_pool.hpp"
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
 
 namespace ffis::core {
 
@@ -10,37 +12,54 @@ Campaign::Campaign(const Application& app, faults::FaultGenerator generator,
                    bool keep_details)
     : app_(app), generator_(std::move(generator)), keep_details_(keep_details) {}
 
+// Campaign is kept as a source-compatible single-cell wrapper around
+// exp::Engine; a one-cell plan reproduces the historical behavior exactly
+// (same app seed, same per-run seed stream, same tally folding order).
 CampaignResult Campaign::run(std::size_t threads) {
   const auto& config = generator_.config();
-  FaultInjector injector(app_, generator_.signature(),
-                         /*app_seed=*/config.seed ^ 0x5eedULL, config.stage);
-  injector.prepare();
 
-  const std::uint64_t n = config.runs;
-  std::vector<RunResult> results(n);
-  std::atomic<std::uint64_t> completed{0};
+  // A zero-run campaign historically still prepared (golden + profile) and
+  // returned an empty tally; plans reject runs == 0, so keep that path here.
+  if (config.runs == 0) {
+    FaultInjector injector(app_, generator_.signature(),
+                           /*app_seed=*/config.seed ^ 0x5eedULL, config.stage);
+    injector.prepare();
+    CampaignResult out;
+    out.primitive_count = injector.primitive_count();
+    return out;
+  }
 
-  const auto body = [&](std::size_t i) {
-    results[i] = injector.execute(generator_.run_seed(i));
-    const std::uint64_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (progress_) progress_(done, n);
-  };
+  exp::PlanBuilder builder;
+  builder.runs(config.runs).seed(config.seed);
+  builder.cell(app_, config.fault, config.stage, "campaign");
 
-  if (threads == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-  } else {
-    util::ThreadPool pool(threads);
-    util::parallel_for(pool, n, body);
+  exp::EngineOptions options;
+  options.threads = threads;
+  options.keep_details = keep_details_;
+  options.progress = progress_;
+  exp::Engine engine(options);
+  exp::ExperimentReport report = engine.run(builder.build());
+
+  exp::CellResult& cell = report.cells.front();
+  if (!cell.error.empty()) {
+    // prepare() failures used to propagate out of run() with their original
+    // type (the app's own exception from the golden run, or logic_error for
+    // an unexecuted primitive).  The engine flattened that to a string, so
+    // re-run the preparation directly and let it throw faithfully.
+    FaultInjector injector(app_, generator_.signature(),
+                           /*app_seed=*/config.seed ^ 0x5eedULL, config.stage);
+    injector.prepare();
+    // Deterministic apps fail prepare() identically; if this one somehow
+    // recovered, still surface the engine's error rather than fake success.
+    throw std::logic_error(cell.error);
   }
 
   CampaignResult out;
-  out.primitive_count = injector.primitive_count();
-  out.runs = n;
-  for (auto& r : results) {
-    out.tally.add(r.outcome);
-    if (!r.fault_fired && r.outcome != Outcome::Crash) ++out.faults_not_fired;
-  }
-  if (keep_details_) out.details = std::move(results);
+  out.tally = cell.tally;
+  out.primitive_count = cell.primitive_count;
+  out.runs = cell.runs_completed;
+  out.faults_not_fired = cell.faults_not_fired;
+  out.details = std::move(cell.details);
   return out;
 }
 

@@ -3,6 +3,12 @@
 // reached (the paper uses 1000 runs per cell for a 1–2 % error bar at 95 %
 // confidence), tallying outcomes.  Runs are independent, so they execute in
 // parallel across a thread pool.
+//
+// Campaign is the legacy single-cell entry point, kept for source
+// compatibility; it now delegates to exp::Engine with a one-cell plan.  New
+// code running more than one (application x fault x stage) cell should build
+// an exp::ExperimentPlan instead — the engine shares one thread pool and one
+// golden run across all cells of a plan.
 
 #include <cstdint>
 #include <functional>

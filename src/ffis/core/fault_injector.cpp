@@ -15,15 +15,24 @@ FaultInjector::FaultInjector(const Application& app, faults::FaultSignature sign
       app_seed_(app_seed),
       instrumented_stage_(instrumented_stage) {}
 
-void FaultInjector::prepare() {
-  if (prepared_) return;
-
+AnalysisResult FaultInjector::run_golden(const Application& app, std::uint64_t app_seed) {
   // Golden run: bare backing store, no instrumentation.
   vfs::MemFs golden_fs;
-  RunContext ctx{.fs = golden_fs, .app_seed = app_seed_, .instrumented_stage = -1,
+  RunContext ctx{.fs = golden_fs, .app_seed = app_seed, .instrumented_stage = -1,
                  .instrument = nullptr};
-  app_.run(ctx);
-  golden_ = app_.analyze(golden_fs);
+  app.run(ctx);
+  return app.analyze(golden_fs);
+}
+
+void FaultInjector::prepare() {
+  if (prepared_) return;
+  prepare_with_golden(std::make_shared<const AnalysisResult>(run_golden(app_, app_seed_)));
+}
+
+void FaultInjector::prepare_with_golden(std::shared_ptr<const AnalysisResult> golden) {
+  if (prepared_) return;
+  if (!golden) throw std::invalid_argument("FaultInjector: null golden analysis");
+  golden_ = std::move(golden);
 
   // Profiling run: count target-primitive executions fault-free.
   profile_ = IoProfiler::profile(app_, signature_, app_seed_, instrumented_stage_);
@@ -37,7 +46,7 @@ void FaultInjector::prepare() {
 
 const AnalysisResult& FaultInjector::golden() const {
   if (!prepared_) throw std::logic_error("FaultInjector::prepare() not called");
-  return golden_;
+  return *golden_;
 }
 
 std::uint64_t FaultInjector::primitive_count() const {
@@ -94,10 +103,10 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
     return result;
   }
 
-  if (result.analysis->comparison_blob == golden_.comparison_blob) {
+  if (result.analysis->comparison_blob == golden_->comparison_blob) {
     result.outcome = Outcome::Benign;
   } else {
-    result.outcome = app_.classify(golden_, *result.analysis);
+    result.outcome = app_.classify(*golden_, *result.analysis);
   }
   return result;
 }

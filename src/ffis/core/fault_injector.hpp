@@ -6,6 +6,7 @@
 // golden run.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -37,6 +38,17 @@ class FaultInjector {
   /// Must be called once before execute(); idempotent.
   void prepare();
 
+  /// Like prepare(), but reuses a golden analysis computed elsewhere (the
+  /// golden run depends only on the application and app_seed, so exp::Engine
+  /// caches it across cells) and performs only the profiling pass.
+  void prepare_with_golden(std::shared_ptr<const AnalysisResult> golden);
+
+  /// Executes one golden (fault-free, uninstrumented) run of `app` on a
+  /// fresh in-memory store and returns its analysis.  prepare() uses this;
+  /// it is exposed so campaign drivers can share goldens across injectors.
+  [[nodiscard]] static AnalysisResult run_golden(const Application& app,
+                                                 std::uint64_t app_seed);
+
   [[nodiscard]] const AnalysisResult& golden() const;
   [[nodiscard]] std::uint64_t primitive_count() const;
   [[nodiscard]] const faults::FaultSignature& signature() const noexcept { return signature_; }
@@ -57,7 +69,9 @@ class FaultInjector {
   std::uint64_t app_seed_;
   int instrumented_stage_;
   bool prepared_ = false;
-  AnalysisResult golden_{};
+  /// Shared so exp::Engine's golden cache can hand one analysis to many
+  /// injectors without copying the comparison blobs.
+  std::shared_ptr<const AnalysisResult> golden_;
   ProfileResult profile_{};
 };
 

@@ -30,6 +30,9 @@ inline constexpr std::size_t kOutcomeCount = static_cast<std::size_t>(Outcome::k
 class OutcomeTally {
  public:
   void add(Outcome o) noexcept { ++counts_[static_cast<std::size_t>(o)]; }
+  void add(Outcome o, std::uint64_t n) noexcept {
+    counts_[static_cast<std::size_t>(o)] += n;
+  }
   void merge(const OutcomeTally& other) noexcept;
 
   [[nodiscard]] std::uint64_t count(Outcome o) const noexcept {

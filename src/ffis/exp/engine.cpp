@@ -1,0 +1,236 @@
+#include "ffis/exp/engine.hpp"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/faults/fault_generator.hpp"
+#include "ffis/util/thread_pool.hpp"
+
+namespace ffis::exp {
+
+namespace {
+
+/// Key of the golden-run cache: the golden execution is fault-free, so it
+/// depends only on which application runs and with which application seed —
+/// never on the fault model or the instrumented stage.
+using GoldenKey = std::pair<const core::Application*, std::uint64_t>;
+
+struct GoldenSlot {
+  std::shared_ptr<const core::AnalysisResult> result;
+  std::string error;
+  bool executed = false;
+};
+
+}  // namespace
+
+ExperimentReport Engine::run(const ExperimentPlan& plan) {
+  NullSink sink;
+  return run(plan, sink);
+}
+
+ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
+  cancel_.store(false, std::memory_order_relaxed);
+
+  const auto& cells = plan.cells();
+  const std::size_t n_cells = cells.size();
+
+  ExperimentReport report;
+  report.cells.resize(n_cells);
+
+  sink.begin(plan);
+
+  util::ThreadPool pool(options_.threads);
+
+  // --- Phase 1: golden runs, deduplicated per (application, app_seed). ------
+  std::map<GoldenKey, std::size_t> golden_index;
+  std::vector<GoldenKey> golden_keys;
+  std::vector<std::size_t> cell_golden(n_cells);
+  std::vector<char> cell_shares_golden(n_cells, 0);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const GoldenKey key{cells[i].app, cells[i].app_seed()};
+    const auto [it, inserted] = golden_index.emplace(key, golden_keys.size());
+    if (inserted) {
+      golden_keys.push_back(key);
+    } else {
+      cell_shares_golden[i] = 1;
+    }
+    cell_golden[i] = it->second;
+  }
+
+  std::vector<GoldenSlot> goldens(golden_keys.size());
+  util::parallel_for(pool, golden_keys.size(), [&](std::size_t g) {
+    if (cancel_requested()) {
+      goldens[g].error = "cancelled before the golden run";
+      return;
+    }
+    try {
+      goldens[g].result = std::make_shared<const core::AnalysisResult>(
+          core::FaultInjector::run_golden(*golden_keys[g].first, golden_keys[g].second));
+      goldens[g].executed = true;
+    } catch (const std::exception& e) {
+      goldens[g].error = std::string("golden run failed: ") + e.what();
+    }
+  });
+  for (const auto& g : goldens) {
+    if (g.executed) ++report.golden_executions;
+  }
+  // A cell is a cache hit only when the shared golden actually succeeded.
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (cell_shares_golden[i] != 0 && goldens[cell_golden[i]].executed) {
+      report.cells[i].golden_cached = true;
+      ++report.golden_cache_hits;
+    }
+  }
+
+  // --- Phase 2: per-cell profiling pass (stage- and primitive-specific). ----
+  std::vector<std::unique_ptr<faults::FaultGenerator>> generators(n_cells);
+  std::vector<std::unique_ptr<core::FaultInjector>> injectors(n_cells);
+  std::vector<std::string> cell_error(n_cells);
+  util::parallel_for(pool, n_cells, [&](std::size_t i) {
+    const GoldenSlot& golden = goldens[cell_golden[i]];
+    if (!golden.error.empty()) {
+      cell_error[i] = golden.error;
+      return;
+    }
+    if (cancel_requested()) {
+      cell_error[i] = "cancelled before the profiling run";
+      return;
+    }
+    try {
+      faults::CampaignConfig config;
+      config.application = cells[i].app->name();
+      config.fault = cells[i].fault;
+      config.runs = cells[i].runs;
+      config.seed = cells[i].seed;
+      config.stage = cells[i].stage;
+      generators[i] = std::make_unique<faults::FaultGenerator>(std::move(config));
+      injectors[i] = std::make_unique<core::FaultInjector>(
+          *cells[i].app, generators[i]->signature(), cells[i].app_seed(),
+          cells[i].stage);
+      injectors[i]->prepare_with_golden(golden.result);
+    } catch (const std::exception& e) {
+      cell_error[i] = e.what();
+      injectors[i].reset();
+    }
+  });
+
+  // --- Phase 3: every injection run from every cell on the shared pool. -----
+  // Results land in per-index slots and are tallied in run order, so tallies
+  // are independent of scheduling.  Cells are finalized the moment their
+  // last run retires and streamed to the sink in plan order.
+  std::vector<std::vector<core::RunResult>> slots(n_cells);
+  std::vector<std::vector<char>> executed(n_cells);
+  std::vector<std::atomic<std::uint64_t>> remaining(n_cells);
+  std::vector<std::size_t> flat_cell;       // flat task index -> cell
+  std::vector<std::uint64_t> flat_run;      // flat task index -> run within cell
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (!cell_error[i].empty()) {
+      remaining[i].store(0, std::memory_order_relaxed);
+      continue;
+    }
+    slots[i].resize(cells[i].runs);
+    executed[i].assign(cells[i].runs, 0);
+    remaining[i].store(cells[i].runs, std::memory_order_relaxed);
+    for (std::uint64_t r = 0; r < cells[i].runs; ++r) {
+      flat_cell.push_back(i);
+      flat_run.push_back(r);
+    }
+  }
+
+  std::mutex emit_mutex;
+  std::size_t next_emit = 0;
+  std::vector<char> ready(n_cells, 0);
+
+  const auto finalize_cell = [&](std::size_t i) {
+    CellResult& out = report.cells[i];
+    out.index = i;
+    out.cell = cells[i];
+    out.error = cell_error[i];
+    if (injectors[i]) out.primitive_count = injectors[i]->primitive_count();
+    for (std::size_t r = 0; r < slots[i].size(); ++r) {
+      if (executed[i][r] == 0) continue;
+      ++out.runs_completed;
+      const auto& rr = slots[i][r];
+      out.tally.add(rr.outcome);
+      if (!rr.fault_fired && rr.outcome != core::Outcome::Crash) ++out.faults_not_fired;
+    }
+    if (options_.keep_details) {
+      // On cancellation the executed runs need not be a prefix of the slot
+      // array; keep exactly the executed ones, in run order.
+      out.details.reserve(out.runs_completed);
+      for (std::size_t r = 0; r < slots[i].size(); ++r) {
+        if (executed[i][r] != 0) out.details.push_back(std::move(slots[i][r]));
+      }
+    }
+    slots[i].clear();
+    slots[i].shrink_to_fit();
+    ready[i] = 1;
+  };
+
+  const auto emit_in_order = [&] {
+    while (next_emit < n_cells && ready[next_emit] != 0) {
+      sink.cell(report.cells[next_emit]);
+      ++next_emit;
+    }
+  };
+
+  // Cells that never reached phase 3 (errors) are final already.
+  {
+    std::lock_guard lock(emit_mutex);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      if (!cell_error[i].empty()) finalize_cell(i);
+    }
+    emit_in_order();
+  }
+
+  // Progress totals count only runnable runs (cells that failed to prepare
+  // contribute none), so (done == total) reliably marks completion.
+  const std::uint64_t runnable_runs = flat_cell.size();
+  std::atomic<std::uint64_t> done{0};
+  util::parallel_for(pool, flat_cell.size(), [&](std::size_t t) {
+    const std::size_t i = flat_cell[t];
+    const std::uint64_t r = flat_run[t];
+    if (!cancel_requested()) {
+      try {
+        slots[i][r] = injectors[i]->execute(generators[i]->run_seed(r));
+        executed[i][r] = 1;
+      } catch (const std::exception& e) {
+        // execute() already converts application failures to Crash outcomes
+        // internally, so an exception here is harness infrastructure (e.g.
+        // bad_alloc).  Surface it as a cell error, not as a science outcome.
+        std::lock_guard lock(emit_mutex);
+        if (cell_error[i].empty()) {
+          cell_error[i] = std::string("run ") + std::to_string(r) + " failed: " + e.what();
+        }
+      }
+      const std::uint64_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.progress) options_.progress(d, runnable_runs);
+    }
+    if (remaining[i].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(emit_mutex);
+      finalize_cell(i);
+      emit_in_order();
+    }
+  });
+
+  // Safety net: everything must have been streamed by now.
+  {
+    std::lock_guard lock(emit_mutex);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      if (ready[i] == 0) finalize_cell(i);
+    }
+    emit_in_order();
+  }
+
+  for (const auto& cell : report.cells) report.total_runs += cell.runs_completed;
+  report.cancelled = cancel_requested();
+  sink.end(report);
+  return report;
+}
+
+}  // namespace ffis::exp

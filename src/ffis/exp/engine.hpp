@@ -1,0 +1,70 @@
+#pragma once
+// Experiment engine: executes a whole ExperimentPlan on ONE shared thread
+// pool.  Compared to running one core::Campaign per cell this changes three
+// things:
+//
+//  * Shared scheduling — every injection run from every cell is queued on a
+//    single util::ThreadPool, so cores never idle at cell boundaries and a
+//    20-cell plan costs one pool construction instead of 20.
+//  * Golden-run caching — the golden (fault-free) execution depends only on
+//    (application, app_seed), not on the fault or stage, so an 18-cell
+//    single-app plan performs exactly 1 golden execution instead of 18.
+//  * Streaming sinks — finished cells are emitted to a ResultSink in plan
+//    order as they complete (not after the whole plan), with progress and
+//    cancellation hooks.
+//
+// Determinism: per-run seeds are derived exactly as core::Campaign derives
+// them (faults::FaultGenerator::run_seed over the cell seed), results land
+// in per-index slots, and tallies are folded in run order — so tallies are
+// bit-identical to a sequential per-cell Campaign::run at the same seeds,
+// regardless of the thread count.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "ffis/exp/plan.hpp"
+#include "ffis/exp/result.hpp"
+#include "ffis/exp/sink.hpp"
+
+namespace ffis::exp {
+
+struct EngineOptions {
+  /// Worker threads for the shared pool; 0 = all hardware threads.
+  std::size_t threads = 0;
+  /// Retain every RunResult in CellResult::details (memory ~ total runs).
+  bool keep_details = false;
+  /// Invoked with (completed_runs, total_runnable_runs) from worker threads;
+  /// cells that fail to prepare contribute no runs to the total, so the
+  /// final invocation always reports completed == total.
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {}) : options_(std::move(options)) {}
+
+  /// Executes the plan: golden runs (cached per application x app_seed),
+  /// profiling passes, then all injection runs interleaved on the shared
+  /// pool.  Per-cell failures (e.g. the application never executes the
+  /// target primitive) are captured in CellResult::error, not thrown.
+  ExperimentReport run(const ExperimentPlan& plan, ResultSink& sink);
+
+  /// Convenience overload discarding the stream (the report has everything).
+  ExperimentReport run(const ExperimentPlan& plan);
+
+  /// Asks the current run to stop: queued-but-unstarted injection runs are
+  /// skipped, already-running ones finish, and the report is marked
+  /// cancelled with partial tallies.  Callable from any thread (e.g. a
+  /// signal handler thread or a progress callback).
+  void request_cancel() noexcept { cancel_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EngineOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace ffis::exp

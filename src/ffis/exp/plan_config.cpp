@@ -1,0 +1,163 @@
+#include "ffis/exp/plan_config.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "ffis/apps/app_factory.hpp"
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::exp {
+
+namespace {
+
+using util::trim;
+
+int parse_int(const std::string& value, const std::string& key, int line_number) {
+  const auto parsed = util::parse_int(value);
+  if (!parsed) {
+    throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                ": " + key + " must be an integer, got '" + value + "'");
+  }
+  return *parsed;
+}
+
+std::uint64_t parse_positive(const std::string& value, const std::string& key,
+                             int line_number) {
+  const auto parsed = util::parse_u64(value);
+  if (!parsed) {
+    throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                ": " + key + " must be a non-negative integer, got '" +
+                                value + "'");
+  }
+  return *parsed;
+}
+
+void apply_kv(faults::CampaignConfig& config, const std::string& key,
+              const std::string& value, int line_number) {
+  if (key == "application") {
+    config.application = value;
+  } else if (key == "fault") {
+    config.fault = value;
+  } else if (key == "runs") {
+    config.runs = parse_positive(value, key, line_number);
+    if (config.runs == 0) {
+      throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                  ": runs must be positive");
+    }
+  } else if (key == "seed") {
+    config.seed = parse_positive(value, key, line_number);
+  } else if (key == "stage") {
+    config.stage = parse_int(value, key, line_number);
+  } else {
+    config.extra[key] = value;
+  }
+}
+
+/// Application identity for golden sharing: name plus every extra that can
+/// influence construction.  `label` is presentation-only and excluded.
+std::string app_identity(const faults::CampaignConfig& config) {
+  std::string key = config.application;
+  for (const auto& [k, v] : config.extra) {
+    if (k == "label") continue;
+    key += "\x1f" + k + "=" + v;
+  }
+  return key;
+}
+
+}  // namespace
+
+PlanConfig parse_plan_config(const std::string& text) {
+  PlanConfig plan;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  bool in_defaults = true;
+  faults::CampaignConfig* current = &plan.defaults;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line == "[cell]") {
+      in_defaults = false;
+      plan.cells.push_back(plan.defaults);  // cells inherit every default
+      current = &plan.cells.back();
+      continue;
+    }
+    if (line.front() == '[') {
+      throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                  ": unknown section '" + line + "' (expected [cell])");
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                  ": expected key = value, got: " + line);
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (in_defaults && key == "label") {
+      // A label shared by every cell would make the rows indistinguishable.
+      throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                  ": 'label' belongs in a [cell] block, not in the "
+                                  "defaults");
+    }
+
+    const bool engine_key = (key == "threads" || key == "csv" || key == "jsonl");
+    if (engine_key) {
+      if (!in_defaults) {
+        throw std::invalid_argument("plan config line " + std::to_string(line_number) +
+                                    ": '" + key + "' belongs in the defaults block, "
+                                    "not in a [cell]");
+      }
+      if (key == "threads") {
+        plan.threads = static_cast<std::size_t>(parse_positive(value, key, line_number));
+      } else if (key == "csv") {
+        plan.csv_path = value;
+      } else {
+        plan.jsonl_path = value;
+      }
+      continue;
+    }
+    apply_kv(*current, key, value, line_number);
+  }
+
+  if (plan.cells.empty()) {
+    throw std::invalid_argument("plan config has no [cell] blocks");
+  }
+  return plan;
+}
+
+ExperimentPlan build_plan(const PlanConfig& config) {
+  PlanBuilder builder;
+  std::map<std::string, std::shared_ptr<const core::Application>> app_cache;
+
+  for (const auto& cell_config : config.cells) {
+    const std::string identity = app_identity(cell_config);
+    auto it = app_cache.find(identity);
+    if (it == app_cache.end()) {
+      std::shared_ptr<const core::Application> app = apps::make_application(cell_config);
+      builder.own(app);
+      it = app_cache.emplace(identity, std::move(app)).first;
+    }
+
+    Cell cell;
+    cell.app = it->second.get();
+    cell.fault = cell_config.fault;
+    cell.stage = cell_config.stage;
+    cell.runs = cell_config.runs;
+    cell.seed = cell_config.seed;
+    if (const auto label = cell_config.extra.find("label");
+        label != cell_config.extra.end()) {
+      cell.label = label->second;
+    }
+    builder.cell(std::move(cell));
+  }
+  return builder.build();
+}
+
+}  // namespace ffis::exp

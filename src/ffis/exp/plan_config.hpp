@@ -1,0 +1,55 @@
+#pragma once
+// Text-format experiment plans for the CLI (`ffis plan <config>`): the same
+// "key = value" dialect as single-campaign configs, extended to many cells.
+//
+//   # Defaults for every cell, plus engine/sink settings, come first:
+//   runs = 200            # sample size per cell
+//   seed = 42             # campaign seed per cell
+//   threads = 0           # engine workers; 0 = all hardware threads
+//   csv = results.csv     # optional: stream cells to a CSV file
+//   jsonl = results.jsonl # optional: stream cells to a JSON-lines file
+//   application = nyx     # cells inherit any campaign key set here
+//
+//   # Each [cell] header starts one cell; its lines override the defaults.
+//   [cell]
+//   fault = BIT_FLIP@pwrite{width=2}
+//   label = NYX-BF        # optional display label
+//
+//   [cell]
+//   application = montage
+//   fault = DW
+//   stage = 3             # Montage stage scoping, as in campaign configs
+//
+// Cells naming the same application with the same application-specific
+// extras share ONE Application instance, so the engine's golden-run cache
+// collapses their golden executions.
+
+#include <string>
+#include <vector>
+
+#include "ffis/exp/plan.hpp"
+#include "ffis/faults/fault_generator.hpp"
+
+namespace ffis::exp {
+
+struct PlanConfig {
+  /// Block 0 of the document, used to seed every cell.
+  faults::CampaignConfig defaults;
+  /// One fully-merged campaign config per [cell] block, in document order.
+  std::vector<faults::CampaignConfig> cells;
+
+  // Engine / sink settings (defaults block only).
+  std::size_t threads = 0;
+  std::string csv_path;    ///< empty = no CSV sink
+  std::string jsonl_path;  ///< empty = no JSONL sink
+};
+
+/// Parses a plan document.  Throws std::invalid_argument on syntax errors,
+/// non-positive runs, negative seeds, or engine keys inside [cell] blocks.
+[[nodiscard]] PlanConfig parse_plan_config(const std::string& text);
+
+/// Instantiates applications via apps::make_application (deduplicating
+/// identical ones so goldens are shared) and assembles the immutable plan.
+[[nodiscard]] ExperimentPlan build_plan(const PlanConfig& config);
+
+}  // namespace ffis::exp

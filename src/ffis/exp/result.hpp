@@ -1,0 +1,42 @@
+#pragma once
+// Result types produced by exp::Engine and consumed by exp::ResultSink.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/core/outcome.hpp"
+#include "ffis/exp/plan.hpp"
+
+namespace ffis::exp {
+
+/// Outcome of one plan cell.  Tallies are deterministic for a given cell
+/// spec: runs land in per-index slots and are tallied in run order, so the
+/// result is independent of the engine's thread count.
+struct CellResult {
+  std::size_t index = 0;  ///< position in the plan (and in every sink stream)
+  Cell cell;
+  core::OutcomeTally tally;
+  std::uint64_t runs_completed = 0;  ///< < cell.runs only when cancelled
+  std::uint64_t primitive_count = 0;
+  std::uint64_t faults_not_fired = 0;
+  bool golden_cached = false;  ///< golden run came from the engine's cache
+  /// Non-empty when the cell could not run at all (golden run threw, or the
+  /// application never executes the target primitive — tally is empty then),
+  /// or when harness infrastructure failed mid-cell (tally covers only the
+  /// runs that completed; application crashes are tallied, never put here).
+  std::string error;
+  /// Per-run detail in run order (EngineOptions::keep_details only).
+  std::vector<core::RunResult> details;
+};
+
+struct ExperimentReport {
+  std::vector<CellResult> cells;  ///< plan order
+  std::uint64_t total_runs = 0;   ///< runs actually executed
+  std::uint64_t golden_executions = 0;
+  std::uint64_t golden_cache_hits = 0;
+  bool cancelled = false;
+};
+
+}  // namespace ffis::exp

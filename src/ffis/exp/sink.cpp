@@ -1,0 +1,415 @@
+#include "ffis/exp/sink.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ffis/analysis/stats.hpp"
+#include "ffis/util/strfmt.hpp"
+
+namespace ffis::exp {
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,golden_cached,error";
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Splits one CSV record, honoring RFC-4180 quoting.
+std::vector<std::string> split_csv_record(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) throw std::invalid_argument("CSV record has an unterminated quote: " + line);
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  const auto v = util::parse_u64(s);
+  if (!v) throw std::invalid_argument(std::string("bad ") + what + " value: '" + s + "'");
+  return *v;
+}
+
+int parse_i32(const std::string& s, const char* what) {
+  const auto v = util::parse_int(s);
+  if (!v) throw std::invalid_argument(std::string("bad ") + what + " value: '" + s + "'");
+  return *v;
+}
+
+}  // namespace
+
+SinkRow to_sink_row(const CellResult& result) {
+  SinkRow row;
+  row.index = result.index;
+  row.label = result.cell.label;
+  row.application = result.cell.app != nullptr ? result.cell.app->name() : "";
+  row.fault = result.cell.fault;
+  row.stage = result.cell.stage;
+  row.runs = result.runs_completed;
+  row.seed = result.cell.seed;
+  row.primitive_count = result.primitive_count;
+  row.tally = result.tally;
+  row.faults_not_fired = result.faults_not_fired;
+  row.golden_cached = result.golden_cached;
+  row.error = result.error;
+  return row;
+}
+
+// --- ConsoleTableSink --------------------------------------------------------
+
+void ConsoleTableSink::begin(const ExperimentPlan& plan) {
+  (void)plan;
+  std::fprintf(out_, "%s\n", analysis::outcome_row_header().c_str());
+}
+
+void ConsoleTableSink::cell(const CellResult& result) {
+  if (!result.error.empty()) {
+    std::fprintf(out_, "%-12s FAILED: %s\n", result.cell.label.c_str(),
+                 result.error.c_str());
+    return;
+  }
+  std::fprintf(out_, "%s", analysis::format_outcome_row(result.cell.label,
+                                                        result.tally).c_str());
+  if (show_primitive_count_) {
+    std::fprintf(out_, "   (%llu primitive executions)",
+                 static_cast<unsigned long long>(result.primitive_count));
+  }
+  std::fprintf(out_, "\n");
+  std::fflush(out_);
+}
+
+void ConsoleTableSink::end(const ExperimentReport& report) {
+  std::fprintf(out_, "[%zu cells, %llu runs; %llu golden execution%s, %llu served "
+                     "from cache%s]\n",
+               report.cells.size(), static_cast<unsigned long long>(report.total_runs),
+               static_cast<unsigned long long>(report.golden_executions),
+               report.golden_executions == 1 ? "" : "s",
+               static_cast<unsigned long long>(report.golden_cache_hits),
+               report.cancelled ? "; CANCELLED" : "");
+}
+
+// --- CsvSink -----------------------------------------------------------------
+
+const char* CsvSink::header() { return kCsvHeader; }
+
+void CsvSink::begin(const ExperimentPlan& plan) {
+  (void)plan;
+  out_ << kCsvHeader << '\n';
+}
+
+void CsvSink::cell(const CellResult& result) {
+  const SinkRow row = to_sink_row(result);
+  out_ << row.index << ',' << csv_escape(row.label) << ','
+       << csv_escape(row.application) << ',' << csv_escape(row.fault) << ','
+       << row.stage << ',' << row.runs << ',' << row.seed << ','
+       << row.primitive_count << ',' << row.tally.count(core::Outcome::Benign) << ','
+       << row.tally.count(core::Outcome::Detected) << ','
+       << row.tally.count(core::Outcome::Sdc) << ','
+       << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
+       << (row.golden_cached ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
+}
+
+void CsvSink::end(const ExperimentReport& report) {
+  (void)report;
+  out_.flush();
+}
+
+// --- JsonlSink ---------------------------------------------------------------
+
+void JsonlSink::cell(const CellResult& result) {
+  const SinkRow row = to_sink_row(result);
+  out_ << "{\"index\":" << row.index << ",\"label\":\"" << json_escape(row.label)
+       << "\",\"application\":\"" << json_escape(row.application) << "\",\"fault\":\""
+       << json_escape(row.fault) << "\",\"stage\":" << row.stage << ",\"runs\":"
+       << row.runs << ",\"seed\":" << row.seed << ",\"primitive_count\":"
+       << row.primitive_count << ",\"benign\":" << row.tally.count(core::Outcome::Benign)
+       << ",\"detected\":" << row.tally.count(core::Outcome::Detected) << ",\"sdc\":"
+       << row.tally.count(core::Outcome::Sdc) << ",\"crash\":"
+       << row.tally.count(core::Outcome::Crash) << ",\"faults_not_fired\":"
+       << row.faults_not_fired << ",\"golden_cached\":"
+       << (row.golden_cached ? "true" : "false") << ",\"error\":\""
+       << json_escape(row.error) << "\"}\n";
+}
+
+void JsonlSink::end(const ExperimentReport& report) {
+  (void)report;
+  out_.flush();
+}
+
+// --- MultiSink ---------------------------------------------------------------
+
+void MultiSink::begin(const ExperimentPlan& plan) {
+  for (auto* s : sinks_) s->begin(plan);
+}
+
+void MultiSink::cell(const CellResult& result) {
+  for (auto* s : sinks_) s->cell(result);
+}
+
+void MultiSink::end(const ExperimentReport& report) {
+  for (auto* s : sinks_) s->end(report);
+}
+
+// --- readers -----------------------------------------------------------------
+
+namespace {
+
+SinkRow row_from_fields(const std::vector<std::string>& f) {
+  if (f.size() != 15) {
+    throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
+                                " fields, expected 15");
+  }
+  SinkRow row;
+  row.index = static_cast<std::size_t>(parse_u64(f[0], "index"));
+  row.label = f[1];
+  row.application = f[2];
+  row.fault = f[3];
+  row.stage = parse_i32(f[4], "stage");
+  row.runs = parse_u64(f[5], "runs");
+  row.seed = parse_u64(f[6], "seed");
+  row.primitive_count = parse_u64(f[7], "primitive_count");
+  row.tally.add(core::Outcome::Benign, parse_u64(f[8], "benign"));
+  row.tally.add(core::Outcome::Detected, parse_u64(f[9], "detected"));
+  row.tally.add(core::Outcome::Sdc, parse_u64(f[10], "sdc"));
+  row.tally.add(core::Outcome::Crash, parse_u64(f[11], "crash"));
+  row.faults_not_fired = parse_u64(f[12], "faults_not_fired");
+  row.golden_cached = parse_u64(f[13], "golden_cached") != 0;
+  row.error = f[14];
+  return row;
+}
+
+/// Minimal parser for the flat JSON objects JsonlSink emits: string, integer
+/// and boolean values only, no nesting.
+class FlatJsonObject {
+ public:
+  explicit FlatJsonObject(const std::string& line) {
+    std::size_t i = 0;
+    skip_ws(line, i);
+    expect(line, i, '{');
+    skip_ws(line, i);
+    if (i < line.size() && line[i] == '}') return;
+    for (;;) {
+      skip_ws(line, i);
+      const std::string key = parse_string(line, i);
+      skip_ws(line, i);
+      expect(line, i, ':');
+      skip_ws(line, i);
+      values_[key] = parse_value(line, i);
+      skip_ws(line, i);
+      if (i >= line.size()) throw std::invalid_argument("unterminated JSON object");
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      expect(line, i, '}');
+      break;
+    }
+  }
+
+  [[nodiscard]] const std::string& str(const std::string& key) const { return at(key); }
+  [[nodiscard]] std::uint64_t u64(const std::string& key) const {
+    return parse_u64(at(key), key.c_str());
+  }
+  [[nodiscard]] int i32(const std::string& key) const {
+    return parse_i32(at(key), key.c_str());
+  }
+  [[nodiscard]] bool boolean(const std::string& key) const { return at(key) == "true"; }
+
+ private:
+  [[nodiscard]] const std::string& at(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw std::invalid_argument("JSONL record missing key: " + key);
+    return it->second;
+  }
+
+  static void skip_ws(const std::string& s, std::size_t& i) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  static void expect(const std::string& s, std::size_t& i, char c) {
+    if (i >= s.size() || s[i] != c) {
+      throw std::invalid_argument(std::string("expected '") + c + "' in JSONL record: " + s);
+    }
+    ++i;
+  }
+  static std::string parse_string(const std::string& s, std::size_t& i) {
+    expect(s, i, '"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) break;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) throw std::invalid_argument("bad \\u escape");
+            out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+            i += 4;
+            break;
+          }
+          default: out += s[i];
+        }
+        ++i;
+      } else {
+        out += s[i++];
+      }
+    }
+    expect(s, i, '"');
+    return out;
+  }
+  static std::string parse_value(const std::string& s, std::size_t& i) {
+    if (i < s.size() && s[i] == '"') return parse_string(s, i);
+    std::string out;
+    while (i < s.size() && s[i] != ',' && s[i] != '}') out += s[i++];
+    while (!out.empty() && (out.back() == ' ' || out.back() == '\t')) out.pop_back();
+    return out;
+  }
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+namespace {
+
+/// True when `record` ends inside an open RFC-4180 quote — i.e. the logical
+/// record continues on the next physical line (quoted fields may contain
+/// newlines; CsvSink writes them for error messages).
+bool record_is_open(const std::string& record) {
+  bool quoted = false;
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    if (record[i] != '"') continue;
+    if (quoted && i + 1 < record.size() && record[i + 1] == '"') {
+      ++i;  // escaped quote inside a quoted field
+    } else {
+      quoted = !quoted;
+    }
+  }
+  return quoted;
+}
+
+}  // namespace
+
+std::vector<SinkRow> read_csv_results(std::istream& in) {
+  std::vector<SinkRow> rows;
+  std::string line;
+  std::string record;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (record.empty()) {
+      if (line.empty() || line == "\r") continue;
+      record = line;
+    } else {
+      record += '\n';
+      record += line;
+    }
+    if (record_is_open(record)) continue;  // quoted newline: keep accumulating
+    // CRLF tolerance: strip the line ending only at a record boundary, so a
+    // quoted field containing "\r\n" keeps its carriage return.
+    if (record.back() == '\r') record.pop_back();
+    if (!saw_header) {
+      if (record != kCsvHeader) {
+        throw std::invalid_argument("CSV document does not start with the CsvSink header");
+      }
+      saw_header = true;
+    } else {
+      rows.push_back(row_from_fields(split_csv_record(record)));
+    }
+    record.clear();
+  }
+  if (!record.empty()) {
+    throw std::invalid_argument("CSV document ends inside a quoted field");
+  }
+  if (!saw_header) throw std::invalid_argument("empty CSV document");
+  return rows;
+}
+
+std::vector<SinkRow> read_jsonl_results(std::istream& in) {
+  std::vector<SinkRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const FlatJsonObject obj(line);
+    SinkRow row;
+    row.index = static_cast<std::size_t>(obj.u64("index"));
+    row.label = obj.str("label");
+    row.application = obj.str("application");
+    row.fault = obj.str("fault");
+    row.stage = obj.i32("stage");
+    row.runs = obj.u64("runs");
+    row.seed = obj.u64("seed");
+    row.primitive_count = obj.u64("primitive_count");
+    row.tally.add(core::Outcome::Benign, obj.u64("benign"));
+    row.tally.add(core::Outcome::Detected, obj.u64("detected"));
+    row.tally.add(core::Outcome::Sdc, obj.u64("sdc"));
+    row.tally.add(core::Outcome::Crash, obj.u64("crash"));
+    row.faults_not_fired = obj.u64("faults_not_fired");
+    row.golden_cached = obj.boolean("golden_cached");
+    row.error = obj.str("error");
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ffis::exp

@@ -4,17 +4,11 @@
 #include <stdexcept>
 
 #include "ffis/util/rng.hpp"
+#include "ffis/util/strfmt.hpp"
 
 namespace ffis::faults {
 
-namespace {
-std::string trim(const std::string& s) {
-  const auto first = s.find_first_not_of(" \t\r\n");
-  if (first == std::string::npos) return "";
-  const auto last = s.find_last_not_of(" \t\r\n");
-  return s.substr(first, last - first + 1);
-}
-}  // namespace
+using util::trim;
 
 CampaignConfig parse_campaign_config(const std::string& text) {
   CampaignConfig config;

@@ -4,7 +4,9 @@
 // precision specs — the subset FFIS uses.  Extra placeholders render as-is;
 // extra arguments are ignored.
 
+#include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -73,6 +75,45 @@ template <typename... Args>
   out.reserve(f.size() + sizeof...(args) * 8);
   detail::fmt_rest(out, f, std::forward<Args>(args)...);
   return out;
+}
+
+/// Strips leading/trailing whitespace (the config parsers' shared helper).
+[[nodiscard]] inline std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Strict full-string parses for the config/result parsers: the whole string
+/// must be one integer (no sign for the unsigned form, no trailing junk);
+/// anything else yields nullopt so callers attach their own diagnostics.
+[[nodiscard]] inline std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  // stoull skips leading whitespace and accepts signs; require a digit first
+  // so " -5" cannot wrap to a huge value and "+7"/" 7" are rejected too.
+  if (s.empty() || s.front() < '0' || s.front() > '9') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+[[nodiscard]] inline std::optional<int> parse_int(const std::string& s) {
+  const bool negative = !s.empty() && s.front() == '-';
+  const std::string_view digits = negative ? std::string_view(s).substr(1) : s;
+  if (digits.empty() || digits.front() < '0' || digits.front() > '9') return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace ffis::util

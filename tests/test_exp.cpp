@@ -1,0 +1,551 @@
+// Unit tests for ffis::exp — plan building and validation, the shared-pool
+// engine (golden caching, determinism across thread counts, equivalence
+// with sequential per-cell injection, cancellation, error capture), and the
+// result sinks (console/CSV/JSONL round-trips, MultiSink fan-out).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/campaign.hpp"
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/exp/plan_config.hpp"
+#include "ffis/exp/sink.hpp"
+#include "ffis/faults/fault_generator.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using core::Outcome;
+
+// A toy application, as in test_core: writes chunks in two stages, analyzes
+// by checksum.  Instrumented to count its golden (uninstrumented) runs so
+// the golden-cache tests can assert exact execution counts.
+class ToyApp final : public core::Application {
+ public:
+  explicit ToyApp(std::size_t writes_per_stage = 4) : writes_(writes_per_stage) {}
+
+  [[nodiscard]] std::string name() const override { return "toy"; }
+
+  void run(const core::RunContext& ctx) const override {
+    if (ctx.instrument == nullptr) golden_runs_.fetch_add(1, std::memory_order_relaxed);
+    total_runs_.fetch_add(1, std::memory_order_relaxed);
+    vfs::write_text_file(ctx.fs, "/header", "MAGIC");
+    vfs::File f(ctx.fs, "/data", vfs::OpenMode::Write);
+    util::Rng rng(ctx.app_seed);
+    std::uint64_t offset = 0;
+    for (int stage = 1; stage <= 2; ++stage) {
+      ctx.enter_stage(stage);
+      for (std::size_t w = 0; w < writes_; ++w) {
+        util::Bytes chunk(64);
+        for (auto& b : chunk) b = static_cast<std::byte>(rng() & 0xff);
+        offset += f.pwrite(chunk, offset);
+      }
+      ctx.leave_stage(stage);
+    }
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    const std::string header = vfs::read_text_file(fs, "/header");
+    if (header.size() != 5) throw std::runtime_error("bad header length");
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/data");
+    result.metrics["header_ok"] = (header == "MAGIC") ? 1.0 : 0.0;
+    return result;
+  }
+
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult& faulty) const override {
+    return faulty.metric("header_ok") != 0.0 ? Outcome::Sdc : Outcome::Detected;
+  }
+
+  [[nodiscard]] std::uint64_t golden_runs() const {
+    return golden_runs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_runs() const {
+    return total_runs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t writes_;
+  mutable std::atomic<std::uint64_t> golden_runs_{0};
+  mutable std::atomic<std::uint64_t> total_runs_{0};
+};
+
+// An application that performs no I/O at all: every fault signature fails to
+// profile, so every cell errors out.
+class SilentApp final : public core::Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "silent"; }
+  void run(const core::RunContext&) const override {}
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem&) const override {
+    return {};
+  }
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult&) const override {
+    return Outcome::Benign;
+  }
+};
+
+// --- PlanBuilder -------------------------------------------------------------
+
+TEST(PlanBuilder, ProductBuildsFaultMajorGrid) {
+  ToyApp a, b;
+  const auto plan = exp::PlanBuilder()
+                        .runs(10)
+                        .seed(7)
+                        .apps({&a, &b})
+                        .faults({"BF", "DW"})
+                        .build();
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.total_runs(), 40u);
+  // Faults iterate outermost.
+  EXPECT_EQ(plan.cells()[0].fault, "BF");
+  EXPECT_EQ(plan.cells()[0].app, &a);
+  EXPECT_EQ(plan.cells()[1].app, &b);
+  EXPECT_EQ(plan.cells()[2].fault, "DW");
+  EXPECT_EQ(plan.cells()[0].label, "TOY-BF");
+  EXPECT_EQ(plan.cells()[0].seed, 7u);
+  EXPECT_EQ(plan.cells()[0].app_seed(), 7u ^ 0x5eedULL);
+}
+
+TEST(PlanBuilder, StagesCrossProductAndExplicitCells) {
+  ToyApp a;
+  auto builder = exp::PlanBuilder().runs(5);
+  builder.app(a).fault("BF").stages(1, 2).product();
+  builder.cell(a, "DW", -1, "custom");
+  const auto plan = builder.build();
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.cells()[0].stage, 1);
+  EXPECT_EQ(plan.cells()[1].stage, 2);
+  EXPECT_EQ(plan.cells()[0].label, "TOY1-BF");
+  EXPECT_EQ(plan.cells()[2].label, "custom");
+}
+
+TEST(PlanBuilder, EmptyPlanThrows) {
+  EXPECT_THROW((void)exp::PlanBuilder().build(), std::invalid_argument);
+}
+
+TEST(PlanBuilder, ZeroRunsThrows) {
+  ToyApp a;
+  auto builder = exp::PlanBuilder().runs(0);
+  builder.cell(a, "BF");
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(PlanBuilder, DuplicateCellThrows) {
+  ToyApp a;
+  auto builder = exp::PlanBuilder().runs(5);
+  // "BF" is shorthand for BIT_FLIP@pwrite{width=2}: same canonical cell.
+  builder.cell(a, "BF");
+  builder.cell(a, "BIT_FLIP@pwrite{width=2}");
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(PlanBuilder, SameFaultDifferentStageOrSeedIsNotDuplicate) {
+  ToyApp a;
+  auto builder = exp::PlanBuilder().runs(5);
+  builder.cell(a, "BF", 1);
+  builder.cell(a, "BF", 2);
+  builder.seed(99);
+  builder.cell(a, "BF", 1);
+  EXPECT_NO_THROW((void)builder.build());
+}
+
+TEST(PlanBuilder, BadFaultSignatureThrows) {
+  ToyApp a;
+  auto builder = exp::PlanBuilder().runs(5);
+  builder.cell(a, "NOT_A_FAULT");
+  EXPECT_THROW((void)builder.build(), std::invalid_argument);
+}
+
+TEST(PlanBuilder, ProductWithoutAppsThrows) {
+  EXPECT_THROW(exp::PlanBuilder().fault("BF").product(), std::invalid_argument);
+}
+
+TEST(PlanBuilder, HalfStagedGridThrowsAtBuild) {
+  ToyApp a;
+  auto apps_only = exp::PlanBuilder().runs(5);
+  apps_only.app(a);
+  apps_only.cell(a, "BF");  // explicit cell, but the staged app has no faults
+  EXPECT_THROW((void)apps_only.build(), std::invalid_argument);
+
+  auto faults_only = exp::PlanBuilder().runs(5);
+  faults_only.fault("BF");
+  faults_only.cell(a, "DW");
+  EXPECT_THROW((void)faults_only.build(), std::invalid_argument);
+}
+
+// --- Engine: golden caching --------------------------------------------------
+
+TEST(Engine, GoldenCacheOneExecutionPerApp) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(8).seed(42);
+  builder.app(app).faults(
+      {"BF", "DW", "SHORN_WRITE@pwrite", "BIT_FLIP@pwrite{width=4}"});
+  const auto plan = builder.build();
+  ASSERT_EQ(plan.size(), 4u);
+
+  exp::Engine engine;
+  const auto report = engine.run(plan);
+
+  // The acceptance criterion: an N-cell single-app plan performs exactly ONE
+  // golden execution (asserted via the instrumented application).
+  EXPECT_EQ(app.golden_runs(), 1u);
+  EXPECT_EQ(report.golden_executions, 1u);
+  EXPECT_EQ(report.golden_cache_hits, 3u);
+  EXPECT_FALSE(report.cells[0].golden_cached);
+  EXPECT_TRUE(report.cells[1].golden_cached);
+  EXPECT_TRUE(report.cells[3].golden_cached);
+  // Total app executions: 1 golden + 4 profiling + 32 injection runs.
+  EXPECT_EQ(app.total_runs(), 1u + 4u + 32u);
+}
+
+TEST(Engine, DistinctAppsAndSeedsGetDistinctGoldens) {
+  ToyApp a, b;
+  auto builder = exp::PlanBuilder().runs(4).seed(1);
+  builder.cell(a, "BF");
+  builder.cell(b, "BF");
+  builder.seed(2);
+  builder.cell(a, "BF");  // different seed -> different app_seed -> new golden
+  const auto report = exp::Engine().run(builder.build());
+  EXPECT_EQ(report.golden_executions, 3u);
+  EXPECT_EQ(report.golden_cache_hits, 0u);
+  EXPECT_EQ(a.golden_runs(), 2u);
+  EXPECT_EQ(b.golden_runs(), 1u);
+}
+
+// --- Engine: determinism and equivalence ------------------------------------
+
+exp::ExperimentPlan toy_grid(const ToyApp& app, std::uint64_t runs, std::uint64_t seed) {
+  exp::PlanBuilder builder;
+  builder.runs(runs).seed(seed);
+  builder.cell(app, "BF", -1);
+  builder.cell(app, "DW", -1);
+  builder.cell(app, "BF", 2);
+  builder.cell(app, "SHORN_WRITE@pwrite", 1);
+  return builder.build();
+}
+
+TEST(Engine, TalliesAreIndependentOfThreadCount) {
+  ToyApp app;
+  std::vector<exp::ExperimentReport> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::EngineOptions options;
+    options.threads = threads;
+    exp::Engine engine(options);
+    reports.push_back(engine.run(toy_grid(app, 64, 123)));
+  }
+  ASSERT_EQ(reports[0].cells.size(), reports[1].cells.size());
+  for (std::size_t i = 0; i < reports[0].cells.size(); ++i) {
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      EXPECT_EQ(reports[0].cells[i].tally.count(static_cast<Outcome>(o)),
+                reports[1].cells[i].tally.count(static_cast<Outcome>(o)))
+          << "cell " << i << " outcome " << o;
+    }
+    EXPECT_EQ(reports[0].cells[i].primitive_count, reports[1].cells[i].primitive_count);
+  }
+}
+
+TEST(Engine, MultiCellRunMatchesSequentialPerCellInjection) {
+  ToyApp app;
+  const std::uint64_t runs = 48, seed = 7;
+  const auto plan = toy_grid(app, runs, seed);
+  const auto report = exp::Engine().run(plan);
+
+  // Reference: the pre-engine behavior — one FaultInjector per cell, runs
+  // executed sequentially with FaultGenerator's per-run seed stream.
+  for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+    const auto& cell = plan.cells()[i];
+    faults::CampaignConfig config;
+    config.application = cell.app->name();
+    config.fault = cell.fault;
+    config.runs = cell.runs;
+    config.seed = cell.seed;
+    config.stage = cell.stage;
+    faults::FaultGenerator generator(config);
+    core::FaultInjector injector(*cell.app, generator.signature(), cell.app_seed(),
+                                 cell.stage);
+    injector.prepare();
+    core::OutcomeTally expected;
+    for (std::uint64_t r = 0; r < runs; ++r) {
+      expected.add(injector.execute(generator.run_seed(r)).outcome);
+    }
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      EXPECT_EQ(report.cells[i].tally.count(static_cast<Outcome>(o)),
+                expected.count(static_cast<Outcome>(o)))
+          << "cell " << i << " (" << cell.label << ") outcome " << o;
+    }
+    EXPECT_EQ(report.cells[i].primitive_count, injector.primitive_count());
+  }
+}
+
+// --- Engine: errors, details, cancellation ----------------------------------
+
+TEST(Engine, CellErrorIsCapturedNotThrown) {
+  SilentApp silent;
+  ToyApp toy;
+  auto builder = exp::PlanBuilder().runs(4);
+  builder.cell(silent, "BF");
+  builder.cell(toy, "BF");
+  const auto report = exp::Engine().run(builder.build());
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_NE(report.cells[0].error.find("never executed primitive"), std::string::npos);
+  EXPECT_EQ(report.cells[0].tally.total(), 0u);
+  EXPECT_TRUE(report.cells[1].error.empty());
+  EXPECT_EQ(report.cells[1].tally.total(), 4u);
+}
+
+TEST(Engine, KeepDetailsRetainsPerRunResults) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(6);
+  builder.cell(app, "BF");
+  exp::EngineOptions options;
+  options.keep_details = true;
+  const auto report = exp::Engine(options).run(builder.build());
+  ASSERT_EQ(report.cells[0].details.size(), 6u);
+  core::OutcomeTally from_details;
+  for (const auto& r : report.cells[0].details) from_details.add(r.outcome);
+  for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+    EXPECT_EQ(from_details.count(static_cast<Outcome>(o)),
+              report.cells[0].tally.count(static_cast<Outcome>(o)));
+  }
+}
+
+TEST(Engine, ProgressReachesTotalRuns) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(5);
+  builder.cell(app, "BF");
+  builder.cell(app, "DW");
+  std::atomic<std::uint64_t> last_done{0}, last_total{0};
+  exp::EngineOptions options;
+  options.threads = 2;
+  options.progress = [&](std::uint64_t done, std::uint64_t total) {
+    last_done.store(done);
+    last_total.store(total);
+  };
+  const auto report = exp::Engine(options).run(builder.build());
+  EXPECT_EQ(report.total_runs, 10u);
+  EXPECT_EQ(last_total.load(), 10u);
+  EXPECT_EQ(last_done.load(), 10u);
+}
+
+TEST(Engine, CancellationProducesPartialCancelledReport) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(256);
+  builder.cell(app, "BF");
+  builder.cell(app, "DW");
+  std::unique_ptr<exp::Engine> engine;
+  exp::EngineOptions options;
+  options.progress = [&](std::uint64_t done, std::uint64_t) {
+    if (done >= 8) engine->request_cancel();
+  };
+  engine = std::make_unique<exp::Engine>(options);
+  const auto report = engine->run(builder.build());
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.total_runs, 512u);
+  EXPECT_GE(report.total_runs, 8u);
+  std::uint64_t completed = 0;
+  for (const auto& cell : report.cells) completed += cell.runs_completed;
+  EXPECT_EQ(completed, report.total_runs);
+}
+
+TEST(Engine, LegacyCampaignWrapperAllowsZeroRuns) {
+  ToyApp app;
+  faults::CampaignConfig config;
+  config.application = app.name();
+  config.fault = "BF";
+  config.runs = 0;
+  config.seed = 42;
+  core::Campaign campaign(app, faults::FaultGenerator(config));
+  const auto result = campaign.run();  // historical behavior: prepare, no runs
+  EXPECT_EQ(result.runs, 0u);
+  EXPECT_EQ(result.tally.total(), 0u);
+  EXPECT_GT(result.primitive_count, 0u);
+}
+
+// --- Sinks -------------------------------------------------------------------
+
+TEST(Sinks, CellsStreamInPlanOrder) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(16).seed(3);
+  builder.cell(app, "BF");
+  builder.cell(app, "DW");
+  builder.cell(app, "SHORN_WRITE@pwrite");
+
+  struct OrderSink final : exp::ResultSink {
+    std::vector<std::size_t> order;
+    bool began = false, ended = false;
+    void begin(const exp::ExperimentPlan&) override { began = true; }
+    void cell(const exp::CellResult& result) override { order.push_back(result.index); }
+    void end(const exp::ExperimentReport&) override { ended = true; }
+  } sink;
+
+  exp::EngineOptions options;
+  options.threads = 4;  // stress emission ordering under concurrency
+  exp::Engine(options).run(builder.build(), sink);
+  EXPECT_TRUE(sink.began);
+  EXPECT_TRUE(sink.ended);
+  EXPECT_EQ(sink.order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Sinks, CsvRoundTrip) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(12).seed(5);
+  builder.cell(app, "BIT_FLIP@pwrite{width=2}", -1, "with,comma \"quoted\"");
+  builder.cell(app, "SHORN_WRITE@pwrite", -1, "label\nwith newline and\r\nCRLF");
+  builder.cell(app, "DW", 2);
+  const auto plan = builder.build();
+
+  std::ostringstream out;
+  exp::CsvSink sink(out);
+  const auto report = exp::Engine().run(plan, sink);
+
+  std::istringstream in(out.str());
+  const auto rows = exp::read_csv_results(in);
+  ASSERT_EQ(rows.size(), report.cells.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto expected = exp::to_sink_row(report.cells[i]);
+    EXPECT_EQ(rows[i].index, expected.index);
+    EXPECT_EQ(rows[i].label, expected.label);
+    EXPECT_EQ(rows[i].application, expected.application);
+    EXPECT_EQ(rows[i].fault, expected.fault);
+    EXPECT_EQ(rows[i].stage, expected.stage);
+    EXPECT_EQ(rows[i].runs, expected.runs);
+    EXPECT_EQ(rows[i].seed, expected.seed);
+    EXPECT_EQ(rows[i].primitive_count, expected.primitive_count);
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      EXPECT_EQ(rows[i].tally.count(static_cast<Outcome>(o)),
+                expected.tally.count(static_cast<Outcome>(o)));
+    }
+    EXPECT_EQ(rows[i].faults_not_fired, expected.faults_not_fired);
+    EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
+    EXPECT_EQ(rows[i].error, expected.error);
+  }
+}
+
+TEST(Sinks, JsonlRoundTrip) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(12).seed(5);
+  builder.cell(app, "BF", -1, "label \"with\" quotes\nand newline");
+  builder.cell(app, "SHORN_WRITE@pwrite", 1);
+  const auto plan = builder.build();
+
+  std::ostringstream out;
+  exp::JsonlSink sink(out);
+  const auto report = exp::Engine().run(plan, sink);
+
+  std::istringstream in(out.str());
+  const auto rows = exp::read_jsonl_results(in);
+  ASSERT_EQ(rows.size(), report.cells.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto expected = exp::to_sink_row(report.cells[i]);
+    EXPECT_EQ(rows[i].label, expected.label);
+    EXPECT_EQ(rows[i].fault, expected.fault);
+    EXPECT_EQ(rows[i].stage, expected.stage);
+    EXPECT_EQ(rows[i].runs, expected.runs);
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      EXPECT_EQ(rows[i].tally.count(static_cast<Outcome>(o)),
+                expected.tally.count(static_cast<Outcome>(o)));
+    }
+    EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
+  }
+}
+
+TEST(Sinks, MultiSinkFansOutToAllChildren) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(4);
+  builder.cell(app, "BF");
+  std::ostringstream csv_out, jsonl_out;
+  exp::CsvSink csv(csv_out);
+  exp::JsonlSink jsonl(jsonl_out);
+  exp::MultiSink multi;
+  multi.add(csv).add(jsonl);
+  exp::Engine().run(builder.build(), multi);
+  std::istringstream csv_in(csv_out.str()), jsonl_in(jsonl_out.str());
+  EXPECT_EQ(exp::read_csv_results(csv_in).size(), 1u);
+  EXPECT_EQ(exp::read_jsonl_results(jsonl_in).size(), 1u);
+}
+
+// --- plan config -------------------------------------------------------------
+
+constexpr const char* kPlanDoc = R"(
+# defaults
+runs = 6
+seed = 11
+threads = 2
+csv = out.csv
+
+[cell]
+application = nyx
+fault = BF
+label = NYX-BF
+grid = 16
+halos = 4
+
+[cell]
+application = nyx
+fault = DW
+grid = 16
+halos = 4
+
+[cell]
+application = nyx
+fault = BF
+seed = 12
+grid = 24
+halos = 4
+)";
+
+TEST(PlanConfig, ParsesDefaultsAndCells) {
+  const auto config = exp::parse_plan_config(kPlanDoc);
+  EXPECT_EQ(config.threads, 2u);
+  EXPECT_EQ(config.csv_path, "out.csv");
+  EXPECT_TRUE(config.jsonl_path.empty());
+  ASSERT_EQ(config.cells.size(), 3u);
+  EXPECT_EQ(config.cells[0].application, "nyx");
+  EXPECT_EQ(config.cells[0].runs, 6u);
+  EXPECT_EQ(config.cells[0].seed, 11u);
+  EXPECT_EQ(config.cells[0].extra.at("label"), "NYX-BF");
+  EXPECT_EQ(config.cells[2].seed, 12u);
+}
+
+TEST(PlanConfig, RejectsBadInput) {
+  EXPECT_THROW((void)exp::parse_plan_config("runs = 5\n"), std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nruns = 0\n"), std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nruns = -3\n"), std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nseed = -1\n"), std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nstage = three\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nstage = 3x\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("label = X\n[cell]\nfault = BF\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nruns =  -5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nthreads = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[weird]\n"), std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nno equals sign\n"),
+               std::invalid_argument);
+}
+
+TEST(PlanConfig, BuildPlanDeduplicatesIdenticalApplications) {
+  const auto config = exp::parse_plan_config(kPlanDoc);
+  const auto plan = exp::build_plan(config);
+  ASSERT_EQ(plan.size(), 3u);
+  // Cells 0 and 1 share grid=16/halos=4 -> one instance; cell 2 differs.
+  EXPECT_EQ(plan.cells()[0].app, plan.cells()[1].app);
+  EXPECT_NE(plan.cells()[0].app, plan.cells()[2].app);
+  EXPECT_EQ(plan.cells()[0].label, "NYX-BF");
+  EXPECT_EQ(plan.cells()[1].label, "NYX-DW");  // auto-generated
+}
+
+}  // namespace

@@ -1,13 +1,15 @@
 // ffis — command-line driver for the FFIS fault-injection framework.
 //
 // Subcommands:
-//   ffis campaign <config-file>   run a fault-injection campaign
+//   ffis plan     <config-file>   run a multi-cell experiment plan
+//   ffis campaign <config-file>   run a single fault-injection campaign
 //   ffis sweep    <config-file>   byte-wise HDF5 metadata sweep (Table III)
 //   ffis profile  <config-file>   fault-free I/O profile of an application
 //   ffis doctor   <dir> <file>    diagnose/repair an HDF5 file on disk
 //   ffis demo                     one-shot end-to-end demonstration
 //
-// Config files are "key = value" text (see faults::parse_campaign_config):
+// Single-campaign config files (campaign/sweep/profile) are "key = value"
+// text (see faults::parse_campaign_config):
 //
 //   application = nyx        # nyx | qmc | montage
 //   fault = BIT_FLIP@pwrite{width=2}
@@ -15,9 +17,34 @@
 //   seed = 42
 //   stage = -1               # 1..4 scopes Montage stages
 //   grid = 64                # application-specific extras
+//
+// Plan config files (plan) use the same dialect split into blocks (see
+// exp::parse_plan_config).  Keys before the first [cell] header are
+// defaults inherited by every cell, plus engine/sink settings; each [cell]
+// block overrides them for one campaign cell:
+//
+//   runs = 200               # defaults for every cell
+//   seed = 42
+//   threads = 0              # engine workers; 0 = all hardware threads
+//   csv = results.csv        # optional: also stream results to CSV
+//   jsonl = results.jsonl    # optional: also stream results to JSON lines
+//
+//   [cell]
+//   application = nyx
+//   fault = BF
+//   label = NYX-BF           # optional display label
+//
+//   [cell]
+//   application = montage
+//   fault = DW
+//   stage = 3                # stage-scoped injection, as in campaigns
+//
+// Cells naming the same application with the same application extras share
+// one instance, so the engine performs their golden run only once.
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "ffis/analysis/hdf5_doctor.hpp"
@@ -27,6 +54,9 @@
 #include "ffis/apps/nyx/plotfile.hpp"
 #include "ffis/core/campaign.hpp"
 #include "ffis/core/io_profiler.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan_config.hpp"
+#include "ffis/exp/sink.hpp"
 #include "ffis/h5/reader.hpp"
 #include "ffis/h5/writer.hpp"
 #include "ffis/vfs/posix_fs.hpp"
@@ -37,9 +67,15 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ffis <campaign|sweep|profile> <config-file>\n"
+               "usage: ffis <plan|campaign|sweep|profile> <config-file>\n"
                "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
-               "       ffis demo\n");
+               "       ffis demo\n"
+               "\n"
+               "plan runs a multi-cell experiment plan: defaults (runs, seed,\n"
+               "threads, optional csv/jsonl output paths) followed by one [cell]\n"
+               "block per campaign cell (application, fault, stage, label, app\n"
+               "extras).  See the header of tools/ffis_cli.cpp or README.md for\n"
+               "a commented example.\n");
   return 2;
 }
 
@@ -62,6 +98,14 @@ h5::WriteInfo nyx_layout(std::size_t grid) {
   return h5::plan_layout(shape);
 }
 
+void print_run_progress(std::uint64_t done, std::uint64_t total) {
+  if (done % 100 == 0 || done == total) {
+    std::fprintf(stderr, "\r%llu / %llu runs", static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total));
+    if (done == total) std::fprintf(stderr, "\n");
+  }
+}
+
 int cmd_campaign(const std::string& config_path) {
   const auto config = faults::parse_campaign_config(slurp(config_path));
   const auto app = apps::make_application(config);
@@ -73,14 +117,9 @@ int cmd_campaign(const std::string& config_path) {
               static_cast<unsigned long long>(config.runs),
               static_cast<unsigned long long>(config.seed), config.stage);
 
+  // A campaign is a one-cell experiment plan; the Campaign wrapper builds it.
   core::Campaign campaign(*app, generator);
-  campaign.set_progress([](std::uint64_t done, std::uint64_t total) {
-    if (done % 100 == 0 || done == total) {
-      std::fprintf(stderr, "\r%llu / %llu runs", static_cast<unsigned long long>(done),
-                   static_cast<unsigned long long>(total));
-      if (done == total) std::fprintf(stderr, "\n");
-    }
-  });
+  campaign.set_progress(print_run_progress);
   const auto result = campaign.run();
 
   std::printf("profiled %llu dynamic executions of the target primitive\n",
@@ -90,6 +129,50 @@ int cmd_campaign(const std::string& config_path) {
   if (result.faults_not_fired > 0) {
     std::printf("warning: %llu faults never fired\n",
                 static_cast<unsigned long long>(result.faults_not_fired));
+  }
+  return 0;
+}
+
+int cmd_plan(const std::string& config_path) {
+  const auto plan_config = exp::parse_plan_config(slurp(config_path));
+  const auto plan = exp::build_plan(plan_config);
+
+  std::printf("experiment plan: %zu cells, %llu total runs\n\n", plan.size(),
+              static_cast<unsigned long long>(plan.total_runs()));
+
+  exp::ConsoleTableSink console(stdout);
+  exp::MultiSink sink;
+  sink.add(console);
+  std::ofstream csv_stream, jsonl_stream;
+  std::unique_ptr<exp::CsvSink> csv;
+  std::unique_ptr<exp::JsonlSink> jsonl;
+  if (!plan_config.csv_path.empty()) {
+    csv_stream.open(plan_config.csv_path);
+    if (!csv_stream) throw std::runtime_error("cannot open " + plan_config.csv_path);
+    csv = std::make_unique<exp::CsvSink>(csv_stream);
+    sink.add(*csv);
+  }
+  if (!plan_config.jsonl_path.empty()) {
+    jsonl_stream.open(plan_config.jsonl_path);
+    if (!jsonl_stream) throw std::runtime_error("cannot open " + plan_config.jsonl_path);
+    jsonl = std::make_unique<exp::JsonlSink>(jsonl_stream);
+    sink.add(*jsonl);
+  }
+
+  exp::EngineOptions options;
+  options.threads = plan_config.threads;
+  options.progress = print_run_progress;
+  exp::Engine engine(options);
+  const auto report = engine.run(plan, sink);
+
+  if (!plan_config.csv_path.empty()) {
+    std::printf("wrote %s\n", plan_config.csv_path.c_str());
+  }
+  if (!plan_config.jsonl_path.empty()) {
+    std::printf("wrote %s\n", plan_config.jsonl_path.c_str());
+  }
+  for (const auto& cell : report.cells) {
+    if (!cell.error.empty()) return 1;
   }
   return 0;
 }
@@ -181,6 +264,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "plan" && argc == 3) return cmd_plan(argv[2]);
     if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
     if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
     if (command == "profile" && argc == 3) return cmd_profile(argv[2]);
