@@ -1,0 +1,170 @@
+// Engine throughput benchmark: checkpoint reuse vs. the classic full-run
+// path, on stage-instrumented Montage cells (MT3/MT4 — the stages with the
+// most redundant prefix work).
+//
+// Both variants execute the identical plan in the same binary; the
+// checkpointed engine must produce bit-identical tallies (asserted here, and
+// exhaustively in tests/test_checkpoint.cpp) at a fraction of the wall time.
+// Results are persisted to BENCH_perf.json (override with --json=PATH or
+// FFIS_BENCH_JSON) so the perf trajectory is tracked across commits.
+//
+//   FFIS_RUNS=N   injection runs per cell (default 300)
+//   FFIS_SEED=S   campaign base seed (default 42)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ffis/apps/montage/montage_app.hpp"
+#include "ffis/core/outcome.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Records, per cell, how long after engine start the cell finished.
+class TimingSink final : public ffis::exp::ResultSink {
+ public:
+  void begin(const ffis::exp::ExperimentPlan&) override { start_ = Clock::now(); }
+  void cell(const ffis::exp::CellResult& result) override {
+    completion_ms_.push_back(ms_since(start_));
+    (void)result;
+  }
+
+  [[nodiscard]] const std::vector<double>& completion_ms() const { return completion_ms_; }
+
+ private:
+  Clock::time_point start_{};
+  std::vector<double> completion_ms_;
+};
+
+struct VariantResult {
+  ffis::exp::ExperimentReport report;
+  std::vector<double> cell_completion_ms;
+  double wall_ms = 0.0;
+  double runs_per_sec = 0.0;
+};
+
+VariantResult run_variant(const ffis::exp::ExperimentPlan& plan, bool use_checkpoints) {
+  ffis::exp::EngineOptions options;
+  options.use_checkpoints = use_checkpoints;
+  ffis::exp::Engine engine(options);
+  TimingSink sink;
+  const auto start = Clock::now();
+  VariantResult out;
+  out.report = engine.run(plan, sink);
+  out.wall_ms = ms_since(start);
+  out.cell_completion_ms = sink.completion_ms();
+  out.runs_per_sec = static_cast<double>(out.report.total_runs) / (out.wall_ms / 1000.0);
+  for (const auto& cell : out.report.cells) {
+    if (!cell.error.empty()) {
+      throw std::runtime_error("cell " + cell.cell.label + " failed: " + cell.error);
+    }
+  }
+  return out;
+}
+
+std::string variant_json(const VariantResult& v) {
+  std::vector<std::string> cells;
+  for (std::size_t i = 0; i < v.report.cells.size(); ++i) {
+    const auto& cell = v.report.cells[i];
+    ffis::bench::JsonObject obj;
+    obj.str("label", cell.cell.label)
+        .num("stage", static_cast<std::uint64_t>(cell.cell.stage))
+        .num("runs", cell.runs_completed)
+        .num("wall_ms_at_completion",
+             i < v.cell_completion_ms.size() ? v.cell_completion_ms[i] : 0.0)
+        .raw("checkpointed", cell.checkpointed ? "true" : "false");
+    cells.push_back(obj.render());
+  }
+  ffis::bench::JsonObject obj;
+  obj.num("wall_ms", v.wall_ms)
+      .num("runs_per_sec", v.runs_per_sec)
+      .num("golden_executions", v.report.golden_executions)
+      .num("golden_cache_hits", v.report.golden_cache_hits)
+      .num("checkpoint_builds", v.report.checkpoint_builds)
+      .num("checkpoint_cache_hits", v.report.checkpoint_cache_hits)
+      .raw("cells", ffis::bench::json_array(cells));
+  return obj.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ffis;
+
+  bench::print_header("Engine throughput: checkpoint reuse vs. full re-execution",
+                      "harness performance (methodology §V: mount/unmount per run)");
+
+  const std::uint64_t runs = bench::runs_per_cell(300);
+  // A denser mosaic than the defaults — a 6x3 grid with 50 % overlap — so
+  // the overlap-driven prefix stages (mDiffExec/mBgExec) carry realistic
+  // weight relative to the final coadd.
+  montage::MontageConfig montage_config;
+  montage_config.scene.tile_x0 = {0, 24, 48, 72, 96, 120};
+  montage_config.scene.tile_y0 = {0, 24, 48};
+  montage::MontageApp montage(montage_config);
+
+  // MT3 and MT4 carry the largest fault-free prefix (ingest + stages 1..2/3),
+  // so they bound the win.  Two faults per stage: all four cells share one
+  // golden, and the two cells of each stage share one checkpoint — so both
+  // cache tiers report hits.
+  auto builder = bench::plan(runs);
+  builder.app(montage).faults({"BF", "SHORN_WRITE@pwrite"}).stages(3, 4).product();
+  const auto experiment_plan = builder.build();
+
+  std::printf("%llu runs per cell, %zu cells\n\n",
+              static_cast<unsigned long long>(runs), experiment_plan.size());
+
+  std::printf("-- baseline (full re-execution per run) --\n");
+  const VariantResult baseline = run_variant(experiment_plan, /*use_checkpoints=*/false);
+  std::printf("-- checkpointed (COW fork + stage resume) --\n");
+  const VariantResult checkpointed = run_variant(experiment_plan, /*use_checkpoints=*/true);
+
+  // The whole point of the fast path is that it changes nothing but time.
+  for (std::size_t i = 0; i < experiment_plan.size(); ++i) {
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      const auto outcome = static_cast<core::Outcome>(o);
+      if (baseline.report.cells[i].tally.count(outcome) !=
+          checkpointed.report.cells[i].tally.count(outcome)) {
+        std::fprintf(stderr, "FATAL: tally mismatch in cell %zu — checkpoint path "
+                             "is not equivalent\n", i);
+        return 1;
+      }
+    }
+  }
+
+  const double speedup = checkpointed.runs_per_sec / baseline.runs_per_sec;
+  std::printf("\nbaseline:     %8.1f runs/sec  (%.0f ms)\n", baseline.runs_per_sec,
+              baseline.wall_ms);
+  std::printf("checkpointed: %8.1f runs/sec  (%.0f ms, %llu capture%s, %llu cache "
+              "hit%s)\n",
+              checkpointed.runs_per_sec, checkpointed.wall_ms,
+              static_cast<unsigned long long>(checkpointed.report.checkpoint_builds),
+              checkpointed.report.checkpoint_builds == 1 ? "" : "s",
+              static_cast<unsigned long long>(checkpointed.report.checkpoint_cache_hits),
+              checkpointed.report.checkpoint_cache_hits == 1 ? "" : "s");
+  std::printf("speedup:      %8.2fx\n", speedup);
+
+  const std::string json_path =
+      bench::json_output_path(argc, argv, "BENCH_perf.json").value_or("BENCH_perf.json");
+  bench::JsonObject doc;
+  doc.str("bench", "perf_engine")
+      .str("application", "montage")
+      .str("faults", "BF, SHORN_WRITE@pwrite")
+      .str("stages", "3-4")
+      .num("runs_per_cell", runs)
+      .num("cells", static_cast<std::uint64_t>(experiment_plan.size()))
+      .num("speedup", speedup)
+      .raw("baseline", variant_json(baseline))
+      .raw("checkpointed", variant_json(checkpointed));
+  bench::write_json_file(json_path, doc);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 namespace ffis::montage {
 
@@ -23,31 +25,46 @@ std::shared_ptr<const MontageApp::Inputs> MontageApp::inputs(std::uint64_t seed)
   return cached_inputs_;
 }
 
-void MontageApp::run(const core::RunContext& ctx) const {
+void MontageApp::run_range(const core::RunContext& ctx, bool ingest, int first,
+                           int last) const {
   const auto in = inputs(ctx.app_seed);
   const auto& paths = config_.paths;
 
-  // Ingest (stage 0: the paper does not instrument the raw-archive fetch).
-  vfs::mkdirs(ctx.fs, paths.raw_dir);
-  for (std::size_t k = 0; k < in->raw_tiles.size(); ++k) {
-    write_fits(ctx.fs, paths.raw_tile(k), in->raw_tiles[k], config_.stages.fits_io);
+  if (ingest) {
+    // Ingest (stage 0: the paper does not instrument the raw-archive fetch).
+    vfs::mkdirs(ctx.fs, paths.raw_dir);
+    for (std::size_t k = 0; k < in->raw_tiles.size(); ++k) {
+      write_fits(ctx.fs, paths.raw_tile(k), in->raw_tiles[k], config_.stages.fits_io);
+    }
   }
 
-  ctx.enter_stage(1);
-  stage1_project(ctx.fs, in->scene, paths, config_.stages);
-  ctx.leave_stage(1);
+  for (int stage = first; stage <= last; ++stage) {
+    ctx.enter_stage(stage);
+    switch (stage) {
+      case 1: stage1_project(ctx.fs, in->scene, paths, config_.stages); break;
+      case 2: stage2_diff_and_fit(ctx.fs, in->scene, paths, config_.stages); break;
+      case 3: stage3_background_correct(ctx.fs, in->scene, paths, config_.stages); break;
+      case 4: stage4_coadd(ctx.fs, in->scene, paths, config_.stages); break;
+      default: break;
+    }
+    ctx.leave_stage(stage);
+  }
+}
 
-  ctx.enter_stage(2);
-  stage2_diff_and_fit(ctx.fs, in->scene, paths, config_.stages);
-  ctx.leave_stage(2);
+void MontageApp::run(const core::RunContext& ctx) const { run_range(ctx, true, 1, 4); }
 
-  ctx.enter_stage(3);
-  stage3_background_correct(ctx.fs, in->scene, paths, config_.stages);
-  ctx.leave_stage(3);
+void MontageApp::run_prefix(const core::RunContext& ctx, int stage) const {
+  if (stage < 1 || stage > stage_count()) {
+    throw std::invalid_argument("montage: no such stage " + std::to_string(stage));
+  }
+  run_range(ctx, true, 1, stage - 1);
+}
 
-  ctx.enter_stage(4);
-  stage4_coadd(ctx.fs, in->scene, paths, config_.stages);
-  ctx.leave_stage(4);
+void MontageApp::run_from(const core::RunContext& ctx, int stage) const {
+  if (stage < 1 || stage > stage_count()) {
+    throw std::invalid_argument("montage: no such stage " + std::to_string(stage));
+  }
+  run_range(ctx, false, stage, stage_count());
 }
 
 core::AnalysisResult MontageApp::analyze(vfs::FileSystem& fs) const {

@@ -34,6 +34,9 @@ class MontageApp final : public core::Application {
 
   [[nodiscard]] std::string name() const override { return "montage"; }
   void run(const core::RunContext& ctx) const override;
+  [[nodiscard]] int stage_count() const override { return 4; }
+  void run_prefix(const core::RunContext& ctx, int stage) const override;
+  void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
@@ -48,6 +51,10 @@ class MontageApp final : public core::Application {
   [[nodiscard]] std::shared_ptr<const Inputs> inputs(std::uint64_t seed) const;
 
  private:
+  /// Shared body of run/run_prefix/run_from: the raw-tile ingest when
+  /// `ingest`, then stages [first, last] bracketed with enter/leave_stage.
+  void run_range(const core::RunContext& ctx, bool ingest, int first, int last) const;
+
   MontageConfig config_;
   mutable std::mutex cache_mutex_;
   mutable std::uint64_t cached_seed_ = 0;

@@ -1,6 +1,8 @@
 #include "ffis/apps/nyx/nyx_app.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "ffis/apps/nyx/plotfile.hpp"
 #include "ffis/util/strfmt.hpp"
@@ -22,7 +24,26 @@ const DensityField& NyxApp::field(std::uint64_t seed) const {
 
 void NyxApp::run(const core::RunContext& ctx) const {
   const DensityField& f = field(ctx.app_seed);
+  ctx.enter_stage(1);
   (void)write_plotfile(ctx.fs, config_.plotfile_path, f, config_.h5_options);
+  ctx.leave_stage(1);
+}
+
+void NyxApp::run_prefix(const core::RunContext& ctx, int stage) const {
+  (void)ctx;
+  if (stage != 1) {
+    throw std::invalid_argument("nyx: no such stage " + std::to_string(stage));
+  }
+  // Nothing before stage 1; warm the field cache so per-run forks don't race
+  // to generate it (they would anyway serialize on cache_mutex_).
+  (void)field(ctx.app_seed);
+}
+
+void NyxApp::run_from(const core::RunContext& ctx, int stage) const {
+  if (stage != 1) {
+    throw std::invalid_argument("nyx: no such stage " + std::to_string(stage));
+  }
+  run(ctx);
 }
 
 core::AnalysisResult NyxApp::analyze(vfs::FileSystem& fs) const {

@@ -38,6 +38,12 @@ class NyxApp final : public core::Application {
 
   [[nodiscard]] std::string name() const override { return "nyx"; }
   void run(const core::RunContext& ctx) const override;
+  /// One stage: the plotfile dump.  Nothing precedes it (the simulation is
+  /// in-memory), so the stage-1 prefix is empty — resumable runs still skip
+  /// nothing but gain the engine's folded profiling pass.
+  [[nodiscard]] int stage_count() const override { return 1; }
+  void run_prefix(const core::RunContext& ctx, int stage) const override;
+  void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;

@@ -1,6 +1,8 @@
 #include "ffis/apps/qmc/qmc_app.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "ffis/util/strfmt.hpp"
 
@@ -24,22 +26,49 @@ std::shared_ptr<const QmcApp::Trace> QmcApp::trace(std::uint64_t seed) const {
   return cached_trace_;
 }
 
-void QmcApp::run(const core::RunContext& ctx) const {
+void QmcApp::run_range(const core::RunContext& ctx, bool ingest, int first,
+                       int last) const {
   const auto t = trace(ctx.app_seed);
 
-  // Input echo, written first like QMCPACK's <project>.cont.xml.
-  const std::string xml = util::fmt(
-      "<?xml version=\"1.0\"?>\n<simulation>\n"
-      "  <project id=\"He\" series=\"0\"/>\n"
-      "  <qmc method=\"vmc\" walkers=\"{}\" steps=\"{}\"/>\n"
-      "  <qmc method=\"dmc\" walkers=\"{}\" steps=\"{}\" timestep=\"{}\"/>\n"
-      "</simulation>\n",
-      config_.vmc.walkers, config_.vmc.steps, config_.dmc.target_walkers,
-      config_.dmc.steps, config_.dmc.tau);
-  vfs::write_text_file(ctx.fs, config_.prefix + ".cont.xml", xml);
+  if (ingest) {
+    // Input echo, written first like QMCPACK's <project>.cont.xml.
+    const std::string xml = util::fmt(
+        "<?xml version=\"1.0\"?>\n<simulation>\n"
+        "  <project id=\"He\" series=\"0\"/>\n"
+        "  <qmc method=\"vmc\" walkers=\"{}\" steps=\"{}\"/>\n"
+        "  <qmc method=\"dmc\" walkers=\"{}\" steps=\"{}\" timestep=\"{}\"/>\n"
+        "</simulation>\n",
+        config_.vmc.walkers, config_.vmc.steps, config_.dmc.target_walkers,
+        config_.dmc.steps, config_.dmc.tau);
+    vfs::write_text_file(ctx.fs, config_.prefix + ".cont.xml", xml);
+  }
 
-  write_scalar_file(ctx.fs, vmc_path(), t->vmc_rows, config_.io);
-  write_scalar_file(ctx.fs, dmc_path(), t->dmc_rows, config_.io);
+  if (first <= 1 && 1 <= last) {
+    ctx.enter_stage(1);
+    write_scalar_file(ctx.fs, vmc_path(), t->vmc_rows, config_.io);
+    ctx.leave_stage(1);
+  }
+  if (first <= 2 && 2 <= last) {
+    ctx.enter_stage(2);
+    write_scalar_file(ctx.fs, dmc_path(), t->dmc_rows, config_.io);
+    ctx.leave_stage(2);
+  }
+}
+
+void QmcApp::run(const core::RunContext& ctx) const { run_range(ctx, true, 1, 2); }
+
+void QmcApp::run_prefix(const core::RunContext& ctx, int stage) const {
+  if (stage < 1 || stage > stage_count()) {
+    throw std::invalid_argument("qmcpack: no such stage " + std::to_string(stage));
+  }
+  run_range(ctx, true, 1, stage - 1);
+}
+
+void QmcApp::run_from(const core::RunContext& ctx, int stage) const {
+  if (stage < 1 || stage > stage_count()) {
+    throw std::invalid_argument("qmcpack: no such stage " + std::to_string(stage));
+  }
+  run_range(ctx, false, stage, stage_count());
 }
 
 core::AnalysisResult QmcApp::analyze(vfs::FileSystem& fs) const {

@@ -40,6 +40,11 @@ class QmcApp final : public core::Application {
 
   [[nodiscard]] std::string name() const override { return "qmcpack"; }
   void run(const core::RunContext& ctx) const override;
+  /// Stage 1 = the VMC series (s000), stage 2 = the DMC series (s001); the
+  /// input-echo XML is uninstrumented ingest, as in run().
+  [[nodiscard]] int stage_count() const override { return 2; }
+  void run_prefix(const core::RunContext& ctx, int stage) const override;
+  void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
@@ -57,6 +62,10 @@ class QmcApp final : public core::Application {
   [[nodiscard]] std::shared_ptr<const Trace> trace(std::uint64_t seed) const;
 
  private:
+  /// Shared body of run/run_prefix/run_from: the XML echo when `ingest`,
+  /// then stages [first, last] bracketed with enter/leave_stage.
+  void run_range(const core::RunContext& ctx, bool ingest, int first, int last) const;
+
   QmcAppConfig config_;
   mutable std::mutex cache_mutex_;
   mutable std::uint64_t cached_seed_ = 0;

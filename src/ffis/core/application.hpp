@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "ffis/core/outcome.hpp"
@@ -86,6 +87,42 @@ class Application {
   /// Executes the workload, writing outputs into ctx.fs.  Exceptions
   /// propagate and the campaign records a Crash.
   virtual void run(const RunContext& ctx) const = 0;
+
+  // --- Stage-resumable execution (checkpoint reuse) -------------------------
+  //
+  // A stage-resumable application splits run() at its enter_stage boundaries
+  // so the engine can execute the fault-free prefix once per campaign cell,
+  // snapshot the file system, and replay only the instrumented suffix per
+  // injection run.  The contract, for every k in [1, stage_count()]:
+  //
+  //     run(ctx)  ==  run_prefix(ctx, k); run_from(ctx, k)
+  //
+  // bit-for-bit on the resulting file tree (the workload is deterministic in
+  // ctx.app_seed; only the injected fault may differ between runs).
+
+  /// Number of checkpoint-resumable stages — the 1-based ids the workload
+  /// brackets with ctx.enter_stage/leave_stage.  0 (the default) means the
+  /// application has no stage structure; stage-scoped campaigns still run,
+  /// but cannot use checkpoint resume.
+  [[nodiscard]] virtual int stage_count() const { return 0; }
+
+  /// Executes only the work before `stage` — input ingest plus stages
+  /// [1, stage-1] — leaving ctx.fs exactly as a full run leaves it the
+  /// moment enter_stage(stage) fires.  Called fault-free (no instrument).
+  virtual void run_prefix(const RunContext& ctx, int stage) const {
+    (void)ctx;
+    (void)stage;
+    throw std::logic_error(name() + " is not stage-resumable");
+  }
+
+  /// Resumes at `stage` on a file system produced by run_prefix(ctx, stage):
+  /// executes stages [stage, stage_count()], bracketing each with
+  /// enter_stage/leave_stage as run() does.
+  virtual void run_from(const RunContext& ctx, int stage) const {
+    (void)ctx;
+    (void)stage;
+    throw std::logic_error(name() + " is not stage-resumable");
+  }
 
   /// Runs the post-analysis over the output files.  Exceptions propagate as
   /// Crash (e.g. HDF5 metadata validation failure, unparsable scalar file).

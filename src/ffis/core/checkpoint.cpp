@@ -1,0 +1,54 @@
+#include "ffis/core/checkpoint.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "ffis/faults/faulting_fs.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+
+namespace ffis::core {
+
+std::shared_ptr<const Checkpoint> Checkpoint::capture(const Application& app,
+                                                      std::uint64_t app_seed,
+                                                      int stage) {
+  if (stage < 1 || stage > app.stage_count()) {
+    throw std::invalid_argument("Checkpoint: " + app.name() + " has " +
+                                std::to_string(app.stage_count()) +
+                                " stages, cannot checkpoint at stage " +
+                                std::to_string(stage));
+  }
+  std::shared_ptr<Checkpoint> checkpoint(new Checkpoint(stage));
+  // The prefix executes fault-free and uninstrumented, exactly like the part
+  // of a full injection run before the armed stage (the FaultingFs forwards
+  // untouched while gated off, so skipping it entirely is equivalent).
+  RunContext ctx{.fs = checkpoint->fs_,
+                 .app_seed = app_seed,
+                 .instrumented_stage = -1,
+                 .instrument = nullptr};
+  app.run_prefix(ctx, stage);
+  return checkpoint;
+}
+
+ProfileResult profile_resume(const Application& app, const Checkpoint& checkpoint,
+                             const faults::FaultSignature& signature,
+                             std::uint64_t app_seed) {
+  vfs::MemFs backing = checkpoint.fs().fork(vfs::MemFs::Concurrency::SingleThread);
+  vfs::CountingFs counting(backing);
+  faults::FaultingFs instrument(counting);
+  instrument.configure(signature);
+  // Stage-scoped counting starts gated off; enter_stage opens the window.
+  instrument.set_enabled(false);
+
+  RunContext ctx{.fs = instrument,
+                 .app_seed = app_seed,
+                 .instrumented_stage = checkpoint.stage(),
+                 .instrument = &instrument};
+  app.run_from(ctx, checkpoint.stage());
+
+  ProfileResult result;
+  result.primitive_count = instrument.executions();
+  result.bytes_written = counting.bytes_written();
+  return result;
+}
+
+}  // namespace ffis::core

@@ -1,0 +1,63 @@
+#pragma once
+// Pre-fault checkpoints: the fault-free prefix of a stage-instrumented run,
+// captured once and forked per injection run.
+//
+// A campaign cell that injects into stage k re-executes everything before
+// stage k identically on every one of its (typically 1000) runs — the
+// workload is deterministic in app_seed and the fault cannot fire before the
+// instrumented stage.  A Checkpoint captures that prefix once on a MemFs;
+// each injection run then forks the snapshot in O(#files) (copy-on-write,
+// see vfs::MemFs::fork) and resumes at stage k via Application::run_from.
+//
+// The I/O-profiling pass folds into the same capture: profile_resume runs
+// the instrumented continuation once on a fork, which observes exactly the
+// primitive executions a full gated profiling run would (counting is gated
+// to the instrumented stage either way) at the cost of only the suffix.
+
+#include <cstdint>
+#include <memory>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/io_profiler.hpp"
+#include "ffis/faults/fault_signature.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::core {
+
+class Checkpoint {
+ public:
+  /// Runs the fault-free prefix (ingest + stages < `stage`) of (app,
+  /// app_seed) on a fresh MemFs and freezes the result.  Requires
+  /// 1 <= stage <= app.stage_count(); application exceptions propagate
+  /// (deterministic apps cannot crash fault-free, so a throw here is a
+  /// configuration error).
+  [[nodiscard]] static std::shared_ptr<const Checkpoint> capture(
+      const Application& app, std::uint64_t app_seed, int stage);
+
+  /// The frozen prefix state.  Callers fork() it; nobody mutates it.
+  [[nodiscard]] const vfs::MemFs& fs() const noexcept { return fs_; }
+  /// The stage injection runs resume at (== the cell's instrumented stage).
+  [[nodiscard]] int stage() const noexcept { return stage_; }
+
+  Checkpoint(const Checkpoint&) = delete;
+  Checkpoint& operator=(const Checkpoint&) = delete;
+
+ private:
+  explicit Checkpoint(int stage) : stage_(stage) {}
+
+  /// SingleThread: the capture runs on one thread and the state is frozen
+  /// afterwards, so per-run fork() calls never contend on a mutex.
+  vfs::MemFs fs_{vfs::MemFs::Concurrency::SingleThread};
+  int stage_;
+};
+
+/// The checkpoint fold of IoProfiler::profile: executes the instrumented
+/// continuation (stages >= checkpoint.stage()) once on a fork and returns
+/// the dynamic execution count of signature.primitive within the
+/// instrumented stage.  bytes_written covers only the continuation.
+[[nodiscard]] ProfileResult profile_resume(const Application& app,
+                                           const Checkpoint& checkpoint,
+                                           const faults::FaultSignature& signature,
+                                           std::uint64_t app_seed);
+
+}  // namespace ffis::core

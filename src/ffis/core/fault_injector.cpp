@@ -16,8 +16,9 @@ FaultInjector::FaultInjector(const Application& app, faults::FaultSignature sign
       instrumented_stage_(instrumented_stage) {}
 
 AnalysisResult FaultInjector::run_golden(const Application& app, std::uint64_t app_seed) {
-  // Golden run: bare backing store, no instrumentation.
-  vfs::MemFs golden_fs;
+  // Golden run: bare backing store (unlocked — the run owns it), no
+  // instrumentation.
+  vfs::MemFs golden_fs(vfs::MemFs::Concurrency::SingleThread);
   RunContext ctx{.fs = golden_fs, .app_seed = app_seed, .instrumented_stage = -1,
                  .instrument = nullptr};
   app.run(ctx);
@@ -36,12 +37,36 @@ void FaultInjector::prepare_with_golden(std::shared_ptr<const AnalysisResult> go
 
   // Profiling run: count target-primitive executions fault-free.
   profile_ = IoProfiler::profile(app_, signature_, app_seed_, instrumented_stage_);
+  check_profile();
+  prepared_ = true;
+}
+
+void FaultInjector::prepare_with_checkpoint(std::shared_ptr<const AnalysisResult> golden,
+                                            std::shared_ptr<const Checkpoint> checkpoint) {
+  if (prepared_) return;
+  if (!golden) throw std::invalid_argument("FaultInjector: null golden analysis");
+  if (!checkpoint) throw std::invalid_argument("FaultInjector: null checkpoint");
+  if (checkpoint->stage() != instrumented_stage_) {
+    throw std::invalid_argument(
+        "FaultInjector: checkpoint is for stage " + std::to_string(checkpoint->stage()) +
+        ", injector instruments stage " + std::to_string(instrumented_stage_));
+  }
+  golden_ = std::move(golden);
+  checkpoint_ = std::move(checkpoint);
+
+  // Folded profiling pass: one instrumented continuation on a fork observes
+  // the same gated primitive count as a full profiling run.
+  profile_ = profile_resume(app_, *checkpoint_, signature_, app_seed_);
+  check_profile();
+  prepared_ = true;
+}
+
+void FaultInjector::check_profile() const {
   if (profile_.primitive_count == 0) {
     throw std::logic_error("FaultInjector: application never executed primitive '" +
                            std::string(vfs::primitive_name(signature_.primitive)) +
                            "' — nothing to inject into");
   }
-  prepared_ = true;
 }
 
 const AnalysisResult& FaultInjector::golden() const {
@@ -67,8 +92,12 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
   RunResult result;
 
   // "In each run, FFISFS would be mounted and unmounted": a fresh backing
-  // store and a fresh instrumentation layer per run.
-  vfs::MemFs backing;
+  // store and a fresh instrumentation layer per run.  With a checkpoint the
+  // fresh store is a copy-on-write fork of the fault-free prefix; either
+  // way this run owns it exclusively, so locking is off.
+  vfs::MemFs backing =
+      checkpoint_ ? checkpoint_->fs().fork(vfs::MemFs::Concurrency::SingleThread)
+                  : vfs::MemFs(vfs::MemFs::Concurrency::SingleThread);
   faults::FaultingFs instrument(backing);
   instrument.arm(signature_, target_instance, feature_seed);
   if (instrumented_stage_ > 0) instrument.set_enabled(false);
@@ -78,7 +107,11 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
                  .instrumented_stage = instrumented_stage_,
                  .instrument = &instrument};
   try {
-    app_.run(ctx);
+    if (checkpoint_) {
+      app_.run_from(ctx, checkpoint_->stage());
+    } else {
+      app_.run(ctx);
+    }
   } catch (const std::exception& e) {
     result.outcome = Outcome::Crash;
     result.fault_fired = instrument.fired();

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "ffis/core/application.hpp"
+#include "ffis/core/checkpoint.hpp"
 #include "ffis/core/io_profiler.hpp"
 #include "ffis/core/outcome.hpp"
 #include "ffis/faults/fault_signature.hpp"
@@ -43,6 +44,19 @@ class FaultInjector {
   /// caches it across cells) and performs only the profiling pass.
   void prepare_with_golden(std::shared_ptr<const AnalysisResult> golden);
 
+  /// Checkpoint-reuse preparation: reuses a shared golden AND a pre-fault
+  /// checkpoint (the fault-free prefix of stages < instrumented_stage,
+  /// captured once per (app, app_seed, stage) by exp::Engine).  The
+  /// profiling pass folds into a single instrumented continuation on a fork
+  /// of the checkpoint, and every execute() thereafter forks + resumes
+  /// instead of re-running the whole application.  Tallies are bit-identical
+  /// to the prepare_with_golden path at the same seeds.
+  void prepare_with_checkpoint(std::shared_ptr<const AnalysisResult> golden,
+                               std::shared_ptr<const Checkpoint> checkpoint);
+
+  /// True when execute() resumes from a pre-fault checkpoint.
+  [[nodiscard]] bool checkpointed() const noexcept { return checkpoint_ != nullptr; }
+
   /// Executes one golden (fault-free, uninstrumented) run of `app` on a
   /// fresh in-memory store and returns its analysis.  prepare() uses this;
   /// it is exposed so campaign drivers can share goldens across injectors.
@@ -64,6 +78,8 @@ class FaultInjector {
                                      std::uint64_t feature_seed) const;
 
  private:
+  void check_profile() const;  // throws when the primitive never executed
+
   const Application& app_;
   faults::FaultSignature signature_;
   std::uint64_t app_seed_;
@@ -72,6 +88,8 @@ class FaultInjector {
   /// Shared so exp::Engine's golden cache can hand one analysis to many
   /// injectors without copying the comparison blobs.
   std::shared_ptr<const AnalysisResult> golden_;
+  /// Pre-fault snapshot shared by every run (null = classic full-run path).
+  std::shared_ptr<const Checkpoint> checkpoint_;
   ProfileResult profile_{};
 };
 

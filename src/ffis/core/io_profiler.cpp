@@ -8,7 +8,7 @@ namespace ffis::core {
 ProfileResult IoProfiler::profile(const Application& app,
                                   const faults::FaultSignature& signature,
                                   std::uint64_t app_seed, int instrumented_stage) {
-  vfs::MemFs backing;
+  vfs::MemFs backing(vfs::MemFs::Concurrency::SingleThread);  // run-private
   vfs::CountingFs counting(backing);
   faults::FaultingFs instrument(counting);
   instrument.configure(signature);

@@ -4,9 +4,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "ffis/core/checkpoint.hpp"
 #include "ffis/core/fault_injector.hpp"
 #include "ffis/faults/fault_generator.hpp"
 #include "ffis/util/thread_pool.hpp"
@@ -25,6 +27,18 @@ struct GoldenSlot {
   std::string error;
   bool executed = false;
 };
+
+/// Key of the checkpoint cache: the fault-free prefix depends on which
+/// application runs, its seed, and where the instrumented stage starts —
+/// never on the fault model (faults cannot fire before their stage).
+using CheckpointKey = std::tuple<const core::Application*, std::uint64_t, int>;
+
+struct CheckpointSlot {
+  std::shared_ptr<const core::Checkpoint> checkpoint;
+  bool captured = false;
+};
+
+inline constexpr std::size_t kNoCheckpoint = static_cast<std::size_t>(-1);
 
 }  // namespace
 
@@ -87,7 +101,56 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     }
   }
 
-  // --- Phase 2: per-cell profiling pass (stage- and primitive-specific). ----
+  // --- Phase 2a: pre-fault checkpoints, deduplicated per (app, app_seed,
+  // stage).  Only stage-instrumented cells of stage-resumable applications
+  // participate; everything else keeps the classic full-run path.
+  std::map<CheckpointKey, std::size_t> checkpoint_index;
+  std::vector<CheckpointKey> checkpoint_keys;
+  std::vector<std::size_t> cell_checkpoint(n_cells, kNoCheckpoint);
+  std::vector<char> cell_shares_checkpoint(n_cells, 0);
+  if (options_.use_checkpoints) {
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      const Cell& c = cells[i];
+      if (c.stage < 1 || c.app->stage_count() < c.stage) continue;
+      if (!goldens[cell_golden[i]].error.empty()) continue;  // cell errors anyway
+      const CheckpointKey key{c.app, c.app_seed(), c.stage};
+      const auto [it, inserted] = checkpoint_index.emplace(key, checkpoint_keys.size());
+      if (inserted) {
+        checkpoint_keys.push_back(key);
+      } else {
+        cell_shares_checkpoint[i] = 1;
+      }
+      cell_checkpoint[i] = it->second;
+    }
+  }
+
+  std::vector<CheckpointSlot> checkpoints(checkpoint_keys.size());
+  util::parallel_for(pool, checkpoint_keys.size(), [&](std::size_t k) {
+    if (cancel_requested()) return;
+    try {
+      const auto& [app, app_seed, stage] = checkpoint_keys[k];
+      checkpoints[k].checkpoint = core::Checkpoint::capture(*app, app_seed, stage);
+      checkpoints[k].captured = true;
+    } catch (const std::exception&) {
+      // The prefix is a strict subset of the golden run, which succeeded; a
+      // capture failure is therefore unreachable for a deterministic app.
+      // Leave the slot empty — the cell falls back to the classic path,
+      // whose own profiling run reports the failure faithfully.
+    }
+  });
+  for (const auto& slot : checkpoints) {
+    if (slot.captured) ++report.checkpoint_builds;
+  }
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (cell_checkpoint[i] != kNoCheckpoint && cell_shares_checkpoint[i] != 0 &&
+        checkpoints[cell_checkpoint[i]].captured) {
+      report.cells[i].checkpoint_cached = true;
+      ++report.checkpoint_cache_hits;
+    }
+  }
+
+  // --- Phase 2b: per-cell profiling pass (stage- and primitive-specific);
+  // checkpointed cells fold it into an instrumented resume from the capture.
   std::vector<std::unique_ptr<faults::FaultGenerator>> generators(n_cells);
   std::vector<std::unique_ptr<core::FaultInjector>> injectors(n_cells);
   std::vector<std::string> cell_error(n_cells);
@@ -112,7 +175,13 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       injectors[i] = std::make_unique<core::FaultInjector>(
           *cells[i].app, generators[i]->signature(), cells[i].app_seed(),
           cells[i].stage);
-      injectors[i]->prepare_with_golden(golden.result);
+      const std::size_t cp = cell_checkpoint[i];
+      if (cp != kNoCheckpoint && checkpoints[cp].captured) {
+        injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint);
+        report.cells[i].checkpointed = true;  // distinct i: no write contention
+      } else {
+        injectors[i]->prepare_with_golden(golden.result);
+      }
     } catch (const std::exception& e) {
       cell_error[i] = e.what();
       injectors[i].reset();

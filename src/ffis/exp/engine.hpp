@@ -9,6 +9,11 @@
 //  * Golden-run caching — the golden (fault-free) execution depends only on
 //    (application, app_seed), not on the fault or stage, so an 18-cell
 //    single-app plan performs exactly 1 golden execution instead of 18.
+//  * Checkpoint reuse — a stage-instrumented cell re-executes everything
+//    before the armed stage identically on all of its runs, so the engine
+//    captures that fault-free prefix once per (app, app_seed, stage), forks
+//    the copy-on-write MemFs snapshot per run, and resumes at the
+//    instrumented stage.  The profiling pass rides the same capture.
 //  * Streaming sinks — finished cells are emitted to a ResultSink in plan
 //    order as they complete (not after the whole plan), with progress and
 //    cancellation hooks.
@@ -34,6 +39,13 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Retain every RunResult in CellResult::details (memory ~ total runs).
   bool keep_details = false;
+  /// Checkpoint reuse: for a stage-instrumented cell of a stage-resumable
+  /// application, capture the fault-free prefix (stages < instrumented
+  /// stage) once per (app, app_seed, stage), then fork the copy-on-write
+  /// snapshot per injection run and resume at the instrumented stage — the
+  /// profiling pass folds into the capture as well.  Tallies are
+  /// bit-identical with the flag on or off; off exists for A/B benchmarks.
+  bool use_checkpoints = true;
   /// Invoked with (completed_runs, total_runnable_runs) from worker threads;
   /// cells that fail to prepare contribute no runs to the total, so the
   /// final invocation always reports completed == total.

@@ -22,6 +22,12 @@ struct CellResult {
   std::uint64_t primitive_count = 0;
   std::uint64_t faults_not_fired = 0;
   bool golden_cached = false;  ///< golden run came from the engine's cache
+  /// Injection runs forked a pre-fault checkpoint (stage-instrumented cell of
+  /// a stage-resumable application) instead of re-running the whole workload.
+  bool checkpointed = false;
+  /// The checkpoint itself was captured for an earlier cell of the same
+  /// (app, app_seed, stage) and reused here.
+  bool checkpoint_cached = false;
   /// Non-empty when the cell could not run at all (golden run threw, or the
   /// application never executes the target primitive — tally is empty then),
   /// or when harness infrastructure failed mid-cell (tally covers only the
@@ -36,6 +42,8 @@ struct ExperimentReport {
   std::uint64_t total_runs = 0;   ///< runs actually executed
   std::uint64_t golden_executions = 0;
   std::uint64_t golden_cache_hits = 0;
+  std::uint64_t checkpoint_builds = 0;      ///< fault-free prefix captures executed
+  std::uint64_t checkpoint_cache_hits = 0;  ///< cells that reused a cached checkpoint
   bool cancelled = false;
 };
 

@@ -15,7 +15,7 @@ namespace {
 
 constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
-    "benign,detected,sdc,crash,faults_not_fired,golden_cached,error";
+    "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -110,6 +110,7 @@ SinkRow to_sink_row(const CellResult& result) {
   row.tally = result.tally;
   row.faults_not_fired = result.faults_not_fired;
   row.golden_cached = result.golden_cached;
+  row.checkpointed = result.checkpointed;
   row.error = result.error;
   return row;
 }
@@ -139,11 +140,14 @@ void ConsoleTableSink::cell(const CellResult& result) {
 
 void ConsoleTableSink::end(const ExperimentReport& report) {
   std::fprintf(out_, "[%zu cells, %llu runs; %llu golden execution%s, %llu served "
-                     "from cache%s]\n",
+                     "from cache; %llu checkpoint capture%s, %llu reused%s]\n",
                report.cells.size(), static_cast<unsigned long long>(report.total_runs),
                static_cast<unsigned long long>(report.golden_executions),
                report.golden_executions == 1 ? "" : "s",
                static_cast<unsigned long long>(report.golden_cache_hits),
+               static_cast<unsigned long long>(report.checkpoint_builds),
+               report.checkpoint_builds == 1 ? "" : "s",
+               static_cast<unsigned long long>(report.checkpoint_cache_hits),
                report.cancelled ? "; CANCELLED" : "");
 }
 
@@ -165,7 +169,8 @@ void CsvSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Detected) << ','
        << row.tally.count(core::Outcome::Sdc) << ','
        << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
-       << (row.golden_cached ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
+       << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
+       << csv_escape(row.error) << '\n';
 }
 
 void CsvSink::end(const ExperimentReport& report) {
@@ -186,7 +191,8 @@ void JsonlSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Sdc) << ",\"crash\":"
        << row.tally.count(core::Outcome::Crash) << ",\"faults_not_fired\":"
        << row.faults_not_fired << ",\"golden_cached\":"
-       << (row.golden_cached ? "true" : "false") << ",\"error\":\""
+       << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
+       << (row.checkpointed ? "true" : "false") << ",\"error\":\""
        << json_escape(row.error) << "\"}\n";
 }
 
@@ -214,9 +220,9 @@ void MultiSink::end(const ExperimentReport& report) {
 namespace {
 
 SinkRow row_from_fields(const std::vector<std::string>& f) {
-  if (f.size() != 15) {
+  if (f.size() != 16) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
-                                " fields, expected 15");
+                                " fields, expected 16");
   }
   SinkRow row;
   row.index = static_cast<std::size_t>(parse_u64(f[0], "index"));
@@ -233,7 +239,8 @@ SinkRow row_from_fields(const std::vector<std::string>& f) {
   row.tally.add(core::Outcome::Crash, parse_u64(f[11], "crash"));
   row.faults_not_fired = parse_u64(f[12], "faults_not_fired");
   row.golden_cached = parse_u64(f[13], "golden_cached") != 0;
-  row.error = f[14];
+  row.checkpointed = parse_u64(f[14], "checkpointed") != 0;
+  row.error = f[15];
   return row;
 }
 
@@ -406,6 +413,7 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.tally.add(core::Outcome::Crash, obj.u64("crash"));
     row.faults_not_fired = obj.u64("faults_not_fired");
     row.golden_cached = obj.boolean("golden_cached");
+    row.checkpointed = obj.boolean("checkpointed");
     row.error = obj.str("error");
     rows.push_back(std::move(row));
   }

@@ -111,6 +111,7 @@ struct SinkRow {
   core::OutcomeTally tally;
   std::uint64_t faults_not_fired = 0;
   bool golden_cached = false;
+  bool checkpointed = false;
   std::string error;
 };
 

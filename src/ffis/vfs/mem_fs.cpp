@@ -2,15 +2,28 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace ffis::vfs {
 
-MemFs::MemFs() {
-  Node root;
-  root.is_dir = true;
-  root.mode = 0755;
+MemFs::MemFs(Concurrency mode) : locking_(mode == Concurrency::MultiThread) {
+  auto root = std::make_shared<Node>();
+  root->is_dir = true;
+  root->mode = 0755;
   nodes_.emplace("/", std::move(root));
 }
+
+MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode)
+    : locking_(mode == Concurrency::MultiThread) {
+  Guard lock(parent.maybe_mutex());
+  for (const auto& [path, node] : parent.nodes_) {
+    // A fresh Node per path isolates metadata and the data *pointer*; the
+    // payload itself is shared until a writer detaches it.
+    nodes_.emplace(path, std::make_shared<Node>(*node));
+  }
+}
+
+MemFs MemFs::fork(Concurrency mode) const { return MemFs(ForkTag{}, *this, mode); }
 
 std::string MemFs::normalize(const std::string& path) {
   if (path.empty() || path.front() != '/') {
@@ -28,154 +41,215 @@ std::string MemFs::normalize(const std::string& path) {
   return out;
 }
 
+util::Bytes& MemFs::mutable_data(Node& node) {
+  if (!node.data) {
+    node.data = std::make_shared<util::Bytes>();
+  } else if (node.data.use_count() > 1) {
+    node.data = std::make_shared<util::Bytes>(*node.data);  // COW detach
+  }
+  return const_cast<util::Bytes&>(*node.data);
+}
+
 MemFs::Node& MemFs::node_at(const std::string& path) {
   auto it = nodes_.find(path);
   if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
-  return it->second;
+  return *it->second;
+}
+
+MemFs::OpenFile& MemFs::handle_at(FileHandle fh, const char* op) {
+  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
+    throw VfsError(VfsError::Code::BadHandle, std::string(op) + ": bad handle");
+  }
+  return handles_[fh];
 }
 
 void MemFs::check_parent(const std::string& path) const {
   const std::string parent = parent_path(path);
   auto it = nodes_.find(parent);
   if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such directory: " + parent);
-  if (!it->second.is_dir) throw VfsError(VfsError::Code::NotDirectory, parent + " is not a directory");
+  if (!it->second->is_dir) throw VfsError(VfsError::Code::NotDirectory, parent + " is not a directory");
 }
 
 FileHandle MemFs::open(const std::string& raw_path, OpenMode mode) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   auto it = nodes_.find(path);
   if (mode == OpenMode::Read) {
     if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
-    if (it->second.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+    if (it->second->is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
   } else {
-    if (it != nodes_.end() && it->second.is_dir) {
+    if (it != nodes_.end() && it->second->is_dir) {
       throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
     }
     check_parent(path);
     if (it == nodes_.end()) {
-      nodes_.emplace(path, Node{});
+      it = nodes_.emplace(path, std::make_shared<Node>()).first;
     } else if (mode == OpenMode::Write) {
-      it->second.data.clear();
+      it->second->data.reset();  // truncate; dropping the ref is COW-free
     }
   }
   for (std::size_t i = 0; i < handles_.size(); ++i) {
     if (!handles_[i].open) {
-      handles_[i] = OpenFile{path, mode, true};
+      handles_[i] = OpenFile{it->second, mode, true};
       return static_cast<FileHandle>(i);
     }
   }
-  handles_.push_back(OpenFile{path, mode, true});
+  handles_.push_back(OpenFile{it->second, mode, true});
   return static_cast<FileHandle>(handles_.size() - 1);
 }
 
 void MemFs::close(FileHandle fh) {
-  std::lock_guard lock(mutex_);
-  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
-    throw VfsError(VfsError::Code::BadHandle, "close: bad handle");
-  }
-  handles_[fh].open = false;
+  Guard lock(maybe_mutex());
+  OpenFile& of = handle_at(fh, "close");
+  of.open = false;
+  of.node.reset();  // release the node (it may be unlinked)
 }
 
 std::size_t MemFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
-  std::lock_guard lock(mutex_);
-  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
-    throw VfsError(VfsError::Code::BadHandle, "pread: bad handle");
-  }
-  const Node& node = node_at(handles_[fh].path);
-  if (offset >= node.data.size()) return 0;
-  const std::size_t n = std::min<std::size_t>(buf.size(), node.data.size() - offset);
-  std::memcpy(buf.data(), node.data.data() + offset, n);
+  Guard lock(maybe_mutex());
+  const OpenFile& of = handle_at(fh, "pread");
+  const util::Bytes* data = of.node->data.get();
+  if (data == nullptr || offset >= data->size()) return 0;
+  const std::size_t n = std::min<std::size_t>(buf.size(), data->size() - offset);
+  std::memcpy(buf.data(), data->data() + offset, n);
   return n;
 }
 
 std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
-  std::lock_guard lock(mutex_);
-  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
-    throw VfsError(VfsError::Code::BadHandle, "pwrite: bad handle");
-  }
-  if (handles_[fh].mode == OpenMode::Read) {
+  Guard lock(maybe_mutex());
+  OpenFile& of = handle_at(fh, "pwrite");
+  if (of.mode == OpenMode::Read) {
     throw VfsError(VfsError::Code::InvalidArgument, "pwrite on read-only handle");
   }
-  Node& node = node_at(handles_[fh].path);
+  util::Bytes& data = mutable_data(*of.node);
   const std::size_t end = offset + buf.size();
-  if (node.data.size() < end) node.data.resize(end);  // gap fills with zero bytes
-  std::memcpy(node.data.data() + offset, buf.data(), buf.size());
+  if (data.size() < end) data.resize(end);  // gap fills with zero bytes
+  std::memcpy(data.data() + offset, buf.data(), buf.size());
   return buf.size();
 }
 
 void MemFs::mknod(const std::string& raw_path, std::uint32_t mode) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  Node node;
-  node.mode = mode;
+  auto node = std::make_shared<Node>();
+  node->mode = mode;
   nodes_.emplace(path, std::move(node));
 }
 
 void MemFs::chmod(const std::string& raw_path, std::uint32_t mode) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   node_at(path).mode = mode;
 }
 
 void MemFs::truncate(const std::string& raw_path, std::uint64_t size) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   Node& node = node_at(path);
   if (node.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
-  node.data.resize(size);
+  if (size == 0) {
+    node.data.reset();
+  } else {
+    mutable_data(node).resize(size);
+  }
 }
 
 void MemFs::unlink(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   auto it = nodes_.find(path);
   if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + path);
-  if (it->second.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
-  nodes_.erase(it);
+  if (it->second->is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
+  nodes_.erase(it);  // open handles keep the node alive (POSIX semantics)
 }
 
 void MemFs::mkdir(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  Node node;
-  node.is_dir = true;
-  node.mode = 0755;
+  auto node = std::make_shared<Node>();
+  node->is_dir = true;
+  node->mode = 0755;
   nodes_.emplace(path, std::move(node));
 }
 
 void MemFs::rename(const std::string& raw_from, const std::string& raw_to) {
   const std::string from = normalize(raw_from);
   const std::string to = normalize(raw_to);
-  std::lock_guard lock(mutex_);
-  auto it = nodes_.find(from);
-  if (it == nodes_.end()) throw VfsError(VfsError::Code::NotFound, "no such file: " + from);
+  Guard lock(maybe_mutex());
+  auto from_it = nodes_.find(from);
+  if (from_it == nodes_.end()) {
+    throw VfsError(VfsError::Code::NotFound, "no such file: " + from);
+  }
+  if (to == from) return;  // POSIX: renaming onto itself succeeds
+  const bool from_is_dir = from_it->second->is_dir;
+  const std::string from_prefix = from + "/";
+  if (from_is_dir && to.compare(0, from_prefix.size(), from_prefix) == 0) {
+    throw VfsError(VfsError::Code::InvalidArgument,
+                   "cannot rename " + from + " into its own subtree " + to);
+  }
   check_parent(to);
-  Node node = std::move(it->second);
-  nodes_.erase(it);
+  auto to_it = nodes_.find(to);
+  if (to_it != nodes_.end()) {
+    const bool to_is_dir = to_it->second->is_dir;
+    if (to_is_dir && !from_is_dir) {
+      throw VfsError(VfsError::Code::IsDirectory, to + " is a directory");
+    }
+    if (!to_is_dir && from_is_dir) {
+      throw VfsError(VfsError::Code::NotDirectory, to + " is not a directory");
+    }
+    if (to_is_dir) {
+      // Only an *empty* directory may be replaced (POSIX ENOTEMPTY).
+      const std::string to_prefix = to + "/";
+      const auto child = nodes_.lower_bound(to_prefix);
+      if (child != nodes_.end() &&
+          child->first.compare(0, to_prefix.size(), to_prefix) == 0) {
+        throw VfsError(VfsError::Code::AlreadyExists,
+                       to + " is a non-empty directory");
+      }
+    }
+  }
+
+  if (from_is_dir) {
+    // Move the whole subtree: re-key every descendant of `from`.  Collect
+    // first — erasing while iterating a prefix range invalidates it.
+    std::vector<std::map<std::string, std::shared_ptr<Node>>::node_type> moved;
+    for (auto it = nodes_.lower_bound(from_prefix);
+         it != nodes_.end() && it->first.compare(0, from_prefix.size(), from_prefix) == 0;) {
+      auto next = std::next(it);
+      moved.push_back(nodes_.extract(it));
+      it = next;
+    }
+    for (auto& entry : moved) {
+      entry.key() = to + "/" + entry.key().substr(from_prefix.size());
+      nodes_.insert(std::move(entry));
+    }
+  }
+
+  std::shared_ptr<Node> node = std::move(from_it->second);
+  nodes_.erase(from_it);
   nodes_.insert_or_assign(to, std::move(node));
 }
 
 FileStat MemFs::stat(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   const Node& node = node_at(path);
-  return FileStat{node.data.size(), node.mode, node.is_dir};
+  return FileStat{node_size(node), node.mode, node.is_dir};
 }
 
 bool MemFs::exists(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   return nodes_.contains(path);
 }
 
 std::vector<std::string> MemFs::readdir(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   const Node& node = node_at(path);
   if (!node.is_dir) throw VfsError(VfsError::Code::NotDirectory, path + " is not a directory");
   std::vector<std::string> names;
@@ -190,16 +264,23 @@ std::vector<std::string> MemFs::readdir(const std::string& raw_path) {
 }
 
 void MemFs::fsync(FileHandle fh) {
-  std::lock_guard lock(mutex_);
-  if (fh < 0 || static_cast<std::size_t>(fh) >= handles_.size() || !handles_[fh].open) {
-    throw VfsError(VfsError::Code::BadHandle, "fsync: bad handle");
-  }
+  Guard lock(maybe_mutex());
+  (void)handle_at(fh, "fsync");
 }
 
 std::uint64_t MemFs::total_bytes() const {
-  std::lock_guard lock(mutex_);
+  Guard lock(maybe_mutex());
   std::uint64_t total = 0;
-  for (const auto& [path, node] : nodes_) total += node.data.size();
+  for (const auto& [path, node] : nodes_) total += node_size(*node);
+  return total;
+}
+
+std::uint64_t MemFs::cow_shared_bytes() const {
+  Guard lock(maybe_mutex());
+  std::uint64_t total = 0;
+  for (const auto& [path, node] : nodes_) {
+    if (node->data && node->data.use_count() > 1) total += node->data->size();
+  }
   return total;
 }
 

@@ -4,9 +4,27 @@
 // Campaign runs execute thousands of application instances; each gets a
 // private MemFs so runs are isolated, fast, and need no disk cleanup.  MemFs
 // also lets tests assert on exact on-"disk" byte contents.
+//
+// Two properties make MemFs cheap enough for the engine's hot loop:
+//
+//  * Copy-on-write forks.  File payloads live behind
+//    std::shared_ptr<const util::Bytes>; fork() clones the node table in
+//    O(#files) while sharing every payload, and the first write to a shared
+//    payload detaches a private copy.  The checkpoint-reuse execution path
+//    (exp::Engine) snapshots the fault-free prefix of a run once per cell and
+//    forks it per injection run.
+//  * Handle-cached I/O.  open() resolves the path once and caches the node in
+//    the handle table, so pread/pwrite/fsync skip normalization and the path
+//    map entirely.  A handle keeps its node alive and reachable across
+//    unlink/rename (POSIX semantics: I/O on an unlinked-but-open file keeps
+//    working), where the old path-keyed lookup threw NotFound.
+//
+// Locking is optional: a MemFs owned exclusively by one run can be built in
+// Concurrency::SingleThread mode to skip the per-op mutex.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -17,7 +35,21 @@ namespace ffis::vfs {
 
 class MemFs final : public FileSystem {
  public:
-  MemFs();
+  enum class Concurrency : std::uint8_t {
+    MultiThread,   ///< per-op mutex; safe for concurrent use (default)
+    SingleThread,  ///< no locking; the caller owns the fs exclusively
+  };
+
+  MemFs() : MemFs(Concurrency::MultiThread) {}
+  explicit MemFs(Concurrency mode);
+
+  /// O(#files) copy-on-write snapshot: the fork gets its own node table (so
+  /// metadata changes, renames, creates and unlinks are isolated both ways)
+  /// but shares every file payload with the parent until one side writes.
+  /// The fork starts with no open handles; the parent's handles stay valid.
+  /// Concurrent fork() calls on the same parent are safe as long as no
+  /// thread is mutating the parent (a frozen checkpoint fs).
+  [[nodiscard]] MemFs fork(Concurrency mode = Concurrency::MultiThread) const;
 
   FileHandle open(const std::string& path, OpenMode mode) override;
   void close(FileHandle fh) override;
@@ -37,24 +69,63 @@ class MemFs final : public FileSystem {
   /// Total bytes stored across all regular files (diagnostics).
   [[nodiscard]] std::uint64_t total_bytes() const;
 
+  /// Bytes belonging to payloads still shared with a fork — i.e. not yet
+  /// detached by copy-on-write.  Diagnostics for the COW tests and the perf
+  /// bench.
+  [[nodiscard]] std::uint64_t cow_shared_bytes() const;
+
  private:
   struct Node {
-    util::Bytes data;
+    /// COW payload: null = empty file.  Shared across forks; writers detach
+    /// via mutable_data() before mutating.
+    std::shared_ptr<const util::Bytes> data;
     std::uint32_t mode = 0644;
     bool is_dir = false;
   };
   struct OpenFile {
-    std::string path;
+    std::shared_ptr<Node> node;  ///< cached: pread/pwrite/fsync skip the path map
     OpenMode mode = OpenMode::Read;
     bool open = false;
   };
 
+  /// Locks only in MultiThread mode.
+  class [[nodiscard]] Guard {
+   public:
+    explicit Guard(std::mutex* m) : m_(m) {
+      if (m_ != nullptr) m_->lock();
+    }
+    ~Guard() {
+      if (m_ != nullptr) m_->unlock();
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    std::mutex* m_;
+  };
+
+  struct ForkTag {};
+  MemFs(ForkTag, const MemFs& parent, Concurrency mode);
+
   [[nodiscard]] static std::string normalize(const std::string& path);
+  [[nodiscard]] static std::size_t node_size(const Node& node) noexcept {
+    return node.data ? node.data->size() : 0;
+  }
+  /// Detaches a private copy when the payload is shared, then returns it
+  /// mutable.  The const_cast is sound: every payload is allocated as a
+  /// non-const util::Bytes (make_shared<util::Bytes>).
+  [[nodiscard]] static util::Bytes& mutable_data(Node& node);
+
+  [[nodiscard]] std::mutex* maybe_mutex() const noexcept {
+    return locking_ ? &mutex_ : nullptr;
+  }
   Node& node_at(const std::string& path);  // throws NotFound
+  OpenFile& handle_at(FileHandle fh, const char* op);  // throws BadHandle
   void check_parent(const std::string& path) const;
 
+  bool locking_ = true;
   mutable std::mutex mutex_;
-  std::map<std::string, Node> nodes_;
+  std::map<std::string, std::shared_ptr<Node>> nodes_;
   std::vector<OpenFile> handles_;
 };
 

@@ -1,0 +1,367 @@
+// Checkpoint-reuse tests: the stage-resume contract of each application
+// (run == run_prefix + run_from, bit-for-bit on the file tree), the
+// FaultInjector checkpoint path, and the headline equivalence guarantee —
+// the checkpointed engine produces bit-identical per-cell tallies to the
+// full-re-execution path at the same seeds, for stage-instrumented and
+// whole-run cells, at multiple thread counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "ffis/apps/montage/montage_app.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/qmc/qmc_app.hpp"
+#include "ffis/core/application.hpp"
+#include "ffis/core/checkpoint.hpp"
+#include "ffis/core/fault_injector.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/faults/fault_generator.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace {
+
+using namespace ffis;
+using core::Outcome;
+
+// A stage-resumable toy: an ingest header plus two stages of seeded chunk
+// writes into separate files.  Counters expose how often each entry point
+// executes so the engine tests can assert the checkpoint arithmetic.
+class StagedToyApp final : public core::Application {
+ public:
+  explicit StagedToyApp(std::size_t writes_per_stage = 4) : writes_(writes_per_stage) {}
+
+  [[nodiscard]] std::string name() const override { return "staged-toy"; }
+  [[nodiscard]] int stage_count() const override { return 2; }
+
+  void run(const core::RunContext& ctx) const override {
+    full_runs_.fetch_add(1, std::memory_order_relaxed);
+    do_ingest(ctx);
+    do_stage(ctx, 1);
+    do_stage(ctx, 2);
+  }
+
+  void run_prefix(const core::RunContext& ctx, int stage) const override {
+    prefix_runs_.fetch_add(1, std::memory_order_relaxed);
+    do_ingest(ctx);
+    for (int s = 1; s < stage; ++s) do_stage(ctx, s);
+  }
+
+  void run_from(const core::RunContext& ctx, int stage) const override {
+    resume_runs_.fetch_add(1, std::memory_order_relaxed);
+    for (int s = stage; s <= 2; ++s) do_stage(ctx, s);
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    if (vfs::read_text_file(fs, "/header") != "MAGIC") {
+      throw std::runtime_error("bad header");
+    }
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/stage2");
+    util::Bytes s1 = vfs::read_file(fs, "/stage1");
+    result.metrics["s1_bytes"] = static_cast<double>(s1.size());
+    return result;
+  }
+
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult& faulty) const override {
+    return faulty.metric("s1_bytes") >= 1.0 ? Outcome::Sdc : Outcome::Detected;
+  }
+
+  [[nodiscard]] std::uint64_t full_runs() const { return full_runs_.load(); }
+  [[nodiscard]] std::uint64_t prefix_runs() const { return prefix_runs_.load(); }
+  [[nodiscard]] std::uint64_t resume_runs() const { return resume_runs_.load(); }
+
+ private:
+  void do_ingest(const core::RunContext& ctx) const {
+    vfs::write_text_file(ctx.fs, "/header", "MAGIC");
+  }
+  void do_stage(const core::RunContext& ctx, int stage) const {
+    ctx.enter_stage(stage);
+    // Seed the stage stream from (app_seed, stage) so a resumed stage
+    // reproduces the full run's bytes without replaying earlier stages.
+    util::Rng rng(ctx.app_seed * 131 + static_cast<std::uint64_t>(stage));
+    vfs::File f(ctx.fs, std::string("/stage") + std::to_string(stage),
+                vfs::OpenMode::Write);
+    std::uint64_t offset = 0;
+    for (std::size_t w = 0; w < writes_; ++w) {
+      util::Bytes chunk(48);
+      for (auto& b : chunk) b = static_cast<std::byte>(rng() & 0xff);
+      offset += f.pwrite(chunk, offset);
+    }
+    ctx.leave_stage(stage);
+  }
+
+  std::size_t writes_;
+  mutable std::atomic<std::uint64_t> full_runs_{0};
+  mutable std::atomic<std::uint64_t> prefix_runs_{0};
+  mutable std::atomic<std::uint64_t> resume_runs_{0};
+};
+
+// Small, fast app configurations for the real applications.
+montage::MontageApp small_montage() {
+  // A 3x2 sub-grid of the default scene geometry (same tile size/overlap, so
+  // the pipeline's overlap constraints hold) at ~1/2 the default pixel count.
+  montage::MontageConfig config;
+  config.scene.tile_x0 = {0, 37, 74};
+  config.scene.tile_y0 = {0, 36};
+  return montage::MontageApp(config);
+}
+
+// --- Stage-resume contract: run == run_prefix + run_from ---------------------
+
+void expect_same_tree(const core::Application& app, std::uint64_t app_seed) {
+  vfs::MemFs whole;
+  core::RunContext whole_ctx{.fs = whole, .app_seed = app_seed,
+                             .instrumented_stage = -1, .instrument = nullptr};
+  app.run(whole_ctx);
+  const auto expected = vfs::snapshot_tree(whole);
+  ASSERT_FALSE(expected.empty());
+
+  for (int stage = 1; stage <= app.stage_count(); ++stage) {
+    vfs::MemFs split;
+    core::RunContext ctx{.fs = split, .app_seed = app_seed,
+                         .instrumented_stage = -1, .instrument = nullptr};
+    app.run_prefix(ctx, stage);
+    app.run_from(ctx, stage);
+    EXPECT_EQ(vfs::snapshot_tree(split), expected)
+        << app.name() << " stage " << stage << " resume diverges from run()";
+  }
+}
+
+TEST(StageResume, MontagePrefixPlusResumeEqualsRun) { expect_same_tree(small_montage(), 11); }
+
+TEST(StageResume, QmcPrefixPlusResumeEqualsRun) { expect_same_tree(qmc::QmcApp(), 12); }
+
+TEST(StageResume, NyxPrefixPlusResumeEqualsRun) {
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  expect_same_tree(nyx::NyxApp(config), 13);
+}
+
+TEST(StageResume, StagedToyPrefixPlusResumeEqualsRun) { expect_same_tree(StagedToyApp(), 14); }
+
+TEST(StageResume, OutOfRangeStageThrows) {
+  const auto app = small_montage();
+  vfs::MemFs fs;
+  core::RunContext ctx{.fs = fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  EXPECT_THROW(app.run_prefix(ctx, 0), std::invalid_argument);
+  EXPECT_THROW(app.run_prefix(ctx, 5), std::invalid_argument);
+  EXPECT_THROW(app.run_from(ctx, 0), std::invalid_argument);
+  EXPECT_THROW(app.run_from(ctx, 5), std::invalid_argument);
+}
+
+TEST(StageResume, DefaultApplicationIsNotResumable) {
+  // An Application that overrides nothing reports stage_count() == 0 and
+  // rejects the resume entry points.
+  class Plain final : public core::Application {
+   public:
+    [[nodiscard]] std::string name() const override { return "plain"; }
+    void run(const core::RunContext&) const override {}
+    [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem&) const override { return {}; }
+    [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                   const core::AnalysisResult&) const override {
+      return Outcome::Benign;
+    }
+  } plain;
+  EXPECT_EQ(plain.stage_count(), 0);
+  vfs::MemFs fs;
+  core::RunContext ctx{.fs = fs, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  EXPECT_THROW(plain.run_prefix(ctx, 1), std::logic_error);
+  EXPECT_THROW(plain.run_from(ctx, 1), std::logic_error);
+}
+
+// --- Checkpoint capture and the FaultInjector checkpoint path ----------------
+
+TEST(Checkpoint, CaptureValidatesStageRange) {
+  StagedToyApp app;
+  EXPECT_THROW((void)core::Checkpoint::capture(app, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)core::Checkpoint::capture(app, 1, 3), std::invalid_argument);
+  const auto cp = core::Checkpoint::capture(app, 1, 2);
+  EXPECT_EQ(cp->stage(), 2);
+  // The prefix contains the ingest and stage 1, not stage 2.
+  auto fork = cp->fs().fork();
+  EXPECT_TRUE(fork.exists("/stage1"));
+  EXPECT_FALSE(fork.exists("/stage2"));
+}
+
+TEST(Checkpoint, InjectorChecksStageMatch) {
+  StagedToyApp app;
+  faults::CampaignConfig config;
+  config.application = app.name();
+  config.fault = "BF";
+  config.stage = 1;
+  faults::FaultGenerator generator(config);
+  core::FaultInjector injector(app, generator.signature(), /*app_seed=*/1,
+                               /*instrumented_stage=*/1);
+  const auto golden = std::make_shared<const core::AnalysisResult>(
+      core::FaultInjector::run_golden(app, 1));
+  const auto wrong_stage = core::Checkpoint::capture(app, 1, 2);
+  EXPECT_THROW(injector.prepare_with_checkpoint(golden, wrong_stage),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, InjectorRunsAreIdenticalWithAndWithoutCheckpoint) {
+  StagedToyApp app;
+  for (const int stage : {1, 2}) {
+    faults::CampaignConfig config;
+    config.application = app.name();
+    config.fault = "BF";
+    config.stage = stage;
+    faults::FaultGenerator generator(config);
+
+    core::FaultInjector classic(app, generator.signature(), 7, stage);
+    classic.prepare();
+
+    core::FaultInjector checkpointed(app, generator.signature(), 7, stage);
+    checkpointed.prepare_with_checkpoint(
+        std::make_shared<const core::AnalysisResult>(core::FaultInjector::run_golden(app, 7)),
+        core::Checkpoint::capture(app, 7, stage));
+    EXPECT_TRUE(checkpointed.checkpointed());
+    EXPECT_FALSE(classic.checkpointed());
+
+    // Same gated profile, and bit-identical outcomes run by run.
+    ASSERT_EQ(checkpointed.primitive_count(), classic.primitive_count());
+    for (std::uint64_t instance = 0; instance < classic.primitive_count(); ++instance) {
+      const auto a = classic.execute_at(instance, /*feature_seed=*/instance * 97 + 5);
+      const auto b = checkpointed.execute_at(instance, instance * 97 + 5);
+      ASSERT_EQ(a.outcome, b.outcome) << "stage " << stage << " instance " << instance;
+      ASSERT_EQ(a.fault_fired, b.fault_fired);
+      ASSERT_EQ(a.analysis.has_value(), b.analysis.has_value());
+      if (a.analysis) {
+        EXPECT_EQ(a.analysis->comparison_blob, b.analysis->comparison_blob);
+      }
+    }
+  }
+}
+
+// --- Engine: checkpoint cache arithmetic -------------------------------------
+
+TEST(EngineCheckpoint, PrefixExecutesOncePerCellGroup) {
+  StagedToyApp app;
+  auto builder = exp::PlanBuilder().runs(6).seed(21);
+  // Four stage-2 cells (distinct faults) share one checkpoint; one stage-1
+  // cell gets its own; one whole-run cell bypasses checkpointing.
+  builder.cell(app, "BF", 2);
+  builder.cell(app, "DW", 2);
+  builder.cell(app, "SHORN_WRITE@pwrite", 2);
+  builder.cell(app, "BIT_FLIP@pwrite{width=4}", 2);
+  builder.cell(app, "BF", 1);
+  builder.cell(app, "BF", -1);
+  const auto report = exp::Engine().run(builder.build());
+
+  for (const auto& cell : report.cells) ASSERT_TRUE(cell.error.empty()) << cell.error;
+  EXPECT_EQ(report.checkpoint_builds, 2u);      // stages {2, 1}
+  EXPECT_EQ(report.checkpoint_cache_hits, 3u);  // three extra stage-2 cells
+  EXPECT_TRUE(report.cells[0].checkpointed);
+  EXPECT_FALSE(report.cells[0].checkpoint_cached);
+  EXPECT_TRUE(report.cells[1].checkpointed);
+  EXPECT_TRUE(report.cells[1].checkpoint_cached);
+  EXPECT_TRUE(report.cells[4].checkpointed);
+  EXPECT_FALSE(report.cells[4].checkpoint_cached);
+  EXPECT_FALSE(report.cells[5].checkpointed);
+
+  // Full executions: 1 golden + 1 whole-run profile + 6 whole-run injections.
+  EXPECT_EQ(app.full_runs(), 1u + 1u + 6u);
+  // Prefixes: one per checkpoint build.
+  EXPECT_EQ(app.prefix_runs(), 2u);
+  // Resumes: 5 folded profiling passes + 5 x 6 injection runs.
+  EXPECT_EQ(app.resume_runs(), 5u + 30u);
+}
+
+TEST(EngineCheckpoint, DisabledOptionFallsBackToFullRuns) {
+  StagedToyApp app;
+  auto builder = exp::PlanBuilder().runs(4).seed(3);
+  builder.cell(app, "BF", 2);
+  exp::EngineOptions options;
+  options.use_checkpoints = false;
+  const auto report = exp::Engine(options).run(builder.build());
+  ASSERT_TRUE(report.cells[0].error.empty()) << report.cells[0].error;
+  EXPECT_EQ(report.checkpoint_builds, 0u);
+  EXPECT_FALSE(report.cells[0].checkpointed);
+  EXPECT_EQ(app.prefix_runs(), 0u);
+  EXPECT_EQ(app.resume_runs(), 0u);
+  // 1 golden + 1 profile + 4 injection runs, all full.
+  EXPECT_EQ(app.full_runs(), 6u);
+}
+
+// --- Engine: the headline equivalence guarantee ------------------------------
+
+exp::ExperimentPlan mixed_plan(const core::Application& montage_app,
+                               const core::Application& qmc_app,
+                               const core::Application& nyx_app,
+                               const core::Application& toy_app,
+                               std::uint64_t runs, std::uint64_t seed) {
+  exp::PlanBuilder builder;
+  builder.runs(runs).seed(seed);
+  // Stage-instrumented cells...
+  builder.app(montage_app).fault("BF").stages(1, 4).product();
+  builder.cell(qmc_app, "BF", 1);
+  builder.cell(qmc_app, "SHORN_WRITE@pwrite", 2);
+  builder.cell(nyx_app, "BF", 1);
+  builder.cell(toy_app, "DW", 2);
+  // ...and whole-run cells through the same engine.
+  builder.cell(montage_app, "BF", -1);
+  builder.cell(qmc_app, "BF", -1);
+  builder.cell(nyx_app, "DW", -1);
+  return builder.build();
+}
+
+TEST(EngineCheckpoint, TalliesBitIdenticalToFullPathAcrossThreadCounts) {
+  const auto montage_app = small_montage();
+  const qmc::QmcApp qmc_app;
+  nyx::NyxConfig nyx_config;
+  nyx_config.field.n = 16;
+  const nyx::NyxApp nyx_app(nyx_config);
+  const StagedToyApp toy_app;
+
+  constexpr std::uint64_t kRuns = 24, kSeed = 1234;
+
+  // Reference: checkpointing off, single-threaded.
+  exp::EngineOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.use_checkpoints = false;
+  const auto reference = exp::Engine(reference_options).run(
+      mixed_plan(montage_app, qmc_app, nyx_app, toy_app, kRuns, kSeed));
+  for (const auto& cell : reference.cells) {
+    ASSERT_TRUE(cell.error.empty()) << cell.cell.label << ": " << cell.error;
+    ASSERT_EQ(cell.runs_completed, kRuns);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::EngineOptions options;
+    options.threads = threads;
+    options.use_checkpoints = true;
+    const auto report = exp::Engine(options).run(
+        mixed_plan(montage_app, qmc_app, nyx_app, toy_app, kRuns, kSeed));
+    ASSERT_EQ(report.cells.size(), reference.cells.size());
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+      ASSERT_TRUE(report.cells[i].error.empty())
+          << report.cells[i].cell.label << ": " << report.cells[i].error;
+      EXPECT_EQ(report.cells[i].primitive_count, reference.cells[i].primitive_count)
+          << report.cells[i].cell.label;
+      for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+        EXPECT_EQ(report.cells[i].tally.count(static_cast<Outcome>(o)),
+                  reference.cells[i].tally.count(static_cast<Outcome>(o)))
+            << report.cells[i].cell.label << " outcome " << o << " at "
+            << threads << " threads";
+      }
+    }
+    // Every stage-instrumented cell of a resumable app actually used the
+    // fast path (montage x4, qmc x2, nyx x1, toy x1).
+    std::size_t checkpointed_cells = 0;
+    for (const auto& cell : report.cells) {
+      if (cell.checkpointed) ++checkpointed_cells;
+    }
+    EXPECT_EQ(checkpointed_cells, 8u);
+    EXPECT_EQ(report.checkpoint_builds, 8u);  // all keys distinct here
+  }
+}
+
+}  // namespace

@@ -152,6 +152,80 @@ TEST_P(BackendTest, RenameMovesContent) {
   EXPECT_EQ(vfs::read_text_file(fs(), "/dst"), "payload");
 }
 
+TEST_P(BackendTest, RenameReplacesExistingFile) {
+  vfs::write_file(fs(), "/src", bytes_of("new"));
+  vfs::write_file(fs(), "/dst", bytes_of("old"));
+  fs().rename("/src", "/dst");
+  EXPECT_FALSE(fs().exists("/src"));
+  EXPECT_EQ(vfs::read_text_file(fs(), "/dst"), "new");
+}
+
+TEST_P(BackendTest, RenameDirectoryMovesSubtree) {
+  vfs::mkdirs(fs(), "/a/b");
+  vfs::write_file(fs(), "/a/top", bytes_of("1"));
+  vfs::write_file(fs(), "/a/b/deep", bytes_of("22"));
+  fs().rename("/a", "/c");
+  EXPECT_FALSE(fs().exists("/a"));
+  EXPECT_FALSE(fs().exists("/a/b"));
+  EXPECT_FALSE(fs().exists("/a/top"));
+  EXPECT_TRUE(fs().stat("/c").is_dir);
+  EXPECT_TRUE(fs().stat("/c/b").is_dir);
+  EXPECT_EQ(vfs::read_text_file(fs(), "/c/top"), "1");
+  EXPECT_EQ(vfs::read_text_file(fs(), "/c/b/deep"), "22");
+}
+
+TEST_P(BackendTest, RenameDirectoryOntoEmptyDirectory) {
+  fs().mkdir("/src");
+  vfs::write_file(fs(), "/src/f", bytes_of("x"));
+  fs().mkdir("/empty");
+  fs().rename("/src", "/empty");
+  EXPECT_FALSE(fs().exists("/src"));
+  EXPECT_EQ(vfs::read_text_file(fs(), "/empty/f"), "x");
+}
+
+TEST_P(BackendTest, RenameDirectoryOntoNonEmptyDirectoryRejected) {
+  fs().mkdir("/src");
+  vfs::write_file(fs(), "/src/f", bytes_of("x"));
+  fs().mkdir("/dst");
+  vfs::write_file(fs(), "/dst/occupied", bytes_of("y"));
+  EXPECT_THROW(fs().rename("/src", "/dst"), VfsError);
+  // Nothing moved.
+  EXPECT_EQ(vfs::read_text_file(fs(), "/src/f"), "x");
+  EXPECT_EQ(vfs::read_text_file(fs(), "/dst/occupied"), "y");
+}
+
+TEST_P(BackendTest, RenameDirectoryIntoOwnSubtreeRejected) {
+  vfs::mkdirs(fs(), "/a/b");
+  EXPECT_THROW(fs().rename("/a", "/a/b/c"), VfsError);
+  EXPECT_TRUE(fs().exists("/a/b"));
+}
+
+TEST_P(BackendTest, RenameFileOntoDirectoryRejected) {
+  vfs::write_file(fs(), "/f", bytes_of("x"));
+  fs().mkdir("/d");
+  EXPECT_THROW(fs().rename("/f", "/d"), VfsError);
+  EXPECT_EQ(vfs::read_text_file(fs(), "/f"), "x");
+}
+
+TEST_P(BackendTest, UnlinkedOpenFileStillReadable) {
+  // POSIX semantics: I/O on an unlinked-but-open file keeps working.
+  vfs::write_file(fs(), "/f", bytes_of("alive"));
+  vfs::File f(fs(), "/f", OpenMode::Read);
+  fs().unlink("/f");
+  EXPECT_FALSE(fs().exists("/f"));
+  util::Bytes buf(5);
+  EXPECT_EQ(f.pread(buf, 0), 5u);
+  EXPECT_EQ(util::to_string(buf), "alive");
+}
+
+TEST_P(BackendTest, OpenHandleFollowsRename) {
+  vfs::write_file(fs(), "/f", bytes_of("12345"));
+  vfs::File f(fs(), "/f", OpenMode::ReadWrite);
+  fs().rename("/f", "/g");
+  f.pwrite(bytes_of("X"), 0);
+  EXPECT_EQ(vfs::read_text_file(fs(), "/g"), "X2345");
+}
+
 TEST_P(BackendTest, TruncateShrinksAndGrows) {
   vfs::write_file(fs(), "/f", bytes_of("123456"));
   fs().truncate("/f", 3);
@@ -240,6 +314,142 @@ TEST(MemFs, UnlinkRejectsDirectory) {
   vfs::MemFs fs;
   fs.mkdir("/d");
   EXPECT_THROW(fs.unlink("/d"), VfsError);
+}
+
+TEST(MemFs, SingleThreadModeBehavesIdentically) {
+  vfs::MemFs fs(vfs::MemFs::Concurrency::SingleThread);
+  vfs::mkdirs(fs, "/a/b");
+  vfs::write_file(fs, "/a/b/f", bytes_of("data"));
+  EXPECT_EQ(vfs::read_text_file(fs, "/a/b/f"), "data");
+  EXPECT_EQ(fs.total_bytes(), 4u);
+  EXPECT_THROW(fs.open("/missing", OpenMode::Read), VfsError);
+}
+
+// --- MemFs fork / copy-on-write ---------------------------------------------
+
+TEST(MemFsFork, SharesPayloadsReadOnly) {
+  vfs::MemFs parent;
+  vfs::mkdirs(parent, "/d");
+  vfs::write_file(parent, "/d/a", util::Bytes(1000));
+  vfs::write_file(parent, "/b", util::Bytes(500));
+  ASSERT_EQ(parent.cow_shared_bytes(), 0u);
+
+  const vfs::MemFs child = parent.fork();
+  // Fork is O(#files): every payload is shared, none copied.
+  EXPECT_EQ(parent.total_bytes(), 1500u);
+  EXPECT_EQ(child.total_bytes(), 1500u);
+  EXPECT_EQ(parent.cow_shared_bytes(), 1500u);
+  EXPECT_EQ(child.cow_shared_bytes(), 1500u);
+}
+
+TEST(MemFsFork, WriteInForkDetachesAndIsolates) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/f", bytes_of("original"));
+  vfs::MemFs child = parent.fork();
+
+  vfs::write_file(child, "/f", bytes_of("CHANGED!"));
+  EXPECT_EQ(vfs::read_text_file(parent, "/f"), "original");
+  EXPECT_EQ(vfs::read_text_file(child, "/f"), "CHANGED!");
+  // The write detached the payload: nothing is shared any more.
+  EXPECT_EQ(parent.cow_shared_bytes(), 0u);
+  EXPECT_EQ(child.cow_shared_bytes(), 0u);
+}
+
+TEST(MemFsFork, WriteInParentDetachesAndIsolates) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/f", bytes_of("original"));
+  vfs::MemFs child = parent.fork();
+
+  {
+    vfs::File f(parent, "/f", OpenMode::ReadWrite);
+    f.pwrite(bytes_of("X"), 0);
+  }
+  EXPECT_EQ(vfs::read_text_file(parent, "/f"), "Xriginal");
+  EXPECT_EQ(vfs::read_text_file(child, "/f"), "original");
+}
+
+TEST(MemFsFork, TruncateUnlinkRenameAreIsolated) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/t", bytes_of("123456"));
+  vfs::write_file(parent, "/u", bytes_of("gone"));
+  vfs::write_file(parent, "/r", bytes_of("moved"));
+  vfs::MemFs child = parent.fork();
+
+  child.truncate("/t", 3);
+  child.unlink("/u");
+  child.rename("/r", "/r2");
+  vfs::write_file(child, "/new", bytes_of("fork-only"));
+
+  EXPECT_EQ(vfs::read_text_file(parent, "/t"), "123456");
+  EXPECT_EQ(vfs::read_text_file(parent, "/u"), "gone");
+  EXPECT_EQ(vfs::read_text_file(parent, "/r"), "moved");
+  EXPECT_FALSE(parent.exists("/r2"));
+  EXPECT_FALSE(parent.exists("/new"));
+
+  EXPECT_EQ(vfs::read_text_file(child, "/t"), "123");
+  EXPECT_FALSE(child.exists("/u"));
+  EXPECT_EQ(vfs::read_text_file(child, "/r2"), "moved");
+  // A renamed file still shares its (untouched) payload with the parent.
+  EXPECT_EQ(child.cow_shared_bytes(), 5u);
+}
+
+TEST(MemFsFork, TotalBytesTracksDetachedCopies) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/a", util::Bytes(100));
+  vfs::write_file(parent, "/b", util::Bytes(50));
+  vfs::MemFs child = parent.fork();
+
+  // Extending a shared file in the fork: the fork sees the new size, the
+  // parent keeps the old one.
+  {
+    vfs::File f(child, "/a", OpenMode::ReadWrite);
+    f.pwrite(util::Bytes(10), 100);
+  }
+  EXPECT_EQ(parent.total_bytes(), 150u);
+  EXPECT_EQ(child.total_bytes(), 160u);
+  EXPECT_EQ(parent.cow_shared_bytes(), 50u);  // only /b still shared
+}
+
+TEST(MemFsFork, ParentHandleStaysValidAcrossFork) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/f", bytes_of("before"));
+  vfs::File handle(parent, "/f", OpenMode::ReadWrite);
+  vfs::MemFs child = parent.fork();
+
+  // Writing through the pre-fork handle must still trigger COW detach.
+  handle.pwrite(bytes_of("AFTER!"), 0);
+  EXPECT_EQ(vfs::read_text_file(parent, "/f"), "AFTER!");
+  EXPECT_EQ(vfs::read_text_file(child, "/f"), "before");
+
+  util::Bytes buf(6);
+  EXPECT_EQ(handle.pread(buf, 0), 6u);
+  EXPECT_EQ(util::to_string(buf), "AFTER!");
+}
+
+TEST(MemFsFork, ForkStartsWithNoOpenHandles) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/f", bytes_of("x"));
+  const auto fh = parent.open("/f", OpenMode::Read);
+  vfs::MemFs child = parent.fork();
+  // The parent's handle id is not open in the fork.
+  util::Bytes buf(1);
+  EXPECT_THROW((void)child.pread(fh, buf, 0), VfsError);
+  parent.close(fh);
+}
+
+TEST(MemFsFork, ForkOfForkSharesTransitively) {
+  vfs::MemFs a;
+  vfs::write_file(a, "/f", util::Bytes(64));
+  vfs::MemFs b = a.fork();
+  vfs::MemFs c = b.fork(vfs::MemFs::Concurrency::SingleThread);
+  EXPECT_EQ(c.total_bytes(), 64u);
+  vfs::write_file(c, "/f", util::Bytes(8));
+  EXPECT_EQ(a.total_bytes(), 64u);
+  EXPECT_EQ(b.total_bytes(), 64u);
+  EXPECT_EQ(c.total_bytes(), 8u);
+  // a and b still share; c detached.
+  EXPECT_EQ(a.cow_shared_bytes(), 64u);
+  EXPECT_EQ(c.cow_shared_bytes(), 0u);
 }
 
 // --- PosixFs specifics -----------------------------------------------------------
