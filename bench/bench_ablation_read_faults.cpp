@@ -14,6 +14,8 @@
 
 #include "bench_common.hpp"
 #include "ffis/apps/montage/montage_app.hpp"
+#include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/mem_fs.hpp"
 
 using namespace ffis;
 
@@ -36,6 +38,23 @@ int main() {
     builder.cell(app, fault, /*stage=*/3, label);
   }
   bench::run_plan(builder.build(), /*show_primitive_count=*/true);
+
+  // Fault-free traffic profile, reported symmetrically: read-path cells
+  // sample from the pread population, write-path cells from pwrite, so both
+  // denominators belong next to the table.
+  {
+    vfs::MemFs backing;
+    vfs::CountingFs counting(backing);
+    core::RunContext ctx{.fs = counting, .app_seed = 1, .instrumented_stage = -1,
+                         .instrument = nullptr};
+    app.run(ctx);
+    std::printf("\nfault-free traffic: %llu preads (%.2f MB read) vs %llu pwrites "
+                "(%.2f MB written)\n",
+                static_cast<unsigned long long>(counting.count(vfs::Primitive::Pread)),
+                static_cast<double>(counting.bytes_read()) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(counting.count(vfs::Primitive::Pwrite)),
+                static_cast<double>(counting.bytes_written()) / (1024.0 * 1024.0));
+  }
 
   std::printf("\nnote: a dropped READ truncates what the consuming stage sees (its\n"
               "tolerant readers skip the tile), while a dropped WRITE persists the\n"

@@ -1,12 +1,20 @@
 // Engine throughput benchmark: checkpoint reuse vs. the classic full-run
-// path, on stage-instrumented Montage cells (MT3/MT4 — the stages with the
-// most redundant prefix work).
+// path, on the stage-instrumented cells that dominate real campaigns:
 //
-// Both variants execute the identical plan in the same binary; the
+//   * Montage MT3/MT4 — the stages with the most redundant prefix work;
+//   * a 2-dump Nyx cell (stage 2 rewrites one slab of a multi-MB plotfile in
+//     place), the workload the extent-based COW store exists for: every
+//     checkpointed run forks the plotfile and must detach only the touched
+//     extents, so cow_bytes_copied stays O(chunk) per run;
+//   * a QMC DMC cell (stage 2), whose prefix is the whole VMC series.
+//
+// All variants execute the identical plan in the same binary; the
 // checkpointed engine must produce bit-identical tallies (asserted here, and
 // exhaustively in tests/test_checkpoint.cpp) at a fraction of the wall time.
-// Results are persisted to BENCH_perf.json (override with --json=PATH or
-// FFIS_BENCH_JSON) so the perf trajectory is tracked across commits.
+// Results — including the storage-layer counters (extents allocated, COW
+// detaches, bytes copied) and the checkpoint cache's memory — are persisted
+// to BENCH_perf.json (override with --json=PATH or FFIS_BENCH_JSON) so the
+// perf trajectory is tracked across commits.
 //
 //   FFIS_RUNS=N   injection runs per cell (default 300)
 //   FFIS_SEED=S   campaign base seed (default 42)
@@ -18,6 +26,8 @@
 
 #include "bench_common.hpp"
 #include "ffis/apps/montage/montage_app.hpp"
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/apps/qmc/qmc_app.hpp"
 #include "ffis/core/outcome.hpp"
 
 namespace {
@@ -80,6 +90,9 @@ std::string variant_json(const VariantResult& v) {
         .num("runs", cell.runs_completed)
         .num("wall_ms_at_completion",
              i < v.cell_completion_ms.size() ? v.cell_completion_ms[i] : 0.0)
+        .num("chunks_allocated", cell.chunks_allocated)
+        .num("chunk_detaches", cell.chunk_detaches)
+        .num("cow_bytes_copied", cell.cow_bytes_copied)
         .raw("checkpointed", cell.checkpointed ? "true" : "false");
     cells.push_back(obj.render());
   }
@@ -90,6 +103,8 @@ std::string variant_json(const VariantResult& v) {
       .num("golden_cache_hits", v.report.golden_cache_hits)
       .num("checkpoint_builds", v.report.checkpoint_builds)
       .num("checkpoint_cache_hits", v.report.checkpoint_cache_hits)
+      .num("checkpoint_bytes", v.report.checkpoint_bytes)
+      .num("checkpoint_chunks", v.report.checkpoint_chunks)
       .raw("cells", ffis::bench::json_array(cells));
   return obj.render();
 }
@@ -103,23 +118,41 @@ int main(int argc, char** argv) {
                       "harness performance (methodology §V: mount/unmount per run)");
 
   const std::uint64_t runs = bench::runs_per_cell(300);
+
   // A denser mosaic than the defaults — a 6x3 grid with 50 % overlap — so
   // the overlap-driven prefix stages (mDiffExec/mBgExec) carry realistic
-  // weight relative to the final coadd.
+  // weight relative to the final coadd.  MT3 and MT4 carry the largest
+  // fault-free prefix (ingest + stages 1..2/3), so they bound the win.
   montage::MontageConfig montage_config;
   montage_config.scene.tile_x0 = {0, 24, 48, 72, 96, 120};
   montage_config.scene.tile_y0 = {0, 24, 48};
   montage::MontageApp montage(montage_config);
 
-  // MT3 and MT4 carry the largest fault-free prefix (ingest + stages 1..2/3),
-  // so they bound the win.  Two faults per stage: all four cells share one
-  // golden, and the two cells of each stage share one checkpoint — so both
-  // cache tiers report hits.
+  // Nyx-dominated cell: 2 dumps over an 80^3 field, so the plotfile is
+  // ~4.1 MiB and stage 2 rewrites one 50 KiB slab of it in place.  The
+  // checkpointed variant forks that plotfile per run — with the monolithic
+  // payload store its first pwrite copied all ~4 MiB, with extents it
+  // detaches at most 2 chunks (visible as the cow_bytes_copied column).
+  nyx::NyxConfig nyx_config;
+  nyx_config.field.n = 80;
+  nyx_config.timesteps = 2;
+  nyx::NyxApp nyx(nyx_config);
+
+  // QMC-dominated cell: inject into the DMC series (stage 2); the prefix is
+  // the whole VMC run plus the input echo.
+  qmc::QmcApp qmc;
+
+  // Two faults per stage: all cells of one app share one golden, and the
+  // cells of each (app, stage) share one checkpoint — so both cache tiers
+  // report hits.
+  const std::vector<std::string> faults{"BF", "SHORN_WRITE@pwrite"};
   auto builder = bench::plan(runs);
-  builder.app(montage).faults({"BF", "SHORN_WRITE@pwrite"}).stages(3, 4).product();
+  builder.app(montage).faults(faults).stages(3, 4).product();
+  builder.app(nyx).faults(faults).stage(2).product();
+  builder.app(qmc).faults(faults).stage(2).product();
   const auto experiment_plan = builder.build();
 
-  std::printf("%llu runs per cell, %zu cells\n\n",
+  std::printf("%llu runs per cell, %zu cells (montage MT3/MT4, nyx dump-2, qmc DMC)\n\n",
               static_cast<unsigned long long>(runs), experiment_plan.size());
 
   std::printf("-- baseline (full re-execution per run) --\n");
@@ -143,22 +176,35 @@ int main(int argc, char** argv) {
   const double speedup = checkpointed.runs_per_sec / baseline.runs_per_sec;
   std::printf("\nbaseline:     %8.1f runs/sec  (%.0f ms)\n", baseline.runs_per_sec,
               baseline.wall_ms);
-  std::printf("checkpointed: %8.1f runs/sec  (%.0f ms, %llu capture%s, %llu cache "
-              "hit%s)\n",
+  std::printf("checkpointed: %8.1f runs/sec  (%.0f ms, %llu capture%s / %.1f MiB held, "
+              "%llu cache hit%s)\n",
               checkpointed.runs_per_sec, checkpointed.wall_ms,
               static_cast<unsigned long long>(checkpointed.report.checkpoint_builds),
               checkpointed.report.checkpoint_builds == 1 ? "" : "s",
+              static_cast<double>(checkpointed.report.checkpoint_bytes) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(checkpointed.report.checkpoint_cache_hits),
               checkpointed.report.checkpoint_cache_hits == 1 ? "" : "s");
   std::printf("speedup:      %8.2fx\n", speedup);
+  for (const auto& cell : checkpointed.report.cells) {
+    const auto& base = baseline.report.cells[cell.index];
+    std::printf("  %-28s cow %8.1f KiB/run (%llu detaches)   alloc %6llu vs %llu chunks\n",
+                cell.cell.label.c_str(),
+                cell.runs_completed == 0
+                    ? 0.0
+                    : static_cast<double>(cell.cow_bytes_copied) / 1024.0 /
+                          static_cast<double>(cell.runs_completed),
+                static_cast<unsigned long long>(cell.chunk_detaches),
+                static_cast<unsigned long long>(cell.chunks_allocated),
+                static_cast<unsigned long long>(base.chunks_allocated));
+  }
 
   const std::string json_path =
       bench::json_output_path(argc, argv, "BENCH_perf.json").value_or("BENCH_perf.json");
   bench::JsonObject doc;
   doc.str("bench", "perf_engine")
-      .str("application", "montage")
+      .str("applications", "montage, nyx, qmcpack")
       .str("faults", "BF, SHORN_WRITE@pwrite")
-      .str("stages", "3-4")
+      .str("stages", "montage 3-4, nyx 2, qmc 2")
       .num("runs_per_cell", runs)
       .num("cells", static_cast<std::uint64_t>(experiment_plan.size()))
       .num("speedup", speedup)

@@ -28,11 +28,13 @@ void profile_row(const core::Application& app, const char* domain, const char* m
     (void)bytes;
     ++files;
   }
-  std::printf("%-10s %-18s %7.2f MB %6llu files %6llu pwrites   %s\n",
+  std::printf("%-10s %-18s %7.2f MB %6llu files %6llu pwrites %7.2f MB-W %7.2f MB-R   %s\n",
               app.name().c_str(), domain,
               static_cast<double>(backing.total_bytes()) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(files),
               static_cast<unsigned long long>(counting.count(vfs::Primitive::Pwrite)),
+              static_cast<double>(counting.bytes_written()) / (1024.0 * 1024.0),
+              static_cast<double>(counting.bytes_read()) / (1024.0 * 1024.0),
               method);
 }
 
@@ -43,8 +45,8 @@ int main() {
                       "paper Table II (domain, package size, method)");
   std::printf("\npaper originals: Nyx 71.9MB/21K LoC, QMCPACK 381MB/403K LoC, "
               "Montage 126MB/31K LoC\nmini-app equivalents (measured):\n\n");
-  std::printf("%-10s %-18s %10s %12s %14s   %s\n", "benchmark", "domain", "dataset",
-              "files", "writes", "method");
+  std::printf("%-10s %-18s %10s %12s %14s %10s %10s   %s\n", "benchmark", "domain",
+              "dataset", "files", "writes", "written", "read", "method");
 
   profile_row(nyx::NyxApp(), "Astrophysics",
               "AMR-style cosmological density field + FoF halo finder");

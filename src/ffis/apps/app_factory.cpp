@@ -27,6 +27,7 @@ std::unique_ptr<core::Application> make_application(const faults::CampaignConfig
     app_config.field.halo_count = static_cast<std::size_t>(extra_int(config, "halos", 30));
     app_config.use_average_value_detector =
         extra_int(config, "average_value_detector", 0) != 0;
+    app_config.timesteps = static_cast<int>(extra_int(config, "timesteps", 1));
     return std::make_unique<nyx::NyxApp>(app_config);
   }
   if (name == "qmc" || name == "qmcpack") {

@@ -78,14 +78,9 @@ void write_fits(vfs::FileSystem& fs, const std::string& path, const Image& image
   if (rem != 0) data.insert(data.end(), kBlockSize - rem, std::byte{0});
 
   vfs::File out(fs, path, vfs::OpenMode::Write);
-  std::uint64_t offset = out.pwrite(util::to_bytes(header), 0);
-  std::size_t done = 0;
-  while (done < data.size()) {
-    const std::size_t n = std::min(options.data_chunk_bytes, data.size() - done);
-    const std::size_t written = out.pwrite(util::ByteSpan(data).subspan(done, n), offset);
-    if (written == 0) throw FitsError("short write to " + path);
-    done += written;
-    offset += written;
+  const std::uint64_t offset = out.pwrite(util::to_bytes(header), 0);
+  if (!vfs::pwrite_all(out, data, offset, options.data_chunk_bytes)) {
+    throw FitsError("short write to " + path);
   }
 }
 

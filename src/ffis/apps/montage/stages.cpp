@@ -447,6 +447,7 @@ void stage3_background_correct(vfs::FileSystem& fs, const Scene& scene,
       }
     }
     for (std::size_t node = 1; node < tiles; ++node) {
+      if (node_index[node] == SIZE_MAX) continue;  // absent tile: zero correction
       corr[node].a = solution[0][idx(node)];
       corr[node].b = solution[1][idx(node)];
       corr[node].c = solution[2][idx(node)];

@@ -4,14 +4,33 @@
 #include <stdexcept>
 #include <string>
 
+#include <algorithm>
+
 #include "ffis/apps/nyx/plotfile.hpp"
+#include "ffis/h5/float_codec.hpp"
+#include "ffis/h5/writer.hpp"
 #include "ffis/util/strfmt.hpp"
 
 namespace ffis::nyx {
 
-NyxApp::NyxApp(NyxConfig config) : config_(std::move(config)) {}
+NyxApp::NyxApp(NyxConfig config) : config_(std::move(config)) {
+  if (config_.timesteps < 1) {
+    throw std::invalid_argument("nyx: timesteps must be >= 1, got " +
+                                std::to_string(config_.timesteps));
+  }
+  // The average-value detector asserts mean == 1, an invariant of the
+  // *initial* field; slab updates deliberately shift the on-disk mean by
+  // ~slab_growth/n per dump, which would make the detector flag every run
+  // (silently zeroing the SDC tally).  Reject the combination.
+  if (config_.timesteps > 1 && config_.use_average_value_detector &&
+      config_.slab_growth != 0.0) {
+    throw std::invalid_argument(
+        "nyx: the average-value detector assumes mean density 1, which "
+        "timesteps >= 2 slab growth violates; disable one of them");
+  }
+}
 
-const DensityField& NyxApp::field(std::uint64_t seed) const {
+std::shared_ptr<const DensityField> NyxApp::field(std::uint64_t seed) const {
   std::lock_guard lock(cache_mutex_);
   if (!cached_field_ || cached_seed_ != seed) {
     FieldConfig fc = config_.field;
@@ -19,31 +38,92 @@ const DensityField& NyxApp::field(std::uint64_t seed) const {
     cached_field_ = std::make_shared<const DensityField>(generate_density_field(fc));
     cached_seed_ = seed;
   }
-  return *cached_field_;
+  return cached_field_;
+}
+
+std::uint64_t NyxApp::plot_data_address() const {
+  std::lock_guard lock(cache_mutex_);
+  if (!layout_cached_) {
+    // The raw-data address depends only on the metadata layout (dataset
+    // name, dims, write options) — never on the values.
+    cached_data_address_ =
+        plan_plotfile_layout(config_.field.n, config_.h5_options).data_addresses.at(0);
+    layout_cached_ = true;
+  }
+  return cached_data_address_;
+}
+
+double NyxApp::slab_factor(std::size_t z, int up_to) const noexcept {
+  const std::size_t n = config_.field.n;
+  double factor = 1.0;
+  for (int t = 2; t <= up_to; ++t) {
+    if (static_cast<std::size_t>(t - 2) % n == z) {
+      factor *= 1.0 + config_.slab_growth * static_cast<double>(t - 1);
+    }
+  }
+  return factor;
+}
+
+void NyxApp::update_slab(const core::RunContext& ctx, const DensityField& f, int t) const {
+  const std::size_t n = f.n();
+  const std::size_t z = static_cast<std::size_t>(t - 2) % n;
+  const std::size_t plane = n * n;
+
+  // Slab values are derived from the base field (not read back from the
+  // file), so the update is deterministic regardless of injected faults.
+  std::vector<double> slab(f.data().begin() + static_cast<std::ptrdiff_t>(z * plane),
+                           f.data().begin() + static_cast<std::ptrdiff_t>((z + 1) * plane));
+  const double factor = slab_factor(z, t);
+  for (double& v : slab) v *= factor;
+
+  const util::Bytes raw = h5::encode_array(slab, h5::FloatFormat{});
+  const std::uint64_t address =
+      plot_data_address() + static_cast<std::uint64_t>(z * plane) * sizeof(double);
+
+  // In-place rewrite of just this slab, sliced like the writer's raw-data
+  // protocol so uniform instance selection has spread within the stage.
+  vfs::File file(ctx.fs, config_.plotfile_path, vfs::OpenMode::ReadWrite);
+  if (!vfs::pwrite_all(file, raw, address, config_.h5_options.data_chunk_bytes)) {
+    throw h5::H5Exception("short write of slab update");
+  }
+  file.fsync();
+}
+
+void NyxApp::run_range(const core::RunContext& ctx, int first, int last) const {
+  // Shared ownership keeps the field alive even if a concurrent cell with a
+  // different seed evicts the cache entry mid-run.
+  const std::shared_ptr<const DensityField> f = field(ctx.app_seed);
+  if (first <= 1 && 1 <= last) {
+    ctx.enter_stage(1);
+    (void)write_plotfile(ctx.fs, config_.plotfile_path, *f, config_.h5_options);
+    ctx.leave_stage(1);
+  }
+  for (int t = std::max(first, 2); t <= last; ++t) {
+    ctx.enter_stage(t);
+    update_slab(ctx, *f, t);
+    ctx.leave_stage(t);
+  }
 }
 
 void NyxApp::run(const core::RunContext& ctx) const {
-  const DensityField& f = field(ctx.app_seed);
-  ctx.enter_stage(1);
-  (void)write_plotfile(ctx.fs, config_.plotfile_path, f, config_.h5_options);
-  ctx.leave_stage(1);
+  run_range(ctx, 1, config_.timesteps);
 }
 
 void NyxApp::run_prefix(const core::RunContext& ctx, int stage) const {
-  (void)ctx;
-  if (stage != 1) {
+  if (stage < 1 || stage > config_.timesteps) {
     throw std::invalid_argument("nyx: no such stage " + std::to_string(stage));
   }
-  // Nothing before stage 1; warm the field cache so per-run forks don't race
+  // An empty prefix still warms the field cache so per-run forks don't race
   // to generate it (they would anyway serialize on cache_mutex_).
   (void)field(ctx.app_seed);
+  run_range(ctx, 1, stage - 1);
 }
 
 void NyxApp::run_from(const core::RunContext& ctx, int stage) const {
-  if (stage != 1) {
+  if (stage < 1 || stage > config_.timesteps) {
     throw std::invalid_argument("nyx: no such stage " + std::to_string(stage));
   }
-  run(ctx);
+  run_range(ctx, stage, config_.timesteps);
 }
 
 core::AnalysisResult NyxApp::analyze(vfs::FileSystem& fs) const {

@@ -27,6 +27,18 @@ struct NyxConfig {
   h5::WriteOptions h5_options{};
   std::string plotfile_path = "/plt00000.h5";
 
+  /// Simulated dumps.  1 (default) is the classic single-dump workload.
+  /// With T >= 2 the app becomes a T-stage workload: stage 1 writes the full
+  /// plotfile; each stage t in [2, T] advances one z-slab of the field and
+  /// rewrites only that slab *in place* (ReadWrite open + chunked pwrites
+  /// into the dataset's raw-data region) — the restart-dump pattern whose
+  /// checkpointed injection runs write into a forked multi-MB payload, which
+  /// is exactly what MemFs's extent-based COW keeps O(bytes written).
+  int timesteps = 1;
+  /// Per-dump slab over-density growth (stage t scales its slab by
+  /// 1 + slab_growth * (t - 1)).
+  double slab_growth = 0.05;
+
   /// Enables the paper's average-value-based SDC detector in classify().
   bool use_average_value_detector = false;
   double average_value_tolerance = 1e-3;
@@ -38,10 +50,10 @@ class NyxApp final : public core::Application {
 
   [[nodiscard]] std::string name() const override { return "nyx"; }
   void run(const core::RunContext& ctx) const override;
-  /// One stage: the plotfile dump.  Nothing precedes it (the simulation is
-  /// in-memory), so the stage-1 prefix is empty — resumable runs still skip
-  /// nothing but gain the engine's folded profiling pass.
-  [[nodiscard]] int stage_count() const override { return 1; }
+  /// One stage per dump (NyxConfig::timesteps).  Nothing precedes stage 1
+  /// (the simulation is in-memory), so its prefix is empty; the prefix of a
+  /// later stage holds the full plotfile plus every earlier slab update.
+  [[nodiscard]] int stage_count() const override { return config_.timesteps; }
   void run_prefix(const core::RunContext& ctx, int stage) const override;
   void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
@@ -50,14 +62,29 @@ class NyxApp final : public core::Application {
 
   [[nodiscard]] const NyxConfig& config() const noexcept { return config_; }
 
-  /// The cached field for the given seed (generated on first use).
-  [[nodiscard]] const DensityField& field(std::uint64_t seed) const;
+  /// The cached field for the given seed (generated on first use).  Returns
+  /// shared ownership: the cache holds a single entry, so a field() call
+  /// with a different seed evicts the previous one — callers keep their
+  /// field alive through the returned pointer (concurrent cells of one plan
+  /// may use distinct seeds).
+  [[nodiscard]] std::shared_ptr<const DensityField> field(std::uint64_t seed) const;
 
  private:
+  void run_range(const core::RunContext& ctx, int first, int last) const;
+  void update_slab(const core::RunContext& ctx, const DensityField& f, int t) const;
+  /// Cumulative growth factor applied to slab `z` by dumps 2..up_to.
+  [[nodiscard]] double slab_factor(std::size_t z, int up_to) const noexcept;
+  /// Byte offset of the density dataset's raw data within the plotfile.
+  /// Depends only on the dataset name/dims and the write options, so it is
+  /// computed (via h5::plan_layout) once and cached.
+  [[nodiscard]] std::uint64_t plot_data_address() const;
+
   NyxConfig config_;
   mutable std::mutex cache_mutex_;
   mutable std::uint64_t cached_seed_ = 0;
   mutable std::shared_ptr<const DensityField> cached_field_;
+  mutable std::uint64_t cached_data_address_ = 0;
+  mutable bool layout_cached_ = false;
 };
 
 }  // namespace ffis::nyx

@@ -6,13 +6,25 @@
 
 namespace ffis::nyx {
 
+namespace {
+
+/// The plotfile's single dataset, shape only.  The one definition both the
+/// writer and the layout planner build from, so in-place slab updates can
+/// never desynchronize from the written layout.
+h5::Dataset density_dataset_shape(std::size_t n) {
+  h5::Dataset ds;
+  ds.name = kDensityDatasetName;
+  const auto dim = static_cast<std::uint64_t>(n);
+  ds.dims = {dim, dim, dim};
+  return ds;
+}
+
+}  // namespace
+
 h5::WriteInfo write_plotfile(vfs::FileSystem& fs, const std::string& path,
                              const DensityField& field, const h5::WriteOptions& options) {
   h5::H5File file;
-  h5::Dataset ds;
-  ds.name = kDensityDatasetName;
-  const auto n = static_cast<std::uint64_t>(field.n());
-  ds.dims = {n, n, n};
+  h5::Dataset ds = density_dataset_shape(field.n());
   ds.data = field.data();
   file.datasets.push_back(std::move(ds));
   return h5::write_h5(fs, path, file, options);
@@ -25,6 +37,12 @@ DensityField read_plotfile(vfs::FileSystem& fs, const std::string& path) {
   }
   const auto n = static_cast<std::size_t>(ds.dims[0]);
   return DensityField(n, std::move(ds.data));
+}
+
+h5::WriteInfo plan_plotfile_layout(std::size_t n, const h5::WriteOptions& options) {
+  h5::H5File file;
+  file.datasets.push_back(density_dataset_shape(n));
+  return h5::plan_layout(file, options);
 }
 
 }  // namespace ffis::nyx

@@ -21,4 +21,11 @@ h5::WriteInfo write_plotfile(vfs::FileSystem& fs, const std::string& path,
 /// corrupted metadata (the application-crash path).
 [[nodiscard]] DensityField read_plotfile(vfs::FileSystem& fs, const std::string& path);
 
+/// Layout of a plotfile for an n^3 field, computed without I/O or field
+/// data.  Shares the dataset shape with write_plotfile, so the raw-data
+/// addresses match what a write actually produces — in-place updaters
+/// (NyxApp's multi-dump mode) locate dataset bytes through this.
+[[nodiscard]] h5::WriteInfo plan_plotfile_layout(std::size_t n,
+                                                 const h5::WriteOptions& options = {});
+
 }  // namespace ffis::nyx

@@ -48,6 +48,7 @@ ProfileResult profile_resume(const Application& app, const Checkpoint& checkpoin
   ProfileResult result;
   result.primitive_count = instrument.executions();
   result.bytes_written = counting.bytes_written();
+  result.bytes_read = counting.bytes_read();
   return result;
 }
 

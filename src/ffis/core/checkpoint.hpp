@@ -39,6 +39,24 @@ class Checkpoint {
   /// The stage injection runs resume at (== the cell's instrumented stage).
   [[nodiscard]] int stage() const noexcept { return stage_; }
 
+  // --- Snapshot memory accounting -------------------------------------------
+  //
+  // The engine's checkpoint cache holds one frozen MemFs per (app, app_seed,
+  // stage); these accessors let it audit what that cache costs and how much
+  // of each snapshot is still shared with live forks.
+
+  /// Logical payload bytes of the frozen snapshot (sum of file sizes).
+  [[nodiscard]] std::uint64_t total_bytes() const { return fs_.total_bytes(); }
+  /// Bytes the snapshot actually holds in extents — its memory footprint
+  /// (smaller than total_bytes() for sparse payloads).
+  [[nodiscard]] std::uint64_t stored_bytes() const { return fs_.stored_bytes(); }
+  /// Snapshot bytes currently shared with live forks (not yet detached by
+  /// copy-on-write); equals 0 when no fork is alive or every fork has
+  /// rewritten everything.
+  [[nodiscard]] std::uint64_t cow_shared_bytes() const { return fs_.cow_shared_bytes(); }
+  /// Extents allocated by the capture (the snapshot's storage footprint).
+  [[nodiscard]] std::uint64_t allocated_chunks() const { return fs_.allocated_chunks(); }
+
   Checkpoint(const Checkpoint&) = delete;
   Checkpoint& operator=(const Checkpoint&) = delete;
 

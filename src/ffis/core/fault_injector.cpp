@@ -117,10 +117,14 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
     result.fault_fired = instrument.fired();
     result.record = instrument.record();
     result.crash_reason = e.what();
+    result.fs_stats = backing.stats();
     return result;
   }
   result.fault_fired = instrument.fired();
   result.record = instrument.record();
+  // Workload storage traffic; the post-analysis below only reads, so the
+  // counters are final here.
+  result.fs_stats = backing.stats();
   if (!result.fault_fired) {
     util::log_warn("fault did not fire (instance {} of {})", target_instance,
                    profile_.primitive_count);

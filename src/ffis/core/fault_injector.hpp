@@ -26,6 +26,10 @@ struct RunResult {
   std::string crash_reason;
   /// Faulty analysis, when the run reached post-analysis.
   std::optional<AnalysisResult> analysis;
+  /// Storage-layer counters of the run's private MemFs.  On the checkpoint
+  /// path the backing store is a fork, so these cover only post-fork work:
+  /// cow_bytes_copied is exactly what copy-on-write cost this run.
+  vfs::FsStats fs_stats{};
 };
 
 class FaultInjector {

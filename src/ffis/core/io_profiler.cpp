@@ -27,6 +27,7 @@ ProfileResult IoProfiler::profile(const Application& app,
   ProfileResult result;
   result.primitive_count = instrument.executions();
   result.bytes_written = counting.bytes_written();
+  result.bytes_read = counting.bytes_read();
   return result;
 }
 

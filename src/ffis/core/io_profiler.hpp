@@ -16,6 +16,9 @@ struct ProfileResult {
   std::uint64_t primitive_count = 0;
   /// Total bytes written through pwrite during the run (Table II context).
   std::uint64_t bytes_written = 0;
+  /// Total bytes returned by pread — the read-side mirror, so read-fault
+  /// campaign tables can report traffic symmetrically.
+  std::uint64_t bytes_read = 0;
 };
 
 class IoProfiler {

@@ -139,7 +139,10 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     }
   });
   for (const auto& slot : checkpoints) {
-    if (slot.captured) ++report.checkpoint_builds;
+    if (!slot.captured) continue;
+    ++report.checkpoint_builds;
+    report.checkpoint_bytes += slot.checkpoint->stored_bytes();
+    report.checkpoint_chunks += slot.checkpoint->allocated_chunks();
   }
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (cell_checkpoint[i] != kNoCheckpoint && cell_shares_checkpoint[i] != 0 &&
@@ -227,6 +230,9 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       const auto& rr = slots[i][r];
       out.tally.add(rr.outcome);
       if (!rr.fault_fired && rr.outcome != core::Outcome::Crash) ++out.faults_not_fired;
+      out.chunks_allocated += rr.fs_stats.chunks_allocated;
+      out.chunk_detaches += rr.fs_stats.chunk_detaches;
+      out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
     }
     if (options_.keep_details) {
       // On cancellation the executed runs need not be a prefix of the slot

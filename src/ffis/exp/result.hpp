@@ -21,6 +21,13 @@ struct CellResult {
   std::uint64_t runs_completed = 0;  ///< < cell.runs only when cancelled
   std::uint64_t primitive_count = 0;
   std::uint64_t faults_not_fired = 0;
+  /// Storage-layer traffic summed over the cell's runs (vfs::FsStats per
+  /// run).  For a checkpointed cell the per-run MemFs is a fork, so
+  /// cow_bytes_copied is exactly the copy-on-write cost of resuming — the
+  /// number the extent store is designed to shrink.
+  std::uint64_t chunks_allocated = 0;
+  std::uint64_t chunk_detaches = 0;
+  std::uint64_t cow_bytes_copied = 0;
   bool golden_cached = false;  ///< golden run came from the engine's cache
   /// Injection runs forked a pre-fault checkpoint (stage-instrumented cell of
   /// a stage-resumable application) instead of re-running the whole workload.
@@ -44,6 +51,11 @@ struct ExperimentReport {
   std::uint64_t golden_cache_hits = 0;
   std::uint64_t checkpoint_builds = 0;      ///< fault-free prefix captures executed
   std::uint64_t checkpoint_cache_hits = 0;  ///< cells that reused a cached checkpoint
+  /// Memory held by the engine's checkpoint cache: extent-stored bytes (and
+  /// allocated extents) summed over the captured snapshots — actual
+  /// footprint, not logical file sizes (sparse payloads store less).
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t checkpoint_chunks = 0;
   bool cancelled = false;
 };
 

@@ -15,6 +15,13 @@ namespace {
 
 constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,golden_cached,checkpointed,error";
+
+/// Pre-extent-store header (no storage-traffic columns); still readable so
+/// archived campaign grids stay loadable for comparison.
+constexpr const char* kLegacyCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 std::string csv_escape(const std::string& field) {
@@ -109,6 +116,9 @@ SinkRow to_sink_row(const CellResult& result) {
   row.primitive_count = result.primitive_count;
   row.tally = result.tally;
   row.faults_not_fired = result.faults_not_fired;
+  row.chunks_allocated = result.chunks_allocated;
+  row.chunk_detaches = result.chunk_detaches;
+  row.cow_bytes_copied = result.cow_bytes_copied;
   row.golden_cached = result.golden_cached;
   row.checkpointed = result.checkpointed;
   row.error = result.error;
@@ -140,13 +150,15 @@ void ConsoleTableSink::cell(const CellResult& result) {
 
 void ConsoleTableSink::end(const ExperimentReport& report) {
   std::fprintf(out_, "[%zu cells, %llu runs; %llu golden execution%s, %llu served "
-                     "from cache; %llu checkpoint capture%s, %llu reused%s]\n",
+                     "from cache; %llu checkpoint capture%s (%.1f MiB held), "
+                     "%llu reused%s]\n",
                report.cells.size(), static_cast<unsigned long long>(report.total_runs),
                static_cast<unsigned long long>(report.golden_executions),
                report.golden_executions == 1 ? "" : "s",
                static_cast<unsigned long long>(report.golden_cache_hits),
                static_cast<unsigned long long>(report.checkpoint_builds),
                report.checkpoint_builds == 1 ? "" : "s",
+               static_cast<double>(report.checkpoint_bytes) / (1024.0 * 1024.0),
                static_cast<unsigned long long>(report.checkpoint_cache_hits),
                report.cancelled ? "; CANCELLED" : "");
 }
@@ -169,8 +181,9 @@ void CsvSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Detected) << ','
        << row.tally.count(core::Outcome::Sdc) << ','
        << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
-       << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
-       << csv_escape(row.error) << '\n';
+       << row.chunks_allocated << ',' << row.chunk_detaches << ','
+       << row.cow_bytes_copied << ',' << (row.golden_cached ? 1 : 0) << ','
+       << (row.checkpointed ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
 }
 
 void CsvSink::end(const ExperimentReport& report) {
@@ -190,7 +203,9 @@ void JsonlSink::cell(const CellResult& result) {
        << ",\"detected\":" << row.tally.count(core::Outcome::Detected) << ",\"sdc\":"
        << row.tally.count(core::Outcome::Sdc) << ",\"crash\":"
        << row.tally.count(core::Outcome::Crash) << ",\"faults_not_fired\":"
-       << row.faults_not_fired << ",\"golden_cached\":"
+       << row.faults_not_fired << ",\"chunks_allocated\":" << row.chunks_allocated
+       << ",\"chunk_detaches\":" << row.chunk_detaches << ",\"cow_bytes_copied\":"
+       << row.cow_bytes_copied << ",\"golden_cached\":"
        << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
        << (row.checkpointed ? "true" : "false") << ",\"error\":\""
        << json_escape(row.error) << "\"}\n";
@@ -219,10 +234,15 @@ void MultiSink::end(const ExperimentReport& report) {
 
 namespace {
 
-SinkRow row_from_fields(const std::vector<std::string>& f) {
-  if (f.size() != 16) {
+SinkRow row_from_fields(const std::vector<std::string>& f, bool legacy) {
+  // 19 fields is the current layout; 16 is the pre-extent-store one (no
+  // storage-traffic columns — they default to 0).  The document's header
+  // decides which applies: a row whose count disagrees with its own header
+  // is truncation/corruption, never the other layout.
+  const std::size_t expected = legacy ? 16 : 19;
+  if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
-                                " fields, expected 16");
+                                " fields, expected " + std::to_string(expected));
   }
   SinkRow row;
   row.index = static_cast<std::size_t>(parse_u64(f[0], "index"));
@@ -238,9 +258,15 @@ SinkRow row_from_fields(const std::vector<std::string>& f) {
   row.tally.add(core::Outcome::Sdc, parse_u64(f[10], "sdc"));
   row.tally.add(core::Outcome::Crash, parse_u64(f[11], "crash"));
   row.faults_not_fired = parse_u64(f[12], "faults_not_fired");
-  row.golden_cached = parse_u64(f[13], "golden_cached") != 0;
-  row.checkpointed = parse_u64(f[14], "checkpointed") != 0;
-  row.error = f[15];
+  std::size_t i = 13;
+  if (!legacy) {
+    row.chunks_allocated = parse_u64(f[i++], "chunks_allocated");
+    row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
+    row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
+  }
+  row.golden_cached = parse_u64(f[i++], "golden_cached") != 0;
+  row.checkpointed = parse_u64(f[i++], "checkpointed") != 0;
+  row.error = f[i];
   return row;
 }
 
@@ -275,6 +301,10 @@ class FlatJsonObject {
   [[nodiscard]] const std::string& str(const std::string& key) const { return at(key); }
   [[nodiscard]] std::uint64_t u64(const std::string& key) const {
     return parse_u64(at(key), key.c_str());
+  }
+  /// Missing key tolerated (legacy records predating the column): 0.
+  [[nodiscard]] std::uint64_t u64_or_zero(const std::string& key) const {
+    return values_.contains(key) ? u64(key) : 0;
   }
   [[nodiscard]] int i32(const std::string& key) const {
     return parse_i32(at(key), key.c_str());
@@ -362,6 +392,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
+  bool legacy = false;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -375,12 +406,13 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     // quoted field containing "\r\n" keeps its carriage return.
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
-      if (record != kCsvHeader) {
+      if (record != kCsvHeader && record != kLegacyCsvHeader) {
         throw std::invalid_argument("CSV document does not start with the CsvSink header");
       }
+      legacy = record == kLegacyCsvHeader;
       saw_header = true;
     } else {
-      rows.push_back(row_from_fields(split_csv_record(record)));
+      rows.push_back(row_from_fields(split_csv_record(record), legacy));
     }
     record.clear();
   }
@@ -412,6 +444,9 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.tally.add(core::Outcome::Sdc, obj.u64("sdc"));
     row.tally.add(core::Outcome::Crash, obj.u64("crash"));
     row.faults_not_fired = obj.u64("faults_not_fired");
+    row.chunks_allocated = obj.u64_or_zero("chunks_allocated");
+    row.chunk_detaches = obj.u64_or_zero("chunk_detaches");
+    row.cow_bytes_copied = obj.u64_or_zero("cow_bytes_copied");
     row.golden_cached = obj.boolean("golden_cached");
     row.checkpointed = obj.boolean("checkpointed");
     row.error = obj.str("error");

@@ -110,6 +110,9 @@ struct SinkRow {
   std::uint64_t primitive_count = 0;
   core::OutcomeTally tally;
   std::uint64_t faults_not_fired = 0;
+  std::uint64_t chunks_allocated = 0;  ///< extents created, summed over runs
+  std::uint64_t chunk_detaches = 0;    ///< COW detaches, summed over runs
+  std::uint64_t cow_bytes_copied = 0;  ///< bytes copied by COW, summed over runs
   bool golden_cached = false;
   bool checkpointed = false;
   std::string error;

@@ -74,9 +74,6 @@ PackResult pack(const H5File& file, const WriteOptions& opt) {
     if (ds.dims.empty() || ds.dims.size() > 8) {
       throw H5FormatError("dataset rank must be 1..8: " + ds.name);
     }
-    if (ds.element_count() != ds.data.size()) {
-      throw H5FormatError("dataset dims/data mismatch: " + ds.name);
-    }
     if (ds.name.empty()) throw H5FormatError("dataset must have a name");
   }
 
@@ -326,6 +323,14 @@ WriteInfo plan_layout(const H5File& file, const WriteOptions& options) {
 
 WriteInfo write_h5(vfs::FileSystem& fs, const std::string& path, const H5File& file,
                    const WriteOptions& options) {
+  // The layout depends only on names/dims/options; the values are consumed
+  // here, so only the write path requires them (plan_layout accepts
+  // shape-only files).
+  for (const auto& ds : file.datasets) {
+    if (ds.element_count() != ds.data.size()) {
+      throw H5FormatError("dataset dims/data mismatch: " + ds.name);
+    }
+  }
   PackResult packed = pack(file, options);
 
   const std::string lock_path = path + ".lock";
@@ -338,14 +343,8 @@ WriteInfo write_h5(vfs::FileSystem& fs, const std::string& path, const H5File& f
     for (std::size_t i = 0; i < file.datasets.size(); ++i) {
       const auto& ds = file.datasets[i];
       const util::Bytes raw = encode_array(ds.data, ds.format);
-      std::uint64_t address = packed.data_addresses[i];
-      std::size_t done = 0;
-      while (done < raw.size()) {
-        const std::size_t n = std::min(options.data_chunk_bytes, raw.size() - done);
-        const std::size_t written =
-            out.pwrite(util::ByteSpan(raw).subspan(done, n), address + done);
-        if (written == 0) throw H5Exception("short write of raw data");
-        done += written;
+      if (!vfs::pwrite_all(out, raw, packed.data_addresses[i], options.data_chunk_bytes)) {
+        throw H5Exception("short write of raw data");
       }
     }
 

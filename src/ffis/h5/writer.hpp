@@ -56,6 +56,8 @@ struct WriteInfo {
 /// Computes the metadata layout (field map, metadata size, per-dataset ARD)
 /// without performing any I/O.  Deterministic for a given file structure —
 /// used by the metadata doctor to locate fields inside corrupted files.
+/// The layout depends only on dataset names/dims/options, so shape-only
+/// H5Files (empty `data`) are accepted.
 [[nodiscard]] WriteInfo plan_layout(const H5File& file, const WriteOptions& options = {});
 
 }  // namespace ffis::h5

@@ -1,0 +1,66 @@
+#pragma once
+// Span/chunk arithmetic shared by the extent-based VFS storage layer.
+//
+// A byte range [offset, offset + length) over a file stored as fixed-size
+// chunks decomposes into per-chunk slices; these helpers centralize the
+// index/boundary arithmetic so every call site (reads, writes, truncation,
+// accounting) agrees on the decomposition.  All functions are total for
+// chunk_size > 0; callers validate chunk_size once at configuration time.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ffis::util {
+
+/// Index of the chunk containing byte `offset`.
+[[nodiscard]] constexpr std::size_t chunk_index(std::uint64_t offset,
+                                                std::size_t chunk_size) noexcept {
+  return static_cast<std::size_t>(offset / chunk_size);
+}
+
+/// Absolute byte offset where chunk `index` begins.
+[[nodiscard]] constexpr std::uint64_t chunk_begin(std::size_t index,
+                                                  std::size_t chunk_size) noexcept {
+  return static_cast<std::uint64_t>(index) * chunk_size;
+}
+
+/// Offset of byte `offset` within its chunk.
+[[nodiscard]] constexpr std::size_t intra_chunk(std::uint64_t offset,
+                                                std::size_t chunk_size) noexcept {
+  return static_cast<std::size_t>(offset % chunk_size);
+}
+
+/// Number of chunks needed to store `length` bytes (ceiling division; 0 for
+/// an empty range).
+[[nodiscard]] constexpr std::size_t chunk_count(std::uint64_t length,
+                                                std::size_t chunk_size) noexcept {
+  return static_cast<std::size_t>((length + chunk_size - 1) / chunk_size);
+}
+
+/// One chunk's share of a byte range: slice `length` bytes starting
+/// `begin` bytes into chunk `index`, which cover the I/O buffer at
+/// [buf_offset, buf_offset + length).
+struct ChunkSlice {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  std::size_t buf_offset = 0;
+};
+
+/// Decomposes [offset, offset + length) into chunk slices, invoking
+/// fn(ChunkSlice) for each affected chunk in ascending index order.
+template <typename Fn>
+constexpr void for_each_chunk_slice(std::uint64_t offset, std::size_t length,
+                                    std::size_t chunk_size, Fn&& fn) {
+  std::size_t done = 0;
+  while (done < length) {
+    const std::uint64_t pos = offset + done;
+    const std::size_t begin = intra_chunk(pos, chunk_size);
+    const std::size_t n = length - done < chunk_size - begin ? length - done
+                                                             : chunk_size - begin;
+    fn(ChunkSlice{chunk_index(pos, chunk_size), begin, n, done});
+    done += n;
+  }
+}
+
+}  // namespace ffis::util

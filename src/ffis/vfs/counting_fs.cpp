@@ -41,6 +41,13 @@ void CountingFs::truncate(const std::string& path, std::uint64_t size) {
   PassthroughFs::truncate(path, size);
 }
 
+void CountingFs::ftruncate(FileHandle fh, std::uint64_t size) {
+  // Same FUSE primitive as the path-based variant (FUSE routes both through
+  // setattr), so both count as Truncate.
+  bump(Primitive::Truncate);
+  PassthroughFs::ftruncate(fh, size);
+}
+
 void CountingFs::unlink(const std::string& path) {
   bump(Primitive::Unlink);
   PassthroughFs::unlink(path);

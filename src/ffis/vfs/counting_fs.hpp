@@ -22,6 +22,7 @@ class CountingFs final : public PassthroughFs {
   void mknod(const std::string& path, std::uint32_t mode) override;
   void chmod(const std::string& path, std::uint32_t mode) override;
   void truncate(const std::string& path, std::uint64_t size) override;
+  void ftruncate(FileHandle fh, std::uint64_t size) override;
   void unlink(const std::string& path) override;
   void mkdir(const std::string& path) override;
   void rename(const std::string& from, const std::string& to) override;

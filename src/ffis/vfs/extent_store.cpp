@@ -1,0 +1,130 @@
+#include "ffis/vfs/extent_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "ffis/util/chunking.hpp"
+
+namespace ffis::vfs {
+
+ExtentStore::ExtentStore(std::size_t chunk_size) : chunk_size_(chunk_size) {
+  if (chunk_size_ == 0) {
+    throw std::invalid_argument("ExtentStore chunk_size must be > 0");
+  }
+}
+
+ExtentStore::Chunk ExtentStore::detach_chunk(const Chunk& shared, std::size_t copy_len,
+                                             std::size_t new_len, FsStats& stats) {
+  auto copy = std::make_shared<util::Bytes>(new_len);  // zero-filled
+  std::memcpy(copy->data(), shared->data(), copy_len);
+  ++stats.chunk_detaches;
+  stats.cow_bytes_copied += copy_len;
+  return copy;
+}
+
+std::size_t ExtentStore::read(std::uint64_t offset, util::MutableByteSpan buf) const noexcept {
+  if (offset >= size_ || buf.empty()) return 0;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(buf.size(), size_ - offset));
+  util::for_each_chunk_slice(offset, n, chunk_size_, [&](const util::ChunkSlice& s) {
+    std::byte* dst = buf.data() + s.buf_offset;
+    const util::Bytes* chunk = s.index < chunks_.size() ? chunks_[s.index].get() : nullptr;
+    // The slice may extend past the chunk's stored length (short tail chunk
+    // or hole); the remainder reads as zero.
+    const std::size_t stored =
+        chunk != nullptr && s.begin < chunk->size()
+            ? std::min(s.length, chunk->size() - s.begin)
+            : 0;
+    if (stored > 0) std::memcpy(dst, chunk->data() + s.begin, stored);
+    if (stored < s.length) std::memset(dst + stored, 0, s.length - stored);
+  });
+  return n;
+}
+
+util::Bytes& ExtentStore::own_chunk(std::size_t index, std::size_t min_len,
+                                    bool overwrites_all, FsStats& stats) {
+  if (index >= chunks_.size()) chunks_.resize(index + 1);
+  Chunk& slot = chunks_[index];
+  if (!slot) {
+    slot = std::make_shared<util::Bytes>(min_len);  // zero-filled
+    ++stats.chunks_allocated;
+  } else if (slot.use_count() > 1) {
+    // COW detach: privatize exactly this extent, zero-extending to min_len.
+    // When the pending write covers every stored byte there is nothing worth
+    // preserving — allocate fresh instead of copying doomed bytes.
+    slot = detach_chunk(slot, overwrites_all ? 0 : slot->size(),
+                        std::max(slot->size(), min_len), stats);
+  } else if (slot->size() < min_len) {
+    const_cast<util::Bytes&>(*slot).resize(min_len);  // sole owner; zero-fills
+  }
+  // The const_cast is sound: every chunk is allocated above as a non-const
+  // util::Bytes and only becomes logically const while shared.
+  return const_cast<util::Bytes&>(*slot);
+}
+
+void ExtentStore::write(std::uint64_t offset, util::ByteSpan buf, FsStats& stats) {
+  if (buf.empty()) return;
+  util::for_each_chunk_slice(offset, buf.size(), chunk_size_, [&](const util::ChunkSlice& s) {
+    const bool overwrites_all =
+        s.begin == 0 && s.index < chunks_.size() && chunks_[s.index] &&
+        s.length >= chunks_[s.index]->size();
+    util::Bytes& chunk = own_chunk(s.index, s.begin + s.length, overwrites_all, stats);
+    std::memcpy(chunk.data() + s.begin, buf.data() + s.buf_offset, s.length);
+  });
+  size_ = std::max<std::uint64_t>(size_, offset + buf.size());
+}
+
+void ExtentStore::resize(std::uint64_t new_size, FsStats& stats) {
+  if (new_size >= size_) {
+    // Growth is a hole; holes read as zero, so no chunk work is needed.
+    size_ = new_size;
+    return;
+  }
+  if (new_size == 0) {
+    clear();
+    return;
+  }
+  const std::size_t keep = util::chunk_count(new_size, chunk_size_);
+  if (chunks_.size() > keep) chunks_.resize(keep);
+  // Trim the new last chunk so no stored byte survives past the logical end
+  // (a later grow must read zeros there).
+  const std::size_t tail = util::intra_chunk(new_size, chunk_size_);
+  if (tail != 0 && keep == chunks_.size() && !chunks_.empty()) {
+    Chunk& last = chunks_.back();
+    if (last && last->size() > tail) {
+      if (last.use_count() > 1) {
+        last = detach_chunk(last, tail, tail, stats);
+      } else {
+        const_cast<util::Bytes&>(*last).resize(tail);
+      }
+    }
+  }
+  size_ = new_size;
+}
+
+std::size_t ExtentStore::allocated_chunks() const noexcept {
+  std::size_t n = 0;
+  for (const Chunk& c : chunks_) {
+    if (c) ++n;
+  }
+  return n;
+}
+
+std::uint64_t ExtentStore::stored_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Chunk& c : chunks_) {
+    if (c) total += c->size();
+  }
+  return total;
+}
+
+std::uint64_t ExtentStore::shared_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Chunk& c : chunks_) {
+    if (c && c.use_count() > 1) total += c->size();
+  }
+  return total;
+}
+
+}  // namespace ffis::vfs

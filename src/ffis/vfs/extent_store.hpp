@@ -1,0 +1,108 @@
+#pragma once
+// Extent-based copy-on-write payload store for MemFs.
+//
+// A file payload is a sequence of fixed-size chunks (extents), each behind a
+// shared_ptr<const util::Bytes>.  Copying an ExtentStore (what MemFs::fork
+// does per node) copies only the chunk-pointer vector, so a fork stays
+// O(#files); a write then detaches only the chunks it touches — O(bytes
+// written) instead of O(file size), which is what makes the first post-fork
+// write into a multi-MB Nyx plotfile or Montage mosaic cheap.
+//
+// Representation invariants:
+//  * a null chunk pointer is a hole — every byte in it reads as zero;
+//  * an allocated chunk holds between 1 and chunk_size bytes; any chunk may
+//    be short (sparse writes leave short interior chunks, not just a short
+//    tail), and a chunk's unstored suffix reads as zero — so small files and
+//    sparse regions cost their actual bytes, not full extents;
+//  * no stored byte lies at or beyond size() (shrinking trims eagerly), so
+//    growing the logical size never exposes stale data.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::vfs {
+
+/// Cumulative storage-layer counters.  MemFs owns one per instance (forks
+/// start from zero) and threads it through every mutating ExtentStore call;
+/// MemFs::stats() exposes it for tests, benches and the experiment engine.
+struct FsStats {
+  std::uint64_t chunks_allocated = 0;   ///< fresh extents created by writes
+  std::uint64_t chunk_detaches = 0;     ///< shared extents privatized (COW)
+  std::uint64_t cow_bytes_copied = 0;   ///< bytes memcpy'd by those detaches
+};
+
+class ExtentStore {
+ public:
+  /// Default extent size: large enough that chunk bookkeeping is noise for
+  /// multi-MB payloads, small enough that a stray write copies little.
+  static constexpr std::size_t kDefaultChunkSize = 64 * 1024;
+
+  /// Throws std::invalid_argument when chunk_size is 0 (the chunk
+  /// arithmetic requires a positive extent).
+  explicit ExtentStore(std::size_t chunk_size = kDefaultChunkSize);
+
+  // Copying shares every chunk (copy-on-write); this is the fork primitive.
+  ExtentStore(const ExtentStore&) = default;
+  ExtentStore& operator=(const ExtentStore&) = default;
+  ExtentStore(ExtentStore&&) noexcept = default;
+  ExtentStore& operator=(ExtentStore&&) noexcept = default;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
+
+  /// Copies [offset, offset + buf.size()) into buf, zero-filling holes;
+  /// returns bytes read (clamped at size(), 0 past EOF).
+  std::size_t read(std::uint64_t offset, util::MutableByteSpan buf) const noexcept;
+
+  /// Writes buf at offset, growing the payload as needed (gaps stay holes).
+  /// Detaches shared chunks it touches and charges the work to `stats`.
+  void write(std::uint64_t offset, util::ByteSpan buf, FsStats& stats);
+
+  /// Sets the logical size.  Growing leaves a hole; shrinking drops whole
+  /// chunks past the end and trims the new last chunk (a COW detach when it
+  /// is shared, charged to `stats`).
+  void resize(std::uint64_t new_size, FsStats& stats);
+
+  /// Drops every chunk reference and zeroes the size (open-for-write
+  /// truncation).  COW-free: shared chunks simply lose one owner.
+  void clear() noexcept {
+    chunks_.clear();
+    size_ = 0;
+  }
+
+  /// Number of allocated (non-hole) extents.
+  [[nodiscard]] std::size_t allocated_chunks() const noexcept;
+
+  /// Bytes actually held in extents — the memory footprint, which for
+  /// sparse payloads is smaller than size() (holes store nothing).
+  [[nodiscard]] std::uint64_t stored_bytes() const noexcept;
+
+  /// Bytes held in extents currently shared with another store — the
+  /// payload still pending copy-on-write.
+  [[nodiscard]] std::uint64_t shared_bytes() const noexcept;
+
+ private:
+  using Chunk = std::shared_ptr<const util::Bytes>;
+
+  /// The one COW detach path: privatizes a shared extent by copying its
+  /// first `copy_len` stored bytes into a fresh `new_len`-byte buffer
+  /// (zero-filled beyond), charging the copy to `stats`.
+  [[nodiscard]] static Chunk detach_chunk(const Chunk& shared, std::size_t copy_len,
+                                          std::size_t new_len, FsStats& stats);
+
+  /// Returns chunk `index` privately owned and at least `min_len` bytes
+  /// long, allocating or detaching as needed.  `overwrites_all` promises the
+  /// caller immediately overwrites every currently stored byte, so a detach
+  /// may skip the copy.
+  util::Bytes& own_chunk(std::size_t index, std::size_t min_len, bool overwrites_all,
+                         FsStats& stats);
+
+  std::size_t chunk_size_;
+  std::uint64_t size_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace ffis::vfs

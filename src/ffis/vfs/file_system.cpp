@@ -1,5 +1,6 @@
 #include "ffis/vfs/file_system.hpp"
 
+#include <algorithm>
 #include <array>
 
 namespace ffis::vfs {
@@ -54,6 +55,19 @@ void write_file(FileSystem& fs, const std::string& path, util::ByteSpan data) {
     }
     put += n;
   }
+}
+
+bool pwrite_all(File& file, util::ByteSpan data, std::uint64_t offset,
+                std::size_t slice_bytes) {
+  const std::size_t step = slice_bytes == 0 ? data.size() : slice_bytes;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::size_t n = std::min(step, data.size() - done);
+    const std::size_t written = file.pwrite(data.subspan(done, n), offset + done);
+    if (written == 0) return false;
+    done += written;
+  }
+  return true;
 }
 
 std::string read_text_file(FileSystem& fs, const std::string& path) {

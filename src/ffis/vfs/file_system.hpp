@@ -112,6 +112,12 @@ class FileSystem {
   virtual void mknod(const std::string& path, std::uint32_t mode) = 0;
   virtual void chmod(const std::string& path, std::uint32_t mode) = 0;
   virtual void truncate(const std::string& path, std::uint64_t size) = 0;
+
+  /// Handle-based truncation.  Unlike the path-based truncate, this follows
+  /// POSIX semantics for unlinked-but-open files: the handle keeps working
+  /// after unlink/rename, exactly like pread/pwrite/fsync.  Requires a
+  /// writable handle.
+  virtual void ftruncate(FileHandle fh, std::uint64_t size) = 0;
   virtual void unlink(const std::string& path) = 0;
   virtual void mkdir(const std::string& path) = 0;
   virtual void rename(const std::string& from, const std::string& to) = 0;
@@ -153,6 +159,7 @@ class File {
 
   std::size_t pread(util::MutableByteSpan buf, std::uint64_t offset) { return fs_->pread(fh_, buf, offset); }
   std::size_t pwrite(util::ByteSpan buf, std::uint64_t offset) { return fs_->pwrite(fh_, buf, offset); }
+  void ftruncate(std::uint64_t size) { fs_->ftruncate(fh_, size); }
   void fsync() { fs_->fsync(fh_); }
 
   void reset() noexcept {
@@ -175,6 +182,15 @@ class File {
 
 /// Reads the entire file.
 [[nodiscard]] util::Bytes read_file(FileSystem& fs, const std::string& path);
+
+/// Writes `data` at `offset` through `file` in `slice_bytes`-sized pwrites
+/// (0 = one single write), the write protocol shared by the h5 writer, the
+/// FITS writer and Nyx's in-place slab updates — identical slicing matters
+/// because uniform fault-instance selection counts individual pwrites.
+/// Returns false when a pwrite reports zero progress (a dropped write);
+/// callers raise their own domain error.
+[[nodiscard]] bool pwrite_all(File& file, util::ByteSpan data, std::uint64_t offset,
+                              std::size_t slice_bytes);
 
 /// Creates/truncates and writes the entire file in one pwrite.
 void write_file(FileSystem& fs, const std::string& path, util::ByteSpan data);

@@ -1,24 +1,30 @@
 #include "ffis/vfs/mem_fs.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <utility>
 
 namespace ffis::vfs {
 
-MemFs::MemFs(Concurrency mode) : locking_(mode == Concurrency::MultiThread) {
-  auto root = std::make_shared<Node>();
+MemFs::MemFs(Options options)
+    : locking_(options.concurrency == Concurrency::MultiThread),
+      chunk_size_(options.chunk_size) {
+  // Deliberately pre-empts ExtentStore's own std::invalid_argument check so
+  // VFS misuse surfaces in the VFS error domain.
+  if (chunk_size_ == 0) {
+    throw VfsError(VfsError::Code::InvalidArgument, "MemFs chunk_size must be > 0");
+  }
+  auto root = make_node();
   root->is_dir = true;
   root->mode = 0755;
   nodes_.emplace("/", std::move(root));
 }
 
 MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode)
-    : locking_(mode == Concurrency::MultiThread) {
+    : locking_(mode == Concurrency::MultiThread), chunk_size_(parent.chunk_size_) {
   Guard lock(parent.maybe_mutex());
   for (const auto& [path, node] : parent.nodes_) {
-    // A fresh Node per path isolates metadata and the data *pointer*; the
-    // payload itself is shared until a writer detaches it.
+    // A fresh Node per path isolates metadata and the extent table; the
+    // extents themselves are shared until a writer detaches them.
     nodes_.emplace(path, std::make_shared<Node>(*node));
   }
 }
@@ -39,15 +45,6 @@ std::string MemFs::normalize(const std::string& path) {
   out.resize(w);
   if (out.size() > 1 && out.back() == '/') out.pop_back();
   return out;
-}
-
-util::Bytes& MemFs::mutable_data(Node& node) {
-  if (!node.data) {
-    node.data = std::make_shared<util::Bytes>();
-  } else if (node.data.use_count() > 1) {
-    node.data = std::make_shared<util::Bytes>(*node.data);  // COW detach
-  }
-  return const_cast<util::Bytes&>(*node.data);
 }
 
 MemFs::Node& MemFs::node_at(const std::string& path) {
@@ -83,9 +80,9 @@ FileHandle MemFs::open(const std::string& raw_path, OpenMode mode) {
     }
     check_parent(path);
     if (it == nodes_.end()) {
-      it = nodes_.emplace(path, std::make_shared<Node>()).first;
+      it = nodes_.emplace(path, make_node()).first;
     } else if (mode == OpenMode::Write) {
-      it->second->data.reset();  // truncate; dropping the ref is COW-free
+      it->second->data.clear();  // truncate; dropping the extent refs is COW-free
     }
   }
   for (std::size_t i = 0; i < handles_.size(); ++i) {
@@ -108,11 +105,7 @@ void MemFs::close(FileHandle fh) {
 std::size_t MemFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
   Guard lock(maybe_mutex());
   const OpenFile& of = handle_at(fh, "pread");
-  const util::Bytes* data = of.node->data.get();
-  if (data == nullptr || offset >= data->size()) return 0;
-  const std::size_t n = std::min<std::size_t>(buf.size(), data->size() - offset);
-  std::memcpy(buf.data(), data->data() + offset, n);
-  return n;
+  return of.node->data.read(offset, buf);
 }
 
 std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
@@ -121,10 +114,7 @@ std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offse
   if (of.mode == OpenMode::Read) {
     throw VfsError(VfsError::Code::InvalidArgument, "pwrite on read-only handle");
   }
-  util::Bytes& data = mutable_data(*of.node);
-  const std::size_t end = offset + buf.size();
-  if (data.size() < end) data.resize(end);  // gap fills with zero bytes
-  std::memcpy(data.data() + offset, buf.data(), buf.size());
+  of.node->data.write(offset, buf, stats_);
   return buf.size();
 }
 
@@ -133,7 +123,7 @@ void MemFs::mknod(const std::string& raw_path, std::uint32_t mode) {
   Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  auto node = std::make_shared<Node>();
+  auto node = make_node();
   node->mode = mode;
   nodes_.emplace(path, std::move(node));
 }
@@ -149,11 +139,16 @@ void MemFs::truncate(const std::string& raw_path, std::uint64_t size) {
   Guard lock(maybe_mutex());
   Node& node = node_at(path);
   if (node.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
-  if (size == 0) {
-    node.data.reset();
-  } else {
-    mutable_data(node).resize(size);
+  node.data.resize(size, stats_);
+}
+
+void MemFs::ftruncate(FileHandle fh, std::uint64_t size) {
+  Guard lock(maybe_mutex());
+  OpenFile& of = handle_at(fh, "ftruncate");
+  if (of.mode == OpenMode::Read) {
+    throw VfsError(VfsError::Code::InvalidArgument, "ftruncate on read-only handle");
   }
+  of.node->data.resize(size, stats_);
 }
 
 void MemFs::unlink(const std::string& raw_path) {
@@ -170,7 +165,7 @@ void MemFs::mkdir(const std::string& raw_path) {
   Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  auto node = std::make_shared<Node>();
+  auto node = make_node();
   node->is_dir = true;
   node->mode = 0755;
   nodes_.emplace(path, std::move(node));
@@ -238,7 +233,7 @@ FileStat MemFs::stat(const std::string& raw_path) {
   const std::string path = normalize(raw_path);
   Guard lock(maybe_mutex());
   const Node& node = node_at(path);
-  return FileStat{node_size(node), node.mode, node.is_dir};
+  return FileStat{node.data.size(), node.mode, node.is_dir};
 }
 
 bool MemFs::exists(const std::string& raw_path) {
@@ -271,17 +266,34 @@ void MemFs::fsync(FileHandle fh) {
 std::uint64_t MemFs::total_bytes() const {
   Guard lock(maybe_mutex());
   std::uint64_t total = 0;
-  for (const auto& [path, node] : nodes_) total += node_size(*node);
+  for (const auto& [path, node] : nodes_) total += node->data.size();
+  return total;
+}
+
+std::uint64_t MemFs::stored_bytes() const {
+  Guard lock(maybe_mutex());
+  std::uint64_t total = 0;
+  for (const auto& [path, node] : nodes_) total += node->data.stored_bytes();
   return total;
 }
 
 std::uint64_t MemFs::cow_shared_bytes() const {
   Guard lock(maybe_mutex());
   std::uint64_t total = 0;
-  for (const auto& [path, node] : nodes_) {
-    if (node->data && node->data.use_count() > 1) total += node->data->size();
-  }
+  for (const auto& [path, node] : nodes_) total += node->data.shared_bytes();
   return total;
+}
+
+std::uint64_t MemFs::allocated_chunks() const {
+  Guard lock(maybe_mutex());
+  std::uint64_t total = 0;
+  for (const auto& [path, node] : nodes_) total += node->data.allocated_chunks();
+  return total;
+}
+
+FsStats MemFs::stats() const {
+  Guard lock(maybe_mutex());
+  return stats_;
 }
 
 }  // namespace ffis::vfs

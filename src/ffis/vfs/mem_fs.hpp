@@ -5,22 +5,27 @@
 // private MemFs so runs are isolated, fast, and need no disk cleanup.  MemFs
 // also lets tests assert on exact on-"disk" byte contents.
 //
-// Two properties make MemFs cheap enough for the engine's hot loop:
+// Three properties make MemFs cheap enough for the engine's hot loop:
 //
-//  * Copy-on-write forks.  File payloads live behind
-//    std::shared_ptr<const util::Bytes>; fork() clones the node table in
-//    O(#files) while sharing every payload, and the first write to a shared
-//    payload detaches a private copy.  The checkpoint-reuse execution path
-//    (exp::Engine) snapshots the fault-free prefix of a run once per cell and
-//    forks it per injection run.
+//  * Extent-based copy-on-write forks.  File payloads are vfs::ExtentStore
+//    instances — fixed-size chunks (MemFs::Options::chunk_size, default
+//    64 KiB), each behind shared_ptr<const Bytes>.  fork() clones the node
+//    table in O(#files) while sharing every chunk, and a write detaches only
+//    the chunks it touches: the first post-fork write into a multi-MB
+//    plotfile costs O(bytes written), not O(file).  The checkpoint-reuse
+//    execution path (exp::Engine) snapshots the fault-free prefix of a run
+//    once per cell and forks it per injection run.
 //  * Handle-cached I/O.  open() resolves the path once and caches the node in
-//    the handle table, so pread/pwrite/fsync skip normalization and the path
-//    map entirely.  A handle keeps its node alive and reachable across
-//    unlink/rename (POSIX semantics: I/O on an unlinked-but-open file keeps
-//    working), where the old path-keyed lookup threw NotFound.
+//    the handle table, so pread/pwrite/ftruncate/fsync skip normalization and
+//    the path map entirely.  A handle keeps its node alive and reachable
+//    across unlink/rename (POSIX semantics: I/O on an unlinked-but-open file
+//    keeps working), where a path-keyed lookup would throw NotFound.
+//  * Optional locking.  A MemFs owned exclusively by one run can be built in
+//    Concurrency::SingleThread mode to skip the per-op mutex.
 //
-// Locking is optional: a MemFs owned exclusively by one run can be built in
-// Concurrency::SingleThread mode to skip the per-op mutex.
+// stats() exposes the storage layer's cumulative counters (extents
+// allocated, COW detaches, bytes copied by detaches) so tests and the
+// experiment engine can audit exactly how much copying the hot loop does.
 
 #include <cstdint>
 #include <map>
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "ffis/vfs/extent_store.hpp"
 #include "ffis/vfs/file_system.hpp"
 
 namespace ffis::vfs {
@@ -40,15 +46,25 @@ class MemFs final : public FileSystem {
     SingleThread,  ///< no locking; the caller owns the fs exclusively
   };
 
-  MemFs() : MemFs(Concurrency::MultiThread) {}
-  explicit MemFs(Concurrency mode);
+  struct Options {
+    Concurrency concurrency = Concurrency::MultiThread;
+    /// Extent size for every payload.  Smaller chunks copy less per detach
+    /// but cost more bookkeeping; must be > 0.
+    std::size_t chunk_size = ExtentStore::kDefaultChunkSize;
+  };
+
+  MemFs() : MemFs(Options{}) {}
+  explicit MemFs(Concurrency mode) : MemFs(Options{.concurrency = mode}) {}
+  explicit MemFs(Options options);
 
   /// O(#files) copy-on-write snapshot: the fork gets its own node table (so
   /// metadata changes, renames, creates and unlinks are isolated both ways)
-  /// but shares every file payload with the parent until one side writes.
-  /// The fork starts with no open handles; the parent's handles stay valid.
-  /// Concurrent fork() calls on the same parent are safe as long as no
-  /// thread is mutating the parent (a frozen checkpoint fs).
+  /// but shares every payload extent with the parent until one side writes.
+  /// The fork inherits the parent's chunk size (extents are shared, so the
+  /// geometry must match), starts with no open handles and zeroed stats();
+  /// the parent's handles stay valid.  Concurrent fork() calls on the same
+  /// parent are safe as long as no thread is mutating the parent (a frozen
+  /// checkpoint fs).
   [[nodiscard]] MemFs fork(Concurrency mode = Concurrency::MultiThread) const;
 
   FileHandle open(const std::string& path, OpenMode mode) override;
@@ -58,6 +74,7 @@ class MemFs final : public FileSystem {
   void mknod(const std::string& path, std::uint32_t mode) override;
   void chmod(const std::string& path, std::uint32_t mode) override;
   void truncate(const std::string& path, std::uint64_t size) override;
+  void ftruncate(FileHandle fh, std::uint64_t size) override;
   void unlink(const std::string& path) override;
   void mkdir(const std::string& path) override;
   void rename(const std::string& from, const std::string& to) override;
@@ -66,21 +83,38 @@ class MemFs final : public FileSystem {
   std::vector<std::string> readdir(const std::string& path) override;
   void fsync(FileHandle fh) override;
 
-  /// Total bytes stored across all regular files (diagnostics).
+  /// Total *logical* bytes across all regular files (sum of file sizes;
+  /// diagnostics).
   [[nodiscard]] std::uint64_t total_bytes() const;
 
-  /// Bytes belonging to payloads still shared with a fork — i.e. not yet
+  /// Bytes actually held in extents — the memory footprint.  Smaller than
+  /// total_bytes() when files are sparse (holes store nothing).
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+
+  /// Bytes belonging to extents still shared with a fork — i.e. not yet
   /// detached by copy-on-write.  Diagnostics for the COW tests and the perf
   /// bench.
   [[nodiscard]] std::uint64_t cow_shared_bytes() const;
 
+  /// Extents currently allocated across all files (holes excluded).
+  [[nodiscard]] std::uint64_t allocated_chunks() const;
+
+  /// Cumulative storage-layer counters since construction (forks start from
+  /// zero): extents allocated, COW detaches, bytes copied by detaches.
+  [[nodiscard]] FsStats stats() const;
+
+  [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
+
  private:
   struct Node {
-    /// COW payload: null = empty file.  Shared across forks; writers detach
-    /// via mutable_data() before mutating.
-    std::shared_ptr<const util::Bytes> data;
+    /// COW payload; chunks are shared across forks until a writer detaches
+    /// them.
+    ExtentStore data;
     std::uint32_t mode = 0644;
     bool is_dir = false;
+
+    explicit Node(std::size_t chunk_size) : data(chunk_size) {}
+    Node(const Node&) = default;
   };
   struct OpenFile {
     std::shared_ptr<Node> node;  ///< cached: pread/pwrite/fsync skip the path map
@@ -108,25 +142,23 @@ class MemFs final : public FileSystem {
   MemFs(ForkTag, const MemFs& parent, Concurrency mode);
 
   [[nodiscard]] static std::string normalize(const std::string& path);
-  [[nodiscard]] static std::size_t node_size(const Node& node) noexcept {
-    return node.data ? node.data->size() : 0;
-  }
-  /// Detaches a private copy when the payload is shared, then returns it
-  /// mutable.  The const_cast is sound: every payload is allocated as a
-  /// non-const util::Bytes (make_shared<util::Bytes>).
-  [[nodiscard]] static util::Bytes& mutable_data(Node& node);
 
   [[nodiscard]] std::mutex* maybe_mutex() const noexcept {
     return locking_ ? &mutex_ : nullptr;
+  }
+  [[nodiscard]] std::shared_ptr<Node> make_node() const {
+    return std::make_shared<Node>(chunk_size_);
   }
   Node& node_at(const std::string& path);  // throws NotFound
   OpenFile& handle_at(FileHandle fh, const char* op);  // throws BadHandle
   void check_parent(const std::string& path) const;
 
   bool locking_ = true;
+  std::size_t chunk_size_ = ExtentStore::kDefaultChunkSize;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Node>> nodes_;
   std::vector<OpenFile> handles_;
+  FsStats stats_;  ///< guarded by mutex_ (in MultiThread mode)
 };
 
 }  // namespace ffis::vfs

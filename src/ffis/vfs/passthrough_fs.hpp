@@ -28,6 +28,7 @@ class PassthroughFs : public FileSystem {
   void truncate(const std::string& path, std::uint64_t size) override {
     inner_->truncate(path, size);
   }
+  void ftruncate(FileHandle fh, std::uint64_t size) override { inner_->ftruncate(fh, size); }
   void unlink(const std::string& path) override { inner_->unlink(path); }
   void mkdir(const std::string& path) override { inner_->mkdir(path); }
   void rename(const std::string& from, const std::string& to) override {

@@ -120,6 +120,25 @@ void PosixFs::truncate(const std::string& path, std::uint64_t size) {
   }
 }
 
+void PosixFs::ftruncate(FileHandle fh, std::uint64_t size) {
+  int fd;
+  {
+    std::lock_guard lock(mutex_);
+    if (fh < 0 || static_cast<std::size_t>(fh) >= fds_.size() || fds_[fh] < 0) {
+      throw VfsError(VfsError::Code::BadHandle, "ftruncate: bad handle");
+    }
+    fd = fds_[fh];
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    // EINVAL (read-only fd, negative length) aligns with MemFs's
+    // InvalidArgument so backend-portable callers see one error code.
+    if (errno == EINVAL) {
+      throw VfsError(VfsError::Code::InvalidArgument, "ftruncate: invalid handle mode or size");
+    }
+    throw_errno("ftruncate", "<fd>");
+  }
+}
+
 void PosixFs::unlink(const std::string& path) {
   if (::unlink(resolve(path).c_str()) != 0) throw_errno("unlink", path);
 }

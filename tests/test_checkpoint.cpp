@@ -21,6 +21,7 @@
 #include "ffis/exp/plan.hpp"
 #include "ffis/faults/fault_generator.hpp"
 #include "ffis/util/rng.hpp"
+#include "ffis/vfs/extent_store.hpp"
 #include "ffis/vfs/mem_fs.hpp"
 
 namespace {
@@ -145,6 +146,16 @@ TEST(StageResume, NyxPrefixPlusResumeEqualsRun) {
 
 TEST(StageResume, StagedToyPrefixPlusResumeEqualsRun) { expect_same_tree(StagedToyApp(), 14); }
 
+TEST(StageResume, MultiDumpNyxPrefixPlusResumeEqualsRun) {
+  // timesteps >= 2 turns Nyx into a multi-stage workload whose later stages
+  // rewrite slabs of the plotfile in place; the resume contract must hold
+  // for every split point.
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  config.timesteps = 3;
+  expect_same_tree(nyx::NyxApp(config), 15);
+}
+
 TEST(StageResume, OutOfRangeStageThrows) {
   const auto app = small_montage();
   vfs::MemFs fs;
@@ -189,6 +200,23 @@ TEST(Checkpoint, CaptureValidatesStageRange) {
   auto fork = cp->fs().fork();
   EXPECT_TRUE(fork.exists("/stage1"));
   EXPECT_FALSE(fork.exists("/stage2"));
+}
+
+TEST(Checkpoint, ReportsSnapshotMemoryAndSharing) {
+  StagedToyApp app;
+  const auto cp = core::Checkpoint::capture(app, 7, 2);
+  // Prefix tree: "/header" (5 bytes) + "/stage1" (4 x 48 bytes).
+  EXPECT_EQ(cp->total_bytes(), 5u + 4u * 48u);
+  EXPECT_GT(cp->allocated_chunks(), 0u);
+  // Nothing shared until someone forks; everything shared while a fork
+  // holds the extents untouched; nothing again once the fork dies.
+  EXPECT_EQ(cp->cow_shared_bytes(), 0u);
+  {
+    vfs::MemFs fork = cp->fs().fork();
+    EXPECT_EQ(cp->cow_shared_bytes(), cp->total_bytes());
+    EXPECT_EQ(fork.cow_shared_bytes(), cp->total_bytes());
+  }
+  EXPECT_EQ(cp->cow_shared_bytes(), 0u);
 }
 
 TEST(Checkpoint, InjectorChecksStageMatch) {
@@ -362,6 +390,62 @@ TEST(EngineCheckpoint, TalliesBitIdenticalToFullPathAcrossThreadCounts) {
     EXPECT_EQ(checkpointed_cells, 8u);
     EXPECT_EQ(report.checkpoint_builds, 8u);  // all keys distinct here
   }
+}
+
+
+// --- Storage-layer accounting through the engine -----------------------------
+
+TEST(EngineCheckpoint, CowTrafficIsOChunkPerResumedRun) {
+  // A 2-dump Nyx cell instrumented at stage 2: every checkpointed run forks
+  // the multi-chunk plotfile and rewrites one slab in place.  The extent
+  // store must keep that copy-on-write cost at O(chunk) per run, the report
+  // must expose the checkpoint cache's memory, and the sinks' counters must
+  // show the checkpointed path allocating far less than full re-execution.
+  nyx::NyxConfig config;
+  config.field.n = 32;  // plotfile ~256 KiB -> several 64 KiB extents
+  config.timesteps = 2;
+  nyx::NyxApp app(config);
+
+  constexpr std::uint64_t kRuns = 8;
+  auto make_plan = [&] {
+    exp::PlanBuilder builder;
+    builder.runs(kRuns).seed(77);
+    builder.cell(app, "BF", 2);
+    return builder.build();
+  };
+
+  exp::EngineOptions on, off;
+  on.use_checkpoints = true;
+  off.use_checkpoints = false;
+  const auto with_cp = exp::Engine(on).run(make_plan());
+  const auto without_cp = exp::Engine(off).run(make_plan());
+  ASSERT_TRUE(with_cp.cells[0].error.empty()) << with_cp.cells[0].error;
+  ASSERT_TRUE(without_cp.cells[0].error.empty()) << without_cp.cells[0].error;
+  ASSERT_TRUE(with_cp.cells[0].checkpointed);
+
+  // Equivalence first: the fast path changes cost, never science.
+  for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+    const auto outcome = static_cast<Outcome>(o);
+    EXPECT_EQ(with_cp.cells[0].tally.count(outcome),
+              without_cp.cells[0].tally.count(outcome));
+  }
+
+  // The report audits the checkpoint cache: one capture holding the full
+  // prefix plotfile.
+  EXPECT_EQ(with_cp.checkpoint_builds, 1u);
+  EXPECT_GT(with_cp.checkpoint_bytes, 200u * 1024u);
+  EXPECT_GT(with_cp.checkpoint_chunks, 2u);
+
+  // O(chunk) per resumed run: a slab rewrite touches at most 2 extents.
+  const std::uint64_t max_cow = kRuns * 2 * vfs::ExtentStore::kDefaultChunkSize;
+  EXPECT_GT(with_cp.cells[0].cow_bytes_copied, 0u);
+  EXPECT_LE(with_cp.cells[0].cow_bytes_copied, max_cow);
+  EXPECT_LE(with_cp.cells[0].chunk_detaches, kRuns * 2);
+
+  // Full re-execution rewrites the whole plotfile every run instead.
+  EXPECT_EQ(without_cp.cells[0].cow_bytes_copied, 0u);
+  EXPECT_GT(without_cp.cells[0].chunks_allocated,
+            4 * with_cp.cells[0].chunks_allocated);
 }
 
 }  // namespace

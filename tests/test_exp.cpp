@@ -426,6 +426,9 @@ TEST(Sinks, CsvRoundTrip) {
                 expected.tally.count(static_cast<Outcome>(o)));
     }
     EXPECT_EQ(rows[i].faults_not_fired, expected.faults_not_fired);
+    EXPECT_EQ(rows[i].chunks_allocated, expected.chunks_allocated);
+    EXPECT_EQ(rows[i].chunk_detaches, expected.chunk_detaches);
+    EXPECT_EQ(rows[i].cow_bytes_copied, expected.cow_bytes_copied);
     EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
     EXPECT_EQ(rows[i].error, expected.error);
   }
@@ -456,7 +459,57 @@ TEST(Sinks, JsonlRoundTrip) {
                 expected.tally.count(static_cast<Outcome>(o)));
     }
     EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
+    EXPECT_EQ(rows[i].chunks_allocated, expected.chunks_allocated);
+    EXPECT_EQ(rows[i].chunk_detaches, expected.chunk_detaches);
+    EXPECT_EQ(rows[i].cow_bytes_copied, expected.cow_bytes_copied);
   }
+}
+
+TEST(Sinks, ReadersAcceptLegacyFilesWithoutStorageColumns) {
+  // Result files written before the extent-store columns existed must stay
+  // loadable; the missing counters default to zero.
+  const std::string legacy_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error\n"
+      "0,OLD-BF,nyx,BF,-1,10,42,7,8,1,1,0,2,1,0,\n";
+  std::istringstream csv_in(legacy_csv);
+  const auto csv_rows = exp::read_csv_results(csv_in);
+  ASSERT_EQ(csv_rows.size(), 1u);
+  EXPECT_EQ(csv_rows[0].label, "OLD-BF");
+  EXPECT_EQ(csv_rows[0].faults_not_fired, 2u);
+  EXPECT_TRUE(csv_rows[0].golden_cached);
+  EXPECT_EQ(csv_rows[0].chunks_allocated, 0u);
+  EXPECT_EQ(csv_rows[0].cow_bytes_copied, 0u);
+
+  const std::string legacy_jsonl =
+      "{\"index\":0,\"label\":\"OLD-BF\",\"application\":\"nyx\",\"fault\":\"BF\","
+      "\"stage\":-1,\"runs\":10,\"seed\":42,\"primitive_count\":7,\"benign\":8,"
+      "\"detected\":1,\"sdc\":1,\"crash\":0,\"faults_not_fired\":2,"
+      "\"golden_cached\":true,\"checkpointed\":false,\"error\":\"\"}\n";
+  std::istringstream jsonl_in(legacy_jsonl);
+  const auto jsonl_rows = exp::read_jsonl_results(jsonl_in);
+  ASSERT_EQ(jsonl_rows.size(), 1u);
+  EXPECT_EQ(jsonl_rows[0].label, "OLD-BF");
+  EXPECT_EQ(jsonl_rows[0].chunk_detaches, 0u);
+
+  // The layout is decided by the document's header: a 16-field row under a
+  // 19-column header is truncation, not a legacy record.
+  const std::string truncated_csv =
+      std::string(exp::CsvSink::header()) + "\n" +
+      "0,OLD-BF,nyx,BF,-1,10,42,7,8,1,1,0,2,1,0,\n";
+  std::istringstream truncated_in(truncated_csv);
+  EXPECT_THROW((void)exp::read_csv_results(truncated_in), std::invalid_argument);
+}
+
+TEST(Sinks, CellsReportStorageTraffic) {
+  // Every ToyApp run writes through MemFs, so the engine's per-cell
+  // aggregation of vfs::FsStats must report extent allocations.
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(6);
+  builder.cell(app, "BF");
+  const auto report = exp::Engine().run(builder.build());
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_GT(report.cells[0].chunks_allocated, 0u);
 }
 
 TEST(Sinks, MultiSinkFansOutToAllChildren) {

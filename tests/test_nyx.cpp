@@ -9,6 +9,7 @@
 #include "ffis/apps/nyx/density_field.hpp"
 #include "ffis/apps/nyx/halo_finder.hpp"
 #include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/core/application.hpp"
 #include "ffis/apps/nyx/plotfile.hpp"
 #include "ffis/vfs/counting_fs.hpp"
 #include "ffis/vfs/mem_fs.hpp"
@@ -225,11 +226,13 @@ TEST(NyxApp, FieldCacheServesRepeatedRuns) {
   nyx::NyxConfig config;
   config.field.n = 16;
   nyx::NyxApp app(config);
-  const auto& f1 = app.field(3);
-  const auto& f2 = app.field(3);
-  EXPECT_EQ(&f1, &f2);  // same cached object
-  const auto& f3 = app.field(4);
-  EXPECT_NE(f1.data(), f3.data());
+  const auto f1 = app.field(3);
+  const auto f2 = app.field(3);
+  EXPECT_EQ(f1.get(), f2.get());  // same cached object
+  // field(4) evicts the seed-3 cache entry; f1's shared ownership keeps the
+  // seed-3 field alive regardless.
+  const auto f3 = app.field(4);
+  EXPECT_NE(f1->data(), f3->data());
 }
 
 TEST(NyxApp, WritesAreChunked) {
@@ -245,6 +248,89 @@ TEST(NyxApp, WritesAreChunked) {
   EXPECT_EQ(counting.count(vfs::Primitive::Pwrite), 10u);  // 8 data + metadata + EOF
   EXPECT_EQ(counting.count(vfs::Primitive::Mknod), 1u);    // lock protocol
   EXPECT_EQ(counting.count(vfs::Primitive::Unlink), 1u);
+}
+
+TEST(NyxApp, RejectsNonPositiveTimesteps) {
+  nyx::NyxConfig config;
+  config.timesteps = 0;
+  EXPECT_THROW(nyx::NyxApp{config}, std::invalid_argument);
+}
+
+TEST(NyxApp, RejectsAverageValueDetectorWithSlabGrowth) {
+  // Slab growth shifts the fault-free mean off 1, which would make the
+  // mean-based detector flag every divergent run (SDC tally silently 0).
+  nyx::NyxConfig config;
+  config.timesteps = 2;
+  config.use_average_value_detector = true;
+  EXPECT_THROW(nyx::NyxApp{config}, std::invalid_argument);
+  config.slab_growth = 0.0;  // no mean shift: the combination is sound again
+  EXPECT_NO_THROW(nyx::NyxApp{config});
+}
+
+TEST(NyxApp, MultiDumpUpdatesSlabsInPlace) {
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  config.timesteps = 3;  // stage 2 advances slab z=0, stage 3 slab z=1
+  nyx::NyxApp app(config);
+  EXPECT_EQ(app.stage_count(), 3);
+
+  vfs::MemFs fs;
+  core::RunContext ctx{.fs = fs, .app_seed = 5, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+
+  const auto base_field = app.field(5);  // hold ownership, not a reference
+  const DensityField& base = *base_field;
+  const DensityField updated = nyx::read_plotfile(fs, config.plotfile_path);
+  const std::size_t n = base.n();
+  // Slab 0 scaled by 1 + growth*1, slab 1 by 1 + growth*2, the rest intact.
+  for (std::size_t x = 0; x < n; x += 5) {
+    for (std::size_t y = 0; y < n; y += 5) {
+      EXPECT_DOUBLE_EQ(updated.at(x, y, 0), base.at(x, y, 0) * (1.0 + config.slab_growth));
+      EXPECT_DOUBLE_EQ(updated.at(x, y, 1),
+                       base.at(x, y, 1) * (1.0 + 2.0 * config.slab_growth));
+      EXPECT_DOUBLE_EQ(updated.at(x, y, 2), base.at(x, y, 2));
+      EXPECT_DOUBLE_EQ(updated.at(x, y, n - 1), base.at(x, y, n - 1));
+    }
+  }
+}
+
+TEST(NyxApp, MultiDumpRunsAreDeterministic) {
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  config.timesteps = 2;
+  nyx::NyxApp app(config);
+  core::AnalysisResult results[2];
+  for (auto& result : results) {
+    vfs::MemFs fs;
+    core::RunContext ctx{.fs = fs, .app_seed = 9, .instrumented_stage = -1,
+                         .instrument = nullptr};
+    app.run(ctx);
+    result = app.analyze(fs);
+  }
+  EXPECT_EQ(results[0].comparison_blob, results[1].comparison_blob);
+}
+
+TEST(NyxApp, SlabUpdateWritesOnlyTheSlab) {
+  nyx::NyxConfig config;
+  config.field.n = 16;  // slab = 16*16*8 = 2 KiB of a ~35 KiB file
+  config.timesteps = 2;
+  nyx::NyxApp app(config);
+  vfs::MemFs backing;
+  vfs::CountingFs counting(backing);
+  core::RunContext ctx{.fs = backing, .app_seed = 1, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  // Stage 1 via the plain run of a single-dump twin, then count only the
+  // in-place update traffic of stage 2.
+  nyx::NyxConfig first = config;
+  first.timesteps = 1;
+  nyx::NyxApp{first}.run(ctx);
+  core::RunContext update_ctx{.fs = counting, .app_seed = 1, .instrumented_stage = -1,
+                              .instrument = nullptr};
+  app.run_from(update_ctx, 2);
+  const std::uint64_t slab_bytes = 16ull * 16ull * sizeof(double);
+  EXPECT_EQ(counting.bytes_written(), slab_bytes);
+  EXPECT_EQ(counting.count(vfs::Primitive::Truncate), 0u);  // strictly in place
 }
 
 TEST(NyxApp, ClassifyPaperRule) {

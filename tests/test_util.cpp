@@ -10,6 +10,7 @@
 #include <set>
 
 #include "ffis/util/bytes.hpp"
+#include "ffis/util/chunking.hpp"
 #include "ffis/util/env.hpp"
 #include "ffis/util/rng.hpp"
 #include "ffis/util/strfmt.hpp"
@@ -338,6 +339,71 @@ TEST(ThreadPool, ParallelForZeroIterations) {
   bool called = false;
   parallel_for(pool, 0, [&](std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// --- chunk arithmetic --------------------------------------------------------
+
+TEST(Chunking, IndexBeginIntraCount) {
+  EXPECT_EQ(chunk_index(0, 16), 0u);
+  EXPECT_EQ(chunk_index(15, 16), 0u);
+  EXPECT_EQ(chunk_index(16, 16), 1u);
+  EXPECT_EQ(chunk_begin(3, 16), 48u);
+  EXPECT_EQ(intra_chunk(0, 16), 0u);
+  EXPECT_EQ(intra_chunk(17, 16), 1u);
+  EXPECT_EQ(chunk_count(0, 16), 0u);
+  EXPECT_EQ(chunk_count(1, 16), 1u);
+  EXPECT_EQ(chunk_count(16, 16), 1u);
+  EXPECT_EQ(chunk_count(17, 16), 2u);
+}
+
+TEST(Chunking, SliceDecompositionCoversRangeExactly) {
+  // [5, 41) over 16-byte chunks: [5,16) in chunk 0, [0,16) in 1, [0,9) in 2.
+  std::vector<ChunkSlice> slices;
+  for_each_chunk_slice(5, 36, 16, [&](const ChunkSlice& s) { slices.push_back(s); });
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].index, 0u);
+  EXPECT_EQ(slices[0].begin, 5u);
+  EXPECT_EQ(slices[0].length, 11u);
+  EXPECT_EQ(slices[0].buf_offset, 0u);
+  EXPECT_EQ(slices[1].index, 1u);
+  EXPECT_EQ(slices[1].begin, 0u);
+  EXPECT_EQ(slices[1].length, 16u);
+  EXPECT_EQ(slices[1].buf_offset, 11u);
+  EXPECT_EQ(slices[2].index, 2u);
+  EXPECT_EQ(slices[2].begin, 0u);
+  EXPECT_EQ(slices[2].length, 9u);
+  EXPECT_EQ(slices[2].buf_offset, 27u);
+}
+
+TEST(Chunking, SliceWithinOneChunkAndAtBoundaries) {
+  std::vector<ChunkSlice> slices;
+  for_each_chunk_slice(32, 16, 16, [&](const ChunkSlice& s) { slices.push_back(s); });
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].index, 2u);
+  EXPECT_EQ(slices[0].begin, 0u);
+  EXPECT_EQ(slices[0].length, 16u);
+
+  slices.clear();
+  for_each_chunk_slice(100, 0, 16, [&](const ChunkSlice& s) { slices.push_back(s); });
+  EXPECT_TRUE(slices.empty());
+}
+
+TEST(Chunking, SlicesSumToLengthForAwkwardGeometry) {
+  // Property over a grid of offsets/lengths with a prime chunk size.
+  for (std::uint64_t offset : {0ull, 1ull, 6ull, 7ull, 13ull, 700ull}) {
+    for (std::size_t length : {0u, 1u, 6u, 7u, 8u, 50u, 701u}) {
+      std::size_t total = 0;
+      std::size_t expect_buf = 0;
+      for_each_chunk_slice(offset, length, 7, [&](const ChunkSlice& s) {
+        EXPECT_EQ(s.buf_offset, expect_buf);
+        EXPECT_LE(s.begin + s.length, 7u);
+        EXPECT_GT(s.length, 0u);
+        total += s.length;
+        expect_buf += s.length;
+      });
+      EXPECT_EQ(total, length);
+    }
+  }
 }
 
 TEST(ThreadPool, ParallelSumMatchesSerial) {

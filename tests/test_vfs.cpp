@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "ffis/vfs/counting_fs.hpp"
+#include "ffis/vfs/extent_store.hpp"
 #include "ffis/vfs/file_system.hpp"
 #include "ffis/vfs/mem_fs.hpp"
 #include "ffis/vfs/passthrough_fs.hpp"
@@ -234,6 +235,51 @@ TEST_P(BackendTest, TruncateShrinksAndGrows) {
   EXPECT_EQ(fs().stat("/f").size, 5u);
 }
 
+TEST_P(BackendTest, FtruncateShrinksAndGrowsThroughHandle) {
+  vfs::write_file(fs(), "/f", bytes_of("123456"));
+  vfs::File f(fs(), "/f", OpenMode::ReadWrite);
+  f.ftruncate(3);
+  EXPECT_EQ(fs().stat("/f").size, 3u);
+  f.ftruncate(5);
+  EXPECT_EQ(fs().stat("/f").size, 5u);
+  // The grown tail reads as zeros.
+  util::Bytes buf(5);
+  ASSERT_EQ(f.pread(buf, 0), 5u);
+  EXPECT_EQ(buf[0], std::byte{'1'});
+  EXPECT_EQ(buf[3], std::byte{0});
+  EXPECT_EQ(buf[4], std::byte{0});
+}
+
+TEST_P(BackendTest, FtruncateShrinkThenGrowZeroesStaleBytes) {
+  vfs::write_file(fs(), "/f", bytes_of("ABCDEFGH"));
+  vfs::File f(fs(), "/f", OpenMode::ReadWrite);
+  f.ftruncate(2);
+  f.ftruncate(8);
+  util::Bytes buf(8);
+  ASSERT_EQ(f.pread(buf, 0), 8u);
+  EXPECT_EQ(util::to_string(util::ByteSpan(buf).subspan(0, 2)), "AB");
+  for (std::size_t i = 2; i < 8; ++i) EXPECT_EQ(buf[i], std::byte{0}) << i;
+}
+
+TEST_P(BackendTest, FtruncateRejectsReadOnlyHandleUniformly) {
+  // Both backends must report the same error code (MemFs natively,
+  // PosixFs by mapping the syscall's EINVAL), so portable callers can
+  // catch one thing.
+  vfs::write_file(fs(), "/ro", bytes_of("x"));
+  vfs::File f(fs(), "/ro", OpenMode::Read);
+  try {
+    f.ftruncate(0);
+    FAIL() << "ftruncate on a read-only handle must throw";
+  } catch (const VfsError& e) {
+    EXPECT_EQ(e.code(), VfsError::Code::InvalidArgument);
+  }
+}
+
+TEST_P(BackendTest, FtruncateRejectsBadHandle) {
+  EXPECT_THROW(fs().ftruncate(vfs::kInvalidHandle, 0), VfsError);
+  EXPECT_THROW(fs().ftruncate(99, 0), VfsError);
+}
+
 TEST_P(BackendTest, MknodCreatesEmptyFileWithMode) {
   fs().mknod("/node", 0640);
   EXPECT_TRUE(fs().exists("/node"));
@@ -450,6 +496,223 @@ TEST(MemFsFork, ForkOfForkSharesTransitively) {
   // a and b still share; c detached.
   EXPECT_EQ(a.cow_shared_bytes(), 64u);
   EXPECT_EQ(c.cow_shared_bytes(), 0u);
+}
+
+TEST(MemFs, FtruncateWorksOnUnlinkedButOpenFile) {
+  vfs::MemFs fs;
+  vfs::write_file(fs, "/f", bytes_of("123456"));
+  vfs::File f(fs, "/f", OpenMode::ReadWrite);
+  fs.unlink("/f");
+  // The path-based truncate can no longer see the file...
+  EXPECT_THROW(fs.truncate("/f", 3), VfsError);
+  // ...but the handle-based one follows POSIX and keeps working.
+  f.ftruncate(3);
+  util::Bytes buf(8);
+  EXPECT_EQ(f.pread(buf, 0), 3u);
+  EXPECT_EQ(util::to_string(util::ByteSpan(buf).subspan(0, 3)), "123");
+}
+
+// --- ExtentStore -------------------------------------------------------------
+
+TEST(ExtentStore, ReadWriteRoundtripAcrossChunkBoundaries) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  const util::Bytes payload = bytes_of("The quick brown fox jumps over the lazy dog");
+  store.write(3, payload, stats);
+  EXPECT_EQ(store.size(), 3 + payload.size());
+
+  util::Bytes buf(payload.size());
+  EXPECT_EQ(store.read(3, buf), payload.size());
+  EXPECT_EQ(buf, payload);
+  // The 3-byte gap before the payload reads as zeros.
+  util::Bytes head(3);
+  EXPECT_EQ(store.read(0, head), 3u);
+  EXPECT_EQ(head, util::Bytes(3));
+}
+
+TEST(ExtentStore, HolesReadAsZeroAndCostNoChunks) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  store.write(64, bytes_of("end"), stats);
+  EXPECT_EQ(store.size(), 67u);
+  // Only the chunk actually written is allocated; the gap is a hole.
+  EXPECT_EQ(store.allocated_chunks(), 1u);
+  EXPECT_EQ(stats.chunks_allocated, 1u);
+  util::Bytes buf(67);
+  EXPECT_EQ(store.read(0, buf), 67u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(buf[i], std::byte{0}) << i;
+  EXPECT_EQ(util::to_string(util::ByteSpan(buf).subspan(64)), "end");
+}
+
+TEST(ExtentStore, SmallFilesCostTheirSizeNotAFullExtent) {
+  vfs::ExtentStore store;  // default 64 KiB chunks
+  vfs::FsStats stats;
+  store.write(0, bytes_of("tiny"), stats);
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.allocated_chunks(), 1u);
+  // shared_bytes counts stored bytes; nothing shared yet.
+  EXPECT_EQ(store.shared_bytes(), 0u);
+  vfs::ExtentStore forked = store;
+  EXPECT_EQ(store.shared_bytes(), 4u);  // the tail chunk holds 4 bytes, not 64 KiB
+  EXPECT_EQ(forked.shared_bytes(), 4u);
+}
+
+TEST(ExtentStore, CopyWritesDetachOnlyTouchedChunks) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  store.write(0, util::Bytes(64, std::byte{0xAA}), stats);  // 8 full chunks
+  EXPECT_EQ(stats.chunks_allocated, 8u);
+
+  vfs::ExtentStore forked = store;
+  vfs::FsStats fork_stats;
+  forked.write(20, bytes_of("XY"), fork_stats);  // inside chunk 2
+  EXPECT_EQ(fork_stats.chunk_detaches, 1u);
+  EXPECT_EQ(fork_stats.cow_bytes_copied, 8u);
+  EXPECT_EQ(fork_stats.chunks_allocated, 0u);
+  // 7 of 8 chunks still shared both ways.
+  EXPECT_EQ(store.shared_bytes(), 56u);
+  EXPECT_EQ(forked.shared_bytes(), 56u);
+
+  // The original is untouched; the fork sees the write.
+  util::Bytes a(2), b(2);
+  store.read(20, a);
+  forked.read(20, b);
+  EXPECT_EQ(util::to_string(b), "XY");
+  EXPECT_EQ(a, util::Bytes(2, std::byte{0xAA}));
+}
+
+TEST(ExtentStore, FullChunkOverwriteDetachesWithoutCopying) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  store.write(0, util::Bytes(24, std::byte{0xAA}), stats);  // 3 full chunks
+  vfs::ExtentStore forked = store;
+  vfs::FsStats fork_stats;
+  // Rewriting whole extents in place: the detach must not copy bytes that
+  // the write immediately replaces.
+  forked.write(0, util::Bytes(16, std::byte{0xBB}), fork_stats);
+  EXPECT_EQ(fork_stats.chunk_detaches, 2u);
+  EXPECT_EQ(fork_stats.cow_bytes_copied, 0u);
+  util::Bytes buf(24);
+  EXPECT_EQ(forked.read(0, buf), 24u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(buf[i], std::byte{0xBB}) << i;
+  for (std::size_t i = 16; i < 24; ++i) EXPECT_EQ(buf[i], std::byte{0xAA}) << i;
+  store.read(0, buf);
+  EXPECT_EQ(buf, util::Bytes(24, std::byte{0xAA}));  // parent untouched
+}
+
+TEST(ExtentStore, ResizeShrinkDropsChunksAndZeroesTail) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  store.write(0, util::Bytes(30, std::byte{0x55}), stats);
+  store.resize(10, stats);
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.allocated_chunks(), 2u);  // chunks 2..3 dropped
+  store.resize(30, stats);  // grow back: the tail must be zeros now
+  util::Bytes buf(30);
+  EXPECT_EQ(store.read(0, buf), 30u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(buf[i], std::byte{0x55}) << i;
+  for (std::size_t i = 10; i < 30; ++i) EXPECT_EQ(buf[i], std::byte{0}) << i;
+}
+
+TEST(ExtentStore, ResizeShrinkOnSharedTailDetaches) {
+  vfs::ExtentStore store(8);
+  vfs::FsStats stats;
+  store.write(0, util::Bytes(16, std::byte{0x77}), stats);
+  vfs::ExtentStore forked = store;
+  vfs::FsStats fork_stats;
+  forked.resize(4, fork_stats);  // trims shared chunk 0 -> COW detach
+  EXPECT_EQ(fork_stats.chunk_detaches, 1u);
+  EXPECT_EQ(fork_stats.cow_bytes_copied, 4u);
+  // Parent unaffected.
+  EXPECT_EQ(store.size(), 16u);
+  util::Bytes buf(16);
+  EXPECT_EQ(store.read(0, buf), 16u);
+  EXPECT_EQ(buf, util::Bytes(16, std::byte{0x77}));
+}
+
+// --- MemFs storage-layer stats ----------------------------------------------
+
+TEST(MemFsStats, PostForkFirstWriteIsOChunkNotOFile) {
+  // The acceptance bar for the extent refactor: a single small pwrite into a
+  // forked >= 4 MiB file detaches at most 2 extents (1 unless the write
+  // crosses a chunk boundary), so post-fork first-write cost is O(chunk).
+  constexpr std::size_t kFileSize = 4 * 1024 * 1024;
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/plotfile", util::Bytes(kFileSize, std::byte{0x42}));
+
+  vfs::MemFs child = parent.fork();
+  EXPECT_EQ(child.stats().chunk_detaches, 0u);  // forks start with zeroed stats
+
+  {
+    vfs::File f(child, "/plotfile", OpenMode::ReadWrite);
+    f.pwrite(bytes_of("tiny update"), 1'000'000);
+  }
+  const vfs::FsStats stats = child.stats();
+  EXPECT_GE(stats.chunk_detaches, 1u);
+  EXPECT_LE(stats.chunk_detaches, 2u);
+  EXPECT_LE(stats.cow_bytes_copied, 2u * child.chunk_size());
+  EXPECT_LT(stats.cow_bytes_copied, kFileSize / 8);  // nowhere near O(file)
+  // Everything but the touched extent stays shared.
+  EXPECT_GE(child.cow_shared_bytes(), kFileSize - 2u * child.chunk_size());
+  // Both sides still read their own truth.
+  EXPECT_EQ(vfs::read_file(parent, "/plotfile"), util::Bytes(kFileSize, std::byte{0x42}));
+  util::Bytes probe(11);
+  {
+    vfs::File f(child, "/plotfile", OpenMode::Read);
+    ASSERT_EQ(f.pread(probe, 1'000'000), probe.size());
+  }
+  EXPECT_EQ(util::to_string(probe), "tiny update");
+}
+
+TEST(MemFsStats, ChunkSizeIsConfigurableAndInherited) {
+  vfs::MemFs fs(vfs::MemFs::Options{.chunk_size = 1024});
+  EXPECT_EQ(fs.chunk_size(), 1024u);
+  vfs::write_file(fs, "/f", util::Bytes(10 * 1024));
+  EXPECT_EQ(fs.stats().chunks_allocated, 10u);
+  EXPECT_EQ(fs.allocated_chunks(), 10u);
+
+  vfs::MemFs child = fs.fork();
+  EXPECT_EQ(child.chunk_size(), 1024u);  // extents are shared: geometry must match
+  {
+    vfs::File f(child, "/f", OpenMode::ReadWrite);
+    f.pwrite(util::Bytes(1), 0);
+  }
+  EXPECT_EQ(child.stats().chunk_detaches, 1u);
+  EXPECT_EQ(child.stats().cow_bytes_copied, 1024u);
+}
+
+TEST(MemFsStats, RejectsZeroChunkSize) {
+  EXPECT_THROW(vfs::MemFs(vfs::MemFs::Options{.chunk_size = 0}), VfsError);
+}
+
+TEST(MemFsStats, OpenForWriteTruncationIsCowFree) {
+  vfs::MemFs parent;
+  vfs::write_file(parent, "/f", util::Bytes(512 * 1024));
+  vfs::MemFs child = parent.fork();
+  // Rewriting the whole file drops the shared extents instead of copying.
+  vfs::write_file(child, "/f", util::Bytes(100));
+  EXPECT_EQ(child.stats().chunk_detaches, 0u);
+  EXPECT_EQ(child.stats().cow_bytes_copied, 0u);
+  EXPECT_EQ(parent.total_bytes(), 512u * 1024u);
+  EXPECT_EQ(child.total_bytes(), 100u);
+}
+
+TEST(MemFsStats, SparseFileReportsLogicalSizeAndFewChunks) {
+  vfs::MemFs fs(vfs::MemFs::Options{.chunk_size = 4096});
+  {
+    vfs::File f(fs, "/sparse", OpenMode::Write);
+    f.pwrite(bytes_of("x"), 1'000'000);
+  }
+  EXPECT_EQ(fs.stat("/sparse").size, 1'000'001u);
+  EXPECT_EQ(fs.total_bytes(), 1'000'001u);  // logical size
+  EXPECT_EQ(fs.allocated_chunks(), 1u);     // holes cost nothing
+  EXPECT_LE(fs.stored_bytes(), 4096u);      // actual footprint: one extent
+  util::Bytes buf(16);
+  {
+    vfs::File f(fs, "/sparse", OpenMode::Read);
+    EXPECT_EQ(f.pread(buf, 0), 16u);
+  }
+  EXPECT_EQ(buf, util::Bytes(16));
 }
 
 // --- PosixFs specifics -----------------------------------------------------------

@@ -17,6 +17,7 @@
 //   seed = 42
 //   stage = -1               # 1..4 scopes Montage stages
 //   grid = 64                # application-specific extras
+//   timesteps = 1            # nyx: >= 2 adds in-place slab-update dumps
 //
 // Plan config files (plan) use the same dialect split into blocks (see
 // exp::parse_plan_config).  Keys before the first [cell] header are
