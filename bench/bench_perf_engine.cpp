@@ -1,5 +1,6 @@
-// Engine throughput benchmark: checkpoint reuse vs. the classic full-run
-// path, on the stage-instrumented cells that dominate real campaigns:
+// Engine throughput benchmark: the execution fast path (checkpoint reuse)
+// and the classification fast path (extent-diff outcome classification), on
+// the stage-instrumented cells that dominate real campaigns:
 //
 //   * Montage MT3/MT4 — the stages with the most redundant prefix work;
 //   * a 2-dump Nyx cell (stage 2 rewrites one slab of a multi-MB plotfile in
@@ -8,17 +9,33 @@
 //     extents, so cow_bytes_copied stays O(chunk) per run;
 //   * a QMC DMC cell (stage 2), whose prefix is the whole VMC series.
 //
-// All variants execute the identical plan in the same binary; the
-// checkpointed engine must produce bit-identical tallies (asserted here, and
-// exhaustively in tests/test_checkpoint.cpp) at a fraction of the wall time.
-// Results — including the storage-layer counters (extents allocated, COW
-// detaches, bytes copied) and the checkpoint cache's memory — are persisted
+// Three variants execute the identical plan in the same binary:
+//   baseline      — full re-execution, full re-analysis per run
+//   checkpointed  — COW fork + stage resume, full re-analysis per run
+//   diff-class    — COW fork + stage resume + extent-diff classification
+//                   (empty diff => Benign with no analysis; dirty diff =>
+//                   Application::analyze_dirty over only the dirty ranges)
+// All three must produce bit-identical tallies (asserted here, and
+// exhaustively in tests/test_checkpoint.cpp).
+//
+// A separate *analysis-dominated* section measures what diff classification
+// buys once checkpointing has removed execution cost: a 3-dump Nyx cell on a
+// 96^3 field, where the classic path re-reads and re-decodes a ~7 MiB
+// plotfile per run while the diff path splices only the dirty slab into the
+// cached golden field.  The same cell also demonstrates adaptive per-file
+// extent sizing (MemFs::Options::chunk_size_for): large extents for the bulk
+// plotfile shrink chunk bookkeeping without changing semantics.
+//
+// Results — including per-cell execute/analyze phase times, skipped-analysis
+// counts, storage counters and the checkpoint cache's memory — are persisted
 // to BENCH_perf.json (override with --json=PATH or FFIS_BENCH_JSON) so the
-// perf trajectory is tracked across commits.
+// perf trajectory is tracked across commits; CI fails when `speedup` drops
+// below 2.0x.
 //
 //   FFIS_RUNS=N   injection runs per cell (default 300)
 //   FFIS_SEED=S   campaign base seed (default 42)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -61,9 +78,8 @@ struct VariantResult {
   double runs_per_sec = 0.0;
 };
 
-VariantResult run_variant(const ffis::exp::ExperimentPlan& plan, bool use_checkpoints) {
-  ffis::exp::EngineOptions options;
-  options.use_checkpoints = use_checkpoints;
+VariantResult run_variant(const ffis::exp::ExperimentPlan& plan,
+                          const ffis::exp::EngineOptions& options) {
   ffis::exp::Engine engine(options);
   TimingSink sink;
   const auto start = Clock::now();
@@ -80,7 +96,7 @@ VariantResult run_variant(const ffis::exp::ExperimentPlan& plan, bool use_checkp
   return out;
 }
 
-std::string variant_json(const VariantResult& v) {
+std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
   std::vector<std::string> cells;
   for (std::size_t i = 0; i < v.report.cells.size(); ++i) {
     const auto& cell = v.report.cells[i];
@@ -90,9 +106,13 @@ std::string variant_json(const VariantResult& v) {
         .num("runs", cell.runs_completed)
         .num("wall_ms_at_completion",
              i < v.cell_completion_ms.size() ? v.cell_completion_ms[i] : 0.0)
+        .num("chunk_size", static_cast<std::uint64_t>(chunk_size))
         .num("chunks_allocated", cell.chunks_allocated)
         .num("chunk_detaches", cell.chunk_detaches)
         .num("cow_bytes_copied", cell.cow_bytes_copied)
+        .num("execute_ms", cell.execute_ms)
+        .num("analyze_ms", cell.analyze_ms)
+        .num("analyze_skipped", cell.analyze_skipped)
         .raw("checkpointed", cell.checkpointed ? "true" : "false");
     cells.push_back(obj.render());
   }
@@ -105,8 +125,24 @@ std::string variant_json(const VariantResult& v) {
       .num("checkpoint_cache_hits", v.report.checkpoint_cache_hits)
       .num("checkpoint_bytes", v.report.checkpoint_bytes)
       .num("checkpoint_chunks", v.report.checkpoint_chunks)
+      .num("analyses_skipped", v.report.analyses_skipped)
       .raw("cells", ffis::bench::json_array(cells));
   return obj.render();
+}
+
+void assert_identical_tallies(const VariantResult& a, const VariantResult& b,
+                              const char* what) {
+  for (std::size_t i = 0; i < a.report.cells.size(); ++i) {
+    for (std::size_t o = 0; o < ffis::core::kOutcomeCount; ++o) {
+      const auto outcome = static_cast<ffis::core::Outcome>(o);
+      if (a.report.cells[i].tally.count(outcome) !=
+          b.report.cells[i].tally.count(outcome)) {
+        std::fprintf(stderr, "FATAL: tally mismatch in cell %zu — %s is not "
+                             "equivalent\n", i, what);
+        std::exit(1);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -114,8 +150,9 @@ std::string variant_json(const VariantResult& v) {
 int main(int argc, char** argv) {
   using namespace ffis;
 
-  bench::print_header("Engine throughput: checkpoint reuse vs. full re-execution",
-                      "harness performance (methodology §V: mount/unmount per run)");
+  bench::print_header(
+      "Engine throughput: checkpoint reuse + extent-diff classification",
+      "harness performance (methodology §V: mount/unmount per run)");
 
   const std::uint64_t runs = bench::runs_per_cell(300);
 
@@ -155,25 +192,27 @@ int main(int argc, char** argv) {
   std::printf("%llu runs per cell, %zu cells (montage MT3/MT4, nyx dump-2, qmc DMC)\n\n",
               static_cast<unsigned long long>(runs), experiment_plan.size());
 
-  std::printf("-- baseline (full re-execution per run) --\n");
-  const VariantResult baseline = run_variant(experiment_plan, /*use_checkpoints=*/false);
-  std::printf("-- checkpointed (COW fork + stage resume) --\n");
-  const VariantResult checkpointed = run_variant(experiment_plan, /*use_checkpoints=*/true);
+  exp::EngineOptions baseline_options, checkpoint_options, diff_options;
+  baseline_options.use_checkpoints = false;
+  baseline_options.use_diff_classification = false;
+  checkpoint_options.use_checkpoints = true;
+  checkpoint_options.use_diff_classification = false;
+  diff_options.use_checkpoints = true;
+  diff_options.use_diff_classification = true;
 
-  // The whole point of the fast path is that it changes nothing but time.
-  for (std::size_t i = 0; i < experiment_plan.size(); ++i) {
-    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
-      const auto outcome = static_cast<core::Outcome>(o);
-      if (baseline.report.cells[i].tally.count(outcome) !=
-          checkpointed.report.cells[i].tally.count(outcome)) {
-        std::fprintf(stderr, "FATAL: tally mismatch in cell %zu — checkpoint path "
-                             "is not equivalent\n", i);
-        return 1;
-      }
-    }
-  }
+  std::printf("-- baseline (full re-execution + full re-analysis per run) --\n");
+  const VariantResult baseline = run_variant(experiment_plan, baseline_options);
+  std::printf("-- checkpointed (COW fork + stage resume) --\n");
+  const VariantResult checkpointed = run_variant(experiment_plan, checkpoint_options);
+  std::printf("-- diff-classified (checkpoint + extent-diff outcomes) --\n");
+  const VariantResult diffclass = run_variant(experiment_plan, diff_options);
+
+  // The whole point of both fast paths is that they change nothing but time.
+  assert_identical_tallies(baseline, checkpointed, "the checkpoint path");
+  assert_identical_tallies(checkpointed, diffclass, "diff classification");
 
   const double speedup = checkpointed.runs_per_sec / baseline.runs_per_sec;
+  const double diff_speedup = diffclass.runs_per_sec / checkpointed.runs_per_sec;
   std::printf("\nbaseline:     %8.1f runs/sec  (%.0f ms)\n", baseline.runs_per_sec,
               baseline.wall_ms);
   std::printf("checkpointed: %8.1f runs/sec  (%.0f ms, %llu capture%s / %.1f MiB held, "
@@ -184,22 +223,113 @@ int main(int argc, char** argv) {
               static_cast<double>(checkpointed.report.checkpoint_bytes) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(checkpointed.report.checkpoint_cache_hits),
               checkpointed.report.checkpoint_cache_hits == 1 ? "" : "s");
-  std::printf("speedup:      %8.2fx\n", speedup);
-  for (const auto& cell : checkpointed.report.cells) {
-    const auto& base = baseline.report.cells[cell.index];
-    std::printf("  %-28s cow %8.1f KiB/run (%llu detaches)   alloc %6llu vs %llu chunks\n",
+  std::printf("diff-class:   %8.1f runs/sec  (%.0f ms, %llu of %llu analyses skipped)\n",
+              diffclass.runs_per_sec, diffclass.wall_ms,
+              static_cast<unsigned long long>(diffclass.report.analyses_skipped),
+              static_cast<unsigned long long>(diffclass.report.total_runs));
+  std::printf("speedup:      %8.2fx (checkpoint vs baseline), %.2fx more from "
+              "diff classification\n", speedup, diff_speedup);
+  for (const auto& cell : diffclass.report.cells) {
+    const auto& cp = checkpointed.report.cells[cell.index];
+    std::printf("  %-28s cow %8.1f KiB/run   analyze %7.1f -> %7.1f ms (%llu skipped)\n",
                 cell.cell.label.c_str(),
                 cell.runs_completed == 0
                     ? 0.0
                     : static_cast<double>(cell.cow_bytes_copied) / 1024.0 /
                           static_cast<double>(cell.runs_completed),
-                static_cast<unsigned long long>(cell.chunk_detaches),
-                static_cast<unsigned long long>(cell.chunks_allocated),
-                static_cast<unsigned long long>(base.chunks_allocated));
+                cp.analyze_ms, cell.analyze_ms,
+                static_cast<unsigned long long>(cell.analyze_skipped));
   }
+
+  // --- Analysis-dominated cell: what diff classification alone buys ---------
+  //
+  // A 3-dump Nyx run on a 96^3 field: stage 3 rewrites slab z=1, which sits
+  // strictly inside the dataset's raw data (64 KiB extents), so the diff
+  // path splices ~2 dirty extents into the cached golden field instead of
+  // re-reading and re-decoding the whole ~6.9 MiB plotfile every run.
+  // Checkpointing is ON in both variants: execution cost is already removed,
+  // isolating the classification half of the hot loop.
+  nyx::NyxConfig analysis_config;
+  analysis_config.field.n = 96;
+  analysis_config.timesteps = 3;
+  nyx::NyxApp analysis_nyx(analysis_config);
+
+  const std::uint64_t analysis_runs = std::max<std::uint64_t>(runs / 3, 20);
+  auto analysis_builder = bench::plan(analysis_runs);
+  analysis_builder.cell(analysis_nyx, "BF", 3, "NYX96-ANALYSIS");
+  const auto analysis_plan = analysis_builder.build();
+
+  std::printf("\n-- analysis-dominated cell (nyx 96^3, stage 3 slab rewrite, "
+              "%llu runs) --\n", static_cast<unsigned long long>(analysis_runs));
+  const VariantResult analysis_full = run_variant(analysis_plan, checkpoint_options);
+  const VariantResult analysis_diff = run_variant(analysis_plan, diff_options);
+  assert_identical_tallies(analysis_full, analysis_diff, "diff classification");
+
+  const double analysis_speedup = analysis_diff.runs_per_sec / analysis_full.runs_per_sec;
+  std::printf("full re-analysis: %8.1f runs/sec (analyze %.0f ms total)\n",
+              analysis_full.runs_per_sec, analysis_full.report.cells[0].analyze_ms);
+  std::printf("extent-diff:      %8.1f runs/sec (analyze %.0f ms total, %llu skipped)\n",
+              analysis_diff.runs_per_sec, analysis_diff.report.cells[0].analyze_ms,
+              static_cast<unsigned long long>(analysis_diff.report.cells[0].analyze_skipped));
+  std::printf("analysis speedup: %8.2fx\n", analysis_speedup);
+
+  // --- Adaptive per-file extent sizing ---------------------------------------
+  //
+  // The 2-dump Nyx cell again, but the bulk plotfile gets 256 KiB extents
+  // while everything else keeps the default.  Chunk bookkeeping (extent
+  // table entries per fork, checkpoint-cache chunks) shrinks ~4x at flat
+  // throughput; the trade-off — a COW detach now copies a larger extent —
+  // is visible in the cow_bytes_copied column, which is why extent size is
+  // a per-file knob and not a bigger global default.
+  constexpr std::size_t kPlotfileChunk = 256 * 1024;
+  const std::uint64_t adaptive_runs = std::max<std::uint64_t>(runs / 3, 20);
+  auto adaptive_builder = bench::plan(adaptive_runs);
+  adaptive_builder.cell(nyx, "BF", 2, "NYX2-ADAPTIVE");
+  const auto adaptive_plan = adaptive_builder.build();
+
+  exp::EngineOptions adaptive_options = diff_options;
+  adaptive_options.fs_options.chunk_size_for =
+      [](const std::string& path) -> std::size_t {
+    return path.ends_with(".h5") ? kPlotfileChunk : 0;
+  };
+  std::printf("\n-- adaptive extents (nyx plotfile at 256 KiB, default 64 KiB) --\n");
+  const VariantResult uniform = run_variant(adaptive_plan, diff_options);
+  const VariantResult adaptive = run_variant(adaptive_plan, adaptive_options);
+  assert_identical_tallies(uniform, adaptive, "adaptive extent sizing");
+  std::printf("chunks: %llu (uniform) -> %llu (adaptive); cow/run %.0f -> %.0f KiB; "
+              "%.1f -> %.1f runs/sec\n",
+              static_cast<unsigned long long>(uniform.report.checkpoint_chunks +
+                                              uniform.report.cells[0].chunks_allocated),
+              static_cast<unsigned long long>(adaptive.report.checkpoint_chunks +
+                                              adaptive.report.cells[0].chunks_allocated),
+              static_cast<double>(uniform.report.cells[0].cow_bytes_copied) / 1024.0 /
+                  static_cast<double>(adaptive_runs),
+              static_cast<double>(adaptive.report.cells[0].cow_bytes_copied) / 1024.0 /
+                  static_cast<double>(adaptive_runs),
+              uniform.runs_per_sec, adaptive.runs_per_sec);
 
   const std::string json_path =
       bench::json_output_path(argc, argv, "BENCH_perf.json").value_or("BENCH_perf.json");
+  ffis::bench::JsonObject analysis_doc;
+  analysis_doc.str("label", "NYX96-ANALYSIS")
+      .num("runs_per_cell", analysis_runs)
+      .num("full_runs_per_sec", analysis_full.runs_per_sec)
+      .num("diff_runs_per_sec", analysis_diff.runs_per_sec)
+      .num("analysis_speedup", analysis_speedup)
+      .num("full_analyze_ms", analysis_full.report.cells[0].analyze_ms)
+      .num("diff_analyze_ms", analysis_diff.report.cells[0].analyze_ms)
+      .num("analyses_skipped", analysis_diff.report.cells[0].analyze_skipped);
+  ffis::bench::JsonObject adaptive_doc;
+  adaptive_doc.str("label", "NYX2-ADAPTIVE")
+      .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))
+      .num("uniform_chunks", uniform.report.checkpoint_chunks +
+                                 uniform.report.cells[0].chunks_allocated)
+      .num("adaptive_chunks",
+           adaptive.report.checkpoint_chunks + adaptive.report.cells[0].chunks_allocated)
+      .num("uniform_cow_bytes", uniform.report.cells[0].cow_bytes_copied)
+      .num("adaptive_cow_bytes", adaptive.report.cells[0].cow_bytes_copied)
+      .num("uniform_runs_per_sec", uniform.runs_per_sec)
+      .num("adaptive_runs_per_sec", adaptive.runs_per_sec);
   bench::JsonObject doc;
   doc.str("bench", "perf_engine")
       .str("applications", "montage, nyx, qmcpack")
@@ -208,8 +338,13 @@ int main(int argc, char** argv) {
       .num("runs_per_cell", runs)
       .num("cells", static_cast<std::uint64_t>(experiment_plan.size()))
       .num("speedup", speedup)
-      .raw("baseline", variant_json(baseline))
-      .raw("checkpointed", variant_json(checkpointed));
+      .num("diff_speedup", diff_speedup)
+      .num("analysis_speedup", analysis_speedup)
+      .raw("baseline", variant_json(baseline, vfs::ExtentStore::kDefaultChunkSize))
+      .raw("checkpointed", variant_json(checkpointed, vfs::ExtentStore::kDefaultChunkSize))
+      .raw("diff_classified", variant_json(diffclass, vfs::ExtentStore::kDefaultChunkSize))
+      .raw("analysis_dominated", analysis_doc.render())
+      .raw("adaptive_extents", adaptive_doc.render());
   bench::write_json_file(json_path, doc);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

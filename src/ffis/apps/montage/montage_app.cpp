@@ -88,6 +88,16 @@ core::AnalysisResult MontageApp::analyze(vfs::FileSystem& fs) const {
   return result;
 }
 
+core::AnalysisResult MontageApp::analyze_dirty(vfs::FileSystem& fs, const vfs::FsDiff& diff,
+                                               const core::AnalysisResult& golden,
+                                               const core::GoldenArtifacts* /*artifacts*/) const {
+  const auto& paths = config_.paths;
+  if (!diff.touches(paths.preview()) && !diff.touches(paths.statistics())) {
+    return golden;
+  }
+  return analyze(fs);
+}
+
 core::Outcome MontageApp::classify(const core::AnalysisResult& /*golden*/,
                                    const core::AnalysisResult& faulty) const {
   const double min_value = faulty.metric("min");

@@ -38,6 +38,14 @@ class MontageApp final : public core::Application {
   void run_prefix(const core::RunContext& ctx, int stage) const override;
   void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  /// Short-circuits untouched end-of-pipeline artifacts: the analysis reads
+  /// only the preview image and the statistics file, so when the extent diff
+  /// proves both untouched (the fault corrupted an intermediate tile that
+  /// never propagated, or a stray file) the golden analysis is returned with
+  /// zero reads.  Either artifact touched → full analysis.
+  [[nodiscard]] core::AnalysisResult analyze_dirty(
+      vfs::FileSystem& fs, const vfs::FsDiff& diff, const core::AnalysisResult& golden,
+      const core::GoldenArtifacts* artifacts) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 

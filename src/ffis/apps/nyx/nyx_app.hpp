@@ -57,6 +57,25 @@ class NyxApp final : public core::Application {
   void run_prefix(const core::RunContext& ctx, int stage) const override;
   void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  /// Caches the decoded golden plotfile dataset (values + float format) and
+  /// the planned layout addresses, so analyze_dirty can splice instead of
+  /// re-reading.  Per-chunk/per-slab *partial sums* are deliberately not
+  /// cached: updating a golden sum by the dirty slabs' delta changes the
+  /// floating-point summation order, which would break the bit-identical
+  /// outcome guarantee — caching the data itself is both safe and strictly
+  /// more useful.
+  [[nodiscard]] std::shared_ptr<const core::GoldenArtifacts> golden_artifacts(
+      vfs::FileSystem& golden_fs, const core::AnalysisResult& golden) const override;
+  /// Diff-driven analysis: plotfile untouched → the golden analysis verbatim
+  /// (zero reads); dirty ranges confined to the dataset's raw-data region
+  /// (located via the cached h5::plan_layout addresses) → pread and decode
+  /// only the affected slabs, splice them into the cached golden field, and
+  /// re-run the halo finder on the reconstruction; anything touching
+  /// metadata, the file size, or the path itself → full analyze(), so
+  /// corrupted-metadata crashes and ARD shifts behave identically.
+  [[nodiscard]] core::AnalysisResult analyze_dirty(
+      vfs::FileSystem& fs, const vfs::FsDiff& diff, const core::AnalysisResult& golden,
+      const core::GoldenArtifacts* artifacts) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 
@@ -70,6 +89,8 @@ class NyxApp final : public core::Application {
   [[nodiscard]] std::shared_ptr<const DensityField> field(std::uint64_t seed) const;
 
  private:
+  /// Shared tail of analyze / analyze_dirty: catalog -> report + metrics.
+  [[nodiscard]] core::AnalysisResult analysis_from_catalog(const HaloCatalog& catalog) const;
   void run_range(const core::RunContext& ctx, int first, int last) const;
   void update_slab(const core::RunContext& ctx, const DensityField& f, int t) const;
   /// Cumulative growth factor applied to slab `z` by dumps 2..up_to.

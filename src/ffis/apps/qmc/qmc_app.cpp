@@ -90,6 +90,13 @@ core::AnalysisResult QmcApp::analyze(vfs::FileSystem& fs) const {
   return result;
 }
 
+core::AnalysisResult QmcApp::analyze_dirty(vfs::FileSystem& fs, const vfs::FsDiff& diff,
+                                           const core::AnalysisResult& golden,
+                                           const core::GoldenArtifacts* /*artifacts*/) const {
+  if (!diff.touches(dmc_path())) return golden;
+  return analyze(fs);
+}
+
 core::Outcome QmcApp::classify(const core::AnalysisResult& /*golden*/,
                                const core::AnalysisResult& faulty) const {
   // Binary garbage in the text series is corruption the tool chain reports.

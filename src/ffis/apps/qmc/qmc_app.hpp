@@ -46,6 +46,15 @@ class QmcApp final : public core::Application {
   void run_prefix(const core::RunContext& ctx, int stage) const override;
   void run_from(const core::RunContext& ctx, int stage) const override;
   [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override;
+  /// The analysis depends only on the s001 DMC series: when the extent diff
+  /// proves that file untouched (the fault landed in s000, the input echo,
+  /// or a stray file), the golden analysis *is* this run's analysis — zero
+  /// reads.  A touched s001 re-runs the full QMCA (the series is small and
+  /// its statistics window the whole file, so partial re-derivation cannot
+  /// beat a single pass).
+  [[nodiscard]] core::AnalysisResult analyze_dirty(
+      vfs::FileSystem& fs, const vfs::FsDiff& diff, const core::AnalysisResult& golden,
+      const core::GoldenArtifacts* artifacts) const override;
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,7 @@
 #include "ffis/faults/faulting_fs.hpp"
 #include "ffis/util/bytes.hpp"
 #include "ffis/vfs/file_system.hpp"
+#include "ffis/vfs/fs_diff.hpp"
 
 namespace ffis::core {
 
@@ -78,6 +80,15 @@ struct AnalysisResult {
   }
 };
 
+/// Base for application-defined artifacts derived once from the golden run
+/// and consumed by analyze_dirty on every faulty run (e.g. Nyx caches the
+/// decoded golden density field so dirty runs splice only the changed
+/// extents instead of re-reading the whole plotfile).  Applications
+/// dynamic_cast back to their concrete type.
+struct GoldenArtifacts {
+  virtual ~GoldenArtifacts() = default;
+};
+
 class Application {
  public:
   virtual ~Application() = default;
@@ -127,6 +138,49 @@ class Application {
   /// Runs the post-analysis over the output files.  Exceptions propagate as
   /// Crash (e.g. HDF5 metadata validation failure, unparsable scalar file).
   [[nodiscard]] virtual AnalysisResult analyze(vfs::FileSystem& fs) const = 0;
+
+  // --- Diff-driven classification (extent-identity fast path) ---------------
+  //
+  // When the injector knows *how* a run's output tree differs from the
+  // golden tree (vfs::MemFs::diff_tree — extent identity, no re-reads), an
+  // empty diff is classified Benign with no analysis at all, and a non-empty
+  // diff is handed here instead of analyze().  The contract: for any fs
+  // whose tree differs from the golden tree exactly as `diff` describes,
+  //
+  //     analyze_dirty(fs, diff, golden, artifacts)  ==  analyze(fs)
+  //
+  // including thrown exceptions (a metadata corruption must still crash) —
+  // diff-driven classification may change cost, never outcomes.  The default
+  // simply falls back to the full analysis.
+
+  /// Derives reusable artifacts from the golden run, called at most once per
+  /// campaign cell with the golden output tree (`golden_fs`) and analysis.
+  /// The same pointer is then passed to every analyze_dirty call.  Note:
+  /// incremental *statistics* (e.g. updating a golden sum by the dirty
+  /// slabs' delta) are deliberately out of contract — floating-point
+  /// summation order changes the rounding, breaking the bit-identical
+  /// guarantee; cache *data* (decoded fields, raw bytes) instead.
+  [[nodiscard]] virtual std::shared_ptr<const GoldenArtifacts> golden_artifacts(
+      vfs::FileSystem& golden_fs, const AnalysisResult& golden) const {
+    (void)golden_fs;
+    (void)golden;
+    return nullptr;
+  }
+
+  /// Post-analysis restricted to what `diff` says changed.  Implementations
+  /// typically (1) return a copy of `golden` when none of the files analyze()
+  /// reads are touched, (2) re-derive only the affected artifacts otherwise,
+  /// and (3) fall back to analyze(fs) whenever equivalence is not provable
+  /// (metadata regions dirty, sizes changed, artifacts missing).
+  [[nodiscard]] virtual AnalysisResult analyze_dirty(vfs::FileSystem& fs,
+                                                     const vfs::FsDiff& diff,
+                                                     const AnalysisResult& golden,
+                                                     const GoldenArtifacts* artifacts) const {
+    (void)diff;
+    (void)golden;
+    (void)artifacts;
+    return analyze(fs);
+  }
 
   /// Domain classification rule.  The Benign bit-wise test has already been
   /// handled by the caller when comparison blobs match; this is consulted

@@ -30,14 +30,25 @@ class Checkpoint {
   /// app_seed) on a fresh MemFs and freezes the result.  Requires
   /// 1 <= stage <= app.stage_count(); application exceptions propagate
   /// (deterministic apps cannot crash fault-free, so a throw here is a
-  /// configuration error).
+  /// configuration error).  `fs_options` selects the snapshot's extent
+  /// geometry (concurrency is forced to SingleThread) — forks inherit it,
+  /// and diff-driven classification requires golden and run trees to agree.
   [[nodiscard]] static std::shared_ptr<const Checkpoint> capture(
-      const Application& app, std::uint64_t app_seed, int stage);
+      const Application& app, std::uint64_t app_seed, int stage,
+      const vfs::MemFs::Options& fs_options = {});
 
   /// The frozen prefix state.  Callers fork() it; nobody mutates it.
   [[nodiscard]] const vfs::MemFs& fs() const noexcept { return fs_; }
   /// The stage injection runs resume at (== the cell's instrumented stage).
   [[nodiscard]] int stage() const noexcept { return stage_; }
+
+  /// Grows the golden *output* tree from this checkpoint: fork + fault-free
+  /// resume of stages >= stage().  Diff-driven classification diffs every
+  /// run against this tree, and because it derives from the very snapshot
+  /// the runs fork, the whole prefix compares by pointer equality.  The
+  /// engine calls this once per checkpoint key and shares the result.
+  [[nodiscard]] std::shared_ptr<const vfs::MemFs> grow_golden_tree(
+      const Application& app, std::uint64_t app_seed) const;
 
   // --- Snapshot memory accounting -------------------------------------------
   //
@@ -61,11 +72,12 @@ class Checkpoint {
   Checkpoint& operator=(const Checkpoint&) = delete;
 
  private:
-  explicit Checkpoint(int stage) : stage_(stage) {}
+  Checkpoint(int stage, vfs::MemFs::Options options)
+      : fs_(std::move(options)), stage_(stage) {}
 
   /// SingleThread: the capture runs on one thread and the state is frozen
   /// afterwards, so per-run fork() calls never contend on a mutex.
-  vfs::MemFs fs_{vfs::MemFs::Concurrency::SingleThread};
+  vfs::MemFs fs_;
   int stage_;
 };
 

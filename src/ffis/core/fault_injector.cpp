@@ -1,5 +1,6 @@
 #include "ffis/core/fault_injector.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "ffis/util/logging.hpp"
@@ -8,6 +9,16 @@
 
 namespace ffis::core {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(const Application& app, faults::FaultSignature signature,
                              std::uint64_t app_seed, int instrumented_stage)
     : app_(app),
@@ -15,25 +26,86 @@ FaultInjector::FaultInjector(const Application& app, faults::FaultSignature sign
       app_seed_(app_seed),
       instrumented_stage_(instrumented_stage) {}
 
+void FaultInjector::require_unprepared(const char* what) const {
+  if (prepared_) {
+    throw std::logic_error(std::string("FaultInjector: ") + what +
+                           " must be set before prepare()");
+  }
+}
+
+void FaultInjector::set_diff_classification(bool on) {
+  require_unprepared("diff classification");
+  diff_classification_ = on;
+}
+
+void FaultInjector::set_fs_options(vfs::MemFs::Options options) {
+  require_unprepared("fs options");
+  fs_options_ = std::move(options);
+}
+
+vfs::MemFs FaultInjector::make_backing() const {
+  vfs::MemFs::Options options = fs_options_;
+  options.concurrency = vfs::MemFs::Concurrency::SingleThread;  // run-private
+  return vfs::MemFs(std::move(options));
+}
+
 AnalysisResult FaultInjector::run_golden(const Application& app, std::uint64_t app_seed) {
+  return run_golden(app, app_seed, nullptr, vfs::MemFs::Options{});
+}
+
+AnalysisResult FaultInjector::run_golden(const Application& app, std::uint64_t app_seed,
+                                         std::shared_ptr<const vfs::MemFs>* tree_out,
+                                         const vfs::MemFs::Options& fs_options) {
   // Golden run: bare backing store (unlocked — the run owns it), no
   // instrumentation.
-  vfs::MemFs golden_fs(vfs::MemFs::Concurrency::SingleThread);
-  RunContext ctx{.fs = golden_fs, .app_seed = app_seed, .instrumented_stage = -1,
+  vfs::MemFs::Options options = fs_options;
+  options.concurrency = vfs::MemFs::Concurrency::SingleThread;
+  auto golden_fs = std::make_shared<vfs::MemFs>(std::move(options));
+  RunContext ctx{.fs = *golden_fs, .app_seed = app_seed, .instrumented_stage = -1,
                  .instrument = nullptr};
   app.run(ctx);
-  return app.analyze(golden_fs);
+  AnalysisResult analysis = app.analyze(*golden_fs);
+  if (tree_out != nullptr) *tree_out = std::move(golden_fs);
+  return analysis;
+}
+
+void FaultInjector::derive_artifacts() {
+  if (!golden_tree_) return;
+  // The golden tree is frozen; hand the application a disposable fork so its
+  // reads (open mutates the handle table) cannot perturb the shared snapshot.
+  vfs::MemFs scratch = golden_tree_->fork(vfs::MemFs::Concurrency::SingleThread);
+  golden_artifacts_ = app_.golden_artifacts(scratch, *golden_);
 }
 
 void FaultInjector::prepare() {
   if (prepared_) return;
-  prepare_with_golden(std::make_shared<const AnalysisResult>(run_golden(app_, app_seed_)));
+  std::shared_ptr<const vfs::MemFs> tree;
+  auto golden = std::make_shared<const AnalysisResult>(
+      run_golden(app_, app_seed_, diff_classification_ ? &tree : nullptr, fs_options_));
+  prepare_with_golden(std::move(golden), std::move(tree));
 }
 
-void FaultInjector::prepare_with_golden(std::shared_ptr<const AnalysisResult> golden) {
+void FaultInjector::prepare_with_golden(std::shared_ptr<const AnalysisResult> golden,
+                                        std::shared_ptr<const vfs::MemFs> golden_tree) {
   if (prepared_) return;
   if (!golden) throw std::invalid_argument("FaultInjector: null golden analysis");
   golden_ = std::move(golden);
+  if (diff_classification_) {
+    if (golden_tree) {
+      golden_tree_ = std::move(golden_tree);
+    } else {
+      // Nobody shared the golden tree; capture our own (the analysis is
+      // already known, the extra run only materializes the output tree).
+      vfs::MemFs::Options options = fs_options_;
+      options.concurrency = vfs::MemFs::Concurrency::SingleThread;
+      auto fs = std::make_shared<vfs::MemFs>(std::move(options));
+      RunContext ctx{.fs = *fs, .app_seed = app_seed_, .instrumented_stage = -1,
+                     .instrument = nullptr};
+      app_.run(ctx);
+      golden_tree_ = std::move(fs);
+    }
+    derive_artifacts();
+  }
 
   // Profiling run: count target-primitive executions fault-free.
   profile_ = IoProfiler::profile(app_, signature_, app_seed_, instrumented_stage_);
@@ -42,7 +114,8 @@ void FaultInjector::prepare_with_golden(std::shared_ptr<const AnalysisResult> go
 }
 
 void FaultInjector::prepare_with_checkpoint(std::shared_ptr<const AnalysisResult> golden,
-                                            std::shared_ptr<const Checkpoint> checkpoint) {
+                                            std::shared_ptr<const Checkpoint> checkpoint,
+                                            std::shared_ptr<const vfs::MemFs> golden_tree) {
   if (prepared_) return;
   if (!golden) throw std::invalid_argument("FaultInjector: null golden analysis");
   if (!checkpoint) throw std::invalid_argument("FaultInjector: null checkpoint");
@@ -51,8 +124,24 @@ void FaultInjector::prepare_with_checkpoint(std::shared_ptr<const AnalysisResult
         "FaultInjector: checkpoint is for stage " + std::to_string(checkpoint->stage()) +
         ", injector instruments stage " + std::to_string(instrumented_stage_));
   }
+  if (diff_classification_ && checkpoint->fs().chunk_size() != fs_options_.chunk_size) {
+    // Surfaced here, at configuration time, rather than as a diff_tree
+    // throw on the first run.  (Per-file chunk_size_for hooks cannot be
+    // compared; mismatches there still surface via diff_tree.)
+    throw std::invalid_argument(
+        "FaultInjector: checkpoint captured with chunk size " +
+        std::to_string(checkpoint->fs().chunk_size()) + " but injector fs options use " +
+        std::to_string(fs_options_.chunk_size) +
+        "; diff classification requires matching extent geometry");
+  }
   golden_ = std::move(golden);
   checkpoint_ = std::move(checkpoint);
+
+  if (diff_classification_) {
+    golden_tree_ = golden_tree ? std::move(golden_tree)
+                               : checkpoint_->grow_golden_tree(app_, app_seed_);
+    derive_artifacts();
+  }
 
   // Folded profiling pass: one instrumented continuation on a fork observes
   // the same gated primitive count as a full profiling run.
@@ -95,9 +184,10 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
   // store and a fresh instrumentation layer per run.  With a checkpoint the
   // fresh store is a copy-on-write fork of the fault-free prefix; either
   // way this run owns it exclusively, so locking is off.
+  const auto execute_start = Clock::now();
   vfs::MemFs backing =
       checkpoint_ ? checkpoint_->fs().fork(vfs::MemFs::Concurrency::SingleThread)
-                  : vfs::MemFs(vfs::MemFs::Concurrency::SingleThread);
+                  : make_backing();
   faults::FaultingFs instrument(backing);
   instrument.arm(signature_, target_instance, feature_seed);
   if (instrumented_stage_ > 0) instrument.set_enabled(false);
@@ -117,34 +207,67 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
     result.fault_fired = instrument.fired();
     result.record = instrument.record();
     result.crash_reason = e.what();
+    result.execute_ms = ms_since(execute_start);
     result.fs_stats = backing.stats();
     return result;
   }
   result.fault_fired = instrument.fired();
   result.record = instrument.record();
-  // Workload storage traffic; the post-analysis below only reads, so the
-  // counters are final here.
-  result.fs_stats = backing.stats();
+  result.execute_ms = ms_since(execute_start);
   if (!result.fault_fired) {
     util::log_warn("fault did not fire (instance {} of {})", target_instance,
                    profile_.primitive_count);
   }
 
+  // --- Classification --------------------------------------------------------
   // Post-analysis reads go straight to the backing store; the fault has
-  // already landed on the "device".
+  // already landed on the "device".  With diff classification the extent
+  // diff runs first: an empty diff proves the tree bit-identical to the
+  // golden output, so the Benign verdict needs no analysis (and no reads)
+  // at all; a non-empty diff is analyzed over only the dirty ranges.
+  const auto analyze_start = Clock::now();
+  bool classified = false;
+  // The diff runs outside the Crash-conversion try: a diff_tree failure
+  // (mismatched extent geometry) is harness misconfiguration, and recording
+  // it as an application Crash would silently corrupt the tally — let it
+  // propagate to the caller instead.
+  std::optional<vfs::FsDiff> diff;
+  if (diff_classification_ && golden_tree_ != nullptr) {
+    diff.emplace(backing.diff_tree(*golden_tree_));
+  }
   try {
-    result.analysis = app_.analyze(backing);
+    if (diff.has_value()) {
+      if (diff->empty()) {
+        result.outcome = Outcome::Benign;
+        result.analyze_skipped = true;
+        classified = true;
+      } else {
+        result.analysis =
+            app_.analyze_dirty(backing, *diff, *golden_, golden_artifacts_.get());
+      }
+    } else {
+      result.analysis = app_.analyze(backing);
+    }
   } catch (const std::exception& e) {
     result.outcome = Outcome::Crash;
     result.crash_reason = e.what();
+    result.analyze_ms = ms_since(analyze_start);
+    result.fs_stats = backing.stats();
     return result;
   }
 
-  if (result.analysis->comparison_blob == golden_->comparison_blob) {
-    result.outcome = Outcome::Benign;
-  } else {
-    result.outcome = app_.classify(*golden_, *result.analysis);
+  if (!classified) {
+    if (result.analysis->comparison_blob == golden_->comparison_blob) {
+      result.outcome = Outcome::Benign;
+    } else {
+      result.outcome = app_.classify(*golden_, *result.analysis);
+    }
   }
+  result.analyze_ms = ms_since(analyze_start);
+  // Counters cover workload and classification; diff_tree itself issues no
+  // FileSystem-level reads, so an analyze_skipped run of a write-only
+  // workload reports bytes_read == 0.
+  result.fs_stats = backing.stats();
   return result;
 }
 

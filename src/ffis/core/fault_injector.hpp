@@ -15,6 +15,7 @@
 #include "ffis/core/io_profiler.hpp"
 #include "ffis/core/outcome.hpp"
 #include "ffis/faults/fault_signature.hpp"
+#include "ffis/vfs/mem_fs.hpp"
 
 namespace ffis::core {
 
@@ -24,12 +25,24 @@ struct RunResult {
   faults::InjectionRecord record{};
   /// Present when outcome == Crash: what the application threw.
   std::string crash_reason;
-  /// Faulty analysis, when the run reached post-analysis.
+  /// Faulty analysis, when the run reached post-analysis.  Unset for runs the
+  /// extent diff proved bit-identical to the golden tree (analyze_skipped).
   std::optional<AnalysisResult> analysis;
-  /// Storage-layer counters of the run's private MemFs.  On the checkpoint
-  /// path the backing store is a fork, so these cover only post-fork work:
-  /// cow_bytes_copied is exactly what copy-on-write cost this run.
+  /// Storage-layer counters of the run's private MemFs, covering workload
+  /// *and* classification (bytes_read includes analysis-phase reads; an
+  /// analyze_skipped run of a write-only workload reads zero bytes).  On the
+  /// checkpoint path the backing store is a fork, so the write-side counters
+  /// cover only post-fork work: cow_bytes_copied is exactly what
+  /// copy-on-write cost this run.
   vfs::FsStats fs_stats{};
+  /// Wall time of the workload execution (mount, run/resume, unmount).
+  double execute_ms = 0.0;
+  /// Wall time of outcome classification: the extent diff plus whichever of
+  /// analyze / analyze_dirty ran (0-ish when analyze_skipped).
+  double analyze_ms = 0.0;
+  /// The extent diff was empty, so the run was classified Benign with no
+  /// analysis at all.
+  bool analyze_skipped = false;
 };
 
 class FaultInjector {
@@ -46,7 +59,12 @@ class FaultInjector {
   /// Like prepare(), but reuses a golden analysis computed elsewhere (the
   /// golden run depends only on the application and app_seed, so exp::Engine
   /// caches it across cells) and performs only the profiling pass.
-  void prepare_with_golden(std::shared_ptr<const AnalysisResult> golden);
+  /// `golden_tree` optionally shares the golden run's final output tree for
+  /// diff-driven classification (same cache key as the analysis); when diff
+  /// classification is on and no tree is supplied, the injector executes one
+  /// extra fault-free run to capture its own.
+  void prepare_with_golden(std::shared_ptr<const AnalysisResult> golden,
+                           std::shared_ptr<const vfs::MemFs> golden_tree = nullptr);
 
   /// Checkpoint-reuse preparation: reuses a shared golden AND a pre-fault
   /// checkpoint (the fault-free prefix of stages < instrumented_stage,
@@ -55,17 +73,54 @@ class FaultInjector {
   /// of the checkpoint, and every execute() thereafter forks + resumes
   /// instead of re-running the whole application.  Tallies are bit-identical
   /// to the prepare_with_golden path at the same seeds.
+  ///
+  /// `golden_tree` optionally shares a golden output tree grown from THIS
+  /// checkpoint (fork + fault-free resume — the engine builds one per
+  /// checkpoint key); when diff classification is on and none is supplied,
+  /// the injector grows its own.  The checkpoint must have been captured
+  /// with this injector's fs options (geometry is validated here).
   void prepare_with_checkpoint(std::shared_ptr<const AnalysisResult> golden,
-                               std::shared_ptr<const Checkpoint> checkpoint);
+                               std::shared_ptr<const Checkpoint> checkpoint,
+                               std::shared_ptr<const vfs::MemFs> golden_tree = nullptr);
 
   /// True when execute() resumes from a pre-fault checkpoint.
   [[nodiscard]] bool checkpointed() const noexcept { return checkpoint_ != nullptr; }
+
+  // --- Diff-driven outcome classification -----------------------------------
+  //
+  // When enabled (the default), every execute() computes how the run's final
+  // tree differs from the golden output tree via extent identity
+  // (vfs::MemFs::diff_tree): an empty diff is Outcome::Benign with *no*
+  // analyze() call and zero analysis-phase file reads; a non-empty diff goes
+  // to Application::analyze_dirty (default: full analyze()).  On the
+  // checkpoint path the golden tree is a fork of the same checkpoint the
+  // runs fork, so the whole fault-free prefix diffs by pointer equality.
+  // Tallies are bit-identical with the flag on or off.
+
+  /// Must be called before prepare_* (the golden tree is captured there).
+  void set_diff_classification(bool on);
+  [[nodiscard]] bool diff_classification() const noexcept { return diff_classification_; }
+
+  /// Backing-store options (extent sizing) for every MemFs this injector
+  /// creates — golden trees and per-run stores; concurrency is managed
+  /// internally.  Must be called before prepare_*.  Checkpointed cells must
+  /// capture their checkpoint with the same options (forks inherit geometry
+  /// and diff_tree rejects mismatched chunk sizes).
+  void set_fs_options(vfs::MemFs::Options options);
 
   /// Executes one golden (fault-free, uninstrumented) run of `app` on a
   /// fresh in-memory store and returns its analysis.  prepare() uses this;
   /// it is exposed so campaign drivers can share goldens across injectors.
   [[nodiscard]] static AnalysisResult run_golden(const Application& app,
                                                  std::uint64_t app_seed);
+
+  /// Like run_golden, additionally handing out the run's final output tree
+  /// (for sharing diff-classification golden trees the way analyses are
+  /// shared) and honoring custom backing-store options.
+  [[nodiscard]] static AnalysisResult run_golden(const Application& app,
+                                                 std::uint64_t app_seed,
+                                                 std::shared_ptr<const vfs::MemFs>* tree_out,
+                                                 const vfs::MemFs::Options& fs_options);
 
   [[nodiscard]] const AnalysisResult& golden() const;
   [[nodiscard]] std::uint64_t primitive_count() const;
@@ -83,15 +138,28 @@ class FaultInjector {
 
  private:
   void check_profile() const;  // throws when the primitive never executed
+  void require_unprepared(const char* what) const;
+  /// Derives golden_artifacts_ from golden_tree_ (forked for read access).
+  void derive_artifacts();
+  /// Fresh per-run backing store honoring fs_options_ (SingleThread).
+  [[nodiscard]] vfs::MemFs make_backing() const;
 
   const Application& app_;
   faults::FaultSignature signature_;
   std::uint64_t app_seed_;
   int instrumented_stage_;
   bool prepared_ = false;
+  bool diff_classification_ = true;
+  vfs::MemFs::Options fs_options_{};
   /// Shared so exp::Engine's golden cache can hand one analysis to many
   /// injectors without copying the comparison blobs.
   std::shared_ptr<const AnalysisResult> golden_;
+  /// The golden run's final output tree (diff classification only).  On the
+  /// checkpoint path it is a fork of the checkpoint, so untouched extents
+  /// stay pointer-identical with every run fork.
+  std::shared_ptr<const vfs::MemFs> golden_tree_;
+  /// Application-cached golden artifacts for analyze_dirty (may be null).
+  std::shared_ptr<const GoldenArtifacts> golden_artifacts_;
   /// Pre-fault snapshot shared by every run (null = classic full-run path).
   std::shared_ptr<const Checkpoint> checkpoint_;
   ProfileResult profile_{};

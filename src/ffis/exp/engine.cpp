@@ -24,6 +24,10 @@ using GoldenKey = std::pair<const core::Application*, std::uint64_t>;
 
 struct GoldenSlot {
   std::shared_ptr<const core::AnalysisResult> result;
+  /// The golden run's final output tree, kept only when diff-driven
+  /// classification is on; shared by every non-checkpointed cell of the key
+  /// (checkpointed cells grow their own from the checkpoint instead).
+  std::shared_ptr<const vfs::MemFs> tree;
   std::string error;
   bool executed = false;
 };
@@ -35,6 +39,9 @@ using CheckpointKey = std::tuple<const core::Application*, std::uint64_t, int>;
 
 struct CheckpointSlot {
   std::shared_ptr<const core::Checkpoint> checkpoint;
+  /// Golden output tree grown from this checkpoint (fork + fault-free
+  /// resume), shared by every cell of the key — diff classification only.
+  std::shared_ptr<const vfs::MemFs> golden_tree;
   bool captured = false;
 };
 
@@ -76,6 +83,21 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     cell_golden[i] = it->second;
   }
 
+  // Which golden keys actually need the output *tree* retained: only cells
+  // that will take the prepare_with_golden path diff against it — cells on
+  // the checkpoint path grow a fork-derived tree from their checkpoint
+  // instead, so an all-checkpointed key would otherwise pin a multi-MiB
+  // MemFs for nothing.
+  std::vector<char> golden_tree_needed(golden_keys.size(), 0);
+  if (options_.use_diff_classification) {
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      const Cell& c = cells[i];
+      const bool checkpoint_eligible =
+          options_.use_checkpoints && c.stage >= 1 && c.app->stage_count() >= c.stage;
+      if (!checkpoint_eligible) golden_tree_needed[cell_golden[i]] = 1;
+    }
+  }
+
   std::vector<GoldenSlot> goldens(golden_keys.size());
   util::parallel_for(pool, golden_keys.size(), [&](std::size_t g) {
     if (cancel_requested()) {
@@ -84,7 +106,10 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     }
     try {
       goldens[g].result = std::make_shared<const core::AnalysisResult>(
-          core::FaultInjector::run_golden(*golden_keys[g].first, golden_keys[g].second));
+          core::FaultInjector::run_golden(
+              *golden_keys[g].first, golden_keys[g].second,
+              golden_tree_needed[g] != 0 ? &goldens[g].tree : nullptr,
+              options_.fs_options));
       goldens[g].executed = true;
     } catch (const std::exception& e) {
       goldens[g].error = std::string("golden run failed: ") + e.what();
@@ -129,7 +154,14 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     if (cancel_requested()) return;
     try {
       const auto& [app, app_seed, stage] = checkpoint_keys[k];
-      checkpoints[k].checkpoint = core::Checkpoint::capture(*app, app_seed, stage);
+      checkpoints[k].checkpoint =
+          core::Checkpoint::capture(*app, app_seed, stage, options_.fs_options);
+      if (options_.use_diff_classification) {
+        // One golden output tree per checkpoint key, shared by all of the
+        // key's cells (the injector would otherwise grow one per cell).
+        checkpoints[k].golden_tree =
+            checkpoints[k].checkpoint->grow_golden_tree(*app, app_seed);
+      }
       checkpoints[k].captured = true;
     } catch (const std::exception&) {
       // The prefix is a strict subset of the golden run, which succeeded; a
@@ -178,12 +210,15 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       injectors[i] = std::make_unique<core::FaultInjector>(
           *cells[i].app, generators[i]->signature(), cells[i].app_seed(),
           cells[i].stage);
+      injectors[i]->set_diff_classification(options_.use_diff_classification);
+      injectors[i]->set_fs_options(options_.fs_options);
       const std::size_t cp = cell_checkpoint[i];
       if (cp != kNoCheckpoint && checkpoints[cp].captured) {
-        injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint);
+        injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint,
+                                              checkpoints[cp].golden_tree);
         report.cells[i].checkpointed = true;  // distinct i: no write contention
       } else {
-        injectors[i]->prepare_with_golden(golden.result);
+        injectors[i]->prepare_with_golden(golden.result, golden.tree);
       }
     } catch (const std::exception& e) {
       cell_error[i] = e.what();
@@ -233,6 +268,9 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       out.chunks_allocated += rr.fs_stats.chunks_allocated;
       out.chunk_detaches += rr.fs_stats.chunk_detaches;
       out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
+      out.execute_ms += rr.execute_ms;
+      out.analyze_ms += rr.analyze_ms;
+      if (rr.analyze_skipped) ++out.analyze_skipped;
     }
     if (options_.keep_details) {
       // On cancellation the executed runs need not be a prefix of the slot
@@ -302,7 +340,10 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     emit_in_order();
   }
 
-  for (const auto& cell : report.cells) report.total_runs += cell.runs_completed;
+  for (const auto& cell : report.cells) {
+    report.total_runs += cell.runs_completed;
+    report.analyses_skipped += cell.analyze_skipped;
+  }
   report.cancelled = cancel_requested();
   sink.end(report);
   return report;

@@ -31,6 +31,7 @@
 #include "ffis/exp/plan.hpp"
 #include "ffis/exp/result.hpp"
 #include "ffis/exp/sink.hpp"
+#include "ffis/vfs/mem_fs.hpp"
 
 namespace ffis::exp {
 
@@ -46,6 +47,19 @@ struct EngineOptions {
   /// profiling pass folds into the capture as well.  Tallies are
   /// bit-identical with the flag on or off; off exists for A/B benchmarks.
   bool use_checkpoints = true;
+  /// Diff-driven outcome classification: each run's output tree is compared
+  /// to the golden tree by extent identity (vfs::MemFs::diff_tree); an empty
+  /// diff is Benign with no post-analysis at all, a non-empty diff goes to
+  /// Application::analyze_dirty over only the dirty ranges.  Golden trees
+  /// ride the golden-run cache; checkpointed cells grow theirs from the same
+  /// checkpoint the runs fork, so the prefix diffs by pointer equality.
+  /// Tallies are bit-identical with the flag on or off; off for A/B.
+  bool use_diff_classification = true;
+  /// Backing-store options for golden runs, checkpoints and per-run stores
+  /// (extent sizing — see MemFs::Options::chunk_size_for; concurrency is
+  /// managed by the engine).  One plan-wide value keeps every tree on the
+  /// same extent geometry, which diff classification requires.
+  vfs::MemFs::Options fs_options{};
   /// Invoked with (completed_runs, total_runnable_runs) from worker threads;
   /// cells that fail to prepare contribute no runs to the total, so the
   /// final invocation always reports completed == total.

@@ -28,6 +28,14 @@ struct CellResult {
   std::uint64_t chunks_allocated = 0;
   std::uint64_t chunk_detaches = 0;
   std::uint64_t cow_bytes_copied = 0;
+  /// Wall time summed over the cell's runs, split at the execute/classify
+  /// boundary (RunResult::execute_ms / analyze_ms).  Thread time, not
+  /// elapsed time: runs execute concurrently.
+  double execute_ms = 0.0;
+  double analyze_ms = 0.0;
+  /// Runs whose extent diff was empty — classified Benign with no analysis
+  /// (and no analysis-phase reads) at all.
+  std::uint64_t analyze_skipped = 0;
   bool golden_cached = false;  ///< golden run came from the engine's cache
   /// Injection runs forked a pre-fault checkpoint (stage-instrumented cell of
   /// a stage-resumable application) instead of re-running the whole workload.
@@ -56,6 +64,8 @@ struct ExperimentReport {
   /// footprint, not logical file sizes (sparse payloads store less).
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t checkpoint_chunks = 0;
+  /// Runs classified Benign straight from the extent diff, plan-wide.
+  std::uint64_t analyses_skipped = 0;
   bool cancelled = false;
 };
 

@@ -16,13 +16,26 @@ namespace {
 constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+    "golden_cached,checkpointed,error";
+
+/// Earlier on-disk generations, still readable so archived campaign grids
+/// stay loadable for comparison.  The document's header picks the layout;
+/// absent columns default to zero.
+///
+/// Extent-store era (storage-traffic columns, no phase timers):
+constexpr const char* kExtentCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
     "cow_bytes_copied,golden_cached,checkpointed,error";
 
-/// Pre-extent-store header (no storage-traffic columns); still readable so
-/// archived campaign grids stay loadable for comparison.
+/// Pre-extent-store era (no storage-traffic columns either):
 constexpr const char* kLegacyCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
+
+/// Which column set a document uses (decided by its header).
+enum class CsvGeneration { Legacy16, Extent19, Timed22 };
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -102,6 +115,25 @@ int parse_i32(const std::string& s, const char* what) {
   return *v;
 }
 
+double parse_ms(const std::string& s, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("bad ") + what + " value: '" + s + "'");
+  }
+}
+
+/// Milliseconds with fixed sub-microsecond precision — enough for phase
+/// timers, stable across locales and round-trippable by parse_ms.
+std::string format_ms(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4f", ms);
+  return buf;
+}
+
 }  // namespace
 
 SinkRow to_sink_row(const CellResult& result) {
@@ -119,6 +151,9 @@ SinkRow to_sink_row(const CellResult& result) {
   row.chunks_allocated = result.chunks_allocated;
   row.chunk_detaches = result.chunk_detaches;
   row.cow_bytes_copied = result.cow_bytes_copied;
+  row.execute_ms = result.execute_ms;
+  row.analyze_ms = result.analyze_ms;
+  row.analyze_skipped = result.analyze_skipped;
   row.golden_cached = result.golden_cached;
   row.checkpointed = result.checkpointed;
   row.error = result.error;
@@ -151,7 +186,7 @@ void ConsoleTableSink::cell(const CellResult& result) {
 void ConsoleTableSink::end(const ExperimentReport& report) {
   std::fprintf(out_, "[%zu cells, %llu runs; %llu golden execution%s, %llu served "
                      "from cache; %llu checkpoint capture%s (%.1f MiB held), "
-                     "%llu reused%s]\n",
+                     "%llu reused; %llu analys%s skipped by extent diff%s]\n",
                report.cells.size(), static_cast<unsigned long long>(report.total_runs),
                static_cast<unsigned long long>(report.golden_executions),
                report.golden_executions == 1 ? "" : "s",
@@ -160,6 +195,8 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                report.checkpoint_builds == 1 ? "" : "s",
                static_cast<double>(report.checkpoint_bytes) / (1024.0 * 1024.0),
                static_cast<unsigned long long>(report.checkpoint_cache_hits),
+               static_cast<unsigned long long>(report.analyses_skipped),
+               report.analyses_skipped == 1 ? "is" : "es",
                report.cancelled ? "; CANCELLED" : "");
 }
 
@@ -182,7 +219,9 @@ void CsvSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Sdc) << ','
        << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
        << row.chunks_allocated << ',' << row.chunk_detaches << ','
-       << row.cow_bytes_copied << ',' << (row.golden_cached ? 1 : 0) << ','
+       << row.cow_bytes_copied << ',' << format_ms(row.execute_ms) << ','
+       << format_ms(row.analyze_ms) << ',' << row.analyze_skipped << ','
+       << (row.golden_cached ? 1 : 0) << ','
        << (row.checkpointed ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
 }
 
@@ -205,7 +244,9 @@ void JsonlSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Crash) << ",\"faults_not_fired\":"
        << row.faults_not_fired << ",\"chunks_allocated\":" << row.chunks_allocated
        << ",\"chunk_detaches\":" << row.chunk_detaches << ",\"cow_bytes_copied\":"
-       << row.cow_bytes_copied << ",\"golden_cached\":"
+       << row.cow_bytes_copied << ",\"execute_ms\":" << format_ms(row.execute_ms)
+       << ",\"analyze_ms\":" << format_ms(row.analyze_ms)
+       << ",\"analyze_skipped\":" << row.analyze_skipped << ",\"golden_cached\":"
        << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
        << (row.checkpointed ? "true" : "false") << ",\"error\":\""
        << json_escape(row.error) << "\"}\n";
@@ -234,12 +275,14 @@ void MultiSink::end(const ExperimentReport& report) {
 
 namespace {
 
-SinkRow row_from_fields(const std::vector<std::string>& f, bool legacy) {
-  // 19 fields is the current layout; 16 is the pre-extent-store one (no
-  // storage-traffic columns — they default to 0).  The document's header
-  // decides which applies: a row whose count disagrees with its own header
-  // is truncation/corruption, never the other layout.
-  const std::size_t expected = legacy ? 16 : 19;
+SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
+  // 22 fields is the current layout; 19 the extent-store era (no phase
+  // timers); 16 the pre-extent-store era (no storage-traffic columns
+  // either) — absent columns default to 0.  The document's header decides
+  // which applies: a row whose count disagrees with its own header is
+  // truncation/corruption, never another layout.
+  const std::size_t expected =
+      gen == CsvGeneration::Legacy16 ? 16 : gen == CsvGeneration::Extent19 ? 19 : 22;
   if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
                                 " fields, expected " + std::to_string(expected));
@@ -259,10 +302,15 @@ SinkRow row_from_fields(const std::vector<std::string>& f, bool legacy) {
   row.tally.add(core::Outcome::Crash, parse_u64(f[11], "crash"));
   row.faults_not_fired = parse_u64(f[12], "faults_not_fired");
   std::size_t i = 13;
-  if (!legacy) {
+  if (gen != CsvGeneration::Legacy16) {
     row.chunks_allocated = parse_u64(f[i++], "chunks_allocated");
     row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
     row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
+  }
+  if (gen == CsvGeneration::Timed22) {
+    row.execute_ms = parse_ms(f[i++], "execute_ms");
+    row.analyze_ms = parse_ms(f[i++], "analyze_ms");
+    row.analyze_skipped = parse_u64(f[i++], "analyze_skipped");
   }
   row.golden_cached = parse_u64(f[i++], "golden_cached") != 0;
   row.checkpointed = parse_u64(f[i++], "checkpointed") != 0;
@@ -305,6 +353,9 @@ class FlatJsonObject {
   /// Missing key tolerated (legacy records predating the column): 0.
   [[nodiscard]] std::uint64_t u64_or_zero(const std::string& key) const {
     return values_.contains(key) ? u64(key) : 0;
+  }
+  [[nodiscard]] double ms_or_zero(const std::string& key) const {
+    return values_.contains(key) ? parse_ms(at(key), key.c_str()) : 0.0;
   }
   [[nodiscard]] int i32(const std::string& key) const {
     return parse_i32(at(key), key.c_str());
@@ -392,7 +443,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
-  bool legacy = false;
+  CsvGeneration gen = CsvGeneration::Timed22;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -406,13 +457,18 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     // quoted field containing "\r\n" keeps its carriage return.
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
-      if (record != kCsvHeader && record != kLegacyCsvHeader) {
+      if (record == kCsvHeader) {
+        gen = CsvGeneration::Timed22;
+      } else if (record == kExtentCsvHeader) {
+        gen = CsvGeneration::Extent19;
+      } else if (record == kLegacyCsvHeader) {
+        gen = CsvGeneration::Legacy16;
+      } else {
         throw std::invalid_argument("CSV document does not start with the CsvSink header");
       }
-      legacy = record == kLegacyCsvHeader;
       saw_header = true;
     } else {
-      rows.push_back(row_from_fields(split_csv_record(record), legacy));
+      rows.push_back(row_from_fields(split_csv_record(record), gen));
     }
     record.clear();
   }
@@ -447,6 +503,9 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.chunks_allocated = obj.u64_or_zero("chunks_allocated");
     row.chunk_detaches = obj.u64_or_zero("chunk_detaches");
     row.cow_bytes_copied = obj.u64_or_zero("cow_bytes_copied");
+    row.execute_ms = obj.ms_or_zero("execute_ms");
+    row.analyze_ms = obj.ms_or_zero("analyze_ms");
+    row.analyze_skipped = obj.u64_or_zero("analyze_skipped");
     row.golden_cached = obj.boolean("golden_cached");
     row.checkpointed = obj.boolean("checkpointed");
     row.error = obj.str("error");

@@ -113,6 +113,9 @@ struct SinkRow {
   std::uint64_t chunks_allocated = 0;  ///< extents created, summed over runs
   std::uint64_t chunk_detaches = 0;    ///< COW detaches, summed over runs
   std::uint64_t cow_bytes_copied = 0;  ///< bytes copied by COW, summed over runs
+  double execute_ms = 0.0;             ///< workload thread-time, summed over runs
+  double analyze_ms = 0.0;             ///< classification thread-time, summed
+  std::uint64_t analyze_skipped = 0;   ///< runs Benign straight from the extent diff
   bool golden_cached = false;
   bool checkpointed = false;
   std::string error;

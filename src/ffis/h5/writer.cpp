@@ -311,6 +311,18 @@ PackResult pack(const H5File& file, const WriteOptions& opt) {
 
 }  // namespace
 
+std::vector<DatasetRange> dataset_byte_ranges(const WriteInfo& info) {
+  std::vector<DatasetRange> out;
+  out.reserve(info.data_addresses.size());
+  for (std::size_t i = 0; i < info.data_addresses.size(); ++i) {
+    const std::uint64_t end = i + 1 < info.data_addresses.size()
+                                  ? info.data_addresses[i + 1]
+                                  : info.file_size;
+    out.push_back(DatasetRange{info.data_addresses[i], end});
+  }
+  return out;
+}
+
 WriteInfo plan_layout(const H5File& file, const WriteOptions& options) {
   PackResult packed = pack(file, options);
   WriteInfo info;

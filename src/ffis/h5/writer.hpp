@@ -60,4 +60,25 @@ struct WriteInfo {
 /// H5Files (empty `data`) are accepted.
 [[nodiscard]] WriteInfo plan_layout(const H5File& file, const WriteOptions& options = {});
 
+/// Half-open byte range [begin, end) of one dataset's raw data in the
+/// planned file.
+struct DatasetRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] bool contains(std::uint64_t offset, std::uint64_t length) const noexcept {
+    return begin <= offset && offset + length <= end;
+  }
+};
+
+/// Raw-data byte ranges per dataset, in dataset order, derived from a
+/// planned (or written) layout.  Datasets are contiguous and in order, so
+/// dataset i spans [address[i], address[i+1]) and the last one ends at the
+/// file size; everything before the first address is metadata.  This is how
+/// extent-diff dirty ranges are mapped back onto datasets/slabs: a dirty
+/// range inside exactly one DatasetRange re-derives only that dataset's
+/// affected elements, a dirty range below `metadata_size` forces the full
+/// analysis path (metadata corruption must go through the real parser).
+[[nodiscard]] std::vector<DatasetRange> dataset_byte_ranges(const WriteInfo& info);
+
 }  // namespace ffis::h5

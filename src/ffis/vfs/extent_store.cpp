@@ -103,6 +103,79 @@ void ExtentStore::resize(std::uint64_t new_size, FsStats& stats) {
   size_ = new_size;
 }
 
+namespace {
+
+/// Compares the first `len` logical bytes of two (possibly null) chunks.
+bool chunks_equal(const util::Bytes* a, const util::Bytes* b, std::size_t len) noexcept {
+  if (a == b) return true;  // same buffer, or both holes
+  const std::size_t a_len = a != nullptr ? std::min(len, a->size()) : 0;
+  const std::size_t b_len = b != nullptr ? std::min(len, b->size()) : 0;
+  const std::size_t common = std::min(a_len, b_len);
+  if (common > 0 && std::memcmp(a->data(), b->data(), common) != 0) return false;
+  // Whichever side stores more must be zero over the excess; the remainder
+  // (beyond both stored lengths) is zero on both sides by construction.
+  for (std::size_t i = common; i < a_len; ++i) {
+    if ((*a)[i] != std::byte{0}) return false;
+  }
+  for (std::size_t i = common; i < b_len; ++i) {
+    if ((*b)[i] != std::byte{0}) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ByteRange> ExtentStore::diff(const ExtentStore& base) const {
+  if (chunk_size_ != base.chunk_size_) {
+    throw std::invalid_argument(
+        "ExtentStore::diff: chunk sizes differ (" + std::to_string(chunk_size_) +
+        " vs " + std::to_string(base.chunk_size_) +
+        "); extent diffs require identical chunk geometry");
+  }
+  std::vector<ByteRange> out;
+  const std::uint64_t common_size = std::min(size_, base.size_);
+  const std::size_t common_chunks = util::chunk_count(common_size, chunk_size_);
+  const auto append = [&](std::uint64_t begin, std::uint64_t end) {
+    if (end <= begin) return;
+    if (!out.empty() && out.back().end() >= begin) {
+      out.back().length = end - out.back().offset;  // merge adjacent/overlapping
+    } else {
+      out.push_back(ByteRange{begin, end - begin});
+    }
+  };
+  for (std::size_t i = 0; i < common_chunks; ++i) {
+    const Chunk* a = i < chunks_.size() ? &chunks_[i] : nullptr;
+    const Chunk* b = i < base.chunks_.size() ? &base.chunks_[i] : nullptr;
+    // Pointer identity proves equality without touching the payload — the
+    // fast path covering every extent a fork never wrote.
+    if ((a != nullptr ? a->get() : nullptr) == (b != nullptr ? b->get() : nullptr)) {
+      continue;
+    }
+    const std::uint64_t begin = util::chunk_begin(i, chunk_size_);
+    const std::size_t logical =
+        static_cast<std::size_t>(std::min<std::uint64_t>(chunk_size_, common_size - begin));
+    if (!chunks_equal(a != nullptr ? a->get() : nullptr,
+                      b != nullptr ? b->get() : nullptr, logical)) {
+      append(begin, begin + logical);
+    }
+  }
+  // A size change dirties the tail regardless of chunk content: the shorter
+  // side simply has no bytes there.
+  append(common_size, std::max(size_, base.size_));
+  return out;
+}
+
+bool ExtentStore::shares_all_extents_with(const ExtentStore& base) const noexcept {
+  if (size_ != base.size_ || chunk_size_ != base.chunk_size_) return false;
+  const std::size_t n = std::max(chunks_.size(), base.chunks_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::Bytes* a = i < chunks_.size() ? chunks_[i].get() : nullptr;
+    const util::Bytes* b = i < base.chunks_.size() ? base.chunks_[i].get() : nullptr;
+    if (a != b) return false;
+  }
+  return true;
+}
+
 std::size_t ExtentStore::allocated_chunks() const noexcept {
   std::size_t n = 0;
   for (const Chunk& c : chunks_) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ffis/util/bytes.hpp"
+#include "ffis/vfs/fs_diff.hpp"
 
 namespace ffis::vfs {
 
@@ -32,6 +33,8 @@ struct FsStats {
   std::uint64_t chunks_allocated = 0;   ///< fresh extents created by writes
   std::uint64_t chunk_detaches = 0;     ///< shared extents privatized (COW)
   std::uint64_t cow_bytes_copied = 0;   ///< bytes memcpy'd by those detaches
+  std::uint64_t pread_calls = 0;        ///< MemFs::pread invocations
+  std::uint64_t bytes_read = 0;         ///< bytes returned by those preads
 };
 
 class ExtentStore {
@@ -72,6 +75,22 @@ class ExtentStore {
     chunks_.clear();
     size_ = 0;
   }
+
+  /// Dirty byte ranges of *this relative to `base` (ascending, merged,
+  /// extent-granular — a conservative superset of the truly differing bytes;
+  /// an empty result proves the two payloads bit-identical).  Chunks shared
+  /// by pointer are proven equal without reading; unshared chunks are
+  /// compared by memcmp of their stored bytes (holes and unstored suffixes
+  /// read as zero, so a hole equals an all-zero extent).  Fork-derived
+  /// stores therefore diff in O(#chunks) pointer tests plus O(bytes
+  /// rewritten) memcmp.  Throws std::invalid_argument when the chunk
+  /// geometries differ (extent identity is only meaningful on one grid).
+  [[nodiscard]] std::vector<ByteRange> diff(const ExtentStore& base) const;
+
+  /// True when every chunk pointer (and the size) is identical to `base` —
+  /// the structural-sharing signature of a renamed-but-unmodified file.
+  /// Stricter than an empty diff(): rewritten-but-equal payloads fail it.
+  [[nodiscard]] bool shares_all_extents_with(const ExtentStore& base) const noexcept;
 
   /// Number of allocated (non-hole) extents.
   [[nodiscard]] std::size_t allocated_chunks() const noexcept;

@@ -7,20 +7,23 @@ namespace ffis::vfs {
 
 MemFs::MemFs(Options options)
     : locking_(options.concurrency == Concurrency::MultiThread),
-      chunk_size_(options.chunk_size) {
+      chunk_size_(options.chunk_size),
+      chunk_size_for_(std::move(options.chunk_size_for)) {
   // Deliberately pre-empts ExtentStore's own std::invalid_argument check so
   // VFS misuse surfaces in the VFS error domain.
   if (chunk_size_ == 0) {
     throw VfsError(VfsError::Code::InvalidArgument, "MemFs chunk_size must be > 0");
   }
-  auto root = make_node();
+  auto root = std::make_shared<Node>(chunk_size_);
   root->is_dir = true;
   root->mode = 0755;
   nodes_.emplace("/", std::move(root));
 }
 
 MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode)
-    : locking_(mode == Concurrency::MultiThread), chunk_size_(parent.chunk_size_) {
+    : locking_(mode == Concurrency::MultiThread),
+      chunk_size_(parent.chunk_size_),
+      chunk_size_for_(parent.chunk_size_for_) {
   Guard lock(parent.maybe_mutex());
   for (const auto& [path, node] : parent.nodes_) {
     // A fresh Node per path isolates metadata and the extent table; the
@@ -80,7 +83,7 @@ FileHandle MemFs::open(const std::string& raw_path, OpenMode mode) {
     }
     check_parent(path);
     if (it == nodes_.end()) {
-      it = nodes_.emplace(path, make_node()).first;
+      it = nodes_.emplace(path, make_node(path)).first;
     } else if (mode == OpenMode::Write) {
       it->second->data.clear();  // truncate; dropping the extent refs is COW-free
     }
@@ -105,7 +108,10 @@ void MemFs::close(FileHandle fh) {
 std::size_t MemFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t offset) {
   Guard lock(maybe_mutex());
   const OpenFile& of = handle_at(fh, "pread");
-  return of.node->data.read(offset, buf);
+  const std::size_t n = of.node->data.read(offset, buf);
+  ++stats_.pread_calls;
+  stats_.bytes_read += n;
+  return n;
 }
 
 std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offset) {
@@ -123,7 +129,7 @@ void MemFs::mknod(const std::string& raw_path, std::uint32_t mode) {
   Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  auto node = make_node();
+  auto node = make_node(path);
   node->mode = mode;
   nodes_.emplace(path, std::move(node));
 }
@@ -165,7 +171,7 @@ void MemFs::mkdir(const std::string& raw_path) {
   Guard lock(maybe_mutex());
   if (nodes_.contains(path)) throw VfsError(VfsError::Code::AlreadyExists, path + " exists");
   check_parent(path);
-  auto node = make_node();
+  auto node = std::make_shared<Node>(chunk_size_);  // dirs never store payload
   node->is_dir = true;
   node->mode = 0755;
   nodes_.emplace(path, std::move(node));
@@ -294,6 +300,95 @@ std::uint64_t MemFs::allocated_chunks() const {
 FsStats MemFs::stats() const {
   Guard lock(maybe_mutex());
   return stats_;
+}
+
+FsDiff MemFs::diff_tree(const MemFs& base) const {
+  // Deadlock-free dual lock: collect whichever mutexes exist (SingleThread
+  // instances have none) and take them via std::lock's ordering protocol.
+  std::mutex* a = maybe_mutex();
+  std::mutex* b = this != &base ? base.maybe_mutex() : nullptr;
+  std::unique_lock<std::mutex> la, lb;
+  if (a != nullptr) la = std::unique_lock(*a, std::defer_lock);
+  if (b != nullptr) lb = std::unique_lock(*b, std::defer_lock);
+  if (a != nullptr && b != nullptr) {
+    std::lock(la, lb);
+  } else if (a != nullptr) {
+    la.lock();
+  } else if (b != nullptr) {
+    lb.lock();
+  }
+
+  FsDiff out;
+  auto it = nodes_.begin();
+  auto base_it = base.nodes_.begin();
+  while (it != nodes_.end() || base_it != base.nodes_.end()) {
+    const int order = it == nodes_.end()         ? 1
+                      : base_it == base.nodes_.end() ? -1
+                      : it->first.compare(base_it->first);
+    if (order < 0) {
+      out.created.push_back(it->first);
+      ++it;
+      continue;
+    }
+    if (order > 0) {
+      out.deleted.push_back(base_it->first);
+      ++base_it;
+      continue;
+    }
+    const Node& mine = *it->second;
+    const Node& theirs = *base_it->second;
+    FileDiff fd;
+    fd.path = it->first;
+    fd.metadata_changed = mine.mode != theirs.mode || mine.is_dir != theirs.is_dir;
+    if (mine.is_dir != theirs.is_dir) {
+      // A path that changed kind is wholly dirty: whichever side is the
+      // regular file contributes its full span.
+      const ExtentStore& file_side = mine.is_dir ? theirs.data : mine.data;
+      if (file_side.size() > 0) fd.ranges.push_back(ByteRange{0, file_side.size()});
+      fd.base_size = theirs.is_dir ? 0 : theirs.data.size();
+      fd.size = mine.is_dir ? 0 : mine.data.size();
+    } else if (!mine.is_dir) {
+      if (mine.data.chunk_size() != theirs.data.chunk_size()) {
+        throw VfsError(VfsError::Code::InvalidArgument,
+                       "diff_tree: " + fd.path + " has chunk size " +
+                           std::to_string(mine.data.chunk_size()) + " vs " +
+                           std::to_string(theirs.data.chunk_size()) +
+                           " in the base tree; extent diffs require identical geometry");
+      }
+      fd.ranges = mine.data.diff(theirs.data);
+      fd.base_size = theirs.data.size();
+      fd.size = mine.data.size();
+    }
+    if (!fd.ranges.empty() || fd.metadata_changed) out.changed.push_back(std::move(fd));
+    ++it;
+    ++base_it;
+  }
+
+  // Rename detection: a deleted/created file pair whose extents are
+  // pointer-identical moved, it did not change.  Greedy first-match over the
+  // (typically tiny) created/deleted lists; empty files are left as
+  // create+delete since identity cannot be witnessed without shared extents.
+  for (auto del = out.deleted.begin(); del != out.deleted.end();) {
+    const auto base_node = base.nodes_.find(*del);
+    bool matched = false;
+    if (!base_node->second->is_dir && base_node->second->data.allocated_chunks() > 0) {
+      for (auto cre = out.created.begin(); cre != out.created.end(); ++cre) {
+        const auto my_node = nodes_.find(*cre);
+        if (my_node->second->is_dir ||
+            my_node->second->mode != base_node->second->mode) {
+          continue;
+        }
+        if (my_node->second->data.shares_all_extents_with(base_node->second->data)) {
+          out.renamed.emplace_back(*del, *cre);
+          out.created.erase(cre);
+          matched = true;
+          break;
+        }
+      }
+    }
+    del = matched ? out.deleted.erase(del) : std::next(del);
+  }
+  return out;
 }
 
 }  // namespace ffis::vfs

@@ -28,6 +28,7 @@
 // experiment engine can audit exactly how much copying the hot loop does.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,7 @@
 
 #include "ffis/vfs/extent_store.hpp"
 #include "ffis/vfs/file_system.hpp"
+#include "ffis/vfs/fs_diff.hpp"
 
 namespace ffis::vfs {
 
@@ -51,10 +53,18 @@ class MemFs final : public FileSystem {
     /// Extent size for every payload.  Smaller chunks copy less per detach
     /// but cost more bookkeeping; must be > 0.
     std::size_t chunk_size = ExtentStore::kDefaultChunkSize;
+    /// Optional per-file extent sizing: called with the normalized absolute
+    /// path when a regular file node is created; a positive return overrides
+    /// `chunk_size` for that file (metadata-churn files want small extents,
+    /// bulk plotfiles large ones), 0 keeps the default.  A file keeps its
+    /// extent size for life (renames included) and forks inherit both the
+    /// per-file geometry and this hook, so two trees built from the same
+    /// options always agree per file — which diff_tree requires.
+    std::function<std::size_t(const std::string& path)> chunk_size_for;
   };
 
   MemFs() : MemFs(Options{}) {}
-  explicit MemFs(Concurrency mode) : MemFs(Options{.concurrency = mode}) {}
+  explicit MemFs(Concurrency mode) : MemFs(make_mode_options(mode)) {}
   explicit MemFs(Options options);
 
   /// O(#files) copy-on-write snapshot: the fork gets its own node table (so
@@ -82,6 +92,16 @@ class MemFs final : public FileSystem {
   bool exists(const std::string& path) override;
   std::vector<std::string> readdir(const std::string& path) override;
   void fsync(FileHandle fh) override;
+
+  /// How this tree differs from `base`: per-file dirty byte ranges (extent
+  /// identity — see ExtentStore::diff — so fork-derived trees compare in
+  /// O(#chunks) pointer tests with zero FileSystem-level reads), plus
+  /// created/deleted paths and detected renames (a created/deleted pair
+  /// whose extents are pointer-identical).  An empty diff proves the two
+  /// trees bit-identical in content, size, kind and mode.  Throws
+  /// VfsError(InvalidArgument) when a file pair disagrees on chunk geometry.
+  /// Both trees must be quiescent (the usual frozen-snapshot contract).
+  [[nodiscard]] FsDiff diff_tree(const MemFs& base) const;
 
   /// Total *logical* bytes across all regular files (sum of file sizes;
   /// diagnostics).
@@ -141,13 +161,25 @@ class MemFs final : public FileSystem {
   struct ForkTag {};
   MemFs(ForkTag, const MemFs& parent, Concurrency mode);
 
+  [[nodiscard]] static Options make_mode_options(Concurrency mode) {
+    Options options;
+    options.concurrency = mode;
+    return options;
+  }
+
   [[nodiscard]] static std::string normalize(const std::string& path);
 
   [[nodiscard]] std::mutex* maybe_mutex() const noexcept {
     return locking_ ? &mutex_ : nullptr;
   }
-  [[nodiscard]] std::shared_ptr<Node> make_node() const {
-    return std::make_shared<Node>(chunk_size_);
+  /// Node factory honoring the per-file extent-size hook (`path` is already
+  /// normalized; directories always use the default size).
+  [[nodiscard]] std::shared_ptr<Node> make_node(const std::string& path) const {
+    std::size_t size = chunk_size_;
+    if (chunk_size_for_) {
+      if (const std::size_t s = chunk_size_for_(path); s > 0) size = s;
+    }
+    return std::make_shared<Node>(size);
   }
   Node& node_at(const std::string& path);  // throws NotFound
   OpenFile& handle_at(FileHandle fh, const char* op);  // throws BadHandle
@@ -155,6 +187,7 @@ class MemFs final : public FileSystem {
 
   bool locking_ = true;
   std::size_t chunk_size_ = ExtentStore::kDefaultChunkSize;
+  std::function<std::size_t(const std::string&)> chunk_size_for_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Node>> nodes_;
   std::vector<OpenFile> handles_;

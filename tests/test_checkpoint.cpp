@@ -299,8 +299,28 @@ TEST(EngineCheckpoint, PrefixExecutesOncePerCellGroup) {
   EXPECT_EQ(app.full_runs(), 1u + 1u + 6u);
   // Prefixes: one per checkpoint build.
   EXPECT_EQ(app.prefix_runs(), 2u);
-  // Resumes: 5 folded profiling passes + 5 x 6 injection runs.
-  EXPECT_EQ(app.resume_runs(), 5u + 30u);
+  // Resumes: 5 folded profiling passes + 2 diff-classification golden-tree
+  // continuations (one per checkpoint BUILD — cells sharing a checkpoint
+  // share its golden tree) + 5 x 6 injection runs.
+  EXPECT_EQ(app.resume_runs(), 5u + 2u + 30u);
+}
+
+TEST(EngineCheckpoint, DiffClassificationOffSkipsGoldenTreeContinuations) {
+  // With diff-driven classification disabled no golden output trees are
+  // grown: the resume arithmetic of PrefixExecutesOncePerCellGroup loses
+  // exactly the per-cell continuation term.
+  StagedToyApp app;
+  auto builder = exp::PlanBuilder().runs(6).seed(21);
+  builder.cell(app, "BF", 2);
+  builder.cell(app, "DW", 2);
+  builder.cell(app, "BF", 1);
+  exp::EngineOptions options;
+  options.use_diff_classification = false;
+  const auto report = exp::Engine(options).run(builder.build());
+  for (const auto& cell : report.cells) ASSERT_TRUE(cell.error.empty()) << cell.error;
+  EXPECT_EQ(report.analyses_skipped, 0u);
+  // Resumes: 3 folded profiling passes + 3 x 6 injections, no extras.
+  EXPECT_EQ(app.resume_runs(), 3u + 18u);
 }
 
 TEST(EngineCheckpoint, DisabledOptionFallsBackToFullRuns) {
@@ -393,7 +413,225 @@ TEST(EngineCheckpoint, TalliesBitIdenticalToFullPathAcrossThreadCounts) {
 }
 
 
-// --- Storage-layer accounting through the engine -----------------------------
+// --- Diff-driven classification ----------------------------------------------
+
+// Workload shaped so the extent diff provably empties on every run: the
+// analyzed artifact is written in stage 1, and the instrumented stage 2
+// writes a scratch file it unlinks before finishing — whatever the fault did
+// to the scratch bytes, the final tree equals the golden tree.  The run
+// itself performs no reads, so a Benign-via-diff run must report zero
+// bytes_read even though the analysis phase would have read /out.
+class ScratchStageApp final : public core::Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "scratch-stage"; }
+  [[nodiscard]] int stage_count() const override { return 2; }
+
+  void run(const core::RunContext& ctx) const override {
+    run_prefix(ctx, 2);
+    run_from(ctx, 2);
+  }
+  void run_prefix(const core::RunContext& ctx, int stage) const override {
+    vfs::write_text_file(ctx.fs, "/out", "RESULT 42\n");
+    if (stage > 1) {
+      ctx.enter_stage(1);
+      vfs::write_text_file(ctx.fs, "/stage1", "intermediate");
+      ctx.leave_stage(1);
+    }
+  }
+  void run_from(const core::RunContext& ctx, int stage) const override {
+    if (stage <= 1) {
+      ctx.enter_stage(1);
+      vfs::write_text_file(ctx.fs, "/stage1", "intermediate");
+      ctx.leave_stage(1);
+    }
+    ctx.enter_stage(2);
+    {
+      vfs::File f(ctx.fs, "/scratch", vfs::OpenMode::Write);
+      util::Bytes chunk(64, std::byte{0x5A});
+      for (int w = 0; w < 4; ++w) {
+        (void)f.pwrite(chunk, static_cast<std::uint64_t>(w) * chunk.size());
+      }
+    }
+    ctx.fs.unlink("/scratch");
+    ctx.leave_stage(2);
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/out");
+    result.metrics["out_bytes"] = static_cast<double>(result.comparison_blob.size());
+    return result;
+  }
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult&) const override {
+    return Outcome::Sdc;
+  }
+};
+
+TEST(DiffClassification, BenignRunPerformsZeroAnalysisPhaseReads) {
+  ScratchStageApp app;
+  constexpr std::uint64_t kRuns = 12;
+  auto make_plan = [&] {
+    exp::PlanBuilder builder;
+    builder.runs(kRuns).seed(99);
+    builder.cell(app, "BF", 2);
+    return builder.build();
+  };
+
+  exp::EngineOptions diff_on, diff_off;
+  diff_on.keep_details = diff_off.keep_details = true;
+  diff_on.use_diff_classification = true;
+  diff_off.use_diff_classification = false;
+
+  const auto with_diff = exp::Engine(diff_on).run(make_plan());
+  const auto without_diff = exp::Engine(diff_off).run(make_plan());
+  ASSERT_TRUE(with_diff.cells[0].error.empty()) << with_diff.cells[0].error;
+  ASSERT_TRUE(without_diff.cells[0].error.empty()) << without_diff.cells[0].error;
+
+  // Every run's fault lands in the scratch file that is unlinked before the
+  // run ends, so every run is Benign — and with the diff the verdict needs
+  // no analysis and not a single read (the workload only writes).
+  EXPECT_EQ(with_diff.cells[0].tally.count(Outcome::Benign), kRuns);
+  EXPECT_EQ(with_diff.cells[0].analyze_skipped, kRuns);
+  EXPECT_EQ(with_diff.analyses_skipped, kRuns);
+  ASSERT_EQ(with_diff.cells[0].details.size(), kRuns);
+  for (const auto& run : with_diff.cells[0].details) {
+    EXPECT_TRUE(run.fault_fired);
+    EXPECT_TRUE(run.analyze_skipped);
+    EXPECT_FALSE(run.analysis.has_value());
+    EXPECT_EQ(run.fs_stats.pread_calls, 0u);
+    EXPECT_EQ(run.fs_stats.bytes_read, 0u);
+  }
+
+  // Control: the classic path reaches the same tally by actually reading.
+  EXPECT_EQ(without_diff.cells[0].tally.count(Outcome::Benign), kRuns);
+  EXPECT_EQ(without_diff.cells[0].analyze_skipped, 0u);
+  for (const auto& run : without_diff.cells[0].details) {
+    EXPECT_FALSE(run.analyze_skipped);
+    EXPECT_GT(run.fs_stats.bytes_read, 0u);
+  }
+}
+
+TEST(DiffClassification, TalliesBitIdenticalOnVsOffAcrossThreadCounts) {
+  const auto montage_app = small_montage();
+  const qmc::QmcApp qmc_app;
+  nyx::NyxConfig nyx_config;
+  nyx_config.field.n = 16;
+  const nyx::NyxApp nyx_app(nyx_config);
+  const StagedToyApp toy_app;
+  const ScratchStageApp scratch_app;
+
+  constexpr std::uint64_t kRuns = 24, kSeed = 4321;
+  auto make_plan = [&] {
+    exp::PlanBuilder builder;
+    builder.runs(kRuns).seed(kSeed);
+    builder.app(montage_app).fault("BF").stages(1, 4).product();
+    builder.cell(qmc_app, "BF", 1);
+    builder.cell(qmc_app, "SHORN_WRITE@pwrite", 2);
+    builder.cell(nyx_app, "BF", 1);
+    builder.cell(toy_app, "DW", 2);
+    builder.cell(scratch_app, "BF", 2);  // guarantees analyses_skipped > 0
+    builder.cell(montage_app, "BF", -1);
+    builder.cell(qmc_app, "BF", -1);
+    builder.cell(nyx_app, "DW", -1);
+    return builder.build();
+  };
+
+  exp::EngineOptions reference_options;
+  reference_options.threads = 1;
+  reference_options.use_diff_classification = false;
+  const auto reference = exp::Engine(reference_options).run(make_plan());
+  for (const auto& cell : reference.cells) {
+    ASSERT_TRUE(cell.error.empty()) << cell.cell.label << ": " << cell.error;
+    ASSERT_EQ(cell.runs_completed, kRuns);
+    EXPECT_EQ(cell.analyze_skipped, 0u);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::EngineOptions options;
+    options.threads = threads;
+    options.use_diff_classification = true;
+    const auto report = exp::Engine(options).run(make_plan());
+    ASSERT_EQ(report.cells.size(), reference.cells.size());
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+      ASSERT_TRUE(report.cells[i].error.empty())
+          << report.cells[i].cell.label << ": " << report.cells[i].error;
+      for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+        EXPECT_EQ(report.cells[i].tally.count(static_cast<Outcome>(o)),
+                  reference.cells[i].tally.count(static_cast<Outcome>(o)))
+            << report.cells[i].cell.label << " outcome " << o << " at "
+            << threads << " threads";
+      }
+    }
+    // The fast path genuinely fired (at minimum the scratch-stage cell skips
+    // all of its analyses), without perturbing a single outcome above.
+    EXPECT_GE(report.analyses_skipped, kRuns);
+  }
+}
+
+TEST(DiffClassification, MismatchedCheckpointGeometryRejectedAtPrepare) {
+  // A checkpoint captured at one extent size cannot be diffed against runs
+  // on another: the mismatch must surface as a configuration error at
+  // prepare time, never as per-run Crash outcomes polluting the tally.
+  StagedToyApp app;
+  faults::CampaignConfig config;
+  config.application = app.name();
+  config.fault = "BF";
+  config.stage = 2;
+  faults::FaultGenerator generator(config);
+  core::FaultInjector injector(app, generator.signature(), /*app_seed=*/1,
+                               /*instrumented_stage=*/2);
+  injector.set_fs_options(vfs::MemFs::Options{.chunk_size = 1024});
+  const auto golden = std::make_shared<const core::AnalysisResult>(
+      core::FaultInjector::run_golden(app, 1));
+  const auto checkpoint = core::Checkpoint::capture(app, 1, 2);  // default 64 KiB
+  EXPECT_THROW(injector.prepare_with_checkpoint(golden, checkpoint),
+               std::invalid_argument);
+}
+
+TEST(DiffClassification, NyxDirtySlabSplicePreservesTalliesAndReadsLess) {
+  // 3-dump Nyx instrumented at stage 3 (slab z=1): with 1 KiB extents the
+  // dirty chunks sit strictly inside the dataset's raw data, so analyze_dirty
+  // takes the splice path — pread only the corrupted slab, reuse the cached
+  // golden field elsewhere — instead of re-reading the whole plotfile.
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  config.timesteps = 3;
+  nyx::NyxApp app(config);
+
+  constexpr std::uint64_t kRuns = 16;
+  auto make_plan = [&] {
+    exp::PlanBuilder builder;
+    builder.runs(kRuns).seed(7);
+    builder.cell(app, "BF", 3);
+    return builder.build();
+  };
+
+  exp::EngineOptions diff_on, diff_off;
+  diff_on.keep_details = diff_off.keep_details = true;
+  diff_on.fs_options.chunk_size = 1024;
+  diff_off.fs_options.chunk_size = 1024;
+  diff_on.use_diff_classification = true;
+  diff_off.use_diff_classification = false;
+
+  const auto with_diff = exp::Engine(diff_on).run(make_plan());
+  const auto without_diff = exp::Engine(diff_off).run(make_plan());
+  ASSERT_TRUE(with_diff.cells[0].error.empty()) << with_diff.cells[0].error;
+  ASSERT_TRUE(without_diff.cells[0].error.empty()) << without_diff.cells[0].error;
+
+  for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+    EXPECT_EQ(with_diff.cells[0].tally.count(static_cast<Outcome>(o)),
+              without_diff.cells[0].tally.count(static_cast<Outcome>(o)));
+  }
+
+  std::uint64_t diff_reads = 0, full_reads = 0;
+  for (const auto& run : with_diff.cells[0].details) diff_reads += run.fs_stats.bytes_read;
+  for (const auto& run : without_diff.cells[0].details) full_reads += run.fs_stats.bytes_read;
+  // The full path reads the whole ~33 KiB plotfile per run; the splice path
+  // reads only the dirty extents of one 2 KiB slab.
+  EXPECT_GT(full_reads, 0u);
+  EXPECT_LT(diff_reads * 4, full_reads);
+}
 
 TEST(EngineCheckpoint, CowTrafficIsOChunkPerResumedRun) {
   // A 2-dump Nyx cell instrumented at stage 2: every checkpointed run forks

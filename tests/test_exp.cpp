@@ -429,6 +429,10 @@ TEST(Sinks, CsvRoundTrip) {
     EXPECT_EQ(rows[i].chunks_allocated, expected.chunks_allocated);
     EXPECT_EQ(rows[i].chunk_detaches, expected.chunk_detaches);
     EXPECT_EQ(rows[i].cow_bytes_copied, expected.cow_bytes_copied);
+    // Timers are serialized at fixed 4-decimal-ms precision.
+    EXPECT_NEAR(rows[i].execute_ms, expected.execute_ms, 1e-3);
+    EXPECT_NEAR(rows[i].analyze_ms, expected.analyze_ms, 1e-3);
+    EXPECT_EQ(rows[i].analyze_skipped, expected.analyze_skipped);
     EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
     EXPECT_EQ(rows[i].error, expected.error);
   }
@@ -462,6 +466,9 @@ TEST(Sinks, JsonlRoundTrip) {
     EXPECT_EQ(rows[i].chunks_allocated, expected.chunks_allocated);
     EXPECT_EQ(rows[i].chunk_detaches, expected.chunk_detaches);
     EXPECT_EQ(rows[i].cow_bytes_copied, expected.cow_bytes_copied);
+    EXPECT_NEAR(rows[i].execute_ms, expected.execute_ms, 1e-3);
+    EXPECT_NEAR(rows[i].analyze_ms, expected.analyze_ms, 1e-3);
+    EXPECT_EQ(rows[i].analyze_skipped, expected.analyze_skipped);
   }
 }
 
@@ -492,13 +499,76 @@ TEST(Sinks, ReadersAcceptLegacyFilesWithoutStorageColumns) {
   EXPECT_EQ(jsonl_rows[0].label, "OLD-BF");
   EXPECT_EQ(jsonl_rows[0].chunk_detaches, 0u);
 
-  // The layout is decided by the document's header: a 16-field row under a
-  // 19-column header is truncation, not a legacy record.
+  // The layout is decided by the document's header: a 16-field row under the
+  // current 22-column header is truncation, not a legacy record.
   const std::string truncated_csv =
       std::string(exp::CsvSink::header()) + "\n" +
       "0,OLD-BF,nyx,BF,-1,10,42,7,8,1,1,0,2,1,0,\n";
   std::istringstream truncated_in(truncated_csv);
   EXPECT_THROW((void)exp::read_csv_results(truncated_in), std::invalid_argument);
+}
+
+TEST(Sinks, ReadersAcceptExtentEraFilesWithoutTimerColumns) {
+  // The extent-store generation (storage-traffic columns, no phase timers)
+  // must stay loadable; timers and the skip counter default to zero.
+  const std::string extent_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+      "cow_bytes_copied,golden_cached,checkpointed,error\n"
+      "0,PR3-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,1,1,\n";
+  std::istringstream csv_in(extent_csv);
+  const auto csv_rows = exp::read_csv_results(csv_in);
+  ASSERT_EQ(csv_rows.size(), 1u);
+  EXPECT_EQ(csv_rows[0].label, "PR3-BF");
+  EXPECT_EQ(csv_rows[0].chunks_allocated, 33u);
+  EXPECT_EQ(csv_rows[0].cow_bytes_copied, 4096u);
+  EXPECT_TRUE(csv_rows[0].checkpointed);
+  EXPECT_EQ(csv_rows[0].execute_ms, 0.0);
+  EXPECT_EQ(csv_rows[0].analyze_ms, 0.0);
+  EXPECT_EQ(csv_rows[0].analyze_skipped, 0u);
+
+  // A 19-field row under the 22-column header is truncation, not extent-era.
+  const std::string truncated_csv =
+      std::string(exp::CsvSink::header()) + "\n" +
+      "0,PR3-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,1,1,\n";
+  std::istringstream truncated_in(truncated_csv);
+  EXPECT_THROW((void)exp::read_csv_results(truncated_in), std::invalid_argument);
+
+  const std::string extent_jsonl =
+      "{\"index\":0,\"label\":\"PR3-BF\",\"application\":\"nyx\",\"fault\":\"BF\","
+      "\"stage\":2,\"runs\":10,\"seed\":42,\"primitive_count\":7,\"benign\":8,"
+      "\"detected\":1,\"sdc\":1,\"crash\":0,\"faults_not_fired\":2,"
+      "\"chunks_allocated\":33,\"chunk_detaches\":4,\"cow_bytes_copied\":4096,"
+      "\"golden_cached\":true,\"checkpointed\":true,\"error\":\"\"}\n";
+  std::istringstream jsonl_in(extent_jsonl);
+  const auto jsonl_rows = exp::read_jsonl_results(jsonl_in);
+  ASSERT_EQ(jsonl_rows.size(), 1u);
+  EXPECT_EQ(jsonl_rows[0].chunks_allocated, 33u);
+  EXPECT_EQ(jsonl_rows[0].execute_ms, 0.0);
+  EXPECT_EQ(jsonl_rows[0].analyze_skipped, 0u);
+}
+
+TEST(Sinks, CellsReportPhaseTimersAndSkips) {
+  // Each run contributes execute/analyze wall time; with diff classification
+  // on by default the toy app's Benign-identical runs may skip analysis, and
+  // whatever the split, the columns must survive a CSV round trip.
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(8);
+  builder.cell(app, "BF");
+  std::ostringstream out;
+  exp::CsvSink sink(out);
+  const auto report = exp::Engine().run(builder.build(), sink);
+  ASSERT_EQ(report.cells.size(), 1u);
+  ASSERT_TRUE(report.cells[0].error.empty()) << report.cells[0].error;
+  EXPECT_GT(report.cells[0].execute_ms, 0.0);
+  EXPECT_LE(report.cells[0].analyze_skipped, report.cells[0].runs_completed);
+
+  std::istringstream in(out.str());
+  const auto rows = exp::read_csv_results(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NEAR(rows[0].execute_ms, report.cells[0].execute_ms, 1e-3);
+  EXPECT_NEAR(rows[0].analyze_ms, report.cells[0].analyze_ms, 1e-3);
+  EXPECT_EQ(rows[0].analyze_skipped, report.cells[0].analyze_skipped);
 }
 
 TEST(Sinks, CellsReportStorageTraffic) {

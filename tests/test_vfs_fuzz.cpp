@@ -16,10 +16,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ffis/vfs/file_system.hpp"
@@ -614,6 +616,129 @@ TEST(VfsFuzz, RegressionSeeds) {
   // 1269 hit a zero-length pwrite past EOF (the reference model wrongly
   // extended the file; POSIX and MemFs do not).
   fuzz_seeds(1269, 1, {.concurrency = Concurrency::SingleThread, .chunk_size = 5}, 700);
+}
+
+TEST(VfsFuzz, PerFileChunkSizeOverrides) {
+  // chunk_size_for changes only the storage geometry, never semantics: the
+  // flat-payload reference model has no chunk concept, so the differential
+  // driver catches any override-induced divergence for free.
+  vfs::MemFs::Options options;
+  options.concurrency = Concurrency::SingleThread;
+  options.chunk_size = 5;
+  options.chunk_size_for = [](const std::string& path) -> std::size_t {
+    if (path.size() % 3 == 0) return 11;  // arbitrary per-path split
+    if (path.size() % 3 == 1) return 64;
+    return 0;  // default
+  };
+  for (std::uint32_t seed = 500; seed < 515; ++seed) {
+    Differ differ(seed, options);
+    differ.run(700);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "divergence at seed " << seed << " (per-file chunk sizes)";
+    }
+  }
+}
+
+// --- concurrent smoke --------------------------------------------------------
+
+TEST(VfsFuzz, ConcurrentHandleOpsSmoke) {
+  // Races handle I/O from several threads on one MultiThread MemFs.  Each
+  // thread owns a distinct file, so a per-file flat byte vector is a
+  // sequential oracle even though the fs-level operations interleave freely;
+  // a sixth thread concurrently forks the fs (snapshots under the same
+  // mutex) and drops the forks.  Run under ASan/UBSan in CI this covers the
+  // locking dimension the single-threaded differ cannot.
+  for (const std::size_t chunk_size : {std::size_t{7}, std::size_t{4096}}) {
+    vfs::MemFs fs(vfs::MemFs::Options{.concurrency = Concurrency::MultiThread,
+                                      .chunk_size = chunk_size});
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kOpsPerThread = 1500;
+    std::vector<util::Bytes> oracles(kThreads);
+    std::atomic<bool> failed{false};
+    std::atomic<bool> stop_forker{false};
+
+    std::thread forker([&] {
+      while (!stop_forker.load(std::memory_order_relaxed)) {
+        vfs::MemFs snapshot = fs.fork();
+        (void)snapshot.exists("/t0");  // touch the fork, then drop it
+        std::this_thread::yield();
+      }
+    });
+
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        FuzzRng rng(static_cast<std::uint32_t>(1000 + t + chunk_size));
+        const std::string path = "/t" + std::to_string(t);
+        util::Bytes& oracle = oracles[t];
+        const FileHandle fh = fs.open(path, OpenMode::ReadWrite);
+        for (std::size_t op = 0; op < kOpsPerThread && !failed.load(); ++op) {
+          switch (rng.below(6)) {
+            case 0:
+            case 1: {  // pwrite
+              util::Bytes payload(rng.below(200));
+              for (auto& b : payload) b = rng.byte();
+              const std::uint64_t offset = rng.below(600);
+              fs.pwrite(fh, payload, offset);
+              if (!payload.empty()) {
+                if (oracle.size() < offset + payload.size()) {
+                  oracle.resize(offset + payload.size());
+                }
+                std::copy(payload.begin(), payload.end(),
+                          oracle.begin() + static_cast<std::ptrdiff_t>(offset));
+              }
+              break;
+            }
+            case 2:
+            case 3: {  // pread + verify against the oracle
+              const std::size_t len = rng.below(300);
+              const std::uint64_t offset = rng.below(700);
+              util::Bytes buf(len, std::byte{0xEE});
+              const std::size_t n = fs.pread(fh, buf, offset);
+              std::size_t expected_n =
+                  offset >= oracle.size()
+                      ? 0
+                      : std::min<std::size_t>(len, oracle.size() - offset);
+              if (n != expected_n) {
+                failed.store(true);
+                break;
+              }
+              for (std::size_t i = 0; i < n; ++i) {
+                if (buf[i] != oracle[offset + i]) {
+                  failed.store(true);
+                  break;
+                }
+              }
+              break;
+            }
+            case 4: {  // ftruncate
+              const std::uint64_t size = rng.below(700);
+              fs.ftruncate(fh, size);
+              oracle.resize(size);  // vector zero-fills growth, as MemFs does
+              break;
+            }
+            default: {  // fsync + stat size check
+              fs.fsync(fh);
+              if (fs.stat(path).size != oracle.size()) failed.store(true);
+              break;
+            }
+          }
+        }
+        fs.close(fh);
+      });
+    }
+    for (auto& w : workers) w.join();
+    stop_forker.store(true);
+    forker.join();
+
+    ASSERT_FALSE(failed.load()) << "interleaved handle ops diverged from the "
+                                   "per-file oracle (chunk_size="
+                                << chunk_size << ")";
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(vfs::read_file(fs, "/t" + std::to_string(t)), oracles[t])
+          << "final contents of /t" << t << " (chunk_size=" << chunk_size << ")";
+    }
+  }
 }
 
 }  // namespace
