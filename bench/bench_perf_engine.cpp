@@ -34,6 +34,11 @@
 //
 //   FFIS_RUNS=N   injection runs per cell (default 300)
 //   FFIS_SEED=S   campaign base seed (default 42)
+//   FFIS_CHECKPOINT_DIR=DIR   additionally run the main plan against a
+//       persistent checkpoint store at DIR: the first invocation populates
+//       it, a second invocation warm-starts (zero prefix executions,
+//       asserted) and BENCH_perf.json records the warm-start speedup under
+//       "persistent_store"
 
 #include <algorithm>
 #include <chrono>
@@ -104,6 +109,10 @@ std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
     obj.str("label", cell.cell.label)
         .num("stage", static_cast<std::uint64_t>(cell.cell.stage))
         .num("runs", cell.runs_completed)
+        .num("benign", cell.tally.count(ffis::core::Outcome::Benign))
+        .num("detected", cell.tally.count(ffis::core::Outcome::Detected))
+        .num("sdc", cell.tally.count(ffis::core::Outcome::Sdc))
+        .num("crash", cell.tally.count(ffis::core::Outcome::Crash))
         .num("wall_ms_at_completion",
              i < v.cell_completion_ms.size() ? v.cell_completion_ms[i] : 0.0)
         .num("chunk_size", static_cast<std::uint64_t>(chunk_size))
@@ -308,6 +317,59 @@ int main(int argc, char** argv) {
                   static_cast<double>(adaptive_runs),
               uniform.runs_per_sec, adaptive.runs_per_sec);
 
+  // --- Warm start: the persistent checkpoint store ---------------------------
+  //
+  // With FFIS_CHECKPOINT_DIR set, the main plan runs once more against that
+  // directory.  The first invocation of this binary populates the store
+  // (cold); a second invocation with the same directory loads every golden
+  // and checkpoint from disk and executes zero fault-free prefix stages —
+  // the CI warm-start smoke runs the binary twice and asserts exactly that
+  // via the JSON counters below.  Tallies must be bit-identical either way.
+  std::string persistent_json;
+  if (const auto checkpoint_dir = util::env_string("FFIS_CHECKPOINT_DIR")) {
+    exp::EngineOptions persistent_options = diff_options;
+    persistent_options.checkpoint_dir = *checkpoint_dir;
+    std::printf("\n-- persistent store (checkpoint dir: %s) --\n", checkpoint_dir->c_str());
+    const VariantResult persistent = run_variant(experiment_plan, persistent_options);
+    assert_identical_tallies(diffclass, persistent, "the persistent checkpoint store");
+
+    const auto& rep = persistent.report;
+    const bool warm = rep.checkpoints_loaded > 0;
+    // NB: within one process the applications' own caches are already hot
+    // from the earlier variants, so this ratio under-sells the store; the
+    // honest warm-start speedup is cross-invocation (second binary run vs
+    // first, computed by CI from the two BENCH_perf.json files).
+    const double vs_no_store = persistent.runs_per_sec / diffclass.runs_per_sec;
+    std::printf("%s start: %8.1f runs/sec (%.0f ms); %llu checkpoints + %llu goldens "
+                "loaded, %llu + %llu persisted; %.2fx vs the storeless diff variant\n",
+                warm ? "warm" : "cold", persistent.runs_per_sec, persistent.wall_ms,
+                static_cast<unsigned long long>(rep.checkpoints_loaded),
+                static_cast<unsigned long long>(rep.goldens_loaded),
+                static_cast<unsigned long long>(rep.checkpoints_persisted),
+                static_cast<unsigned long long>(rep.goldens_persisted), vs_no_store);
+    if (warm && (rep.golden_executions != 0 || rep.checkpoint_builds != 0)) {
+      std::fprintf(stderr, "FATAL: warm start still executed %llu goldens / %llu "
+                           "prefix captures\n",
+                   static_cast<unsigned long long>(rep.golden_executions),
+                   static_cast<unsigned long long>(rep.checkpoint_builds));
+      return 1;
+    }
+
+    ffis::bench::JsonObject doc;
+    doc.raw("warm", warm ? "true" : "false")
+        .num("checkpoints_loaded", rep.checkpoints_loaded)
+        .num("checkpoints_persisted", rep.checkpoints_persisted)
+        .num("goldens_loaded", rep.goldens_loaded)
+        .num("goldens_persisted", rep.goldens_persisted)
+        .num("golden_executions", rep.golden_executions)
+        .num("checkpoint_builds", rep.checkpoint_builds)
+        .num("runs_per_sec", persistent.runs_per_sec)
+        .num("wall_ms", persistent.wall_ms)
+        .num("vs_no_store_speedup", vs_no_store)
+        .raw("result", variant_json(persistent, vfs::ExtentStore::kDefaultChunkSize));
+    persistent_json = doc.render();
+  }
+
   const std::string json_path =
       bench::json_output_path(argc, argv, "BENCH_perf.json").value_or("BENCH_perf.json");
   ffis::bench::JsonObject analysis_doc;
@@ -345,6 +407,7 @@ int main(int argc, char** argv) {
       .raw("diff_classified", variant_json(diffclass, vfs::ExtentStore::kDefaultChunkSize))
       .raw("analysis_dominated", analysis_doc.render())
       .raw("adaptive_extents", adaptive_doc.render());
+  if (!persistent_json.empty()) doc.raw("persistent_store", persistent_json);
   bench::write_json_file(json_path, doc);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

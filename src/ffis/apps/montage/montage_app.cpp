@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+
+#include "ffis/util/serialize.hpp"
+#include "ffis/util/strfmt.hpp"
 
 namespace ffis::montage {
 
@@ -106,6 +110,103 @@ core::Outcome MontageApp::classify(const core::AnalysisResult& /*golden*/,
     return core::Outcome::Sdc;
   }
   return core::Outcome::Detected;
+}
+
+namespace {
+
+std::string hexf_list(const std::vector<double>& values) {
+  std::string out;
+  for (const double v : values) {
+    if (!out.empty()) out += ',';
+    out += util::hexf(v);
+  }
+  return out;
+}
+
+constexpr std::string_view kStateTag = "montage-state/1";
+
+}  // namespace
+
+std::string MontageApp::state_fingerprint() const {
+  const SceneConfig& s = config_.scene;
+  const StageOptions& st = config_.stages;
+  const PipelinePaths& p = config_.paths;
+  return "montage/1;tile=" + std::to_string(s.tile_size) + ";x0=" + hexf_list(s.tile_x0) +
+         ";y0=" + hexf_list(s.tile_y0) + ";sky=" + util::hexf(s.sky) +
+         ";spot=" + util::hexf(s.dark_spot_x) + "," + util::hexf(s.dark_spot_y) + "," +
+         util::hexf(s.dark_spot_depth) + "," + util::hexf(s.dark_spot_sigma) +
+         ";gal=" + util::hexf(s.galaxy_peak) + "," + util::hexf(s.galaxy_scale) + "," +
+         util::hexf(s.galaxy_cx) + "," + util::hexf(s.galaxy_cy) + "," + util::hexf(s.spiral_contrast) +
+         "," + util::hexf(s.spiral_pitch) + ";stars=" + std::to_string(s.star_count) + "," +
+         util::hexf(s.star_peak_min) + "," + util::hexf(s.star_peak_max) + "," + util::hexf(s.star_sigma) +
+         ";bg=" + util::hexf(s.bg_offset_max) + "," + util::hexf(s.bg_gradient_max) +
+         ";dirs=" + util::fpstr(p.raw_dir) + util::fpstr(p.proj_dir) +
+         util::fpstr(p.diff_dir) + util::fpstr(p.corr_dir) + util::fpstr(p.mosaic_dir) +
+         ";overlap=" + std::to_string(st.min_overlap_pixels) +
+         ";gate=" + util::hexf(st.fit_gradient_gate) +
+         ";fits=" + std::to_string(st.fits_io.data_chunk_bytes) +
+         ";sdc=" + util::hexf(config_.sdc_window_low) + "," + util::hexf(config_.sdc_window_high);
+}
+
+util::Bytes MontageApp::serialize_state(std::uint64_t app_seed) const {
+  const std::shared_ptr<const Inputs> in = inputs(app_seed);
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.str(kStateTag);
+  w.u64(app_seed);
+  w.u64(in->raw_tiles.size());
+  for (const Image& tile : in->raw_tiles) {
+    w.u64(tile.width);
+    w.u64(tile.height);
+    w.f64(tile.x0);
+    w.f64(tile.y0);
+    for (const double px : tile.pixels) w.f64(px);
+  }
+  return out;
+}
+
+bool MontageApp::restore_state(std::uint64_t app_seed, util::ByteSpan state) const {
+  {
+    // Two checkpoint entries of one (app, seed) carry identical blobs;
+    // decoding the second would only overwrite an identical cache.
+    std::lock_guard lock(cache_mutex_);
+    if (cached_inputs_ && cached_seed_ == app_seed) return true;
+  }
+  try {
+    util::ByteReader r(state);
+    if (r.str() != kStateTag) return false;
+    if (r.u64() != app_seed) return false;
+    // The Scene rebuild is cheap (a few hundred RNG draws); the tiles —
+    // truth_at evaluated per pixel — are what the blob actually saves.
+    SceneConfig sc = config_.scene;
+    sc.seed = app_seed;
+    auto in = std::make_shared<Inputs>(Inputs{Scene(sc), {}});
+    const std::uint64_t tiles = r.u64();
+    if (tiles != in->scene.config().tile_count()) return false;
+    in->raw_tiles.reserve(static_cast<std::size_t>(tiles));
+    for (std::uint64_t k = 0; k < tiles; ++k) {
+      const auto width = static_cast<std::size_t>(r.u64());
+      const auto height = static_cast<std::size_t>(r.u64());
+      const double x0 = r.f64();
+      const double y0 = r.f64();
+      // A raw tile is exactly tile_size x tile_size (Scene::make_raw_tile);
+      // anything else is a foreign or corrupt blob.  Checking the sides
+      // individually also keeps the width*height arithmetic unwrappable.
+      if (width != config_.scene.tile_size || height != config_.scene.tile_size) {
+        return false;
+      }
+      Image tile(width, height, x0, y0);
+      for (double& px : tile.pixels) px = r.f64();
+      in->raw_tiles.push_back(std::move(tile));
+    }
+    r.expect_end();
+    std::lock_guard lock(cache_mutex_);
+    cached_inputs_ = std::move(in);
+    cached_seed_ = app_seed;
+    return true;
+  } catch (const std::exception&) {
+    return false;  // truncated or foreign blob: recompute lazily instead
+  }
 }
 
 }  // namespace ffis::montage

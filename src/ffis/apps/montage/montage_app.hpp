@@ -49,6 +49,15 @@ class MontageApp final : public core::Application {
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 
+  // --- Persistent checkpoints ----------------------------------------------
+  /// Scene geometry and synthesis parameters, pipeline paths, stage options
+  /// and the SDC window.
+  [[nodiscard]] std::string state_fingerprint() const override;
+  /// Serializes the rendered raw tiles for `app_seed` (the expensive half of
+  /// the input cache; the Scene itself is rebuilt cheaply from the config).
+  [[nodiscard]] util::Bytes serialize_state(std::uint64_t app_seed) const override;
+  bool restore_state(std::uint64_t app_seed, util::ByteSpan state) const override;
+
   [[nodiscard]] const MontageConfig& config() const noexcept { return config_; }
 
   /// Cached deterministic scene + raw tiles for a seed.

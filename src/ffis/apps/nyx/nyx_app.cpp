@@ -6,10 +6,14 @@
 
 #include <algorithm>
 
+#include <cstdio>
+#include <string_view>
+
 #include "ffis/apps/nyx/plotfile.hpp"
 #include "ffis/h5/float_codec.hpp"
 #include "ffis/h5/reader.hpp"
 #include "ffis/h5/writer.hpp"
+#include "ffis/util/serialize.hpp"
 #include "ffis/util/strfmt.hpp"
 
 namespace ffis::nyx {
@@ -229,6 +233,64 @@ core::Outcome NyxApp::classify(const core::AnalysisResult& /*golden*/,
   // Paper rule: outputs differ; no halo found -> Detected, else SDC.
   if (faulty.metric("halo_count") == 0.0) return core::Outcome::Detected;
   return core::Outcome::Sdc;
+}
+
+namespace {
+
+constexpr std::string_view kStateTag = "nyx-state/1";
+
+}  // namespace
+
+std::string NyxApp::state_fingerprint() const {
+  const FieldConfig& f = config_.field;
+  const HaloFinderConfig& h = config_.halo;
+  return "nyx/1;n=" + std::to_string(f.n) + ";halos=" + std::to_string(f.halo_count) +
+         ";sig=" + util::hexf(f.sigma_min) + "," + util::hexf(f.sigma_max) +
+         ";amp=" + util::hexf(f.amplitude_min) + "," + util::hexf(f.amplitude_max) +
+         ";logn=" + util::hexf(f.lognormal_sigma) + ";thr=" + util::hexf(h.threshold_factor) +
+         ";mincells=" + std::to_string(h.min_cells) + ";" +
+         h5::options_fingerprint(config_.h5_options) + ";path=" + util::fpstr(config_.plotfile_path) +
+         ";t=" + std::to_string(config_.timesteps) + ";growth=" + util::hexf(config_.slab_growth) +
+         ";avg=" + (config_.use_average_value_detector ? "1" : "0") + "," +
+         util::hexf(config_.average_value_tolerance);
+}
+
+util::Bytes NyxApp::serialize_state(std::uint64_t app_seed) const {
+  const std::shared_ptr<const DensityField> f = field(app_seed);
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.str(kStateTag);
+  w.u64(app_seed);
+  w.u64(f->n());
+  w.blob(h5::encode_array(f->data(), h5::FloatFormat{}));
+  return out;
+}
+
+bool NyxApp::restore_state(std::uint64_t app_seed, util::ByteSpan state) const {
+  {
+    // Two checkpoint entries of one (app, seed) carry identical blobs;
+    // decoding the second would only overwrite an identical cache.
+    std::lock_guard lock(cache_mutex_);
+    if (cached_field_ && cached_seed_ == app_seed) return true;
+  }
+  try {
+    util::ByteReader r(state);
+    if (r.str() != kStateTag) return false;
+    if (r.u64() != app_seed) return false;
+    const std::uint64_t n = r.u64();
+    if (n != config_.field.n) return false;
+    const util::Bytes raw = r.blob();
+    r.expect_end();
+    std::vector<double> values = h5::decode_array(raw, n * n * n, h5::FloatFormat{});
+    auto restored = std::make_shared<const DensityField>(static_cast<std::size_t>(n),
+                                                         std::move(values));
+    std::lock_guard lock(cache_mutex_);
+    cached_field_ = std::move(restored);
+    cached_seed_ = app_seed;
+    return true;
+  } catch (const std::exception&) {
+    return false;  // truncated or foreign blob: recompute lazily instead
+  }
 }
 
 }  // namespace ffis::nyx

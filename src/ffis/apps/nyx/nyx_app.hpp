@@ -79,6 +79,18 @@ class NyxApp final : public core::Application {
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 
+  // --- Persistent checkpoints ----------------------------------------------
+  /// Every knob that shapes the plotfile bytes or the analysis: field
+  /// generation parameters, halo-finder thresholds, the h5 layout options
+  /// (via h5::options_fingerprint), path, timesteps/slab growth, and the
+  /// average-value detector settings.
+  [[nodiscard]] std::string state_fingerprint() const override;
+  /// Serializes the cached density field for `app_seed` (values encoded via
+  /// the h5 float codec, bit-exact for IEEE doubles) so a warm process skips
+  /// field generation entirely.
+  [[nodiscard]] util::Bytes serialize_state(std::uint64_t app_seed) const override;
+  bool restore_state(std::uint64_t app_seed, util::ByteSpan state) const override;
+
   [[nodiscard]] const NyxConfig& config() const noexcept { return config_; }
 
   /// The cached field for the given seed (generated on first use).  Returns

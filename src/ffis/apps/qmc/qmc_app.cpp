@@ -1,9 +1,12 @@
 #include "ffis/apps/qmc/qmc_app.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
+#include "ffis/util/serialize.hpp"
 #include "ffis/util/strfmt.hpp"
 
 namespace ffis::qmc {
@@ -107,6 +110,93 @@ core::Outcome QmcApp::classify(const core::AnalysisResult& /*golden*/,
     return core::Outcome::Sdc;
   }
   return core::Outcome::Detected;
+}
+
+namespace {
+
+constexpr std::string_view kStateTag = "qmc-state/1";
+
+void write_rows(util::ByteWriter& w, const std::vector<ScalarRow>& rows) {
+  w.u64(rows.size());
+  for (const ScalarRow& row : rows) {
+    w.u64(row.index);
+    w.f64(row.local_energy);
+    w.f64(row.variance);
+    w.f64(row.weight);
+  }
+}
+
+/// Validates the stored count against the configured series length BEFORE
+/// reserving — an untrusted blob must fail cheaply, not via a huge reserve.
+std::vector<ScalarRow> read_rows(util::ByteReader& r, std::uint64_t expected) {
+  const std::uint64_t n = r.u64();
+  if (n != expected) {
+    throw std::invalid_argument("scalar series length mismatch");
+  }
+  std::vector<ScalarRow> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ScalarRow row;
+    row.index = r.u64();
+    row.local_energy = r.f64();
+    row.variance = r.f64();
+    row.weight = r.f64();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string QmcApp::state_fingerprint() const {
+  const QmcAppConfig& c = config_;
+  return "qmc/1;psi=" + util::hexf(c.psi.z) + "," + util::hexf(c.psi.a) + "," + util::hexf(c.psi.b) +
+         ";vmc=" + std::to_string(c.vmc.walkers) + "," + std::to_string(c.vmc.steps) +
+         "," + std::to_string(c.vmc.warmup_steps) + "," + util::hexf(c.vmc.step_sigma) +
+         ";dmc=" + std::to_string(c.dmc.target_walkers) + "," +
+         std::to_string(c.dmc.steps) + "," + std::to_string(c.dmc.warmup_steps) + "," +
+         util::hexf(c.dmc.tau) + "," + util::hexf(c.dmc.feedback) + "," +
+         std::to_string(c.dmc.max_population_factor) +
+         ";flush=" + std::to_string(c.io.flush_bytes) +
+         ";equil=" + std::to_string(c.qmca.equilibration_rows) + ";prefix=" + util::fpstr(c.prefix) +
+         ";sdc=" + util::hexf(c.sdc_window_low) + "," + util::hexf(c.sdc_window_high);
+}
+
+util::Bytes QmcApp::serialize_state(std::uint64_t app_seed) const {
+  const std::shared_ptr<const Trace> t = trace(app_seed);
+  util::Bytes out;
+  util::ByteWriter w(out);
+  w.str(kStateTag);
+  w.u64(app_seed);
+  write_rows(w, t->vmc_rows);
+  write_rows(w, t->dmc_rows);
+  w.f64(t->dmc_mean_energy);
+  return out;
+}
+
+bool QmcApp::restore_state(std::uint64_t app_seed, util::ByteSpan state) const {
+  {
+    // Two checkpoint entries of one (app, seed) carry identical blobs;
+    // decoding the second would only overwrite an identical cache.
+    std::lock_guard lock(cache_mutex_);
+    if (cached_trace_ && cached_seed_ == app_seed) return true;
+  }
+  try {
+    util::ByteReader r(state);
+    if (r.str() != kStateTag) return false;
+    if (r.u64() != app_seed) return false;
+    auto t = std::make_shared<Trace>();
+    t->vmc_rows = read_rows(r, config_.vmc.steps);
+    t->dmc_rows = read_rows(r, config_.dmc.steps);
+    t->dmc_mean_energy = r.f64();
+    r.expect_end();
+    std::lock_guard lock(cache_mutex_);
+    cached_trace_ = std::move(t);
+    cached_seed_ = app_seed;
+    return true;
+  } catch (const std::exception&) {
+    return false;  // truncated or foreign blob: recompute lazily instead
+  }
 }
 
 }  // namespace ffis::qmc

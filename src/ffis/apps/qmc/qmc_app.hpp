@@ -58,6 +58,15 @@ class QmcApp final : public core::Application {
   [[nodiscard]] core::Outcome classify(const core::AnalysisResult& golden,
                                        const core::AnalysisResult& faulty) const override;
 
+  // --- Persistent checkpoints ----------------------------------------------
+  /// Wavefunction, VMC/DMC series parameters, I/O flush size, QMCA window,
+  /// output prefix and the SDC energy window.
+  [[nodiscard]] std::string state_fingerprint() const override;
+  /// Serializes the cached Monte Carlo trace for `app_seed` (bit-exact
+  /// doubles) so a warm process skips the VMC + DMC simulation.
+  [[nodiscard]] util::Bytes serialize_state(std::uint64_t app_seed) const override;
+  bool restore_state(std::uint64_t app_seed, util::ByteSpan state) const override;
+
   [[nodiscard]] const QmcAppConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::string vmc_path() const { return config_.prefix + ".s000.scalar.dat"; }
   [[nodiscard]] std::string dmc_path() const { return config_.prefix + ".s001.scalar.dat"; }

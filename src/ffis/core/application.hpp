@@ -135,6 +135,47 @@ class Application {
     throw std::logic_error(name() + " is not stage-resumable");
   }
 
+  // --- Persistent checkpoints (core::CheckpointStore) -----------------------
+  //
+  // A checkpoint written to disk outlives the process, so the store must be
+  // able to tell whether a saved entry still matches this application: the
+  // file tree is captured by the snapshot, but the *configuration* that
+  // produced it (and the in-memory caches a resumed run would otherwise
+  // recompute) live here.  Three hooks cover that:
+
+  /// Stable fingerprint of every configuration knob that can influence the
+  /// bytes this instance writes or how it analyzes them (grid sizes, step
+  /// counts, paths, I/O options, classification windows...).  It becomes
+  /// part of the on-disk cache key, so two instances with equal fingerprints
+  /// MUST produce bit-identical trees and analyses for equal seeds.  The
+  /// empty default marks the application as not safely persistable: the
+  /// checkpoint store skips it and the engine silently falls back to
+  /// re-executing the prefix.  Prefix with a format tag (e.g. "nyx/1;") and
+  /// bump it when the workload's byte behavior changes incompatibly.
+  [[nodiscard]] virtual std::string state_fingerprint() const { return {}; }
+
+  /// Serializes the deterministic in-memory state a resumed run would
+  /// otherwise recompute for `app_seed` (cached fields, Monte Carlo traces,
+  /// rendered input tiles).  Stored alongside the checkpoint snapshot and
+  /// handed back through restore_state in a later process.  The empty
+  /// default means "nothing to persist" — resuming still works, the caches
+  /// just refill lazily (the re-execute fallback).
+  [[nodiscard]] virtual util::Bytes serialize_state(std::uint64_t app_seed) const {
+    (void)app_seed;
+    return {};
+  }
+
+  /// Primes this instance's caches from a serialize_state blob.  Returns
+  /// false when the blob is empty or unusable (unknown layout, wrong seed or
+  /// dimensions — e.g. written by an older build); callers treat false as
+  /// "recompute lazily", never as an error, so implementations must validate
+  /// rather than trust the bytes.
+  virtual bool restore_state(std::uint64_t app_seed, util::ByteSpan state) const {
+    (void)app_seed;
+    (void)state;
+    return false;
+  }
+
   /// Runs the post-analysis over the output files.  Exceptions propagate as
   /// Crash (e.g. HDF5 metadata validation failure, unparsable scalar file).
   [[nodiscard]] virtual AnalysisResult analyze(vfs::FileSystem& fs) const = 0;

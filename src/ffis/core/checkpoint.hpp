@@ -72,6 +72,12 @@ class Checkpoint {
   Checkpoint& operator=(const Checkpoint&) = delete;
 
  private:
+  /// The persistent store rebuilds checkpoints from disk: it constructs an
+  /// empty instance via the private constructor and decodes the serialized
+  /// snapshot tree straight into fs_ (vfs::SnapshotCodec).  A loaded
+  /// checkpoint is indistinguishable from a captured one to every consumer.
+  friend class CheckpointStore;
+
   Checkpoint(int stage, vfs::MemFs::Options options)
       : fs_(std::move(options)), stage_(stage) {}
 

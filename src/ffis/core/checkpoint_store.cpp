@@ -1,0 +1,326 @@
+#include "ffis/core/checkpoint_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ffis/util/logging.hpp"
+#include "ffis/util/serialize.hpp"
+#include "ffis/vfs/snapshot_codec.hpp"
+
+namespace ffis::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kMagic = "FFCKPT";
+constexpr std::uint8_t kKindCheckpoint = 1;
+constexpr std::uint8_t kKindGolden = 2;
+
+/// Filename-safe rendering of an application name.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out.empty() ? std::string("app") : out;
+}
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// The fingerprint/version/geometry portion of the key, folded into the
+/// filename so incompatible entries live side by side instead of thrashing
+/// one path (the fields are re-verified from the entry header on load).
+/// The exact app name participates too: sanitize() is lossy, so two names
+/// that render to the same filename stem must still get distinct paths.
+std::uint64_t key_hash(const CheckpointStore::Key& key) {
+  util::Bytes buf;
+  util::ByteWriter w(buf);
+  w.str(key.app_name);
+  w.str(key.app_fingerprint);
+  w.u64(key.chunk_size);
+  w.u32(CheckpointStore::kFormatVersion);
+  w.u32(vfs::SnapshotCodec::kFormatVersion);
+  return util::fnv1a64(buf);
+}
+
+void write_analysis(util::ByteWriter& w, const AnalysisResult& analysis) {
+  w.blob(analysis.comparison_blob);
+  w.str(analysis.report);
+  w.u64(analysis.metrics.size());
+  for (const auto& [name, value] : analysis.metrics) {
+    w.str(name);
+    w.f64(value);
+  }
+}
+
+AnalysisResult read_analysis(util::ByteReader& r) {
+  AnalysisResult analysis;
+  analysis.comparison_blob = r.blob();
+  analysis.report = r.str();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    analysis.metrics[name] = r.f64();
+  }
+  return analysis;
+}
+
+/// Header fields every entry carries; load verifies them against the key so
+/// a filename-hash collision (or a hand-renamed file) can never smuggle a
+/// foreign entry in.
+void write_key_header(util::ByteWriter& w, const CheckpointStore::Key& key,
+                      std::uint8_t kind, int stage) {
+  util::put_signature(w.out(), kMagic);
+  w.u32(CheckpointStore::kFormatVersion);
+  w.u32(vfs::SnapshotCodec::kFormatVersion);
+  w.u8(kind);
+  w.str(key.app_name);
+  w.str(key.app_fingerprint);
+  w.u64(key.app_seed);
+  w.i32(stage);
+  w.u64(key.chunk_size);
+}
+
+/// Parses and verifies the header; throws std::runtime_error on mismatch.
+void read_key_header(util::ByteReader& r, const CheckpointStore::Key& key,
+                     std::uint8_t kind, int stage) {
+  if (util::to_string(r.view(kMagic.size())) != kMagic) {
+    throw std::runtime_error("bad magic");
+  }
+  if (const auto v = r.u32(); v != CheckpointStore::kFormatVersion) {
+    throw std::runtime_error("store format version " + std::to_string(v));
+  }
+  if (const auto v = r.u32(); v != vfs::SnapshotCodec::kFormatVersion) {
+    throw std::runtime_error("snapshot codec version " + std::to_string(v));
+  }
+  if (r.u8() != kind) throw std::runtime_error("entry kind mismatch");
+  if (r.str() != key.app_name) throw std::runtime_error("application name mismatch");
+  if (r.str() != key.app_fingerprint) throw std::runtime_error("fingerprint mismatch");
+  if (r.u64() != key.app_seed) throw std::runtime_error("app_seed mismatch");
+  if (r.i32() != stage) throw std::runtime_error("stage mismatch");
+  if (r.u64() != key.chunk_size) throw std::runtime_error("chunk_size mismatch");
+}
+
+/// Reads a whole entry file and verifies its trailing checksum; returns the
+/// framed payload (everything before the trailer), or nullopt for missing
+/// files.  Throws std::runtime_error for truncated/corrupt ones.
+std::optional<util::Bytes> read_checked(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;  // plain miss
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (size < 0 || !in) throw std::runtime_error("read failed");
+  util::Bytes data(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(data.data()), size);
+    if (!in || in.gcount() != size) throw std::runtime_error("read failed");
+  }
+  if (data.size() < 8) throw std::runtime_error("shorter than its checksum trailer");
+  const std::size_t payload = data.size() - 8;
+  const std::uint64_t want = util::get_le(data, payload, 8);
+  const std::uint64_t got = util::fnv1a64(util::ByteSpan(data).first(payload));
+  if (want != got) throw std::runtime_error("checksum mismatch");
+  data.resize(payload);
+  return data;
+}
+
+/// Atomically publishes `data` (plus its checksum trailer) at `path` via a
+/// unique temp file + rename, so concurrent writers and crashed processes
+/// can never leave a half-written entry behind.
+bool write_checked(const std::string& path, util::Bytes data) {
+  static std::atomic<std::uint64_t> counter{0};
+  util::ByteWriter w(data);
+  w.u64(util::fnv1a64(util::ByteSpan(data).first(data.size())));
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+vfs::MemFs::Options frozen_options(const vfs::MemFs::Options& fs_options) {
+  vfs::MemFs::Options options = fs_options;
+  // Loaded snapshots are frozen and fork-only, exactly like captured ones.
+  options.concurrency = vfs::MemFs::Concurrency::SingleThread;
+  return options;
+}
+
+}  // namespace
+
+CheckpointStore::Key CheckpointStore::Key::of(const Application& app,
+                                              std::uint64_t app_seed, int stage,
+                                              const vfs::MemFs::Options& fs_options) {
+  return Key{app.name(), app.state_fingerprint(), app_seed, stage, fs_options.chunk_size};
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw std::runtime_error("CheckpointStore: empty directory path");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("CheckpointStore: cannot create directory " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string CheckpointStore::entry_path(const Key& key) const {
+  const std::string stage_part =
+      key.stage < 0 ? std::string("golden") : "st" + std::to_string(key.stage);
+  return (fs::path(dir_) / (sanitize(key.app_name) + "-s" + std::to_string(key.app_seed) +
+                            "-" + stage_part + "-" + hex16(key_hash(key)) + ".ffck"))
+      .string();
+}
+
+bool CheckpointStore::save_checkpoint(const Key& key, const Checkpoint& checkpoint,
+                                      const vfs::MemFs* golden_tree,
+                                      util::ByteSpan app_state) const {
+  if (key.app_fingerprint.empty() || key.stage < 0) return false;
+  util::Bytes data;
+  util::ByteWriter w(data);
+  write_key_header(w, key, kKindCheckpoint, key.stage);
+  w.blob(app_state);
+  w.u8(golden_tree != nullptr ? 1 : 0);
+  std::vector<const vfs::MemFs*> trees{&checkpoint.fs()};
+  if (golden_tree != nullptr) trees.push_back(golden_tree);
+  w.blob(vfs::SnapshotCodec::encode(
+      std::span<const vfs::MemFs* const>(trees.data(), trees.size())));
+  if (!write_checked(entry_path(key), std::move(data))) {
+    util::log_warn("checkpoint store: could not write {}", entry_path(key));
+    return false;
+  }
+  return true;
+}
+
+std::optional<CheckpointStore::LoadedCheckpoint> CheckpointStore::load_checkpoint(
+    const Key& key, const vfs::MemFs::Options& fs_options, bool want_golden_tree) const {
+  if (key.app_fingerprint.empty() || key.stage < 0) return std::nullopt;
+  const std::string path = entry_path(key);
+  try {
+    const auto data = read_checked(path);
+    if (!data) return std::nullopt;
+    util::ByteReader r{util::ByteSpan(*data)};
+    read_key_header(r, key, kKindCheckpoint, key.stage);
+
+    LoadedCheckpoint out;
+    out.app_state = r.blob();
+    const bool has_golden_tree = r.u8() != 0;
+    // View, not copy: the codec reads straight out of the file buffer.
+    const util::ByteSpan snapshot = r.view(static_cast<std::size_t>(r.u64()));
+    r.expect_end();
+
+    std::shared_ptr<Checkpoint> checkpoint(
+        new Checkpoint(key.stage, frozen_options(fs_options)));
+    std::vector<vfs::MemFs*> targets{&checkpoint->fs_};
+    std::shared_ptr<vfs::MemFs> golden_tree;
+    if (has_golden_tree) {
+      // A declined golden tree decodes as a null target: parsed over for
+      // framing, never materialized.
+      if (want_golden_tree) {
+        golden_tree =
+            std::shared_ptr<vfs::MemFs>(new vfs::MemFs(frozen_options(fs_options)));
+      }
+      targets.push_back(golden_tree.get());
+    }
+    vfs::SnapshotCodec::decode(util::ByteSpan(snapshot),
+                               std::span<vfs::MemFs* const>(targets.data(), targets.size()));
+    out.checkpoint = std::move(checkpoint);
+    out.golden_tree = std::move(golden_tree);
+    return out;
+  } catch (const std::exception& e) {
+    util::log_warn("checkpoint store: rejecting {}: {}", path, e.what());
+    return std::nullopt;
+  }
+}
+
+bool CheckpointStore::save_golden(const Key& key, const AnalysisResult& analysis,
+                                  const vfs::MemFs* tree) const {
+  if (key.app_fingerprint.empty()) return false;
+  Key golden_key = key;
+  golden_key.stage = -1;
+  util::Bytes data;
+  util::ByteWriter w(data);
+  write_key_header(w, golden_key, kKindGolden, -1);
+  write_analysis(w, analysis);
+  w.u8(tree != nullptr ? 1 : 0);
+  if (tree != nullptr) {
+    w.blob(vfs::SnapshotCodec::encode(*tree));
+  }
+  if (!write_checked(entry_path(golden_key), std::move(data))) {
+    util::log_warn("checkpoint store: could not write {}", entry_path(golden_key));
+    return false;
+  }
+  return true;
+}
+
+std::optional<CheckpointStore::LoadedGolden> CheckpointStore::load_golden(
+    const Key& key, const vfs::MemFs::Options& fs_options, bool want_tree) const {
+  if (key.app_fingerprint.empty()) return std::nullopt;
+  Key golden_key = key;
+  golden_key.stage = -1;
+  const std::string path = entry_path(golden_key);
+  try {
+    const auto data = read_checked(path);
+    if (!data) return std::nullopt;
+    util::ByteReader r{util::ByteSpan(*data)};
+    read_key_header(r, golden_key, kKindGolden, -1);
+
+    LoadedGolden out;
+    out.analysis = std::make_shared<const AnalysisResult>(read_analysis(r));
+    const bool has_tree = r.u8() != 0;
+    if (has_tree) {
+      // View, not copy — and when the caller declined the tree, the blob is
+      // only skipped over for framing validation, never materialized.
+      const util::ByteSpan snapshot = r.view(static_cast<std::size_t>(r.u64()));
+      r.expect_end();
+      if (want_tree) {
+        auto tree =
+            std::shared_ptr<vfs::MemFs>(new vfs::MemFs(frozen_options(fs_options)));
+        vfs::SnapshotCodec::decode(snapshot, *tree);
+        out.tree = std::move(tree);
+      }
+    } else {
+      r.expect_end();
+    }
+    return out;
+  } catch (const std::exception& e) {
+    util::log_warn("checkpoint store: rejecting {}: {}", path, e.what());
+    return std::nullopt;
+  }
+}
+
+}  // namespace ffis::core

@@ -1,0 +1,129 @@
+#pragma once
+// Persistent checkpoint store: the on-disk tier of the engine's cache
+// hierarchy (docs/ARCHITECTURE.md has the full picture).
+//
+// The in-process caches die with the process, so every fresh `ffis`
+// invocation re-executes each application's fault-free prefix — which
+// dominates wall-clock for iterative CLI workflows that run the same plan
+// repeatedly.  CheckpointStore serializes the two cacheable artifacts to a
+// directory so a later process can skip that work entirely:
+//
+//  * golden entries — key (app, fingerprint, app_seed): the golden analysis
+//    plus the golden output tree;
+//  * checkpoint entries — key (app, fingerprint, app_seed, stage): the
+//    pre-fault prefix snapshot, the golden output tree grown from it, and
+//    the application's serialize_state blob.  Both trees ride one
+//    vfs::SnapshotCodec blob, so their chunk sharing — and with it
+//    diff_tree's pointer-equality fast path — survives the round trip.
+//
+// Cache-key semantics: an entry matches only if the application name,
+// Application::state_fingerprint(), app_seed, stage, base extent size, the
+// store format version AND the snapshot codec version all match.  An
+// application with an empty fingerprint is never persisted (there is no way
+// to detect a config change, so caching would be unsound).  Per-file extent
+// overrides (MemFs::Options::chunk_size_for) are validated path-by-path at
+// decode time — a mismatch is reported by the codec naming the file, and the
+// store treats it as a miss.
+//
+// Robustness: every entry is one file, written to a temp name and renamed
+// into place (atomic on POSIX — concurrent engines sharing a directory
+// simply race to publish identical bytes), framed with a whole-file FNV-1a
+// checksum.  load() verifies the checksum and every key field before
+// decoding; corrupt, truncated, stale or version-skewed entries are logged
+// and reported as a miss, never thrown — callers rebuild and overwrite.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ffis/core/application.hpp"
+#include "ffis/core/checkpoint.hpp"
+#include "ffis/util/bytes.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::core {
+
+class CheckpointStore {
+ public:
+  /// Bump on any change to the entry layout; older files then read as stale.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Creates `dir` (and parents) if needed.  Throws std::runtime_error when
+  /// the directory cannot be created or is not writable.
+  explicit CheckpointStore(std::string dir);
+
+  /// What identifies an entry.  `stage` is ignored for golden entries (the
+  /// golden run is stage-independent).  `chunk_size` is the base extent
+  /// size of the MemFs options the trees were built with; per-file
+  /// overrides are validated structurally at decode instead.
+  struct Key {
+    std::string app_name;
+    std::string app_fingerprint;  ///< Application::state_fingerprint(); empty = unpersistable
+    std::uint64_t app_seed = 0;
+    int stage = -1;
+    std::size_t chunk_size = vfs::ExtentStore::kDefaultChunkSize;
+
+    /// Convenience: key for `app` at `stage` under `fs_options`.
+    [[nodiscard]] static Key of(const Application& app, std::uint64_t app_seed, int stage,
+                                const vfs::MemFs::Options& fs_options);
+  };
+
+  struct LoadedCheckpoint {
+    std::shared_ptr<const Checkpoint> checkpoint;
+    /// Golden output tree grown from the checkpoint, chunk-shared with it
+    /// (present iff the entry was saved with one).
+    std::shared_ptr<const vfs::MemFs> golden_tree;
+    /// The application's serialize_state blob (may be empty).
+    util::Bytes app_state;
+  };
+
+  struct LoadedGolden {
+    std::shared_ptr<const AnalysisResult> analysis;
+    /// The golden run's final output tree (present iff saved with one).
+    std::shared_ptr<const vfs::MemFs> tree;
+  };
+
+  /// Loads the checkpoint entry for `key`, rebuilding the trees under
+  /// `fs_options` (geometry is validated; concurrency is forced to
+  /// SingleThread — loaded snapshots are frozen, like captured ones).
+  /// Pass want_golden_tree = false to skip materializing the entry's golden
+  /// tree (a multi-MiB decode) when classification will not diff against it
+  /// — e.g. with diff classification off; `golden_tree` is then null even
+  /// when the entry has one.  Returns nullopt on miss, corruption, or any
+  /// mismatch — never throws for bad files.
+  [[nodiscard]] std::optional<LoadedCheckpoint> load_checkpoint(
+      const Key& key, const vfs::MemFs::Options& fs_options,
+      bool want_golden_tree = true) const;
+
+  /// Persists a checkpoint entry.  `golden_tree` may be null (saved without
+  /// diff classification).  Returns false (no file written) when the key is
+  /// unpersistable (empty fingerprint) or the write failed.
+  bool save_checkpoint(const Key& key, const Checkpoint& checkpoint,
+                       const vfs::MemFs* golden_tree, util::ByteSpan app_state) const;
+
+  /// Loads the golden entry for `key` (key.stage is ignored).  Pass
+  /// want_tree = false to skip materializing the output tree (a multi-MiB
+  /// decode) when only the analysis is needed — e.g. for keys whose every
+  /// cell diffs against a checkpoint-grown tree instead; `tree` is then
+  /// null even when the entry has one.
+  [[nodiscard]] std::optional<LoadedGolden> load_golden(
+      const Key& key, const vfs::MemFs::Options& fs_options,
+      bool want_tree = true) const;
+
+  /// Persists a golden entry; `tree` may be null.  Returns false when the
+  /// key is unpersistable or the write failed.
+  bool save_golden(const Key& key, const AnalysisResult& analysis,
+                   const vfs::MemFs* tree) const;
+
+  /// Path the entry for `key` lives at (golden entries: stage < 0).  Exposed
+  /// so tests can corrupt/truncate entries deliberately.
+  [[nodiscard]] std::string entry_path(const Key& key) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ffis::core

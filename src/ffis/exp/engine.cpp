@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ffis/core/checkpoint.hpp"
+#include "ffis/core/checkpoint_store.hpp"
 #include "ffis/core/fault_injector.hpp"
 #include "ffis/faults/fault_generator.hpp"
 #include "ffis/util/thread_pool.hpp"
@@ -29,7 +30,9 @@ struct GoldenSlot {
   /// (checkpointed cells grow their own from the checkpoint instead).
   std::shared_ptr<const vfs::MemFs> tree;
   std::string error;
-  bool executed = false;
+  bool executed = false;   ///< result available (run this process or loaded)
+  bool loaded = false;     ///< served from the persistent store, not executed
+  bool persisted = false;  ///< freshly written to the persistent store
 };
 
 /// Key of the checkpoint cache: the fault-free prefix depends on which
@@ -42,7 +45,8 @@ struct CheckpointSlot {
   /// Golden output tree grown from this checkpoint (fork + fault-free
   /// resume), shared by every cell of the key — diff classification only.
   std::shared_ptr<const vfs::MemFs> golden_tree;
-  bool captured = false;
+  bool captured = false;  ///< checkpoint available (captured or loaded)
+  bool loaded = false;    ///< served from the persistent store, prefix never ran
 };
 
 inline constexpr std::size_t kNoCheckpoint = static_cast<std::size_t>(-1);
@@ -64,6 +68,13 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
   report.cells.resize(n_cells);
 
   sink.begin(plan);
+
+  // The persistent tier (optional).  A bad directory is a configuration
+  // error and throws here, before any work is queued.
+  std::unique_ptr<core::CheckpointStore> store;
+  if (!options_.checkpoint_dir.empty()) {
+    store = std::make_unique<core::CheckpointStore>(options_.checkpoint_dir);
+  }
 
   util::ThreadPool pool(options_.threads);
 
@@ -104,19 +115,55 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       goldens[g].error = "cancelled before the golden run";
       return;
     }
+    const core::Application& app = *golden_keys[g].first;
+    const std::uint64_t app_seed = golden_keys[g].second;
+    const auto key = store ? core::CheckpointStore::Key::of(app, app_seed, -1,
+                                                            options_.fs_options)
+                           : core::CheckpointStore::Key{};
+    if (store) {
+      // Disk tier first: a valid entry replaces the whole golden execution.
+      // The tree is decoded only when some cell will diff against it
+      // (all-checkpointed keys diff against checkpoint-grown trees); an
+      // entry missing a tree that this plan needs is treated as a miss
+      // (falling back to run_golden would otherwise cost an extra full run
+      // later, in prepare_with_golden).
+      const bool tree_needed = golden_tree_needed[g] != 0;
+      if (auto loaded = store->load_golden(key, options_.fs_options, tree_needed)) {
+        if (!tree_needed || loaded->tree != nullptr) {
+          goldens[g].result = std::move(loaded->analysis);
+          goldens[g].tree = std::move(loaded->tree);
+          goldens[g].executed = true;
+          goldens[g].loaded = true;
+          return;
+        }
+      }
+    }
     try {
+      // With a store active, always retain the output tree: the golden run
+      // materializes it for free, and persisting it is what lets a later
+      // process diff-classify without ever executing the workload.
+      const bool retain_tree = golden_tree_needed[g] != 0 ||
+                               (store != nullptr && !key.app_fingerprint.empty());
       goldens[g].result = std::make_shared<const core::AnalysisResult>(
-          core::FaultInjector::run_golden(
-              *golden_keys[g].first, golden_keys[g].second,
-              golden_tree_needed[g] != 0 ? &goldens[g].tree : nullptr,
-              options_.fs_options));
+          core::FaultInjector::run_golden(app, app_seed,
+                                          retain_tree ? &goldens[g].tree : nullptr,
+                                          options_.fs_options));
       goldens[g].executed = true;
+      if (store && store->save_golden(key, *goldens[g].result, goldens[g].tree.get())) {
+        goldens[g].persisted = true;
+      }
+      // The tree was retained only to persist it; drop it unless a cell
+      // actually diffs against it.
+      if (golden_tree_needed[g] == 0) goldens[g].tree.reset();
     } catch (const std::exception& e) {
       goldens[g].error = std::string("golden run failed: ") + e.what();
     }
   });
   for (const auto& g : goldens) {
-    if (g.executed) ++report.golden_executions;
+    if (!g.executed) continue;
+    if (g.loaded) ++report.goldens_loaded;
+    if (!g.loaded) ++report.golden_executions;
+    if (g.persisted) ++report.goldens_persisted;
   }
   // A cell is a cache hit only when the shared golden actually succeeded.
   for (std::size_t i = 0; i < n_cells; ++i) {
@@ -150,10 +197,68 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
   }
 
   std::vector<CheckpointSlot> checkpoints(checkpoint_keys.size());
+  std::vector<char> checkpoint_persisted(checkpoint_keys.size(), 0);
+  // serialize_state is stage-independent (it captures the app's per-seed
+  // caches), so one blob serves every checkpoint key of an (app, app_seed)
+  // pair — memoized here instead of re-encoding a multi-MiB field per stage.
+  std::map<GoldenKey, std::pair<std::once_flag, util::Bytes>> app_state_blobs;
+  std::mutex app_state_mutex;
+  const auto app_state_for = [&](const core::Application* app,
+                                 std::uint64_t app_seed) -> const util::Bytes& {
+    std::pair<std::once_flag, util::Bytes>* slot;
+    {
+      std::lock_guard lock(app_state_mutex);
+      slot = &app_state_blobs[GoldenKey{app, app_seed}];  // node-stable map
+    }
+    // The (potentially multi-MiB) encode runs outside the map lock, so
+    // workers saving different apps' checkpoints don't convoy on it.
+    std::call_once(slot->first, [&] { slot->second = app->serialize_state(app_seed); });
+    return slot->second;
+  };
   util::parallel_for(pool, checkpoint_keys.size(), [&](std::size_t k) {
     if (cancel_requested()) return;
+    const auto& [app, app_seed, stage] = checkpoint_keys[k];
+    const auto key = store ? core::CheckpointStore::Key::of(*app, app_seed, stage,
+                                                            options_.fs_options)
+                           : core::CheckpointStore::Key{};
+    if (store) {
+      // Disk tier: a valid entry skips the prefix execution entirely.  The
+      // saved blob carries the application's serialized in-memory state
+      // (restore failure is harmless — run_from recomputes lazily) and the
+      // golden output tree still chunk-shared with the snapshot, so
+      // diff_tree keeps its pointer-equality fast path on the warm path.
+      if (auto loaded = store->load_checkpoint(key, options_.fs_options,
+                                               options_.use_diff_classification)) {
+        if (!loaded->app_state.empty()) {
+          (void)app->restore_state(app_seed, loaded->app_state);
+        }
+        checkpoints[k].checkpoint = std::move(loaded->checkpoint);
+        checkpoints[k].golden_tree = std::move(loaded->golden_tree);
+        if (options_.use_diff_classification && checkpoints[k].golden_tree == nullptr) {
+          // Entry predates diff classification being on: grow the tree from
+          // the loaded snapshot (suffix-only execution, no prefix stages)
+          // and write the upgraded entry back, so the *next* warm process
+          // skips even this suffix run instead of re-growing forever.
+          try {
+            checkpoints[k].golden_tree =
+                checkpoints[k].checkpoint->grow_golden_tree(*app, app_seed);
+            if (store->save_checkpoint(key, *checkpoints[k].checkpoint,
+                                       checkpoints[k].golden_tree.get(),
+                                       app_state_for(app, app_seed))) {
+              checkpoint_persisted[k] = 1;
+            }
+          } catch (const std::exception&) {
+            checkpoints[k].checkpoint.reset();
+          }
+        }
+        if (checkpoints[k].checkpoint != nullptr) {
+          checkpoints[k].captured = true;
+          checkpoints[k].loaded = true;
+          return;
+        }
+      }
+    }
     try {
-      const auto& [app, app_seed, stage] = checkpoint_keys[k];
       checkpoints[k].checkpoint =
           core::Checkpoint::capture(*app, app_seed, stage, options_.fs_options);
       if (options_.use_diff_classification) {
@@ -163,6 +268,12 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
             checkpoints[k].checkpoint->grow_golden_tree(*app, app_seed);
       }
       checkpoints[k].captured = true;
+      if (store &&
+          store->save_checkpoint(key, *checkpoints[k].checkpoint,
+                                 checkpoints[k].golden_tree.get(),
+                                 app_state_for(app, app_seed))) {
+        checkpoint_persisted[k] = 1;
+      }
     } catch (const std::exception&) {
       // The prefix is a strict subset of the golden run, which succeeded; a
       // capture failure is therefore unreachable for a deterministic app.
@@ -170,9 +281,12 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       // whose own profiling run reports the failure faithfully.
     }
   });
-  for (const auto& slot : checkpoints) {
+  for (std::size_t k = 0; k < checkpoints.size(); ++k) {
+    const CheckpointSlot& slot = checkpoints[k];
     if (!slot.captured) continue;
-    ++report.checkpoint_builds;
+    if (slot.loaded) ++report.checkpoints_loaded;
+    if (!slot.loaded) ++report.checkpoint_builds;
+    if (checkpoint_persisted[k] != 0) ++report.checkpoints_persisted;
     report.checkpoint_bytes += slot.checkpoint->stored_bytes();
     report.checkpoint_chunks += slot.checkpoint->allocated_chunks();
   }
@@ -217,6 +331,7 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
         injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint,
                                               checkpoints[cp].golden_tree);
         report.cells[i].checkpointed = true;  // distinct i: no write contention
+        report.cells[i].checkpoint_loaded = checkpoints[cp].loaded;
       } else {
         injectors[i]->prepare_with_golden(golden.result, golden.tree);
       }

@@ -17,6 +17,12 @@
 //  * Streaming sinks — finished cells are emitted to a ResultSink in plan
 //    order as they complete (not after the whole plan), with progress and
 //    cancellation hooks.
+//  * Persistent checkpoints (EngineOptions::checkpoint_dir) — golden runs
+//    and checkpoint captures can additionally be served from an on-disk
+//    core::CheckpointStore shared across processes, so a repeated CLI
+//    invocation of the same plan skips the fault-free prefix entirely.
+//    The resolution order per cell is: in-process cache -> disk store ->
+//    full execution; every tier preserves bit-identical tallies.
 //
 // Determinism: per-run seeds are derived exactly as core::Campaign derives
 // them (faults::FaultGenerator::run_seed over the cell seed), results land
@@ -40,6 +46,18 @@ struct EngineOptions {
   std::size_t threads = 0;
   /// Retain every RunResult in CellResult::details (memory ~ total runs).
   bool keep_details = false;
+  /// Persistent checkpoint store directory (created if missing); empty (the
+  /// default) keeps all caching in-process.  When set, golden runs and
+  /// pre-fault checkpoints are loaded from disk when a valid entry exists —
+  /// keyed by (application name, Application::state_fingerprint, app_seed,
+  /// stage, extent geometry, format versions); corrupt or stale entries are
+  /// rejected by checksum/field checks and silently rebuilt — and persisted
+  /// after capture otherwise, so a second process running the same plan
+  /// executes zero fault-free prefix stages (ExperimentReport counts
+  /// loads/persists).  Applications with an empty fingerprint always
+  /// re-execute.  Requires use_checkpoints for the checkpoint entries;
+  /// golden entries are loaded either way.
+  std::string checkpoint_dir;
   /// Checkpoint reuse: for a stage-instrumented cell of a stage-resumable
   /// application, capture the fault-free prefix (stages < instrumented
   /// stage) once per (app, app_seed, stage), then fork the copy-on-write

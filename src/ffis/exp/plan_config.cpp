@@ -107,7 +107,8 @@ PlanConfig parse_plan_config(const std::string& text) {
                                   "defaults");
     }
 
-    const bool engine_key = (key == "threads" || key == "csv" || key == "jsonl");
+    const bool engine_key = (key == "threads" || key == "csv" || key == "jsonl" ||
+                             key == "checkpoint_dir");
     if (engine_key) {
       if (!in_defaults) {
         throw std::invalid_argument("plan config line " + std::to_string(line_number) +
@@ -118,8 +119,10 @@ PlanConfig parse_plan_config(const std::string& text) {
         plan.threads = static_cast<std::size_t>(parse_positive(value, key, line_number));
       } else if (key == "csv") {
         plan.csv_path = value;
-      } else {
+      } else if (key == "jsonl") {
         plan.jsonl_path = value;
+      } else {
+        plan.checkpoint_dir = value;
       }
       continue;
     }

@@ -8,6 +8,9 @@
 //   threads = 0           # engine workers; 0 = all hardware threads
 //   csv = results.csv     # optional: stream cells to a CSV file
 //   jsonl = results.jsonl # optional: stream cells to a JSON-lines file
+//   checkpoint_dir = .ffis-checkpoints  # optional: persistent checkpoint
+//                         # store shared across invocations (warm starts
+//                         # skip the fault-free prefix entirely)
 //   application = nyx     # cells inherit any campaign key set here
 //
 //   # Each [cell] header starts one cell; its lines override the defaults.
@@ -42,6 +45,10 @@ struct PlanConfig {
   std::size_t threads = 0;
   std::string csv_path;    ///< empty = no CSV sink
   std::string jsonl_path;  ///< empty = no JSONL sink
+  /// Persistent checkpoint store directory (EngineOptions::checkpoint_dir);
+  /// empty = no cross-process caching.  The `--checkpoint-dir` CLI flag
+  /// overrides it.
+  std::string checkpoint_dir;
 };
 
 /// Parses a plan document.  Throws std::invalid_argument on syntax errors,

@@ -43,6 +43,10 @@ struct CellResult {
   /// The checkpoint itself was captured for an earlier cell of the same
   /// (app, app_seed, stage) and reused here.
   bool checkpoint_cached = false;
+  /// The checkpoint came from the persistent on-disk store
+  /// (EngineOptions::checkpoint_dir) instead of being captured this process
+  /// — i.e. this cell executed no fault-free prefix stages at all.
+  bool checkpoint_loaded = false;
   /// Non-empty when the cell could not run at all (golden run threw, or the
   /// application never executes the target primitive — tally is empty then),
   /// or when harness infrastructure failed mid-cell (tally covers only the
@@ -59,6 +63,14 @@ struct ExperimentReport {
   std::uint64_t golden_cache_hits = 0;
   std::uint64_t checkpoint_builds = 0;      ///< fault-free prefix captures executed
   std::uint64_t checkpoint_cache_hits = 0;  ///< cells that reused a cached checkpoint
+  // Persistent-store traffic (EngineOptions::checkpoint_dir; all 0 without
+  // one).  A fully warm plan shows golden_executions == checkpoint_builds
+  // == 0 with checkpoints_loaded == the number of checkpoint keys — the
+  // "zero prefix stages" signature.
+  std::uint64_t checkpoints_loaded = 0;     ///< checkpoint entries served from disk
+  std::uint64_t checkpoints_persisted = 0;  ///< checkpoint entries written to disk
+  std::uint64_t goldens_loaded = 0;         ///< golden entries served from disk
+  std::uint64_t goldens_persisted = 0;      ///< golden entries written to disk
   /// Memory held by the engine's checkpoint cache: extent-stored bytes (and
   /// allocated extents) summed over the captured snapshots — actual
   /// footprint, not logical file sizes (sparse payloads store less).

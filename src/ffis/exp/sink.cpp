@@ -17,12 +17,19 @@ constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
     "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
-    "golden_cached,checkpointed,error";
+    "golden_cached,checkpointed,checkpoint_loaded,error";
 
 /// Earlier on-disk generations, still readable so archived campaign grids
 /// stay loadable for comparison.  The document's header picks the layout;
 /// absent columns default to zero.
 ///
+/// Diff-classification era (phase timers, no checkpoint_loaded column):
+constexpr const char* kTimedCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+    "golden_cached,checkpointed,error";
+
 /// Extent-store era (storage-traffic columns, no phase timers):
 constexpr const char* kExtentCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
@@ -35,7 +42,7 @@ constexpr const char* kLegacyCsvHeader =
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 /// Which column set a document uses (decided by its header).
-enum class CsvGeneration { Legacy16, Extent19, Timed22 };
+enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23 };
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -156,6 +163,7 @@ SinkRow to_sink_row(const CellResult& result) {
   row.analyze_skipped = result.analyze_skipped;
   row.golden_cached = result.golden_cached;
   row.checkpointed = result.checkpointed;
+  row.checkpoint_loaded = result.checkpoint_loaded;
   row.error = result.error;
   return row;
 }
@@ -198,6 +206,19 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                static_cast<unsigned long long>(report.analyses_skipped),
                report.analyses_skipped == 1 ? "is" : "es",
                report.cancelled ? "; CANCELLED" : "");
+  // Persistent-store traffic, only when a checkpoint_dir was in play.
+  if (report.checkpoints_loaded + report.checkpoints_persisted + report.goldens_loaded +
+          report.goldens_persisted >
+      0) {
+    std::fprintf(out_, "[checkpoint store: %llu checkpoint%s + %llu golden%s loaded, "
+                       "%llu + %llu persisted]\n",
+                 static_cast<unsigned long long>(report.checkpoints_loaded),
+                 report.checkpoints_loaded == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.goldens_loaded),
+                 report.goldens_loaded == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.checkpoints_persisted),
+                 static_cast<unsigned long long>(report.goldens_persisted));
+  }
 }
 
 // --- CsvSink -----------------------------------------------------------------
@@ -221,8 +242,8 @@ void CsvSink::cell(const CellResult& result) {
        << row.chunks_allocated << ',' << row.chunk_detaches << ','
        << row.cow_bytes_copied << ',' << format_ms(row.execute_ms) << ','
        << format_ms(row.analyze_ms) << ',' << row.analyze_skipped << ','
-       << (row.golden_cached ? 1 : 0) << ','
-       << (row.checkpointed ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
+       << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
+       << (row.checkpoint_loaded ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
 }
 
 void CsvSink::end(const ExperimentReport& report) {
@@ -248,7 +269,8 @@ void JsonlSink::cell(const CellResult& result) {
        << ",\"analyze_ms\":" << format_ms(row.analyze_ms)
        << ",\"analyze_skipped\":" << row.analyze_skipped << ",\"golden_cached\":"
        << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
-       << (row.checkpointed ? "true" : "false") << ",\"error\":\""
+       << (row.checkpointed ? "true" : "false") << ",\"checkpoint_loaded\":"
+       << (row.checkpoint_loaded ? "true" : "false") << ",\"error\":\""
        << json_escape(row.error) << "\"}\n";
 }
 
@@ -276,13 +298,16 @@ void MultiSink::end(const ExperimentReport& report) {
 namespace {
 
 SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
-  // 22 fields is the current layout; 19 the extent-store era (no phase
-  // timers); 16 the pre-extent-store era (no storage-traffic columns
-  // either) — absent columns default to 0.  The document's header decides
-  // which applies: a row whose count disagrees with its own header is
+  // 23 fields is the current layout; 22 the diff-classification era (no
+  // checkpoint_loaded column); 19 the extent-store era (no phase timers
+  // either); 16 the pre-extent-store era (no storage-traffic columns) —
+  // absent columns default to 0.  The document's header decides which
+  // applies: a row whose count disagrees with its own header is
   // truncation/corruption, never another layout.
-  const std::size_t expected =
-      gen == CsvGeneration::Legacy16 ? 16 : gen == CsvGeneration::Extent19 ? 19 : 22;
+  const std::size_t expected = gen == CsvGeneration::Legacy16   ? 16
+                               : gen == CsvGeneration::Extent19 ? 19
+                               : gen == CsvGeneration::Timed22  ? 22
+                                                                : 23;
   if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
                                 " fields, expected " + std::to_string(expected));
@@ -307,13 +332,16 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
     row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
     row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
   }
-  if (gen == CsvGeneration::Timed22) {
+  if (gen == CsvGeneration::Timed22 || gen == CsvGeneration::Persist23) {
     row.execute_ms = parse_ms(f[i++], "execute_ms");
     row.analyze_ms = parse_ms(f[i++], "analyze_ms");
     row.analyze_skipped = parse_u64(f[i++], "analyze_skipped");
   }
   row.golden_cached = parse_u64(f[i++], "golden_cached") != 0;
   row.checkpointed = parse_u64(f[i++], "checkpointed") != 0;
+  if (gen == CsvGeneration::Persist23) {
+    row.checkpoint_loaded = parse_u64(f[i++], "checkpoint_loaded") != 0;
+  }
   row.error = f[i];
   return row;
 }
@@ -361,6 +389,10 @@ class FlatJsonObject {
     return parse_i32(at(key), key.c_str());
   }
   [[nodiscard]] bool boolean(const std::string& key) const { return at(key) == "true"; }
+  /// Missing key tolerated (legacy records predating the column): false.
+  [[nodiscard]] bool boolean_or_false(const std::string& key) const {
+    return values_.contains(key) && at(key) == "true";
+  }
 
  private:
   [[nodiscard]] const std::string& at(const std::string& key) const {
@@ -443,7 +475,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
-  CsvGeneration gen = CsvGeneration::Timed22;
+  CsvGeneration gen = CsvGeneration::Persist23;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -458,6 +490,8 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
       if (record == kCsvHeader) {
+        gen = CsvGeneration::Persist23;
+      } else if (record == kTimedCsvHeader) {
         gen = CsvGeneration::Timed22;
       } else if (record == kExtentCsvHeader) {
         gen = CsvGeneration::Extent19;
@@ -508,6 +542,7 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.analyze_skipped = obj.u64_or_zero("analyze_skipped");
     row.golden_cached = obj.boolean("golden_cached");
     row.checkpointed = obj.boolean("checkpointed");
+    row.checkpoint_loaded = obj.boolean_or_false("checkpoint_loaded");
     row.error = obj.str("error");
     rows.push_back(std::move(row));
   }

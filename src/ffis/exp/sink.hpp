@@ -118,6 +118,9 @@ struct SinkRow {
   std::uint64_t analyze_skipped = 0;   ///< runs Benign straight from the extent diff
   bool golden_cached = false;
   bool checkpointed = false;
+  /// Checkpoint served from the persistent store: this cell ran no
+  /// fault-free prefix stages at all (EngineOptions::checkpoint_dir).
+  bool checkpoint_loaded = false;
   std::string error;
 };
 

@@ -311,6 +311,14 @@ PackResult pack(const H5File& file, const WriteOptions& opt) {
 
 }  // namespace
 
+std::string options_fingerprint(const WriteOptions& options) {
+  return "h5/1;chunk=" + std::to_string(options.data_chunk_bytes) +
+         ";lock=" + (options.lock_file ? "1" : "0") +
+         ";btree=" + std::to_string(options.btree_capacity) +
+         ";snod=" + std::to_string(options.snod_capacity) +
+         ";tail=" + std::to_string(options.reserved_tail_bytes);
+}
+
 std::vector<DatasetRange> dataset_byte_ranges(const WriteInfo& info) {
   std::vector<DatasetRange> out;
   out.reserve(info.data_addresses.size());

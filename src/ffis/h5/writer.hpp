@@ -49,6 +49,15 @@ struct WriteInfo {
   FieldMap field_map;                          ///< byte map of the metadata
 };
 
+/// Stable fingerprint of the write protocol: every WriteOptions field that
+/// changes the bytes write_h5 lays down (chunking, lock-file marker, B-tree
+/// and SNOD capacities, reserved tail).  Applications using write_h5 fold
+/// this into Application::state_fingerprint() so persistent checkpoints
+/// (core::CheckpointStore) are invalidated when the layout options change —
+/// a stale plotfile snapshot would otherwise diff incorrectly against trees
+/// written under the new layout.
+[[nodiscard]] std::string options_fingerprint(const WriteOptions& options);
+
 /// Writes `file` to `path` through `fs` using the paper's write protocol.
 [[nodiscard]] WriteInfo write_h5(vfs::FileSystem& fs, const std::string& path,
                                  const H5File& file, const WriteOptions& options = {});

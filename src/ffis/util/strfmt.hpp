@@ -77,6 +77,25 @@ template <typename... Args>
   return out;
 }
 
+/// Exact hexfloat ("%a") rendering of a double — bit-faithful and
+/// locale-independent, so two values render identically iff their bit
+/// patterns match.  Used for configuration fingerprints
+/// (Application::state_fingerprint), where a lossy decimal rendering could
+/// alias two different configurations onto one cache key.
+[[nodiscard]] inline std::string hexf(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Unambiguous embedding of a free-form string in a fingerprint:
+/// length-prefixed (netstring style), so adjacent fields can never alias
+/// even when the string contains the fingerprint's own separators —
+/// ("a,b","c") and ("a","b,c") must not produce one cache key.
+[[nodiscard]] inline std::string fpstr(std::string_view s) {
+  return std::to_string(s.size()) + ":" + std::string(s);
+}
+
 /// Strips leading/trailing whitespace (the config parsers' shared helper).
 [[nodiscard]] inline std::string trim(const std::string& s) {
   const auto first = s.find_first_not_of(" \t\r\n");

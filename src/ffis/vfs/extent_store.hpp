@@ -16,6 +16,22 @@
 //    sparse regions cost their actual bytes, not full extents;
 //  * no stored byte lies at or beyond size() (shrinking trims eagerly), so
 //    growing the logical size never exposes stale data.
+//
+// Sharing invariants (what makes extent identity meaningful):
+//  * a chunk, once published to a second store (fork/copy), is immutable —
+//    every mutation goes through own_chunk, which detaches shared chunks
+//    before writing.  Pointer equality between two stores therefore *proves*
+//    byte equality of that extent, which is the whole basis of diff() and
+//    shares_all_extents_with();
+//  * pointer identity is only meaningful between stores on the same chunk
+//    grid — diff() rejects mismatched chunk sizes (and MemFs guarantees
+//    fork-derived and same-options trees agree per file, see
+//    MemFs::Options::chunk_size_for);
+//  * sharing is observational, never load-bearing for correctness: a chunk
+//    rewritten with identical bytes loses its shared pointer but still
+//    memcmp-compares equal in diff().  vfs::SnapshotCodec preserves sharing
+//    across serialize/deserialize so that trees loaded from one blob keep
+//    the pointer-equality fast path.
 
 #include <cstdint>
 #include <memory>
@@ -25,6 +41,8 @@
 #include "ffis/vfs/fs_diff.hpp"
 
 namespace ffis::vfs {
+
+class SnapshotCodec;
 
 /// Cumulative storage-layer counters.  MemFs owns one per instance (forks
 /// start from zero) and threads it through every mutating ExtentStore call;
@@ -105,6 +123,12 @@ class ExtentStore {
 
  private:
   using Chunk = std::shared_ptr<const util::Bytes>;
+
+  /// The snapshot codec walks chunk pointers directly (serialization must
+  /// observe sharing, which no byte-level API can express) and rebuilds
+  /// stores chunk-by-chunk on load so that trees decoded from one blob
+  /// share extents exactly as the serialized trees did.
+  friend class SnapshotCodec;
 
   /// The one COW detach path: privatizes a shared extent by copying its
   /// first `copy_len` stored bytes into a fresh `new_len`-byte buffer

@@ -29,6 +29,18 @@
 namespace ffis::vfs {
 
 /// Half-open dirty byte range [offset, offset + length) within one file.
+///
+/// Semantics (what a range does and does not promise):
+///  * Conservative superset: every byte that actually differs is inside some
+///    range, but a range may cover equal bytes too — ExtentStore::diff
+///    reports at extent granularity, so one differing byte dirties its whole
+///    extent.  "No range covers offset X" therefore proves byte X equal;
+///    "a range covers X" proves nothing about X itself.
+///  * Normalized: within a FileDiff, ranges are in ascending offset order,
+///    non-overlapping, with adjacent ranges merged, and length > 0.
+///  * Clamped to max(base_size, size): a pure size change (truncate or
+///    extend) appears as one range covering [min(sizes), max(sizes)) — the
+///    shorter side simply has no bytes there, which counts as a difference.
 struct ByteRange {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;

@@ -26,6 +26,11 @@
 // stats() exposes the storage layer's cumulative counters (extents
 // allocated, COW detaches, bytes copied by detaches) so tests and the
 // experiment engine can audit exactly how much copying the hot loop does.
+//
+// Frozen trees (checkpoint snapshots, golden output trees) can be
+// serialized to a versioned binary blob and back by vfs::SnapshotCodec —
+// including per-file extent geometry and cross-tree chunk sharing — which
+// is what core::CheckpointStore persists across processes.
 
 #include <cstdint>
 #include <functional>
@@ -157,6 +162,11 @@ class MemFs final : public FileSystem {
    private:
     std::mutex* m_;
   };
+
+  /// The snapshot codec enumerates and rebuilds the node table directly:
+  /// serialization must record per-file extent geometry and chunk sharing,
+  /// neither of which the FileSystem surface exposes.
+  friend class SnapshotCodec;
 
   struct ForkTag {};
   MemFs(ForkTag, const MemFs& parent, Concurrency mode);

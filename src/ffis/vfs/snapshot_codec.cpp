@@ -1,0 +1,273 @@
+#include "ffis/vfs/snapshot_codec.hpp"
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "ffis/util/chunking.hpp"
+#include "ffis/util/serialize.hpp"
+#include "ffis/vfs/file_system.hpp"
+
+namespace ffis::vfs {
+
+namespace {
+
+// 6-byte container signature; the u32 version follows it.
+constexpr std::string_view kMagic = "FFSNAP";
+
+[[noreturn]] void bad(const std::string& what) {
+  throw VfsError(VfsError::Code::InvalidArgument, "snapshot codec: " + what);
+}
+
+using Chunk = std::shared_ptr<const util::Bytes>;
+
+/// One serialized node, collected under the source tree's lock so the
+/// encoder can release it before doing any heavy byte work.  The ExtentStore
+/// copy is cheap (it shares chunks) and pins every referenced chunk alive.
+struct NodeRec {
+  std::string path;
+  bool is_dir = false;
+  std::uint32_t mode = 0;
+  ExtentStore data{ExtentStore::kDefaultChunkSize};
+};
+
+/// Content-addressed chunk table: each distinct payload extent appears once,
+/// found by pointer first (structural sharing) and by content hash + memcmp
+/// second (equal bytes in unrelated buffers).
+class ChunkTable {
+ public:
+  /// Returns the 1-based reference id for `chunk` (0 is reserved for holes).
+  std::uint64_t intern(const Chunk& chunk) {
+    const auto by_ptr = ids_by_ptr_.find(chunk.get());
+    if (by_ptr != ids_by_ptr_.end()) return by_ptr->second;
+    const std::uint64_t hash = util::fnv1a64(*chunk);
+    for (const std::uint64_t candidate : ids_by_hash_[hash]) {
+      const util::Bytes& existing = *chunks_[candidate - 1];
+      if (existing.size() == chunk->size() &&
+          std::memcmp(existing.data(), chunk->data(), existing.size()) == 0) {
+        ids_by_ptr_.emplace(chunk.get(), candidate);
+        return candidate;
+      }
+    }
+    chunks_.push_back(chunk);
+    const std::uint64_t id = chunks_.size();
+    ids_by_ptr_.emplace(chunk.get(), id);
+    ids_by_hash_[hash].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::unordered_map<const util::Bytes*, std::uint64_t> ids_by_ptr_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> ids_by_hash_;
+};
+
+}  // namespace
+
+util::Bytes SnapshotCodec::encode(std::span<const MemFs* const> trees) {
+  // Pass 1: snapshot each tree's node table under its lock.
+  std::vector<std::vector<NodeRec>> tree_nodes(trees.size());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const MemFs& fs = *trees[t];
+    MemFs::Guard lock(fs.maybe_mutex());
+    tree_nodes[t].reserve(fs.nodes_.size());
+    for (const auto& [path, node] : fs.nodes_) {
+      tree_nodes[t].push_back(NodeRec{path, node->is_dir, node->mode, node->data});
+    }
+  }
+
+  // Pass 2: intern every extent, then lay out the blob.
+  ChunkTable table;
+  std::vector<std::vector<std::vector<std::uint64_t>>> refs(trees.size());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    refs[t].resize(tree_nodes[t].size());
+    for (std::size_t n = 0; n < tree_nodes[t].size(); ++n) {
+      const NodeRec& rec = tree_nodes[t][n];
+      if (rec.is_dir) continue;
+      refs[t][n].reserve(rec.data.chunks_.size());
+      for (const Chunk& chunk : rec.data.chunks_) {
+        refs[t][n].push_back(chunk ? table.intern(chunk) : 0);
+      }
+    }
+  }
+
+  util::Bytes out;
+  util::ByteWriter w(out);
+  util::put_signature(out, kMagic);
+  w.u32(kFormatVersion);
+  w.u32(static_cast<std::uint32_t>(trees.size()));
+  w.u64(table.chunks().size());
+  for (const Chunk& chunk : table.chunks()) w.blob(*chunk);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    w.u64(tree_nodes[t].size());
+    for (std::size_t n = 0; n < tree_nodes[t].size(); ++n) {
+      const NodeRec& rec = tree_nodes[t][n];
+      w.str(rec.path);
+      w.u8(rec.is_dir ? 1 : 0);
+      w.u32(rec.mode);
+      if (!rec.is_dir) {
+        w.u64(rec.data.chunk_size());
+        w.u64(rec.data.size());
+        w.u64(refs[t][n].size());
+        for (const std::uint64_t ref : refs[t][n]) w.u64(ref);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses the fixed header; leaves `r` positioned at the chunk table.
+std::pair<std::uint32_t, std::uint32_t> read_header(util::ByteReader& r) {
+  try {
+    const util::ByteSpan sig = r.view(kMagic.size());
+    if (util::to_string(sig) != kMagic) bad("bad magic (not a snapshot blob)");
+    const std::uint32_t version = r.u32();
+    if (version != SnapshotCodec::kFormatVersion) {
+      bad("unsupported format version " + std::to_string(version) + " (this build reads " +
+          std::to_string(SnapshotCodec::kFormatVersion) + ")");
+    }
+    return {version, r.u32()};
+  } catch (const std::out_of_range& e) {
+    bad(e.what());
+  }
+}
+
+}  // namespace
+
+std::size_t SnapshotCodec::tree_count(util::ByteSpan blob) {
+  util::ByteReader r(blob);
+  return read_header(r).second;
+}
+
+void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets) {
+  util::ByteReader r(blob);
+  const std::uint32_t trees = read_header(r).second;
+  if (trees != targets.size()) {
+    bad("blob holds " + std::to_string(trees) + " trees, caller expects " +
+        std::to_string(targets.size()));
+  }
+  for (MemFs* target : targets) {
+    if (target != nullptr &&
+        (target->nodes_.size() != 1 || !target->nodes_.contains("/") ||
+         !target->handles_.empty())) {
+      bad("decode target must be a freshly constructed MemFs");
+    }
+  }
+
+  try {
+    // Chunk table: one allocation per distinct extent, shared by every
+    // referencing slot below — this is what restores pointer identity.
+    // Every entry costs at least 9 bytes (u64 length + 1 payload byte), so
+    // a count beyond remaining/9 is corruption — reject it here rather than
+    // letting vector::reserve escape as length_error/bad_alloc.
+    const std::uint64_t chunk_count = r.u64();
+    if (chunk_count > r.remaining() / 9) bad("implausible chunk count");
+    std::vector<Chunk> chunks;
+    chunks.reserve(static_cast<std::size_t>(chunk_count));
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+      const std::uint64_t len = r.u64();
+      if (len == 0) bad("chunk table entry " + std::to_string(i) + " is empty");
+      const util::ByteSpan payload = r.view(static_cast<std::size_t>(len));
+      chunks.push_back(std::make_shared<util::Bytes>(payload.begin(), payload.end()));
+    }
+
+    for (MemFs* target : targets) {
+      std::map<std::string, std::shared_ptr<MemFs::Node>> nodes;
+      const std::uint64_t node_count = r.u64();
+      for (std::uint64_t n = 0; n < node_count; ++n) {
+        const std::string path = r.str();
+        const bool is_dir = r.u8() != 0;
+        const std::uint32_t mode = r.u32();
+        if (target == nullptr) {
+          // Skipped tree: consume the record (the slot refs for files) and
+          // move on — no materialization, no geometry validation.
+          if (!is_dir) {
+            (void)r.u64();  // chunk_size
+            (void)r.u64();  // logical size
+            const std::uint64_t skip_slots = r.u64();
+            if (skip_slots > r.remaining() / 8) bad(path + " has implausible slot count");
+            for (std::uint64_t s = 0; s < skip_slots; ++s) (void)r.u64();
+          }
+          continue;
+        }
+        if (nodes.contains(path)) bad("duplicate node " + path);
+        if (is_dir) {
+          auto node = std::make_shared<MemFs::Node>(target->chunk_size_);
+          node->is_dir = true;
+          node->mode = mode;
+          nodes.emplace(path, std::move(node));
+          continue;
+        }
+        const std::uint64_t chunk_size = r.u64();
+        const std::uint64_t size = r.u64();
+        const std::uint64_t slots = r.u64();
+        if (chunk_size == 0 || chunk_size > (std::uint64_t{1} << 40)) {
+          bad("implausible extent size for " + path);
+        }
+        // The satellite geometry check: a snapshot only loads into options
+        // that reproduce its per-file extent sizes, and a mismatch names
+        // the file instead of surfacing later as a diff_tree failure.
+        std::uint64_t expected = target->chunk_size_;
+        if (target->chunk_size_for_) {
+          if (const std::size_t s = target->chunk_size_for_(path); s > 0) expected = s;
+        }
+        if (chunk_size != expected) {
+          throw VfsError(VfsError::Code::InvalidArgument,
+                         "snapshot codec: " + path + " was serialized with " +
+                             std::to_string(chunk_size) +
+                             "-byte extents but the current options (chunk_size / "
+                             "chunk_size_for) assign " +
+                             std::to_string(expected) +
+                             "; the snapshot predates a geometry change — recapture it");
+        }
+        if (slots > util::chunk_count(size, static_cast<std::size_t>(chunk_size)) ||
+            slots > r.remaining() / 8) {  // each slot record is a u64
+          bad(path + " has more extent slots than its size allows");
+        }
+        auto node = std::make_shared<MemFs::Node>(static_cast<std::size_t>(chunk_size));
+        node->mode = mode;
+        node->data.size_ = size;
+        node->data.chunks_.reserve(static_cast<std::size_t>(slots));
+        for (std::uint64_t s = 0; s < slots; ++s) {
+          const std::uint64_t ref = r.u64();
+          if (ref == 0) {
+            node->data.chunks_.emplace_back();  // hole
+            continue;
+          }
+          if (ref > chunks.size()) bad(path + " references a missing chunk");
+          const Chunk& chunk = chunks[static_cast<std::size_t>(ref - 1)];
+          const std::uint64_t begin =
+              util::chunk_begin(static_cast<std::size_t>(s),
+                                static_cast<std::size_t>(chunk_size));
+          if (chunk->size() > chunk_size || begin + chunk->size() > size) {
+            bad(path + " extent " + std::to_string(s) + " violates store invariants");
+          }
+          node->data.chunks_.push_back(chunk);
+        }
+        nodes.emplace(path, std::move(node));
+      }
+
+      if (target == nullptr) continue;  // skipped tree: nothing to install
+      if (!nodes.contains("/")) bad("tree has no root directory");
+      for (const auto& [path, node] : nodes) {
+        if (path == "/") continue;
+        const auto parent = nodes.find(parent_path(path));
+        if (parent == nodes.end() || !parent->second->is_dir) {
+          bad(path + " has no parent directory");
+        }
+      }
+      target->nodes_ = std::move(nodes);
+    }
+    r.expect_end();
+  } catch (const std::out_of_range& e) {
+    bad(e.what());
+  }
+}
+
+}  // namespace ffis::vfs

@@ -1,0 +1,82 @@
+#pragma once
+// Versioned binary serialization of MemFs trees.
+//
+// A frozen MemFs (a core::Checkpoint snapshot, a golden output tree) is a
+// node table plus extent-based COW payloads.  The codec turns one *or
+// several* such trees into a single self-contained blob and back:
+//
+//  * Content-addressed chunk table.  Every payload extent is stored exactly
+//    once per blob, keyed by its bytes: chunks shared structurally between
+//    trees (a golden tree grown from the checkpoint every run forks), chunks
+//    shared between files, and even chunks that merely *happen* to hold the
+//    same bytes all collapse to one table entry.  For checkpoint + golden
+//    tree pairs this routinely halves the blob.
+//  * Sharing survives the round trip.  Decoding materializes each table
+//    entry as one shared_ptr<const Bytes> and points every referencing slot
+//    of every tree at it — so two trees decoded from one blob share extents
+//    exactly where the serialized trees did, and vfs::MemFs::diff_tree keeps
+//    its pointer-equality fast path on loaded snapshots.
+//  * Geometry is validated on decode.  The blob records each file's extent
+//    size; decode checks it against what the target's Options (chunk_size /
+//    chunk_size_for) would assign that path and throws a VfsError naming the
+//    path on mismatch — so a changed per-file sizing hook surfaces at load
+//    time with a clear message, not as a mid-plan diff_tree failure.
+//
+// The format is little-endian, fixed-width, and versioned (kFormatVersion in
+// the header; decode rejects unknown versions).  The codec itself carries no
+// checksum — core::CheckpointStore frames blobs with a whole-file checksum —
+// but every read is bounds-checked, so truncated or corrupt input throws
+// instead of fabricating state.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ffis/util/bytes.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::vfs {
+
+class SnapshotCodec {
+ public:
+  /// Bump on any change to the blob layout; decode rejects other versions
+  /// (callers treat that as a cache miss and re-capture).
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Serializes `trees` (all must be quiescent — the usual frozen-snapshot
+  /// contract) into one blob with a shared content-addressed chunk table.
+  [[nodiscard]] static util::Bytes encode(std::span<const MemFs* const> trees);
+
+  /// Convenience single-tree overload.
+  [[nodiscard]] static util::Bytes encode(const MemFs& tree) {
+    const MemFs* p = &tree;
+    return encode(std::span<const MemFs* const>(&p, 1));
+  }
+
+  /// Rebuilds the serialized trees into `targets` (same count as encoded;
+  /// each must be freshly constructed — empty except for "/" — with the
+  /// Options the snapshot was captured under).  A null target skips that
+  /// tree: its records are parsed (bounds-checked) but nothing is
+  /// materialized or validated against any Options — callers use this to
+  /// decode one tree of a multi-tree blob cheaply.  Throws VfsError:
+  ///  * InvalidArgument when the blob is malformed, its version is unknown,
+  ///    its tree count differs from targets.size(), or a target is not empty;
+  ///  * InvalidArgument naming the offending path when a file's recorded
+  ///    extent size disagrees with what the target's chunk_size /
+  ///    chunk_size_for would assign it (the snapshot was captured under
+  ///    different geometry — recapture instead of loading).
+  static void decode(util::ByteSpan blob, std::span<MemFs* const> targets);
+
+  /// Convenience single-tree overload.
+  static void decode(util::ByteSpan blob, MemFs& target) {
+    MemFs* p = &target;
+    decode(blob, std::span<MemFs* const>(&p, 1));
+  }
+
+  /// Number of trees in an encoded blob (header peek; full validation
+  /// happens in decode).  Throws VfsError(InvalidArgument) on malformed
+  /// input.
+  [[nodiscard]] static std::size_t tree_count(util::ByteSpan blob);
+};
+
+}  // namespace ffis::vfs

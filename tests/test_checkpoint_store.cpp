@@ -1,0 +1,640 @@
+// Persistent checkpoint store tests: snapshot-codec round-trip bit-identity
+// (including chunk sharing and per-file geometry validation), store entry
+// integrity (checksum / truncation / version-bump rejection with silent
+// rebuild), cold-vs-warm engine tally equality at multiple thread counts,
+// and concurrent engines sharing one store directory.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ffis/apps/nyx/nyx_app.hpp"
+#include "ffis/core/checkpoint.hpp"
+#include "ffis/core/checkpoint_store.hpp"
+#include "ffis/exp/engine.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/util/rng.hpp"
+#include "ffis/util/serialize.hpp"
+#include "ffis/vfs/file_system.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+#include "ffis/vfs/snapshot_codec.hpp"
+
+namespace {
+
+using namespace ffis;
+namespace stdfs = std::filesystem;
+
+// --- fixtures ----------------------------------------------------------------
+
+/// Unique scratch directory per test, removed on teardown.
+class StoreDir {
+ public:
+  explicit StoreDir(const std::string& tag)
+      : path_((stdfs::temp_directory_path() /
+               ("ffis-store-test-" + tag + "-" + std::to_string(::getpid())))
+                  .string()) {
+    stdfs::remove_all(path_);
+  }
+  ~StoreDir() {
+    std::error_code ec;
+    stdfs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A fast stage-resumable application that opts into persistence.
+class PersistableToyApp final : public core::Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "ptoy"; }
+  [[nodiscard]] int stage_count() const override { return 2; }
+
+  void run(const core::RunContext& ctx) const override {
+    run_prefix(ctx, 2);
+    run_from(ctx, 2);
+  }
+  void run_prefix(const core::RunContext& ctx, int stage) const override {
+    vfs::write_text_file(ctx.fs, "/header", "MAGIC");
+    for (int s = 1; s < stage; ++s) do_stage(ctx, s);
+  }
+  void run_from(const core::RunContext& ctx, int stage) const override {
+    for (int s = stage; s <= 2; ++s) do_stage(ctx, s);
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/stage2");
+    result.report = "toy";
+    result.metrics["bytes"] = static_cast<double>(result.comparison_blob.size());
+    return result;
+  }
+  [[nodiscard]] core::Outcome classify(const core::AnalysisResult&,
+                                       const core::AnalysisResult&) const override {
+    return core::Outcome::Detected;
+  }
+
+  [[nodiscard]] std::string state_fingerprint() const override { return "ptoy/1"; }
+  [[nodiscard]] util::Bytes serialize_state(std::uint64_t app_seed) const override {
+    util::Bytes out;
+    util::ByteWriter w(out);
+    w.str("ptoy-state");
+    w.u64(app_seed);
+    return out;
+  }
+  bool restore_state(std::uint64_t app_seed, util::ByteSpan state) const override {
+    try {
+      util::ByteReader r(state);
+      if (r.str() != "ptoy-state" || r.u64() != app_seed) return false;
+      restores_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  [[nodiscard]] std::uint64_t restores() const { return restores_.load(); }
+
+ private:
+  void do_stage(const core::RunContext& ctx, int stage) const {
+    ctx.enter_stage(stage);
+    util::Rng rng(ctx.app_seed * 131 + static_cast<std::uint64_t>(stage));
+    vfs::File f(ctx.fs, std::string("/stage") + std::to_string(stage),
+                vfs::OpenMode::Write);
+    util::Bytes chunk(192);
+    for (auto& b : chunk) b = static_cast<std::byte>(rng() & 0xff);
+    (void)f.pwrite(chunk, 0);
+    ctx.leave_stage(stage);
+  }
+
+  mutable std::atomic<std::uint64_t> restores_{0};
+};
+
+/// A representative tree: directories, an empty file, a sparse file with a
+/// hole and a short tail, a mid-chunk-sized file, and one file on a custom
+/// extent size via chunk_size_for.
+vfs::MemFs::Options tree_options() {
+  vfs::MemFs::Options options;
+  options.chunk_size = 64;
+  options.chunk_size_for = [](const std::string& path) -> std::size_t {
+    return path.ends_with(".big") ? 256 : 0;
+  };
+  return options;
+}
+
+void populate_tree(vfs::MemFs& fs) {
+  fs.mkdir("/dir");
+  fs.mkdir("/dir/sub");
+  vfs::write_text_file(fs, "/dir/hello", "hello world");
+  fs.mknod("/empty", 0600);
+  {
+    vfs::File f(fs, "/dir/sub/sparse", vfs::OpenMode::Write);
+    util::Bytes data(40, std::byte{0xab});
+    (void)f.pwrite(data, 0);
+    (void)f.pwrite(data, 300);  // hole between 40 and 300, short tail at 340
+  }
+  {
+    vfs::File f(fs, "/file.big", vfs::OpenMode::Write);
+    util::Bytes data(600);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i);
+    (void)f.pwrite(data, 0);
+  }
+  fs.chmod("/dir/hello", 0400);
+}
+
+void expect_trees_identical(const vfs::MemFs& a, const vfs::MemFs& b) {
+  EXPECT_TRUE(a.diff_tree(b).empty());
+  EXPECT_TRUE(b.diff_tree(a).empty());
+}
+
+// --- snapshot codec ----------------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripBitIdentity) {
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  const util::Bytes blob = vfs::SnapshotCodec::encode(original);
+  EXPECT_EQ(vfs::SnapshotCodec::tree_count(blob), 1u);
+
+  vfs::MemFs decoded(tree_options());
+  vfs::SnapshotCodec::decode(blob, decoded);
+  expect_trees_identical(original, decoded);
+  EXPECT_EQ(decoded.stat("/dir/hello").mode, 0400u);
+  EXPECT_EQ(decoded.stat("/empty").size, 0u);
+  EXPECT_EQ(decoded.stat("/dir/sub/sparse").size, 340u);
+  EXPECT_EQ(vfs::read_text_file(decoded, "/dir/hello"), "hello world");
+  // Sparse geometry survives: the hole stores nothing.
+  EXPECT_EQ(decoded.stored_bytes(), original.stored_bytes());
+  EXPECT_EQ(decoded.allocated_chunks(), original.allocated_chunks());
+}
+
+TEST(SnapshotCodec, SharingSurvivesRoundTrip) {
+  vfs::MemFs parent(tree_options());
+  populate_tree(parent);
+  vfs::MemFs child = parent.fork();
+  {
+    vfs::File f(child, "/file.big", vfs::OpenMode::ReadWrite);
+    const util::Bytes patch(8, std::byte{0xff});
+    (void)f.pwrite(patch, 300);  // detaches one 256-byte extent
+  }
+
+  const vfs::MemFs* trees[] = {&parent, &child};
+  const util::Bytes blob = vfs::SnapshotCodec::encode(trees);
+
+  vfs::MemFs decoded_parent(tree_options());
+  vfs::MemFs decoded_child(tree_options());
+  vfs::MemFs* targets[] = {&decoded_parent, &decoded_child};
+  vfs::SnapshotCodec::decode(blob, targets);
+
+  expect_trees_identical(parent, decoded_parent);
+  expect_trees_identical(child, decoded_child);
+  // The decoded pair shares every extent the original pair shared — the
+  // untouched files show up as COW-shared bytes between the two trees.
+  EXPECT_GT(decoded_parent.cow_shared_bytes(), 0u);
+  // And the diff between the decoded trees matches the original diff.
+  const vfs::FsDiff original_diff = child.diff_tree(parent);
+  const vfs::FsDiff decoded_diff = decoded_child.diff_tree(decoded_parent);
+  ASSERT_EQ(decoded_diff.changed.size(), original_diff.changed.size());
+  ASSERT_EQ(original_diff.changed.size(), 1u);
+  EXPECT_EQ(decoded_diff.changed[0].path, "/file.big");
+  EXPECT_EQ(decoded_diff.changed[0].ranges, original_diff.changed[0].ranges);
+}
+
+TEST(SnapshotCodec, ContentAddressingDeduplicatesEqualChunks) {
+  vfs::MemFs fs(vfs::MemFs::Options{.concurrency = vfs::MemFs::Concurrency::MultiThread,
+                                    .chunk_size = 64});
+  const util::Bytes payload(64 * 8, std::byte{0x5a});
+  {
+    vfs::File a(fs, "/a", vfs::OpenMode::Write);
+    (void)a.pwrite(payload, 0);
+    vfs::File b(fs, "/b", vfs::OpenMode::Write);
+    (void)b.pwrite(payload, 0);
+  }
+  const util::Bytes blob = vfs::SnapshotCodec::encode(fs);
+  // Two identical 512-byte files encode their chunks once: well under the
+  // 1024 payload bytes plus bookkeeping that a dedup-free layout would need.
+  EXPECT_LT(blob.size(), payload.size() + 512);
+
+  vfs::MemFs decoded(vfs::MemFs::Options{
+      .concurrency = vfs::MemFs::Concurrency::MultiThread, .chunk_size = 64});
+  vfs::SnapshotCodec::decode(blob, decoded);
+  expect_trees_identical(fs, decoded);
+  // Both decoded files reference the same materialized chunks.
+  EXPECT_GT(decoded.cow_shared_bytes(), 0u);
+}
+
+TEST(SnapshotCodec, GeometryMismatchNamesThePath) {
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  const util::Bytes blob = vfs::SnapshotCodec::encode(original);
+
+  // Same base chunk size, but the per-file override hook is gone: /file.big
+  // would be rebuilt on the wrong grid.  The error must say which file.
+  vfs::MemFs::Options no_hook;
+  no_hook.chunk_size = 64;
+  vfs::MemFs target(no_hook);
+  try {
+    vfs::SnapshotCodec::decode(blob, target);
+    FAIL() << "decode accepted mismatched per-file geometry";
+  } catch (const vfs::VfsError& e) {
+    EXPECT_NE(std::string(e.what()).find("/file.big"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotCodec, TruncatedAndCorruptBlobsThrow) {
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  const util::Bytes blob = vfs::SnapshotCodec::encode(original);
+
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{5}, std::size_t{20},
+                                 blob.size() / 2, blob.size() - 1}) {
+    util::Bytes truncated(blob.begin(), blob.begin() + static_cast<std::ptrdiff_t>(keep));
+    vfs::MemFs target(tree_options());
+    EXPECT_THROW(vfs::SnapshotCodec::decode(truncated, target), vfs::VfsError)
+        << "accepted a blob truncated to " << keep << " bytes";
+  }
+
+  util::Bytes bad_magic = blob;
+  bad_magic[0] = std::byte{'X'};
+  vfs::MemFs target(tree_options());
+  EXPECT_THROW(vfs::SnapshotCodec::decode(bad_magic, target), vfs::VfsError);
+
+  // A non-empty target is rejected too.
+  vfs::MemFs dirty(tree_options());
+  dirty.mkdir("/oops");
+  EXPECT_THROW(vfs::SnapshotCodec::decode(blob, dirty), vfs::VfsError);
+}
+
+// --- checkpoint store --------------------------------------------------------
+
+core::CheckpointStore::Key toy_key(const PersistableToyApp& app, std::uint64_t seed,
+                                   int stage, const vfs::MemFs::Options& options = {}) {
+  return core::CheckpointStore::Key::of(app, seed, stage, options);
+}
+
+TEST(CheckpointStore, CheckpointRoundTrip) {
+  const StoreDir dir("ckpt-roundtrip");
+  const core::CheckpointStore store(dir.path());
+  const PersistableToyApp app;
+  const std::uint64_t seed = 77;
+
+  const auto checkpoint = core::Checkpoint::capture(app, seed, 2);
+  const auto golden_tree = checkpoint->grow_golden_tree(app, seed);
+  const util::Bytes state = app.serialize_state(seed);
+  ASSERT_TRUE(store.save_checkpoint(toy_key(app, seed, 2), *checkpoint,
+                                    golden_tree.get(), state));
+
+  const auto loaded = store.load_checkpoint(toy_key(app, seed, 2), {});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->checkpoint->stage(), 2);
+  EXPECT_EQ(loaded->app_state, state);
+  expect_trees_identical(loaded->checkpoint->fs(), checkpoint->fs());
+  ASSERT_NE(loaded->golden_tree, nullptr);
+  expect_trees_identical(*loaded->golden_tree, *golden_tree);
+  // The loaded golden tree still shares the prefix with the loaded
+  // checkpoint snapshot (pointer identity restored by the codec), so a run
+  // forked from the loaded checkpoint diffs its prefix by pointer equality.
+  EXPECT_GT(loaded->checkpoint->cow_shared_bytes(), 0u);
+
+  // Declining the golden tree skips its materialization but still loads the
+  // snapshot and app state.
+  const auto no_tree =
+      store.load_checkpoint(toy_key(app, seed, 2), {}, /*want_golden_tree=*/false);
+  ASSERT_TRUE(no_tree.has_value());
+  EXPECT_EQ(no_tree->golden_tree, nullptr);
+  EXPECT_EQ(no_tree->app_state, state);
+  expect_trees_identical(no_tree->checkpoint->fs(), checkpoint->fs());
+}
+
+TEST(CheckpointStore, GoldenRoundTrip) {
+  const StoreDir dir("golden-roundtrip");
+  const core::CheckpointStore store(dir.path());
+  const PersistableToyApp app;
+
+  vfs::MemFs tree;
+  core::RunContext ctx{.fs = tree, .app_seed = 5, .instrumented_stage = -1,
+                       .instrument = nullptr};
+  app.run(ctx);
+  const core::AnalysisResult analysis = app.analyze(tree);
+
+  ASSERT_TRUE(store.save_golden(toy_key(app, 5, -1), analysis, &tree));
+  const auto loaded = store.load_golden(toy_key(app, 5, -1), {});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->analysis->comparison_blob, analysis.comparison_blob);
+  EXPECT_EQ(loaded->analysis->report, analysis.report);
+  EXPECT_EQ(loaded->analysis->metrics, analysis.metrics);
+  ASSERT_NE(loaded->tree, nullptr);
+  expect_trees_identical(*loaded->tree, tree);
+}
+
+TEST(CheckpointStore, UnpersistableApplicationIsSkipped) {
+  const StoreDir dir("unpersistable");
+  const core::CheckpointStore store(dir.path());
+  const PersistableToyApp app;
+  core::CheckpointStore::Key key = toy_key(app, 1, 2);
+  key.app_fingerprint.clear();  // what a default Application reports
+
+  const auto checkpoint = core::Checkpoint::capture(app, 1, 2);
+  EXPECT_FALSE(store.save_checkpoint(key, *checkpoint, nullptr, {}));
+  EXPECT_FALSE(store.load_checkpoint(key, {}).has_value());
+  EXPECT_TRUE(stdfs::is_empty(dir.path()));
+}
+
+class CheckpointStoreCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<StoreDir>("corruption");
+    store_ = std::make_unique<core::CheckpointStore>(dir_->path());
+    checkpoint_ = core::Checkpoint::capture(app_, kSeed, 2);
+    ASSERT_TRUE(store_->save_checkpoint(key(), *checkpoint_, nullptr,
+                                        app_.serialize_state(kSeed)));
+    path_ = store_->entry_path(key());
+    ASSERT_TRUE(stdfs::exists(path_));
+  }
+
+  [[nodiscard]] core::CheckpointStore::Key key() const { return toy_key(app_, kSeed, 2); }
+
+  [[nodiscard]] util::Bytes read_entry() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::string raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return util::to_bytes(raw);
+  }
+  void write_entry(const util::Bytes& data) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+
+  /// The store must reject the tampered entry, then transparently rebuild
+  /// (save + load) over it.
+  void expect_rejected_then_rebuilt() {
+    EXPECT_FALSE(store_->load_checkpoint(key(), {}).has_value());
+    ASSERT_TRUE(store_->save_checkpoint(key(), *checkpoint_, nullptr,
+                                        app_.serialize_state(kSeed)));
+    const auto reloaded = store_->load_checkpoint(key(), {});
+    ASSERT_TRUE(reloaded.has_value());
+    expect_trees_identical(reloaded->checkpoint->fs(), checkpoint_->fs());
+  }
+
+  static constexpr std::uint64_t kSeed = 9;
+  PersistableToyApp app_;
+  std::unique_ptr<StoreDir> dir_;
+  std::unique_ptr<core::CheckpointStore> store_;
+  std::shared_ptr<const core::Checkpoint> checkpoint_;
+  std::string path_;
+};
+
+TEST_F(CheckpointStoreCorruption, FlippedByteIsRejectedAndRebuilt) {
+  util::Bytes data = read_entry();
+  data[data.size() / 2] ^= std::byte{0x40};
+  write_entry(data);
+  expect_rejected_then_rebuilt();
+}
+
+TEST_F(CheckpointStoreCorruption, TruncationIsRejectedAndRebuilt) {
+  util::Bytes data = read_entry();
+  data.resize(data.size() / 3);
+  write_entry(data);
+  expect_rejected_then_rebuilt();
+}
+
+TEST_F(CheckpointStoreCorruption, EmptyFileIsRejectedAndRebuilt) {
+  write_entry({});
+  expect_rejected_then_rebuilt();
+}
+
+TEST_F(CheckpointStoreCorruption, VersionBumpIsRejectedAndRebuilt) {
+  // Bump the store-format version field (u32 right after the 6-byte magic)
+  // and re-seal the checksum, simulating an entry from a future build: the
+  // checksum passes, the version check must still reject it.
+  util::Bytes data = read_entry();
+  ASSERT_GE(data.size(), 18u);
+  data.resize(data.size() - 8);  // strip the old checksum
+  util::put_le_at(data, 6, core::CheckpointStore::kFormatVersion + 1, 4);
+  util::ByteWriter w(data);
+  w.u64(util::fnv1a64(util::ByteSpan(data)));
+  write_entry(data);
+  expect_rejected_then_rebuilt();
+}
+
+TEST(CheckpointStore, PerFileGeometryChangeIsAMiss) {
+  const StoreDir dir("geometry");
+  const core::CheckpointStore store(dir.path());
+  const PersistableToyApp app;
+
+  vfs::MemFs::Options saved_options;
+  saved_options.chunk_size_for = [](const std::string& path) -> std::size_t {
+    return path == "/stage1" ? 32 : 0;
+  };
+  const auto checkpoint = core::Checkpoint::capture(app, 3, 2, saved_options);
+  ASSERT_TRUE(store.save_checkpoint(toy_key(app, 3, 2, saved_options), *checkpoint,
+                                    nullptr, {}));
+
+  // Same base chunk size (same store key), different per-file override: the
+  // codec rejects the entry at load and the store reports a miss.
+  vfs::MemFs::Options hookless;
+  EXPECT_FALSE(store.load_checkpoint(toy_key(app, 3, 2, hookless), hookless).has_value());
+  // With the original hook it loads fine.
+  EXPECT_TRUE(
+      store.load_checkpoint(toy_key(app, 3, 2, saved_options), saved_options).has_value());
+}
+
+// --- engine integration ------------------------------------------------------
+
+nyx::NyxConfig small_nyx_config() {
+  nyx::NyxConfig config;
+  config.field.n = 16;
+  config.timesteps = 2;
+  return config;
+}
+
+exp::ExperimentPlan nyx_plan(const core::Application& app, std::uint64_t runs) {
+  return exp::PlanBuilder()
+      .runs(runs)
+      .seed(42)
+      .app(app)
+      .faults({"BF", "SHORN_WRITE@pwrite"})
+      .stage(2)
+      .product()
+      .build();
+}
+
+void expect_equal_tallies(const exp::ExperimentReport& a, const exp::ExperimentReport& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    ASSERT_TRUE(a.cells[i].error.empty()) << a.cells[i].error;
+    ASSERT_TRUE(b.cells[i].error.empty()) << b.cells[i].error;
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      const auto outcome = static_cast<core::Outcome>(o);
+      EXPECT_EQ(a.cells[i].tally.count(outcome), b.cells[i].tally.count(outcome))
+          << "cell " << i << " outcome " << o;
+    }
+  }
+}
+
+TEST(EngineCheckpointStore, WarmStartSkipsPrefixWithIdenticalTallies) {
+  const StoreDir dir("engine-warm");
+  constexpr std::uint64_t kRuns = 12;
+
+  // Cold process: no entries yet — everything executes, then persists.
+  nyx::NyxApp cold_app(small_nyx_config());
+  exp::EngineOptions options;
+  options.threads = 2;
+  options.checkpoint_dir = dir.path();
+  exp::Engine cold_engine(options);
+  const auto cold = cold_engine.run(nyx_plan(cold_app, kRuns));
+  EXPECT_EQ(cold.golden_executions, 1u);
+  EXPECT_EQ(cold.checkpoint_builds, 1u);  // both cells share one (app, seed, stage)
+  EXPECT_EQ(cold.checkpoints_loaded, 0u);
+  EXPECT_EQ(cold.checkpoints_persisted, 1u);
+  EXPECT_EQ(cold.goldens_loaded, 0u);
+  EXPECT_EQ(cold.goldens_persisted, 1u);
+  for (const auto& cell : cold.cells) EXPECT_FALSE(cell.checkpoint_loaded);
+
+  // Warm "process" (fresh engine AND fresh app instance, so in-memory
+  // caches are cold): zero golden executions, zero prefix captures — the
+  // zero-prefix-stages signature — at 1 and 4 threads, bit-identical.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    nyx::NyxApp warm_app(small_nyx_config());
+    exp::EngineOptions warm_options = options;
+    warm_options.threads = threads;
+    exp::Engine warm_engine(warm_options);
+    const auto warm = warm_engine.run(nyx_plan(warm_app, kRuns));
+    EXPECT_EQ(warm.golden_executions, 0u) << threads << " threads";
+    EXPECT_EQ(warm.checkpoint_builds, 0u) << threads << " threads";
+    EXPECT_EQ(warm.goldens_loaded, 1u);
+    EXPECT_EQ(warm.checkpoints_loaded, 1u);
+    EXPECT_EQ(warm.checkpoints_persisted, 0u);
+    for (const auto& cell : warm.cells) {
+      EXPECT_TRUE(cell.checkpointed);
+      EXPECT_TRUE(cell.checkpoint_loaded);
+    }
+    expect_equal_tallies(cold, warm);
+  }
+}
+
+TEST(EngineCheckpointStore, WarmStartMatchesStorelessRun) {
+  // The store must change nothing but time: a run without any store and a
+  // warm run from a populated store produce bit-identical tallies.
+  const StoreDir dir("engine-vs-storeless");
+  constexpr std::uint64_t kRuns = 10;
+
+  nyx::NyxApp plain_app(small_nyx_config());
+  exp::EngineOptions plain_options;
+  plain_options.threads = 2;
+  const auto plain = exp::Engine(plain_options).run(nyx_plan(plain_app, kRuns));
+
+  exp::EngineOptions store_options = plain_options;
+  store_options.checkpoint_dir = dir.path();
+  nyx::NyxApp cold_app(small_nyx_config());
+  const auto cold = exp::Engine(store_options).run(nyx_plan(cold_app, kRuns));
+  nyx::NyxApp warm_app(small_nyx_config());
+  const auto warm = exp::Engine(store_options).run(nyx_plan(warm_app, kRuns));
+
+  expect_equal_tallies(plain, cold);
+  expect_equal_tallies(plain, warm);
+  EXPECT_EQ(warm.checkpoints_loaded, 1u);
+}
+
+TEST(EngineCheckpointStore, RestoresApplicationState) {
+  const StoreDir dir("engine-appstate");
+  const PersistableToyApp cold_app;
+  exp::EngineOptions options;
+  options.threads = 1;
+  options.checkpoint_dir = dir.path();
+
+  const auto plan_for = [](const core::Application& app) {
+    return exp::PlanBuilder().runs(4).seed(7).app(app).fault("BF").stage(2).product().build();
+  };
+  (void)exp::Engine(options).run(plan_for(cold_app));
+  EXPECT_EQ(cold_app.restores(), 0u);
+
+  const PersistableToyApp warm_app;
+  const auto warm = exp::Engine(options).run(plan_for(warm_app));
+  EXPECT_EQ(warm.checkpoints_loaded, 1u);
+  EXPECT_EQ(warm_app.restores(), 1u);
+}
+
+TEST(EngineCheckpointStore, TreelessEntryIsUpgradedOnceThenFullyWarm) {
+  // A store populated with diff classification OFF holds checkpoint entries
+  // without golden trees.  A diff-on engine must (a) still load them and
+  // grow the tree from the snapshot (suffix-only, no prefix), (b) write the
+  // upgraded entry back, so (c) the next diff-on process is fully warm.
+  const StoreDir dir("engine-upgrade");
+  constexpr std::uint64_t kRuns = 8;
+
+  exp::EngineOptions off_options;
+  off_options.threads = 1;
+  off_options.checkpoint_dir = dir.path();
+  off_options.use_diff_classification = false;
+  nyx::NyxApp cold_app(small_nyx_config());
+  const auto cold = exp::Engine(off_options).run(nyx_plan(cold_app, kRuns));
+  EXPECT_EQ(cold.checkpoints_persisted, 1u);
+
+  exp::EngineOptions on_options = off_options;
+  on_options.use_diff_classification = true;
+  nyx::NyxApp upgrade_app(small_nyx_config());
+  const auto upgraded = exp::Engine(on_options).run(nyx_plan(upgrade_app, kRuns));
+  EXPECT_EQ(upgraded.checkpoints_loaded, 1u);
+  EXPECT_EQ(upgraded.checkpoint_builds, 0u);
+  EXPECT_EQ(upgraded.checkpoints_persisted, 1u);  // the upgrade write-back
+  expect_equal_tallies(cold, upgraded);
+
+  nyx::NyxApp warm_app(small_nyx_config());
+  const auto warm = exp::Engine(on_options).run(nyx_plan(warm_app, kRuns));
+  EXPECT_EQ(warm.checkpoints_loaded, 1u);
+  EXPECT_EQ(warm.checkpoints_persisted, 0u);  // nothing left to upgrade
+  expect_equal_tallies(cold, warm);
+}
+
+TEST(EngineCheckpointStore, ConcurrentEnginesShareOneStoreDir) {
+  const StoreDir dir("engine-concurrent");
+  constexpr std::uint64_t kRuns = 8;
+  constexpr int kEngines = 3;
+
+  // Reference tallies without any store.
+  nyx::NyxApp ref_app(small_nyx_config());
+  exp::EngineOptions ref_options;
+  ref_options.threads = 2;
+  const auto reference = exp::Engine(ref_options).run(nyx_plan(ref_app, kRuns));
+
+  // N engines race on one directory: every save is temp-file + rename, so
+  // whatever interleaving happens, each engine sees either a miss (and
+  // rebuilds) or a complete valid entry — never a torn one.
+  std::vector<exp::ExperimentReport> reports(kEngines);
+  std::vector<std::unique_ptr<nyx::NyxApp>> apps;
+  for (int e = 0; e < kEngines; ++e) {
+    apps.push_back(std::make_unique<nyx::NyxApp>(small_nyx_config()));
+  }
+  std::vector<std::thread> threads;
+  for (int e = 0; e < kEngines; ++e) {
+    threads.emplace_back([&, e] {
+      exp::EngineOptions options;
+      options.threads = 1;
+      options.checkpoint_dir = dir.path();
+      reports[static_cast<std::size_t>(e)] =
+          exp::Engine(options).run(nyx_plan(*apps[static_cast<std::size_t>(e)], kRuns));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& report : reports) expect_equal_tallies(reference, report);
+
+  // And a final warm run over whatever the race left behind.
+  nyx::NyxApp warm_app(small_nyx_config());
+  exp::EngineOptions options;
+  options.threads = 1;
+  options.checkpoint_dir = dir.path();
+  const auto warm = exp::Engine(options).run(nyx_plan(warm_app, kRuns));
+  EXPECT_EQ(warm.checkpoints_loaded, 1u);
+  EXPECT_EQ(warm.golden_executions, 0u);
+  expect_equal_tallies(reference, warm);
+}
+
+}  // namespace

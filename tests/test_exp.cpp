@@ -434,6 +434,7 @@ TEST(Sinks, CsvRoundTrip) {
     EXPECT_NEAR(rows[i].analyze_ms, expected.analyze_ms, 1e-3);
     EXPECT_EQ(rows[i].analyze_skipped, expected.analyze_skipped);
     EXPECT_EQ(rows[i].golden_cached, expected.golden_cached);
+    EXPECT_EQ(rows[i].checkpoint_loaded, expected.checkpoint_loaded);
     EXPECT_EQ(rows[i].error, expected.error);
   }
 }
@@ -548,6 +549,45 @@ TEST(Sinks, ReadersAcceptExtentEraFilesWithoutTimerColumns) {
   EXPECT_EQ(jsonl_rows[0].analyze_skipped, 0u);
 }
 
+TEST(Sinks, ReadersAcceptTimedEraFilesWithoutCheckpointLoadedColumn) {
+  // The diff-classification generation (phase timers, no checkpoint_loaded
+  // column) must stay loadable; the persistence flag defaults to false.
+  const std::string timed_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+      "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+      "golden_cached,checkpointed,error\n"
+      "0,PR4-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,12.5000,3.2500,6,1,1,\n";
+  std::istringstream csv_in(timed_csv);
+  const auto csv_rows = exp::read_csv_results(csv_in);
+  ASSERT_EQ(csv_rows.size(), 1u);
+  EXPECT_EQ(csv_rows[0].label, "PR4-BF");
+  EXPECT_NEAR(csv_rows[0].execute_ms, 12.5, 1e-9);
+  EXPECT_EQ(csv_rows[0].analyze_skipped, 6u);
+  EXPECT_TRUE(csv_rows[0].checkpointed);
+  EXPECT_FALSE(csv_rows[0].checkpoint_loaded);
+
+  // A 22-field row under the current 23-column header is truncation.
+  const std::string truncated_csv =
+      std::string(exp::CsvSink::header()) + "\n" +
+      "0,PR4-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,12.5000,3.2500,6,1,1,\n";
+  std::istringstream truncated_in(truncated_csv);
+  EXPECT_THROW((void)exp::read_csv_results(truncated_in), std::invalid_argument);
+
+  const std::string timed_jsonl =
+      "{\"index\":0,\"label\":\"PR4-BF\",\"application\":\"nyx\",\"fault\":\"BF\","
+      "\"stage\":2,\"runs\":10,\"seed\":42,\"primitive_count\":7,\"benign\":8,"
+      "\"detected\":1,\"sdc\":1,\"crash\":0,\"faults_not_fired\":2,"
+      "\"chunks_allocated\":33,\"chunk_detaches\":4,\"cow_bytes_copied\":4096,"
+      "\"execute_ms\":12.5000,\"analyze_ms\":3.2500,\"analyze_skipped\":6,"
+      "\"golden_cached\":true,\"checkpointed\":true,\"error\":\"\"}\n";
+  std::istringstream jsonl_in(timed_jsonl);
+  const auto jsonl_rows = exp::read_jsonl_results(jsonl_in);
+  ASSERT_EQ(jsonl_rows.size(), 1u);
+  EXPECT_EQ(jsonl_rows[0].analyze_skipped, 6u);
+  EXPECT_FALSE(jsonl_rows[0].checkpoint_loaded);
+}
+
 TEST(Sinks, CellsReportPhaseTimersAndSkips) {
   // Each run contributes execute/analyze wall time; with diff classification
   // on by default the toy app's Benign-identical runs may skip analysis, and
@@ -605,6 +645,7 @@ runs = 6
 seed = 11
 threads = 2
 csv = out.csv
+checkpoint_dir = .ffis-checkpoints
 
 [cell]
 application = nyx
@@ -632,6 +673,7 @@ TEST(PlanConfig, ParsesDefaultsAndCells) {
   EXPECT_EQ(config.threads, 2u);
   EXPECT_EQ(config.csv_path, "out.csv");
   EXPECT_TRUE(config.jsonl_path.empty());
+  EXPECT_EQ(config.checkpoint_dir, ".ffis-checkpoints");
   ASSERT_EQ(config.cells.size(), 3u);
   EXPECT_EQ(config.cells[0].application, "nyx");
   EXPECT_EQ(config.cells[0].runs, 6u);
@@ -654,6 +696,8 @@ TEST(PlanConfig, RejectsBadInput) {
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\nruns =  -5\n"),
                std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\nthreads = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\ncheckpoint_dir = /tmp/x\n"),
                std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[weird]\n"), std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\nno equals sign\n"),

@@ -1,7 +1,8 @@
 // ffis — command-line driver for the FFIS fault-injection framework.
 //
 // Subcommands:
-//   ffis plan     <config-file>   run a multi-cell experiment plan
+//   ffis plan     <config-file> [--checkpoint-dir DIR]
+//                                 run a multi-cell experiment plan
 //   ffis campaign <config-file>   run a single fault-injection campaign
 //   ffis sweep    <config-file>   byte-wise HDF5 metadata sweep (Table III)
 //   ffis profile  <config-file>   fault-free I/O profile of an application
@@ -29,6 +30,10 @@
 //   threads = 0              # engine workers; 0 = all hardware threads
 //   csv = results.csv        # optional: also stream results to CSV
 //   jsonl = results.jsonl    # optional: also stream results to JSON lines
+//   checkpoint_dir = .ffis-checkpoints  # optional: persist golden runs and
+//                            # pre-fault checkpoints across invocations, so
+//                            # re-running the plan skips every fault-free
+//                            # prefix (the --checkpoint-dir flag overrides)
 //
 //   [cell]
 //   application = nyx
@@ -68,15 +73,19 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ffis <plan|campaign|sweep|profile> <config-file>\n"
+               "usage: ffis plan <config-file> [--checkpoint-dir DIR]\n"
+               "       ffis <campaign|sweep|profile> <config-file>\n"
                "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
                "       ffis demo\n"
                "\n"
                "plan runs a multi-cell experiment plan: defaults (runs, seed,\n"
-               "threads, optional csv/jsonl output paths) followed by one [cell]\n"
-               "block per campaign cell (application, fault, stage, label, app\n"
-               "extras).  See the header of tools/ffis_cli.cpp or README.md for\n"
-               "a commented example.\n");
+               "threads, optional csv/jsonl output paths, optional\n"
+               "checkpoint_dir) followed by one [cell] block per campaign cell\n"
+               "(application, fault, stage, label, app extras).  With a\n"
+               "checkpoint dir (flag or config key), golden runs and pre-fault\n"
+               "checkpoints persist across invocations and a repeated plan\n"
+               "skips the fault-free prefix entirely.  See the header of\n"
+               "tools/ffis_cli.cpp or README.md for a commented example.\n");
   return 2;
 }
 
@@ -134,8 +143,11 @@ int cmd_campaign(const std::string& config_path) {
   return 0;
 }
 
-int cmd_plan(const std::string& config_path) {
-  const auto plan_config = exp::parse_plan_config(slurp(config_path));
+int cmd_plan(const std::string& config_path, const std::string& checkpoint_dir_override) {
+  auto plan_config = exp::parse_plan_config(slurp(config_path));
+  if (!checkpoint_dir_override.empty()) {
+    plan_config.checkpoint_dir = checkpoint_dir_override;
+  }
   const auto plan = exp::build_plan(plan_config);
 
   std::printf("experiment plan: %zu cells, %llu total runs\n\n", plan.size(),
@@ -162,6 +174,7 @@ int cmd_plan(const std::string& config_path) {
 
   exp::EngineOptions options;
   options.threads = plan_config.threads;
+  options.checkpoint_dir = plan_config.checkpoint_dir;
   options.progress = print_run_progress;
   exp::Engine engine(options);
   const auto report = engine.run(plan, sink);
@@ -265,7 +278,14 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    if (command == "plan" && argc == 3) return cmd_plan(argv[2]);
+    if (command == "plan" && (argc == 3 || argc == 5)) {
+      std::string checkpoint_dir;
+      if (argc == 5) {
+        if (std::string(argv[3]) != "--checkpoint-dir") return usage();
+        checkpoint_dir = argv[4];
+      }
+      return cmd_plan(argv[2], checkpoint_dir);
+    }
     if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
     if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
     if (command == "profile" && argc == 3) return cmd_profile(argv[2]);
