@@ -42,8 +42,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -51,6 +53,8 @@
 #include "ffis/apps/nyx/nyx_app.hpp"
 #include "ffis/apps/qmc/qmc_app.hpp"
 #include "ffis/core/outcome.hpp"
+#include "ffis/dist/coordinator.hpp"
+#include "ffis/dist/worker.hpp"
 
 namespace {
 
@@ -137,6 +141,45 @@ std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
       .num("analyses_skipped", v.report.analyses_skipped)
       .raw("cells", ffis::bench::json_array(cells));
   return obj.render();
+}
+
+/// Runs `plan` on an in-process dist::Coordinator with `n_workers` worker
+/// threads of one execution thread each — so "2 workers vs 1 worker" measures
+/// fleet scaling, not thread-pool scaling.
+VariantResult run_distributed_variant(const ffis::exp::ExperimentPlan& plan,
+                                      const ffis::exp::EngineOptions& engine_options,
+                                      std::size_t n_workers,
+                                      std::uint64_t unit_runs) {
+  ffis::dist::CoordinatorOptions options;
+  options.unit_runs = unit_runs;
+  options.engine = engine_options;
+  ffis::dist::Coordinator coordinator(plan, options);
+  const std::uint16_t port = coordinator.port();
+
+  VariantResult out;
+  const auto start = Clock::now();
+  std::thread serve([&] { out.report = coordinator.run(); });
+  std::vector<std::thread> fleet;
+  fleet.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    fleet.emplace_back([&plan, port, i] {
+      ffis::dist::WorkerOptions wo;
+      wo.name = "bench-worker-" + std::to_string(i);
+      wo.threads = 1;
+      wo.plan = &plan;
+      (void)ffis::dist::run_worker("127.0.0.1", port, wo);
+    });
+  }
+  for (auto& t : fleet) t.join();
+  serve.join();
+  out.wall_ms = ms_since(start);
+  out.runs_per_sec = static_cast<double>(out.report.total_runs) / (out.wall_ms / 1000.0);
+  for (const auto& cell : out.report.cells) {
+    if (!cell.error.empty()) {
+      throw std::runtime_error("cell " + cell.cell.label + " failed: " + cell.error);
+    }
+  }
+  return out;
 }
 
 void assert_identical_tallies(const VariantResult& a, const VariantResult& b,
@@ -317,6 +360,67 @@ int main(int argc, char** argv) {
                   static_cast<double>(adaptive_runs),
               uniform.runs_per_sec, adaptive.runs_per_sec);
 
+  // --- Distributed execution: coordinator + local worker fleet ---------------
+  //
+  // The nyx/qmc stage-2 cells again, executed through dist::Coordinator with
+  // in-process workers of ONE thread each — so doubling the fleet should
+  // roughly double throughput as long as coordination (framing, merge,
+  // grant bookkeeping) stays off the critical path.  The fleet shares a
+  // pre-populated checkpoint store (the local reference run below writes
+  // it), which is the deployment the subsystem is designed for: goldens and
+  // prefix checkpoints travel through the store, so adding a worker does not
+  // re-execute any fault-free prefix work.  Tallies must be bit-identical to
+  // the local engine at the same seeds; that equivalence — including under
+  // worker loss — is tested exhaustively in tests/test_dist.cpp, and
+  // asserted here on the merged reports.
+  // Enough runs per cell that execution dominates the per-worker fixed costs
+  // (store loads, per-cell profiling passes) — fleet scaling is about the
+  // steady state, not about setup.
+  const std::uint64_t dist_runs = std::max<std::uint64_t>(runs / 3, 90);
+  auto dist_builder = bench::plan(dist_runs);
+  dist_builder.app(nyx).faults(faults).stage(2).product();
+  dist_builder.app(qmc).faults(faults).stage(2).product();
+  const auto dist_plan = dist_builder.build();
+
+  const auto dist_store = std::filesystem::temp_directory_path() /
+                          ("ffis-bench-dist-store-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dist_store);
+  exp::EngineOptions dist_engine = diff_options;
+  dist_engine.checkpoint_dir = dist_store.string();
+
+  std::printf("\n-- distributed (coordinator + N one-thread workers, %llu runs x "
+              "%zu cells, shared store) --\n",
+              static_cast<unsigned long long>(dist_runs), dist_plan.size());
+  const VariantResult dist_local = run_variant(dist_plan, dist_engine);
+  // One unit per cell: workers own disjoint cells, so the per-cell residue
+  // that even a warm store leaves (entry decode, one profiling pass) is
+  // split across the fleet instead of repeated by every worker that touches
+  // a cell.  Real campaigns get the same affinity from the scheduler's LIFO
+  // grant order whenever runs-per-cell >> unit_runs.
+  const std::uint64_t dist_unit_runs = dist_runs;
+  const VariantResult dist1 =
+      run_distributed_variant(dist_plan, dist_engine, 1, dist_unit_runs);
+  const VariantResult dist2 =
+      run_distributed_variant(dist_plan, dist_engine, 2, dist_unit_runs);
+  std::filesystem::remove_all(dist_store);
+  assert_identical_tallies(dist_local, dist1, "distributed execution (1 worker)");
+  assert_identical_tallies(dist_local, dist2, "distributed execution (2 workers)");
+
+  const double dist_speedup = dist2.runs_per_sec / dist1.runs_per_sec;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("1 worker:  %8.1f runs/sec  (%.0f ms)\n", dist1.runs_per_sec,
+              dist1.wall_ms);
+  std::printf("2 workers: %8.1f runs/sec  (%.0f ms, %llu re-granted)\n",
+              dist2.runs_per_sec, dist2.wall_ms,
+              static_cast<unsigned long long>(dist2.report.units_regranted));
+  std::printf("fleet speedup: %5.2fx (2 workers vs 1, %u core%s)\n", dist_speedup,
+              cores, cores == 1 ? "" : "s");
+  if (cores < 2) {
+    std::printf("NOTE: single-core machine — two CPU-bound workers time-slice one "
+                "core, so fleet speedup is bounded at ~1.0x here; CI measures "
+                "scaling on multi-core runners.\n");
+  }
+
   // --- Warm start: the persistent checkpoint store ---------------------------
   //
   // With FFIS_CHECKPOINT_DIR set, the main plan runs once more against that
@@ -381,6 +485,16 @@ int main(int argc, char** argv) {
       .num("full_analyze_ms", analysis_full.report.cells[0].analyze_ms)
       .num("diff_analyze_ms", analysis_diff.report.cells[0].analyze_ms)
       .num("analyses_skipped", analysis_diff.report.cells[0].analyze_skipped);
+  ffis::bench::JsonObject dist_doc;
+  dist_doc.num("runs_per_cell", dist_runs)
+      .num("cells", static_cast<std::uint64_t>(dist_plan.size()))
+      .num("cores", static_cast<std::uint64_t>(cores))
+      .num("local_runs_per_sec", dist_local.runs_per_sec)
+      .num("workers1_runs_per_sec", dist1.runs_per_sec)
+      .num("workers2_runs_per_sec", dist2.runs_per_sec)
+      .num("speedup", dist_speedup)
+      .num("workers_connected", dist2.report.workers_connected)
+      .num("units_regranted", dist2.report.units_regranted);
   ffis::bench::JsonObject adaptive_doc;
   adaptive_doc.str("label", "NYX2-ADAPTIVE")
       .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))
@@ -406,7 +520,8 @@ int main(int argc, char** argv) {
       .raw("checkpointed", variant_json(checkpointed, vfs::ExtentStore::kDefaultChunkSize))
       .raw("diff_classified", variant_json(diffclass, vfs::ExtentStore::kDefaultChunkSize))
       .raw("analysis_dominated", analysis_doc.render())
-      .raw("adaptive_extents", adaptive_doc.render());
+      .raw("adaptive_extents", adaptive_doc.render())
+      .raw("distributed", dist_doc.render());
   if (!persistent_json.empty()) doc.raw("persistent_store", persistent_json);
   bench::write_json_file(json_path, doc);
   std::printf("\nwrote %s\n", json_path.c_str());

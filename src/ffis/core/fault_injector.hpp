@@ -43,6 +43,9 @@ struct RunResult {
   /// The extent diff was empty, so the run was classified Benign with no
   /// analysis at all.
   bool analyze_skipped = false;
+  /// Which fleet member executed the run under a dist::Coordinator (ids are
+  /// handed out at handshake time, starting at 1); 0 for local execution.
+  std::uint32_t worker_id = 0;
 };
 
 class FaultInjector {

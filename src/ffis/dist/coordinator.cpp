@@ -1,0 +1,355 @@
+#include "ffis/dist/coordinator.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "ffis/net/framing.hpp"
+
+namespace ffis::dist {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const exp::ExperimentPlan& plan, CoordinatorOptions options)
+    : plan_(plan),
+      options_(std::move(options)),
+      fingerprint_(plan_fingerprint(plan)),
+      listener_(net::Listener::listen(options_.port)),
+      scheduler_(shard_plan(plan, options_.unit_runs)),
+      cells_(plan.size()) {
+  report_.cells.resize(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const std::uint64_t runs = plan.cells()[i].runs;
+    cells_[i].rows.resize(runs);
+    cells_[i].executed.assign(runs, 0);
+    cells_[i].row_worker.assign(runs, 0);
+  }
+}
+
+Coordinator::~Coordinator() {
+  listener_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+exp::ExperimentReport Coordinator::run() {
+  exp::NullSink sink;
+  return run(sink);
+}
+
+exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
+  sink.begin(plan_);
+  {
+    std::lock_guard lock(mutex_);
+    sink_ = &sink;
+    serving_ = true;
+    // Zero-run cells produce no units and no rows; they are final already.
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      if (plan_.cells()[i].runs == 0) finalize_cell_locked(i);
+    }
+    emit_in_order_locked();
+  }
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+
+  {
+    std::unique_lock lock(mutex_);
+    while (!plan_finished_locked() && !cancelled_) {
+      if (options_.unit_timeout_ms > 0) {
+        // Sweep for stale grants at a fraction of the timeout so a hung
+        // worker delays its units by at most ~1.25x the configured budget.
+        work_cv_.wait_for(
+            lock, std::chrono::milliseconds(1 + options_.unit_timeout_ms / 4));
+        if (scheduler_.requeue_stale(now_ms(), options_.unit_timeout_ms) > 0) {
+          work_cv_.notify_all();
+        }
+      } else {
+        work_cv_.wait(lock);
+      }
+    }
+    serving_ = false;  // handlers answer every further WorkRequest with Shutdown
+  }
+  work_cv_.notify_all();
+
+  // Stop accepting, then wait for every handler: each one exits when its
+  // worker drains the Shutdown reply and closes (or when the peer just dies).
+  listener_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+
+  exp::ExperimentReport report;
+  {
+    std::lock_guard lock(mutex_);
+    // Cancellation can leave cells partially executed; finalize them with
+    // whatever rows arrived (the engine reports partial tallies the same way).
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      if (!cells_[i].ready) finalize_cell_locked(i);
+    }
+    emit_in_order_locked();
+    for (const auto& cell : report_.cells) {
+      report_.total_runs += cell.runs_completed;
+      report_.analyses_skipped += cell.analyze_skipped;
+    }
+    report_.units_regranted = scheduler_.regranted();
+    report_.cancelled = cancelled_;
+    report = std::move(report_);
+    sink_ = nullptr;
+  }
+  sink.end(report);
+  return report;
+}
+
+void Coordinator::request_cancel() noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    cancelled_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void Coordinator::accept_loop() {
+  for (;;) {
+    net::Socket socket;
+    try {
+      socket = listener_.accept();
+    } catch (const net::NetError&) {
+      return;  // listener_.shutdown() — run() is winding down
+    }
+    std::lock_guard lock(mutex_);
+    handlers_.emplace_back(&Coordinator::handle_connection, this, std::move(socket));
+  }
+}
+
+bool Coordinator::handshake(net::Socket& socket, std::uint32_t worker_id) {
+  const auto frame = net::recv_frame(socket);
+  if (!frame) return false;
+  const Hello hello = decode_hello(*frame);
+  if (hello.magic != kProtocolMagic) {
+    const auto reject = encode(HelloReject{"bad protocol magic"});
+    net::send_frame(socket, reject);
+    return false;
+  }
+  if (hello.version != kProtocolVersion) {
+    const auto reject = encode(HelloReject{
+        "protocol version mismatch: coordinator speaks v" +
+        std::to_string(kProtocolVersion) + ", worker speaks v" +
+        std::to_string(hello.version)});
+    net::send_frame(socket, reject);
+    return false;
+  }
+  HelloAck ack;
+  ack.worker_id = worker_id;
+  ack.plan_fingerprint = fingerprint_;
+  ack.plan_text = options_.plan_text;
+  ack.checkpoint_dir = options_.engine.checkpoint_dir;
+  ack.chunk_size = options_.engine.fs_options.chunk_size;
+  ack.use_checkpoints = options_.engine.use_checkpoints;
+  ack.use_diff_classification = options_.engine.use_diff_classification;
+  const auto encoded = encode(ack);
+  net::send_frame(socket, encoded);
+  return true;
+}
+
+void Coordinator::handle_connection(net::Socket socket) {
+  std::uint32_t worker_id = 0;
+  try {
+    {
+      std::lock_guard lock(mutex_);
+      worker_id = next_worker_id_++;
+    }
+    if (!handshake(socket, worker_id)) return;
+    {
+      std::lock_guard lock(mutex_);
+      ++report_.workers_connected;
+    }
+
+    while (const auto frame = net::recv_frame(socket)) {
+      switch (peek_type(*frame)) {
+        case MsgType::WorkRequest: {
+          util::Bytes reply;
+          {
+            std::unique_lock lock(mutex_);
+            for (;;) {
+              if (cancelled_ || !serving_ || plan_finished_locked()) {
+                reply = encode(Shutdown{});
+                break;
+              }
+              if (auto unit = scheduler_.grant(worker_id, now_ms())) {
+                WorkGrant grant;
+                grant.unit_id = unit->unit_id;
+                grant.cell_index = unit->cell_index;
+                grant.run_begin = unit->run_begin;
+                grant.run_end = unit->run_end;
+                reply = encode(grant);
+                break;
+              }
+              work_cv_.wait(lock);
+            }
+          }
+          net::send_frame(socket, reply);
+          break;
+        }
+        case MsgType::CellInfo:
+          on_cell_info(decode_cell_info(*frame), worker_id);
+          break;
+        case MsgType::RunRow:
+          on_run_row(decode_run_row(*frame), worker_id);
+          break;
+        case MsgType::UnitDone: {
+          const UnitDone done = decode_unit_done(*frame);
+          std::lock_guard lock(mutex_);
+          if (scheduler_.complete(done.unit_id, worker_id) &&
+              plan_finished_locked()) {
+            work_cv_.notify_all();
+          }
+          break;
+        }
+        default:
+          throw net::NetError("unexpected message from worker " +
+                              std::to_string(worker_id));
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed frame or a peer that died mid-message: treat exactly like a
+    // disconnect — the worker's granted units are re-queued below.
+  }
+  std::lock_guard lock(mutex_);
+  if (scheduler_.on_worker_lost(worker_id) > 0 || plan_finished_locked()) {
+    work_cv_.notify_all();
+  }
+}
+
+void Coordinator::on_cell_info(const CellInfo& info, std::uint32_t worker_id) {
+  std::lock_guard lock(mutex_);
+  if (info.cell_index >= cells_.size()) {
+    throw net::NetError("CellInfo for out-of-plan cell " +
+                        std::to_string(info.cell_index));
+  }
+  CellState& st = cells_[info.cell_index];
+  if (!st.has_info) {
+    st.info = info;
+    st.has_info = true;
+  }
+  if (!info.error.empty() && st.error.empty()) {
+    // Preparation is deterministic, so this cell fails on every worker:
+    // abandon its remaining units and finalize it with an empty tally (the
+    // engine reports prepare failures the same way).
+    st.error = info.error;
+    st.worker_ids.insert(worker_id);
+    scheduler_.abandon_cell(info.cell_index);
+    maybe_finalize_locked(info.cell_index);
+    work_cv_.notify_all();  // abandoning units can finish the plan
+  }
+}
+
+void Coordinator::on_run_row(const RunRow& row, std::uint32_t worker_id) {
+  std::lock_guard lock(mutex_);
+  if (row.cell_index >= cells_.size()) {
+    throw net::NetError("RunRow for out-of-plan cell " +
+                        std::to_string(row.cell_index));
+  }
+  CellState& st = cells_[row.cell_index];
+  if (row.run_index >= st.rows.size()) {
+    throw net::NetError("RunRow for out-of-range run " +
+                        std::to_string(row.run_index) + " of cell " +
+                        std::to_string(row.cell_index));
+  }
+  // First wins: a re-granted unit reproduces byte-identical rows (seeds are
+  // pure functions of run index), so dropping duplicates loses nothing.
+  if (st.executed[row.run_index] != 0) return;
+  st.rows[row.run_index] = row;
+  st.executed[row.run_index] = 1;
+  st.row_worker[row.run_index] = worker_id;
+  st.worker_ids.insert(worker_id);
+  ++st.executed_count;
+  maybe_finalize_locked(row.cell_index);
+}
+
+bool Coordinator::plan_finished_locked() const { return scheduler_.all_done(); }
+
+void Coordinator::maybe_finalize_locked(std::size_t i) {
+  CellState& st = cells_[i];
+  if (st.ready) return;
+  const std::uint64_t runs = plan_.cells()[i].runs;
+  if (!st.error.empty() || st.executed_count == runs) {
+    finalize_cell_locked(i);
+    emit_in_order_locked();
+  }
+}
+
+void Coordinator::finalize_cell_locked(std::size_t i) {
+  CellState& st = cells_[i];
+  exp::CellResult& out = report_.cells[i];
+  out.index = i;
+  out.cell = plan_.cells()[i];
+  out.error = st.error;
+  if (st.has_info) {
+    out.primitive_count = st.info.primitive_count;
+    out.golden_cached = st.info.golden_cached;
+    out.checkpointed = st.info.checkpointed;
+    out.checkpoint_loaded = st.info.checkpoint_loaded;
+  }
+  out.worker_ids.assign(st.worker_ids.begin(), st.worker_ids.end());
+  // Tally in run order — the engine's finalize discipline, and the reason
+  // distributed tallies are bit-identical to single-process ones.
+  for (std::size_t r = 0; r < st.rows.size(); ++r) {
+    if (st.executed[r] == 0) continue;
+    const RunRow& rr = st.rows[r];
+    ++out.runs_completed;
+    out.tally.add(rr.outcome);
+    if (!rr.fault_fired && rr.outcome != core::Outcome::Crash) ++out.faults_not_fired;
+    out.chunks_allocated += rr.fs_stats.chunks_allocated;
+    out.chunk_detaches += rr.fs_stats.chunk_detaches;
+    out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
+    out.execute_ms += rr.execute_ms;
+    out.analyze_ms += rr.analyze_ms;
+    if (rr.analyze_skipped) ++out.analyze_skipped;
+  }
+  if (options_.engine.keep_details) {
+    out.details.reserve(out.runs_completed);
+    for (std::size_t r = 0; r < st.rows.size(); ++r) {
+      if (st.executed[r] == 0) continue;
+      const RunRow& rr = st.rows[r];
+      core::RunResult detail;
+      detail.outcome = rr.outcome;
+      detail.fault_fired = rr.fault_fired;
+      detail.analyze_skipped = rr.analyze_skipped;
+      detail.fs_stats = rr.fs_stats;
+      detail.execute_ms = rr.execute_ms;
+      detail.analyze_ms = rr.analyze_ms;
+      detail.worker_id = st.row_worker[r];
+      out.details.push_back(std::move(detail));
+    }
+  }
+  st.rows.clear();
+  st.rows.shrink_to_fit();
+  st.executed.clear();
+  st.executed.shrink_to_fit();
+  st.ready = true;
+}
+
+void Coordinator::emit_in_order_locked() {
+  while (next_emit_ < cells_.size() && cells_[next_emit_].ready) {
+    if (sink_ != nullptr) sink_->cell(report_.cells[next_emit_]);
+    ++next_emit_;
+  }
+}
+
+}  // namespace ffis::dist

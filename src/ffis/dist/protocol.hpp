@@ -1,0 +1,164 @@
+#pragma once
+// Wire protocol of the distributed campaign layer (dist::Coordinator /
+// dist::Worker).  Each message is one net frame whose payload starts with a
+// one-byte type tag followed by fixed-width little-endian fields encoded via
+// util::ByteWriter; decoding is strict (ByteReader::expect_end), so trailing
+// garbage, truncation and forged length prefixes all surface as exceptions
+// the connection handler turns into a dropped peer.
+//
+// Message set (one logical conversation per worker connection):
+//
+//   worker -> coordinator        coordinator -> worker
+//   ---------------------        ---------------------
+//   Hello {version, name}        HelloAck {worker_id, plan, options}
+//                                HelloReject {reason}     (version skew, ...)
+//   WorkRequest {}               WorkGrant {unit, cell, run range}
+//                                Shutdown {}              (plan complete)
+//   CellInfo {cell, prep facts}  — once per cell per worker, before its rows
+//   RunRow {unit, cell, run, outcome, counters}  — one per executed run
+//   UnitDone {unit}
+//
+// The worker never receives unsolicited messages: after Hello it strictly
+// alternates "send WorkRequest, read one reply", and everything it sends in
+// between (CellInfo/RunRow/UnitDone) needs no reply.  That keeps both ends
+// single-threaded per connection with blocking sockets and no state machine
+// beyond "current unit".
+
+#include <cstdint>
+#include <string>
+
+#include "ffis/core/outcome.hpp"
+#include "ffis/exp/plan.hpp"
+#include "ffis/util/bytes.hpp"
+#include "ffis/vfs/extent_store.hpp"
+
+namespace ffis::dist {
+
+/// Bump on any wire-format change; a Hello with a different version is
+/// rejected during the handshake (version-skewed workers must not compute).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// First field of every Hello; guards against a stray client that speaks
+/// some other protocol entirely.
+inline constexpr std::uint32_t kProtocolMagic = 0x46464953;  // "SIFF" LE = "FFIS"
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,
+  HelloAck,
+  HelloReject,
+  WorkRequest,
+  WorkGrant,
+  CellInfo,
+  RunRow,
+  UnitDone,
+  Shutdown,
+};
+
+struct Hello {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t version = kProtocolVersion;
+  std::string worker_name;
+};
+
+struct HelloAck {
+  std::uint32_t worker_id = 0;
+  /// Fingerprint of the coordinator's plan (plan_fingerprint below).  A
+  /// worker running a locally-supplied plan verifies it matches before
+  /// executing anything; a mismatched plan would silently corrupt tallies.
+  std::uint64_t plan_fingerprint = 0;
+  /// The coordinator's plan-config text (exp::parse_plan_config dialect);
+  /// empty when every worker is expected to hold a local plan (in-process
+  /// workers).  Remote workers build their plan from this.
+  std::string plan_text;
+  /// Checkpoint-store directory shared by the fleet (may be empty).  Workers
+  /// fetch/publish prefix snapshots and goldens here instead of shipping
+  /// multi-MiB trees over the socket.
+  std::string checkpoint_dir;
+  /// Base extent size every worker must use (0 = ExtentStore default).
+  /// Uniform geometry keeps store entries shareable and fs-stats columns
+  /// comparable across the fleet.
+  std::uint64_t chunk_size = 0;
+  bool use_checkpoints = true;
+  bool use_diff_classification = true;
+};
+
+struct HelloReject {
+  std::string reason;
+};
+
+struct WorkRequest {};
+
+struct WorkGrant {
+  std::uint64_t unit_id = 0;
+  std::uint32_t cell_index = 0;
+  std::uint64_t run_begin = 0;
+  std::uint64_t run_end = 0;  ///< exclusive
+};
+
+/// Per-cell preparation facts, sent once per cell by each worker before that
+/// cell's first RunRow.  The coordinator keeps the first arrival; a non-empty
+/// `error` means the cell cannot run anywhere (prepare is deterministic) and
+/// its units are abandoned.
+struct CellInfo {
+  std::uint32_t cell_index = 0;
+  std::uint64_t primitive_count = 0;
+  bool golden_cached = false;
+  bool checkpointed = false;
+  bool checkpoint_loaded = false;
+  std::string error;
+};
+
+/// One executed injection run — exactly the fields the coordinator needs to
+/// rebuild CellResult tallies and sink rows bit-identically.  Deliberately
+/// excludes the analysis blob and crash text (only keep_details consumers
+/// would see them, and they can be MiB-sized).
+struct RunRow {
+  std::uint64_t unit_id = 0;
+  std::uint32_t cell_index = 0;
+  std::uint64_t run_index = 0;
+  core::Outcome outcome = core::Outcome::Benign;
+  bool fault_fired = false;
+  bool analyze_skipped = false;
+  vfs::FsStats fs_stats{};
+  double execute_ms = 0.0;
+  double analyze_ms = 0.0;
+};
+
+struct UnitDone {
+  std::uint64_t unit_id = 0;
+};
+
+struct Shutdown {};
+
+/// The type tag of an encoded message.  Throws std::out_of_range on an empty
+/// payload and std::invalid_argument on an unknown tag.
+[[nodiscard]] MsgType peek_type(util::ByteSpan payload);
+
+[[nodiscard]] util::Bytes encode(const Hello& m);
+[[nodiscard]] util::Bytes encode(const HelloAck& m);
+[[nodiscard]] util::Bytes encode(const HelloReject& m);
+[[nodiscard]] util::Bytes encode(const WorkRequest& m);
+[[nodiscard]] util::Bytes encode(const WorkGrant& m);
+[[nodiscard]] util::Bytes encode(const CellInfo& m);
+[[nodiscard]] util::Bytes encode(const RunRow& m);
+[[nodiscard]] util::Bytes encode(const UnitDone& m);
+[[nodiscard]] util::Bytes encode(const Shutdown& m);
+
+// Strict decoders: the payload must carry the matching tag and nothing but
+// the message's fields.  Throw std::out_of_range (truncation / forged length
+// prefixes) or std::invalid_argument (wrong tag, out-of-range enum).
+[[nodiscard]] Hello decode_hello(util::ByteSpan payload);
+[[nodiscard]] HelloAck decode_hello_ack(util::ByteSpan payload);
+[[nodiscard]] HelloReject decode_hello_reject(util::ByteSpan payload);
+[[nodiscard]] WorkGrant decode_work_grant(util::ByteSpan payload);
+[[nodiscard]] CellInfo decode_cell_info(util::ByteSpan payload);
+[[nodiscard]] RunRow decode_run_row(util::ByteSpan payload);
+[[nodiscard]] UnitDone decode_unit_done(util::ByteSpan payload);
+
+/// Order-sensitive digest of what a plan *executes*: per cell, the
+/// application name, fault text, stage, runs and seed (labels are
+/// presentation-only and excluded).  Both ends compute it independently;
+/// equality means their per-run seeds and outcomes will be bit-identical.
+[[nodiscard]] std::uint64_t plan_fingerprint(const exp::ExperimentPlan& plan);
+
+}  // namespace ffis::dist

@@ -1,0 +1,109 @@
+#include "ffis/dist/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ffis::dist {
+
+std::vector<WorkUnit> shard_plan(const exp::ExperimentPlan& plan,
+                                 std::uint64_t unit_runs) {
+  if (unit_runs == 0) {
+    throw std::invalid_argument("shard_plan: unit_runs must be positive");
+  }
+  std::vector<WorkUnit> units;
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    const std::uint64_t runs = plan.cells()[c].runs;
+    for (std::uint64_t begin = 0; begin < runs; begin += unit_runs) {
+      WorkUnit u;
+      u.unit_id = units.size();
+      u.cell_index = static_cast<std::uint32_t>(c);
+      u.run_begin = begin;
+      u.run_end = std::min(runs, begin + unit_runs);
+      units.push_back(u);
+    }
+  }
+  return units;
+}
+
+UnitScheduler::UnitScheduler(std::vector<WorkUnit> units)
+    : units_(std::move(units)), slots_(units_.size()) {
+  // Seed the stack in reverse so pop_back hands units out in plan order:
+  // consecutive units of one cell land on the same worker while it still has
+  // that cell's injector prepared.
+  pending_.reserve(units_.size());
+  for (std::size_t i = units_.size(); i > 0; --i) {
+    pending_.push_back(units_[i - 1].unit_id);
+  }
+}
+
+std::optional<WorkUnit> UnitScheduler::grant(std::uint32_t worker_id,
+                                             std::uint64_t now_ms) {
+  while (!pending_.empty()) {
+    const std::uint64_t id = pending_.back();
+    pending_.pop_back();
+    Slot& slot = slots_[id];
+    if (slot.state != State::Pending) continue;  // abandoned while queued
+    slot.state = State::Granted;
+    slot.worker_id = worker_id;
+    slot.granted_at_ms = now_ms;
+    return units_[id];
+  }
+  return std::nullopt;
+}
+
+bool UnitScheduler::complete(std::uint64_t unit_id, std::uint32_t worker_id) {
+  if (unit_id >= slots_.size()) return false;
+  Slot& slot = slots_[unit_id];
+  if (slot.state != State::Granted || slot.worker_id != worker_id) return false;
+  slot.state = State::Done;
+  ++done_;
+  return true;
+}
+
+std::size_t UnitScheduler::on_worker_lost(std::uint32_t worker_id) {
+  std::size_t requeued = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].state == State::Granted && slots_[id].worker_id == worker_id) {
+      requeue(id);
+      ++requeued;
+    }
+  }
+  return requeued;
+}
+
+std::size_t UnitScheduler::requeue_stale(std::uint64_t now_ms,
+                                         std::uint64_t timeout_ms) {
+  if (timeout_ms == 0) return 0;
+  std::size_t requeued = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    Slot& slot = slots_[id];
+    if (slot.state == State::Granted &&
+        now_ms >= slot.granted_at_ms + timeout_ms) {
+      requeue(id);
+      ++requeued;
+    }
+  }
+  return requeued;
+}
+
+void UnitScheduler::abandon_cell(std::uint32_t cell_index) {
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (units_[id].cell_index != cell_index) continue;
+    if (slots_[id].state == State::Done) continue;
+    // Pending entries still sitting in the stack are skipped lazily by
+    // grant(); marking Done here covers both states.
+    slots_[id].state = State::Done;
+    ++done_;
+  }
+}
+
+void UnitScheduler::requeue(std::uint64_t unit_id) {
+  Slot& slot = slots_[unit_id];
+  slot.state = State::Pending;
+  slot.worker_id = 0;
+  slot.granted_at_ms = 0;
+  pending_.push_back(unit_id);
+  ++regranted_;
+}
+
+}  // namespace ffis::dist

@@ -1,0 +1,95 @@
+#pragma once
+// Work-unit sharding and the coordinator-side grant/re-grant bookkeeping.
+//
+// A work unit is a contiguous run range of one plan cell; shard_plan slices
+// every cell into units of at most `unit_runs` runs.  UnitScheduler then
+// tracks each unit through Pending -> Granted -> Done, re-queueing granted
+// units when their worker disconnects (or exceeds the staleness deadline), so
+// a lost worker costs at most the units it held — never the campaign.
+//
+// The scheduler is deliberately oblivious to sockets and threads: the
+// coordinator calls it under its own lock.  Determinism note: because every
+// run's seed is a pure function of (cell seed, run index), re-granting a unit
+// to a different worker reproduces byte-identical results, which is what
+// makes work stealing safe for tally-level reproducibility.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ffis/exp/plan.hpp"
+
+namespace ffis::dist {
+
+struct WorkUnit {
+  std::uint64_t unit_id = 0;
+  std::uint32_t cell_index = 0;
+  std::uint64_t run_begin = 0;
+  std::uint64_t run_end = 0;  ///< exclusive
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return run_end - run_begin; }
+};
+
+/// Slices every cell of `plan` into units of at most `unit_runs` runs, in
+/// plan order (unit_id is the position in the returned vector).  A cell with
+/// zero runs contributes no units.  Throws std::invalid_argument when
+/// `unit_runs` is zero.
+[[nodiscard]] std::vector<WorkUnit> shard_plan(const exp::ExperimentPlan& plan,
+                                               std::uint64_t unit_runs);
+
+/// Grant/complete/re-grant state machine over a fixed unit list.  Not
+/// thread-safe; the owner serializes access.
+class UnitScheduler {
+ public:
+  explicit UnitScheduler(std::vector<WorkUnit> units);
+
+  /// Next pending unit, marked Granted to `worker_id` at `now_ms` (any
+  /// monotonic clock, used only for staleness sweeps).  nullopt when nothing
+  /// is pending — the caller distinguishes "done" from "wait for re-grants"
+  /// via all_done().
+  [[nodiscard]] std::optional<WorkUnit> grant(std::uint32_t worker_id,
+                                              std::uint64_t now_ms);
+
+  /// Marks `unit_id` Done if `worker_id` still holds it.  Returns true when
+  /// the completion was accepted (false: the unit was re-granted to someone
+  /// else in the meantime and this result is a duplicate).
+  bool complete(std::uint64_t unit_id, std::uint32_t worker_id);
+
+  /// Re-queues every unit Granted to `worker_id`; call on disconnect.
+  /// Returns the number of units re-queued.
+  std::size_t on_worker_lost(std::uint32_t worker_id);
+
+  /// Re-queues units granted before `now_ms - timeout_ms` (0 disables).
+  /// Returns the number of units re-queued.
+  std::size_t requeue_stale(std::uint64_t now_ms, std::uint64_t timeout_ms);
+
+  /// Drops every not-yet-Done unit of `cell_index` (deterministic prepare
+  /// failure: the cell cannot run anywhere).  Granted units of the cell are
+  /// marked Done so stray completions stay harmless.
+  void abandon_cell(std::uint32_t cell_index);
+
+  [[nodiscard]] bool all_done() const noexcept { return done_ == units_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t regranted() const noexcept { return regranted_; }
+  [[nodiscard]] const std::vector<WorkUnit>& units() const noexcept { return units_; }
+
+ private:
+  enum class State : std::uint8_t { Pending, Granted, Done };
+
+  struct Slot {
+    State state = State::Pending;
+    std::uint32_t worker_id = 0;
+    std::uint64_t granted_at_ms = 0;
+  };
+
+  void requeue(std::uint64_t unit_id);
+
+  std::vector<WorkUnit> units_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> pending_;  ///< stack of unit ids; LIFO keeps re-grants hot
+  std::size_t done_ = 0;
+  std::uint64_t regranted_ = 0;
+};
+
+}  // namespace ffis::dist

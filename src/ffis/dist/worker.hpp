@@ -1,0 +1,64 @@
+#pragma once
+// dist::Worker — the executing half of distributed campaign execution.
+//
+// run_worker connects to a coordinator, performs the versioned handshake,
+// then loops "request a unit, execute it, stream its rows" until the
+// coordinator replies Shutdown.  The execution path per cell is exactly the
+// engine's: golden run (persistent store first, then a real execution),
+// optional pre-fault checkpoint (same store key discipline), then a
+// core::FaultInjector prepared once per cell and reused across all of the
+// cell's units — so per-run outcomes at a given seed are bit-identical to
+// exp::Engine's, which is the whole contract of the merge on the other end.
+//
+// Artifact transfer rides the shared checkpoint store (HelloAck names the
+// directory): the first worker to need a golden/checkpoint publishes it,
+// every later worker — and every later campaign — loads it.  Nothing
+// multi-MiB ever crosses the socket.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ffis/exp/plan.hpp"
+
+namespace ffis::dist {
+
+struct WorkerOptions {
+  /// Display name sent in the Hello (diagnostics only).
+  std::string name = "worker";
+  /// Threads used to execute one unit's runs; 0 = all hardware threads.
+  std::size_t threads = 1;
+  /// Overrides the coordinator-supplied checkpoint directory (useful when
+  /// the fleet shares a network mount under different local paths); empty
+  /// uses the HelloAck's directory.
+  std::string checkpoint_dir_override;
+  /// Local plan for in-process workers and tests: skips plan_text parsing
+  /// and is verified against the coordinator's plan fingerprint instead.
+  const exp::ExperimentPlan* plan = nullptr;
+  /// Test hook simulating a mid-unit worker death: after this many completed
+  /// units the worker executes its next unit, streams only half of its rows,
+  /// then hard-closes the socket without UnitDone.  kNeverAbort disables.
+  std::size_t abort_after_units = static_cast<std::size_t>(-1);
+};
+
+inline constexpr std::size_t kNeverAbort = static_cast<std::size_t>(-1);
+
+struct WorkerStats {
+  std::uint32_t worker_id = 0;
+  std::uint64_t units_completed = 0;
+  std::uint64_t runs_executed = 0;
+  /// Non-empty when the coordinator rejected the handshake (version skew,
+  /// wrong magic); the worker then executed nothing.
+  std::string reject_reason;
+  /// True when the abort_after_units hook fired (the "death" was simulated).
+  bool aborted = false;
+};
+
+/// Serves one coordinator until Shutdown (or rejection).  Throws
+/// net::NetError when the coordinator is unreachable or the connection dies,
+/// and std::invalid_argument/std::runtime_error for plan mismatches — a
+/// worker whose plan disagrees with the coordinator's must not execute.
+WorkerStats run_worker(const std::string& host, std::uint16_t port,
+                       const WorkerOptions& options = {});
+
+}  // namespace ffis::dist

@@ -47,6 +47,10 @@ struct CellResult {
   /// (EngineOptions::checkpoint_dir) instead of being captured this process
   /// — i.e. this cell executed no fault-free prefix stages at all.
   bool checkpoint_loaded = false;
+  /// Sorted ids of the workers that contributed runs to this cell under a
+  /// dist::Coordinator; empty for single-process execution.  A re-granted
+  /// cell legitimately lists several contributors.
+  std::vector<std::uint32_t> worker_ids;
   /// Non-empty when the cell could not run at all (golden run threw, or the
   /// application never executes the target primitive — tally is empty then),
   /// or when harness infrastructure failed mid-cell (tally covers only the
@@ -78,6 +82,12 @@ struct ExperimentReport {
   std::uint64_t checkpoint_chunks = 0;
   /// Runs classified Benign straight from the extent diff, plan-wide.
   std::uint64_t analyses_skipped = 0;
+  // Distributed execution (dist::Coordinator; both 0 for local runs).  The
+  // golden/checkpoint counters above stay 0 in distributed reports: each
+  // worker maintains its own caches and the coordinator never executes the
+  // workload, so there is no meaningful plan-wide number to aggregate.
+  std::uint64_t workers_connected = 0;  ///< workers that completed the handshake
+  std::uint64_t units_regranted = 0;    ///< work units re-queued after loss/timeout
   bool cancelled = false;
 };
 

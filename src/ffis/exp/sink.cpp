@@ -17,12 +17,19 @@ constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
     "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
-    "golden_cached,checkpointed,checkpoint_loaded,error";
+    "golden_cached,checkpointed,checkpoint_loaded,worker_id,error";
 
 /// Earlier on-disk generations, still readable so archived campaign grids
 /// stay loadable for comparison.  The document's header picks the layout;
 /// absent columns default to zero.
 ///
+/// Persistent-checkpoint era (no worker_id column):
+constexpr const char* kPersistCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+    "golden_cached,checkpointed,checkpoint_loaded,error";
+
 /// Diff-classification era (phase timers, no checkpoint_loaded column):
 constexpr const char* kTimedCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
@@ -42,7 +49,7 @@ constexpr const char* kLegacyCsvHeader =
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 /// Which column set a document uses (decided by its header).
-enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23 };
+enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23, Dist24 };
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -164,6 +171,10 @@ SinkRow to_sink_row(const CellResult& result) {
   row.golden_cached = result.golden_cached;
   row.checkpointed = result.checkpointed;
   row.checkpoint_loaded = result.checkpoint_loaded;
+  for (const std::uint32_t id : result.worker_ids) {
+    if (!row.worker_id.empty()) row.worker_id += '+';
+    row.worker_id += std::to_string(id);
+  }
   row.error = result.error;
   return row;
 }
@@ -219,6 +230,16 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                  static_cast<unsigned long long>(report.checkpoints_persisted),
                  static_cast<unsigned long long>(report.goldens_persisted));
   }
+  // Fleet summary, only for distributed (dist::Coordinator) campaigns.  The
+  // CI gate greps for "units re-granted" to assert clean runs re-grant
+  // nothing, so keep the phrasing stable.
+  if (report.workers_connected > 0) {
+    std::fprintf(out_, "[distributed: %llu worker%s connected, %llu unit%s re-granted]\n",
+                 static_cast<unsigned long long>(report.workers_connected),
+                 report.workers_connected == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.units_regranted),
+                 report.units_regranted == 1 ? "" : "s");
+  }
 }
 
 // --- CsvSink -----------------------------------------------------------------
@@ -243,7 +264,8 @@ void CsvSink::cell(const CellResult& result) {
        << row.cow_bytes_copied << ',' << format_ms(row.execute_ms) << ','
        << format_ms(row.analyze_ms) << ',' << row.analyze_skipped << ','
        << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
-       << (row.checkpoint_loaded ? 1 : 0) << ',' << csv_escape(row.error) << '\n';
+       << (row.checkpoint_loaded ? 1 : 0) << ',' << csv_escape(row.worker_id) << ','
+       << csv_escape(row.error) << '\n';
 }
 
 void CsvSink::end(const ExperimentReport& report) {
@@ -270,7 +292,8 @@ void JsonlSink::cell(const CellResult& result) {
        << ",\"analyze_skipped\":" << row.analyze_skipped << ",\"golden_cached\":"
        << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
        << (row.checkpointed ? "true" : "false") << ",\"checkpoint_loaded\":"
-       << (row.checkpoint_loaded ? "true" : "false") << ",\"error\":\""
+       << (row.checkpoint_loaded ? "true" : "false") << ",\"worker_id\":\""
+       << json_escape(row.worker_id) << "\",\"error\":\""
        << json_escape(row.error) << "\"}\n";
 }
 
@@ -298,16 +321,18 @@ void MultiSink::end(const ExperimentReport& report) {
 namespace {
 
 SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
-  // 23 fields is the current layout; 22 the diff-classification era (no
-  // checkpoint_loaded column); 19 the extent-store era (no phase timers
-  // either); 16 the pre-extent-store era (no storage-traffic columns) —
-  // absent columns default to 0.  The document's header decides which
-  // applies: a row whose count disagrees with its own header is
-  // truncation/corruption, never another layout.
+  // 24 fields is the current layout; 23 the persistent-checkpoint era (no
+  // worker_id column); 22 the diff-classification era (no checkpoint_loaded
+  // column either); 19 the extent-store era (no phase timers); 16 the
+  // pre-extent-store era (no storage-traffic columns) — absent columns
+  // default to 0/empty.  The document's header decides which applies: a row
+  // whose count disagrees with its own header is truncation/corruption,
+  // never another layout.
   const std::size_t expected = gen == CsvGeneration::Legacy16   ? 16
                                : gen == CsvGeneration::Extent19 ? 19
                                : gen == CsvGeneration::Timed22  ? 22
-                                                                : 23;
+                               : gen == CsvGeneration::Persist23 ? 23
+                                                                 : 24;
   if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
                                 " fields, expected " + std::to_string(expected));
@@ -332,15 +357,18 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
     row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
     row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
   }
-  if (gen == CsvGeneration::Timed22 || gen == CsvGeneration::Persist23) {
+  if (gen != CsvGeneration::Legacy16 && gen != CsvGeneration::Extent19) {
     row.execute_ms = parse_ms(f[i++], "execute_ms");
     row.analyze_ms = parse_ms(f[i++], "analyze_ms");
     row.analyze_skipped = parse_u64(f[i++], "analyze_skipped");
   }
   row.golden_cached = parse_u64(f[i++], "golden_cached") != 0;
   row.checkpointed = parse_u64(f[i++], "checkpointed") != 0;
-  if (gen == CsvGeneration::Persist23) {
+  if (gen == CsvGeneration::Persist23 || gen == CsvGeneration::Dist24) {
     row.checkpoint_loaded = parse_u64(f[i++], "checkpoint_loaded") != 0;
+  }
+  if (gen == CsvGeneration::Dist24) {
+    row.worker_id = f[i++];
   }
   row.error = f[i];
   return row;
@@ -375,6 +403,10 @@ class FlatJsonObject {
   }
 
   [[nodiscard]] const std::string& str(const std::string& key) const { return at(key); }
+  /// Missing key tolerated (legacy records predating the column): "".
+  [[nodiscard]] std::string str_or_empty(const std::string& key) const {
+    return values_.contains(key) ? at(key) : std::string();
+  }
   [[nodiscard]] std::uint64_t u64(const std::string& key) const {
     return parse_u64(at(key), key.c_str());
   }
@@ -475,7 +507,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
-  CsvGeneration gen = CsvGeneration::Persist23;
+  CsvGeneration gen = CsvGeneration::Dist24;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -490,6 +522,8 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
       if (record == kCsvHeader) {
+        gen = CsvGeneration::Dist24;
+      } else if (record == kPersistCsvHeader) {
         gen = CsvGeneration::Persist23;
       } else if (record == kTimedCsvHeader) {
         gen = CsvGeneration::Timed22;
@@ -543,6 +577,7 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.golden_cached = obj.boolean("golden_cached");
     row.checkpointed = obj.boolean("checkpointed");
     row.checkpoint_loaded = obj.boolean_or_false("checkpoint_loaded");
+    row.worker_id = obj.str_or_empty("worker_id");
     row.error = obj.str("error");
     rows.push_back(std::move(row));
   }

@@ -121,6 +121,9 @@ struct SinkRow {
   /// Checkpoint served from the persistent store: this cell ran no
   /// fault-free prefix stages at all (EngineOptions::checkpoint_dir).
   bool checkpoint_loaded = false;
+  /// Fleet members that contributed runs under a dist::Coordinator, as their
+  /// sorted ids joined with '+' (e.g. "1+3"); empty for local execution.
+  std::string worker_id;
   std::string error;
 };
 

@@ -1,0 +1,43 @@
+#include "ffis/net/framing.hpp"
+
+#include <array>
+#include <string>
+
+namespace ffis::net {
+
+void send_frame(Socket& socket, util::ByteSpan payload, std::size_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    throw NetError("refusing to send an oversized frame (" +
+                   std::to_string(payload.size()) + " bytes, limit " +
+                   std::to_string(max_bytes) + ")");
+  }
+  std::array<std::byte, 4> prefix{};
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::byte>((n >> (8 * i)) & 0xff);
+  }
+  // One send per part keeps this allocation-free; TCP_NODELAY is set, but
+  // the kernel still coalesces back-to-back writes on the same connection.
+  socket.send_all(prefix);
+  if (!payload.empty()) socket.send_all(payload);
+}
+
+std::optional<util::Bytes> recv_frame(Socket& socket, std::size_t max_bytes) {
+  std::array<std::byte, 4> prefix{};
+  if (!socket.recv_exact(prefix)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (n > max_bytes) {
+    throw NetError("oversized frame length prefix (" + std::to_string(n) +
+                   " bytes, limit " + std::to_string(max_bytes) + ")");
+  }
+  util::Bytes payload(n);
+  if (n > 0 && !socket.recv_exact(payload)) {
+    throw NetError("connection closed between a frame's length prefix and payload");
+  }
+  return payload;
+}
+
+}  // namespace ffis::net

@@ -1,0 +1,39 @@
+#pragma once
+// Length-prefixed binary framing over a net::Socket.
+//
+// Every frame is a 4-byte little-endian payload length followed by the
+// payload; message semantics (type tags, field layout) live one level up in
+// dist::protocol, which encodes payloads with util::ByteWriter/ByteReader.
+//
+// The length prefix is the one field an attacker (or a corrupted peer)
+// controls before any validation can run, so recv_frame bounds it *before*
+// allocating: a prefix above `max_bytes` throws NetError instead of
+// attempting a multi-gigabyte allocation.  A clean peer close between frames
+// returns nullopt; a close inside a frame throws (truncation is never
+// silent).
+
+#include <cstddef>
+#include <optional>
+
+#include "ffis/net/socket.hpp"
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::net {
+
+/// Upper bound on a frame payload.  The dist protocol's largest message is a
+/// plan-config text (KiB); 16 MiB leaves two orders of magnitude of headroom
+/// while still rejecting garbage length prefixes immediately.
+inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Sends one frame.  Throws NetError when the payload exceeds `max_bytes`
+/// (the peer would reject it anyway) or the peer is gone.
+void send_frame(Socket& socket, util::ByteSpan payload,
+                std::size_t max_bytes = kMaxFrameBytes);
+
+/// Receives one frame.  Returns nullopt on a clean peer close between
+/// frames; throws NetError on oversized length prefixes, truncation inside a
+/// frame, or socket errors.
+[[nodiscard]] std::optional<util::Bytes> recv_frame(
+    Socket& socket, std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace ffis::net

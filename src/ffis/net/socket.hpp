@@ -1,0 +1,101 @@
+#pragma once
+// Minimal POSIX TCP wrappers for the distributed campaign layer: a connected
+// stream socket and a listener, both RAII over one file descriptor.
+//
+// Scope is deliberately tiny — blocking I/O, IPv4 loopback-or-hostname
+// addressing, full-buffer send/recv helpers — because the dist protocol is
+// strictly request/response per connection and every connection gets its own
+// thread.  Errors surface as net::NetError (with errno text); a clean peer
+// close surfaces as `false` from recv_exact at a frame boundary, never as an
+// exception, so "worker finished" and "worker died mid-frame" are
+// distinguishable.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::net {
+
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connected TCP stream socket (client side of connect() or the result of
+/// Listener::accept).  Move-only; the destructor closes the descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected descriptor (takes ownership).
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connects to host:port (host is a dotted quad or a resolvable name).
+  /// Throws NetError when resolution or the connect fails.
+  [[nodiscard]] static Socket connect(const std::string& host, std::uint16_t port);
+
+  /// Writes the whole span (looping over partial sends, EINTR-safe, no
+  /// SIGPIPE).  Throws NetError when the peer is gone.
+  void send_all(util::ByteSpan data);
+
+  /// Reads exactly out.size() bytes.  Returns false when the peer closed the
+  /// connection cleanly *before the first byte* (normal end-of-stream);
+  /// throws NetError on errors or when the stream ends mid-buffer (a
+  /// truncated frame — the peer died while sending).
+  [[nodiscard]] bool recv_exact(util::MutableByteSpan out);
+
+  /// Half-close both directions without releasing the descriptor; unblocks a
+  /// thread parked in recv on this socket.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1-or-any.  `port 0` binds an
+/// ephemeral port; port() reports the actual one (tests and the `--serve 0`
+/// CLI use this to avoid collisions).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+
+  /// Binds and listens on `port` (0 = ephemeral) on all interfaces, with
+  /// SO_REUSEADDR so restarted coordinators reclaim their port.  Throws
+  /// NetError when the port is taken.
+  [[nodiscard]] static Listener listen(std::uint16_t port, int backlog = 16);
+
+  /// Blocks until a client connects.  Throws NetError after shutdown() (the
+  /// accept loop's exit signal) or on any other failure.
+  [[nodiscard]] Socket accept();
+
+  /// Unblocks a thread parked in accept() (it then throws NetError).
+  void shutdown() noexcept;
+
+  void close() noexcept;
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ffis::net

@@ -77,6 +77,20 @@ class ByteReader {
   [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(take(4, "u32")); }
   [[nodiscard]] std::uint64_t u64() { return take(8, "u64"); }
   [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  /// A u64 that the encoder promised stays <= `max` (element counts, run
+  /// indices, enum values).  The decode side of a network boundary must not
+  /// trust such fields: a forged count would otherwise size a loop or a
+  /// container before any per-element bounds check runs.  Throws
+  /// std::out_of_range when the value exceeds `max`.
+  [[nodiscard]] std::uint64_t u64_bounded(std::uint64_t max, const char* what) {
+    const std::uint64_t v = u64();
+    if (v > max) {
+      throw std::out_of_range(std::string("malformed input: ") + what + " value " +
+                              std::to_string(v) + " exceeds the limit " +
+                              std::to_string(max));
+    }
+    return v;
+  }
   [[nodiscard]] double f64() {
     const std::uint64_t bits = u64();
     double v = 0.0;
@@ -85,6 +99,14 @@ class ByteReader {
   }
   [[nodiscard]] std::string str() {
     const ByteSpan b = span(checked_size(u64(), "string"), "string");
+    return to_string(b);
+  }
+  /// Length-prefixed string whose length the encoder bounded by `max` — use
+  /// on network boundaries so a forged prefix cannot demand a giant string
+  /// even when the surrounding frame happens to be large enough to cover it.
+  [[nodiscard]] std::string str_bounded(std::size_t max, const char* what) {
+    const std::uint64_t n = u64_bounded(max, what);
+    const ByteSpan b = span(checked_size(n, what), what);
     return to_string(b);
   }
   [[nodiscard]] Bytes blob() {
@@ -105,6 +127,9 @@ class ByteReader {
   }
 
  private:
+  // NB: length prefixes are compared against remaining() as full u64 values
+  // BEFORE any cast to std::size_t, so a prefix like 2^64-1 can never wrap
+  // on a 32-bit size_t and sneak past the bounds check.
   [[nodiscard]] std::size_t checked_size(std::uint64_t n, const char* what) const {
     if (n > remaining()) {
       throw std::out_of_range(std::string("truncated input: ") + what + " length " +

@@ -1,8 +1,12 @@
 // ffis — command-line driver for the FFIS fault-injection framework.
 //
 // Subcommands:
-//   ffis plan     <config-file> [--checkpoint-dir DIR]
-//                                 run a multi-cell experiment plan
+//   ffis plan     <config-file> [--checkpoint-dir DIR] [--serve PORT]
+//                 [--workers N] [--unit-runs N] [--dry-run]
+//                                 run a multi-cell experiment plan, locally
+//                                 or as a distributed coordinator
+//   ffis worker   <host:port> [--threads N] [--checkpoint-dir DIR] [--name S]
+//                                 execute work units for a remote coordinator
 //   ffis campaign <config-file>   run a single fault-injection campaign
 //   ffis sweep    <config-file>   byte-wise HDF5 metadata sweep (Table III)
 //   ffis profile  <config-file>   fault-free I/O profile of an application
@@ -48,12 +52,22 @@
 // Cells naming the same application with the same application extras share
 // one instance, so the engine performs their golden run only once.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "ffis/analysis/hdf5_doctor.hpp"
+#include "ffis/dist/coordinator.hpp"
+#include "ffis/dist/scheduler.hpp"
+#include "ffis/dist/worker.hpp"
 #include "ffis/analysis/metadata_sweep.hpp"
 #include "ffis/analysis/stats.hpp"
 #include "ffis/apps/app_factory.hpp"
@@ -73,7 +87,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ffis plan <config-file> [--checkpoint-dir DIR]\n"
+               "usage: ffis plan <config-file> [--checkpoint-dir DIR] [--serve PORT]\n"
+               "                 [--workers N] [--unit-runs N] [--dry-run]\n"
+               "       ffis worker <host:port> [--threads N] [--checkpoint-dir DIR]\n"
+               "                 [--name NAME]\n"
                "       ffis <campaign|sweep|profile> <config-file>\n"
                "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
                "       ffis demo\n"
@@ -84,8 +101,17 @@ int usage() {
                "(application, fault, stage, label, app extras).  With a\n"
                "checkpoint dir (flag or config key), golden runs and pre-fault\n"
                "checkpoints persist across invocations and a repeated plan\n"
-               "skips the fault-free prefix entirely.  See the header of\n"
-               "tools/ffis_cli.cpp or README.md for a commented example.\n");
+               "skips the fault-free prefix entirely.\n"
+               "\n"
+               "--serve and/or --workers switch plan to distributed execution:\n"
+               "the process becomes a coordinator that shards the plan into\n"
+               "work units (--unit-runs apiece), serves them on --serve PORT\n"
+               "(0 = ephemeral) to `ffis worker` processes, forks --workers N\n"
+               "local workers, and merges the streamed results into tallies\n"
+               "bit-identical to a local run.  Workers sharing the checkpoint\n"
+               "dir exchange goldens/checkpoints through it instead of the\n"
+               "socket.  --dry-run prints the work-unit table and exits.  See\n"
+               "the header of tools/ffis_cli.cpp or README.md for examples.\n");
   return 2;
 }
 
@@ -143,13 +169,69 @@ int cmd_campaign(const std::string& config_path) {
   return 0;
 }
 
-int cmd_plan(const std::string& config_path, const std::string& checkpoint_dir_override) {
-  auto plan_config = exp::parse_plan_config(slurp(config_path));
-  if (!checkpoint_dir_override.empty()) {
-    plan_config.checkpoint_dir = checkpoint_dir_override;
+struct PlanFlags {
+  std::string checkpoint_dir;  ///< overrides the config's checkpoint_dir
+  bool serve = false;          ///< act as a distributed coordinator
+  std::uint16_t port = 0;      ///< --serve PORT (0 = ephemeral)
+  std::size_t workers = 0;     ///< local worker processes to fork
+  std::uint64_t unit_runs = 32;
+  bool dry_run = false;        ///< print the work-unit table, execute nothing
+};
+
+int dry_run_plan(const exp::ExperimentPlan& plan, std::uint64_t unit_runs) {
+  const auto units = dist::shard_plan(plan, unit_runs);
+  std::printf("experiment plan: %zu cells, %llu total runs, %zu work units "
+              "(<= %llu runs each)\n\n",
+              plan.size(), static_cast<unsigned long long>(plan.total_runs()),
+              units.size(), static_cast<unsigned long long>(unit_runs));
+  std::printf("%6s  %5s  %-24s %10s %10s %6s\n", "unit", "cell", "label",
+              "run_begin", "run_end", "runs");
+  for (const auto& u : units) {
+    const exp::Cell& cell = plan.cells()[u.cell_index];
+    std::printf("%6llu  %5u  %-24s %10llu %10llu %6llu\n",
+                static_cast<unsigned long long>(u.unit_id), u.cell_index,
+                cell.label.c_str(), static_cast<unsigned long long>(u.run_begin),
+                static_cast<unsigned long long>(u.run_end),
+                static_cast<unsigned long long>(u.runs()));
+  }
+  return 0;
+}
+
+/// Forks one local worker process connected to 127.0.0.1:port.  The child
+/// shares the parent's parsed plan (fork() copy), so no plan text is parsed;
+/// it exits via _exit so the parent's atexit/stdio state runs exactly once.
+pid_t fork_local_worker(std::uint16_t port, const exp::ExperimentPlan& plan,
+                        std::size_t threads, std::size_t index) {
+  std::fflush(nullptr);  // children must not replay the parent's buffered output
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed for local worker");
+  if (pid > 0) return pid;
+  int status = 0;
+  try {
+    dist::WorkerOptions options;
+    options.name = "local-" + std::to_string(index);
+    options.threads = threads;
+    options.plan = &plan;
+    (void)dist::run_worker("127.0.0.1", port, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ffis worker (local-%zu): %s\n", index, e.what());
+    status = 1;
+  }
+  std::fflush(nullptr);
+  _exit(status);
+}
+
+int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
+  const std::string config_text = slurp(config_path);
+  auto plan_config = exp::parse_plan_config(config_text);
+  if (!flags.checkpoint_dir.empty()) {
+    plan_config.checkpoint_dir = flags.checkpoint_dir;
   }
   const auto plan = exp::build_plan(plan_config);
 
+  if (flags.dry_run) return dry_run_plan(plan, flags.unit_runs);
+
+  const bool distributed = flags.serve || flags.workers > 0;
   std::printf("experiment plan: %zu cells, %llu total runs\n\n", plan.size(),
               static_cast<unsigned long long>(plan.total_runs()));
 
@@ -172,12 +254,50 @@ int cmd_plan(const std::string& config_path, const std::string& checkpoint_dir_o
     sink.add(*jsonl);
   }
 
-  exp::EngineOptions options;
-  options.threads = plan_config.threads;
-  options.checkpoint_dir = plan_config.checkpoint_dir;
-  options.progress = print_run_progress;
-  exp::Engine engine(options);
-  const auto report = engine.run(plan, sink);
+  exp::ExperimentReport report;
+  if (distributed) {
+    dist::CoordinatorOptions options;
+    options.port = flags.port;
+    options.unit_runs = flags.unit_runs;
+    options.plan_text = config_text;  // remote workers rebuild the plan from it
+    options.engine.checkpoint_dir = plan_config.checkpoint_dir;
+    dist::Coordinator coordinator(plan, options);
+    std::printf("coordinator listening on port %u (%zu local workers)\n",
+                coordinator.port(), flags.workers);
+
+    // Fork local workers BEFORE run() spawns coordinator threads (threads do
+    // not survive fork).  Each inherits the parsed plan by address.
+    std::vector<pid_t> children;
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < flags.workers; ++i) {
+      // Split the plan's thread budget across the fleet so N workers do not
+      // each grab every core.
+      const std::size_t budget = plan_config.threads > 0 ? plan_config.threads : hw;
+      const std::size_t threads = std::max<std::size_t>(1, budget / flags.workers);
+      children.push_back(fork_local_worker(coordinator.port(), plan, threads, i + 1));
+    }
+
+    report = coordinator.run(sink);
+
+    bool worker_failed = false;
+    for (const pid_t pid : children) {
+      int status = 0;
+      if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        worker_failed = true;
+      }
+    }
+    if (worker_failed && report.units_regranted == 0) {
+      std::fprintf(stderr, "warning: a local worker exited abnormally\n");
+    }
+  } else {
+    exp::EngineOptions options;
+    options.threads = plan_config.threads;
+    options.checkpoint_dir = plan_config.checkpoint_dir;
+    options.progress = print_run_progress;
+    exp::Engine engine(options);
+    report = engine.run(plan, sink);
+  }
 
   if (!plan_config.csv_path.empty()) {
     std::printf("wrote %s\n", plan_config.csv_path.c_str());
@@ -188,6 +308,38 @@ int cmd_plan(const std::string& config_path, const std::string& checkpoint_dir_o
   for (const auto& cell : report.cells) {
     if (!cell.error.empty()) return 1;
   }
+  return 0;
+}
+
+int cmd_worker(const std::string& target, std::size_t threads,
+               const std::string& checkpoint_dir, const std::string& name) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size()) {
+    std::fprintf(stderr, "ffis worker: expected <host:port>, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::stoi(target.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "ffis worker: bad port in '%s'\n", target.c_str());
+    return 2;
+  }
+
+  dist::WorkerOptions options;
+  options.name = name.empty() ? "worker" : name;
+  options.threads = threads;
+  options.checkpoint_dir_override = checkpoint_dir;
+  const auto stats =
+      dist::run_worker(host, static_cast<std::uint16_t>(port), options);
+  if (!stats.reject_reason.empty()) {
+    std::fprintf(stderr, "ffis worker: coordinator rejected the handshake: %s\n",
+                 stats.reject_reason.c_str());
+    return 1;
+  }
+  std::printf("worker %u done: %llu units, %llu runs\n", stats.worker_id,
+              static_cast<unsigned long long>(stats.units_completed),
+              static_cast<unsigned long long>(stats.runs_executed));
   return 0;
 }
 
@@ -278,13 +430,47 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    if (command == "plan" && (argc == 3 || argc == 5)) {
-      std::string checkpoint_dir;
-      if (argc == 5) {
-        if (std::string(argv[3]) != "--checkpoint-dir") return usage();
-        checkpoint_dir = argv[4];
+    if (command == "plan" && argc >= 3) {
+      PlanFlags flags;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--checkpoint-dir" && i + 1 < argc) {
+          flags.checkpoint_dir = argv[++i];
+        } else if (arg == "--serve" && i + 1 < argc) {
+          const int port = std::stoi(argv[++i]);
+          if (port < 0 || port > 65535) return usage();
+          flags.serve = true;
+          flags.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--workers" && i + 1 < argc) {
+          flags.workers = std::stoul(argv[++i]);
+        } else if (arg == "--unit-runs" && i + 1 < argc) {
+          flags.unit_runs = std::stoull(argv[++i]);
+          if (flags.unit_runs == 0) return usage();
+        } else if (arg == "--dry-run") {
+          flags.dry_run = true;
+        } else {
+          return usage();
+        }
       }
-      return cmd_plan(argv[2], checkpoint_dir);
+      return cmd_plan(argv[2], flags);
+    }
+    if (command == "worker" && argc >= 3) {
+      std::size_t threads = 0;
+      std::string checkpoint_dir;
+      std::string name;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+          threads = std::stoul(argv[++i]);
+        } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+          checkpoint_dir = argv[++i];
+        } else if (arg == "--name" && i + 1 < argc) {
+          name = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_worker(argv[2], threads, checkpoint_dir, name);
     }
     if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
     if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
