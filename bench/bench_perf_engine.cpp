@@ -494,7 +494,10 @@ int main(int argc, char** argv) {
       .num("workers2_runs_per_sec", dist2.runs_per_sec)
       .num("speedup", dist_speedup)
       .num("workers_connected", dist2.report.workers_connected)
-      .num("units_regranted", dist2.report.units_regranted);
+      .num("units_regranted", dist2.report.units_regranted)
+      .num("units_replayed_from_journal", dist2.report.units_replayed_from_journal)
+      .num("worker_reconnects", dist2.report.worker_reconnects)
+      .num("heartbeat_timeouts", dist2.report.heartbeat_timeouts);
   ffis::bench::JsonObject adaptive_doc;
   adaptive_doc.str("label", "NYX2-ADAPTIVE")
       .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))

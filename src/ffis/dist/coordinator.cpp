@@ -37,6 +37,10 @@ Coordinator::Coordinator(const exp::ExperimentPlan& plan, CoordinatorOptions opt
 Coordinator::~Coordinator() {
   listener_.shutdown();
   if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(mutex_);
+    for (net::Socket* s : live_sockets_) s->shutdown_both();
+  }
   for (auto& t : handlers_) {
     if (t.joinable()) t.join();
   }
@@ -57,6 +61,13 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
     for (std::size_t i = 0; i < plan_.size(); ++i) {
       if (plan_.cells()[i].runs == 0) finalize_cell_locked(i);
     }
+    // Restore landed work before the listener serves anyone, so a replayed
+    // unit can never race a fresh grant of itself.
+    if (!options_.journal_path.empty()) {
+      journal_ = std::make_unique<CampaignJournal>(options_.journal_path,
+                                                   fingerprint_, options_.unit_runs);
+      replay_journal_locked();
+    }
     emit_in_order_locked();
   }
 
@@ -64,13 +75,16 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
 
   {
     std::unique_lock lock(mutex_);
-    while (!plan_finished_locked() && !cancelled_) {
+    while (!plan_finished_locked() && !cancelled_ && !drained_locked()) {
       if (options_.unit_timeout_ms > 0) {
         // Sweep for stale grants at a fraction of the timeout so a hung
         // worker delays its units by at most ~1.25x the configured budget.
         work_cv_.wait_for(
             lock, std::chrono::milliseconds(1 + options_.unit_timeout_ms / 4));
-        if (scheduler_.requeue_stale(now_ms(), options_.unit_timeout_ms) > 0) {
+        const std::size_t stale =
+            scheduler_.requeue_stale(now_ms(), options_.unit_timeout_ms);
+        if (stale > 0) {
+          report_.heartbeat_timeouts += stale;
           work_cv_.notify_all();
         }
       } else {
@@ -81,13 +95,21 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
   }
   work_cv_.notify_all();
 
-  // Stop accepting, then wait for every handler: each one exits when its
-  // worker drains the Shutdown reply and closes (or when the peer just dies).
+  // Stop accepting, then wait for every handler.  Healthy workers drain
+  // their Shutdown reply and their handlers exit on their own — give them a
+  // grace window first, because force-closing a socket whose handler is
+  // mid-reply would turn a clean Shutdown into a broken pipe on the worker.
+  // Only peers still connected past the grace (hung, or never completing
+  // the conversation) have their sockets half-closed, which unparks their
+  // handlers from recv.
   listener_.shutdown();
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    work_cv_.wait_for(lock, std::chrono::milliseconds(1000),
+                      [this] { return live_sockets_.empty(); });
+    for (net::Socket* s : live_sockets_) s->shutdown_both();
     handlers.swap(handlers_);
   }
   for (auto& t : handlers) {
@@ -108,9 +130,10 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
       report_.analyses_skipped += cell.analyze_skipped;
     }
     report_.units_regranted = scheduler_.regranted();
-    report_.cancelled = cancelled_;
+    report_.cancelled = cancelled_ || !scheduler_.all_done();
     report = std::move(report_);
     sink_ = nullptr;
+    journal_.reset();  // flushed record-by-record; close the descriptor
   }
   sink.end(report);
   return report;
@@ -122,6 +145,18 @@ void Coordinator::request_cancel() noexcept {
     cancelled_ = true;
   }
   work_cv_.notify_all();
+}
+
+void Coordinator::request_drain() noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+bool Coordinator::drained_locked() const {
+  return draining_ && scheduler_.granted_count() == 0;
 }
 
 void Coordinator::accept_loop() {
@@ -154,6 +189,18 @@ bool Coordinator::handshake(net::Socket& socket, std::uint32_t worker_id) {
     net::send_frame(socket, reject);
     return false;
   }
+  // Auth happens before the ack: an unauthenticated peer must never see the
+  // plan text, the checkpoint directory, or even the plan fingerprint.
+  if (!options_.auth_token.empty() &&
+      !constant_time_equal(hello.auth_token, options_.auth_token)) {
+    const auto reject = encode(HelloReject{"auth token mismatch"});
+    net::send_frame(socket, reject);
+    return false;
+  }
+  if (hello.reconnect) {
+    std::lock_guard lock(mutex_);
+    ++report_.worker_reconnects;
+  }
   HelloAck ack;
   ack.worker_id = worker_id;
   ack.plan_fingerprint = fingerprint_;
@@ -162,6 +209,7 @@ bool Coordinator::handshake(net::Socket& socket, std::uint32_t worker_id) {
   ack.chunk_size = options_.engine.fs_options.chunk_size;
   ack.use_checkpoints = options_.engine.use_checkpoints;
   ack.use_diff_classification = options_.engine.use_diff_classification;
+  ack.heartbeat_interval_ms = options_.heartbeat_interval_ms;
   const auto encoded = encode(ack);
   net::send_frame(socket, encoded);
   return true;
@@ -169,71 +217,147 @@ bool Coordinator::handshake(net::Socket& socket, std::uint32_t worker_id) {
 
 void Coordinator::handle_connection(net::Socket socket) {
   std::uint32_t worker_id = 0;
+  {
+    std::lock_guard lock(mutex_);
+    worker_id = next_worker_id_++;
+    live_sockets_.insert(&socket);
+  }
   try {
-    {
-      std::lock_guard lock(mutex_);
-      worker_id = next_worker_id_++;
-    }
-    if (!handshake(socket, worker_id)) return;
-    {
-      std::lock_guard lock(mutex_);
-      ++report_.workers_connected;
-    }
-
-    while (const auto frame = net::recv_frame(socket)) {
-      switch (peek_type(*frame)) {
-        case MsgType::WorkRequest: {
-          util::Bytes reply;
-          {
-            std::unique_lock lock(mutex_);
-            for (;;) {
-              if (cancelled_ || !serving_ || plan_finished_locked()) {
-                reply = encode(Shutdown{});
-                break;
-              }
-              if (auto unit = scheduler_.grant(worker_id, now_ms())) {
-                WorkGrant grant;
-                grant.unit_id = unit->unit_id;
-                grant.cell_index = unit->cell_index;
-                grant.run_begin = unit->run_begin;
-                grant.run_end = unit->run_end;
-                reply = encode(grant);
-                break;
-              }
-              work_cv_.wait(lock);
-            }
-          }
-          net::send_frame(socket, reply);
-          break;
-        }
-        case MsgType::CellInfo:
-          on_cell_info(decode_cell_info(*frame), worker_id);
-          break;
-        case MsgType::RunRow:
-          on_run_row(decode_run_row(*frame), worker_id);
-          break;
-        case MsgType::UnitDone: {
-          const UnitDone done = decode_unit_done(*frame);
-          std::lock_guard lock(mutex_);
-          if (scheduler_.complete(done.unit_id, worker_id) &&
-              plan_finished_locked()) {
-            work_cv_.notify_all();
-          }
-          break;
-        }
-        default:
-          throw net::NetError("unexpected message from worker " +
-                              std::to_string(worker_id));
-      }
-    }
+    serve_connection(socket, worker_id);
   } catch (const std::exception&) {
     // Malformed frame or a peer that died mid-message: treat exactly like a
     // disconnect — the worker's granted units are re-queued below.
   }
   std::lock_guard lock(mutex_);
-  if (scheduler_.on_worker_lost(worker_id) > 0 || plan_finished_locked()) {
-    work_cv_.notify_all();
+  live_sockets_.erase(&socket);
+  // Unconditional: run()'s teardown grace-waits on live_sockets_ draining,
+  // and a lost worker's re-queued units (or a finished/drained plan) must
+  // wake parked handlers either way.
+  (void)scheduler_.on_worker_lost(worker_id);
+  work_cv_.notify_all();
+}
+
+void Coordinator::serve_connection(net::Socket& socket, std::uint32_t worker_id) {
+  if (!handshake(socket, worker_id)) return;
+  {
+    std::lock_guard lock(mutex_);
+    ++report_.workers_connected;
   }
+
+  bool shutdown_sent = false;
+  while (!shutdown_sent) {
+    const auto frame = net::recv_frame(socket);
+    if (!frame) break;
+    switch (peek_type(*frame)) {
+      case MsgType::WorkRequest: {
+        util::Bytes reply;
+        {
+          std::unique_lock lock(mutex_);
+          for (;;) {
+            if (cancelled_ || draining_ || !serving_ || plan_finished_locked()) {
+              reply = encode(Shutdown{});
+              shutdown_sent = true;
+              break;
+            }
+            if (auto unit = scheduler_.grant(worker_id, now_ms())) {
+              WorkGrant grant;
+              grant.unit_id = unit->unit_id;
+              grant.cell_index = unit->cell_index;
+              grant.run_begin = unit->run_begin;
+              grant.run_end = unit->run_end;
+              reply = encode(grant);
+              break;
+            }
+            work_cv_.wait(lock);
+          }
+        }
+        // After Shutdown nothing more is expected on this connection, so the
+        // loop ends instead of parking in recv until the peer closes — a
+        // peer that never closes must not pin this handler.
+        net::send_frame(socket, reply);
+        break;
+      }
+      case MsgType::CellInfo:
+        on_cell_info(decode_cell_info(*frame), worker_id);
+        break;
+      case MsgType::RunRow:
+        on_run_row(decode_run_row(*frame), worker_id);
+        break;
+      case MsgType::UnitDone: {
+        const UnitDone done = decode_unit_done(*frame);
+        std::lock_guard lock(mutex_);
+        if (scheduler_.complete(done.unit_id, worker_id)) {
+          if (journal_ != nullptr) journal_unit_locked(done.unit_id);
+          if (plan_finished_locked() || draining_) work_cv_.notify_all();
+        }
+        break;
+      }
+      case MsgType::Ping: {
+        {
+          std::lock_guard lock(mutex_);
+          scheduler_.refresh_worker(worker_id, now_ms());
+        }
+        const auto pong = encode(Pong{});
+        net::send_frame(socket, pong);
+        break;
+      }
+      default:
+        throw net::NetError("unexpected message from worker " +
+                            std::to_string(worker_id));
+    }
+  }
+}
+
+void Coordinator::replay_journal_locked() {
+  const JournalReplay& replay = journal_->replayed();
+  // Cell facts first (error cells must abandon their units before any unit
+  // record could race a finalize), then landed units.  Replay is tolerant:
+  // a record that passed its checksum but names out-of-plan indices (a
+  // hand-edited file) is skipped, never fatal, and never double-counted —
+  // occupied slots and non-Pending units reject duplicates exactly like the
+  // network path does.
+  for (const CellInfo& info : replay.cell_infos) {
+    if (info.cell_index >= cells_.size()) continue;
+    CellState& st = cells_[info.cell_index];
+    if (!st.has_info) {
+      st.info = info;
+      st.has_info = true;
+    }
+    if (!info.error.empty() && st.error.empty()) {
+      st.error = info.error;
+      scheduler_.abandon_cell(info.cell_index);
+      maybe_finalize_locked(info.cell_index);
+    }
+  }
+  for (const JournalReplay::Unit& unit : replay.units) {
+    if (!scheduler_.mark_done(unit.unit_id)) continue;
+    ++report_.units_replayed_from_journal;
+    for (const auto& [worker_id, row] : unit.rows) {
+      if (row.cell_index >= cells_.size()) continue;
+      CellState& st = cells_[row.cell_index];
+      if (row.run_index >= st.rows.size() || st.executed[row.run_index] != 0) {
+        continue;
+      }
+      st.rows[row.run_index] = row;
+      st.executed[row.run_index] = 1;
+      st.row_worker[row.run_index] = worker_id;
+      st.worker_ids.insert(worker_id);
+      ++st.executed_count;
+      maybe_finalize_locked(row.cell_index);
+    }
+  }
+}
+
+void Coordinator::journal_unit_locked(std::uint64_t unit_id) {
+  const WorkUnit& unit = scheduler_.units()[unit_id];
+  const CellState& st = cells_[unit.cell_index];
+  std::vector<std::pair<std::uint32_t, RunRow>> rows;
+  rows.reserve(static_cast<std::size_t>(unit.runs()));
+  for (std::uint64_t r = unit.run_begin; r < unit.run_end; ++r) {
+    if (st.executed[r] == 0) continue;  // lost races leave no trace to journal
+    rows.emplace_back(st.row_worker[r], st.rows[r]);
+  }
+  journal_->append_unit(unit_id, rows);
 }
 
 void Coordinator::on_cell_info(const CellInfo& info, std::uint32_t worker_id) {
@@ -243,14 +367,22 @@ void Coordinator::on_cell_info(const CellInfo& info, std::uint32_t worker_id) {
                         std::to_string(info.cell_index));
   }
   CellState& st = cells_[info.cell_index];
+  bool journaled = false;
   if (!st.has_info) {
     st.info = info;
     st.has_info = true;
+    if (journal_ != nullptr) {
+      journal_->append_cell_info(info);
+      journaled = true;
+    }
   }
   if (!info.error.empty() && st.error.empty()) {
     // Preparation is deterministic, so this cell fails on every worker:
     // abandon its remaining units and finalize it with an empty tally (the
-    // engine reports prepare failures the same way).
+    // engine reports prepare failures the same way).  The error must reach
+    // the journal even when another worker's clean info won the first-wins
+    // slot — a resumed campaign has to keep the cell abandoned.
+    if (journal_ != nullptr && !journaled) journal_->append_cell_info(info);
     st.error = info.error;
     st.worker_ids.insert(worker_id);
     scheduler_.abandon_cell(info.cell_index);
@@ -338,10 +470,15 @@ void Coordinator::finalize_cell_locked(std::size_t i) {
       out.details.push_back(std::move(detail));
     }
   }
-  st.rows.clear();
-  st.rows.shrink_to_fit();
-  st.executed.clear();
-  st.executed.shrink_to_fit();
+  // A journaling coordinator keeps the slots: the cell's final UnitDone
+  // arrives after the final RunRow (which triggered this finalize), and
+  // journaling that unit still needs its rows.
+  if (journal_ == nullptr) {
+    st.rows.clear();
+    st.rows.shrink_to_fit();
+    st.executed.clear();
+    st.executed.shrink_to_fit();
+  }
   st.ready = true;
 }
 

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "ffis/dist/journal.hpp"
 #include "ffis/dist/protocol.hpp"
 #include "ffis/dist/scheduler.hpp"
 #include "ffis/exp/engine.hpp"
@@ -56,6 +57,18 @@ struct CoordinatorOptions {
   /// build the plan themselves (exp::parse_plan_config dialect).  Empty when
   /// every worker holds a local plan (in-process workers, tests).
   std::string plan_text;
+  /// Campaign journal path (empty = no journal).  Landed units are appended
+  /// with per-record checksums and replayed on restart when the plan
+  /// fingerprint and unit_runs match — see dist::CampaignJournal.
+  std::string journal_path;
+  /// Shared-secret fleet token; non-empty makes the handshake reject any
+  /// Hello whose token differs (constant-time compare, before any plan text
+  /// is sent).
+  std::string auth_token;
+  /// Interval (ms) at which workers must send liveness Pings; 0 disables.
+  /// A heartbeat restamps the grant clock of the worker's units, so a slow
+  /// worker keeps its grant while a hung one trips unit_timeout_ms.
+  std::uint64_t heartbeat_interval_ms = 0;
   /// Execution options forwarded to workers (checkpoint_dir, use_checkpoints,
   /// use_diff_classification, fs geometry).  `threads` and `progress` apply
   /// to nothing here — workers choose their own thread counts.  Note that
@@ -90,6 +103,12 @@ class Coordinator {
   /// request and the report is marked cancelled with partial tallies.
   void request_cancel() noexcept;
 
+  /// Graceful drain (the SIGINT path): stop granting new units but let every
+  /// in-flight unit land (and be journaled) before run() returns.  The
+  /// report is marked cancelled when the plan didn't finish; with a journal,
+  /// a later invocation resumes exactly where the drain stopped.
+  void request_drain() noexcept;
+
  private:
   struct CellState {
     std::vector<RunRow> rows;             ///< per-run slots (first wins)
@@ -105,15 +124,19 @@ class Coordinator {
 
   void accept_loop();
   void handle_connection(net::Socket socket);
+  void serve_connection(net::Socket& socket, std::uint32_t worker_id);
   /// True when the handshake succeeded (worker admitted to the fleet).
   bool handshake(net::Socket& socket, std::uint32_t worker_id);
   void on_cell_info(const CellInfo& info, std::uint32_t worker_id);
   void on_run_row(const RunRow& row, std::uint32_t worker_id);
   /// Locked helpers.
+  void replay_journal_locked();
+  void journal_unit_locked(std::uint64_t unit_id);
   void finalize_cell_locked(std::size_t i);
   void emit_in_order_locked();
   void maybe_finalize_locked(std::size_t i);
   [[nodiscard]] bool plan_finished_locked() const;
+  [[nodiscard]] bool drained_locked() const;
 
   const exp::ExperimentPlan& plan_;
   CoordinatorOptions options_;
@@ -129,7 +152,12 @@ class Coordinator {
   std::size_t next_emit_ = 0;
   std::uint32_t next_worker_id_ = 1;  ///< 0 is reserved for "local / none"
   bool cancelled_ = false;
+  bool draining_ = false;
   bool serving_ = false;
+  std::unique_ptr<CampaignJournal> journal_;
+  /// Sockets of live handler threads; teardown half-closes them so a hung
+  /// peer cannot pin a handler (and therefore run()) in recv forever.
+  std::set<net::Socket*> live_sockets_;
 
   std::vector<std::thread> handlers_;
   std::thread acceptor_;

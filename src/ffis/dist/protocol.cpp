@@ -19,6 +19,7 @@ constexpr std::size_t kMaxReasonBytes = 64 * 1024;
 constexpr std::size_t kMaxErrorBytes = 256 * 1024;
 constexpr std::size_t kMaxPlanTextBytes = 4 * 1024 * 1024;
 constexpr std::size_t kMaxPathBytes = 64 * 1024;
+constexpr std::size_t kMaxTokenBytes = 4096;
 
 ByteWriter begin_message(Bytes& out, MsgType type) {
   ByteWriter w(out);
@@ -42,7 +43,7 @@ MsgType peek_type(util::ByteSpan payload) {
   ByteReader r(payload);
   const auto tag = r.u8();
   if (tag < static_cast<std::uint8_t>(MsgType::Hello) ||
-      tag > static_cast<std::uint8_t>(MsgType::Shutdown)) {
+      tag > static_cast<std::uint8_t>(MsgType::Pong)) {
     throw std::invalid_argument("unknown message type tag " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);
@@ -56,6 +57,12 @@ util::Bytes encode(const Hello& m) {
   w.u32(m.magic);
   w.u32(m.version);
   w.str(m.worker_name);
+  // The v2 fields are versioned by m.version so tests can fabricate genuine
+  // v1 Hellos; a v1 peer would reject trailing bytes via expect_end anyway.
+  if (m.version >= 2) {
+    w.str(m.auth_token);
+    w.u8(m.reconnect ? 1 : 0);
+  }
   return out;
 }
 
@@ -65,6 +72,10 @@ Hello decode_hello(util::ByteSpan payload) {
   m.magic = r.u32();
   m.version = r.u32();
   m.worker_name = r.str_bounded(kMaxNameBytes, "worker_name");
+  if (m.version >= 2) {
+    m.auth_token = r.str_bounded(kMaxTokenBytes, "auth_token");
+    m.reconnect = (r.u8() & 1) != 0;
+  }
   r.expect_end();
   return m;
 }
@@ -81,6 +92,7 @@ util::Bytes encode(const HelloAck& m) {
   w.u64(m.chunk_size);
   w.u8(static_cast<std::uint8_t>((m.use_checkpoints ? 1 : 0) |
                                  (m.use_diff_classification ? 2 : 0)));
+  w.u64(m.heartbeat_interval_ms);
   return out;
 }
 
@@ -95,6 +107,9 @@ HelloAck decode_hello_ack(util::ByteSpan payload) {
   const auto flags = r.u8();
   m.use_checkpoints = (flags & 1) != 0;
   m.use_diff_classification = (flags & 2) != 0;
+  // v1 acks end here; the heartbeat interval is a v2 trailer (decode-compat
+  // with journals/captures of v1 conversations).
+  if (r.remaining() > 0) m.heartbeat_interval_ms = r.u64();
   r.expect_end();
   return m;
 }
@@ -127,6 +142,18 @@ util::Bytes encode(const WorkRequest&) {
 util::Bytes encode(const Shutdown&) {
   Bytes out;
   begin_message(out, MsgType::Shutdown);
+  return out;
+}
+
+util::Bytes encode(const Ping&) {
+  Bytes out;
+  begin_message(out, MsgType::Ping);
+  return out;
+}
+
+util::Bytes encode(const Pong&) {
+  Bytes out;
+  begin_message(out, MsgType::Pong);
   return out;
 }
 
@@ -246,6 +273,20 @@ UnitDone decode_unit_done(util::ByteSpan payload) {
   m.unit_id = r.u64();
   r.expect_end();
   return m;
+}
+
+// --- auth --------------------------------------------------------------------
+
+bool constant_time_equal(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  // volatile keeps the compiler from short-circuiting the fold; the loop
+  // touches every byte no matter where the first mismatch sits.
+  volatile unsigned char acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i])));
+  }
+  return acc == 0;
 }
 
 // --- plan fingerprint --------------------------------------------------------

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "ffis/core/outcome.hpp"
 #include "ffis/exp/plan.hpp"
@@ -34,9 +35,14 @@
 
 namespace ffis::dist {
 
-/// Bump on any wire-format change; a Hello with a different version is
-/// rejected during the handshake (version-skewed workers must not compute).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Bump on any wire-format change; a Hello with a newer version than the
+/// coordinator speaks is rejected during the handshake (version-skewed
+/// workers must not compute).  v2 added liveness (Ping/Pong), the Hello auth
+/// token + reconnect flag, and the HelloAck heartbeat interval; v1 Hellos
+/// still decode (decode-compat tests rely on it) but are rejected at
+/// handshake time because a v1 worker cannot answer Pings.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersionV1 = 1;
 
 /// First field of every Hello; guards against a stray client that speaks
 /// some other protocol entirely.
@@ -52,12 +58,22 @@ enum class MsgType : std::uint8_t {
   RunRow,
   UnitDone,
   Shutdown,
+  Ping,
+  Pong,
 };
 
 struct Hello {
   std::uint32_t magic = kProtocolMagic;
   std::uint32_t version = kProtocolVersion;
   std::string worker_name;
+  /// Shared-secret fleet token (v2+).  Checked with a constant-time compare
+  /// before any plan text leaves the coordinator; empty on both sides
+  /// disables auth.
+  std::string auth_token;
+  /// True when this connection replaces an earlier one from the same worker
+  /// process (retry after a transport fault or a coordinator restart); feeds
+  /// the coordinator's worker_reconnects counter (v2+).
+  bool reconnect = false;
 };
 
 struct HelloAck {
@@ -80,6 +96,9 @@ struct HelloAck {
   std::uint64_t chunk_size = 0;
   bool use_checkpoints = true;
   bool use_diff_classification = true;
+  /// Interval at which the worker must send Ping frames (v2+); 0 disables
+  /// heartbeats.  A v1 ack lacks the field — the decoder defaults it to 0.
+  std::uint64_t heartbeat_interval_ms = 0;
 };
 
 struct HelloReject {
@@ -130,6 +149,15 @@ struct UnitDone {
 
 struct Shutdown {};
 
+/// Liveness heartbeat (v2+).  The worker's heartbeat thread sends Ping on
+/// the shared connection (under the worker's send lock); the coordinator
+/// refreshes the staleness clock of that worker's granted units and answers
+/// Pong.  The worker's reply loop skips Pongs, so heartbeats piggyback on
+/// the existing strictly-alternating conversation without a second socket.
+struct Ping {};
+
+struct Pong {};
+
 /// The type tag of an encoded message.  Throws std::out_of_range on an empty
 /// payload and std::invalid_argument on an unknown tag.
 [[nodiscard]] MsgType peek_type(util::ByteSpan payload);
@@ -143,6 +171,8 @@ struct Shutdown {};
 [[nodiscard]] util::Bytes encode(const RunRow& m);
 [[nodiscard]] util::Bytes encode(const UnitDone& m);
 [[nodiscard]] util::Bytes encode(const Shutdown& m);
+[[nodiscard]] util::Bytes encode(const Ping& m);
+[[nodiscard]] util::Bytes encode(const Pong& m);
 
 // Strict decoders: the payload must carry the matching tag and nothing but
 // the message's fields.  Throw std::out_of_range (truncation / forged length
@@ -154,6 +184,13 @@ struct Shutdown {};
 [[nodiscard]] CellInfo decode_cell_info(util::ByteSpan payload);
 [[nodiscard]] RunRow decode_run_row(util::ByteSpan payload);
 [[nodiscard]] UnitDone decode_unit_done(util::ByteSpan payload);
+
+/// Constant-time equality for shared secrets: examines every byte of both
+/// strings regardless of where they first differ, so response timing leaks
+/// nothing about a partially-correct token.  (Length is compared first —
+/// token lengths are not secret.)
+[[nodiscard]] bool constant_time_equal(std::string_view a,
+                                       std::string_view b) noexcept;
 
 /// Order-sensitive digest of what a plan *executes*: per cell, the
 /// application name, fault text, stage, runs and seed (labels are

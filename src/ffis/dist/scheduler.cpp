@@ -46,6 +46,7 @@ std::optional<WorkUnit> UnitScheduler::grant(std::uint32_t worker_id,
     slot.state = State::Granted;
     slot.worker_id = worker_id;
     slot.granted_at_ms = now_ms;
+    ++granted_;
     return units_[id];
   }
   return std::nullopt;
@@ -56,8 +57,26 @@ bool UnitScheduler::complete(std::uint64_t unit_id, std::uint32_t worker_id) {
   Slot& slot = slots_[unit_id];
   if (slot.state != State::Granted || slot.worker_id != worker_id) return false;
   slot.state = State::Done;
+  --granted_;
   ++done_;
   return true;
+}
+
+bool UnitScheduler::mark_done(std::uint64_t unit_id) {
+  if (unit_id >= slots_.size()) return false;
+  Slot& slot = slots_[unit_id];
+  if (slot.state != State::Pending) return false;
+  slot.state = State::Done;  // the stale pending_ stack entry is skipped lazily
+  ++done_;
+  return true;
+}
+
+void UnitScheduler::refresh_worker(std::uint32_t worker_id, std::uint64_t now_ms) {
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].state == State::Granted && slots_[id].worker_id == worker_id) {
+      slots_[id].granted_at_ms = now_ms;
+    }
+  }
 }
 
 std::size_t UnitScheduler::on_worker_lost(std::uint32_t worker_id) {
@@ -92,6 +111,7 @@ void UnitScheduler::abandon_cell(std::uint32_t cell_index) {
     if (slots_[id].state == State::Done) continue;
     // Pending entries still sitting in the stack are skipped lazily by
     // grant(); marking Done here covers both states.
+    if (slots_[id].state == State::Granted) --granted_;
     slots_[id].state = State::Done;
     ++done_;
   }
@@ -99,6 +119,7 @@ void UnitScheduler::abandon_cell(std::uint32_t cell_index) {
 
 void UnitScheduler::requeue(std::uint64_t unit_id) {
   Slot& slot = slots_[unit_id];
+  --granted_;  // both callers verified the slot is Granted
   slot.state = State::Pending;
   slot.worker_id = 0;
   slot.granted_at_ms = 0;

@@ -56,6 +56,17 @@ class UnitScheduler {
   /// else in the meantime and this result is a duplicate).
   bool complete(std::uint64_t unit_id, std::uint32_t worker_id);
 
+  /// Marks a Pending `unit_id` Done without a grant — journal replay landing
+  /// a unit completed by a previous coordinator incarnation.  Returns false
+  /// (and changes nothing) when the unit is unknown or not Pending, so a
+  /// duplicated journal record cannot double-count.
+  bool mark_done(std::uint64_t unit_id);
+
+  /// Restamps the grant clock of every unit Granted to `worker_id` — a
+  /// liveness heartbeat arrived, so the worker is slow, not hung, and
+  /// requeue_stale must leave its units alone.
+  void refresh_worker(std::uint32_t worker_id, std::uint64_t now_ms);
+
   /// Re-queues every unit Granted to `worker_id`; call on disconnect.
   /// Returns the number of units re-queued.
   std::size_t on_worker_lost(std::uint32_t worker_id);
@@ -71,6 +82,9 @@ class UnitScheduler {
 
   [[nodiscard]] bool all_done() const noexcept { return done_ == units_.size(); }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  /// Units currently out with a worker — what a draining coordinator waits
+  /// on before exiting.
+  [[nodiscard]] std::size_t granted_count() const noexcept { return granted_; }
   [[nodiscard]] std::uint64_t regranted() const noexcept { return regranted_; }
   [[nodiscard]] const std::vector<WorkUnit>& units() const noexcept { return units_; }
 
@@ -89,6 +103,7 @@ class UnitScheduler {
   std::vector<Slot> slots_;
   std::vector<std::uint64_t> pending_;  ///< stack of unit ids; LIFO keeps re-grants hot
   std::size_t done_ = 0;
+  std::size_t granted_ = 0;
   std::uint64_t regranted_ = 0;
 };
 

@@ -1,9 +1,14 @@
 #include "ffis/dist/worker.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -201,27 +206,108 @@ RunRow row_from(const core::RunResult& rr, const WorkGrant& grant,
   return row;
 }
 
-}  // namespace
+/// One connection's I/O: the main thread and the heartbeat thread share the
+/// stream, so sends are serialized behind a mutex; only the main thread
+/// receives, skipping the Pongs the coordinator interleaves with replies.
+struct SessionIo {
+  net::Stream* stream = nullptr;
+  std::mutex send_mutex;
 
-WorkerStats run_worker(const std::string& host, std::uint16_t port,
-                       const WorkerOptions& options) {
+  void send(util::ByteSpan payload) {
+    std::lock_guard lock(send_mutex);
+    net::send_frame(*stream, payload);
+  }
+
+  [[nodiscard]] std::optional<util::Bytes> recv_reply() {
+    while (auto frame = net::recv_frame(*stream)) {
+      if (peek_type(*frame) == MsgType::Pong) continue;
+      return frame;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Sends a Ping every interval until destroyed.  A send failure ends the
+/// thread silently — the main thread discovers the dead link on its own next
+/// I/O, and two error reports for one failure help nobody.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(SessionIo& io, std::uint64_t interval_ms) {
+    if (interval_ms == 0) return;
+    thread_ = std::thread([this, &io, interval_ms] {
+      for (;;) {
+        {
+          std::unique_lock lock(mutex_);
+          if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; })) {
+            return;
+          }
+        }
+        try {
+          const auto ping = encode(Ping{});
+          io.send(ping);
+        } catch (const std::exception&) {
+          return;
+        }
+      }
+    });
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One full coordinator session: connect, handshake, serve until Shutdown.
+/// Returns normally on a terminal outcome (Shutdown, rejection, simulated
+/// abort); throws net::NetError / decode exceptions on transient transport
+/// failures the retry loop may reconnect after.
+void run_session(const std::string& host, std::uint16_t port,
+                 const WorkerOptions& options, WorkerStats& stats,
+                 bool reconnect) {
   net::Socket socket = net::Socket::connect(host, port);
-  WorkerStats stats;
+  std::unique_ptr<net::Stream> stream =
+      options.transport ? options.transport(std::move(socket))
+                        : std::make_unique<net::Socket>(std::move(socket));
+  SessionIo io;
+  io.stream = stream.get();
 
   {
     Hello hello;
     hello.worker_name = options.name;
+    hello.auth_token = options.auth_token;
+    hello.reconnect = reconnect;
     const auto encoded = encode(hello);
-    net::send_frame(socket, encoded);
+    io.send(encoded);
   }
-  const auto reply = net::recv_frame(socket);
+  const auto reply = io.recv_reply();
   if (!reply) throw net::NetError("coordinator closed during the handshake");
   if (peek_type(*reply) == MsgType::HelloReject) {
     stats.reject_reason = decode_hello_reject(*reply).reason;
-    return stats;
+    return;
   }
   const HelloAck ack = decode_hello_ack(*reply);
   stats.worker_id = ack.worker_id;
+  if (reconnect) ++stats.reconnects;
 
   WorkerContext ctx(options.threads);
   if (options.plan != nullptr) {
@@ -255,12 +341,16 @@ WorkerStats run_worker(const std::string& host, std::uint16_t port,
     ctx.store = std::make_unique<core::CheckpointStore>(checkpoint_dir);
   }
 
+  // Heartbeats start only after the plan checks passed: a worker that is
+  // about to bail on a fingerprint mismatch must not keep grants alive.
+  HeartbeatThread heartbeat(io, ack.heartbeat_interval_ms);
+
   for (;;) {
     {
       const auto request = encode(WorkRequest{});
-      net::send_frame(socket, request);
+      io.send(request);
     }
-    const auto frame = net::recv_frame(socket);
+    const auto frame = io.recv_reply();
     if (!frame) throw net::NetError("coordinator closed while work was pending");
     if (peek_type(*frame) == MsgType::Shutdown) break;
     const WorkGrant grant = decode_work_grant(*frame);
@@ -272,7 +362,7 @@ WorkerStats run_worker(const std::string& host, std::uint16_t port,
     CellExec& exec = ensure_cell(ctx, grant.cell_index);
     if (!exec.info_sent) {
       const auto info = encode(exec.info);
-      net::send_frame(socket, info);
+      io.send(info);
       exec.info_sent = true;
     }
     if (!exec.prepared) continue;  // cell abandoned fleet-wide; just ask again
@@ -291,23 +381,57 @@ WorkerStats run_worker(const std::string& host, std::uint16_t port,
     const std::uint64_t send_count = abort_now ? n / 2 : n;
     for (std::uint64_t i = 0; i < send_count; ++i) {
       const auto row = encode(row_from(results[i], grant, grant.run_begin + i));
-      net::send_frame(socket, row);
+      io.send(row);
       ++stats.runs_executed;
     }
     if (abort_now) {
       // Simulated death: no UnitDone, no goodbye — the coordinator must
       // recover by re-granting this unit to someone else.
-      socket.close();
+      stream->shutdown_both();
       stats.aborted = true;
-      return stats;
+      return;
     }
     {
       const auto done = encode(UnitDone{grant.unit_id});
-      net::send_frame(socket, done);
+      io.send(done);
     }
     ++stats.units_completed;
   }
-  return stats;
+}
+
+}  // namespace
+
+WorkerStats run_worker(const std::string& host, std::uint16_t port,
+                       const WorkerOptions& options) {
+  WorkerStats stats;
+  const std::size_t attempts = std::max<std::size_t>(1, options.retry_attempts);
+  std::uint64_t backoff = std::max<std::uint64_t>(1, options.retry_backoff_ms);
+  const std::uint64_t backoff_max =
+      std::max<std::uint64_t>(backoff, options.retry_backoff_max_ms);
+  std::uint64_t jitter_state = options.retry_jitter_seed;
+
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      run_session(host, port, options, stats, /*reconnect=*/attempt > 1);
+      return stats;
+    } catch (const net::NetError&) {
+      // Unreachable, dropped, or truncated mid-frame: transient.
+      if (attempt >= attempts) throw;
+    } catch (const std::invalid_argument&) {
+      // A garbled link feeds the strict decoders nonsense; the next
+      // connection gets a fresh stream.
+      if (attempt >= attempts) throw;
+    } catch (const std::out_of_range&) {
+      if (attempt >= attempts) throw;
+    }
+    // Everything else (HelloReject lands as reject_reason, plan/fingerprint
+    // mismatches as std::runtime_error) is terminal: retrying an
+    // incompatible fleet cannot succeed.
+    const std::uint64_t sleep_ms =
+        backoff / 2 + splitmix64(jitter_state) % (backoff / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff = std::min(backoff * 2, backoff_max);
+  }
 }
 
 }  // namespace ffis::dist

@@ -17,9 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "ffis/exp/plan.hpp"
+#include "ffis/net/socket.hpp"
 
 namespace ffis::dist {
 
@@ -39,6 +42,26 @@ struct WorkerOptions {
   /// units the worker executes its next unit, streams only half of its rows,
   /// then hard-closes the socket without UnitDone.  kNeverAbort disables.
   std::size_t abort_after_units = static_cast<std::size_t>(-1);
+  /// Shared-secret fleet token sent in the Hello (see
+  /// CoordinatorOptions::auth_token); empty when the fleet runs without auth.
+  std::string auth_token;
+  /// Total connection attempts before a transient failure (unreachable
+  /// coordinator, dropped/garbled link, coordinator restart) is fatal; 1
+  /// disables retry.  Rejections and plan/fingerprint mismatches always
+  /// abandon immediately — retrying an incompatible fleet cannot help.
+  std::size_t retry_attempts = 1;
+  /// First retry delay; doubles per attempt up to retry_backoff_max_ms, each
+  /// sleep jittered in [backoff/2, backoff] so a restarted coordinator isn't
+  /// hit by every worker in the same millisecond.
+  std::uint64_t retry_backoff_ms = 100;
+  std::uint64_t retry_backoff_max_ms = 5000;
+  /// Seed of the deterministic jitter stream (tests pin it; the CLI mixes in
+  /// the worker name so a homogeneous fleet still spreads out).
+  std::uint64_t retry_jitter_seed = 0;
+  /// Test hook: wraps each freshly-connected socket in an arbitrary
+  /// net::Stream (e.g. net::FaultySocket with a seeded fault plan).  Null
+  /// uses the socket directly.
+  std::function<std::unique_ptr<net::Stream>(net::Socket)> transport;
 };
 
 inline constexpr std::size_t kNeverAbort = static_cast<std::size_t>(-1);
@@ -52,12 +75,15 @@ struct WorkerStats {
   std::string reject_reason;
   /// True when the abort_after_units hook fired (the "death" was simulated).
   bool aborted = false;
+  /// Successful re-handshakes after a transient failure (retry loop).
+  std::uint64_t reconnects = 0;
 };
 
-/// Serves one coordinator until Shutdown (or rejection).  Throws
-/// net::NetError when the coordinator is unreachable or the connection dies,
-/// and std::invalid_argument/std::runtime_error for plan mismatches — a
-/// worker whose plan disagrees with the coordinator's must not execute.
+/// Serves one coordinator until Shutdown (or rejection), reconnecting with
+/// exponential backoff on transient failures when retry_attempts > 1.
+/// Throws net::NetError when the coordinator stays unreachable past the
+/// retry budget, and std::runtime_error for plan mismatches — a worker whose
+/// plan disagrees with the coordinator's must not execute.
 WorkerStats run_worker(const std::string& host, std::uint16_t port,
                        const WorkerOptions& options = {});
 

@@ -11,6 +11,9 @@
 //   checkpoint_dir = .ffis-checkpoints  # optional: persistent checkpoint
 //                         # store shared across invocations (warm starts
 //                         # skip the fault-free prefix entirely)
+//   unit_timeout_ms = 0   # optional: distributed serving only — re-queue a
+//                         # granted unit after this long without completion
+//                         # (0 = re-grant on disconnect only)
 //   application = nyx     # cells inherit any campaign key set here
 //
 //   # Each [cell] header starts one cell; its lines override the defaults.
@@ -27,6 +30,7 @@
 // extras share ONE Application instance, so the engine's golden-run cache
 // collapses their golden executions.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +53,10 @@ struct PlanConfig {
   /// empty = no cross-process caching.  The `--checkpoint-dir` CLI flag
   /// overrides it.
   std::string checkpoint_dir;
+  /// Distributed serving only: re-queue a granted unit after this many
+  /// milliseconds without completion (CoordinatorOptions::unit_timeout_ms);
+  /// 0 = re-grant on disconnect only.  The `--unit-timeout` flag overrides it.
+  std::uint64_t unit_timeout_ms = 0;
 };
 
 /// Parses a plan document.  Throws std::invalid_argument on syntax errors,

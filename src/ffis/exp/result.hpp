@@ -88,6 +88,15 @@ struct ExperimentReport {
   // workload, so there is no meaningful plan-wide number to aggregate.
   std::uint64_t workers_connected = 0;  ///< workers that completed the handshake
   std::uint64_t units_regranted = 0;    ///< work units re-queued after loss/timeout
+  /// Units landed by a previous coordinator incarnation and restored from
+  /// the campaign journal (never re-granted, never re-executed).
+  std::uint64_t units_replayed_from_journal = 0;
+  /// Hellos carrying the reconnect flag — worker retry loops that re-joined
+  /// after a transport fault or a coordinator restart.
+  std::uint64_t worker_reconnects = 0;
+  /// Stale-grant re-queues: granted units whose worker stopped sending rows
+  /// *and* liveness heartbeats past the unit timeout.
+  std::uint64_t heartbeat_timeouts = 0;
   bool cancelled = false;
 };
 

@@ -231,14 +231,21 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                  static_cast<unsigned long long>(report.goldens_persisted));
   }
   // Fleet summary, only for distributed (dist::Coordinator) campaigns.  The
-  // CI gate greps for "units re-granted" to assert clean runs re-grant
-  // nothing, so keep the phrasing stable.
+  // CI gates grep for "units re-granted" and "replayed from journal", so
+  // keep the phrasing stable and only append to this line.
   if (report.workers_connected > 0) {
-    std::fprintf(out_, "[distributed: %llu worker%s connected, %llu unit%s re-granted]\n",
+    std::fprintf(out_, "[distributed: %llu worker%s connected, %llu unit%s re-granted, "
+                       "%llu replayed from journal, %llu reconnect%s, "
+                       "%llu heartbeat timeout%s]\n",
                  static_cast<unsigned long long>(report.workers_connected),
                  report.workers_connected == 1 ? "" : "s",
                  static_cast<unsigned long long>(report.units_regranted),
-                 report.units_regranted == 1 ? "" : "s");
+                 report.units_regranted == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.units_replayed_from_journal),
+                 static_cast<unsigned long long>(report.worker_reconnects),
+                 report.worker_reconnects == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.heartbeat_timeouts),
+                 report.heartbeat_timeouts == 1 ? "" : "s");
   }
 }
 

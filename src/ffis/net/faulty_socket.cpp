@@ -1,0 +1,115 @@
+#include "ffis/net/faulty_socket.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ffis::net {
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed) noexcept {
+  // splitmix64: every seed maps to a well-mixed draw, no shared state.
+  auto next = [&seed]() noexcept {
+    seed += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const std::uint64_t draw = next();
+  FaultPlan plan;
+  switch (draw % 4) {
+    case 0:
+      // Somewhere in the Hello or the first unit's rows.
+      plan = drop_after_send(1 + next() % 256);
+      break;
+    case 1:
+      plan = close_after_recv(1 + next() % 384);
+      break;
+    case 2:
+      // Handshake region only: a garble here is always detectable (decode
+      // error, fingerprint mismatch, or an oversized length prefix), never a
+      // silent result corruption.
+      plan = garble_recv_byte(next() % 14);
+      break;
+    default:
+      plan = stall_recv(next() % 128, 1 + static_cast<std::uint32_t>(next() % 8));
+      break;
+  }
+  return plan;
+}
+
+void FaultySocket::send_all(util::ByteSpan data) {
+  if (plan_.kind != FaultPlan::Kind::DropAfterSend) {
+    socket_.send_all(data);
+    sent_.fetch_add(data.size(), std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t already = sent_.load(std::memory_order_relaxed);
+  if (already >= plan_.at_byte) {
+    // The link is blackholed: the local send "succeeds" and the bytes vanish.
+    fired_.store(true, std::memory_order_relaxed);
+    sent_.fetch_add(data.size(), std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t budget = plan_.at_byte - already;
+  if (data.size() <= budget) {
+    socket_.send_all(data);
+  } else {
+    socket_.send_all(data.subspan(0, static_cast<std::size_t>(budget)));
+    fired_.store(true, std::memory_order_relaxed);
+  }
+  sent_.fetch_add(data.size(), std::memory_order_relaxed);
+}
+
+bool FaultySocket::recv_exact(util::MutableByteSpan out) {
+  switch (plan_.kind) {
+    case FaultPlan::Kind::DropAfterSend:
+      if (fired_.load(std::memory_order_relaxed)) {
+        // The blackholed request can never be answered; surface the dead
+        // link on the read path (where TCP would eventually time out) and
+        // let the peer see it die too.
+        socket_.shutdown_both();
+        throw NetError("injected fault: link dropped after " +
+                       std::to_string(plan_.at_byte) + " sent bytes");
+      }
+      break;
+    case FaultPlan::Kind::CloseAfterRecv: {
+      const std::uint64_t already = received_.load(std::memory_order_relaxed);
+      const std::uint64_t budget =
+          already >= plan_.at_byte ? 0 : plan_.at_byte - already;
+      if (out.size() > budget) {
+        if (budget > 0 &&
+            !socket_.recv_exact(out.subspan(0, static_cast<std::size_t>(budget)))) {
+          return false;  // the real peer closed first
+        }
+        received_.fetch_add(budget, std::memory_order_relaxed);
+        fired_.store(true, std::memory_order_relaxed);
+        socket_.shutdown_both();
+        if (budget == 0) return false;  // clean close at a read boundary
+        throw NetError("injected fault: peer closed mid-frame after " +
+                       std::to_string(plan_.at_byte) + " received bytes");
+      }
+      break;
+    }
+    case FaultPlan::Kind::StallRecv:
+      if (received_.load(std::memory_order_relaxed) >= plan_.at_byte) {
+        fired_.store(true, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(plan_.stall_ms));
+      }
+      break;
+    default:
+      break;
+  }
+
+  const std::uint64_t before = received_.load(std::memory_order_relaxed);
+  if (!socket_.recv_exact(out)) return false;
+  received_.fetch_add(out.size(), std::memory_order_relaxed);
+
+  if (plan_.kind == FaultPlan::Kind::GarbleRecvByte &&
+      plan_.at_byte >= before && plan_.at_byte < before + out.size()) {
+    out[static_cast<std::size_t>(plan_.at_byte - before)] ^= std::byte{0x80};
+    fired_.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace ffis::net

@@ -1,0 +1,101 @@
+#pragma once
+// net::FaultySocket — deterministic transport-fault injection for tests.
+//
+// The dist layer's resilience claims (journal resume, worker retry, heartbeat
+// re-grants) are only as good as the failure modes they were tested against,
+// so this wraps a real net::Socket behind the net::Stream seam and injects
+// the faults flaky links actually produce: a link that blackholes traffic
+// after N bytes, a peer that dies mid-frame, a corrupted byte landing in a
+// length prefix, and a stalled read path.  Fault plans are positioned by
+// byte offset and derivable from a seed, so every test failure replays
+// exactly — the same discipline the fault injector applies to the workloads
+// under study, turned on our own transport.
+
+#include <atomic>
+#include <cstdint>
+
+#include "ffis/net/socket.hpp"
+
+namespace ffis::net {
+
+/// One injected transport fault, positioned by a byte offset in the send or
+/// receive direction.  `none()` makes FaultySocket a transparent pass-through
+/// (used for "first connection faulty, retries clean" factories).
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    None = 0,
+    /// After `at_byte` sent bytes: silently swallow further sends (a
+    /// blackholed link) and fail the next receive; the wrapped socket is
+    /// half-closed on that receive so the peer sees the link die too.
+    DropAfterSend,
+    /// After `at_byte` received bytes: half-close the wrapped socket.  At a
+    /// read boundary this is a clean close (recv_exact returns false);
+    /// inside a buffer it throws NetError — a peer death mid-frame.
+    CloseAfterRecv,
+    /// Flip the top bit of received byte number `at_byte` (0-based).  Landing
+    /// in a frame's length prefix this forges an oversized length; landing in
+    /// a payload it feeds the strict decoders garbage.
+    GarbleRecvByte,
+    /// Sleep `stall_ms` before every receive once `at_byte` bytes arrived —
+    /// a slow-but-alive link, for liveness/staleness tests.
+    StallRecv,
+  };
+
+  Kind kind = Kind::None;
+  std::uint64_t at_byte = 0;
+  std::uint32_t stall_ms = 0;
+
+  [[nodiscard]] static FaultPlan none() noexcept { return {}; }
+  [[nodiscard]] static FaultPlan drop_after_send(std::uint64_t n) noexcept {
+    return {Kind::DropAfterSend, n, 0};
+  }
+  [[nodiscard]] static FaultPlan close_after_recv(std::uint64_t n) noexcept {
+    return {Kind::CloseAfterRecv, n, 0};
+  }
+  [[nodiscard]] static FaultPlan garble_recv_byte(std::uint64_t n) noexcept {
+    return {Kind::GarbleRecvByte, n, 0};
+  }
+  [[nodiscard]] static FaultPlan stall_recv(std::uint64_t n, std::uint32_t ms) noexcept {
+    return {Kind::StallRecv, n, ms};
+  }
+
+  /// Deterministic plan from a seed: kind, position and stall are pure
+  /// functions of `seed`, so a seed sweep explores the fault space
+  /// reproducibly.  Garbles are confined to the handshake region (the first
+  /// bytes received) where every corruption is detectable; positions
+  /// elsewhere range over the early conversation.
+  [[nodiscard]] static FaultPlan from_seed(std::uint64_t seed) noexcept;
+};
+
+/// A net::Stream that forwards to a wrapped Socket until its FaultPlan
+/// triggers.  Thread-compatible with the worker's split send/recv threads:
+/// the send and receive paths keep independent atomic byte counters.
+class FaultySocket final : public Stream {
+ public:
+  FaultySocket(Socket socket, FaultPlan plan) noexcept
+      : socket_(std::move(socket)), plan_(plan) {}
+
+  void send_all(util::ByteSpan data) override;
+  [[nodiscard]] bool recv_exact(util::MutableByteSpan out) override;
+  void shutdown_both() noexcept override { socket_.shutdown_both(); }
+
+  /// True once the plan's fault has triggered at least once.
+  [[nodiscard]] bool fault_fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Socket socket_;
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace ffis::net

@@ -5,7 +5,7 @@
 
 namespace ffis::net {
 
-void send_frame(Socket& socket, util::ByteSpan payload, std::size_t max_bytes) {
+void send_frame(Stream& socket, util::ByteSpan payload, std::size_t max_bytes) {
   if (payload.size() > max_bytes) {
     throw NetError("refusing to send an oversized frame (" +
                    std::to_string(payload.size()) + " bytes, limit " +
@@ -22,7 +22,7 @@ void send_frame(Socket& socket, util::ByteSpan payload, std::size_t max_bytes) {
   if (!payload.empty()) socket.send_all(payload);
 }
 
-std::optional<util::Bytes> recv_frame(Socket& socket, std::size_t max_bytes) {
+std::optional<util::Bytes> recv_frame(Stream& socket, std::size_t max_bytes) {
   std::array<std::byte, 4> prefix{};
   if (!socket.recv_exact(prefix)) return std::nullopt;
   std::uint32_t n = 0;

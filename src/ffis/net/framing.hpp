@@ -27,13 +27,13 @@ inline constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
 
 /// Sends one frame.  Throws NetError when the payload exceeds `max_bytes`
 /// (the peer would reject it anyway) or the peer is gone.
-void send_frame(Socket& socket, util::ByteSpan payload,
+void send_frame(Stream& stream, util::ByteSpan payload,
                 std::size_t max_bytes = kMaxFrameBytes);
 
 /// Receives one frame.  Returns nullopt on a clean peer close between
 /// frames; throws NetError on oversized length prefixes, truncation inside a
 /// frame, or socket errors.
 [[nodiscard]] std::optional<util::Bytes> recv_frame(
-    Socket& socket, std::size_t max_bytes = kMaxFrameBytes);
+    Stream& stream, std::size_t max_bytes = kMaxFrameBytes);
 
 }  // namespace ffis::net

@@ -23,14 +23,35 @@ class NetError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Abstract byte-stream transport: the seam between the framing/protocol
+/// layers and the wire.  Socket is the production implementation;
+/// FaultySocket (faulty_socket.hpp) wraps one with deterministic injected
+/// transport faults so the dist layer's recovery paths can be tested the
+/// same way the VFS fuzzer exercises MemFs.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Writes the whole span.  Throws NetError when the peer is gone.
+  virtual void send_all(util::ByteSpan data) = 0;
+
+  /// Reads exactly out.size() bytes.  Returns false on a clean peer close
+  /// before the first byte; throws NetError on errors or truncation
+  /// mid-buffer.
+  [[nodiscard]] virtual bool recv_exact(util::MutableByteSpan out) = 0;
+
+  /// Half-close both directions; unblocks a thread parked in recv.
+  virtual void shutdown_both() noexcept = 0;
+};
+
 /// A connected TCP stream socket (client side of connect() or the result of
 /// Listener::accept).  Move-only; the destructor closes the descriptor.
-class Socket {
+class Socket final : public Stream {
  public:
   Socket() = default;
   /// Adopts an already-connected descriptor (takes ownership).
   explicit Socket(int fd) noexcept : fd_(fd) {}
-  ~Socket() { close(); }
+  ~Socket() override { close(); }
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -43,17 +64,17 @@ class Socket {
 
   /// Writes the whole span (looping over partial sends, EINTR-safe, no
   /// SIGPIPE).  Throws NetError when the peer is gone.
-  void send_all(util::ByteSpan data);
+  void send_all(util::ByteSpan data) override;
 
   /// Reads exactly out.size() bytes.  Returns false when the peer closed the
   /// connection cleanly *before the first byte* (normal end-of-stream);
   /// throws NetError on errors or when the stream ends mid-buffer (a
   /// truncated frame — the peer died while sending).
-  [[nodiscard]] bool recv_exact(util::MutableByteSpan out);
+  [[nodiscard]] bool recv_exact(util::MutableByteSpan out) override;
 
   /// Half-close both directions without releasing the descriptor; unblocks a
   /// thread parked in recv on this socket.
-  void shutdown_both() noexcept;
+  void shutdown_both() noexcept override;
 
   void close() noexcept;
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }

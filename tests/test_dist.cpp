@@ -11,7 +11,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,12 +22,14 @@
 
 #include "ffis/core/application.hpp"
 #include "ffis/dist/coordinator.hpp"
+#include "ffis/dist/journal.hpp"
 #include "ffis/dist/protocol.hpp"
 #include "ffis/dist/scheduler.hpp"
 #include "ffis/dist/worker.hpp"
 #include "ffis/exp/engine.hpp"
 #include "ffis/exp/plan.hpp"
 #include "ffis/exp/sink.hpp"
+#include "ffis/net/faulty_socket.hpp"
 #include "ffis/net/framing.hpp"
 #include "ffis/net/socket.hpp"
 #include "ffis/util/rng.hpp"
@@ -697,6 +702,543 @@ TEST(DistSinks, LegacyCsvWithoutWorkerIdStillParses) {
   EXPECT_TRUE(rows[0].worker_id.empty());
   EXPECT_TRUE(rows[0].golden_cached);
   EXPECT_FALSE(rows[0].checkpoint_loaded);
+}
+
+// --- resilience: campaign journal --------------------------------------------
+
+exp::ExperimentPlan make_journal_plan(const core::Application& app) {
+  // 32 runs x 2 cells at unit_runs=4 -> 16 uniform 4-run units.
+  return exp::PlanBuilder().runs(32).seed(5).apps({&app}).faults({"BF", "DW"}).build();
+}
+
+/// Simulates a coordinator that dies mid-campaign: one worker lands
+/// `units_landed` units into the journal and then dies mid-unit; the
+/// coordinator drains (in-flight re-queued by the disconnect, so the drain
+/// completes immediately) and its report covers only the landed work.  A
+/// SIGKILL would leave the exact same journal — records are fsync'd per unit
+/// and nothing is written at shutdown — which the CI chaos job proves with a
+/// real kill -9.
+exp::ExperimentReport run_partial_with_journal(const exp::ExperimentPlan& plan,
+                                               const std::string& journal,
+                                               std::size_t units_landed) {
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.journal_path = journal;
+  dist::Coordinator coordinator(plan, std::move(options));
+  const std::uint16_t port = coordinator.port();
+  exp::ExperimentReport report;
+  std::thread serve([&] { report = coordinator.run(); });
+  dist::WorkerStats stats;
+  {
+    dist::WorkerOptions wo;
+    wo.name = "doomed";
+    wo.plan = &plan;
+    wo.abort_after_units = units_landed;
+    std::thread t([&] { stats = dist::run_worker("127.0.0.1", port, wo); });
+    t.join();
+  }
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_EQ(stats.units_completed, units_landed);
+  coordinator.request_drain();
+  serve.join();
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.total_runs, plan.total_runs());
+  return report;
+}
+
+/// Restarts the campaign against the same journal with one healthy worker
+/// and runs it to completion.
+DistOutcome resume_with_journal(const exp::ExperimentPlan& plan,
+                                const std::string& journal) {
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.journal_path = journal;
+  return run_distributed(plan, /*n_workers=*/1, std::move(options));
+}
+
+TEST(Journal, ResumeReplaysLandedUnitsAndNeverReExecutesThem) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-resume");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+
+  const auto partial = run_partial_with_journal(plan, journal, 3);
+  EXPECT_EQ(partial.units_replayed_from_journal, 0u);
+
+  const auto resumed = resume_with_journal(plan, journal);
+  expect_reports_identical(resumed.report, expected);
+  EXPECT_FALSE(resumed.report.cancelled);
+  EXPECT_EQ(resumed.report.units_replayed_from_journal, 3u);
+  // The landed units were never re-granted: the resuming worker executed
+  // exactly the plan minus the replayed runs (the doomed worker's half-sent
+  // fourth unit was not journaled and is legitimately re-executed).
+  EXPECT_EQ(resumed.workers[0].runs_executed, plan.total_runs() - 3 * 4);
+  for (const auto& cell : resumed.report.cells) {
+    EXPECT_EQ(cell.runs_completed, cell.cell.runs);  // nothing lost, nothing doubled
+  }
+}
+
+TEST(Journal, FullyJournaledCampaignResumesWithoutExecutingAnything) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-full");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.journal_path = journal;
+  const auto first = run_distributed(plan, 1, std::move(options));
+  expect_reports_identical(first.report, expected);
+
+  // Everything is already landed, so the resumed coordinator finishes from
+  // the journal alone — no worker connects, no run executes.
+  dist::CoordinatorOptions resume_options;
+  resume_options.unit_runs = 4;
+  resume_options.journal_path = journal;
+  dist::Coordinator resumed(plan, std::move(resume_options));
+  const auto report = resumed.run();
+  expect_reports_identical(report, expected);
+  EXPECT_EQ(report.units_replayed_from_journal, 16u);
+  EXPECT_EQ(report.workers_connected, 0u);
+}
+
+TEST(Journal, TruncatedTailDropsOnlyTheTornRecord) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-torn");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+  (void)run_partial_with_journal(plan, journal, 3);
+
+  // Tear the last record, as a crash mid-append would.
+  stdfs::resize_file(journal, stdfs::file_size(journal) - 5);
+
+  const auto resumed = resume_with_journal(plan, journal);
+  expect_reports_identical(resumed.report, expected);
+  EXPECT_EQ(resumed.report.units_replayed_from_journal, 2u);
+}
+
+TEST(Journal, FlippedChecksumByteDropsThatRecordAndEverythingAfter) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-flip");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+  (void)run_partial_with_journal(plan, journal, 3);
+
+  {
+    // Corrupt a byte inside the first record's payload (just past the
+    // 36-byte header and its 4-byte record length prefix).
+    std::fstream f(journal, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(44);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(44);
+    f.write(&c, 1);
+  }
+
+  const auto resumed = resume_with_journal(plan, journal);
+  expect_reports_identical(resumed.report, expected);
+  EXPECT_EQ(resumed.report.units_replayed_from_journal, 0u);
+}
+
+TEST(Journal, WrongPlanFingerprintStartsOverCleanly) {
+  ToyApp a;
+  const auto plan_a = make_journal_plan(a);
+  const auto plan_b =
+      exp::PlanBuilder().runs(32).seed(6).apps({&a}).faults({"BF", "DW"}).build();
+  const auto expected_b = exp::Engine().run(plan_b);
+  StoreDir dir("journal-mismatch");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+  (void)run_partial_with_journal(plan_a, journal, 3);
+
+  // A different plan at the same path: nothing replays, nothing crashes, and
+  // the journal is re-seeded for the new plan.
+  const auto run_b = resume_with_journal(plan_b, journal);
+  expect_reports_identical(run_b.report, expected_b);
+  EXPECT_EQ(run_b.report.units_replayed_from_journal, 0u);
+
+  // ...and the re-seeded journal now fully replays plan B, worker-free.
+  dist::CoordinatorOptions resume_options;
+  resume_options.unit_runs = 4;
+  resume_options.journal_path = journal;
+  dist::Coordinator resumed_b(plan_b, std::move(resume_options));
+  const auto report_b = resumed_b.run();
+  expect_reports_identical(report_b, expected_b);
+  EXPECT_EQ(report_b.units_replayed_from_journal, 16u);
+}
+
+TEST(Journal, BumpedFormatVersionStartsOverCleanly) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-version");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+  (void)run_partial_with_journal(plan, journal, 3);
+
+  {
+    // Bump the format field (offset 8, after the 8-byte signature): a future
+    // format must read as "not my header", not as garbled records.
+    std::fstream f(journal, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    const char two = 2;
+    f.seekp(8);
+    f.write(&two, 1);
+  }
+
+  const auto resumed = resume_with_journal(plan, journal);
+  expect_reports_identical(resumed.report, expected);
+  EXPECT_EQ(resumed.report.units_replayed_from_journal, 0u);
+}
+
+TEST(Journal, GarbageFileStartsOverCleanly) {
+  ToyApp a;
+  const auto plan = make_journal_plan(a);
+  const auto expected = exp::Engine().run(plan);
+  StoreDir dir("journal-garbage");
+  stdfs::create_directories(dir.path());
+  const std::string journal = dir.path() + "/campaign.jrnl";
+  {
+    std::ofstream f(journal, std::ios::binary);
+    f << "this is not a campaign journal";
+  }
+  const auto run = resume_with_journal(plan, journal);
+  expect_reports_identical(run.report, expected);
+  EXPECT_EQ(run.report.units_replayed_from_journal, 0u);
+}
+
+TEST(Journal, ReplayFlagsReportResumeStartOverAndTornTail) {
+  StoreDir dir("journal-flags");
+  stdfs::create_directories(dir.path());
+  const std::string path = dir.path() + "/j.jrnl";
+  {
+    dist::CampaignJournal j(path, /*plan_fingerprint=*/0xabcd, /*unit_runs=*/4);
+    EXPECT_FALSE(j.replayed().resumed);
+    EXPECT_FALSE(j.replayed().started_over);
+    dist::CellInfo info;
+    info.cell_index = 0;
+    info.primitive_count = 7;
+    j.append_cell_info(info);
+    j.append_unit(0, {});
+  }
+  {
+    dist::CampaignJournal j(path, 0xabcd, 4);
+    EXPECT_TRUE(j.replayed().resumed);
+    ASSERT_EQ(j.replayed().cell_infos.size(), 1u);
+    EXPECT_EQ(j.replayed().cell_infos[0].primitive_count, 7u);
+    ASSERT_EQ(j.replayed().units.size(), 1u);
+    EXPECT_EQ(j.replayed().tail_bytes_dropped, 0u);
+  }
+  const auto full_size = stdfs::file_size(path);
+  stdfs::resize_file(path, full_size - 3);
+  {
+    dist::CampaignJournal j(path, 0xabcd, 4);
+    EXPECT_TRUE(j.replayed().resumed);
+    ASSERT_EQ(j.replayed().units.size(), 0u);  // torn unit record dropped
+    EXPECT_GT(j.replayed().tail_bytes_dropped, 0u);
+  }
+  {
+    // unit_runs is part of the journal identity: unit ids are positions in
+    // the shard list, so a different sharding must not replay.
+    dist::CampaignJournal j(path, 0xabcd, 8);
+    EXPECT_FALSE(j.replayed().resumed);
+    EXPECT_TRUE(j.replayed().started_over);
+  }
+}
+
+// --- resilience: worker retry ------------------------------------------------
+
+TEST(Retry, WorkerReconnectsAfterAFaultyFirstConnection) {
+  ToyApp a;
+  const auto plan =
+      exp::PlanBuilder().runs(16).seed(9).apps({&a}).faults({"BF"}).build();
+  const auto expected = exp::Engine().run(plan);
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  dist::Coordinator coordinator(plan, std::move(options));
+  const std::uint16_t port = coordinator.port();
+  exp::ExperimentReport report;
+  std::thread serve([&] { report = coordinator.run(); });
+
+  // First connection blackholes after 8 sent bytes (mid-Hello); every retry
+  // gets a clean link.
+  auto attempts = std::make_shared<std::atomic<int>>(0);
+  dist::WorkerOptions wo;
+  wo.name = "flaky";
+  wo.plan = &plan;
+  wo.retry_attempts = 5;
+  wo.retry_backoff_ms = 2;
+  wo.retry_backoff_max_ms = 8;
+  wo.transport = [attempts](net::Socket socket) -> std::unique_ptr<net::Stream> {
+    const auto plan_for_attempt = (attempts->fetch_add(1) == 0)
+                                      ? net::FaultPlan::drop_after_send(8)
+                                      : net::FaultPlan::none();
+    return std::make_unique<net::FaultySocket>(std::move(socket), plan_for_attempt);
+  };
+  dist::WorkerStats stats;
+  std::thread t([&] { stats = dist::run_worker("127.0.0.1", port, wo); });
+  t.join();
+  serve.join();
+
+  expect_reports_identical(report, expected);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(report.worker_reconnects, 1u);
+  EXPECT_EQ(stats.runs_executed, plan.total_runs());
+}
+
+TEST(Retry, ExhaustedAttemptsAgainstADeadPortThrowNetError) {
+  // Bind-then-close to learn a port nobody listens on.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = net::Listener::listen(0);
+    dead_port = listener.port();
+  }
+  dist::WorkerOptions wo;
+  wo.retry_attempts = 3;
+  wo.retry_backoff_ms = 1;
+  wo.retry_backoff_max_ms = 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)dist::run_worker("127.0.0.1", dead_port, wo), net::NetError);
+  // Two backoff sleeps happened (not three): the budget bounds the attempts.
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(Retry, SeededTransportFaultSweepNeverCorruptsTallies) {
+  ToyApp a;
+  const auto plan =
+      exp::PlanBuilder().runs(16).seed(9).apps({&a}).faults({"BF"}).build();
+  const auto expected = exp::Engine().run(plan);
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+    dist::CoordinatorOptions options;
+    options.unit_runs = 4;
+    dist::Coordinator coordinator(plan, std::move(options));
+    const std::uint16_t port = coordinator.port();
+    exp::ExperimentReport report;
+    std::thread serve([&] { report = coordinator.run(); });
+
+    // One worker takes a seeded transport fault on its first connection and
+    // retries clean; a healthy worker guarantees the campaign always
+    // completes even when the faulty one dies terminally (e.g. a garbled
+    // fingerprint reads as an incompatible fleet — correctly unretryable).
+    auto attempts = std::make_shared<std::atomic<int>>(0);
+    std::thread faulty([&, attempts] {
+      dist::WorkerOptions wo;
+      wo.name = "faulty";
+      wo.plan = &plan;
+      wo.retry_attempts = 6;
+      wo.retry_backoff_ms = 2;
+      wo.retry_backoff_max_ms = 8;
+      wo.retry_jitter_seed = seed;
+      wo.transport = [attempts, seed](net::Socket socket) -> std::unique_ptr<net::Stream> {
+        const auto fault_plan = (attempts->fetch_add(1) == 0)
+                                    ? net::FaultPlan::from_seed(seed)
+                                    : net::FaultPlan::none();
+        return std::make_unique<net::FaultySocket>(std::move(socket), fault_plan);
+      };
+      try {
+        (void)dist::run_worker("127.0.0.1", port, wo);
+      } catch (const std::exception&) {
+        // Terminal for this worker; never for the campaign.
+      }
+    });
+    std::thread healthy([&] {
+      dist::WorkerOptions wo;
+      wo.name = "healthy";
+      wo.plan = &plan;
+      (void)dist::run_worker("127.0.0.1", port, wo);
+    });
+    faulty.join();
+    healthy.join();
+    serve.join();
+
+    // The invariant under every fault: bit-identical tallies, every run
+    // counted exactly once.
+    expect_reports_identical(report, expected);
+    for (const auto& cell : report.cells) {
+      EXPECT_EQ(cell.runs_completed, cell.cell.runs);
+    }
+  }
+}
+
+// --- resilience: heartbeats & liveness ---------------------------------------
+
+/// Raw v2 client: handshakes and takes one work grant, then does whatever
+/// the test scripts next (hang, ping, disconnect).
+net::Socket raw_client_with_grant(std::uint16_t port, const std::string& name) {
+  auto socket = net::Socket::connect("127.0.0.1", port);
+  dist::Hello hello;
+  hello.worker_name = name;
+  net::send_frame(socket, dist::encode(hello));
+  const auto ack = net::recv_frame(socket);
+  EXPECT_TRUE(ack.has_value());
+  EXPECT_EQ(dist::peek_type(*ack), dist::MsgType::HelloAck);
+  net::send_frame(socket, dist::encode(dist::WorkRequest{}));
+  const auto grant = net::recv_frame(socket);
+  EXPECT_TRUE(grant.has_value());
+  EXPECT_EQ(dist::peek_type(*grant), dist::MsgType::WorkGrant);
+  return socket;
+}
+
+TEST(Heartbeat, HungWorkerTripsTheTimeoutAndItsUnitIsRegranted) {
+  ToyApp a;
+  const auto plan =
+      exp::PlanBuilder().runs(16).seed(9).apps({&a}).faults({"BF"}).build();
+  const auto expected = exp::Engine().run(plan);
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.unit_timeout_ms = 150;
+  options.heartbeat_interval_ms = 40;
+  dist::Coordinator coordinator(plan, std::move(options));
+  const std::uint16_t port = coordinator.port();
+  exp::ExperimentReport report;
+  std::thread serve([&] { report = coordinator.run(); });
+
+  // Takes a grant, then goes silent: connected but sending neither rows nor
+  // Pings.  Only the stale sweep can rescue its unit.
+  auto hung = raw_client_with_grant(port, "hung");
+
+  dist::WorkerStats stats;
+  std::thread healthy([&] {
+    dist::WorkerOptions wo;
+    wo.name = "healthy";
+    wo.plan = &plan;
+    stats = dist::run_worker("127.0.0.1", port, wo);
+  });
+  healthy.join();
+  serve.join();
+  hung.close();
+
+  expect_reports_identical(report, expected);
+  EXPECT_GE(report.heartbeat_timeouts, 1u);
+  EXPECT_GE(report.units_regranted, 1u);
+  EXPECT_EQ(stats.runs_executed, plan.total_runs());  // including the rescue
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.runs_completed, cell.cell.runs);
+  }
+}
+
+TEST(Heartbeat, PingsKeepASlowWorkersGrantAlive) {
+  ToyApp a;
+  const auto plan =
+      exp::PlanBuilder().runs(8).seed(9).apps({&a}).faults({"BF"}).build();
+  const auto expected = exp::Engine().run(plan);
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.unit_timeout_ms = 120;
+  options.heartbeat_interval_ms = 30;
+  dist::Coordinator coordinator(plan, std::move(options));
+  const std::uint16_t port = coordinator.port();
+  exp::ExperimentReport report;
+  std::thread serve([&] { report = coordinator.run(); });
+
+  // Holds a grant for 4x the unit timeout while pinging: the heartbeats
+  // restamp the grant clock, so the stale sweep must never re-queue it.
+  auto slow = raw_client_with_grant(port, "slow-but-alive");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(480);
+  while (std::chrono::steady_clock::now() < deadline) {
+    net::send_frame(slow, dist::encode(dist::Ping{}));
+    const auto pong = net::recv_frame(slow);  // coordinator answers each Ping
+    ASSERT_TRUE(pong.has_value());
+    EXPECT_EQ(dist::peek_type(*pong), dist::MsgType::Pong);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  // Only then does the slow worker die; its unit re-queues via disconnect.
+  slow.close();
+
+  dist::WorkerStats stats;
+  std::thread healthy([&] {
+    dist::WorkerOptions wo;
+    wo.name = "healthy";
+    wo.plan = &plan;
+    stats = dist::run_worker("127.0.0.1", port, wo);
+  });
+  healthy.join();
+  serve.join();
+
+  expect_reports_identical(report, expected);
+  EXPECT_EQ(report.heartbeat_timeouts, 0u);  // the Pings did their job
+  EXPECT_GE(report.units_regranted, 1u);     // the disconnect, not the sweep
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.runs_completed, cell.cell.runs);
+  }
+}
+
+// --- resilience: auth --------------------------------------------------------
+
+TEST(Auth, WrongTokenIsRejectedBeforeAnyPlanTextIsSent) {
+  ToyApp a;
+  const auto plan =
+      exp::PlanBuilder().runs(8).seed(9).apps({&a}).faults({"BF"}).build();
+  const auto expected = exp::Engine().run(plan);
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 4;
+  options.auth_token = "sesame";
+  options.plan_text = "runs = 8\nseed = 9\n[cell]\nfault = BF\n";  // secret-ish
+  dist::Coordinator coordinator(plan, std::move(options));
+  const std::uint16_t port = coordinator.port();
+  exp::ExperimentReport report;
+  std::thread serve([&] { report = coordinator.run(); });
+
+  {
+    // Raw probe with the wrong token: the only reply is a HelloReject, and
+    // it leaks nothing about the plan.
+    auto socket = net::Socket::connect("127.0.0.1", port);
+    dist::Hello hello;
+    hello.worker_name = "intruder";
+    hello.auth_token = "open says me";
+    net::send_frame(socket, dist::encode(hello));
+    const auto reply = net::recv_frame(socket);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(dist::peek_type(*reply), dist::MsgType::HelloReject);
+    EXPECT_EQ(dist::decode_hello_reject(*reply).reason, "auth token mismatch");
+    EXPECT_FALSE(net::recv_frame(socket).has_value());  // nothing follows
+  }
+  {
+    // run_worker surfaces the rejection without retrying or executing.
+    dist::WorkerOptions wo;
+    wo.name = "no-token";
+    wo.plan = &plan;
+    wo.retry_attempts = 3;
+    dist::WorkerStats stats;
+    std::thread t([&] { stats = dist::run_worker("127.0.0.1", port, wo); });
+    t.join();
+    EXPECT_EQ(stats.reject_reason, "auth token mismatch");
+    EXPECT_EQ(stats.runs_executed, 0u);
+  }
+
+  dist::WorkerStats accepted;
+  {
+    dist::WorkerOptions wo;
+    wo.name = "fleet-member";
+    wo.plan = &plan;
+    wo.auth_token = "sesame";
+    std::thread t([&] { accepted = dist::run_worker("127.0.0.1", port, wo); });
+    t.join();
+  }
+  serve.join();
+
+  expect_reports_identical(report, expected);
+  EXPECT_TRUE(accepted.reject_reason.empty());
+  EXPECT_EQ(accepted.runs_executed, plan.total_runs());
+  EXPECT_EQ(report.workers_connected, 1u);  // rejected probes never count
 }
 
 }  // namespace

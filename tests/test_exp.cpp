@@ -646,6 +646,7 @@ seed = 11
 threads = 2
 csv = out.csv
 checkpoint_dir = .ffis-checkpoints
+unit_timeout_ms = 1500
 
 [cell]
 application = nyx
@@ -674,6 +675,7 @@ TEST(PlanConfig, ParsesDefaultsAndCells) {
   EXPECT_EQ(config.csv_path, "out.csv");
   EXPECT_TRUE(config.jsonl_path.empty());
   EXPECT_EQ(config.checkpoint_dir, ".ffis-checkpoints");
+  EXPECT_EQ(config.unit_timeout_ms, 1500u);
   ASSERT_EQ(config.cells.size(), 3u);
   EXPECT_EQ(config.cells[0].application, "nyx");
   EXPECT_EQ(config.cells[0].runs, 6u);
@@ -698,6 +700,10 @@ TEST(PlanConfig, RejectsBadInput) {
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\nthreads = 2\n"),
                std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\ncheckpoint_dir = /tmp/x\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("[cell]\nunit_timeout_ms = 100\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)exp::parse_plan_config("unit_timeout_ms = soon\n[cell]\nfault = BF\n"),
                std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[weird]\n"), std::invalid_argument);
   EXPECT_THROW((void)exp::parse_plan_config("[cell]\nno equals sign\n"),

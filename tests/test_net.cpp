@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ffis/dist/protocol.hpp"
+#include "ffis/net/faulty_socket.hpp"
 #include "ffis/net/framing.hpp"
 #include "ffis/net/socket.hpp"
 #include "ffis/util/bytes.hpp"
@@ -275,6 +276,63 @@ TEST(Protocol, UnitDoneRoundTrip) {
   EXPECT_EQ(dist::decode_unit_done(dist::encode(dist::UnitDone{41})).unit_id, 41u);
 }
 
+TEST(Protocol, HelloV2CarriesAuthTokenAndReconnect) {
+  dist::Hello m;
+  m.worker_name = "node-9";
+  m.auth_token = "fleet-secret";
+  m.reconnect = true;
+  const auto decoded = dist::decode_hello(dist::encode(m));
+  EXPECT_EQ(decoded.version, 2u);
+  EXPECT_EQ(decoded.auth_token, "fleet-secret");
+  EXPECT_TRUE(decoded.reconnect);
+}
+
+TEST(Protocol, GenuineV1HelloStillDecodes) {
+  // A v1 Hello has no auth token / reconnect flag; the decoder must accept
+  // it (decode-compat) even though the coordinator rejects v1 at handshake.
+  dist::Hello m;
+  m.version = dist::kProtocolVersionV1;
+  m.worker_name = "old-node";
+  const auto encoded = dist::encode(m);
+  const auto decoded = dist::decode_hello(encoded);
+  EXPECT_EQ(decoded.version, dist::kProtocolVersionV1);
+  EXPECT_EQ(decoded.worker_name, "old-node");
+  EXPECT_TRUE(decoded.auth_token.empty());
+  EXPECT_FALSE(decoded.reconnect);
+  // A v1 Hello with v2 trailing fields is malformed, not silently ignored.
+  auto padded = encoded;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW((void)dist::decode_hello(padded), std::out_of_range);
+}
+
+TEST(Protocol, HelloAckHeartbeatTrailerRoundTripsAndV1LengthDecodes) {
+  dist::HelloAck m;
+  m.worker_id = 2;
+  m.heartbeat_interval_ms = 750;
+  const auto encoded = dist::encode(m);
+  EXPECT_EQ(dist::decode_hello_ack(encoded).heartbeat_interval_ms, 750u);
+  // Dropping the 8-byte trailer yields a v1 ack: decodes with heartbeats off.
+  const util::ByteSpan v1(encoded.data(), encoded.size() - 8);
+  EXPECT_EQ(dist::decode_hello_ack(v1).heartbeat_interval_ms, 0u);
+}
+
+TEST(Protocol, PingPongRoundTripAsTagOnly) {
+  const auto ping = dist::encode(dist::Ping{});
+  EXPECT_EQ(ping.size(), 1u);
+  EXPECT_EQ(dist::peek_type(ping), dist::MsgType::Ping);
+  const auto pong = dist::encode(dist::Pong{});
+  EXPECT_EQ(pong.size(), 1u);
+  EXPECT_EQ(dist::peek_type(pong), dist::MsgType::Pong);
+}
+
+TEST(Protocol, ConstantTimeEqualComparesExactBytes) {
+  EXPECT_TRUE(dist::constant_time_equal("", ""));
+  EXPECT_TRUE(dist::constant_time_equal("secret", "secret"));
+  EXPECT_FALSE(dist::constant_time_equal("secret", "secres"));
+  EXPECT_FALSE(dist::constant_time_equal("secret", "secret "));
+  EXPECT_FALSE(dist::constant_time_equal("", "x"));
+}
+
 TEST(Protocol, PeekTypeRejectsEmptyAndUnknown) {
   EXPECT_THROW((void)dist::peek_type({}), std::out_of_range);
   const util::Bytes junk{std::byte{0x63}};
@@ -291,16 +349,117 @@ TEST(Protocol, DecodersRejectWrongTagAndTrailingGarbage) {
   EXPECT_THROW((void)dist::decode_unit_done(padded), std::out_of_range);
 }
 
+// --- FaultySocket ------------------------------------------------------------
+
+TEST(FaultySocket, NonePlanIsATransparentPassThrough) {
+  SocketPair pair;
+  net::FaultySocket faulty(std::move(pair.client), net::FaultPlan::none());
+  net::send_frame(faulty, bytes_of("ping over faulty"));
+  const auto got = net::recv_frame(pair.server);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(*got), "ping over faulty");
+
+  net::send_frame(pair.server, bytes_of("pong back"));
+  const auto back = net::recv_frame(faulty);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(util::to_string(*back), "pong back");
+  EXPECT_FALSE(faulty.fault_fired());
+  EXPECT_GT(faulty.bytes_sent(), 0u);
+  EXPECT_GT(faulty.bytes_received(), 0u);
+}
+
+TEST(FaultySocket, DropAfterSendBlackholesAndFailsTheNextRecv) {
+  SocketPair pair;
+  // Budget covers exactly the 4-byte length prefix: the payload vanishes.
+  net::FaultySocket faulty(std::move(pair.client), net::FaultPlan::drop_after_send(4));
+  net::send_frame(faulty, bytes_of("hello"));
+  EXPECT_TRUE(faulty.fault_fired());
+  // The blackholed conversation can never produce a reply.
+  EXPECT_THROW((void)net::recv_frame(faulty), net::NetError);
+  // The peer sees the link die mid-frame (prefix promised 5 bytes).
+  EXPECT_THROW((void)net::recv_frame(pair.server), net::NetError);
+}
+
+TEST(FaultySocket, CloseAfterRecvAtFrameBoundaryIsACleanClose) {
+  SocketPair pair;
+  const util::Bytes payload = bytes_of("whole frame");
+  net::FaultySocket faulty(std::move(pair.server),
+                           net::FaultPlan::close_after_recv(4 + payload.size()));
+  net::send_frame(pair.client, payload);
+  net::send_frame(pair.client, payload);  // never delivered
+  const auto first = net::recv_frame(faulty);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, payload);
+  // The budget is exhausted exactly between frames: a clean close, as if the
+  // peer shut down after its last complete message.
+  EXPECT_FALSE(net::recv_frame(faulty).has_value());
+  EXPECT_TRUE(faulty.fault_fired());
+}
+
+TEST(FaultySocket, CloseAfterRecvMidFrameThrows) {
+  SocketPair pair;
+  net::FaultySocket faulty(std::move(pair.server), net::FaultPlan::close_after_recv(2));
+  net::send_frame(pair.client, bytes_of("doomed"));
+  EXPECT_THROW((void)net::recv_frame(faulty), net::NetError);
+  EXPECT_TRUE(faulty.fault_fired());
+}
+
+TEST(FaultySocket, GarbledLengthPrefixIsRejectedBeforeAllocation) {
+  SocketPair pair;
+  // Byte 3 is the length prefix's most significant byte (LE): the flip
+  // forges a ~2 GiB frame, which the framing limit rejects.
+  net::FaultySocket faulty(std::move(pair.server), net::FaultPlan::garble_recv_byte(3));
+  net::send_frame(pair.client, bytes_of("x"));
+  EXPECT_THROW((void)net::recv_frame(faulty), net::NetError);
+  EXPECT_TRUE(faulty.fault_fired());
+}
+
+TEST(FaultySocket, StallRecvDelaysButDeliversIntactData) {
+  SocketPair pair;
+  net::FaultySocket faulty(std::move(pair.server), net::FaultPlan::stall_recv(0, 5));
+  net::send_frame(pair.client, bytes_of("slow but alive"));
+  const auto got = net::recv_frame(faulty);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(util::to_string(*got), "slow but alive");
+  EXPECT_TRUE(faulty.fault_fired());
+}
+
+TEST(FaultySocket, FromSeedIsDeterministicAndCoversEveryKind) {
+  bool saw[5] = {};
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto a = net::FaultPlan::from_seed(seed);
+    const auto b = net::FaultPlan::from_seed(seed);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.at_byte, b.at_byte);
+    EXPECT_EQ(a.stall_ms, b.stall_ms);
+    saw[static_cast<std::size_t>(a.kind)] = true;
+    if (a.kind == net::FaultPlan::Kind::GarbleRecvByte) {
+      EXPECT_LT(a.at_byte, 14u);  // garbles stay inside the handshake region
+    }
+  }
+  EXPECT_TRUE(saw[static_cast<std::size_t>(net::FaultPlan::Kind::DropAfterSend)]);
+  EXPECT_TRUE(saw[static_cast<std::size_t>(net::FaultPlan::Kind::CloseAfterRecv)]);
+  EXPECT_TRUE(saw[static_cast<std::size_t>(net::FaultPlan::Kind::GarbleRecvByte)]);
+  EXPECT_TRUE(saw[static_cast<std::size_t>(net::FaultPlan::Kind::StallRecv)]);
+}
+
 // --- malformed-input fuzz ----------------------------------------------------
 
 /// Every decoder must respond to arbitrary corruption with an exception (or
 /// a successful parse of coincidentally-valid bytes) — never a crash, hang,
-/// or giant allocation.
+/// or giant allocation.  `allowed_short` marks one truncation length that is
+/// a valid older-version encoding and therefore may parse successfully
+/// (e.g. a v2 HelloAck minus its trailing heartbeat field is a v1 ack).
 void fuzz_decoder(const util::Bytes& valid,
-                  const std::function<void(util::ByteSpan)>& decode) {
+                  const std::function<void(util::ByteSpan)>& decode,
+                  std::size_t allowed_short = static_cast<std::size_t>(-1)) {
   // Truncation at every length below the full message.
   for (std::size_t n = 0; n < valid.size(); ++n) {
     const util::ByteSpan prefix(valid.data(), n);
+    if (n == allowed_short) {
+      EXPECT_NO_THROW(decode(prefix)) << "legacy-length prefix of " << n << " bytes";
+      continue;
+    }
     EXPECT_THROW(decode(prefix), std::exception) << "truncated to " << n << " bytes";
   }
   // Seeded random single-byte corruption.
@@ -327,8 +486,9 @@ TEST(ProtocolFuzz, MalformedFramesThrowNeverCrash) {
   ack.worker_id = 1;
   ack.plan_text = "runs = 4\n[cell]\nfault = BF\n";
   ack.checkpoint_dir = "/tmp/ffis-store";
-  fuzz_decoder(dist::encode(ack),
-               [](util::ByteSpan b) { (void)dist::decode_hello_ack(b); });
+  const auto ack_bytes = dist::encode(ack);
+  fuzz_decoder(ack_bytes, [](util::ByteSpan b) { (void)dist::decode_hello_ack(b); },
+               /*allowed_short=*/ack_bytes.size() - 8);  // v1 ack: no heartbeat trailer
 
   dist::WorkGrant grant;
   grant.unit_id = 3;

@@ -56,6 +56,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -88,9 +91,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ffis plan <config-file> [--checkpoint-dir DIR] [--serve PORT]\n"
-               "                 [--workers N] [--unit-runs N] [--dry-run]\n"
+               "                 [--workers N] [--unit-runs N] [--unit-timeout MS]\n"
+               "                 [--journal PATH] [--auth-token TOK] [--dry-run]\n"
                "       ffis worker <host:port> [--threads N] [--checkpoint-dir DIR]\n"
-               "                 [--name NAME]\n"
+               "                 [--name NAME] [--retry N] [--retry-backoff MS]\n"
+               "                 [--auth-token TOK]\n"
                "       ffis <campaign|sweep|profile> <config-file>\n"
                "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
                "       ffis demo\n"
@@ -110,8 +115,18 @@ int usage() {
                "local workers, and merges the streamed results into tallies\n"
                "bit-identical to a local run.  Workers sharing the checkpoint\n"
                "dir exchange goldens/checkpoints through it instead of the\n"
-               "socket.  --dry-run prints the work-unit table and exits.  See\n"
-               "the header of tools/ffis_cli.cpp or README.md for examples.\n");
+               "socket.  --unit-timeout re-queues a unit granted that long ago\n"
+               "without completion (liveness heartbeats keep slow-but-alive\n"
+               "workers exempt); --journal appends landed units to a resumable\n"
+               "campaign journal so a killed coordinator restarted with the\n"
+               "same plan and journal replays finished work instead of\n"
+               "re-executing it; --auth-token (or FFIS_AUTH_TOKEN) makes the\n"
+               "handshake reject workers without the same shared secret.\n"
+               "SIGINT drains gracefully: in-flight units land and are\n"
+               "journaled before exit.  --dry-run prints the work-unit table\n"
+               "and exits.  Workers retry lost coordinators --retry times with\n"
+               "exponential backoff starting at --retry-backoff ms.  See the\n"
+               "header of tools/ffis_cli.cpp or README.md for examples.\n");
   return 2;
 }
 
@@ -175,7 +190,56 @@ struct PlanFlags {
   std::uint16_t port = 0;      ///< --serve PORT (0 = ephemeral)
   std::size_t workers = 0;     ///< local worker processes to fork
   std::uint64_t unit_runs = 32;
+  std::uint64_t unit_timeout_ms = 0;  ///< --unit-timeout (overrides config key)
+  bool unit_timeout_set = false;
+  std::string journal_path;    ///< --journal: resumable campaign journal
+  std::string auth_token;      ///< --auth-token / FFIS_AUTH_TOKEN
   bool dry_run = false;        ///< print the work-unit table, execute nothing
+};
+
+/// Shared-secret token: the explicit flag wins, then FFIS_AUTH_TOKEN, then
+/// none.  Both `plan --serve` and `worker` resolve through here so setting
+/// the environment variable fleet-wide is enough.
+std::string resolve_auth_token(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  const char* env = std::getenv("FFIS_AUTH_TOKEN");
+  return env ? std::string(env) : std::string();
+}
+
+/// SIGINT → graceful drain.  The handler only flips a sig_atomic_t; a
+/// watcher thread turns it into Coordinator::request_drain (which locks a
+/// mutex and is therefore not async-signal-safe to call directly).
+volatile std::sig_atomic_t g_sigint = 0;
+extern "C" void on_sigint(int) { g_sigint = 1; }
+
+class SigintDrain {
+ public:
+  explicit SigintDrain(dist::Coordinator& coordinator) {
+    previous_ = std::signal(SIGINT, on_sigint);
+    watcher_ = std::thread([this, &coordinator] {
+      while (!done_.load(std::memory_order_relaxed)) {
+        if (g_sigint) {
+          std::fprintf(stderr,
+                       "\nSIGINT: draining — in-flight units will land "
+                       "(press again to abort hard)\n");
+          coordinator.request_drain();
+          std::signal(SIGINT, SIG_DFL);  // second ^C kills the process
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+  ~SigintDrain() {
+    done_.store(true, std::memory_order_relaxed);
+    watcher_.join();
+    std::signal(SIGINT, previous_);
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::thread watcher_;
+  void (*previous_)(int) = SIG_DFL;
 };
 
 int dry_run_plan(const exp::ExperimentPlan& plan, std::uint64_t unit_runs) {
@@ -201,17 +265,20 @@ int dry_run_plan(const exp::ExperimentPlan& plan, std::uint64_t unit_runs) {
 /// shares the parent's parsed plan (fork() copy), so no plan text is parsed;
 /// it exits via _exit so the parent's atexit/stdio state runs exactly once.
 pid_t fork_local_worker(std::uint16_t port, const exp::ExperimentPlan& plan,
-                        std::size_t threads, std::size_t index) {
+                        std::size_t threads, std::size_t index,
+                        const std::string& auth_token) {
   std::fflush(nullptr);  // children must not replay the parent's buffered output
   const pid_t pid = fork();
   if (pid < 0) throw std::runtime_error("fork() failed for local worker");
   if (pid > 0) return pid;
+  std::signal(SIGINT, SIG_IGN);  // ^C drains the coordinator; children follow it
   int status = 0;
   try {
     dist::WorkerOptions options;
     options.name = "local-" + std::to_string(index);
     options.threads = threads;
     options.plan = &plan;
+    options.auth_token = auth_token;
     (void)dist::run_worker("127.0.0.1", port, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ffis worker (local-%zu): %s\n", index, e.what());
@@ -259,9 +326,19 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
     dist::CoordinatorOptions options;
     options.port = flags.port;
     options.unit_runs = flags.unit_runs;
+    options.unit_timeout_ms =
+        flags.unit_timeout_set ? flags.unit_timeout_ms : plan_config.unit_timeout_ms;
+    if (options.unit_timeout_ms > 0) {
+      // Workers must prove liveness well inside the timeout window, or a
+      // slow-but-alive worker would lose its grants to the stale sweep.
+      options.heartbeat_interval_ms = std::max<std::uint64_t>(1, options.unit_timeout_ms / 3);
+    }
+    options.journal_path = flags.journal_path;
+    options.auth_token = resolve_auth_token(flags.auth_token);
     options.plan_text = config_text;  // remote workers rebuild the plan from it
     options.engine.checkpoint_dir = plan_config.checkpoint_dir;
     dist::Coordinator coordinator(plan, options);
+    SigintDrain drain(coordinator);
     std::printf("coordinator listening on port %u (%zu local workers)\n",
                 coordinator.port(), flags.workers);
 
@@ -274,7 +351,8 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
       // each grab every core.
       const std::size_t budget = plan_config.threads > 0 ? plan_config.threads : hw;
       const std::size_t threads = std::max<std::size_t>(1, budget / flags.workers);
-      children.push_back(fork_local_worker(coordinator.port(), plan, threads, i + 1));
+      children.push_back(fork_local_worker(coordinator.port(), plan, threads, i + 1,
+                                           options.auth_token));
     }
 
     report = coordinator.run(sink);
@@ -311,8 +389,16 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
   return 0;
 }
 
-int cmd_worker(const std::string& target, std::size_t threads,
-               const std::string& checkpoint_dir, const std::string& name) {
+struct WorkerFlags {
+  std::size_t threads = 0;
+  std::string checkpoint_dir;
+  std::string name;
+  std::string auth_token;            ///< --auth-token / FFIS_AUTH_TOKEN
+  std::size_t retry_attempts = 1;    ///< --retry N (total attempts)
+  std::uint64_t retry_backoff_ms = 100;  ///< --retry-backoff MS (first delay)
+};
+
+int cmd_worker(const std::string& target, const WorkerFlags& flags) {
   const auto colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size()) {
     std::fprintf(stderr, "ffis worker: expected <host:port>, got '%s'\n",
@@ -327,9 +413,17 @@ int cmd_worker(const std::string& target, std::size_t threads,
   }
 
   dist::WorkerOptions options;
-  options.name = name.empty() ? "worker" : name;
-  options.threads = threads;
-  options.checkpoint_dir_override = checkpoint_dir;
+  options.name = flags.name.empty() ? "worker" : flags.name;
+  options.threads = flags.threads;
+  options.checkpoint_dir_override = flags.checkpoint_dir;
+  options.auth_token = resolve_auth_token(flags.auth_token);
+  options.retry_attempts = std::max<std::size_t>(1, flags.retry_attempts);
+  options.retry_backoff_ms = std::max<std::uint64_t>(1, flags.retry_backoff_ms);
+  // A homogeneous fleet started from one script must not retry in lockstep;
+  // mixing the worker name into the jitter seed spreads the reconnects out.
+  std::uint64_t seed = 0xcbf29ce484222325ULL;
+  for (const char c : options.name) seed = (seed ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  options.retry_jitter_seed = seed;
   const auto stats =
       dist::run_worker(host, static_cast<std::uint16_t>(port), options);
   if (!stats.reject_reason.empty()) {
@@ -337,9 +431,15 @@ int cmd_worker(const std::string& target, std::size_t threads,
                  stats.reject_reason.c_str());
     return 1;
   }
-  std::printf("worker %u done: %llu units, %llu runs\n", stats.worker_id,
+  std::printf("worker %u done: %llu units, %llu runs", stats.worker_id,
               static_cast<unsigned long long>(stats.units_completed),
               static_cast<unsigned long long>(stats.runs_executed));
+  if (stats.reconnects > 0) {
+    std::printf(" (%llu reconnect%s)",
+                static_cast<unsigned long long>(stats.reconnects),
+                stats.reconnects == 1 ? "" : "s");
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -446,6 +546,13 @@ int main(int argc, char** argv) {
         } else if (arg == "--unit-runs" && i + 1 < argc) {
           flags.unit_runs = std::stoull(argv[++i]);
           if (flags.unit_runs == 0) return usage();
+        } else if (arg == "--unit-timeout" && i + 1 < argc) {
+          flags.unit_timeout_ms = std::stoull(argv[++i]);
+          flags.unit_timeout_set = true;
+        } else if (arg == "--journal" && i + 1 < argc) {
+          flags.journal_path = argv[++i];
+        } else if (arg == "--auth-token" && i + 1 < argc) {
+          flags.auth_token = argv[++i];
         } else if (arg == "--dry-run") {
           flags.dry_run = true;
         } else {
@@ -455,22 +562,28 @@ int main(int argc, char** argv) {
       return cmd_plan(argv[2], flags);
     }
     if (command == "worker" && argc >= 3) {
-      std::size_t threads = 0;
-      std::string checkpoint_dir;
-      std::string name;
+      WorkerFlags flags;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
-          threads = std::stoul(argv[++i]);
+          flags.threads = std::stoul(argv[++i]);
         } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
-          checkpoint_dir = argv[++i];
+          flags.checkpoint_dir = argv[++i];
         } else if (arg == "--name" && i + 1 < argc) {
-          name = argv[++i];
+          flags.name = argv[++i];
+        } else if (arg == "--auth-token" && i + 1 < argc) {
+          flags.auth_token = argv[++i];
+        } else if (arg == "--retry" && i + 1 < argc) {
+          flags.retry_attempts = std::stoul(argv[++i]);
+          if (flags.retry_attempts == 0) return usage();
+        } else if (arg == "--retry-backoff" && i + 1 < argc) {
+          flags.retry_backoff_ms = std::stoull(argv[++i]);
+          if (flags.retry_backoff_ms == 0) return usage();
         } else {
           return usage();
         }
       }
-      return cmd_worker(argv[2], threads, checkpoint_dir, name);
+      return cmd_worker(argv[2], flags);
     }
     if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
     if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
