@@ -26,6 +26,11 @@
 // extent sizing (MemFs::Options::chunk_size_for): large extents for the bulk
 // plotfile shrink chunk bookkeeping without changing semantics.
 //
+// An *arena* section re-runs the main plan with EngineOptions::use_arena
+// off, isolating the slab-arena run-store recycling (one refcounted epoch
+// per run vs one heap allocation per chunk); CI asserts the section exists
+// and that runs_per_sec does not regress against the committed baseline.
+//
 // Results — including per-cell execute/analyze phase times, skipped-analysis
 // counts, storage counters and the checkpoint cache's memory — are persisted
 // to BENCH_perf.json (override with --json=PATH or FFIS_BENCH_JSON) so the
@@ -123,6 +128,8 @@ std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
         .num("chunks_allocated", cell.chunks_allocated)
         .num("chunk_detaches", cell.chunk_detaches)
         .num("cow_bytes_copied", cell.cow_bytes_copied)
+        .num("arena_slabs_allocated", cell.arena_slabs_allocated)
+        .num("arena_bytes_recycled", cell.arena_bytes_recycled)
         .num("execute_ms", cell.execute_ms)
         .num("analyze_ms", cell.analyze_ms)
         .num("analyze_skipped", cell.analyze_skipped)
@@ -139,6 +146,8 @@ std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
       .num("checkpoint_bytes", v.report.checkpoint_bytes)
       .num("checkpoint_chunks", v.report.checkpoint_chunks)
       .num("analyses_skipped", v.report.analyses_skipped)
+      .num("arena_slabs_allocated", v.report.arena_slabs_allocated)
+      .num("arena_bytes_recycled", v.report.arena_bytes_recycled)
       .raw("cells", ffis::bench::json_array(cells));
   return obj.render();
 }
@@ -327,13 +336,17 @@ int main(int argc, char** argv) {
 
   // --- Adaptive per-file extent sizing ---------------------------------------
   //
-  // The 2-dump Nyx cell again, but the bulk plotfile gets 256 KiB extents
+  // The 2-dump Nyx cell again, but the bulk plotfile gets 128 KiB extents
   // while everything else keeps the default.  Chunk bookkeeping (extent
-  // table entries per fork, checkpoint-cache chunks) shrinks ~4x at flat
-  // throughput; the trade-off — a COW detach now copies a larger extent —
-  // is visible in the cow_bytes_copied column, which is why extent size is
-  // a per-file knob and not a bigger global default.
-  constexpr std::size_t kPlotfileChunk = 256 * 1024;
+  // table entries per fork, checkpoint-cache chunks) shrinks ~2x at flat
+  // throughput.  128 KiB and not 256: stage 2 rewrites a ~50 KiB slab, and
+  // at 256 KiB each COW detach used to copy 4-5x the dirty bytes — the
+  // detach-cost inversion where "fewer chunks" silently became "more bytes
+  // copied than the uniform geometry".  Partial-copy detach (the store only
+  // copies the untouched remainder of a written extent) fixes the bulk of
+  // it; capping the extent at ~2x the write keeps that remainder small.
+  // Extent size stays a per-file knob, not a bigger global default.
+  constexpr std::size_t kPlotfileChunk = 128 * 1024;
   const std::uint64_t adaptive_runs = std::max<std::uint64_t>(runs / 3, 20);
   auto adaptive_builder = bench::plan(adaptive_runs);
   adaptive_builder.cell(nyx, "BF", 2, "NYX2-ADAPTIVE");
@@ -344,7 +357,7 @@ int main(int argc, char** argv) {
       [](const std::string& path) -> std::size_t {
     return path.ends_with(".h5") ? kPlotfileChunk : 0;
   };
-  std::printf("\n-- adaptive extents (nyx plotfile at 256 KiB, default 64 KiB) --\n");
+  std::printf("\n-- adaptive extents (nyx plotfile at 128 KiB, default 64 KiB) --\n");
   const VariantResult uniform = run_variant(adaptive_plan, diff_options);
   const VariantResult adaptive = run_variant(adaptive_plan, adaptive_options);
   assert_identical_tallies(uniform, adaptive, "adaptive extent sizing");
@@ -359,6 +372,54 @@ int main(int argc, char** argv) {
               static_cast<double>(adaptive.report.cells[0].cow_bytes_copied) / 1024.0 /
                   static_cast<double>(adaptive_runs),
               uniform.runs_per_sec, adaptive.runs_per_sec);
+
+  // --- Arena-backed run stores: the allocation path A/B ----------------------
+  //
+  // Every variant above ran with EngineOptions::use_arena on (the default):
+  // each injection run leases a pooled MemFs whose chunk payloads are carved
+  // from a thread-local slab arena and reclaimed by a cursor rewind once the
+  // run's diff is consumed — one refcounted epoch per run instead of one
+  // heap allocation + atomic refcount per chunk.  Re-running the identical
+  // plan with the arena off isolates what that buys.  The switch must change
+  // nothing but allocation traffic: tallies asserted here, every non-arena
+  // storage counter asserted bit-identical in tests/test_exp.cpp.
+  std::printf("\n-- arena-backed run stores (use_arena off vs on, main plan) --\n");
+  exp::EngineOptions no_arena_options = diff_options;
+  no_arena_options.use_arena = false;
+  const VariantResult no_arena = run_variant(experiment_plan, no_arena_options);
+  assert_identical_tallies(no_arena, diffclass, "the arena allocation path");
+
+  // Heap-allocation accounting on the montage cells — the chunk-heaviest in
+  // the plan.  Without the arena, every chunks_allocated is a heap buffer
+  // with its own control block; with it, the only heap traffic per cell is
+  // the fresh slabs it mapped (warm-up only, then rewinds).  The run hot
+  // loop's allocation count must drop at least 10x.
+  std::uint64_t montage_heap_chunks = 0;
+  std::uint64_t montage_arena_slabs = 0;
+  for (const auto& cell : no_arena.report.cells) {
+    if (cell.cell.label.rfind("MONTAGE", 0) == 0) montage_heap_chunks += cell.chunks_allocated;
+  }
+  for (const auto& cell : diffclass.report.cells) {
+    if (cell.cell.label.rfind("MONTAGE", 0) == 0) montage_arena_slabs += cell.arena_slabs_allocated;
+  }
+  const double arena_speedup = diffclass.runs_per_sec / no_arena.runs_per_sec;
+  std::printf("arena off: %8.1f runs/sec   montage heap chunk allocations: %llu\n",
+              no_arena.runs_per_sec,
+              static_cast<unsigned long long>(montage_heap_chunks));
+  std::printf("arena on:  %8.1f runs/sec   montage equivalent heap allocations "
+              "(fresh slabs): %llu\n",
+              diffclass.runs_per_sec,
+              static_cast<unsigned long long>(montage_arena_slabs));
+  std::printf("arena speedup: %5.2fx; %.1f MiB recycled plan-wide\n", arena_speedup,
+              static_cast<double>(diffclass.report.arena_bytes_recycled) /
+                  (1024.0 * 1024.0));
+  if (montage_arena_slabs * 10 > montage_heap_chunks) {
+    std::fprintf(stderr, "FATAL: arena did not cut montage chunk allocations 10x "
+                         "(%llu heap chunks vs %llu slabs)\n",
+                 static_cast<unsigned long long>(montage_heap_chunks),
+                 static_cast<unsigned long long>(montage_arena_slabs));
+    return 1;
+  }
 
   // --- Distributed execution: coordinator + local worker fleet ---------------
   //
@@ -498,6 +559,15 @@ int main(int argc, char** argv) {
       .num("units_replayed_from_journal", dist2.report.units_replayed_from_journal)
       .num("worker_reconnects", dist2.report.worker_reconnects)
       .num("heartbeat_timeouts", dist2.report.heartbeat_timeouts);
+  ffis::bench::JsonObject arena_doc;
+  arena_doc.num("runs_per_sec", diffclass.runs_per_sec)
+      .num("no_arena_runs_per_sec", no_arena.runs_per_sec)
+      .num("speedup", arena_speedup)
+      .num("arena_slabs_allocated", diffclass.report.arena_slabs_allocated)
+      .num("arena_bytes_recycled", diffclass.report.arena_bytes_recycled)
+      .num("montage_heap_chunk_allocations", montage_heap_chunks)
+      .num("montage_equivalent_heap_allocations", montage_arena_slabs)
+      .raw("no_arena", variant_json(no_arena, vfs::ExtentStore::kDefaultChunkSize));
   ffis::bench::JsonObject adaptive_doc;
   adaptive_doc.str("label", "NYX2-ADAPTIVE")
       .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))
@@ -523,6 +593,7 @@ int main(int argc, char** argv) {
       .raw("checkpointed", variant_json(checkpointed, vfs::ExtentStore::kDefaultChunkSize))
       .raw("diff_classified", variant_json(diffclass, vfs::ExtentStore::kDefaultChunkSize))
       .raw("analysis_dominated", analysis_doc.render())
+      .raw("arena", arena_doc.render())
       .raw("adaptive_extents", adaptive_doc.render())
       .raw("distributed", dist_doc.render());
   if (!persistent_json.empty()) doc.raw("persistent_store", persistent_json);

@@ -1,8 +1,10 @@
 #include "ffis/core/fault_injector.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
+#include "ffis/core/run_scratch.hpp"
 #include "ffis/util/logging.hpp"
 #include "ffis/util/rng.hpp"
 #include "ffis/vfs/mem_fs.hpp"
@@ -43,10 +45,15 @@ void FaultInjector::set_fs_options(vfs::MemFs::Options options) {
   fs_options_ = std::move(options);
 }
 
-vfs::MemFs FaultInjector::make_backing() const {
+void FaultInjector::set_run_recycling(bool on) {
+  require_unprepared("run recycling");
+  run_recycling_ = on;
+}
+
+std::unique_ptr<vfs::MemFs> FaultInjector::make_backing() const {
   vfs::MemFs::Options options = fs_options_;
   options.concurrency = vfs::MemFs::Concurrency::SingleThread;  // run-private
-  return vfs::MemFs(std::move(options));
+  return std::make_unique<vfs::MemFs>(std::move(options));
 }
 
 AnalysisResult FaultInjector::run_golden(const Application& app, std::uint64_t app_seed) {
@@ -183,11 +190,23 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
   // "In each run, FFISFS would be mounted and unmounted": a fresh backing
   // store and a fresh instrumentation layer per run.  With a checkpoint the
   // fresh store is a copy-on-write fork of the fault-free prefix; either
-  // way this run owns it exclusively, so locking is off.
+  // way this run owns it exclusively, so locking is off.  Recycling leases
+  // the store from the thread's RunScratch (arena extents, pooled node
+  // tables); the fallback heap-allocates a fresh one.  The lease lives to
+  // the end of this call — fs_stats is copied out before every return.
   const auto execute_start = Clock::now();
-  vfs::MemFs backing =
-      checkpoint_ ? checkpoint_->fs().fork(vfs::MemFs::Concurrency::SingleThread)
-                  : make_backing();
+  std::optional<RunScratch::Lease> lease;
+  std::unique_ptr<vfs::MemFs> owned;
+  if (run_recycling_) {
+    lease.emplace(RunScratch::current().acquire(
+        checkpoint_ ? static_cast<const void*>(checkpoint_.get())
+                    : static_cast<const void*>(this),
+        checkpoint_ ? &checkpoint_->fs() : nullptr, fs_options_));
+  } else {
+    owned = checkpoint_ ? checkpoint_->fs().fork_unique(vfs::MemFs::Concurrency::SingleThread)
+                        : make_backing();
+  }
+  vfs::MemFs& backing = lease.has_value() ? lease->fs() : *owned;
   faults::FaultingFs instrument(backing);
   instrument.arm(signature_, target_instance, feature_seed);
   if (instrumented_stage_ > 0) instrument.set_enabled(false);

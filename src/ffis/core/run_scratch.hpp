@@ -1,0 +1,110 @@
+#pragma once
+// Per-thread run-store recycling for the injection hot loop.
+//
+// Every injection run needs a private MemFs forked from the cell's
+// checkpoint (or built fresh on the classic path), used for milliseconds,
+// then thrown away.  At campaign scale that is tens of thousands of node
+// tables and extent allocations per cell, all hitting the global heap from
+// every worker thread at once.  RunScratch keeps that traffic thread-local
+// and amortized:
+//
+//  * one vfs::ExtentArena per worker thread backs every run's fresh and
+//    detached extents — a bump-pointer carve instead of a malloc, with the
+//    slabs rewound and reused run after run (see ExtentArena::reset);
+//  * a small pool of recycled MemFs instances, keyed by the run's base
+//    (checkpoint or injector), is reset in place between runs via
+//    MemFs::reset_from — reusing the node allocations and map structure, so
+//    the steady-state per-run setup cost is a node-table walk with zero
+//    heap allocation.
+//
+// Usage (what FaultInjector::execute_at does when run recycling is on):
+//
+//   auto lease = RunScratch::current().acquire(key, &checkpoint_fs, options);
+//   vfs::MemFs& backing = lease.fs();   // fork-equivalent of checkpoint_fs
+//   ... run, classify, copy backing.stats() out ...
+//   // lease destructor: drop_payloads() + arena reset -> slabs recycled
+//
+// Safety: the arena's epoch mechanism makes recycling impossible to observe
+// — reset() only rewinds slabs when no extent outside the arena still
+// references the epoch, and abandons them to the survivors otherwise.  A
+// leaked lease or an escaped chunk costs memory, never correctness.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ffis/vfs/extent_arena.hpp"
+#include "ffis/vfs/mem_fs.hpp"
+
+namespace ffis::core {
+
+class RunScratch {
+ public:
+  /// How many distinct bases one thread keeps warm.  Engine workers touch
+  /// one checkpoint per cell (plus occasionally the classic no-checkpoint
+  /// base), so a handful covers cell transitions without thrash.
+  static constexpr std::size_t kMaxPooled = 4;
+
+  /// The calling thread's scratch (created on first use, lives for the
+  /// thread).  All RunScratch state is thread-confined; never share a
+  /// lease or the arena across threads.
+  [[nodiscard]] static RunScratch& current();
+
+  class [[nodiscard]] Lease;
+
+  /// Checks out a run-private MemFs equivalent to `base->fork(SingleThread)`
+  /// — or, when `base` is null, to a fresh MemFs built from `options` — with
+  /// the thread's arena attached for its writes.  `key` identifies the base
+  /// for recycling (use the checkpoint or injector address: anything stable
+  /// for as long as the base tree is); a pooled fs with the same key is
+  /// reset in place instead of allocated.  The lease's destructor returns
+  /// the fs to the pool and rewinds the arena.
+  Lease acquire(const void* key, const vfs::MemFs* base, const vfs::MemFs::Options& options);
+
+  /// The thread's bump arena (created on first acquire; may be null before).
+  [[nodiscard]] const std::shared_ptr<vfs::ExtentArena>& arena() const noexcept {
+    return arena_;
+  }
+
+ private:
+  struct Entry {
+    const void* key = nullptr;
+    std::unique_ptr<vfs::MemFs> fs;
+    /// Reset target for base-less entries (an empty tree with the entry's
+    /// chunk geometry); null when the entry resets from a caller base.
+    std::unique_ptr<vfs::MemFs> pristine;
+    std::uint64_t stamp = 0;  ///< LRU recency
+  };
+
+  void release(Entry entry);
+
+  std::shared_ptr<vfs::ExtentArena> arena_;
+  std::vector<Entry> pool_;
+  std::uint64_t stamp_ = 0;
+};
+
+/// RAII checkout of a recycled run store; see RunScratch::acquire.
+class [[nodiscard]] RunScratch::Lease {
+ public:
+  Lease(Lease&& other) noexcept
+      : owner_(other.owner_), entry_(std::move(other.entry_)) {
+    other.owner_ = nullptr;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  Lease& operator=(Lease&&) = delete;
+  ~Lease();
+
+  /// The run-private backing store.  Valid for the lease's lifetime; copy
+  /// anything you need (stats!) before the lease dies.
+  [[nodiscard]] vfs::MemFs& fs() noexcept { return *entry_.fs; }
+
+ private:
+  friend class RunScratch;
+  Lease(RunScratch* owner, Entry entry) : owner_(owner), entry_(std::move(entry)) {}
+
+  RunScratch* owner_;
+  Entry entry_;
+};
+
+}  // namespace ffis::core

@@ -128,6 +128,8 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
     for (const auto& cell : report_.cells) {
       report_.total_runs += cell.runs_completed;
       report_.analyses_skipped += cell.analyze_skipped;
+      report_.arena_slabs_allocated += cell.arena_slabs_allocated;
+      report_.arena_bytes_recycled += cell.arena_bytes_recycled;
     }
     report_.units_regranted = scheduler_.regranted();
     report_.cancelled = cancelled_ || !scheduler_.all_done();
@@ -283,6 +285,13 @@ void Coordinator::serve_connection(net::Socket& socket, std::uint32_t worker_id)
       case MsgType::RunRow:
         on_run_row(decode_run_row(*frame), worker_id);
         break;
+      case MsgType::RunBatch: {
+        // Batching changes packaging only: every contained row lands through
+        // the same per-row logic (first-wins dedup included) as a bare RunRow.
+        const RunBatch batch = decode_run_batch(*frame);
+        for (const RunRow& row : batch.rows) on_run_row(row, worker_id);
+        break;
+      }
       case MsgType::UnitDone: {
         const UnitDone done = decode_unit_done(*frame);
         std::lock_guard lock(mutex_);
@@ -450,6 +459,8 @@ void Coordinator::finalize_cell_locked(std::size_t i) {
     out.chunks_allocated += rr.fs_stats.chunks_allocated;
     out.chunk_detaches += rr.fs_stats.chunk_detaches;
     out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
+    out.arena_slabs_allocated += rr.fs_stats.arena_slabs_allocated;
+    out.arena_bytes_recycled += rr.fs_stats.arena_bytes_recycled;
     out.execute_ms += rr.execute_ms;
     out.analyze_ms += rr.analyze_ms;
     if (rr.analyze_skipped) ++out.analyze_skipped;

@@ -43,7 +43,7 @@ MsgType peek_type(util::ByteSpan payload) {
   ByteReader r(payload);
   const auto tag = r.u8();
   if (tag < static_cast<std::uint8_t>(MsgType::Hello) ||
-      tag > static_cast<std::uint8_t>(MsgType::Pong)) {
+      tag > static_cast<std::uint8_t>(MsgType::RunBatch)) {
     throw std::invalid_argument("unknown message type tag " + std::to_string(tag));
   }
   return static_cast<MsgType>(tag);
@@ -229,6 +229,8 @@ util::Bytes encode(const RunRow& m) {
   w.u64(m.fs_stats.bytes_read);
   w.f64(m.execute_ms);
   w.f64(m.analyze_ms);
+  w.u64(m.fs_stats.arena_slabs_allocated);
+  w.u64(m.fs_stats.arena_bytes_recycled);
   return out;
 }
 
@@ -254,6 +256,45 @@ RunRow decode_run_row(util::ByteSpan payload) {
   m.fs_stats.bytes_read = r.u64();
   m.execute_ms = r.f64();
   m.analyze_ms = r.f64();
+  // v2 rows end here; the arena counters are a v3 trailer (v2 campaign
+  // journals replay through this decoder and read them as 0).
+  if (r.remaining() > 0) {
+    m.fs_stats.arena_slabs_allocated = r.u64();
+    m.fs_stats.arena_bytes_recycled = r.u64();
+  }
+  r.expect_end();
+  return m;
+}
+
+// --- RunBatch ----------------------------------------------------------------
+
+util::Bytes encode(const RunBatch& m) {
+  Bytes out;
+  ByteWriter w = begin_message(out, MsgType::RunBatch);
+  w.u32(static_cast<std::uint32_t>(m.rows.size()));
+  // Each row rides as a length-prefixed blob of its own RunRow frame, so the
+  // batch decoder reuses decode_run_row verbatim — strictness, outcome range
+  // checks and the v2 arena trailer included.
+  for (const RunRow& row : m.rows) w.blob(encode(row));
+  return out;
+}
+
+RunBatch decode_run_batch(util::ByteSpan payload) {
+  ByteReader r = begin_decode(payload, MsgType::RunBatch, "RunBatch");
+  RunBatch m;
+  const std::uint32_t count = r.u32();
+  // Every row costs at least its 8-byte blob length prefix, so a forged
+  // count can never reserve more rows than the frame could possibly carry.
+  if (count > r.remaining() / 8) {
+    throw std::out_of_range("malformed RunBatch: row count " + std::to_string(count) +
+                            " exceeds what " + std::to_string(r.remaining()) +
+                            " payload bytes could hold");
+  }
+  m.rows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Bytes row = r.blob();
+    m.rows.push_back(decode_run_row(row));
+  }
   r.expect_end();
   return m;
 }

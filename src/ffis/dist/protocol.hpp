@@ -16,6 +16,7 @@
 //                                Shutdown {}              (plan complete)
 //   CellInfo {cell, prep facts}  — once per cell per worker, before its rows
 //   RunRow {unit, cell, run, outcome, counters}  — one per executed run
+//   RunBatch {rows}              — v3: many RunRows in one frame
 //   UnitDone {unit}
 //
 // The worker never receives unsolicited messages: after Hello it strictly
@@ -27,6 +28,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ffis/core/outcome.hpp"
 #include "ffis/exp/plan.hpp"
@@ -38,10 +40,13 @@ namespace ffis::dist {
 /// Bump on any wire-format change; a Hello with a newer version than the
 /// coordinator speaks is rejected during the handshake (version-skewed
 /// workers must not compute).  v2 added liveness (Ping/Pong), the Hello auth
-/// token + reconnect flag, and the HelloAck heartbeat interval; v1 Hellos
-/// still decode (decode-compat tests rely on it) but are rejected at
-/// handshake time because a v1 worker cannot answer Pings.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// token + reconnect flag, and the HelloAck heartbeat interval.  v3 added
+/// RunBatch (workers flush rows in batches instead of one frame per run) and
+/// the RunRow arena-counter trailer; v1/v2 frames still decode (decode-compat
+/// tests and v2 campaign journals rely on it — a v2 RunRow simply reads its
+/// arena counters as 0) but older Hellos are rejected at handshake time.
+inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 inline constexpr std::uint32_t kProtocolVersionV1 = 1;
 
 /// First field of every Hello; guards against a stray client that speaks
@@ -60,6 +65,7 @@ enum class MsgType : std::uint8_t {
   Shutdown,
   Ping,
   Pong,
+  RunBatch,
 };
 
 struct Hello {
@@ -143,6 +149,22 @@ struct RunRow {
   double analyze_ms = 0.0;
 };
 
+/// Many RunRows in one frame (v3+).  Workers accumulate a unit's rows and
+/// flush one RunBatch per kRunBatchRows rows (or per flush interval, or at
+/// unit end), cutting per-run framing and syscall traffic on the result
+/// path.  The coordinator lands each contained row through the exact same
+/// per-row logic as a bare RunRow — first-wins dedup included — so batching
+/// changes packaging only, never tallies.
+struct RunBatch {
+  std::vector<RunRow> rows;
+};
+
+/// Worker-side flush thresholds for RunBatch: a batch goes out when it holds
+/// this many rows or when the oldest buffered row is this old, whichever
+/// comes first (and always before UnitDone).
+inline constexpr std::size_t kRunBatchRows = 32;
+inline constexpr std::uint64_t kRunBatchFlushMs = 25;
+
 struct UnitDone {
   std::uint64_t unit_id = 0;
 };
@@ -169,6 +191,7 @@ struct Pong {};
 [[nodiscard]] util::Bytes encode(const WorkGrant& m);
 [[nodiscard]] util::Bytes encode(const CellInfo& m);
 [[nodiscard]] util::Bytes encode(const RunRow& m);
+[[nodiscard]] util::Bytes encode(const RunBatch& m);
 [[nodiscard]] util::Bytes encode(const UnitDone& m);
 [[nodiscard]] util::Bytes encode(const Shutdown& m);
 [[nodiscard]] util::Bytes encode(const Ping& m);
@@ -183,6 +206,7 @@ struct Pong {};
 [[nodiscard]] WorkGrant decode_work_grant(util::ByteSpan payload);
 [[nodiscard]] CellInfo decode_cell_info(util::ByteSpan payload);
 [[nodiscard]] RunRow decode_run_row(util::ByteSpan payload);
+[[nodiscard]] RunBatch decode_run_batch(util::ByteSpan payload);
 [[nodiscard]] UnitDone decode_unit_done(util::ByteSpan payload);
 
 /// Constant-time equality for shared secrets: examines every byte of both

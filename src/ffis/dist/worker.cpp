@@ -379,11 +379,30 @@ void run_session(const std::string& host, std::uint16_t port,
 
     const bool abort_now = stats.units_completed == options.abort_after_units;
     const std::uint64_t send_count = abort_now ? n / 2 : n;
+    // Rows leave in RunBatch frames (v3): one frame per kRunBatchRows rows
+    // instead of one per run, which is most of the result path's framing and
+    // syscall cost on a fast unit.  The age threshold backstops slow row
+    // production (an encode stall, a preempted worker) so the coordinator's
+    // liveness picture never goes stale by more than kRunBatchFlushMs.
+    RunBatch batch;
+    auto batch_started = std::chrono::steady_clock::now();
+    const auto flush = [&] {
+      if (batch.rows.empty()) return;
+      const auto encoded = encode(batch);
+      io.send(encoded);
+      batch.rows.clear();
+    };
     for (std::uint64_t i = 0; i < send_count; ++i) {
-      const auto row = encode(row_from(results[i], grant, grant.run_begin + i));
-      io.send(row);
+      if (batch.rows.empty()) batch_started = std::chrono::steady_clock::now();
+      batch.rows.push_back(row_from(results[i], grant, grant.run_begin + i));
       ++stats.runs_executed;
+      if (batch.rows.size() >= kRunBatchRows ||
+          std::chrono::steady_clock::now() - batch_started >=
+              std::chrono::milliseconds(kRunBatchFlushMs)) {
+        flush();
+      }
     }
+    flush();  // the remainder — before UnitDone, and before a simulated death
     if (abort_now) {
       // Simulated death: no UnitDone, no goodbye — the coordinator must
       // recover by re-granting this unit to someone else.

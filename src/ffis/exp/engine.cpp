@@ -326,6 +326,7 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
           cells[i].stage);
       injectors[i]->set_diff_classification(options_.use_diff_classification);
       injectors[i]->set_fs_options(options_.fs_options);
+      injectors[i]->set_run_recycling(options_.use_arena);
       const std::size_t cp = cell_checkpoint[i];
       if (cp != kNoCheckpoint && checkpoints[cp].captured) {
         injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint,
@@ -383,6 +384,8 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       out.chunks_allocated += rr.fs_stats.chunks_allocated;
       out.chunk_detaches += rr.fs_stats.chunk_detaches;
       out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
+      out.arena_slabs_allocated += rr.fs_stats.arena_slabs_allocated;
+      out.arena_bytes_recycled += rr.fs_stats.arena_bytes_recycled;
       out.execute_ms += rr.execute_ms;
       out.analyze_ms += rr.analyze_ms;
       if (rr.analyze_skipped) ++out.analyze_skipped;
@@ -458,6 +461,8 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
   for (const auto& cell : report.cells) {
     report.total_runs += cell.runs_completed;
     report.analyses_skipped += cell.analyze_skipped;
+    report.arena_slabs_allocated += cell.arena_slabs_allocated;
+    report.arena_bytes_recycled += cell.arena_bytes_recycled;
   }
   report.cancelled = cancel_requested();
   sink.end(report);

@@ -73,6 +73,15 @@ struct EngineOptions {
   /// checkpoint the runs fork, so the prefix diffs by pointer equality.
   /// Tallies are bit-identical with the flag on or off; off for A/B.
   bool use_diff_classification = true;
+  /// Run-store recycling (core::RunScratch): every injection run leases a
+  /// pooled, arena-backed MemFs from its worker thread instead of
+  /// heap-forking a fresh one — fresh/detached extents become bump-pointer
+  /// carves from a per-thread vfs::ExtentArena whose slabs are rewound
+  /// between runs, and the node table is reset in place.  Purely an
+  /// allocation-path switch: tallies and every non-arena FsStats counter
+  /// are bit-identical with the flag on or off; off exists for A/B
+  /// benchmarks (see bench_perf_engine's arena section).
+  bool use_arena = true;
   /// Backing-store options for golden runs, checkpoints and per-run stores
   /// (extent sizing — see MemFs::Options::chunk_size_for; concurrency is
   /// managed by the engine).  One plan-wide value keeps every tree on the

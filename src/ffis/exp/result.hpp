@@ -28,6 +28,12 @@ struct CellResult {
   std::uint64_t chunks_allocated = 0;
   std::uint64_t chunk_detaches = 0;
   std::uint64_t cow_bytes_copied = 0;
+  /// Arena traffic (run recycling, EngineOptions::use_arena): fresh slabs
+  /// actually malloc'd vs bytes served from rewound slabs.  A warm hot loop
+  /// shows slab allocations frozen while bytes_recycled grows with every
+  /// run — the per-chunk heap traffic the arena exists to kill.
+  std::uint64_t arena_slabs_allocated = 0;
+  std::uint64_t arena_bytes_recycled = 0;
   /// Wall time summed over the cell's runs, split at the execute/classify
   /// boundary (RunResult::execute_ms / analyze_ms).  Thread time, not
   /// elapsed time: runs execute concurrently.
@@ -82,6 +88,9 @@ struct ExperimentReport {
   std::uint64_t checkpoint_chunks = 0;
   /// Runs classified Benign straight from the extent diff, plan-wide.
   std::uint64_t analyses_skipped = 0;
+  /// Plan-wide arena traffic (sums of the per-cell counters).
+  std::uint64_t arena_slabs_allocated = 0;
+  std::uint64_t arena_bytes_recycled = 0;
   // Distributed execution (dist::Coordinator; both 0 for local runs).  The
   // golden/checkpoint counters above stay 0 in distributed reports: each
   // worker maintains its own caches and the coordinator never executes the

@@ -16,14 +16,22 @@ namespace {
 constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
-    "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+    "cow_bytes_copied,arena_slabs_allocated,arena_bytes_recycled,"
+    "execute_ms,analyze_ms,analyze_skipped,"
     "golden_cached,checkpointed,checkpoint_loaded,worker_id,error";
 
 /// Earlier on-disk generations, still readable so archived campaign grids
 /// stay loadable for comparison.  The document's header picks the layout;
 /// absent columns default to zero.
 ///
-/// Persistent-checkpoint era (no worker_id column):
+/// Distributed era (no arena-traffic columns):
+constexpr const char* kDistCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+    "golden_cached,checkpointed,checkpoint_loaded,worker_id,error";
+
+/// Persistent-checkpoint era (no worker_id column either):
 constexpr const char* kPersistCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
@@ -49,7 +57,7 @@ constexpr const char* kLegacyCsvHeader =
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 /// Which column set a document uses (decided by its header).
-enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23, Dist24 };
+enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23, Dist24, Arena26 };
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -165,6 +173,8 @@ SinkRow to_sink_row(const CellResult& result) {
   row.chunks_allocated = result.chunks_allocated;
   row.chunk_detaches = result.chunk_detaches;
   row.cow_bytes_copied = result.cow_bytes_copied;
+  row.arena_slabs_allocated = result.arena_slabs_allocated;
+  row.arena_bytes_recycled = result.arena_bytes_recycled;
   row.execute_ms = result.execute_ms;
   row.analyze_ms = result.analyze_ms;
   row.analyze_skipped = result.analyze_skipped;
@@ -268,7 +278,8 @@ void CsvSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Sdc) << ','
        << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
        << row.chunks_allocated << ',' << row.chunk_detaches << ','
-       << row.cow_bytes_copied << ',' << format_ms(row.execute_ms) << ','
+       << row.cow_bytes_copied << ',' << row.arena_slabs_allocated << ','
+       << row.arena_bytes_recycled << ',' << format_ms(row.execute_ms) << ','
        << format_ms(row.analyze_ms) << ',' << row.analyze_skipped << ','
        << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
        << (row.checkpoint_loaded ? 1 : 0) << ',' << csv_escape(row.worker_id) << ','
@@ -294,7 +305,9 @@ void JsonlSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Crash) << ",\"faults_not_fired\":"
        << row.faults_not_fired << ",\"chunks_allocated\":" << row.chunks_allocated
        << ",\"chunk_detaches\":" << row.chunk_detaches << ",\"cow_bytes_copied\":"
-       << row.cow_bytes_copied << ",\"execute_ms\":" << format_ms(row.execute_ms)
+       << row.cow_bytes_copied << ",\"arena_slabs_allocated\":" << row.arena_slabs_allocated
+       << ",\"arena_bytes_recycled\":" << row.arena_bytes_recycled
+       << ",\"execute_ms\":" << format_ms(row.execute_ms)
        << ",\"analyze_ms\":" << format_ms(row.analyze_ms)
        << ",\"analyze_skipped\":" << row.analyze_skipped << ",\"golden_cached\":"
        << (row.golden_cached ? "true" : "false") << ",\"checkpointed\":"
@@ -328,18 +341,19 @@ void MultiSink::end(const ExperimentReport& report) {
 namespace {
 
 SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
-  // 24 fields is the current layout; 23 the persistent-checkpoint era (no
-  // worker_id column); 22 the diff-classification era (no checkpoint_loaded
-  // column either); 19 the extent-store era (no phase timers); 16 the
-  // pre-extent-store era (no storage-traffic columns) — absent columns
-  // default to 0/empty.  The document's header decides which applies: a row
-  // whose count disagrees with its own header is truncation/corruption,
-  // never another layout.
+  // 26 fields is the current layout; 24 the distributed era (no arena
+  // columns); 23 the persistent-checkpoint era (no worker_id column either);
+  // 22 the diff-classification era (no checkpoint_loaded column); 19 the
+  // extent-store era (no phase timers); 16 the pre-extent-store era (no
+  // storage-traffic columns) — absent columns default to 0/empty.  The
+  // document's header decides which applies: a row whose count disagrees
+  // with its own header is truncation/corruption, never another layout.
   const std::size_t expected = gen == CsvGeneration::Legacy16   ? 16
                                : gen == CsvGeneration::Extent19 ? 19
                                : gen == CsvGeneration::Timed22  ? 22
                                : gen == CsvGeneration::Persist23 ? 23
-                                                                 : 24;
+                               : gen == CsvGeneration::Dist24   ? 24
+                                                                 : 26;
   if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
                                 " fields, expected " + std::to_string(expected));
@@ -364,6 +378,10 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
     row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
     row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
   }
+  if (gen == CsvGeneration::Arena26) {
+    row.arena_slabs_allocated = parse_u64(f[i++], "arena_slabs_allocated");
+    row.arena_bytes_recycled = parse_u64(f[i++], "arena_bytes_recycled");
+  }
   if (gen != CsvGeneration::Legacy16 && gen != CsvGeneration::Extent19) {
     row.execute_ms = parse_ms(f[i++], "execute_ms");
     row.analyze_ms = parse_ms(f[i++], "analyze_ms");
@@ -371,10 +389,11 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
   }
   row.golden_cached = parse_u64(f[i++], "golden_cached") != 0;
   row.checkpointed = parse_u64(f[i++], "checkpointed") != 0;
-  if (gen == CsvGeneration::Persist23 || gen == CsvGeneration::Dist24) {
+  if (gen != CsvGeneration::Legacy16 && gen != CsvGeneration::Extent19 &&
+      gen != CsvGeneration::Timed22) {
     row.checkpoint_loaded = parse_u64(f[i++], "checkpoint_loaded") != 0;
   }
-  if (gen == CsvGeneration::Dist24) {
+  if (gen == CsvGeneration::Dist24 || gen == CsvGeneration::Arena26) {
     row.worker_id = f[i++];
   }
   row.error = f[i];
@@ -514,7 +533,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
-  CsvGeneration gen = CsvGeneration::Dist24;
+  CsvGeneration gen = CsvGeneration::Arena26;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -529,6 +548,8 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
       if (record == kCsvHeader) {
+        gen = CsvGeneration::Arena26;
+      } else if (record == kDistCsvHeader) {
         gen = CsvGeneration::Dist24;
       } else if (record == kPersistCsvHeader) {
         gen = CsvGeneration::Persist23;
@@ -578,6 +599,8 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.chunks_allocated = obj.u64_or_zero("chunks_allocated");
     row.chunk_detaches = obj.u64_or_zero("chunk_detaches");
     row.cow_bytes_copied = obj.u64_or_zero("cow_bytes_copied");
+    row.arena_slabs_allocated = obj.u64_or_zero("arena_slabs_allocated");
+    row.arena_bytes_recycled = obj.u64_or_zero("arena_bytes_recycled");
     row.execute_ms = obj.ms_or_zero("execute_ms");
     row.analyze_ms = obj.ms_or_zero("analyze_ms");
     row.analyze_skipped = obj.u64_or_zero("analyze_skipped");

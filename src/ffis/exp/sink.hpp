@@ -113,6 +113,8 @@ struct SinkRow {
   std::uint64_t chunks_allocated = 0;  ///< extents created, summed over runs
   std::uint64_t chunk_detaches = 0;    ///< COW detaches, summed over runs
   std::uint64_t cow_bytes_copied = 0;  ///< bytes copied by COW, summed over runs
+  std::uint64_t arena_slabs_allocated = 0;  ///< fresh arena slabs, summed over runs
+  std::uint64_t arena_bytes_recycled = 0;   ///< bytes from rewound slabs, summed
   double execute_ms = 0.0;             ///< workload thread-time, summed over runs
   double analyze_ms = 0.0;             ///< classification thread-time, summed
   std::uint64_t analyze_skipped = 0;   ///< runs Benign straight from the extent diff

@@ -1,0 +1,78 @@
+#include "ffis/vfs/extent_arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ffis::vfs {
+
+namespace {
+
+/// Bump-cursor alignment: keeps every carved payload 16-byte aligned so the
+/// memcpy/memcmp over extent payloads (writes, detaches, diffs) runs on
+/// aligned spans.
+constexpr std::size_t kAlign = 16;
+
+constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+}  // namespace
+
+ExtentArena::ExtentArena(std::size_t slab_size)
+    : slab_size_(slab_size), epoch_(std::make_shared<Epoch>()) {
+  if (slab_size_ == 0) {
+    throw std::invalid_argument("ExtentArena slab_size must be > 0");
+  }
+}
+
+ExtentArena::Allocation ExtentArena::allocate(std::size_t size, FsStats& stats) {
+  const std::size_t need = align_up(std::max<std::size_t>(size, 1));
+  std::vector<Slab>& slabs = epoch_->slabs;
+  // Advance past slabs whose remainder cannot hold the request; reset()
+  // restores their unused tails, so skipping wastes at most one request's
+  // worth per slab per epoch.
+  while (cur_ < slabs.size() && offset_ + need > slabs[cur_].capacity) {
+    ++cur_;
+    offset_ = 0;
+  }
+  if (cur_ == slabs.size()) {
+    const std::size_t capacity = std::max(need, slab_size_);
+    slabs.push_back(Slab{std::make_unique_for_overwrite<std::byte[]>(capacity), capacity});
+    ++slabs_allocated_;
+    ++stats.arena_slabs_allocated;
+  }
+  std::byte* data = slabs[cur_].mem.get() + offset_;
+  offset_ += need;
+  if (recycle_credit_ > 0) {
+    const std::uint64_t reused = std::min<std::uint64_t>(need, recycle_credit_);
+    recycle_credit_ -= reused;
+    bytes_recycled_ += reused;
+    stats.arena_bytes_recycled += reused;
+  }
+  return Allocation{std::shared_ptr<const void>(epoch_, data), data};
+}
+
+std::uint64_t ExtentArena::bytes_in_use() const noexcept {
+  std::uint64_t used = offset_;
+  for (std::size_t i = 0; i < cur_ && i < epoch_->slabs.size(); ++i) {
+    used += epoch_->slabs[i].capacity;
+  }
+  return used;
+}
+
+void ExtentArena::reset() noexcept {
+  if (epoch_.use_count() == 1) {
+    // No chunk outside the arena references this epoch: rewind and reuse the
+    // slabs in place.  Everything carved this epoch becomes reusable credit.
+    recycle_credit_ = bytes_in_use();
+  } else {
+    // Chunks escaped into longer-lived stores; abandon the epoch (its slabs
+    // stay valid until the last keepalive drops) and start fresh.
+    epoch_ = std::make_shared<Epoch>();
+    recycle_credit_ = 0;
+  }
+  cur_ = 0;
+  offset_ = 0;
+}
+
+}  // namespace ffis::vfs

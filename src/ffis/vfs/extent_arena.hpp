@@ -1,0 +1,111 @@
+#pragma once
+// Bump allocator for run-private extent payloads.
+//
+// The run hot loop (fork a checkpoint, run the app, diff, discard) used to
+// allocate every written extent as its own shared_ptr<const Bytes>: one heap
+// allocation plus one atomic refcount per chunk, tens of thousands of times
+// per cell.  An ExtentArena replaces that with slab carving: payloads are
+// bump-allocated out of ~1 MiB slabs, and every chunk handle cut from the
+// arena shares a single refcount (the current *epoch*, see below) via
+// shared_ptr's aliasing constructor — one control block per arena epoch, not
+// per chunk, and zero malloc in steady state once the slab list has grown to
+// the working-set size.
+//
+// Epochs make reset() safe by construction.  The slabs live inside a
+// refcounted Epoch object; chunk keepalives alias it.  reset() checks whether
+// any chunk outside the arena still references the epoch:
+//  * nobody does (the normal between-runs case): the cursor rewinds and the
+//    slabs are reused in place — this is the recycling fast path, and the
+//    reused bytes are charged to FsStats::arena_bytes_recycled;
+//  * somebody does (a chunk escaped into a longer-lived store): the whole
+//    epoch — slabs included — is abandoned to its surviving chunks and a
+//    fresh epoch starts.  The escaped bytes stay valid until the last handle
+//    drops, so use-after-reset cannot exist, only a lost recycling
+//    opportunity.
+//
+// An arena is single-threaded: it must only be used by filesystems owned by
+// one thread (core::RunScratch keeps one arena per worker thread).  Reads of
+// chunks cut from it are safe from any thread once the chunk is published —
+// published chunks are immutable, exactly like heap-backed extents.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ffis/util/bytes.hpp"
+#include "ffis/vfs/extent_store.hpp"
+
+namespace ffis::vfs {
+
+class ExtentArena {
+ public:
+  /// Default slab size: big enough that a typical run's whole written
+  /// working set fits in a handful of slabs, small enough that an idle
+  /// worker thread does not pin tens of MB.
+  static constexpr std::size_t kDefaultSlabSize = std::size_t{1} << 20;
+
+  /// Throws std::invalid_argument when slab_size is 0.
+  explicit ExtentArena(std::size_t slab_size = kDefaultSlabSize);
+
+  ExtentArena(const ExtentArena&) = delete;
+  ExtentArena& operator=(const ExtentArena&) = delete;
+
+  /// One carved payload: `data` points at `size` writable bytes
+  /// (uninitialized — ExtentStore zero-fills exactly the bytes its
+  /// invariants require); `keepalive` pins the backing epoch without any
+  /// per-chunk allocation (aliasing shared_ptr).
+  struct Allocation {
+    std::shared_ptr<const void> keepalive;
+    std::byte* data = nullptr;
+  };
+
+  /// Carves `size` bytes from the current epoch, growing the slab list as
+  /// needed (a request larger than slab_size() gets a dedicated slab).
+  /// Charges a fresh slab to stats.arena_slabs_allocated and bytes served
+  /// from recycled slab space to stats.arena_bytes_recycled.
+  [[nodiscard]] Allocation allocate(std::size_t size, FsStats& stats);
+
+  /// Ends the current epoch.  When no chunk outside the arena still
+  /// references it, the slabs are rewound and reused (recycling); otherwise
+  /// the epoch is abandoned to its surviving chunks and a fresh one starts —
+  /// either way, previously returned Allocations stay valid for as long as
+  /// their keepalive is held.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t slab_size() const noexcept { return slab_size_; }
+  /// Cumulative slabs malloc'd over the arena's lifetime (abandoned epochs
+  /// included) — the "equivalent heap allocations" of arena-backed storage.
+  [[nodiscard]] std::uint64_t slabs_allocated() const noexcept { return slabs_allocated_; }
+  /// Cumulative bytes served from recycled slab space.
+  [[nodiscard]] std::uint64_t bytes_recycled() const noexcept { return bytes_recycled_; }
+  /// Bytes carved from the current epoch since the last reset().
+  [[nodiscard]] std::uint64_t bytes_in_use() const noexcept;
+  /// Chunk keepalives still referencing the current epoch (diagnostics for
+  /// the lifetime tests; approximate under concurrent releases).
+  [[nodiscard]] std::size_t live_refs() const noexcept {
+    return static_cast<std::size_t>(epoch_.use_count()) - 1;
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t capacity = 0;
+  };
+  /// Slab storage for one reset()-to-reset() span; chunk keepalives alias
+  /// the shared_ptr holding it, so an abandoned epoch's memory lives exactly
+  /// as long as its last surviving chunk.
+  struct Epoch {
+    std::vector<Slab> slabs;
+  };
+
+  std::size_t slab_size_;
+  std::shared_ptr<Epoch> epoch_;
+  std::size_t cur_ = 0;     ///< slab index of the bump cursor
+  std::size_t offset_ = 0;  ///< byte offset within the current slab
+  std::uint64_t slabs_allocated_ = 0;
+  std::uint64_t bytes_recycled_ = 0;
+  std::uint64_t recycle_credit_ = 0;  ///< reusable bytes left since last recycle
+};
+
+}  // namespace ffis::vfs

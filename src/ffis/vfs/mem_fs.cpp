@@ -1,6 +1,7 @@
 #include "ffis/vfs/mem_fs.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace ffis::vfs {
@@ -8,11 +9,13 @@ namespace ffis::vfs {
 MemFs::MemFs(Options options)
     : locking_(options.concurrency == Concurrency::MultiThread),
       chunk_size_(options.chunk_size),
-      chunk_size_for_(std::move(options.chunk_size_for)) {
-  // Deliberately pre-empts ExtentStore's own std::invalid_argument check so
+      chunk_size_for_(std::move(options.chunk_size_for)),
+      arena_(std::move(options.arena)) {
+  // Deliberately pre-empts ExtentStore's own std::invalid_argument checks so
   // VFS misuse surfaces in the VFS error domain.
-  if (chunk_size_ == 0) {
-    throw VfsError(VfsError::Code::InvalidArgument, "MemFs chunk_size must be > 0");
+  if (chunk_size_ == 0 || chunk_size_ > std::numeric_limits<std::uint32_t>::max()) {
+    throw VfsError(VfsError::Code::InvalidArgument,
+                   "MemFs chunk_size must be > 0 and fit the 32-bit extent handle");
   }
   auto root = std::make_shared<Node>(chunk_size_);
   root->is_dir = true;
@@ -20,10 +23,11 @@ MemFs::MemFs(Options options)
   nodes_.emplace("/", std::move(root));
 }
 
-MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode)
+MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode, std::shared_ptr<ExtentArena> arena)
     : locking_(mode == Concurrency::MultiThread),
       chunk_size_(parent.chunk_size_),
-      chunk_size_for_(parent.chunk_size_for_) {
+      chunk_size_for_(parent.chunk_size_for_),
+      arena_(std::move(arena)) {
   Guard lock(parent.maybe_mutex());
   for (const auto& [path, node] : parent.nodes_) {
     // A fresh Node per path isolates metadata and the extent table; the
@@ -32,7 +36,48 @@ MemFs::MemFs(ForkTag, const MemFs& parent, Concurrency mode)
   }
 }
 
-MemFs MemFs::fork(Concurrency mode) const { return MemFs(ForkTag{}, *this, mode); }
+MemFs MemFs::fork(Concurrency mode, std::shared_ptr<ExtentArena> arena) const {
+  return MemFs(ForkTag{}, *this, mode, std::move(arena));
+}
+
+std::unique_ptr<MemFs> MemFs::fork_unique(Concurrency mode,
+                                          std::shared_ptr<ExtentArena> arena) const {
+  return std::unique_ptr<MemFs>(new MemFs(ForkTag{}, *this, mode, std::move(arena)));
+}
+
+void MemFs::reset_from(const MemFs& base) {
+  Guard lock(base.maybe_mutex());  // *this is owned exclusively by the caller
+  chunk_size_ = base.chunk_size_;
+  chunk_size_for_ = base.chunk_size_for_;
+  handles_.clear();
+  stats_ = FsStats{};
+  // Merge-walk both sorted node tables: copy-assign into Nodes whose path
+  // survives (reuses the Node allocation and the map node), create the
+  // missing, erase the stale.  In steady state — resetting repeatedly from
+  // the same checkpoint — every path matches and this allocates nothing.
+  auto it = nodes_.begin();
+  auto from = base.nodes_.begin();
+  while (from != base.nodes_.end()) {
+    const int order = it == nodes_.end() ? 1 : it->first.compare(from->first);
+    if (order == 0) {
+      *it->second = *from->second;  // shares extents COW, like fork()
+      ++it;
+      ++from;
+    } else if (order < 0) {
+      it = nodes_.erase(it);
+    } else {
+      it = std::next(nodes_.emplace_hint(it, from->first, std::make_shared<Node>(*from->second)));
+      ++from;
+    }
+  }
+  nodes_.erase(it, nodes_.end());
+}
+
+void MemFs::drop_payloads() {
+  Guard lock(maybe_mutex());
+  handles_.clear();
+  for (auto& [path, node] : nodes_) node->data.clear();
+}
 
 std::string MemFs::normalize(const std::string& path) {
   if (path.empty() || path.front() != '/') {
@@ -120,7 +165,7 @@ std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offse
   if (of.mode == OpenMode::Read) {
     throw VfsError(VfsError::Code::InvalidArgument, "pwrite on read-only handle");
   }
-  of.node->data.write(offset, buf, stats_);
+  of.node->data.write(offset, buf, stats_, arena_.get());
   return buf.size();
 }
 
@@ -145,7 +190,7 @@ void MemFs::truncate(const std::string& raw_path, std::uint64_t size) {
   Guard lock(maybe_mutex());
   Node& node = node_at(path);
   if (node.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
-  node.data.resize(size, stats_);
+  node.data.resize(size, stats_, arena_.get());
 }
 
 void MemFs::ftruncate(FileHandle fh, std::uint64_t size) {
@@ -154,7 +199,7 @@ void MemFs::ftruncate(FileHandle fh, std::uint64_t size) {
   if (of.mode == OpenMode::Read) {
     throw VfsError(VfsError::Code::InvalidArgument, "ftruncate on read-only handle");
   }
-  of.node->data.resize(size, stats_);
+  of.node->data.resize(size, stats_, arena_.get());
 }
 
 void MemFs::unlink(const std::string& raw_path) {

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "ffis/vfs/extent_arena.hpp"
 #include "ffis/vfs/extent_store.hpp"
 #include "ffis/vfs/file_system.hpp"
 #include "ffis/vfs/fs_diff.hpp"
@@ -66,6 +67,13 @@ class MemFs final : public FileSystem {
     /// per-file geometry and this hook, so two trees built from the same
     /// options always agree per file — which diff_tree requires.
     std::function<std::size_t(const std::string& path)> chunk_size_for;
+    /// Optional bump arena backing every fresh or detached extent this fs
+    /// writes (see vfs::ExtentArena).  Run-private filesystems on the
+    /// engine hot path use the owning thread's arena; long-lived trees
+    /// (checkpoints, goldens, decoded snapshots) stay heap-backed.  The
+    /// arena is single-threaded: attach one only to filesystems used from
+    /// the thread that owns it.
+    std::shared_ptr<ExtentArena> arena;
   };
 
   MemFs() : MemFs(Options{}) {}
@@ -79,8 +87,38 @@ class MemFs final : public FileSystem {
   /// geometry must match), starts with no open handles and zeroed stats();
   /// the parent's handles stay valid.  Concurrent fork() calls on the same
   /// parent are safe as long as no thread is mutating the parent (a frozen
-  /// checkpoint fs).
-  [[nodiscard]] MemFs fork(Concurrency mode = Concurrency::MultiThread) const;
+  /// checkpoint fs).  `arena` (optional, NOT inherited from the parent)
+  /// backs the fork's future writes — the run-private pattern is forking a
+  /// heap-backed checkpoint into the worker thread's arena.
+  [[nodiscard]] MemFs fork(Concurrency mode = Concurrency::MultiThread,
+                           std::shared_ptr<ExtentArena> arena = nullptr) const;
+
+  /// fork() onto the heap.  MemFs is not movable (it owns a mutex), so
+  /// callers that need an owning pointer cannot wrap fork()'s prvalue
+  /// themselves — this builds the fork in place instead.
+  [[nodiscard]] std::unique_ptr<MemFs> fork_unique(
+      Concurrency mode = Concurrency::MultiThread,
+      std::shared_ptr<ExtentArena> arena = nullptr) const;
+
+  /// Re-points this fs at `base`'s current tree, as if it had just been
+  /// forked from it — but *in place*, reusing this instance's Node
+  /// allocations (and the map's interior nodes) for every path the two
+  /// trees share.  Extents are shared copy-on-write exactly as fork();
+  /// open handles are invalidated, stats() restart from zero, and the
+  /// chunk geometry (chunk_size / chunk_size_for) is re-inherited from
+  /// `base`.  Concurrency mode and the attached arena are kept.  This is
+  /// the run-recycling primitive: a pooled run fs resets from the cell
+  /// checkpoint in O(#files) with zero map-node churn in steady state.
+  /// The caller must own *this exclusively (no concurrent ops); `base`
+  /// follows the frozen-snapshot contract fork() uses.
+  void reset_from(const MemFs& base);
+
+  /// Drops every payload extent and all open handles, keeping the node
+  /// skeleton (paths, modes, dir structure) for a later reset_from().
+  /// This is what releases a recycled run's arena references so the
+  /// arena's epoch can rewind instead of being abandoned — call it before
+  /// ExtentArena::reset().
+  void drop_payloads();
 
   FileHandle open(const std::string& path, OpenMode mode) override;
   void close(FileHandle fh) override;
@@ -130,6 +168,9 @@ class MemFs final : public FileSystem {
 
   [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
 
+  /// The arena backing this fs's writes (null when heap-backed).
+  [[nodiscard]] const std::shared_ptr<ExtentArena>& arena() const noexcept { return arena_; }
+
  private:
   struct Node {
     /// COW payload; chunks are shared across forks until a writer detaches
@@ -140,6 +181,8 @@ class MemFs final : public FileSystem {
 
     explicit Node(std::size_t chunk_size) : data(chunk_size) {}
     Node(const Node&) = default;
+    /// reset_from() refills surviving Nodes in place (COW-shares extents).
+    Node& operator=(const Node&) = default;
   };
   struct OpenFile {
     std::shared_ptr<Node> node;  ///< cached: pread/pwrite/fsync skip the path map
@@ -169,7 +212,7 @@ class MemFs final : public FileSystem {
   friend class SnapshotCodec;
 
   struct ForkTag {};
-  MemFs(ForkTag, const MemFs& parent, Concurrency mode);
+  MemFs(ForkTag, const MemFs& parent, Concurrency mode, std::shared_ptr<ExtentArena> arena);
 
   [[nodiscard]] static Options make_mode_options(Concurrency mode) {
     Options options;
@@ -198,6 +241,7 @@ class MemFs final : public FileSystem {
   bool locking_ = true;
   std::size_t chunk_size_ = ExtentStore::kDefaultChunkSize;
   std::function<std::size_t(const std::string&)> chunk_size_for_;
+  std::shared_ptr<ExtentArena> arena_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Node>> nodes_;
   std::vector<OpenFile> handles_;

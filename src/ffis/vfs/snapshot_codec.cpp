@@ -1,6 +1,7 @@
 #include "ffis/vfs/snapshot_codec.hpp"
 
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -21,11 +22,11 @@ constexpr std::string_view kMagic = "FFSNAP";
   throw VfsError(VfsError::Code::InvalidArgument, "snapshot codec: " + what);
 }
 
-using Chunk = std::shared_ptr<const util::Bytes>;
-
 /// One serialized node, collected under the source tree's lock so the
 /// encoder can release it before doing any heavy byte work.  The ExtentStore
-/// copy is cheap (it shares chunks) and pins every referenced chunk alive.
+/// copy is cheap (it shares chunks) and pins every referenced chunk alive
+/// for the duration of the encode — the chunk table below can therefore
+/// hold raw payload pointers.
 struct NodeRec {
   std::string path;
   bool is_dir = false;
@@ -33,36 +34,44 @@ struct NodeRec {
   ExtentStore data{ExtentStore::kDefaultChunkSize};
 };
 
+/// One pinned extent payload (backed by a NodeRec's store copy).
+struct ChunkRef {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  [[nodiscard]] util::ByteSpan span() const noexcept { return {data, size}; }
+};
+
 /// Content-addressed chunk table: each distinct payload extent appears once,
 /// found by pointer first (structural sharing) and by content hash + memcmp
 /// second (equal bytes in unrelated buffers).
 class ChunkTable {
  public:
-  /// Returns the 1-based reference id for `chunk` (0 is reserved for holes).
-  std::uint64_t intern(const Chunk& chunk) {
-    const auto by_ptr = ids_by_ptr_.find(chunk.get());
+  /// Returns the 1-based reference id for the extent (0 is reserved for
+  /// holes).
+  std::uint64_t intern(ChunkRef chunk) {
+    const auto by_ptr = ids_by_ptr_.find(chunk.data);
     if (by_ptr != ids_by_ptr_.end()) return by_ptr->second;
-    const std::uint64_t hash = util::fnv1a64(*chunk);
+    const std::uint64_t hash = util::fnv1a64(chunk.span());
     for (const std::uint64_t candidate : ids_by_hash_[hash]) {
-      const util::Bytes& existing = *chunks_[candidate - 1];
-      if (existing.size() == chunk->size() &&
-          std::memcmp(existing.data(), chunk->data(), existing.size()) == 0) {
-        ids_by_ptr_.emplace(chunk.get(), candidate);
+      const ChunkRef& existing = chunks_[candidate - 1];
+      if (existing.size == chunk.size &&
+          std::memcmp(existing.data, chunk.data, existing.size) == 0) {
+        ids_by_ptr_.emplace(chunk.data, candidate);
         return candidate;
       }
     }
     chunks_.push_back(chunk);
     const std::uint64_t id = chunks_.size();
-    ids_by_ptr_.emplace(chunk.get(), id);
+    ids_by_ptr_.emplace(chunk.data, id);
     ids_by_hash_[hash].push_back(id);
     return id;
   }
 
-  [[nodiscard]] const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
+  [[nodiscard]] const std::vector<ChunkRef>& chunks() const noexcept { return chunks_; }
 
  private:
-  std::vector<Chunk> chunks_;
-  std::unordered_map<const util::Bytes*, std::uint64_t> ids_by_ptr_;
+  std::vector<ChunkRef> chunks_;
+  std::unordered_map<const std::byte*, std::uint64_t> ids_by_ptr_;
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> ids_by_hash_;
 };
 
@@ -89,8 +98,9 @@ util::Bytes SnapshotCodec::encode(std::span<const MemFs* const> trees) {
       const NodeRec& rec = tree_nodes[t][n];
       if (rec.is_dir) continue;
       refs[t][n].reserve(rec.data.chunks_.size());
-      for (const Chunk& chunk : rec.data.chunks_) {
-        refs[t][n].push_back(chunk ? table.intern(chunk) : 0);
+      for (const ExtentStore::Chunk& chunk : rec.data.chunks_) {
+        refs[t][n].push_back(
+            chunk.data != nullptr ? table.intern(ChunkRef{chunk.data, chunk.size}) : 0);
       }
     }
   }
@@ -101,7 +111,7 @@ util::Bytes SnapshotCodec::encode(std::span<const MemFs* const> trees) {
   w.u32(kFormatVersion);
   w.u32(static_cast<std::uint32_t>(trees.size()));
   w.u64(table.chunks().size());
-  for (const Chunk& chunk : table.chunks()) w.blob(*chunk);
+  for (const ChunkRef& chunk : table.chunks()) w.blob(chunk.span());
   for (std::size_t t = 0; t < trees.size(); ++t) {
     w.u64(tree_nodes[t].size());
     for (std::size_t n = 0; n < tree_nodes[t].size(); ++n) {
@@ -168,13 +178,27 @@ void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets)
     // letting vector::reserve escape as length_error/bad_alloc.
     const std::uint64_t chunk_count = r.u64();
     if (chunk_count > r.remaining() / 9) bad("implausible chunk count");
-    std::vector<Chunk> chunks;
+    std::vector<ExtentStore::Chunk> chunks;
     chunks.reserve(static_cast<std::size_t>(chunk_count));
     for (std::uint64_t i = 0; i < chunk_count; ++i) {
       const std::uint64_t len = r.u64();
       if (len == 0) bad("chunk table entry " + std::to_string(i) + " is empty");
+      if (len > std::numeric_limits<std::uint32_t>::max()) {
+        bad("chunk table entry " + std::to_string(i) + " exceeds the extent limit");
+      }
       const util::ByteSpan payload = r.view(static_cast<std::size_t>(len));
-      chunks.push_back(std::make_shared<util::Bytes>(payload.begin(), payload.end()));
+      // One heap buffer per distinct extent, shared by every referencing
+      // slot below — decoded chunks rejoin the per-chunk use_count COW
+      // discipline (owner token 0).
+      auto buf = std::make_unique_for_overwrite<std::byte[]>(payload.size());
+      std::memcpy(buf.get(), payload.data(), payload.size());
+      ExtentStore::Chunk chunk;
+      chunk.data = buf.get();
+      chunk.keepalive = std::shared_ptr<const void>(
+          std::shared_ptr<std::byte[]>(std::move(buf)), chunk.data);
+      chunk.size = static_cast<std::uint32_t>(payload.size());
+      chunk.capacity = chunk.size;
+      chunks.push_back(std::move(chunk));
     }
 
     for (MemFs* target : targets) {
@@ -241,11 +265,11 @@ void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets)
             continue;
           }
           if (ref > chunks.size()) bad(path + " references a missing chunk");
-          const Chunk& chunk = chunks[static_cast<std::size_t>(ref - 1)];
+          const ExtentStore::Chunk& chunk = chunks[static_cast<std::size_t>(ref - 1)];
           const std::uint64_t begin =
               util::chunk_begin(static_cast<std::size_t>(s),
                                 static_cast<std::size_t>(chunk_size));
-          if (chunk->size() > chunk_size || begin + chunk->size() > size) {
+          if (chunk.size > chunk_size || begin + chunk.size > size) {
             bad(path + " extent " + std::to_string(s) + " violates store invariants");
           }
           node->data.chunks_.push_back(chunk);

@@ -254,6 +254,44 @@ TEST(Engine, TalliesAreIndependentOfThreadCount) {
   }
 }
 
+TEST(Engine, ArenaRecyclingIsBitIdenticalAcrossThreadsAndFlag) {
+  // Run recycling (EngineOptions::use_arena) is an allocation-path switch
+  // only: the 2x2 matrix of {arena off/on} x {1/4 threads} must agree on
+  // every tally AND every non-arena storage counter, bit for bit.
+  ToyApp app;
+  std::vector<exp::ExperimentReport> reports;
+  for (const bool use_arena : {false, true}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      exp::EngineOptions options;
+      options.threads = threads;
+      options.use_arena = use_arena;
+      reports.push_back(exp::Engine(options).run(toy_grid(app, 64, 123)));
+    }
+  }
+  const exp::ExperimentReport& base = reports[0];  // arena off, 1 thread
+  for (std::size_t v = 1; v < reports.size(); ++v) {
+    ASSERT_EQ(reports[v].cells.size(), base.cells.size());
+    for (std::size_t i = 0; i < base.cells.size(); ++i) {
+      const exp::CellResult& got = reports[v].cells[i];
+      const exp::CellResult& want = base.cells[i];
+      for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+        EXPECT_EQ(got.tally.count(static_cast<Outcome>(o)),
+                  want.tally.count(static_cast<Outcome>(o)))
+            << "variant " << v << " cell " << i << " outcome " << o;
+      }
+      EXPECT_EQ(got.faults_not_fired, want.faults_not_fired) << "cell " << i;
+      EXPECT_EQ(got.analyze_skipped, want.analyze_skipped) << "cell " << i;
+      EXPECT_EQ(got.chunks_allocated, want.chunks_allocated) << "cell " << i;
+      EXPECT_EQ(got.chunk_detaches, want.chunk_detaches) << "cell " << i;
+      EXPECT_EQ(got.cow_bytes_copied, want.cow_bytes_copied) << "cell " << i;
+    }
+  }
+  // The arena variants actually took the arena path; the off variants never.
+  EXPECT_EQ(reports[0].arena_slabs_allocated + reports[1].arena_slabs_allocated, 0u);
+  EXPECT_GT(reports[2].arena_bytes_recycled, 0u);
+  EXPECT_GT(reports[3].arena_bytes_recycled, 0u);
+}
+
 TEST(Engine, MultiCellRunMatchesSequentialPerCellInjection) {
   ToyApp app;
   const std::uint64_t runs = 48, seed = 7;

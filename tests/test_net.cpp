@@ -247,6 +247,8 @@ TEST(Protocol, RunRowRoundTrip) {
   m.fs_stats.cow_bytes_copied = 33;
   m.fs_stats.pread_calls = 44;
   m.fs_stats.bytes_read = 55;
+  m.fs_stats.arena_slabs_allocated = 2;
+  m.fs_stats.arena_bytes_recycled = 66;
   m.execute_ms = 1.25;
   m.analyze_ms = 0.5;
   const auto decoded = dist::decode_run_row(dist::encode(m));
@@ -258,9 +260,72 @@ TEST(Protocol, RunRowRoundTrip) {
   EXPECT_FALSE(decoded.analyze_skipped);
   EXPECT_EQ(decoded.fs_stats.chunks_allocated, 11u);
   EXPECT_EQ(decoded.fs_stats.bytes_read, 55u);
+  EXPECT_EQ(decoded.fs_stats.arena_slabs_allocated, 2u);
+  EXPECT_EQ(decoded.fs_stats.arena_bytes_recycled, 66u);
   // Phase timers must round-trip bit-exactly (IEEE-754 pattern on the wire).
   EXPECT_EQ(decoded.execute_ms, 1.25);
   EXPECT_EQ(decoded.analyze_ms, 0.5);
+}
+
+TEST(Protocol, V2RunRowWithoutArenaTrailerStillDecodes) {
+  // v2 campaign journals replay rows without the 16-byte arena trailer; the
+  // decoder must read them with the counters defaulted to 0.
+  dist::RunRow m;
+  m.run_index = 5;
+  m.fs_stats.arena_slabs_allocated = 9;  // encoded, then truncated away
+  const auto encoded = dist::encode(m);
+  const util::ByteSpan v2(encoded.data(), encoded.size() - 16);
+  const auto decoded = dist::decode_run_row(v2);
+  EXPECT_EQ(decoded.run_index, 5u);
+  EXPECT_EQ(decoded.fs_stats.arena_slabs_allocated, 0u);
+  EXPECT_EQ(decoded.fs_stats.arena_bytes_recycled, 0u);
+  // A half-truncated trailer is corruption, not a legacy length.
+  const util::ByteSpan torn(encoded.data(), encoded.size() - 8);
+  EXPECT_THROW((void)dist::decode_run_row(torn), std::out_of_range);
+}
+
+TEST(Protocol, RunBatchRoundTripsEveryRowThroughTheRowDecoder) {
+  dist::RunBatch batch;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    dist::RunRow row;
+    row.unit_id = 3;
+    row.cell_index = 1;
+    row.run_index = 10 + i;
+    row.outcome = i % 2 == 0 ? core::Outcome::Benign : core::Outcome::Sdc;
+    row.fs_stats.arena_bytes_recycled = 100 * i;
+    row.execute_ms = 0.25 * static_cast<double>(i);
+    batch.rows.push_back(row);
+  }
+  const auto encoded = dist::encode(batch);
+  EXPECT_EQ(dist::peek_type(encoded), dist::MsgType::RunBatch);
+  const auto decoded = dist::decode_run_batch(encoded);
+  ASSERT_EQ(decoded.rows.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(decoded.rows[i].run_index, 10 + i);
+    EXPECT_EQ(decoded.rows[i].outcome,
+              i % 2 == 0 ? core::Outcome::Benign : core::Outcome::Sdc);
+    EXPECT_EQ(decoded.rows[i].fs_stats.arena_bytes_recycled, 100 * i);
+    EXPECT_EQ(decoded.rows[i].execute_ms, 0.25 * static_cast<double>(i));
+  }
+  // An empty batch is legal (the worker never sends one, but the decoder
+  // must not confuse "no rows" with truncation).
+  EXPECT_TRUE(dist::decode_run_batch(dist::encode(dist::RunBatch{})).rows.empty());
+}
+
+TEST(Protocol, RunBatchRejectsForgedCountAndBadRows) {
+  dist::RunBatch batch;
+  batch.rows.emplace_back();
+  auto encoded = dist::encode(batch);
+  // Byte 1 is the low byte of the LE row count: forging 0xff promises more
+  // rows than the payload could hold, which must throw before any loop runs.
+  encoded[1] = std::byte{0xff};
+  EXPECT_THROW((void)dist::decode_run_batch(encoded), std::out_of_range);
+  // A row with an out-of-range outcome poisons the whole batch.
+  auto bad_row = dist::encode(batch);
+  // Offset: tag(1) + count(4) + blob length(8) + row tag(1) + unit_id(8) +
+  // cell_index(4) + run_index(8) = the row's outcome byte.
+  bad_row[1 + 4 + 8 + 1 + 8 + 4 + 8] = std::byte{0x7f};
+  EXPECT_THROW((void)dist::decode_run_batch(bad_row), std::invalid_argument);
 }
 
 TEST(Protocol, RunRowRejectsOutOfRangeOutcome) {
@@ -282,7 +347,7 @@ TEST(Protocol, HelloV2CarriesAuthTokenAndReconnect) {
   m.auth_token = "fleet-secret";
   m.reconnect = true;
   const auto decoded = dist::decode_hello(dist::encode(m));
-  EXPECT_EQ(decoded.version, 2u);
+  EXPECT_EQ(decoded.version, dist::kProtocolVersion);
   EXPECT_EQ(decoded.auth_token, "fleet-secret");
   EXPECT_TRUE(decoded.reconnect);
 }
@@ -507,8 +572,15 @@ TEST(ProtocolFuzz, MalformedFramesThrowNeverCrash) {
   dist::RunRow row;
   row.outcome = core::Outcome::Crash;
   row.execute_ms = 3.5;
-  fuzz_decoder(dist::encode(row),
-               [](util::ByteSpan b) { (void)dist::decode_run_row(b); });
+  const auto row_bytes = dist::encode(row);
+  fuzz_decoder(row_bytes, [](util::ByteSpan b) { (void)dist::decode_run_row(b); },
+               /*allowed_short=*/row_bytes.size() - 16);  // v2 row: no arena trailer
+
+  dist::RunBatch batch;
+  batch.rows.push_back(row);
+  batch.rows.emplace_back();
+  fuzz_decoder(dist::encode(batch),
+               [](util::ByteSpan b) { (void)dist::decode_run_batch(b); });
 
   fuzz_decoder(dist::encode(dist::UnitDone{7}),
                [](util::ByteSpan b) { (void)dist::decode_unit_done(b); });

@@ -567,7 +567,9 @@ TEST(ExtentStore, CopyWritesDetachOnlyTouchedChunks) {
   vfs::FsStats fork_stats;
   forked.write(20, bytes_of("XY"), fork_stats);  // inside chunk 2
   EXPECT_EQ(fork_stats.chunk_detaches, 1u);
-  EXPECT_EQ(fork_stats.cow_bytes_copied, 8u);
+  // The detach preserves only the bytes the write does not overwrite:
+  // [16,20) before "XY" and [22,24) after it — 6 of the chunk's 8 bytes.
+  EXPECT_EQ(fork_stats.cow_bytes_copied, 6u);
   EXPECT_EQ(fork_stats.chunks_allocated, 0u);
   // 7 of 8 chunks still shared both ways.
   EXPECT_EQ(store.shared_bytes(), 56u);
@@ -678,7 +680,9 @@ TEST(MemFsStats, ChunkSizeIsConfigurableAndInherited) {
     f.pwrite(util::Bytes(1), 0);
   }
   EXPECT_EQ(child.stats().chunk_detaches, 1u);
-  EXPECT_EQ(child.stats().cow_bytes_copied, 1024u);
+  // Partial-copy detach: the 1-byte write at offset 0 is excluded from the
+  // copy, so only the remaining 1023 bytes of the extent are preserved.
+  EXPECT_EQ(child.stats().cow_bytes_copied, 1023u);
 }
 
 TEST(MemFsStats, RejectsZeroChunkSize) {

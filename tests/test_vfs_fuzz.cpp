@@ -517,7 +517,11 @@ class Differ {
         World forked;
         const auto mode = rng_.below(2) == 0 ? vfs::MemFs::Concurrency::SingleThread
                                              : vfs::MemFs::Concurrency::MultiThread;
-        forked.mem = std::unique_ptr<vfs::MemFs>(new vfs::MemFs(w.mem->fork(mode)));
+        // Forks share the parent's arena (when one is configured): the differ
+        // is single-threaded, so the single-owner arena contract holds, and
+        // COW detaches of arena chunks get fuzzed alongside heap ones.
+        forked.mem = std::unique_ptr<vfs::MemFs>(
+            new vfs::MemFs(w.mem->fork(mode, options_.arena)));
         forked.ref = w.ref->fork();
         worlds_.push_back(std::move(forked));
         break;
@@ -616,6 +620,52 @@ TEST(VfsFuzz, RegressionSeeds) {
   // 1269 hit a zero-length pwrite past EOF (the reference model wrongly
   // extended the file; POSIX and MemFs do not).
   fuzz_seeds(1269, 1, {.concurrency = Concurrency::SingleThread, .chunk_size = 5}, 700);
+}
+
+TEST(VfsFuzz, ArenaBackedBothGeometries) {
+  // Same differential drive with every fresh/detached extent carved from a
+  // vfs::ExtentArena instead of the heap — storage backends must be
+  // semantically invisible.  The arena is reset between seeds (all stores
+  // are gone by then, so the epoch rewinds) to also fuzz slab recycling.
+  for (const std::size_t chunk_size : {std::size_t{5}, std::size_t{64}}) {
+    vfs::MemFs::Options options;
+    options.concurrency = Concurrency::SingleThread;
+    options.chunk_size = chunk_size;
+    options.arena = std::make_shared<vfs::ExtentArena>();
+    for (std::uint32_t seed = 600; seed < 615; ++seed) {
+      {
+        Differ differ(seed, options);
+        differ.run(700);
+        if (::testing::Test::HasFatalFailure()) {
+          FAIL() << "divergence at seed " << seed << " (arena, chunk_size="
+                 << chunk_size << ")";
+        }
+      }
+      // The differ (and with it every store) is gone: the reset rewinds.
+      options.arena->reset();
+    }
+    EXPECT_GT(options.arena->bytes_recycled(), 0u);
+  }
+}
+
+TEST(VfsFuzz, ArenaResetMidLifeNeverInvalidatesSurvivingStores) {
+  // Adversarial reset: rewind/abandon the arena while forked worlds are
+  // still alive and keep fuzzing — epoch abandonment must keep every
+  // surviving chunk's bytes intact (the differential compare proves it).
+  vfs::MemFs::Options options;
+  options.concurrency = Concurrency::SingleThread;
+  options.chunk_size = 7;
+  options.arena = std::make_shared<vfs::ExtentArena>();
+  for (std::uint32_t seed = 650; seed < 660; ++seed) {
+    Differ differ(seed, options);
+    for (int burst = 0; burst < 5; ++burst) {
+      differ.run(150);
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "divergence at seed " << seed << " (mid-life arena reset)";
+      }
+      options.arena->reset();  // live stores force the abandonment path
+    }
+  }
 }
 
 TEST(VfsFuzz, PerFileChunkSizeOverrides) {
