@@ -114,14 +114,24 @@ std::string variant_json(const VariantResult& v, std::size_t chunk_size) {
   std::vector<std::string> cells;
   for (std::size_t i = 0; i < v.report.cells.size(); ++i) {
     const auto& cell = v.report.cells[i];
+    // `detected` stays the total (older tooling reads it); the split tells
+    // the two detection channels apart — reported syscall errors vs the
+    // block device's scrub rejecting a sector checksum.
+    const std::uint64_t detected_total = cell.tally.count(ffis::core::Outcome::Detected);
+    const std::uint64_t detected_crc =
+        std::min(cell.detected_crc, detected_total);
     ffis::bench::JsonObject obj;
     obj.str("label", cell.cell.label)
         .num("stage", static_cast<std::uint64_t>(cell.cell.stage))
         .num("runs", cell.runs_completed)
         .num("benign", cell.tally.count(ffis::core::Outcome::Benign))
-        .num("detected", cell.tally.count(ffis::core::Outcome::Detected))
+        .num("detected", detected_total)
+        .num("detected_io_error", detected_total - detected_crc)
+        .num("detected_crc", detected_crc)
         .num("sdc", cell.tally.count(ffis::core::Outcome::Sdc))
         .num("crash", cell.tally.count(ffis::core::Outcome::Crash))
+        .num("sectors_faulted", cell.sectors_faulted)
+        .num("crc_detected", cell.crc_detected)
         .num("wall_ms_at_completion",
              i < v.cell_completion_ms.size() ? v.cell_completion_ms[i] : 0.0)
         .num("chunk_size", static_cast<std::uint64_t>(chunk_size))
@@ -421,6 +431,68 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Block-device layer: the clean-sector fast path A/B --------------------
+  //
+  // Syscall-level cells never need the sector-granular device, so the engine
+  // only mounts it when a cell's fault signature is media-level.  Forcing it
+  // on under the identical syscall plan measures what a mounted-but-unarmed
+  // device costs: the write path counts sector instances, and the read path
+  // takes the clean-sector fast exit (no registry, no CRC walk).  CI gates
+  // the ratio at >= 0.95x — a regression here means reads or unarmed writes
+  // picked up per-sector work they must not do.  Tallies must not move at
+  // all (exhaustively asserted in tests/test_exp.cpp, re-asserted here).
+  std::printf("\n-- block device forced under the syscall plan (clean-sector "
+              "fast path) --\n");
+  exp::EngineOptions forced_block_options = diff_options;
+  forced_block_options.force_block_device = true;
+  const VariantResult forced_block = run_variant(experiment_plan, forced_block_options);
+  assert_identical_tallies(forced_block, diffclass, "the mounted-but-unarmed block device");
+  const double block_overhead_ratio = forced_block.runs_per_sec / diffclass.runs_per_sec;
+  std::printf("no device: %8.1f runs/sec\ndevice on: %8.1f runs/sec   "
+              "(%.3fx, clean-sector fast path)\n",
+              diffclass.runs_per_sec, forced_block.runs_per_sec, block_overhead_ratio);
+
+  // --- Media-level faults: sector corruption beneath the syscall layer -------
+  //
+  // One bit-rot cell per scrub mode on the 2-dump Nyx workload.  With
+  // scrubbing on, the device's per-sector CRC turns the corruption into an
+  // EIO at read time (detected_crc); with it off the rot flows silently to
+  // the application and lands wherever the classifier puts it.  The JSON
+  // section records the detected_io_error/detected_crc split so the media
+  // detection channel is tracked across commits like every other counter.
+  const std::uint64_t media_runs = std::max<std::uint64_t>(runs / 3, 20);
+  auto media_builder = bench::plan(media_runs);
+  media_builder.cell(nyx, "BIT_ROT@pwrite{sector=512,scrub=on,width=1}", -1,
+                     "NYX2-ROT-SCRUB");
+  media_builder.cell(nyx, "BIT_ROT@pwrite{sector=512,scrub=off,width=1}", -1,
+                     "NYX2-ROT-SILENT");
+  const auto media_plan = media_builder.build();
+
+  std::printf("\n-- media-fault cells (nyx 80^3, single-bit rot, scrub on/off, "
+              "%llu runs each) --\n", static_cast<unsigned long long>(media_runs));
+  const VariantResult media = run_variant(media_plan, diff_options);
+  const auto& scrub_cell = media.report.cells[0];
+  const auto& silent_cell = media.report.cells[1];
+  if (scrub_cell.sectors_faulted == 0 || silent_cell.sectors_faulted == 0) {
+    std::fprintf(stderr, "FATAL: media-fault cells armed but corrupted no sectors\n");
+    return 1;
+  }
+  if (silent_cell.crc_detected != 0 || silent_cell.detected_crc != 0) {
+    std::fprintf(stderr, "FATAL: scrub-off cell reported CRC detections\n");
+    return 1;
+  }
+  for (const auto* cell : {&scrub_cell, &silent_cell}) {
+    const std::uint64_t detected = cell->tally.count(core::Outcome::Detected);
+    std::printf("  %-18s %8.1f runs/sec   %llu sectors faulted, detected: "
+                "%llu io_error + %llu crc, sdc %llu\n",
+                cell->cell.label.c_str(),
+                static_cast<double>(cell->runs_completed) / (media.wall_ms / 1000.0),
+                static_cast<unsigned long long>(cell->sectors_faulted),
+                static_cast<unsigned long long>(detected - std::min(cell->detected_crc, detected)),
+                static_cast<unsigned long long>(cell->detected_crc),
+                static_cast<unsigned long long>(cell->tally.count(core::Outcome::Sdc)));
+  }
+
   // --- Distributed execution: coordinator + local worker fleet ---------------
   //
   // The nyx/qmc stage-2 cells again, executed through dist::Coordinator with
@@ -568,6 +640,18 @@ int main(int argc, char** argv) {
       .num("montage_heap_chunk_allocations", montage_heap_chunks)
       .num("montage_equivalent_heap_allocations", montage_arena_slabs)
       .raw("no_arena", variant_json(no_arena, vfs::ExtentStore::kDefaultChunkSize));
+  ffis::bench::JsonObject block_doc;
+  block_doc.num("runs_per_sec", forced_block.runs_per_sec)
+      .num("baseline_runs_per_sec", diffclass.runs_per_sec)
+      .num("overhead_ratio", block_overhead_ratio);
+  ffis::bench::JsonObject media_doc;
+  media_doc.num("runs_per_cell", media_runs)
+      .num("scrub_on_sectors_faulted", scrub_cell.sectors_faulted)
+      .num("scrub_on_crc_detected", scrub_cell.crc_detected)
+      .num("scrub_on_detected_crc", scrub_cell.detected_crc)
+      .num("scrub_off_sectors_faulted", silent_cell.sectors_faulted)
+      .num("scrub_off_sdc", silent_cell.tally.count(core::Outcome::Sdc))
+      .raw("result", variant_json(media, vfs::ExtentStore::kDefaultChunkSize));
   ffis::bench::JsonObject adaptive_doc;
   adaptive_doc.str("label", "NYX2-ADAPTIVE")
       .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))
@@ -594,6 +678,8 @@ int main(int argc, char** argv) {
       .raw("diff_classified", variant_json(diffclass, vfs::ExtentStore::kDefaultChunkSize))
       .raw("analysis_dominated", analysis_doc.render())
       .raw("arena", arena_doc.render())
+      .raw("block_device", block_doc.render())
+      .raw("media", media_doc.render())
       .raw("adaptive_extents", adaptive_doc.render())
       .raw("distributed", dist_doc.render());
   if (!persistent_json.empty()) doc.raw("persistent_store", persistent_json);

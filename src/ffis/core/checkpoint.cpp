@@ -4,6 +4,8 @@
 #include <string>
 
 #include "ffis/faults/faulting_fs.hpp"
+#include "ffis/faults/media_faults.hpp"
+#include "ffis/vfs/block_device.hpp"
 #include "ffis/vfs/counting_fs.hpp"
 
 namespace ffis::core {
@@ -51,6 +53,13 @@ ProfileResult profile_resume(const Application& app, const Checkpoint& checkpoin
   vfs::CountingFs counting(backing);
   faults::FaultingFs instrument(counting);
   instrument.configure(signature);
+  std::shared_ptr<vfs::BlockDevice> device;
+  if (faults::is_media_model(signature.model)) {
+    // Media models count sector writes; mirror IoProfiler::profile.
+    device = std::make_shared<vfs::BlockDevice>(faults::media_device_options(signature));
+    backing.set_media(device);
+    instrument.gate_media(device.get());
+  }
   // Stage-scoped counting starts gated off; enter_stage opens the window.
   instrument.set_enabled(false);
 
@@ -61,7 +70,8 @@ ProfileResult profile_resume(const Application& app, const Checkpoint& checkpoin
   app.run_from(ctx, checkpoint.stage());
 
   ProfileResult result;
-  result.primitive_count = instrument.executions();
+  result.primitive_count =
+      device != nullptr ? device->sector_writes() : instrument.executions();
   result.bytes_written = counting.bytes_written();
   result.bytes_read = counting.bytes_read();
   return result;

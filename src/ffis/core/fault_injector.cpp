@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "ffis/core/run_scratch.hpp"
+#include "ffis/faults/media_faults.hpp"
 #include "ffis/util/logging.hpp"
 #include "ffis/util/rng.hpp"
+#include "ffis/vfs/block_device.hpp"
 #include "ffis/vfs/mem_fs.hpp"
 
 namespace ffis::core {
@@ -48,6 +50,11 @@ void FaultInjector::set_fs_options(vfs::MemFs::Options options) {
 void FaultInjector::set_run_recycling(bool on) {
   require_unprepared("run recycling");
   run_recycling_ = on;
+}
+
+void FaultInjector::set_force_block_device(bool on) {
+  require_unprepared("force_block_device");
+  force_block_device_ = on;
 }
 
 std::unique_ptr<vfs::MemFs> FaultInjector::make_backing() const {
@@ -159,6 +166,10 @@ void FaultInjector::prepare_with_checkpoint(std::shared_ptr<const AnalysisResult
 
 void FaultInjector::check_profile() const {
   if (profile_.primitive_count == 0) {
+    if (faults::is_media_model(signature_.model)) {
+      throw std::logic_error(
+          "FaultInjector: application never wrote a sector — nothing to inject into");
+    }
     throw std::logic_error("FaultInjector: application never executed primitive '" +
                            std::string(vfs::primitive_name(signature_.primitive)) +
                            "' — nothing to inject into");
@@ -207,9 +218,45 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
                         : make_backing();
   }
   vfs::MemFs& backing = lease.has_value() ? lease->fs() : *owned;
+  // Media-level cells mount a BlockDevice beneath the store and arm *it*
+  // (target_instance then indexes sector writes); the FaultingFs stays
+  // configured-but-unarmed, counting primitives and sharing its stage gate.
+  // Syscall cells mount a passive device only under force_block_device —
+  // never armed, so it is observationally inert.
+  const bool media = faults::is_media_model(signature_.model);
+  std::shared_ptr<vfs::BlockDevice> device;
+  if (media || force_block_device_) {
+    device = std::make_shared<vfs::BlockDevice>(faults::media_device_options(signature_));
+    backing.set_media(device);
+  }
   faults::FaultingFs instrument(backing);
-  instrument.arm(signature_, target_instance, feature_seed);
+  if (device != nullptr) instrument.gate_media(device.get());
+  if (media) {
+    instrument.configure(signature_);
+    device->arm(faults::media_arm_spec(signature_, target_instance, feature_seed));
+  } else {
+    instrument.arm(signature_, target_instance, feature_seed);
+  }
   if (instrumented_stage_ > 0) instrument.set_enabled(false);
+
+  // Copies the fired/record state out of whichever layer carried the fault.
+  const auto read_instrumentation = [&] {
+    if (media) {
+      result.fault_fired = device->fired();
+      result.record = faults::media_injection_record(signature_, *device);
+    } else {
+      result.fault_fired = instrument.fired();
+      result.record = instrument.record();
+    }
+  };
+  // Copies the run's storage counters and applies the detection override: a
+  // run whose scrub rejected a sector (crc_detected > 0) surfaced the
+  // corruption to the user as an I/O error, so it is Detected no matter how
+  // the application ended — including when the EIO propagated as a crash.
+  const auto finalize_stats = [&] {
+    result.fs_stats = backing.stats();
+    if (result.fs_stats.crc_detected > 0) result.outcome = Outcome::Detected;
+  };
 
   RunContext ctx{.fs = instrument,
                  .app_seed = app_seed_,
@@ -223,15 +270,13 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
     }
   } catch (const std::exception& e) {
     result.outcome = Outcome::Crash;
-    result.fault_fired = instrument.fired();
-    result.record = instrument.record();
+    read_instrumentation();
     result.crash_reason = e.what();
     result.execute_ms = ms_since(execute_start);
-    result.fs_stats = backing.stats();
+    finalize_stats();
     return result;
   }
-  result.fault_fired = instrument.fired();
-  result.record = instrument.record();
+  read_instrumentation();
   result.execute_ms = ms_since(execute_start);
   if (!result.fault_fired) {
     util::log_warn("fault did not fire (instance {} of {})", target_instance,
@@ -271,7 +316,7 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
     result.outcome = Outcome::Crash;
     result.crash_reason = e.what();
     result.analyze_ms = ms_since(analyze_start);
-    result.fs_stats = backing.stats();
+    finalize_stats();
     return result;
   }
 
@@ -286,7 +331,7 @@ RunResult FaultInjector::execute_at(std::uint64_t target_instance,
   // Counters cover workload and classification; diff_tree itself issues no
   // FileSystem-level reads, so an analyze_skipped run of a write-only
   // workload reports bytes_read == 0.
-  result.fs_stats = backing.stats();
+  finalize_stats();
   return result;
 }
 

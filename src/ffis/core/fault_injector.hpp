@@ -120,6 +120,16 @@ class FaultInjector {
   void set_run_recycling(bool on);
   [[nodiscard]] bool run_recycling() const noexcept { return run_recycling_; }
 
+  /// A/B probe for the media layer (default off): when on, syscall-level
+  /// cells also mount a passive vfs::BlockDevice under every run's store —
+  /// never armed, so it registers nothing and only counts sector writes.
+  /// Outcomes, diffs and tallies are bit-identical with the flag on or off;
+  /// the perf bench gates the clean-sector fast path's overhead with it.
+  /// Media-model cells always mount a device regardless of this flag.
+  /// Must be set before prepare_*.
+  void set_force_block_device(bool on);
+  [[nodiscard]] bool force_block_device() const noexcept { return force_block_device_; }
+
   /// Executes one golden (fault-free, uninstrumented) run of `app` on a
   /// fresh in-memory store and returns its analysis.  prepare() uses this;
   /// it is exposed so campaign drivers can share goldens across injectors.
@@ -164,6 +174,7 @@ class FaultInjector {
   bool prepared_ = false;
   bool diff_classification_ = true;
   bool run_recycling_ = true;
+  bool force_block_device_ = false;
   vfs::MemFs::Options fs_options_{};
   /// Shared so exp::Engine's golden cache can hand one analysis to many
   /// injectors without copying the comparison blobs.

@@ -1,5 +1,7 @@
 #include "ffis/core/io_profiler.hpp"
 
+#include "ffis/faults/media_faults.hpp"
+#include "ffis/vfs/block_device.hpp"
 #include "ffis/vfs/counting_fs.hpp"
 #include "ffis/vfs/mem_fs.hpp"
 
@@ -12,6 +14,14 @@ ProfileResult IoProfiler::profile(const Application& app,
   vfs::CountingFs counting(backing);
   faults::FaultingFs instrument(counting);
   instrument.configure(signature);
+  std::shared_ptr<vfs::BlockDevice> device;
+  if (faults::is_media_model(signature.model)) {
+    // Media models address sector writes, not primitive calls — attach an
+    // unarmed device so its counter sees exactly the injection run's stream.
+    device = std::make_shared<vfs::BlockDevice>(faults::media_device_options(signature));
+    backing.set_media(device);
+    instrument.gate_media(device.get());
+  }
   if (instrumented_stage > 0) {
     // Stage-scoped profiling starts gated off; the application's
     // enter_stage/leave_stage calls open the window.
@@ -25,7 +35,8 @@ ProfileResult IoProfiler::profile(const Application& app,
   app.run(ctx);
 
   ProfileResult result;
-  result.primitive_count = instrument.executions();
+  result.primitive_count =
+      device != nullptr ? device->sector_writes() : instrument.executions();
   result.bytes_written = counting.bytes_written();
   result.bytes_read = counting.bytes_read();
   return result;

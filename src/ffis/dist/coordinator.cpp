@@ -130,6 +130,9 @@ exp::ExperimentReport Coordinator::run(exp::ResultSink& sink) {
       report_.analyses_skipped += cell.analyze_skipped;
       report_.arena_slabs_allocated += cell.arena_slabs_allocated;
       report_.arena_bytes_recycled += cell.arena_bytes_recycled;
+      report_.sectors_faulted += cell.sectors_faulted;
+      report_.crc_detected += cell.crc_detected;
+      report_.detected_crc += cell.detected_crc;
     }
     report_.units_regranted = scheduler_.regranted();
     report_.cancelled = cancelled_ || !scheduler_.all_done();
@@ -461,6 +464,9 @@ void Coordinator::finalize_cell_locked(std::size_t i) {
     out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
     out.arena_slabs_allocated += rr.fs_stats.arena_slabs_allocated;
     out.arena_bytes_recycled += rr.fs_stats.arena_bytes_recycled;
+    out.sectors_faulted += rr.fs_stats.sectors_faulted;
+    out.crc_detected += rr.fs_stats.crc_detected;
+    if (rr.fs_stats.crc_detected > 0) ++out.detected_crc;
     out.execute_ms += rr.execute_ms;
     out.analyze_ms += rr.analyze_ms;
     if (rr.analyze_skipped) ++out.analyze_skipped;

@@ -231,6 +231,8 @@ util::Bytes encode(const RunRow& m) {
   w.f64(m.analyze_ms);
   w.u64(m.fs_stats.arena_slabs_allocated);
   w.u64(m.fs_stats.arena_bytes_recycled);
+  w.u64(m.fs_stats.sectors_faulted);
+  w.u64(m.fs_stats.crc_detected);
   return out;
 }
 
@@ -256,11 +258,16 @@ RunRow decode_run_row(util::ByteSpan payload) {
   m.fs_stats.bytes_read = r.u64();
   m.execute_ms = r.f64();
   m.analyze_ms = r.f64();
-  // v2 rows end here; the arena counters are a v3 trailer (v2 campaign
-  // journals replay through this decoder and read them as 0).
+  // v2 rows end here; the arena counters are a v3 trailer and the media
+  // counters a v4 trailer (older campaign journals replay through this
+  // decoder and read the absent trailers as 0).
   if (r.remaining() > 0) {
     m.fs_stats.arena_slabs_allocated = r.u64();
     m.fs_stats.arena_bytes_recycled = r.u64();
+  }
+  if (r.remaining() > 0) {
+    m.fs_stats.sectors_faulted = r.u64();
+    m.fs_stats.crc_detected = r.u64();
   }
   r.expect_end();
   return m;

@@ -42,10 +42,14 @@ namespace ffis::dist {
 /// workers must not compute).  v2 added liveness (Ping/Pong), the Hello auth
 /// token + reconnect flag, and the HelloAck heartbeat interval.  v3 added
 /// RunBatch (workers flush rows in batches instead of one frame per run) and
-/// the RunRow arena-counter trailer; v1/v2 frames still decode (decode-compat
-/// tests and v2 campaign journals rely on it — a v2 RunRow simply reads its
-/// arena counters as 0) but older Hellos are rejected at handshake time.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// the RunRow arena-counter trailer.  v4 added the RunRow media-counter
+/// trailer (sectors_faulted / crc_detected, after the arena counters).
+/// Older frames still decode (decode-compat tests and old campaign journals
+/// rely on it — a v2 RunRow reads its arena AND media counters as 0, a v3
+/// row its media counters as 0) but older Hellos are rejected at handshake
+/// time.
+inline constexpr std::uint32_t kProtocolVersion = 4;
+inline constexpr std::uint32_t kProtocolVersionV3 = 3;
 inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 inline constexpr std::uint32_t kProtocolVersionV1 = 1;
 

@@ -327,6 +327,7 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       injectors[i]->set_diff_classification(options_.use_diff_classification);
       injectors[i]->set_fs_options(options_.fs_options);
       injectors[i]->set_run_recycling(options_.use_arena);
+      injectors[i]->set_force_block_device(options_.force_block_device);
       const std::size_t cp = cell_checkpoint[i];
       if (cp != kNoCheckpoint && checkpoints[cp].captured) {
         injectors[i]->prepare_with_checkpoint(golden.result, checkpoints[cp].checkpoint,
@@ -386,6 +387,9 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
       out.cow_bytes_copied += rr.fs_stats.cow_bytes_copied;
       out.arena_slabs_allocated += rr.fs_stats.arena_slabs_allocated;
       out.arena_bytes_recycled += rr.fs_stats.arena_bytes_recycled;
+      out.sectors_faulted += rr.fs_stats.sectors_faulted;
+      out.crc_detected += rr.fs_stats.crc_detected;
+      if (rr.fs_stats.crc_detected > 0) ++out.detected_crc;
       out.execute_ms += rr.execute_ms;
       out.analyze_ms += rr.analyze_ms;
       if (rr.analyze_skipped) ++out.analyze_skipped;
@@ -463,6 +467,9 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     report.analyses_skipped += cell.analyze_skipped;
     report.arena_slabs_allocated += cell.arena_slabs_allocated;
     report.arena_bytes_recycled += cell.arena_bytes_recycled;
+    report.sectors_faulted += cell.sectors_faulted;
+    report.crc_detected += cell.crc_detected;
+    report.detected_crc += cell.detected_crc;
   }
   report.cancelled = cancel_requested();
   sink.end(report);

@@ -82,6 +82,12 @@ struct EngineOptions {
   /// are bit-identical with the flag on or off; off exists for A/B
   /// benchmarks (see bench_perf_engine's arena section).
   bool use_arena = true;
+  /// Mount a passive vfs::BlockDevice under syscall-level cells too
+  /// (media-model cells always mount one).  The passive device is never
+  /// armed, so it registers nothing: outcomes, diffs and tallies are
+  /// bit-identical with the flag on or off.  Exists for A/B benchmarks of
+  /// the clean-sector fast path (bench_perf_engine's block-device section).
+  bool force_block_device = false;
   /// Backing-store options for golden runs, checkpoints and per-run stores
   /// (extent sizing — see MemFs::Options::chunk_size_for; concurrency is
   /// managed by the engine).  One plan-wide value keeps every tree on the

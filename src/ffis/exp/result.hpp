@@ -34,6 +34,16 @@ struct CellResult {
   /// run — the per-chunk heap traffic the arena exists to kill.
   std::uint64_t arena_slabs_allocated = 0;
   std::uint64_t arena_bytes_recycled = 0;
+  /// Media-layer traffic (vfs::BlockDevice, media-model cells): sectors
+  /// corrupted by the armed device and scrub rejections (CRC-mismatch or
+  /// latent-sector-error reads), summed over the cell's runs.
+  std::uint64_t sectors_faulted = 0;
+  std::uint64_t crc_detected = 0;
+  /// Runs whose scrub rejected at least one read (per-run crc_detected > 0)
+  /// — exactly the runs the injector's detection override classified
+  /// Detected, so the cell's Detected tally splits as
+  /// detected_io_error = tally(Detected) - detected_crc.
+  std::uint64_t detected_crc = 0;
   /// Wall time summed over the cell's runs, split at the execute/classify
   /// boundary (RunResult::execute_ms / analyze_ms).  Thread time, not
   /// elapsed time: runs execute concurrently.
@@ -91,6 +101,11 @@ struct ExperimentReport {
   /// Plan-wide arena traffic (sums of the per-cell counters).
   std::uint64_t arena_slabs_allocated = 0;
   std::uint64_t arena_bytes_recycled = 0;
+  /// Plan-wide media-layer traffic (sums of the per-cell counters); see
+  /// CellResult for the detected_crc / detected_io_error split.
+  std::uint64_t sectors_faulted = 0;
+  std::uint64_t crc_detected = 0;
+  std::uint64_t detected_crc = 0;
   // Distributed execution (dist::Coordinator; both 0 for local runs).  The
   // golden/checkpoint counters above stay 0 in distributed reports: each
   // worker maintains its own caches and the coordinator never executes the

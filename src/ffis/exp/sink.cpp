@@ -17,6 +17,7 @@ constexpr const char* kCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
     "cow_bytes_copied,arena_slabs_allocated,arena_bytes_recycled,"
+    "sectors_faulted,crc_detected,"
     "execute_ms,analyze_ms,analyze_skipped,"
     "golden_cached,checkpointed,checkpoint_loaded,worker_id,error";
 
@@ -24,7 +25,15 @@ constexpr const char* kCsvHeader =
 /// stay loadable for comparison.  The document's header picks the layout;
 /// absent columns default to zero.
 ///
-/// Distributed era (no arena-traffic columns):
+/// Arena era (no media-layer columns):
+constexpr const char* kArenaCsvHeader =
+    "index,label,application,fault,stage,runs,seed,primitive_count,"
+    "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+    "cow_bytes_copied,arena_slabs_allocated,arena_bytes_recycled,"
+    "execute_ms,analyze_ms,analyze_skipped,"
+    "golden_cached,checkpointed,checkpoint_loaded,worker_id,error";
+
+/// Distributed era (no arena-traffic columns either):
 constexpr const char* kDistCsvHeader =
     "index,label,application,fault,stage,runs,seed,primitive_count,"
     "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
@@ -57,7 +66,7 @@ constexpr const char* kLegacyCsvHeader =
     "benign,detected,sdc,crash,faults_not_fired,golden_cached,checkpointed,error";
 
 /// Which column set a document uses (decided by its header).
-enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23, Dist24, Arena26 };
+enum class CsvGeneration { Legacy16, Extent19, Timed22, Persist23, Dist24, Arena26, Media28 };
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
@@ -175,6 +184,8 @@ SinkRow to_sink_row(const CellResult& result) {
   row.cow_bytes_copied = result.cow_bytes_copied;
   row.arena_slabs_allocated = result.arena_slabs_allocated;
   row.arena_bytes_recycled = result.arena_bytes_recycled;
+  row.sectors_faulted = result.sectors_faulted;
+  row.crc_detected = result.crc_detected;
   row.execute_ms = result.execute_ms;
   row.analyze_ms = result.analyze_ms;
   row.analyze_skipped = result.analyze_skipped;
@@ -227,6 +238,27 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                static_cast<unsigned long long>(report.analyses_skipped),
                report.analyses_skipped == 1 ? "is" : "es",
                report.cancelled ? "; CANCELLED" : "");
+  // Media-layer summary, only when a block device actually corrupted or
+  // rejected something.  Splits the Detected tally by *how* the failure
+  // surfaced: detected_crc counts runs whose scrub rejected a sector read,
+  // detected_io_error the rest (reported syscall errors and analysis-visible
+  // deviations).
+  if (report.sectors_faulted + report.crc_detected > 0) {
+    std::uint64_t detected_total = 0;
+    for (const auto& cell : report.cells) {
+      detected_total += cell.tally.count(core::Outcome::Detected);
+    }
+    const std::uint64_t detected_io_error =
+        detected_total >= report.detected_crc ? detected_total - report.detected_crc : 0;
+    std::fprintf(out_, "[media: %llu sector%s faulted, %llu scrub rejection%s; "
+                       "detected split: %llu detected_io_error + %llu detected_crc]\n",
+                 static_cast<unsigned long long>(report.sectors_faulted),
+                 report.sectors_faulted == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.crc_detected),
+                 report.crc_detected == 1 ? "" : "s",
+                 static_cast<unsigned long long>(detected_io_error),
+                 static_cast<unsigned long long>(report.detected_crc));
+  }
   // Persistent-store traffic, only when a checkpoint_dir was in play.
   if (report.checkpoints_loaded + report.checkpoints_persisted + report.goldens_loaded +
           report.goldens_persisted >
@@ -279,7 +311,8 @@ void CsvSink::cell(const CellResult& result) {
        << row.tally.count(core::Outcome::Crash) << ',' << row.faults_not_fired << ','
        << row.chunks_allocated << ',' << row.chunk_detaches << ','
        << row.cow_bytes_copied << ',' << row.arena_slabs_allocated << ','
-       << row.arena_bytes_recycled << ',' << format_ms(row.execute_ms) << ','
+       << row.arena_bytes_recycled << ',' << row.sectors_faulted << ','
+       << row.crc_detected << ',' << format_ms(row.execute_ms) << ','
        << format_ms(row.analyze_ms) << ',' << row.analyze_skipped << ','
        << (row.golden_cached ? 1 : 0) << ',' << (row.checkpointed ? 1 : 0) << ','
        << (row.checkpoint_loaded ? 1 : 0) << ',' << csv_escape(row.worker_id) << ','
@@ -307,6 +340,8 @@ void JsonlSink::cell(const CellResult& result) {
        << ",\"chunk_detaches\":" << row.chunk_detaches << ",\"cow_bytes_copied\":"
        << row.cow_bytes_copied << ",\"arena_slabs_allocated\":" << row.arena_slabs_allocated
        << ",\"arena_bytes_recycled\":" << row.arena_bytes_recycled
+       << ",\"sectors_faulted\":" << row.sectors_faulted
+       << ",\"crc_detected\":" << row.crc_detected
        << ",\"execute_ms\":" << format_ms(row.execute_ms)
        << ",\"analyze_ms\":" << format_ms(row.analyze_ms)
        << ",\"analyze_skipped\":" << row.analyze_skipped << ",\"golden_cached\":"
@@ -341,9 +376,10 @@ void MultiSink::end(const ExperimentReport& report) {
 namespace {
 
 SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
-  // 26 fields is the current layout; 24 the distributed era (no arena
-  // columns); 23 the persistent-checkpoint era (no worker_id column either);
-  // 22 the diff-classification era (no checkpoint_loaded column); 19 the
+  // 28 fields is the current layout; 26 the arena era (no media-layer
+  // columns); 24 the distributed era (no arena columns either); 23 the
+  // persistent-checkpoint era (no worker_id column); 22 the
+  // diff-classification era (no checkpoint_loaded column); 19 the
   // extent-store era (no phase timers); 16 the pre-extent-store era (no
   // storage-traffic columns) — absent columns default to 0/empty.  The
   // document's header decides which applies: a row whose count disagrees
@@ -353,7 +389,8 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
                                : gen == CsvGeneration::Timed22  ? 22
                                : gen == CsvGeneration::Persist23 ? 23
                                : gen == CsvGeneration::Dist24   ? 24
-                                                                 : 26;
+                               : gen == CsvGeneration::Arena26  ? 26
+                                                                 : 28;
   if (f.size() != expected) {
     throw std::invalid_argument("CSV record has " + std::to_string(f.size()) +
                                 " fields, expected " + std::to_string(expected));
@@ -378,9 +415,13 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
     row.chunk_detaches = parse_u64(f[i++], "chunk_detaches");
     row.cow_bytes_copied = parse_u64(f[i++], "cow_bytes_copied");
   }
-  if (gen == CsvGeneration::Arena26) {
+  if (gen == CsvGeneration::Arena26 || gen == CsvGeneration::Media28) {
     row.arena_slabs_allocated = parse_u64(f[i++], "arena_slabs_allocated");
     row.arena_bytes_recycled = parse_u64(f[i++], "arena_bytes_recycled");
+  }
+  if (gen == CsvGeneration::Media28) {
+    row.sectors_faulted = parse_u64(f[i++], "sectors_faulted");
+    row.crc_detected = parse_u64(f[i++], "crc_detected");
   }
   if (gen != CsvGeneration::Legacy16 && gen != CsvGeneration::Extent19) {
     row.execute_ms = parse_ms(f[i++], "execute_ms");
@@ -393,7 +434,8 @@ SinkRow row_from_fields(const std::vector<std::string>& f, CsvGeneration gen) {
       gen != CsvGeneration::Timed22) {
     row.checkpoint_loaded = parse_u64(f[i++], "checkpoint_loaded") != 0;
   }
-  if (gen == CsvGeneration::Dist24 || gen == CsvGeneration::Arena26) {
+  if (gen == CsvGeneration::Dist24 || gen == CsvGeneration::Arena26 ||
+      gen == CsvGeneration::Media28) {
     row.worker_id = f[i++];
   }
   row.error = f[i];
@@ -533,7 +575,7 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
   std::string line;
   std::string record;
   bool saw_header = false;
-  CsvGeneration gen = CsvGeneration::Arena26;
+  CsvGeneration gen = CsvGeneration::Media28;
   while (std::getline(in, line)) {
     if (record.empty()) {
       if (line.empty() || line == "\r") continue;
@@ -548,6 +590,8 @@ std::vector<SinkRow> read_csv_results(std::istream& in) {
     if (record.back() == '\r') record.pop_back();
     if (!saw_header) {
       if (record == kCsvHeader) {
+        gen = CsvGeneration::Media28;
+      } else if (record == kArenaCsvHeader) {
         gen = CsvGeneration::Arena26;
       } else if (record == kDistCsvHeader) {
         gen = CsvGeneration::Dist24;
@@ -601,6 +645,8 @@ std::vector<SinkRow> read_jsonl_results(std::istream& in) {
     row.cow_bytes_copied = obj.u64_or_zero("cow_bytes_copied");
     row.arena_slabs_allocated = obj.u64_or_zero("arena_slabs_allocated");
     row.arena_bytes_recycled = obj.u64_or_zero("arena_bytes_recycled");
+    row.sectors_faulted = obj.u64_or_zero("sectors_faulted");
+    row.crc_detected = obj.u64_or_zero("crc_detected");
     row.execute_ms = obj.ms_or_zero("execute_ms");
     row.analyze_ms = obj.ms_or_zero("analyze_ms");
     row.analyze_skipped = obj.u64_or_zero("analyze_skipped");

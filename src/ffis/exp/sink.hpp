@@ -115,6 +115,8 @@ struct SinkRow {
   std::uint64_t cow_bytes_copied = 0;  ///< bytes copied by COW, summed over runs
   std::uint64_t arena_slabs_allocated = 0;  ///< fresh arena slabs, summed over runs
   std::uint64_t arena_bytes_recycled = 0;   ///< bytes from rewound slabs, summed
+  std::uint64_t sectors_faulted = 0;  ///< sectors corrupted by the block device
+  std::uint64_t crc_detected = 0;     ///< scrub rejections (CRC/LSE), summed
   double execute_ms = 0.0;             ///< workload thread-time, summed over runs
   double analyze_ms = 0.0;             ///< classification thread-time, summed
   std::uint64_t analyze_skipped = 0;   ///< runs Benign straight from the extent diff

@@ -18,6 +18,20 @@
 //                    throws the I/O errors and leaves the handling to the
 //                    application").
 //
+// Four further models fail *below* the file-system call boundary, at sector
+// granularity on the block device (see vfs::BlockDevice and
+// faults/media_faults.hpp — FaultingFs never sees them):
+//
+//  * TORN_SECTOR          — one sector of a write is only partially
+//                           programmed; the tail keeps stale media content.
+//  * LATENT_SECTOR_ERROR  — a written sector decays unreadable; scrub-on-read
+//                           reports EIO, otherwise garbage flows upward.
+//  * MISDIRECTED_WRITE    — one sector's data lands at the wrong sector of
+//                           the file; both sectors fail their stored CRCs.
+//  * BIT_ROT              — `width` (default 1) consecutive bits decay after
+//                           a successful write; per-sector CRCs catch it on
+//                           read when scrubbing is enabled.
+//
 // `apply_to_write` is a pure function from (spec, rng, buffer) to a mutation
 // plan, so fault behaviour is unit-testable independent of any file system.
 
@@ -31,7 +45,18 @@
 
 namespace ffis::faults {
 
-enum class FaultModel : std::uint8_t { BitFlip, ShornWrite, DroppedWrite, IoError };
+enum class FaultModel : std::uint8_t {
+  // Syscall-level models (hosted by FaultingFs).
+  BitFlip,
+  ShornWrite,
+  DroppedWrite,
+  IoError,
+  // Media-level models (hosted by vfs::BlockDevice beneath the write path).
+  TornSector,
+  LatentSectorError,
+  MisdirectedWrite,
+  BitRot,
+};
 
 [[nodiscard]] std::string_view fault_model_name(FaultModel m) noexcept;
 [[nodiscard]] FaultModel parse_fault_model(std::string_view name);
@@ -57,6 +82,18 @@ struct BitFlipSpec {
   /// Number of consecutive bits flipped (paper default: 2; footnote 3
   /// ablates 4).
   std::uint32_t width = 2;
+};
+
+/// Parameters shared by the four media-level models (see
+/// faults/media_faults.hpp for the device bridge).
+struct MediaSpec {
+  /// Device sector size in bytes; 512 or 4096 only.
+  std::uint32_t sector_bytes = 512;
+  /// Verify per-sector CRCs on read (CRC mismatch ⇒ Detected); off routes
+  /// the corruption to the Sdc/Benign classifier.
+  bool scrub_on_read = true;
+  /// BIT_ROT: number of consecutive bits that decay.
+  std::uint32_t width = 1;
 };
 
 struct ShornSpec {

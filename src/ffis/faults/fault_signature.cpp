@@ -1,9 +1,65 @@
 #include "ffis/faults/fault_signature.hpp"
 
-#include "ffis/util/strfmt.hpp"
+#include <cctype>
 #include <stdexcept>
 
+#include "ffis/util/strfmt.hpp"
+
 namespace ffis::faults {
+
+namespace {
+
+[[nodiscard]] bool media_model(FaultModel m) noexcept {
+  switch (m) {
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Strict unsigned parse for a feature value; the error names the offending
+/// key and token.
+std::uint32_t parse_u32_feature(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw std::invalid_argument("fault signature: feature '" + key +
+                                "' has an empty value");
+  }
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("fault signature: feature '" + key +
+                                  "' needs an unsigned integer, got '" + value + "'");
+    }
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    if (out > 0xFFFFFFFFull) {
+      throw std::invalid_argument("fault signature: feature '" + key + "' value '" +
+                                  value + "' does not fit 32 bits");
+    }
+  }
+  return static_cast<std::uint32_t>(out);
+}
+
+bool parse_scrub(const std::string& value) {
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  throw std::invalid_argument("fault signature: feature 'scrub' must be on/off, got '" +
+                              value + "'");
+}
+
+std::uint32_t parse_sector_bytes(const std::string& value) {
+  const std::uint32_t sector = parse_u32_feature("sector", value);
+  if (sector != 512 && sector != 4096) {
+    throw std::invalid_argument(
+        "fault signature: feature 'sector' must be 512 or 4096, got '" + value + "'");
+  }
+  return sector;
+}
+
+}  // namespace
 
 std::string FaultSignature::to_string() const {
   std::string feature;
@@ -21,6 +77,16 @@ std::string FaultSignature::to_string() const {
       break;
     case FaultModel::IoError:
       // The primitive fails with EIO: no feature parameters.
+      break;
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+      feature = util::fmt("sector={},scrub={}", media.sector_bytes,
+                          media.scrub_on_read ? "on" : "off");
+      break;
+    case FaultModel::BitRot:
+      feature = util::fmt("sector={},scrub={},width={}", media.sector_bytes,
+                          media.scrub_on_read ? "on" : "off", media.width);
       break;
   }
   // Built by concatenation: util::fmt has no escape for literal braces.
@@ -45,6 +111,7 @@ FaultSignature parse_fault_signature(const std::string& text) {
     rest = text.substr(at + 1);
   }
   sig.model = parse_fault_model(model_part);
+  const bool media = media_model(sig.model);
 
   if (!rest.empty()) {
     std::string primitive_part = rest;
@@ -66,23 +133,55 @@ FaultSignature parse_fault_signature(const std::string& text) {
       if (eq == std::string::npos) throw std::invalid_argument("bad feature item: " + item);
       const std::string key = item.substr(0, eq);
       const std::string value = item.substr(eq + 1);
+      // Keys resolve against the parsed model: `sector` sizes the shorn
+      // device granularity for SHORN_WRITE but the media sector grid for
+      // media models; `width` is flipped bits (BIT_FLIP) vs decayed bits
+      // (BIT_ROT).
       if (key == "width") {
-        sig.bit_flip.width = static_cast<std::uint32_t>(std::stoul(value));
-      } else if (key == "completed") {
-        sig.shorn.completed_eighths = static_cast<std::uint32_t>(std::stoul(value));  // "7/8" -> 7
-      } else if (key == "tail") {
+        if (media) {
+          sig.media.width = parse_u32_feature(key, value);
+        } else {
+          sig.bit_flip.width = parse_u32_feature(key, value);
+        }
+      } else if (key == "sector") {
+        if (media) {
+          sig.media.sector_bytes = parse_sector_bytes(value);
+        } else {
+          sig.shorn.sector_bytes = parse_u32_feature(key, value);
+        }
+      } else if (key == "scrub" && media) {
+        sig.media.scrub_on_read = parse_scrub(value);
+      } else if (key == "completed" && !media) {
+        // Accepts "7" or the paper's "7/8" rendering.
+        std::string numerator = value;
+        if (const auto slash = value.find('/'); slash != std::string::npos) {
+          if (value.substr(slash) != "/8") {
+            throw std::invalid_argument(
+                "fault signature: feature 'completed' must be N or N/8, got '" + value +
+                "'");
+          }
+          numerator = value.substr(0, slash);
+        }
+        sig.shorn.completed_eighths = parse_u32_feature(key, numerator);
+      } else if (key == "tail" && !media) {
         if (value == "adjacent-data") sig.shorn.tail = ShornTail::AdjacentData;
         else if (value == "garbage") sig.shorn.tail = ShornTail::Garbage;
         else if (value == "stale") sig.shorn.tail = ShornTail::Stale;
         else throw std::invalid_argument("bad tail mode: " + value);
-      } else if (key == "sector") {
-        sig.shorn.sector_bytes = static_cast<std::uint32_t>(std::stoul(value));
-      } else if (key == "block") {
-        sig.shorn.block_bytes = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "block" && !media) {
+        sig.shorn.block_bytes = parse_u32_feature(key, value);
       } else {
         throw std::invalid_argument("unknown feature key: " + key);
       }
     }
+  }
+
+  if (media && sig.primitive != vfs::Primitive::Pwrite) {
+    // The block device sits beneath the data write path only.
+    throw std::invalid_argument("fault signature: media-level model " +
+                                std::string(fault_model_name(sig.model)) +
+                                " must host on pwrite, got '" +
+                                std::string(vfs::primitive_name(sig.primitive)) + "'");
   }
   return sig;
 }

@@ -18,6 +18,9 @@ struct FaultSignature {
   vfs::Primitive primitive = vfs::Primitive::Pwrite;
   BitFlipSpec bit_flip{};
   ShornSpec shorn{};
+  /// Media-level models only (TORN_SECTOR / LATENT_SECTOR_ERROR /
+  /// MISDIRECTED_WRITE / BIT_ROT): device geometry and scrub toggle.
+  MediaSpec media{};
 
   /// Renders e.g. "BIT_FLIP@pwrite{width=2}".
   [[nodiscard]] std::string to_string() const;

@@ -1,5 +1,7 @@
 #include "ffis/faults/faulting_fs.hpp"
 
+#include <stdexcept>
+
 #include "ffis/util/logging.hpp"
 
 namespace ffis::faults {
@@ -11,6 +13,19 @@ void FaultingFs::configure(const FaultSignature& signature) {
 
 void FaultingFs::arm(const FaultSignature& signature, std::uint64_t target_instance,
                      std::uint64_t seed) {
+  switch (signature.model) {
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      // Media-level models inject beneath this decorator; arm the run's
+      // vfs::BlockDevice instead (core::FaultInjector does).
+      throw std::logic_error("FaultingFs: media-level model " +
+                             std::string(fault_model_name(signature.model)) +
+                             " cannot be armed at the syscall layer");
+    default:
+      break;
+  }
   std::lock_guard lock(mutex_);
   signature_ = signature;
   rng_ = util::Rng(seed);
@@ -72,6 +87,12 @@ std::size_t FaultingFs::pwrite(vfs::FileHandle fh, util::ByteSpan buf, std::uint
       record_.corrupted_bytes = 0;
       throw vfs::VfsError(vfs::VfsError::Code::IoError,
                           "injected I/O error on pwrite (device failure detected)");
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      // Unreachable: arm() rejects media models.  Forward untouched.
+      return PassthroughFs::pwrite(fh, buf, offset);
   }
 
   record_.flipped_bit = mut.flipped_bit;
@@ -141,6 +162,11 @@ std::size_t FaultingFs::pread(vfs::FileHandle fh, util::MutableByteSpan buf,
     }
     case FaultModel::IoError:
       break;  // handled above, before the backing read
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      break;  // unreachable: arm() rejects media models
   }
   return got;
 }
@@ -170,6 +196,11 @@ void FaultingFs::mknod(const std::string& path, std::uint32_t mode) {
     case FaultModel::IoError:
       throw vfs::VfsError(vfs::VfsError::Code::IoError,
                           "injected I/O error on mknod: " + path);
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      break;  // unreachable: arm() rejects media models
   }
   record_.corrupted_bytes = (corrupted == mode) ? 0 : 1;
   PassthroughFs::mknod(path, corrupted);
@@ -198,6 +229,11 @@ void FaultingFs::chmod(const std::string& path, std::uint32_t mode) {
     case FaultModel::IoError:
       throw vfs::VfsError(vfs::VfsError::Code::IoError,
                           "injected I/O error on chmod: " + path);
+    case FaultModel::TornSector:
+    case FaultModel::LatentSectorError:
+    case FaultModel::MisdirectedWrite:
+    case FaultModel::BitRot:
+      break;  // unreachable: arm() rejects media models
   }
   record_.corrupted_bytes = (corrupted == mode) ? 0 : 1;
   PassthroughFs::chmod(path, corrupted);

@@ -22,6 +22,7 @@
 
 #include "ffis/faults/fault_signature.hpp"
 #include "ffis/util/rng.hpp"
+#include "ffis/vfs/block_device.hpp"
 #include "ffis/vfs/passthrough_fs.hpp"
 
 namespace ffis::faults {
@@ -55,9 +56,24 @@ class FaultingFs final : public vfs::PassthroughFs {
   /// Disarms; counting continues.
   void disarm() noexcept;
 
-  /// Gates instrumentation entirely (counting + injection).
-  void set_enabled(bool enabled) noexcept { enabled_.store(enabled, std::memory_order_relaxed); }
+  /// Gates instrumentation entirely (counting + injection).  A gated media
+  /// device (gate_media) follows the same window, so stage-scoped campaigns
+  /// scope sector-write counting exactly like primitive counting.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+    if (media_gate_ != nullptr) media_gate_->set_enabled(enabled);
+  }
   [[nodiscard]] bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Slaves a run's vfs::BlockDevice to this instrument's enable gate.  The
+  /// device injects *beneath* this decorator (its faults are invisible
+  /// here); only the stage-scoping window is shared, via the existing
+  /// RunContext::enter_stage / leave_stage plumbing.  Pass nullptr to
+  /// detach.  The device must outlive the gate.
+  void gate_media(vfs::BlockDevice* device) noexcept {
+    media_gate_ = device;
+    if (media_gate_ != nullptr) media_gate_->set_enabled(enabled());
+  }
 
   /// Dynamic executions of the target primitive observed so far (only while
   /// enabled).
@@ -86,6 +102,7 @@ class FaultingFs final : public vfs::PassthroughFs {
   bool step(vfs::Primitive p) noexcept;
 
   std::atomic<bool> enabled_{true};
+  vfs::BlockDevice* media_gate_ = nullptr;  ///< see gate_media()
   std::atomic<std::uint64_t> executions_{0};
   std::atomic<bool> armed_{false};
   std::atomic<bool> fired_{false};

@@ -79,6 +79,8 @@ struct FsStats {
   std::uint64_t bytes_read = 0;         ///< bytes returned by those preads
   std::uint64_t arena_slabs_allocated = 0;  ///< fresh ExtentArena slabs malloc'd
   std::uint64_t arena_bytes_recycled = 0;   ///< bytes served from recycled slabs
+  std::uint64_t sectors_faulted = 0;  ///< sectors corrupted by vfs::BlockDevice
+  std::uint64_t crc_detected = 0;     ///< scrub-on-read CRC/LSE rejections
 };
 
 class ExtentStore {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "ffis/vfs/block_device.hpp"
+
 namespace ffis::vfs {
 
 MemFs::MemFs(Options options)
@@ -51,6 +53,7 @@ void MemFs::reset_from(const MemFs& base) {
   chunk_size_for_ = base.chunk_size_for_;
   handles_.clear();
   stats_ = FsStats{};
+  media_.reset();  // a block device is strictly per-run state
   // Merge-walk both sorted node tables: copy-assign into Nodes whose path
   // survives (reuses the Node allocation and the map node), create the
   // missing, erase the stale.  In steady state — resetting repeatedly from
@@ -76,7 +79,13 @@ void MemFs::reset_from(const MemFs& base) {
 void MemFs::drop_payloads() {
   Guard lock(maybe_mutex());
   handles_.clear();
+  media_.reset();  // a block device is strictly per-run state
   for (auto& [path, node] : nodes_) node->data.clear();
+}
+
+void MemFs::set_media(std::shared_ptr<BlockDevice> device) {
+  Guard lock(maybe_mutex());
+  media_ = std::move(device);
 }
 
 std::string MemFs::normalize(const std::string& path) {
@@ -131,6 +140,9 @@ FileHandle MemFs::open(const std::string& raw_path, OpenMode mode) {
       it = nodes_.emplace(path, make_node(path)).first;
     } else if (mode == OpenMode::Write) {
       it->second->data.clear();  // truncate; dropping the extent refs is COW-free
+      if (media_ != nullptr && media_->has_faulted_sectors()) {
+        media_->on_truncate(it->second.get(), it->second->data, stats_);
+      }
     }
   }
   for (std::size_t i = 0; i < handles_.size(); ++i) {
@@ -156,6 +168,11 @@ std::size_t MemFs::pread(FileHandle fh, util::MutableByteSpan buf, std::uint64_t
   const std::size_t n = of.node->data.read(offset, buf);
   ++stats_.pread_calls;
   stats_.bytes_read += n;
+  // Scrub-on-read: verify registered sector CRCs under the returned range.
+  // has_faulted_sectors() keeps the clean fast path to one branch.
+  if (media_ != nullptr && media_->has_faulted_sectors() && n > 0) {
+    media_->check_read(of.node.get(), of.node->data, offset, n, stats_);
+  }
   return n;
 }
 
@@ -165,7 +182,13 @@ std::size_t MemFs::pwrite(FileHandle fh, util::ByteSpan buf, std::uint64_t offse
   if (of.mode == OpenMode::Read) {
     throw VfsError(VfsError::Code::InvalidArgument, "pwrite on read-only handle");
   }
-  of.node->data.write(offset, buf, stats_, arena_.get());
+  if (media_ != nullptr) {
+    // Beneath the write path: the device may deviate at one sector (an armed
+    // media fault), invisibly to FaultingFs and every other decorator above.
+    media_->apply_write(of.node, of.node->data, offset, buf, stats_, arena_.get());
+  } else {
+    of.node->data.write(offset, buf, stats_, arena_.get());
+  }
   return buf.size();
 }
 
@@ -191,6 +214,9 @@ void MemFs::truncate(const std::string& raw_path, std::uint64_t size) {
   Node& node = node_at(path);
   if (node.is_dir) throw VfsError(VfsError::Code::IsDirectory, path + " is a directory");
   node.data.resize(size, stats_, arena_.get());
+  if (media_ != nullptr && media_->has_faulted_sectors()) {
+    media_->on_truncate(&node, node.data, stats_);
+  }
 }
 
 void MemFs::ftruncate(FileHandle fh, std::uint64_t size) {
@@ -200,6 +226,9 @@ void MemFs::ftruncate(FileHandle fh, std::uint64_t size) {
     throw VfsError(VfsError::Code::InvalidArgument, "ftruncate on read-only handle");
   }
   of.node->data.resize(size, stats_, arena_.get());
+  if (media_ != nullptr && media_->has_faulted_sectors()) {
+    media_->on_truncate(of.node.get(), of.node->data, stats_);
+  }
 }
 
 void MemFs::unlink(const std::string& raw_path) {

@@ -47,6 +47,8 @@
 
 namespace ffis::vfs {
 
+class BlockDevice;
+
 class MemFs final : public FileSystem {
  public:
   enum class Concurrency : std::uint8_t {
@@ -171,6 +173,19 @@ class MemFs final : public FileSystem {
   /// The arena backing this fs's writes (null when heap-backed).
   [[nodiscard]] const std::shared_ptr<ExtentArena>& arena() const noexcept { return arena_; }
 
+  /// Attaches a sector-granular block device *beneath* the write path: every
+  /// pwrite routes through BlockDevice::apply_write (where an armed media
+  /// fault deviates at one sector, invisibly to any FileSystem decorator
+  /// above), reads verify registered sector CRCs when the device scrubs, and
+  /// truncation reconciles the faulted-sector registry.  Per-run wiring:
+  /// core::FaultInjector attaches a fresh device per injection run;
+  /// drop_payloads()/reset_from() detach it, so pooled run stores never leak
+  /// a device across runs.  Null detaches.  Forks never inherit the device.
+  void set_media(std::shared_ptr<BlockDevice> device);
+  [[nodiscard]] const std::shared_ptr<BlockDevice>& media() const noexcept {
+    return media_;
+  }
+
  private:
   struct Node {
     /// COW payload; chunks are shared across forks until a writer detaches
@@ -242,6 +257,7 @@ class MemFs final : public FileSystem {
   std::size_t chunk_size_ = ExtentStore::kDefaultChunkSize;
   std::function<std::size_t(const std::string&)> chunk_size_for_;
   std::shared_ptr<ExtentArena> arena_;
+  std::shared_ptr<BlockDevice> media_;  ///< run-private; see set_media()
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Node>> nodes_;
   std::vector<OpenFile> handles_;

@@ -237,8 +237,14 @@ void expect_reports_identical(const exp::ExperimentReport& dist_report,
     EXPECT_EQ(d.chunks_allocated, e.chunks_allocated);
     EXPECT_EQ(d.chunk_detaches, e.chunk_detaches);
     EXPECT_EQ(d.cow_bytes_copied, e.cow_bytes_copied);
+    EXPECT_EQ(d.sectors_faulted, e.sectors_faulted);
+    EXPECT_EQ(d.crc_detected, e.crc_detected);
+    EXPECT_EQ(d.detected_crc, e.detected_crc);
     EXPECT_EQ(d.error, e.error);
   }
+  EXPECT_EQ(dist_report.sectors_faulted, engine_report.sectors_faulted);
+  EXPECT_EQ(dist_report.crc_detected, engine_report.crc_detected);
+  EXPECT_EQ(dist_report.detected_crc, engine_report.detected_crc);
 }
 
 // --- shard_plan --------------------------------------------------------------
@@ -524,6 +530,42 @@ TEST(DistE2E, TwoWorkersMatchEngineTalliesBitForBit) {
     fleet_runs += w.runs_executed;
   }
   EXPECT_EQ(fleet_runs, plan.total_runs());
+}
+
+TEST(DistE2E, MediaFaultCellsTallyBitIdenticallyAcrossTheFleet) {
+  // A grid mixing syscall-level and media-level cells: the v4 RunRow media
+  // trailer must carry sectors_faulted / crc_detected so the coordinator
+  // rebuilds the Detected-split counters bit-identically to a local engine
+  // run — including detected_crc, which it recomputes per row.
+  ToyApp a;
+  const auto plan = exp::PlanBuilder()
+                        .runs(24)
+                        .seed(17)
+                        .apps({&a})
+                        .faults({"BF", "BIT_ROT@pwrite{sector=512,scrub=on,width=1}",
+                                 "TORN_SECTOR@pwrite{sector=512,scrub=off}"})
+                        .build();
+
+  exp::EngineOptions engine_options;
+  engine_options.threads = 1;
+  const auto serial = exp::Engine(engine_options).run(plan);
+
+  dist::CoordinatorOptions options;
+  options.unit_runs = 6;
+  const auto dist_run = run_distributed(plan, /*n_workers=*/2, options);
+  expect_reports_identical(dist_run.report, serial);
+
+  // The media cells actually exercised the device on the workers: the
+  // scrubbed BIT_ROT cell detected rots, the unscrubbed TORN cell faulted
+  // sectors without a single CRC rejection.
+  const auto& rot = dist_run.report.cells[1];
+  EXPECT_GT(rot.sectors_faulted, 0u);
+  EXPECT_GT(rot.crc_detected, 0u);
+  EXPECT_EQ(rot.detected_crc, rot.tally.count(Outcome::Detected));
+  const auto& torn = dist_run.report.cells[2];
+  EXPECT_GT(torn.sectors_faulted, 0u);
+  EXPECT_EQ(torn.crc_detected, 0u);
+  EXPECT_EQ(torn.detected_crc, 0u);
 }
 
 TEST(DistE2E, WorkerDeathMidUnitRegrantsWithoutDoubleCounting) {

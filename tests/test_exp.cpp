@@ -79,6 +79,39 @@ class ToyApp final : public core::Application {
   mutable std::atomic<std::uint64_t> total_runs_{0};
 };
 
+// A write-once, sector-aligned workload for the media-fault corruption
+// oracle: each 512 B sector is written exactly once, so a media fault is
+// never healed (full rewrite) or laundered (partial overwrite) by later
+// writes — whatever the device corrupted is still corrupt at analysis time.
+// classify() is Sdc-only: with scrubbing off the corruption always escapes
+// silently, which makes the Detected/Sdc split a pure function of the scrub
+// flag.
+class SectorApp final : public core::Application {
+ public:
+  [[nodiscard]] std::string name() const override { return "sectorapp"; }
+
+  void run(const core::RunContext& ctx) const override {
+    vfs::File f(ctx.fs, "/blocks", vfs::OpenMode::Write);
+    util::Rng rng(ctx.app_seed);
+    for (std::uint64_t sector = 0; sector < 4; ++sector) {
+      util::Bytes chunk(512);
+      for (auto& b : chunk) b = static_cast<std::byte>(rng() & 0xff);
+      f.pwrite(chunk, sector * 512);
+    }
+  }
+
+  [[nodiscard]] core::AnalysisResult analyze(vfs::FileSystem& fs) const override {
+    core::AnalysisResult result;
+    result.comparison_blob = vfs::read_file(fs, "/blocks");
+    return result;
+  }
+
+  [[nodiscard]] Outcome classify(const core::AnalysisResult&,
+                                 const core::AnalysisResult&) const override {
+    return Outcome::Sdc;
+  }
+};
+
 // An application that performs no I/O at all: every fault signature fails to
 // profile, so every cell errors out.
 class SilentApp final : public core::Application {
@@ -290,6 +323,108 @@ TEST(Engine, ArenaRecyclingIsBitIdenticalAcrossThreadsAndFlag) {
   EXPECT_EQ(reports[0].arena_slabs_allocated + reports[1].arena_slabs_allocated, 0u);
   EXPECT_GT(reports[2].arena_bytes_recycled, 0u);
   EXPECT_GT(reports[3].arena_bytes_recycled, 0u);
+}
+
+TEST(Engine, MediaFaultOracleScrubOnDetectsEveryRun) {
+  // Corruption oracle: a known single-bit BIT_ROT beneath the write path of
+  // a write-once workload.  With scrubbing on, every fired rot is caught by
+  // the per-sector CRC (a 1-bit error never escapes CRC32), so every run
+  // classifies Detected via the crc_detected override — at any thread
+  // count, bit-identically.
+  SectorApp app;
+  std::vector<exp::ExperimentReport> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::PlanBuilder builder;
+    builder.runs(24).seed(77);
+    builder.cell(app, "BIT_ROT@pwrite{sector=512,scrub=on,width=1}");
+    exp::EngineOptions options;
+    options.threads = threads;
+    reports.push_back(exp::Engine(options).run(builder.build()));
+  }
+  for (const auto& report : reports) {
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& cell = report.cells[0];
+    ASSERT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_EQ(cell.tally.count(Outcome::Detected), 24u);
+    EXPECT_EQ(cell.faults_not_fired, 0u);
+    EXPECT_EQ(cell.sectors_faulted, 24u);  // one rotted sector per run
+    EXPECT_EQ(cell.detected_crc, 24u);     // every Detected came from scrub
+    EXPECT_GE(cell.crc_detected, 24u);     // >= one rejection per run
+    // primitive_count is the profiled sector-write count: four sector-
+    // aligned 512 B writes.
+    EXPECT_EQ(cell.primitive_count, 4u);
+  }
+  // Bit-identical across thread counts, media counters included.
+  EXPECT_EQ(reports[0].cells[0].crc_detected, reports[1].cells[0].crc_detected);
+  EXPECT_EQ(reports[0].cells[0].sectors_faulted, reports[1].cells[0].sectors_faulted);
+  EXPECT_EQ(reports[0].cells[0].detected_crc, reports[1].cells[0].detected_crc);
+  EXPECT_EQ(reports[0].detected_crc, reports[1].detected_crc);
+}
+
+TEST(Engine, MediaFaultOracleScrubOffFlowsToClassifier) {
+  // The same rot with scrubbing off: the corrupt bytes flow to the
+  // application and the outcome comes from the extent-diff classifier.
+  // SectorApp has no detection of its own, so every fired rot escapes as
+  // silent data corruption — never a CRC detection, never a crash.
+  SectorApp app;
+  std::vector<exp::ExperimentReport> reports;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    exp::PlanBuilder builder;
+    builder.runs(24).seed(77);
+    builder.cell(app, "BIT_ROT@pwrite{sector=512,scrub=off,width=1}");
+    exp::EngineOptions options;
+    options.threads = threads;
+    reports.push_back(exp::Engine(options).run(builder.build()));
+  }
+  for (const auto& report : reports) {
+    ASSERT_EQ(report.cells.size(), 1u);
+    const auto& cell = report.cells[0];
+    ASSERT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_EQ(cell.crc_detected, 0u);
+    EXPECT_EQ(cell.detected_crc, 0u);
+    EXPECT_EQ(cell.sectors_faulted, 24u);
+    EXPECT_EQ(cell.tally.count(Outcome::Crash), 0u);
+    EXPECT_EQ(cell.tally.count(Outcome::Sdc), 24u);  // silent corruption escaped
+  }
+  for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+    EXPECT_EQ(reports[0].cells[0].tally.count(static_cast<Outcome>(o)),
+              reports[1].cells[0].tally.count(static_cast<Outcome>(o)))
+        << "outcome " << o;
+  }
+}
+
+TEST(Engine, SyscallCellsAreBitIdenticalWithForceBlockDevice) {
+  // force_block_device routes every run of every cell through an unarmed
+  // BlockDevice (the A/B probe for the fast-path overhead gate).  An unarmed
+  // device must be observationally inert: identical tallies AND identical
+  // storage counters on a pure syscall-model grid.
+  ToyApp app;
+  std::vector<exp::ExperimentReport> reports;
+  for (const bool force : {false, true}) {
+    exp::EngineOptions options;
+    options.threads = 2;
+    options.force_block_device = force;
+    reports.push_back(exp::Engine(options).run(toy_grid(app, 32, 123)));
+  }
+  ASSERT_EQ(reports[0].cells.size(), reports[1].cells.size());
+  for (std::size_t i = 0; i < reports[0].cells.size(); ++i) {
+    const auto& off = reports[0].cells[i];
+    const auto& on = reports[1].cells[i];
+    for (std::size_t o = 0; o < core::kOutcomeCount; ++o) {
+      EXPECT_EQ(off.tally.count(static_cast<Outcome>(o)),
+                on.tally.count(static_cast<Outcome>(o)))
+          << "cell " << i << " outcome " << o;
+    }
+    EXPECT_EQ(off.primitive_count, on.primitive_count) << "cell " << i;
+    EXPECT_EQ(off.faults_not_fired, on.faults_not_fired) << "cell " << i;
+    EXPECT_EQ(off.chunks_allocated, on.chunks_allocated) << "cell " << i;
+    EXPECT_EQ(off.chunk_detaches, on.chunk_detaches) << "cell " << i;
+    EXPECT_EQ(off.cow_bytes_copied, on.cow_bytes_copied) << "cell " << i;
+    EXPECT_EQ(off.analyze_skipped, on.analyze_skipped) << "cell " << i;
+    // A passive device never faults a sector, let alone detects one.
+    EXPECT_EQ(on.sectors_faulted, 0u) << "cell " << i;
+    EXPECT_EQ(on.crc_detected, 0u) << "cell " << i;
+  }
 }
 
 TEST(Engine, MultiCellRunMatchesSequentialPerCellInjection) {
@@ -624,6 +759,144 @@ TEST(Sinks, ReadersAcceptTimedEraFilesWithoutCheckpointLoadedColumn) {
   ASSERT_EQ(jsonl_rows.size(), 1u);
   EXPECT_EQ(jsonl_rows[0].analyze_skipped, 6u);
   EXPECT_FALSE(jsonl_rows[0].checkpoint_loaded);
+}
+
+TEST(Sinks, ReadersAcceptPersistDistAndArenaEraFiles) {
+  // One fixture per archived generation between the timed era and today.
+  // Persist era (23 columns): checkpoint_loaded but no worker_id.
+  const std::string persist_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+      "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+      "golden_cached,checkpointed,checkpoint_loaded,error\n"
+      "0,PR5-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,12.5000,3.2500,6,1,1,1,\n";
+  std::istringstream persist_in(persist_csv);
+  const auto persist_rows = exp::read_csv_results(persist_in);
+  ASSERT_EQ(persist_rows.size(), 1u);
+  EXPECT_EQ(persist_rows[0].label, "PR5-BF");
+  EXPECT_TRUE(persist_rows[0].checkpoint_loaded);
+  EXPECT_TRUE(persist_rows[0].worker_id.empty());
+  EXPECT_EQ(persist_rows[0].sectors_faulted, 0u);
+
+  // Distributed era (24 columns): worker_id but no arena columns.
+  const std::string dist_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+      "cow_bytes_copied,execute_ms,analyze_ms,analyze_skipped,"
+      "golden_cached,checkpointed,checkpoint_loaded,worker_id,error\n"
+      "0,PR6-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,12.5000,3.2500,6,1,1,1,1+2,\n";
+  std::istringstream dist_in(dist_csv);
+  const auto dist_rows = exp::read_csv_results(dist_in);
+  ASSERT_EQ(dist_rows.size(), 1u);
+  EXPECT_EQ(dist_rows[0].worker_id, "1+2");
+  EXPECT_EQ(dist_rows[0].arena_slabs_allocated, 0u);
+  EXPECT_EQ(dist_rows[0].crc_detected, 0u);
+
+  // Arena era (26 columns): arena traffic but no media-layer columns.
+  const std::string arena_csv =
+      "index,label,application,fault,stage,runs,seed,primitive_count,"
+      "benign,detected,sdc,crash,faults_not_fired,chunks_allocated,chunk_detaches,"
+      "cow_bytes_copied,arena_slabs_allocated,arena_bytes_recycled,"
+      "execute_ms,analyze_ms,analyze_skipped,"
+      "golden_cached,checkpointed,checkpoint_loaded,worker_id,error\n"
+      "0,PR8-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,5,65536,12.5000,3.2500,6,"
+      "1,1,1,3,\n";
+  std::istringstream arena_in(arena_csv);
+  const auto arena_rows = exp::read_csv_results(arena_in);
+  ASSERT_EQ(arena_rows.size(), 1u);
+  EXPECT_EQ(arena_rows[0].arena_slabs_allocated, 5u);
+  EXPECT_EQ(arena_rows[0].arena_bytes_recycled, 65536u);
+  EXPECT_EQ(arena_rows[0].worker_id, "3");
+  EXPECT_EQ(arena_rows[0].sectors_faulted, 0u);
+  EXPECT_EQ(arena_rows[0].crc_detected, 0u);
+
+  // An arena-era (26-field) row under the current 28-column header is
+  // truncation, not a legacy record.
+  const std::string truncated_csv =
+      std::string(exp::CsvSink::header()) + "\n" +
+      "0,PR8-BF,nyx,BF,2,10,42,7,8,1,1,0,2,33,4,4096,5,65536,12.5000,3.2500,6,"
+      "1,1,1,3,\n";
+  std::istringstream truncated_in(truncated_csv);
+  EXPECT_THROW((void)exp::read_csv_results(truncated_in), std::invalid_argument);
+}
+
+TEST(Sinks, MediaColumnsSurviveCsvAndJsonlRoundTrip) {
+  ToyApp app;
+  auto builder = exp::PlanBuilder().runs(1);
+  builder.cell(app, "BF", -1, "MEDIA-BR");
+  const auto plan = builder.build();
+  auto report = exp::Engine().run(plan);
+  ASSERT_EQ(report.cells.size(), 1u);
+  // Pin known media-counter values onto the executed cell; the sinks must
+  // carry them through both serializations untouched.
+  exp::CellResult& result = report.cells[0];
+  result.sectors_faulted = 9;
+  result.crc_detected = 12;  // one run can reject several reads
+  result.detected_crc = 9;
+
+  std::ostringstream csv_out;
+  {
+    exp::CsvSink sink(csv_out);
+    sink.begin(plan);
+    sink.cell(result);
+    sink.end(report);
+  }
+  std::istringstream csv_in(csv_out.str());
+  const auto csv_rows = exp::read_csv_results(csv_in);
+  ASSERT_EQ(csv_rows.size(), 1u);
+  EXPECT_EQ(csv_rows[0].sectors_faulted, 9u);
+  EXPECT_EQ(csv_rows[0].crc_detected, 12u);
+
+  std::ostringstream jsonl_out;
+  {
+    exp::JsonlSink sink(jsonl_out);
+    sink.begin(plan);
+    sink.cell(result);
+    sink.end(report);
+  }
+  std::istringstream jsonl_in(jsonl_out.str());
+  const auto jsonl_rows = exp::read_jsonl_results(jsonl_in);
+  ASSERT_EQ(jsonl_rows.size(), 1u);
+  EXPECT_EQ(jsonl_rows[0].sectors_faulted, 9u);
+  EXPECT_EQ(jsonl_rows[0].crc_detected, 12u);
+}
+
+TEST(Sinks, MixedGenerationJsonlStreamsLoadTogether) {
+  // JSONL is keyed, not positional, so one stream may mix eras — e.g. a
+  // campaign journal appended across harness upgrades.  Absent keys default
+  // to zero.
+  const std::string mixed =
+      // Pre-extent era: no storage, timer or media keys.
+      "{\"index\":0,\"label\":\"OLD\",\"application\":\"nyx\",\"fault\":\"BF\","
+      "\"stage\":-1,\"runs\":10,\"seed\":1,\"primitive_count\":7,\"benign\":9,"
+      "\"detected\":1,\"sdc\":0,\"crash\":0,\"faults_not_fired\":0,"
+      "\"golden_cached\":true,\"checkpointed\":false,\"error\":\"\"}\n"
+      // Arena era: storage + arena keys, no media keys.
+      "{\"index\":1,\"label\":\"ARENA\",\"application\":\"nyx\",\"fault\":\"SW\","
+      "\"stage\":2,\"runs\":10,\"seed\":2,\"primitive_count\":7,\"benign\":8,"
+      "\"detected\":1,\"sdc\":1,\"crash\":0,\"faults_not_fired\":0,"
+      "\"chunks_allocated\":33,\"chunk_detaches\":4,\"cow_bytes_copied\":4096,"
+      "\"arena_slabs_allocated\":5,\"arena_bytes_recycled\":65536,"
+      "\"execute_ms\":12.5,\"analyze_ms\":3.25,\"analyze_skipped\":6,"
+      "\"golden_cached\":true,\"checkpointed\":true,\"error\":\"\"}\n"
+      // Current era: media keys present.
+      "{\"index\":2,\"label\":\"MEDIA\",\"application\":\"nyx\",\"fault\":\"BR\","
+      "\"stage\":-1,\"runs\":10,\"seed\":3,\"primitive_count\":9,\"benign\":1,"
+      "\"detected\":9,\"sdc\":0,\"crash\":0,\"faults_not_fired\":0,"
+      "\"chunks_allocated\":33,\"chunk_detaches\":4,\"cow_bytes_copied\":4096,"
+      "\"arena_slabs_allocated\":0,\"arena_bytes_recycled\":0,"
+      "\"sectors_faulted\":9,\"crc_detected\":12,"
+      "\"execute_ms\":12.5,\"analyze_ms\":3.25,\"analyze_skipped\":0,"
+      "\"golden_cached\":true,\"checkpointed\":false,\"error\":\"\"}\n";
+  std::istringstream in(mixed);
+  const auto rows = exp::read_jsonl_results(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].sectors_faulted, 0u);
+  EXPECT_EQ(rows[0].arena_slabs_allocated, 0u);
+  EXPECT_EQ(rows[1].arena_bytes_recycled, 65536u);
+  EXPECT_EQ(rows[1].crc_detected, 0u);
+  EXPECT_EQ(rows[2].sectors_faulted, 9u);
+  EXPECT_EQ(rows[2].crc_detected, 12u);
 }
 
 TEST(Sinks, CellsReportPhaseTimersAndSkips) {

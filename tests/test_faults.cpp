@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <initializer_list>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "ffis/faults/fault_generator.hpp"
 #include "ffis/faults/fault_model.hpp"
@@ -243,6 +246,40 @@ INSTANTIATE_TEST_SUITE_P(Examples, SignatureRoundtrip,
                                            "DROPPED_WRITE@mknod",
                                            "BIT_FLIP@chmod{width=1}"));
 
+INSTANTIATE_TEST_SUITE_P(MediaExamples, SignatureRoundtrip,
+                         ::testing::Values("TS", "LSE", "MW", "BR", "IE",
+                                           "TORN_SECTOR@pwrite{sector=4096,scrub=off}",
+                                           "LATENT_SECTOR_ERROR@pwrite{sector=4096}",
+                                           "MISDIRECTED_WRITE@pwrite{scrub=off}",
+                                           "BIT_ROT@pwrite{sector=512,scrub=on,width=3}"));
+
+TEST(FaultSignature, EveryModelRoundTripsThroughItsCanonicalName) {
+  // Property over the whole taxonomy: for all 8 models, the canonical name
+  // parses back to the model and the rendered signature is a fixed point of
+  // parse-then-render.
+  for (const auto model :
+       {FaultModel::BitFlip, FaultModel::ShornWrite, FaultModel::DroppedWrite,
+        FaultModel::IoError, FaultModel::TornSector, FaultModel::LatentSectorError,
+        FaultModel::MisdirectedWrite, FaultModel::BitRot}) {
+    const std::string name(faults::fault_model_name(model));
+    const auto sig = faults::parse_fault_signature(name);
+    EXPECT_EQ(sig.model, model) << name;
+    EXPECT_EQ(sig.primitive, Primitive::Pwrite) << name;  // default host
+    const auto again = faults::parse_fault_signature(sig.to_string());
+    EXPECT_EQ(again.to_string(), sig.to_string()) << name;
+    EXPECT_EQ(again.model, model) << name;
+  }
+}
+
+TEST(FaultSignature, MediaShortFormsDefaultToCheckedDevice) {
+  for (const char* text : {"TS", "LSE", "MW", "BR"}) {
+    const auto sig = faults::parse_fault_signature(text);
+    EXPECT_EQ(sig.media.sector_bytes, 512u) << text;
+    EXPECT_TRUE(sig.media.scrub_on_read) << text;
+  }
+  EXPECT_EQ(faults::parse_fault_signature("BR").media.width, 1u);
+}
+
 TEST(FaultSignature, ShortFormsDefaultToPaperParameters) {
   const auto bf = faults::parse_fault_signature("BF");
   EXPECT_EQ(bf.model, FaultModel::BitFlip);
@@ -258,6 +295,58 @@ TEST(FaultSignature, BadInputsThrow) {
   EXPECT_THROW(faults::parse_fault_signature("NOPE"), std::invalid_argument);
   EXPECT_THROW(faults::parse_fault_signature("BF@pwrite{width=2"), std::invalid_argument);
   EXPECT_THROW(faults::parse_fault_signature("BF@pwrite{bogus=1}"), std::invalid_argument);
+}
+
+// Rejection diagnostics must name the offending token — a campaign config
+// with a typo'd cell signature should say exactly what it choked on.
+void expect_parse_error_mentions(const std::string& text,
+                                 std::initializer_list<const char*> tokens) {
+  try {
+    (void)faults::parse_fault_signature(text);
+    FAIL() << "expected rejection of: " << text;
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const char* token : tokens) {
+      EXPECT_NE(what.find(token), std::string::npos)
+          << "'" << what << "' does not name '" << token << "' (input: " << text << ")";
+    }
+  }
+}
+
+TEST(FaultSignature, RejectionsNameTheOffendingToken) {
+  expect_parse_error_mentions("TORN_SECTO", {"TORN_SECTO"});          // unknown model
+  expect_parse_error_mentions("BIT_ROTTEN@pwrite", {"BIT_ROTTEN"});   // unknown model
+  expect_parse_error_mentions("BR@pwrite{sector=1024}", {"sector", "1024"});
+  expect_parse_error_mentions("BR@pwrite{sector=abc}", {"sector", "abc"});
+  expect_parse_error_mentions("BR@pwrite{scrub=maybe}", {"scrub", "maybe"});
+  expect_parse_error_mentions("BR@pwrite{width=abc}", {"width", "abc"});
+  expect_parse_error_mentions("BR@pwrite{width=}", {"width"});
+  expect_parse_error_mentions("BR@pwrite{completed=3}", {"completed"});  // syscall-only key
+  expect_parse_error_mentions("BF@pwrite{scrub=on}", {"scrub"});         // media-only key
+  expect_parse_error_mentions("TS@mknod", {"TORN_SECTOR", "mknod"});     // wrong host
+  expect_parse_error_mentions("LSE@chmod", {"LATENT_SECTOR_ERROR", "chmod"});
+  expect_parse_error_mentions("BR@pwrite{width}", {"width"});  // missing '='
+}
+
+TEST(FaultingFs, ArmRejectsMediaModels) {
+  // Media models arm the run's BlockDevice, never the syscall decorator; a
+  // mis-wired injector must fail loudly instead of silently never firing.
+  for (const char* text : {"TS", "LSE", "MW", "BR"}) {
+    vfs::MemFs backing;
+    faults::FaultingFs fi(backing);
+    try {
+      fi.arm(faults::parse_fault_signature(text), 0, 1);
+      FAIL() << "expected logic_error for " << text;
+    } catch (const std::logic_error& e) {
+      const std::string full(faults::fault_model_name(
+          faults::parse_fault_signature(text).model));
+      EXPECT_NE(std::string(e.what()).find(full), std::string::npos) << e.what();
+    }
+    // configure() (profiling mode) stays legal: media runs still count
+    // pwrites through the decorator while the device hosts the fault.
+    faults::FaultingFs counter(backing);
+    EXPECT_NO_THROW(counter.configure(faults::parse_fault_signature(text)));
+  }
 }
 
 // --- CampaignConfig ----------------------------------------------------------------

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -249,6 +251,8 @@ TEST(Protocol, RunRowRoundTrip) {
   m.fs_stats.bytes_read = 55;
   m.fs_stats.arena_slabs_allocated = 2;
   m.fs_stats.arena_bytes_recycled = 66;
+  m.fs_stats.sectors_faulted = 3;
+  m.fs_stats.crc_detected = 4;
   m.execute_ms = 1.25;
   m.analyze_ms = 0.5;
   const auto decoded = dist::decode_run_row(dist::encode(m));
@@ -262,25 +266,50 @@ TEST(Protocol, RunRowRoundTrip) {
   EXPECT_EQ(decoded.fs_stats.bytes_read, 55u);
   EXPECT_EQ(decoded.fs_stats.arena_slabs_allocated, 2u);
   EXPECT_EQ(decoded.fs_stats.arena_bytes_recycled, 66u);
+  EXPECT_EQ(decoded.fs_stats.sectors_faulted, 3u);
+  EXPECT_EQ(decoded.fs_stats.crc_detected, 4u);
   // Phase timers must round-trip bit-exactly (IEEE-754 pattern on the wire).
   EXPECT_EQ(decoded.execute_ms, 1.25);
   EXPECT_EQ(decoded.analyze_ms, 0.5);
 }
 
+TEST(Protocol, V3RunRowWithoutMediaTrailerStillDecodes) {
+  // v3 campaign journals replay rows without the 16-byte media trailer; the
+  // decoder must read them with sectors_faulted / crc_detected defaulted
+  // to 0 (and the arena counters intact).
+  dist::RunRow m;
+  m.run_index = 5;
+  m.fs_stats.arena_slabs_allocated = 9;
+  m.fs_stats.sectors_faulted = 7;  // encoded, then truncated away
+  const auto encoded = dist::encode(m);
+  const util::ByteSpan v3(encoded.data(), encoded.size() - 16);
+  const auto decoded = dist::decode_run_row(v3);
+  EXPECT_EQ(decoded.run_index, 5u);
+  EXPECT_EQ(decoded.fs_stats.arena_slabs_allocated, 9u);
+  EXPECT_EQ(decoded.fs_stats.sectors_faulted, 0u);
+  EXPECT_EQ(decoded.fs_stats.crc_detected, 0u);
+  // A half-truncated trailer is corruption, not a legacy length.
+  const util::ByteSpan torn(encoded.data(), encoded.size() - 8);
+  EXPECT_THROW((void)dist::decode_run_row(torn), std::out_of_range);
+}
+
 TEST(Protocol, V2RunRowWithoutArenaTrailerStillDecodes) {
-  // v2 campaign journals replay rows without the 16-byte arena trailer; the
-  // decoder must read them with the counters defaulted to 0.
+  // v2 rows predate both trailers: truncating 32 bytes leaves a valid row
+  // with every late counter defaulted to 0.
   dist::RunRow m;
   m.run_index = 5;
   m.fs_stats.arena_slabs_allocated = 9;  // encoded, then truncated away
+  m.fs_stats.crc_detected = 3;           // likewise
   const auto encoded = dist::encode(m);
-  const util::ByteSpan v2(encoded.data(), encoded.size() - 16);
+  const util::ByteSpan v2(encoded.data(), encoded.size() - 32);
   const auto decoded = dist::decode_run_row(v2);
   EXPECT_EQ(decoded.run_index, 5u);
   EXPECT_EQ(decoded.fs_stats.arena_slabs_allocated, 0u);
   EXPECT_EQ(decoded.fs_stats.arena_bytes_recycled, 0u);
+  EXPECT_EQ(decoded.fs_stats.sectors_faulted, 0u);
+  EXPECT_EQ(decoded.fs_stats.crc_detected, 0u);
   // A half-truncated trailer is corruption, not a legacy length.
-  const util::ByteSpan torn(encoded.data(), encoded.size() - 8);
+  const util::ByteSpan torn(encoded.data(), encoded.size() - 24);
   EXPECT_THROW((void)dist::decode_run_row(torn), std::out_of_range);
 }
 
@@ -512,16 +541,19 @@ TEST(FaultySocket, FromSeedIsDeterministicAndCoversEveryKind) {
 
 /// Every decoder must respond to arbitrary corruption with an exception (or
 /// a successful parse of coincidentally-valid bytes) — never a crash, hang,
-/// or giant allocation.  `allowed_short` marks one truncation length that is
-/// a valid older-version encoding and therefore may parse successfully
-/// (e.g. a v2 HelloAck minus its trailing heartbeat field is a v1 ack).
+/// or giant allocation.  `allowed_shorts` lists truncation lengths that are
+/// valid older-version encodings and therefore may parse successfully
+/// (e.g. a v2 HelloAck minus its trailing heartbeat field is a v1 ack; a
+/// RunRow has two such lengths — v3 without the media trailer, v2 without
+/// the arena trailer either).
 void fuzz_decoder(const util::Bytes& valid,
                   const std::function<void(util::ByteSpan)>& decode,
-                  std::size_t allowed_short = static_cast<std::size_t>(-1)) {
+                  std::initializer_list<std::size_t> allowed_shorts = {}) {
   // Truncation at every length below the full message.
   for (std::size_t n = 0; n < valid.size(); ++n) {
     const util::ByteSpan prefix(valid.data(), n);
-    if (n == allowed_short) {
+    if (std::find(allowed_shorts.begin(), allowed_shorts.end(), n) !=
+        allowed_shorts.end()) {
       EXPECT_NO_THROW(decode(prefix)) << "legacy-length prefix of " << n << " bytes";
       continue;
     }
@@ -553,7 +585,7 @@ TEST(ProtocolFuzz, MalformedFramesThrowNeverCrash) {
   ack.checkpoint_dir = "/tmp/ffis-store";
   const auto ack_bytes = dist::encode(ack);
   fuzz_decoder(ack_bytes, [](util::ByteSpan b) { (void)dist::decode_hello_ack(b); },
-               /*allowed_short=*/ack_bytes.size() - 8);  // v1 ack: no heartbeat trailer
+               /*allowed_shorts=*/{ack_bytes.size() - 8});  // v1 ack: no heartbeat trailer
 
   dist::WorkGrant grant;
   grant.unit_id = 3;
@@ -574,7 +606,8 @@ TEST(ProtocolFuzz, MalformedFramesThrowNeverCrash) {
   row.execute_ms = 3.5;
   const auto row_bytes = dist::encode(row);
   fuzz_decoder(row_bytes, [](util::ByteSpan b) { (void)dist::decode_run_row(b); },
-               /*allowed_short=*/row_bytes.size() - 16);  // v2 row: no arena trailer
+               // v3 row: no media trailer; v2 row: no arena trailer either.
+               /*allowed_shorts=*/{row_bytes.size() - 16, row_bytes.size() - 32});
 
   dist::RunBatch batch;
   batch.rows.push_back(row);

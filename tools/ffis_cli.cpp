@@ -92,7 +92,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: ffis plan <config-file> [--checkpoint-dir DIR] [--serve PORT]\n"
                "                 [--workers N] [--unit-runs N] [--unit-timeout MS]\n"
-               "                 [--journal PATH] [--auth-token TOK] [--dry-run]\n"
+               "                 [--journal PATH] [--auth-token TOK] [--block-device]\n"
+               "                 [--dry-run]\n"
                "       ffis worker <host:port> [--threads N] [--checkpoint-dir DIR]\n"
                "                 [--name NAME] [--retry N] [--retry-backoff MS]\n"
                "                 [--auth-token TOK]\n"
@@ -194,6 +195,10 @@ struct PlanFlags {
   bool unit_timeout_set = false;
   std::string journal_path;    ///< --journal: resumable campaign journal
   std::string auth_token;      ///< --auth-token / FFIS_AUTH_TOKEN
+  /// --block-device: mount a passive vfs::BlockDevice under syscall-level
+  /// cells too (media cells always get one); tallies are bit-identical with
+  /// the flag on or off — it exists for A/B-ing the block layer's overhead.
+  bool block_device = false;
   bool dry_run = false;        ///< print the work-unit table, execute nothing
 };
 
@@ -372,6 +377,7 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
     exp::EngineOptions options;
     options.threads = plan_config.threads;
     options.checkpoint_dir = plan_config.checkpoint_dir;
+    options.force_block_device = flags.block_device;
     options.progress = print_run_progress;
     exp::Engine engine(options);
     report = engine.run(plan, sink);
@@ -553,6 +559,8 @@ int main(int argc, char** argv) {
           flags.journal_path = argv[++i];
         } else if (arg == "--auth-token" && i + 1 < argc) {
           flags.auth_token = argv[++i];
+        } else if (arg == "--block-device") {
+          flags.block_device = true;
         } else if (arg == "--dry-run") {
           flags.dry_run = true;
         } else {
