@@ -57,6 +57,8 @@
 #include "ffis/apps/montage/montage_app.hpp"
 #include "ffis/apps/nyx/nyx_app.hpp"
 #include "ffis/apps/qmc/qmc_app.hpp"
+#include "ffis/core/checkpoint.hpp"
+#include "ffis/core/checkpoint_store.hpp"
 #include "ffis/core/outcome.hpp"
 #include "ffis/dist/coordinator.hpp"
 #include "ffis/dist/worker.hpp"
@@ -554,6 +556,100 @@ int main(int argc, char** argv) {
                 "scaling on multi-core runners.\n");
   }
 
+  // --- Store cache tier: mmap zero-copy decode + bounded-budget churn --------
+  //
+  // Two halves.  (1) A micro A/B on the load path itself: one multi-MiB nyx
+  // checkpoint entry, loaded repeatedly with mmap_decode on vs off.  Both
+  // paths verify the whole-file checksum; the buffered path then heap-copies
+  // every chunk payload while the zero-copy path aliases the mapping, so
+  // mmap loads must not be slower (CI gates the ratio at >= 1.0x).  (2) An
+  // eviction-churn engine run: two campaigns with disjoint store keys under
+  // a budget smaller than a single entry, so the store is continuously
+  // evicting — and the tallies must still be bit-identical to the storeless
+  // reference (the cache tier may only ever cost rebuild time).
+  std::printf("\n-- store cache tier (mmap vs memcpy decode, budget churn) --\n");
+  const auto cache_store_dir =
+      std::filesystem::temp_directory_path() /
+      ("ffis-bench-store-cache-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(cache_store_dir);
+
+  double memcpy_loads_per_sec = 0.0;
+  double mmap_loads_per_sec = 0.0;
+  std::uint64_t store_entry_bytes = 0;
+  {
+    const core::CheckpointStore writer(cache_store_dir.string());
+    const auto cache_checkpoint = core::Checkpoint::capture(nyx, 42, 2);
+    const auto cache_golden = cache_checkpoint->grow_golden_tree(nyx, 42);
+    const auto cache_key = core::CheckpointStore::Key::of(nyx, 42, 2, {});
+    if (!writer.save_checkpoint(cache_key, *cache_checkpoint, cache_golden.get(),
+                                nyx.serialize_state(42))) {
+      std::fprintf(stderr, "FATAL: could not populate the store-cache bench entry\n");
+      return 1;
+    }
+    store_entry_bytes = std::filesystem::file_size(writer.entry_path(cache_key));
+
+    const auto time_loads = [&](bool mmap_decode) {
+      const core::CheckpointStore store(
+          cache_store_dir.string(),
+          core::CheckpointStore::Options{.budget_bytes = 0, .mmap_decode = mmap_decode});
+      constexpr int kLoads = 12;
+      (void)store.load_checkpoint(cache_key, {});  // warm the page cache
+      const auto start = Clock::now();
+      for (int i = 0; i < kLoads; ++i) {
+        if (!store.load_checkpoint(cache_key, {}).has_value()) {
+          std::fprintf(stderr, "FATAL: store-cache bench entry failed to load\n");
+          std::exit(1);
+        }
+      }
+      return static_cast<double>(kLoads) / (ms_since(start) / 1000.0);
+    };
+    memcpy_loads_per_sec = time_loads(false);
+    mmap_loads_per_sec = time_loads(true);
+  }
+  const double mmap_vs_memcpy = mmap_loads_per_sec / memcpy_loads_per_sec;
+  std::printf("entry: %.1f MiB   memcpy decode: %8.1f loads/sec   mmap decode: "
+              "%8.1f loads/sec   (%.2fx)\n",
+              static_cast<double>(store_entry_bytes) / (1024.0 * 1024.0),
+              memcpy_loads_per_sec, mmap_loads_per_sec, mmap_vs_memcpy);
+
+  const std::uint64_t churn_runs = std::max<std::uint64_t>(runs / 6, 10);
+  auto churn_a_builder = bench::plan(churn_runs);
+  churn_a_builder.cell(nyx, "BF", 2, "NYX2-CHURN-A");
+  const auto churn_plan_a = churn_a_builder.build();
+  auto churn_b_builder = bench::plan(churn_runs);
+  churn_b_builder.seed(4242);  // disjoint store keys from plan A
+  churn_b_builder.cell(nyx, "BF", 2, "NYX2-CHURN-B");
+  const auto churn_plan_b = churn_b_builder.build();
+
+  const VariantResult churn_ref_a = run_variant(churn_plan_a, diff_options);
+  const VariantResult churn_ref_b = run_variant(churn_plan_b, diff_options);
+
+  exp::EngineOptions churn_options = diff_options;
+  churn_options.checkpoint_dir = cache_store_dir.string();
+  churn_options.checkpoint_budget = std::max<std::uint64_t>(store_entry_bytes / 2, 1);
+  const VariantResult churn_a = run_variant(churn_plan_a, churn_options);
+  const VariantResult churn_b = run_variant(churn_plan_b, churn_options);
+  std::filesystem::remove_all(cache_store_dir);
+  assert_identical_tallies(churn_ref_a, churn_a, "the bounded store (campaign A)");
+  assert_identical_tallies(churn_ref_b, churn_b, "the bounded store (campaign B)");
+
+  const std::uint64_t churn_evictions =
+      churn_a.report.store_evictions + churn_b.report.store_evictions;
+  const std::uint64_t churn_gc_runs =
+      churn_a.report.store_gc_runs + churn_b.report.store_gc_runs;
+  std::printf("churn (budget %.1f MiB): %llu evictions, %llu gc runs, "
+              "%llu misses; tallies bit-identical to storeless\n",
+              static_cast<double>(churn_options.checkpoint_budget) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(churn_evictions),
+              static_cast<unsigned long long>(churn_gc_runs),
+              static_cast<unsigned long long>(churn_a.report.store_misses +
+                                              churn_b.report.store_misses));
+  if (churn_evictions == 0) {
+    std::fprintf(stderr, "FATAL: a budget below one entry produced zero evictions — "
+                         "the bounded cache tier is not enforcing its budget\n");
+    return 1;
+  }
+
   // --- Warm start: the persistent checkpoint store ---------------------------
   //
   // With FFIS_CHECKPOINT_DIR set, the main plan runs once more against that
@@ -652,6 +748,21 @@ int main(int argc, char** argv) {
       .num("scrub_off_sectors_faulted", silent_cell.sectors_faulted)
       .num("scrub_off_sdc", silent_cell.tally.count(core::Outcome::Sdc))
       .raw("result", variant_json(media, vfs::ExtentStore::kDefaultChunkSize));
+  ffis::bench::JsonObject store_cache_doc;
+  store_cache_doc.num("entry_bytes", store_entry_bytes)
+      .num("memcpy_loads_per_sec", memcpy_loads_per_sec)
+      .num("mmap_loads_per_sec", mmap_loads_per_sec)
+      .num("mmap_vs_memcpy", mmap_vs_memcpy)
+      .num("churn_runs_per_cell", churn_runs)
+      .num("churn_budget_bytes", churn_options.checkpoint_budget)
+      .num("store_hits", churn_a.report.store_hits + churn_b.report.store_hits)
+      .num("store_misses", churn_a.report.store_misses + churn_b.report.store_misses)
+      .num("store_evictions", churn_evictions)
+      .num("store_bytes_evicted",
+           churn_a.report.store_bytes_evicted + churn_b.report.store_bytes_evicted)
+      .num("store_gc_runs", churn_gc_runs)
+      .num("churn_runs_per_sec", churn_b.runs_per_sec)
+      .num("storeless_runs_per_sec", churn_ref_b.runs_per_sec);
   ffis::bench::JsonObject adaptive_doc;
   adaptive_doc.str("label", "NYX2-ADAPTIVE")
       .num("plotfile_chunk_size", static_cast<std::uint64_t>(kPlotfileChunk))
@@ -681,6 +792,7 @@ int main(int argc, char** argv) {
       .raw("block_device", block_doc.render())
       .raw("media", media_doc.render())
       .raw("adaptive_extents", adaptive_doc.render())
+      .raw("store_cache", store_cache_doc.render())
       .raw("distributed", dist_doc.render());
   if (!persistent_json.empty()) doc.raw("persistent_store", persistent_json);
   bench::write_json_file(json_path, doc);

@@ -31,8 +31,34 @@
 // checksum.  load() verifies the checksum and every key field before
 // decoding; corrupt, truncated, stale or version-skewed entries are logged
 // and reported as a miss, never thrown — callers rebuild and overwrite.
+//
+// Bounded-cache behavior (Options::budget_bytes): the store maintains an
+// in-process LRU index over the directory — an intrusive list whose order
+// is persisted across processes through the entry files' mtimes (a load
+// hit re-stamps its entry, a directory scan on first open rebuilds the
+// list oldest-first).  When a save pushes the directory past the budget,
+// least-recently-used entries are unlinked until the total is back under
+// the low-water mark — except entries pinned by a Lease, which a running
+// plan holds for every key it loads or saves, so eviction can never pull a
+// checkpoint out from under a live cell.  All store instances on one
+// directory within a process share the index and the lease table (the
+// 3-concurrent-engines-on-one-shared-dir deployment).  Eviction is an
+// unlink of a published file — crash-safe by construction — and a budget
+// shared by *other processes* is enforced approximately: each process
+// evicts based on what it has observed (its scan plus its own traffic).
+//
+// Zero-copy decode (Options::mmap_decode, default on): entries load
+// through a read-only mmap and decoded extents alias the mapping
+// (ExtentStore::kMappedOwner — immutable-by-construction, COW detach on
+// first write), so a warm start materializes trees without allocating or
+// copying payload bytes.  The whole-file checksum is still verified over
+// the mapping before anything is decoded — a torn or corrupt entry is
+// rejected exactly as in the buffered path, never served.  The mapping
+// stays valid after GC or eviction unlinks the file (POSIX), so live runs
+// keep their chunks.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -44,14 +70,81 @@
 
 namespace ffis::core {
 
+/// Process-wide per-directory state (LRU index, lease table), shared by
+/// every CheckpointStore instance on one directory.  Opaque; defined in the
+/// .cpp.
+struct CheckpointStoreState;
+
 class CheckpointStore {
  public:
   /// Bump on any change to the entry layout; older files then read as stale.
   static constexpr std::uint32_t kFormatVersion = 1;
 
+  struct Options {
+    /// Directory size budget in bytes; 0 = unbounded.  When a save pushes
+    /// the indexed total past it, LRU eviction unlinks unleased entries
+    /// until the total is back under the low-water mark (budget minus
+    /// budget/8 — hysteresis, so one hot save does not evict on every
+    /// write).  If eviction alone cannot get under the budget (everything
+    /// left is leased), a GC/compaction pass runs automatically.
+    std::uint64_t budget_bytes = 0;
+    /// Decode entries through a read-only mmap so loaded extents alias the
+    /// file (zero-copy warm start).  Off = buffered read + per-chunk
+    /// memcpy, the pre-mmap behavior.  Either way the checksum is verified
+    /// before decoding.
+    bool mmap_decode = true;
+  };
+
+  /// Per-instance cache-traffic counters (each engine reports the traffic
+  /// its own store generated, even when several share one directory).
+  struct Stats {
+    std::uint64_t hits = 0;           ///< loads served from a valid entry
+    std::uint64_t misses = 0;         ///< loads that found no (valid) entry
+    std::uint64_t evictions = 0;      ///< entries unlinked by LRU eviction
+    std::uint64_t bytes_evicted = 0;  ///< file bytes those entries held
+    std::uint64_t gc_runs = 0;        ///< gc() passes (manual or automatic)
+  };
+
+  /// What a gc() pass did.  bytes_reclaimed counts temp files, invalid
+  /// entries and compaction savings alike.
+  struct GcResult {
+    std::uint64_t temp_files_removed = 0;     ///< orphaned *.tmp-* files
+    std::uint64_t invalid_entries_removed = 0;///< corrupt/truncated/stale
+    std::uint64_t entries_compacted = 0;      ///< rewritten smaller
+    std::uint64_t entries_kept = 0;           ///< valid entries surviving
+    std::uint64_t bytes_reclaimed = 0;
+    std::uint64_t bytes_after = 0;            ///< indexed total afterwards
+  };
+
+  /// RAII pin: while any Lease on a key is alive — taken through *any*
+  /// store instance on the same directory in this process — LRU eviction
+  /// skips that entry.  Leasing a key with no entry yet is allowed (and is
+  /// how the engine pins a key across its load-miss → rebuild → save
+  /// window).  Default-constructed = empty.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+   private:
+    friend class CheckpointStore;
+    Lease(std::shared_ptr<CheckpointStoreState> state, std::string name);
+    void release() noexcept;
+
+    std::shared_ptr<CheckpointStoreState> state_;
+    std::string name_;  ///< entry filename within the store directory
+  };
+
   /// Creates `dir` (and parents) if needed.  Throws std::runtime_error when
-  /// the directory cannot be created or is not writable.
-  explicit CheckpointStore(std::string dir);
+  /// the directory cannot be created or is not writable.  Scans the
+  /// directory into the shared LRU index on the first open per process and
+  /// enforces the budget immediately when one is set.
+  CheckpointStore(std::string dir, Options options);
+  explicit CheckpointStore(std::string dir) : CheckpointStore(std::move(dir), Options{}) {}
 
   /// What identifies an entry.  `stage` is ignored for golden entries (the
   /// golden run is stage-independent).  `chunk_size` is the base extent
@@ -116,14 +209,54 @@ class CheckpointStore {
   bool save_golden(const Key& key, const AnalysisResult& analysis,
                    const vfs::MemFs* tree) const;
 
+  /// Pins `key`'s entry against eviction for the Lease's lifetime.
+  [[nodiscard]] Lease lease(const Key& key) const;
+
+  /// Store-wide GC/compaction: removes orphaned temp files (crashed or
+  /// interrupted writers), unlinks entries that fail the checksum or parse
+  /// (corrupt, truncated, version-skewed), and rewrites surviving entries
+  /// whose snapshot blob carries unreferenced chunks — via the same
+  /// temp-file + atomic-rename publication as every save, so a crash at
+  /// any point leaves a valid store (at worst a fresh orphan temp file for
+  /// the next pass).  Also runs automatically when eviction alone cannot
+  /// satisfy the budget, and is exposed as `ffis store gc <dir>`.
+  GcResult gc() const;
+
+  /// This instance's cache-traffic counters.
+  [[nodiscard]] Stats stats() const;
+
+  /// Indexed directory total in bytes (entries this process has observed).
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
   /// Path the entry for `key` lives at (golden entries: stage < 0).  Exposed
   /// so tests can corrupt/truncate entries deliberately.
   [[nodiscard]] std::string entry_path(const Key& key) const;
 
   [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Test-only: `hook` is invoked with a kill-point name immediately before
+  /// each destructive or publishing filesystem step ("save:tmp",
+  /// "save:rename", "evict:unlink", "gc:remove-tmp", "gc:drop-invalid",
+  /// "gc:rewrite").  A hook that throws simulates a crash at that point —
+  /// the in-memory index may then be stale, so tests follow up with
+  /// reset_shared_state_for_testing() to model a process restart.  Pass
+  /// nullptr to uninstall.  Not thread-safe against concurrent store use;
+  /// install before starting work.
+  static void set_test_hook(std::function<void(const char*)> hook);
+
+  /// Test-only: drops every per-directory shared state (LRU index, lease
+  /// table), as a fresh process would see it.  Outstanding Lease objects
+  /// keep their old state alive but no longer affect new store instances.
+  static void reset_shared_state_for_testing();
 
  private:
   std::string dir_;
+  Options options_;
+  std::shared_ptr<CheckpointStoreState> state_;
+  /// Guarded by state_->mutex (all mutations happen under it); mutable so
+  /// the const load/save API can count.
+  mutable Stats stats_;
 };
 
 }  // namespace ffis::core

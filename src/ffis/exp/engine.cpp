@@ -73,7 +73,11 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
   // error and throws here, before any work is queued.
   std::unique_ptr<core::CheckpointStore> store;
   if (!options_.checkpoint_dir.empty()) {
-    store = std::make_unique<core::CheckpointStore>(options_.checkpoint_dir);
+    core::CheckpointStore::Options store_options;
+    store_options.budget_bytes = options_.checkpoint_budget;
+    store_options.mmap_decode = options_.checkpoint_mmap;
+    store = std::make_unique<core::CheckpointStore>(options_.checkpoint_dir,
+                                                    store_options);
   }
 
   util::ThreadPool pool(options_.threads);
@@ -110,6 +114,12 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
   }
 
   std::vector<GoldenSlot> goldens(golden_keys.size());
+  // Leases pin the plan's store entries against LRU eviction (a tight
+  // checkpoint_budget, or another engine sharing the directory) from before
+  // the first load until run() returns — eviction can never pull an entry
+  // out from under a live cell, or out of a load-miss → rebuild → save
+  // window.  One slot per key, written only by that key's worker.
+  std::vector<core::CheckpointStore::Lease> golden_leases(golden_keys.size());
   util::parallel_for(pool, golden_keys.size(), [&](std::size_t g) {
     if (cancel_requested()) {
       goldens[g].error = "cancelled before the golden run";
@@ -120,6 +130,9 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     const auto key = store ? core::CheckpointStore::Key::of(app, app_seed, -1,
                                                             options_.fs_options)
                            : core::CheckpointStore::Key{};
+    if (store) {
+      golden_leases[g] = store->lease(key);  // key.stage is already -1
+    }
     if (store) {
       // Disk tier first: a valid entry replaces the whole golden execution.
       // The tree is decoded only when some cell will diff against it
@@ -215,12 +228,17 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     std::call_once(slot->first, [&] { slot->second = app->serialize_state(app_seed); });
     return slot->second;
   };
+  // Same pinning discipline as the golden phase (see golden_leases).
+  std::vector<core::CheckpointStore::Lease> checkpoint_leases(checkpoint_keys.size());
   util::parallel_for(pool, checkpoint_keys.size(), [&](std::size_t k) {
     if (cancel_requested()) return;
     const auto& [app, app_seed, stage] = checkpoint_keys[k];
     const auto key = store ? core::CheckpointStore::Key::of(*app, app_seed, stage,
                                                             options_.fs_options)
                            : core::CheckpointStore::Key{};
+    if (store) {
+      checkpoint_leases[k] = store->lease(key);
+    }
     if (store) {
       // Disk tier: a valid entry skips the prefix execution entirely.  The
       // saved blob carries the application's serialized in-memory state
@@ -470,6 +488,14 @@ ExperimentReport Engine::run(const ExperimentPlan& plan, ResultSink& sink) {
     report.sectors_faulted += cell.sectors_faulted;
     report.crc_detected += cell.crc_detected;
     report.detected_crc += cell.detected_crc;
+  }
+  if (store) {
+    const core::CheckpointStore::Stats stats = store->stats();
+    report.store_hits = stats.hits;
+    report.store_misses = stats.misses;
+    report.store_evictions = stats.evictions;
+    report.store_bytes_evicted = stats.bytes_evicted;
+    report.store_gc_runs = stats.gc_runs;
   }
   report.cancelled = cancel_requested();
   sink.end(report);

@@ -58,6 +58,18 @@ struct EngineOptions {
   /// re-execute.  Requires use_checkpoints for the checkpoint entries;
   /// golden entries are loaded either way.
   std::string checkpoint_dir;
+  /// Size budget for checkpoint_dir in bytes; 0 (the default) = unbounded.
+  /// Over budget, the store evicts least-recently-used entries (LRU order is
+  /// persisted across processes through entry mtimes) — except entries the
+  /// engine holds a lease on, so a running plan can never lose a checkpoint
+  /// it is about to fork.  Tallies are bit-identical under any budget; a
+  /// tight budget only costs rebuild work (ExperimentReport::store_*
+  /// counters show the traffic).
+  std::uint64_t checkpoint_budget = 0;
+  /// Decode store entries through a read-only mmap so loaded trees alias the
+  /// entry file (zero-copy warm start; extents COW-detach on first write).
+  /// Off = buffered read + per-chunk memcpy.  A/B knob; tallies identical.
+  bool checkpoint_mmap = true;
   /// Checkpoint reuse: for a stage-instrumented cell of a stage-resumable
   /// application, capture the fault-free prefix (stages < instrumented
   /// stage) once per (app, app_seed, stage), then fork the copy-on-write

@@ -108,7 +108,8 @@ PlanConfig parse_plan_config(const std::string& text) {
     }
 
     const bool engine_key = (key == "threads" || key == "csv" || key == "jsonl" ||
-                             key == "checkpoint_dir" || key == "unit_timeout_ms");
+                             key == "checkpoint_dir" || key == "checkpoint_budget" ||
+                             key == "unit_timeout_ms");
     if (engine_key) {
       if (!in_defaults) {
         throw std::invalid_argument("plan config line " + std::to_string(line_number) +
@@ -123,6 +124,8 @@ PlanConfig parse_plan_config(const std::string& text) {
         plan.jsonl_path = value;
       } else if (key == "unit_timeout_ms") {
         plan.unit_timeout_ms = parse_positive(value, key, line_number);
+      } else if (key == "checkpoint_budget") {
+        plan.checkpoint_budget = parse_positive(value, key, line_number);
       } else {
         plan.checkpoint_dir = value;
       }

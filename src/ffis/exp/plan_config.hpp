@@ -11,6 +11,9 @@
 //   checkpoint_dir = .ffis-checkpoints  # optional: persistent checkpoint
 //                         # store shared across invocations (warm starts
 //                         # skip the fault-free prefix entirely)
+//   checkpoint_budget = 268435456  # optional: store size budget in bytes;
+//                         # over it, least-recently-used entries are evicted
+//                         # (0 = unbounded, the default)
 //   unit_timeout_ms = 0   # optional: distributed serving only — re-queue a
 //                         # granted unit after this long without completion
 //                         # (0 = re-grant on disconnect only)
@@ -53,6 +56,9 @@ struct PlanConfig {
   /// empty = no cross-process caching.  The `--checkpoint-dir` CLI flag
   /// overrides it.
   std::string checkpoint_dir;
+  /// Checkpoint store size budget in bytes (EngineOptions::checkpoint_budget);
+  /// 0 = unbounded.  The `--checkpoint-budget` CLI flag overrides it.
+  std::uint64_t checkpoint_budget = 0;
   /// Distributed serving only: re-queue a granted unit after this many
   /// milliseconds without completion (CoordinatorOptions::unit_timeout_ms);
   /// 0 = re-grant on disconnect only.  The `--unit-timeout` flag overrides it.

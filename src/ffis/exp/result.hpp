@@ -91,6 +91,15 @@ struct ExperimentReport {
   std::uint64_t checkpoints_persisted = 0;  ///< checkpoint entries written to disk
   std::uint64_t goldens_loaded = 0;         ///< golden entries served from disk
   std::uint64_t goldens_persisted = 0;      ///< golden entries written to disk
+  // Store cache-tier traffic (core::CheckpointStore::Stats, copied after the
+  // last phase).  hits/misses count load attempts; evictions/gc only move
+  // when a budget (EngineOptions::checkpoint_budget) forces them.  Counters
+  // are per-engine even when several engines share one store directory.
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t store_evictions = 0;
+  std::uint64_t store_bytes_evicted = 0;
+  std::uint64_t store_gc_runs = 0;
   /// Memory held by the engine's checkpoint cache: extent-stored bytes (and
   /// allocated extents) summed over the captured snapshots — actual
   /// footprint, not logical file sizes (sparse payloads store less).

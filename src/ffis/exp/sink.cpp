@@ -271,6 +271,17 @@ void ConsoleTableSink::end(const ExperimentReport& report) {
                  report.goldens_loaded == 1 ? "" : "s",
                  static_cast<unsigned long long>(report.checkpoints_persisted),
                  static_cast<unsigned long long>(report.goldens_persisted));
+    std::fprintf(out_, "[store cache: %llu hit%s, %llu miss%s, %llu eviction%s "
+                       "(%llu bytes), %llu gc run%s]\n",
+                 static_cast<unsigned long long>(report.store_hits),
+                 report.store_hits == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.store_misses),
+                 report.store_misses == 1 ? "" : "es",
+                 static_cast<unsigned long long>(report.store_evictions),
+                 report.store_evictions == 1 ? "" : "s",
+                 static_cast<unsigned long long>(report.store_bytes_evicted),
+                 static_cast<unsigned long long>(report.store_gc_runs),
+                 report.store_gc_runs == 1 ? "" : "s");
   }
   // Fleet summary, only for distributed (dist::Coordinator) campaigns.  The
   // CI gates grep for "units re-granted" and "replayed from journal", so

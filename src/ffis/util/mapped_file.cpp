@@ -1,0 +1,32 @@
+#include "ffis/util/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ffis::util {
+
+std::shared_ptr<const MappedFile> MappedFile::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps the inode alive on its own; the descriptor — and, for
+  // that matter, the directory entry — can go away without invalidating it.
+  ::close(fd);
+  if (p == MAP_FAILED) return nullptr;
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const std::byte*>(p), size));
+}
+
+MappedFile::~MappedFile() {
+  ::munmap(const_cast<void*>(static_cast<const void*>(data_)), size_);
+}
+
+}  // namespace ffis::util

@@ -1,0 +1,43 @@
+#pragma once
+// RAII read-only memory mapping of a whole file.
+//
+// The checkpoint store's zero-copy decode path hands trees extents that
+// alias the mapped entry file; the mapping must therefore outlive every
+// chunk cut from it, and must stay valid while GC, eviction or a concurrent
+// engine renames/unlinks the file underneath.  Both follow from POSIX mmap
+// semantics: the mapping holds its own reference to the inode (the fd is
+// closed right after mmap, and unlink/rename only detach the name), and the
+// pages are PROT_READ, so an erroneous in-place write through an aliased
+// extent faults loudly instead of corrupting the store.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "ffis/util/bytes.hpp"
+
+namespace ffis::util {
+
+class MappedFile {
+ public:
+  /// Maps all of `path` read-only.  Returns nullptr when the file is
+  /// missing, empty, or cannot be mapped — callers fall back to buffered
+  /// reads.  The returned shared_ptr (and any aliasing shared_ptrs into the
+  /// mapping) is the mapping's lifetime: the last owner munmaps.
+  [[nodiscard]] static std::shared_ptr<const MappedFile> map(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] ByteSpan bytes() const noexcept { return {data_, size_}; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  const std::byte* data_;
+  std::size_t size_;
+};
+
+}  // namespace ffis::util

@@ -9,7 +9,7 @@
 // of O(file size), which is what makes the first post-fork write into a
 // multi-MB Nyx plotfile or Montage mosaic cheap.
 //
-// Two storage backends share the handle representation:
+// Three storage backends share the handle representation:
 //  * heap chunks (the default) own their buffer through a per-chunk control
 //    block, so keepalive.use_count() counts exactly the stores referencing
 //    that extent — the classic shared_ptr COW discipline;
@@ -22,6 +22,13 @@
 //    sides — so after any fork each side conservatively treats inherited
 //    arena chunks as shared and detaches before writing.  A stale token can
 //    only cause an extra copy, never a shared mutation.
+//  * mapped chunks (SnapshotCodec's zero-copy decode) alias a read-only
+//    file mapping; their keepalives all alias the util::MappedFile holder,
+//    and they carry the reserved kMappedOwner token, which no store's token
+//    can ever equal — so they are shared-by-construction: the first write
+//    COW-detaches a private heap/arena copy out of the mapping.  The
+//    mapping itself is PROT_READ, so a bug that skipped the detach would
+//    fault instead of corrupting the page cache.
 //
 // Representation invariants:
 //  * a null chunk handle (data == nullptr) is a hole — every byte in it
@@ -88,6 +95,13 @@ class ExtentStore {
   /// Default extent size: large enough that chunk bookkeeping is noise for
   /// multi-MB payloads, small enough that a stray write copies little.
   static constexpr std::size_t kDefaultChunkSize = 64 * 1024;
+
+  /// Reserved owner token for extents aliasing a read-only file mapping.
+  /// Real tokens count up from 1 (next_owner_token), so a mapped chunk can
+  /// never match any store's token: is_shared() is unconditionally true and
+  /// every mutation COW-detaches out of the mapping first — immutability by
+  /// construction, with no extra branch on the write path.
+  static constexpr std::uint64_t kMappedOwner = ~std::uint64_t{0};
 
   /// Throws std::invalid_argument when chunk_size is 0 or exceeds the
   /// 32-bit per-chunk handle limit (the chunk arithmetic requires a

@@ -155,7 +155,10 @@ std::size_t SnapshotCodec::tree_count(util::ByteSpan blob) {
   return read_header(r).second;
 }
 
-void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets) {
+/// Shared body of the copying and zero-copy decode entry points; `backing`
+/// is null for the copying path.
+void SnapshotCodec::decode_impl(util::ByteSpan blob, std::span<MemFs* const> targets,
+                                const std::shared_ptr<const void>* backing) {
   util::ByteReader r(blob);
   const std::uint32_t trees = read_header(r).second;
   if (trees != targets.size()) {
@@ -187,15 +190,25 @@ void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets)
         bad("chunk table entry " + std::to_string(i) + " exceeds the extent limit");
       }
       const util::ByteSpan payload = r.view(static_cast<std::size_t>(len));
-      // One heap buffer per distinct extent, shared by every referencing
-      // slot below — decoded chunks rejoin the per-chunk use_count COW
-      // discipline (owner token 0).
-      auto buf = std::make_unique_for_overwrite<std::byte[]>(payload.size());
-      std::memcpy(buf.get(), payload.data(), payload.size());
       ExtentStore::Chunk chunk;
-      chunk.data = buf.get();
-      chunk.keepalive = std::shared_ptr<const void>(
-          std::shared_ptr<std::byte[]>(std::move(buf)), chunk.data);
+      if (backing != nullptr) {
+        // Zero-copy: the chunk points straight into the blob and pins the
+        // caller's backing (the mapped file) alive.  kMappedOwner makes it
+        // shared-by-construction, so the first write detaches out of the
+        // mapping — see the header contract.
+        chunk.data = payload.data();
+        chunk.keepalive = std::shared_ptr<const void>(*backing, payload.data());
+        chunk.owner = ExtentStore::kMappedOwner;
+      } else {
+        // One heap buffer per distinct extent, shared by every referencing
+        // slot below — decoded chunks rejoin the per-chunk use_count COW
+        // discipline (owner token 0).
+        auto buf = std::make_unique_for_overwrite<std::byte[]>(payload.size());
+        std::memcpy(buf.get(), payload.data(), payload.size());
+        chunk.data = buf.get();
+        chunk.keepalive = std::shared_ptr<const void>(
+            std::shared_ptr<std::byte[]>(std::move(buf)), chunk.data);
+      }
       chunk.size = static_cast<std::uint32_t>(payload.size());
       chunk.capacity = chunk.size;
       chunks.push_back(std::move(chunk));
@@ -289,6 +302,114 @@ void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets)
       target->nodes_ = std::move(nodes);
     }
     r.expect_end();
+  } catch (const std::out_of_range& e) {
+    bad(e.what());
+  }
+}
+
+void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets) {
+  decode_impl(blob, targets, nullptr);
+}
+
+void SnapshotCodec::decode(util::ByteSpan blob, std::span<MemFs* const> targets,
+                           const std::shared_ptr<const void>& backing) {
+  if (backing == nullptr) bad("zero-copy decode requires a backing keepalive");
+  decode_impl(blob, targets, &backing);
+}
+
+std::optional<util::Bytes> SnapshotCodec::compact(util::ByteSpan blob) {
+  util::ByteReader r(blob);
+  const std::uint32_t trees = read_header(r).second;
+
+  // One parsed node record, retained so the rewrite below can re-emit the
+  // blob without a second parsing pass.
+  struct NodeRecLite {
+    std::string path;
+    bool is_dir = false;
+    std::uint32_t mode = 0;
+    std::uint64_t chunk_size = 0;
+    std::uint64_t size = 0;
+    std::vector<std::uint64_t> refs;
+  };
+
+  try {
+    const std::uint64_t chunk_count = r.u64();
+    if (chunk_count > r.remaining() / 9) bad("implausible chunk count");
+    std::vector<util::ByteSpan> chunks;
+    chunks.reserve(static_cast<std::size_t>(chunk_count));
+    for (std::uint64_t i = 0; i < chunk_count; ++i) {
+      const std::uint64_t len = r.u64();
+      if (len == 0) bad("chunk table entry " + std::to_string(i) + " is empty");
+      if (len > std::numeric_limits<std::uint32_t>::max()) {
+        bad("chunk table entry " + std::to_string(i) + " exceeds the extent limit");
+      }
+      chunks.push_back(r.view(static_cast<std::size_t>(len)));
+    }
+
+    std::vector<char> referenced(chunks.size(), 0);
+    std::vector<std::vector<NodeRecLite>> tree_nodes(trees);
+    for (std::uint32_t t = 0; t < trees; ++t) {
+      const std::uint64_t node_count = r.u64();
+      if (node_count > r.remaining()) bad("implausible node count");
+      tree_nodes[t].reserve(static_cast<std::size_t>(node_count));
+      for (std::uint64_t n = 0; n < node_count; ++n) {
+        NodeRecLite rec;
+        rec.path = r.str();
+        rec.is_dir = r.u8() != 0;
+        rec.mode = r.u32();
+        if (!rec.is_dir) {
+          rec.chunk_size = r.u64();
+          rec.size = r.u64();
+          const std::uint64_t slots = r.u64();
+          if (slots > r.remaining() / 8) bad(rec.path + " has implausible slot count");
+          rec.refs.reserve(static_cast<std::size_t>(slots));
+          for (std::uint64_t s = 0; s < slots; ++s) {
+            const std::uint64_t ref = r.u64();
+            if (ref > chunks.size()) bad(rec.path + " references a missing chunk");
+            if (ref != 0) referenced[static_cast<std::size_t>(ref - 1)] = 1;
+            rec.refs.push_back(ref);
+          }
+        }
+        tree_nodes[t].push_back(std::move(rec));
+      }
+    }
+    r.expect_end();
+
+    // Mark-and-sweep renumbering: survivors keep their relative order, so a
+    // compact round trip is byte-stable.
+    std::vector<std::uint64_t> remap(chunks.size(), 0);
+    std::uint64_t kept = 0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (referenced[i] != 0) remap[i] = ++kept;
+    }
+    if (kept == chunks.size()) return std::nullopt;  // nothing to drop
+
+    util::Bytes out;
+    util::ByteWriter w(out);
+    util::put_signature(out, kMagic);
+    w.u32(kFormatVersion);
+    w.u32(trees);
+    w.u64(kept);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (referenced[i] != 0) w.blob(chunks[i]);
+    }
+    for (std::uint32_t t = 0; t < trees; ++t) {
+      w.u64(tree_nodes[t].size());
+      for (const NodeRecLite& rec : tree_nodes[t]) {
+        w.str(rec.path);
+        w.u8(rec.is_dir ? 1 : 0);
+        w.u32(rec.mode);
+        if (!rec.is_dir) {
+          w.u64(rec.chunk_size);
+          w.u64(rec.size);
+          w.u64(rec.refs.size());
+          for (const std::uint64_t ref : rec.refs) {
+            w.u64(ref == 0 ? 0 : remap[static_cast<std::size_t>(ref - 1)]);
+          }
+        }
+      }
+    }
+    return out;
   } catch (const std::out_of_range& e) {
     bad(e.what());
   }

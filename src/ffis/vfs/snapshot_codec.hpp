@@ -29,6 +29,7 @@
 // instead of fabricating state.
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -73,10 +74,42 @@ class SnapshotCodec {
     decode(blob, std::span<MemFs* const>(&p, 1));
   }
 
+  /// Zero-copy decode: like decode(blob, targets), but chunk payloads alias
+  /// `blob` itself instead of being memcpy'd into fresh heap buffers.
+  /// `backing` must own the memory `blob` points into (typically the
+  /// util::MappedFile the checkpoint store mapped the entry through); every
+  /// decoded chunk's keepalive aliases it, so the backing lives exactly as
+  /// long as any tree still references one of its extents — unlinking or
+  /// renaming the underlying file (GC, eviction) never invalidates a live
+  /// tree.  Aliased chunks carry ExtentStore::kMappedOwner and are
+  /// therefore shared-by-construction: the first write to such an extent
+  /// COW-detaches a private copy out of the backing, and pointer identity
+  /// between trees decoded from one blob (diff_tree's fast path) is
+  /// preserved exactly as in the copying path.
+  static void decode(util::ByteSpan blob, std::span<MemFs* const> targets,
+                     const std::shared_ptr<const void>& backing);
+
+  /// Structural compaction: parses `blob`, drops chunk-table entries that
+  /// no slot of any tree references, renumbers the survivors, and returns
+  /// the rewritten blob — or nullopt when every chunk is referenced (the
+  /// blob is already compact).  A pure byte-level transform: no MemFs is
+  /// materialized and no Options are consulted, so the checkpoint store's
+  /// GC can compact entries whose per-file extent geometry it knows nothing
+  /// about.  Throws VfsError(InvalidArgument) on malformed input.
+  [[nodiscard]] static std::optional<util::Bytes> compact(util::ByteSpan blob);
+
   /// Number of trees in an encoded blob (header peek; full validation
   /// happens in decode).  Throws VfsError(InvalidArgument) on malformed
   /// input.
   [[nodiscard]] static std::size_t tree_count(util::ByteSpan blob);
+
+ private:
+  /// Shared body of the copying and zero-copy decode overloads; `backing` is
+  /// null for the copying path.  A member (not a free function) because it
+  /// rebuilds ExtentStore chunk handles directly under this class's
+  /// friendship.
+  static void decode_impl(util::ByteSpan blob, std::span<MemFs* const> targets,
+                          const std::shared_ptr<const void>* backing);
 };
 
 }  // namespace ffis::vfs

@@ -1,8 +1,11 @@
 // Persistent checkpoint store tests: snapshot-codec round-trip bit-identity
-// (including chunk sharing and per-file geometry validation), store entry
-// integrity (checksum / truncation / version-bump rejection with silent
-// rebuild), cold-vs-warm engine tally equality at multiple thread counts,
-// and concurrent engines sharing one store directory.
+// (including chunk sharing, per-file geometry validation, zero-copy decode
+// aliasing and structural compaction), store entry integrity (checksum /
+// truncation / version-bump rejection with silent rebuild), the bounded
+// cache tier (LRU eviction order, lease pinning, GC/compaction, kill-point
+// crash fuzzing), cold-vs-warm engine tally equality at multiple thread
+// counts, and concurrent engines sharing one store directory — including
+// under a budget tight enough to force continuous eviction.
 
 #include <gtest/gtest.h>
 
@@ -12,7 +15,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +26,7 @@
 #include "ffis/core/checkpoint_store.hpp"
 #include "ffis/exp/engine.hpp"
 #include "ffis/exp/plan.hpp"
+#include "ffis/util/mapped_file.hpp"
 #include "ffis/util/rng.hpp"
 #include "ffis/util/serialize.hpp"
 #include "ffis/vfs/file_system.hpp"
@@ -272,6 +278,163 @@ TEST(SnapshotCodec, TruncatedAndCorruptBlobsThrow) {
   EXPECT_THROW(vfs::SnapshotCodec::decode(blob, dirty), vfs::VfsError);
 }
 
+// --- snapshot codec: compaction and zero-copy decode -------------------------
+
+/// Hand-encodes a single-tree blob whose chunk table carries `dead_chunks`
+/// entries no slot references, followed by the one live 64-byte chunk of
+/// "/f".  The real encoder never emits unreferenced chunks, so compaction
+/// (and the store GC built on it) can only be exercised with a hand-built
+/// blob.  Putting the dead entries FIRST forces compact() to renumber the
+/// surviving reference, not just truncate the table.
+util::Bytes blob_with_dead_chunks(int dead_chunks) {
+  util::Bytes out;
+  util::ByteWriter w(out);
+  util::put_signature(w.out(), "FFSNAP");
+  w.u32(vfs::SnapshotCodec::kFormatVersion);
+  w.u32(1);  // one tree
+  w.u64(static_cast<std::uint64_t>(dead_chunks) + 1);
+  for (int i = 0; i < dead_chunks; ++i) {
+    const util::Bytes dead(48, static_cast<std::byte>(0xd0 + i));
+    w.blob(dead);
+  }
+  util::Bytes live(64);
+  for (std::size_t i = 0; i < live.size(); ++i) live[i] = static_cast<std::byte>(i * 3);
+  w.blob(live);
+  w.u64(2);  // two nodes
+  w.str("/");
+  w.u8(1);  // directory
+  w.u32(0755);
+  w.str("/f");
+  w.u8(0);  // file
+  w.u32(0644);
+  w.u64(64);  // extent size
+  w.u64(64);  // logical size
+  w.u64(1);   // one slot...
+  w.u64(static_cast<std::uint64_t>(dead_chunks) + 1);  // ...naming the LAST entry
+  return out;
+}
+
+vfs::MemFs::Options chunk64_options() {
+  vfs::MemFs::Options options;
+  options.chunk_size = 64;
+  return options;
+}
+
+TEST(SnapshotCodec, CompactDropsUnreferencedChunksAndRenumbers) {
+  const util::Bytes bloated = blob_with_dead_chunks(3);
+  vfs::MemFs direct(chunk64_options());
+  vfs::SnapshotCodec::decode(bloated, direct);  // sanity: the blob is valid
+
+  const auto compacted = vfs::SnapshotCodec::compact(bloated);
+  ASSERT_TRUE(compacted.has_value());
+  EXPECT_LT(compacted->size(), bloated.size());
+
+  vfs::MemFs from_compacted(chunk64_options());
+  vfs::SnapshotCodec::decode(*compacted, from_compacted);
+  expect_trees_identical(direct, from_compacted);
+  EXPECT_EQ(vfs::read_file(from_compacted, "/f"), vfs::read_file(direct, "/f"));
+
+  // Idempotent: the rewrite left nothing to drop.
+  EXPECT_FALSE(vfs::SnapshotCodec::compact(*compacted).has_value());
+}
+
+TEST(SnapshotCodec, CompactIsANoOpOnEncoderOutput) {
+  // The encoder only emits referenced chunks, so its blobs are born compact.
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  EXPECT_FALSE(
+      vfs::SnapshotCodec::compact(vfs::SnapshotCodec::encode(original)).has_value());
+}
+
+TEST(SnapshotCodec, ZeroCopyDecodePreservesSharingAndDiffs) {
+  vfs::MemFs parent(tree_options());
+  populate_tree(parent);
+  vfs::MemFs child = parent.fork();
+  {
+    vfs::File f(child, "/file.big", vfs::OpenMode::ReadWrite);
+    const util::Bytes patch(8, std::byte{0xff});
+    (void)f.pwrite(patch, 300);
+  }
+  const vfs::MemFs* trees[] = {&parent, &child};
+  // Heap backing standing in for a file mapping — same ownership contract.
+  const auto owned = std::make_shared<util::Bytes>(vfs::SnapshotCodec::encode(trees));
+
+  vfs::MemFs decoded_parent(tree_options());
+  vfs::MemFs decoded_child(tree_options());
+  vfs::MemFs* targets[] = {&decoded_parent, &decoded_child};
+  vfs::SnapshotCodec::decode(util::ByteSpan(*owned), targets, owned);
+
+  expect_trees_identical(parent, decoded_parent);
+  expect_trees_identical(child, decoded_child);
+  // Aliased chunks are shared-by-construction, so pointer identity between
+  // the two trees — diff_tree's fast path — survives exactly as when copying.
+  EXPECT_GT(decoded_parent.cow_shared_bytes(), 0u);
+  const vfs::FsDiff diff = decoded_child.diff_tree(decoded_parent);
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].path, "/file.big");
+
+  // A null backing cannot own the aliased bytes: the overload must refuse.
+  vfs::MemFs fresh_a(tree_options());
+  vfs::MemFs fresh_b(tree_options());
+  vfs::MemFs* fresh[] = {&fresh_a, &fresh_b};
+  EXPECT_THROW(vfs::SnapshotCodec::decode(util::ByteSpan(*owned), fresh,
+                                          std::shared_ptr<const void>()),
+               vfs::VfsError);
+}
+
+TEST(SnapshotCodec, ZeroCopyWriteDetachesOutOfTheBacking) {
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  const auto owned = std::make_shared<util::Bytes>(vfs::SnapshotCodec::encode(original));
+  const util::Bytes pristine = *owned;
+
+  vfs::MemFs decoded(tree_options());
+  vfs::MemFs* targets[] = {&decoded};
+  vfs::SnapshotCodec::decode(util::ByteSpan(*owned), targets, owned);
+
+  // Writing through an aliased extent must COW-detach a private copy first;
+  // the backing blob stays byte-identical (with mmap backing the pages are
+  // PROT_READ, so a missed detach faults instead of corrupting the store).
+  {
+    vfs::File f(decoded, "/dir/hello", vfs::OpenMode::ReadWrite);
+    const util::Bytes patch = util::to_bytes("HELLO");
+    (void)f.pwrite(patch, 0);
+  }
+  EXPECT_EQ(vfs::read_text_file(decoded, "/dir/hello"), "HELLO world");
+  EXPECT_EQ(*owned, pristine);
+  // Untouched files still read straight out of the backing.
+  EXPECT_EQ(vfs::read_file(decoded, "/file.big"), vfs::read_file(original, "/file.big"));
+}
+
+TEST(SnapshotCodec, MappedBackingSurvivesUnlink) {
+  const StoreDir dir("mmap-unlink");
+  stdfs::create_directories(dir.path());
+  const std::string path = dir.path() + "/blob.bin";
+  vfs::MemFs original(tree_options());
+  populate_tree(original);
+  {
+    const util::Bytes blob = vfs::SnapshotCodec::encode(original);
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  }
+
+  auto mapped = util::MappedFile::map(path);
+  ASSERT_NE(mapped, nullptr);
+  vfs::MemFs decoded(tree_options());
+  vfs::MemFs* targets[] = {&decoded};
+  vfs::SnapshotCodec::decode(mapped->bytes(), targets, mapped);
+
+  // Drop our handle on the mapping and the file's name: the decoded chunks'
+  // keepalives are now the only owners, and POSIX keeps the inode alive for
+  // them.  This is exactly what GC/eviction does under a live run — ASan
+  // (and the kernel) flag any use-after-munmap here.
+  mapped.reset();
+  stdfs::remove(path);
+  expect_trees_identical(original, decoded);
+  EXPECT_EQ(vfs::read_text_file(decoded, "/dir/hello"), "hello world");
+}
+
 // --- checkpoint store --------------------------------------------------------
 
 core::CheckpointStore::Key toy_key(const PersistableToyApp& app, std::uint64_t seed,
@@ -444,6 +607,352 @@ TEST(CheckpointStore, PerFileGeometryChangeIsAMiss) {
   // With the original hook it loads fine.
   EXPECT_TRUE(
       store.load_checkpoint(toy_key(app, 3, 2, saved_options), saved_options).has_value());
+}
+
+// --- bounded cache tier: mmap decode, LRU eviction, leases, GC ---------------
+
+/// Saves one toy checkpoint entry (no golden tree) and returns its path.
+std::string save_toy_entry(const core::CheckpointStore& store,
+                           const PersistableToyApp& app, std::uint64_t seed) {
+  const auto checkpoint = core::Checkpoint::capture(app, seed, 2);
+  EXPECT_TRUE(store.save_checkpoint(toy_key(app, seed, 2), *checkpoint, nullptr,
+                                    app.serialize_state(seed)));
+  return store.entry_path(toy_key(app, seed, 2));
+}
+
+/// Hand-writes a VALID golden entry for (app, seed) whose snapshot blob
+/// carries unreferenced chunks (see blob_with_dead_chunks) and returns its
+/// path.  GC must load it, compact the blob, and republish it smaller.
+std::string write_compactable_golden_entry(const core::CheckpointStore& store,
+                                           const PersistableToyApp& app,
+                                           std::uint64_t seed) {
+  const core::CheckpointStore::Key key = toy_key(app, seed, -1, chunk64_options());
+  util::Bytes payload;
+  util::ByteWriter w(payload);
+  util::put_signature(w.out(), "FFCKPT");
+  w.u32(core::CheckpointStore::kFormatVersion);
+  w.u32(vfs::SnapshotCodec::kFormatVersion);
+  w.u8(2);  // golden entry
+  w.str(key.app_name);
+  w.str(key.app_fingerprint);
+  w.u64(key.app_seed);
+  w.i32(-1);
+  w.u64(key.chunk_size);
+  w.blob(util::to_bytes("golden-comparison-blob"));  // analysis.comparison_blob
+  w.str("handmade");                                 // analysis.report
+  w.u64(1);                                          // one metric
+  w.str("bytes");
+  w.f64(64.0);
+  w.u8(1);  // has tree
+  w.blob(blob_with_dead_chunks(4));
+  w.u64(util::fnv1a64(payload));
+
+  const std::string path = store.entry_path(key);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  return path;
+}
+
+TEST(CheckpointStore, MmapAndBufferedLoadsAgree) {
+  const StoreDir dir("mmap-vs-buffered");
+  const PersistableToyApp app;
+  const std::uint64_t seed = 77;
+  {
+    const core::CheckpointStore writer(dir.path());
+    const auto checkpoint = core::Checkpoint::capture(app, seed, 2);
+    const auto golden_tree = checkpoint->grow_golden_tree(app, seed);
+    ASSERT_TRUE(writer.save_checkpoint(toy_key(app, seed, 2), *checkpoint,
+                                       golden_tree.get(), app.serialize_state(seed)));
+  }
+
+  const core::CheckpointStore mmapped(dir.path(), {});
+  const core::CheckpointStore buffered(
+      dir.path(), core::CheckpointStore::Options{.budget_bytes = 0, .mmap_decode = false});
+  const auto via_map = mmapped.load_checkpoint(toy_key(app, seed, 2), {});
+  const auto via_buf = buffered.load_checkpoint(toy_key(app, seed, 2), {});
+  ASSERT_TRUE(via_map.has_value());
+  ASSERT_TRUE(via_buf.has_value());
+  expect_trees_identical(via_map->checkpoint->fs(), via_buf->checkpoint->fs());
+  ASSERT_NE(via_map->golden_tree, nullptr);
+  ASSERT_NE(via_buf->golden_tree, nullptr);
+  expect_trees_identical(*via_map->golden_tree, *via_buf->golden_tree);
+  EXPECT_EQ(via_map->app_state, via_buf->app_state);
+  // Chunk sharing between checkpoint and golden tree (diff_tree's pointer
+  // fast path) holds on the zero-copy path too.
+  EXPECT_GT(via_map->checkpoint->cow_shared_bytes(), 0u);
+  EXPECT_EQ(mmapped.stats().hits, 1u);
+  EXPECT_EQ(buffered.stats().hits, 1u);
+}
+
+TEST_F(CheckpointStoreCorruption, BufferedPathRejectsCorruptionToo) {
+  // The default store decodes through mmap; the sibling fixtures cover that
+  // path.  The buffered path must reject the same corruption.
+  util::Bytes data = read_entry();
+  data[data.size() / 2] ^= std::byte{0x40};
+  write_entry(data);
+  const core::CheckpointStore buffered(
+      dir_->path(), core::CheckpointStore::Options{.budget_bytes = 0, .mmap_decode = false});
+  EXPECT_FALSE(buffered.load_checkpoint(key(), {}).has_value());
+  EXPECT_EQ(buffered.stats().misses, 1u);
+}
+
+TEST(CheckpointStore, EvictionAndGcNeverInvalidateALoadedEntry) {
+  const StoreDir dir("mmap-live-entry");
+  const PersistableToyApp app;
+  const core::CheckpointStore store(dir.path());
+  const std::string path = save_toy_entry(store, app, 5);
+  const auto reference = core::Checkpoint::capture(app, 5, 2);
+
+  const auto loaded = store.load_checkpoint(toy_key(app, 5, 2), {});
+  ASSERT_TRUE(loaded.has_value());
+  // Unlink the entry behind the store's back (what eviction does) and run a
+  // GC pass: the mapping pins the inode, so the live tree keeps reading.
+  stdfs::remove(path);
+  (void)store.gc();
+  expect_trees_identical(loaded->checkpoint->fs(), reference->fs());
+  // And a fork of the loaded tree is freely writable (COW detach).
+  vfs::MemFs scratch = loaded->checkpoint->fs().fork();
+  vfs::write_text_file(scratch, "/extra", "post-unlink write");
+  EXPECT_EQ(vfs::read_text_file(scratch, "/extra"), "post-unlink write");
+}
+
+TEST(CheckpointStore, BudgetEvictsLeastRecentlyUsedFirst) {
+  const StoreDir dir("lru-order");
+  const PersistableToyApp app;
+  std::vector<std::string> paths;
+  std::uint64_t per_entry = 0;
+  {
+    const core::CheckpointStore store(dir.path());
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      paths.push_back(save_toy_entry(store, app, seed));
+      per_entry = std::max<std::uint64_t>(per_entry, stdfs::file_size(paths.back()));
+    }
+    // A load hit refreshes recency: seed 1 jumps from coldest to hottest.
+    ASSERT_TRUE(store.load_checkpoint(toy_key(app, 1, 2), {}).has_value());
+  }
+
+  // Re-open with room for roughly two and a half entries: the sweep stops
+  // at the low-water mark, so the two coldest (seeds 2, 3) go and the
+  // freshly-touched seed 1 and last-saved seed 4 stay.
+  core::CheckpointStore::Options options;
+  options.budget_bytes = per_entry * 2 + per_entry / 2;
+  const core::CheckpointStore bounded(dir.path(), options);
+  EXPECT_TRUE(stdfs::exists(paths[0]));
+  EXPECT_FALSE(stdfs::exists(paths[1]));
+  EXPECT_FALSE(stdfs::exists(paths[2]));
+  EXPECT_TRUE(stdfs::exists(paths[3]));
+  EXPECT_EQ(bounded.stats().evictions, 2u);
+  EXPECT_GT(bounded.stats().bytes_evicted, 0u);
+  EXPECT_LE(bounded.total_bytes(), options.budget_bytes);
+
+  // Evicted keys are plain misses; survivors still load.
+  EXPECT_FALSE(bounded.load_checkpoint(toy_key(app, 2, 2), {}).has_value());
+  EXPECT_TRUE(bounded.load_checkpoint(toy_key(app, 1, 2), {}).has_value());
+}
+
+TEST(CheckpointStore, LeasedEntriesAreNeverEvicted) {
+  const StoreDir dir("lease-pin");
+  const PersistableToyApp app;
+  core::CheckpointStore::Lease pin;
+  std::string path_a;
+  std::string path_b;
+  std::uint64_t per_entry = 0;
+  {
+    const core::CheckpointStore store(dir.path());
+    path_a = save_toy_entry(store, app, 1);
+    path_b = save_toy_entry(store, app, 2);
+    per_entry = stdfs::file_size(path_a);
+    pin = store.lease(toy_key(app, 1, 2));
+  }
+
+  // A budget below one entry cannot be met: the unleased B goes, the leased
+  // A survives, and since eviction alone cannot satisfy the budget the
+  // automatic GC pass kicks in.
+  core::CheckpointStore::Options options;
+  options.budget_bytes = per_entry / 2;
+  const core::CheckpointStore bounded(dir.path(), options);
+  EXPECT_TRUE(stdfs::exists(path_a));
+  EXPECT_FALSE(stdfs::exists(path_b));
+  EXPECT_GE(bounded.stats().evictions, 1u);
+  EXPECT_GE(bounded.stats().gc_runs, 1u);
+  ASSERT_TRUE(bounded.load_checkpoint(toy_key(app, 1, 2), {}).has_value());
+
+  // Dropping the lease re-exposes A: the next save's sweep evicts it.
+  pin = {};
+  const std::string path_c = save_toy_entry(bounded, app, 3);
+  EXPECT_FALSE(stdfs::exists(path_a));
+  EXPECT_TRUE(stdfs::exists(path_c));  // the just-saved entry is never a victim
+}
+
+TEST(CheckpointStore, GcCompactsEntriesWithUnreferencedChunks) {
+  const StoreDir dir("gc-compaction");
+  const PersistableToyApp app;
+  const core::CheckpointStore store(dir.path());
+  const core::CheckpointStore::Key key = toy_key(app, 11, -1, chunk64_options());
+  const std::string path = write_compactable_golden_entry(store, app, 11);
+  const std::uint64_t before = stdfs::file_size(path);
+
+  // The bloated entry is valid and loads.
+  const auto bloated = store.load_golden(key, chunk64_options());
+  ASSERT_TRUE(bloated.has_value());
+  ASSERT_NE(bloated->tree, nullptr);
+
+  const auto gc = store.gc();
+  EXPECT_EQ(gc.temp_files_removed, 0u);
+  EXPECT_EQ(gc.invalid_entries_removed, 0u);
+  EXPECT_EQ(gc.entries_compacted, 1u);
+  EXPECT_EQ(gc.entries_kept, 1u);
+  EXPECT_GT(gc.bytes_reclaimed, 0u);
+  EXPECT_LT(stdfs::file_size(path), before);
+  EXPECT_EQ(store.stats().gc_runs, 1u);
+
+  // The rewritten entry still loads, bit-identical to the bloated one.
+  const auto reloaded = store.load_golden(key, chunk64_options());
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->analysis->report, "handmade");
+  EXPECT_EQ(reloaded->analysis->comparison_blob, bloated->analysis->comparison_blob);
+  ASSERT_NE(reloaded->tree, nullptr);
+  expect_trees_identical(*reloaded->tree, *bloated->tree);
+
+  // A second pass finds nothing left to reclaim.
+  const auto again = store.gc();
+  EXPECT_EQ(again.entries_compacted, 0u);
+  EXPECT_EQ(again.entries_kept, 1u);
+}
+
+TEST(CheckpointStore, GcSweepsTempFilesAndInvalidEntries) {
+  const StoreDir dir("gc-sweep");
+  const PersistableToyApp app;
+  const core::CheckpointStore store(dir.path());
+  const std::string kept = save_toy_entry(store, app, 1);
+
+  const auto drop_file = [&](const std::string& name, const std::string& text) {
+    std::ofstream(dir.path() + "/" + name) << text;
+  };
+  drop_file("ptoy-s9-st2-0123456789abcdef.ffck.tmp-999-1", "orphaned partial write");
+  drop_file("garbage-s1-st1-ffffffffffffffff.ffck", "not a checkpoint entry");
+
+  const auto gc = store.gc();
+  EXPECT_EQ(gc.temp_files_removed, 1u);
+  EXPECT_EQ(gc.invalid_entries_removed, 1u);
+  EXPECT_EQ(gc.entries_kept, 1u);
+  EXPECT_GT(gc.bytes_reclaimed, 0u);
+  EXPECT_TRUE(stdfs::exists(kept));
+  // Only the valid entry remains on disk.
+  std::size_t files = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir.path())) {
+    ++files;
+    EXPECT_EQ(entry.path().string(), kept);
+  }
+  EXPECT_EQ(files, 1u);
+  EXPECT_TRUE(store.load_checkpoint(toy_key(app, 1, 2), {}).has_value());
+}
+
+// --- crash-point fuzz --------------------------------------------------------
+
+/// Deliberately NOT derived from std::exception: the store treats bad files
+/// as misses by catching std::exception internally, and a simulated crash
+/// must tear through those handlers like a real one would.
+struct TestCrash {
+  std::string point;
+};
+
+/// A deterministic workload touching every kill point: a store opened over
+/// pre-seeded junk (orphan temp file, garbage entry), saves under a budget
+/// tight enough to force eviction on every save, a load, and a GC pass over
+/// refreshed junk plus a hand-built compactable entry.
+void run_store_workload(const std::string& dir_path) {
+  const PersistableToyApp app;
+  stdfs::create_directories(dir_path);
+  const auto drop_file = [&](const std::string& name, const std::string& text) {
+    std::ofstream(dir_path + "/" + name) << text;
+  };
+  drop_file("ptoy-s9-st2-0123456789abcdef.ffck.tmp-999-1", "orphaned partial write");
+  drop_file("garbage-s1-st1-ffffffffffffffff.ffck", "not a checkpoint entry");
+
+  core::CheckpointStore::Options options;
+  options.budget_bytes = 600;
+  const core::CheckpointStore store(dir_path, options);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto checkpoint = core::Checkpoint::capture(app, seed, 2);
+    (void)store.save_checkpoint(toy_key(app, seed, 2), *checkpoint, nullptr,
+                                app.serialize_state(seed));
+  }
+  (void)store.load_checkpoint(toy_key(app, 3, 2), {});
+
+  // Refresh the junk (the budget sweeps above may have evicted the garbage
+  // entry already) so the GC pass exercises every one of its kill points.
+  drop_file("ptoy-s8-st2-aaaaaaaaaaaaaaaa.ffck.tmp-999-2", "orphaned partial write");
+  drop_file("garbage-s2-st1-eeeeeeeeeeeeeeee.ffck", "still not a checkpoint");
+  write_compactable_golden_entry(store, app, 11);
+  (void)store.gc();
+}
+
+/// Reopens `dir_path` as a fresh process would and proves the store is
+/// fully usable: loads either miss or return valid data, a GC pass leaves
+/// no temp files behind, and a save + load round trip works.
+void expect_store_recovers(const std::string& dir_path) {
+  const PersistableToyApp app;
+  const core::CheckpointStore store(dir_path);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto loaded = store.load_checkpoint(toy_key(app, seed, 2), {});
+    if (loaded.has_value()) {
+      const auto expected = core::Checkpoint::capture(app, seed, 2);
+      expect_trees_identical(loaded->checkpoint->fs(), expected->fs());
+      EXPECT_EQ(loaded->app_state, app.serialize_state(seed));
+    }
+  }
+  (void)store.gc();
+  for (const auto& entry : stdfs::directory_iterator(dir_path)) {
+    EXPECT_EQ(entry.path().string().find(".tmp-"), std::string::npos) << entry.path();
+  }
+  const auto checkpoint = core::Checkpoint::capture(app, 50, 2);
+  ASSERT_TRUE(store.save_checkpoint(toy_key(app, 50, 2), *checkpoint, nullptr,
+                                    app.serialize_state(50)));
+  const auto reloaded = store.load_checkpoint(toy_key(app, 50, 2), {});
+  ASSERT_TRUE(reloaded.has_value());
+  expect_trees_identical(reloaded->checkpoint->fs(), checkpoint->fs());
+}
+
+TEST(CheckpointStoreCrashFuzz, KilledAtEveryPointLeavesAValidStore) {
+  // Pass 1: count the kill points a clean run of the workload crosses.
+  core::CheckpointStore::reset_shared_state_for_testing();
+  int total = 0;
+  core::CheckpointStore::set_test_hook([&](const char*) { ++total; });
+  {
+    const StoreDir dir("crash-count");
+    run_store_workload(dir.path());
+  }
+  core::CheckpointStore::set_test_hook(nullptr);
+  // The workload must cross every kind of kill point at least once: two
+  // per save (temp write, rename), eviction unlinks, and the three GC steps.
+  ASSERT_GE(total, 10);
+
+  // Pass 2: replay the workload on a fresh directory, crashing at the nth
+  // point, then "reboot" (reset the in-process index, as a new process
+  // would start) and prove the on-disk store recovered.
+  for (int n = 1; n <= total; ++n) {
+    core::CheckpointStore::reset_shared_state_for_testing();
+    const StoreDir dir("crash-" + std::to_string(n));
+    int remaining = n;
+    std::string died_at = "(ran to completion)";
+    core::CheckpointStore::set_test_hook([&](const char* point) {
+      if (--remaining == 0) throw TestCrash{point};
+    });
+    try {
+      run_store_workload(dir.path());
+    } catch (const TestCrash& crash) {
+      died_at = crash.point;
+    }
+    core::CheckpointStore::set_test_hook(nullptr);
+    core::CheckpointStore::reset_shared_state_for_testing();
+
+    SCOPED_TRACE("kill point " + std::to_string(n) + " of " + std::to_string(total) +
+                 ": " + died_at);
+    expect_store_recovers(dir.path());
+  }
+  core::CheckpointStore::reset_shared_state_for_testing();
 }
 
 // --- engine integration ------------------------------------------------------
@@ -635,6 +1144,94 @@ TEST(EngineCheckpointStore, ConcurrentEnginesShareOneStoreDir) {
   EXPECT_EQ(warm.checkpoints_loaded, 1u);
   EXPECT_EQ(warm.golden_executions, 0u);
   expect_equal_tallies(reference, warm);
+}
+
+// --- engine integration: bounded store ---------------------------------------
+
+exp::ExperimentPlan seeded_nyx_plan(const core::Application& app, std::uint64_t runs,
+                                    std::uint64_t seed) {
+  return exp::PlanBuilder()
+      .runs(runs)
+      .seed(seed)
+      .app(app)
+      .faults({"BF", "SHORN_WRITE@pwrite"})
+      .stage(2)
+      .product()
+      .build();
+}
+
+TEST(EngineCheckpointStore, BudgetedStoreEvictsWithBitIdenticalTallies) {
+  // Two campaigns with different seeds have disjoint store keys; under a
+  // budget smaller than one campaign's working set the second run's saves
+  // (and its store's opening scan) must evict the first's entries — and
+  // none of that may change a single tally.
+  const StoreDir dir("engine-evict");
+  constexpr std::uint64_t kRuns = 6;
+
+  exp::EngineOptions plain;
+  plain.threads = 2;
+  nyx::NyxApp ref_app_a(small_nyx_config());
+  const auto ref_a = exp::Engine(plain).run(seeded_nyx_plan(ref_app_a, kRuns, 42));
+  nyx::NyxApp ref_app_b(small_nyx_config());
+  const auto ref_b = exp::Engine(plain).run(seeded_nyx_plan(ref_app_b, kRuns, 43));
+
+  exp::EngineOptions budgeted = plain;
+  budgeted.checkpoint_dir = dir.path();
+  budgeted.checkpoint_budget = 100000;  // < one campaign's checkpoint + golden
+
+  nyx::NyxApp app_a(small_nyx_config());
+  const auto a = exp::Engine(budgeted).run(seeded_nyx_plan(app_a, kRuns, 42));
+  nyx::NyxApp app_b(small_nyx_config());
+  const auto b = exp::Engine(budgeted).run(seeded_nyx_plan(app_b, kRuns, 43));
+
+  expect_equal_tallies(ref_a, a);
+  expect_equal_tallies(ref_b, b);
+  // Run A could not fit its own working set: leases kept the live entries
+  // pinned, so the budget was enforced through the automatic GC pass.
+  EXPECT_GT(a.store_misses, 0u);
+  EXPECT_GT(a.store_gc_runs, 0u);
+  // Run B's store observed A's (now unleased) entries and evicted them.
+  EXPECT_GT(b.store_evictions, 0u);
+  EXPECT_GT(b.store_bytes_evicted, 0u);
+}
+
+TEST(EngineCheckpointStore, ConcurrentEnginesUnderTightBudgetStayCorrect) {
+  // The tentpole pinning guarantee: three engines race on one directory
+  // under a budget that can never be satisfied, so every save triggers an
+  // eviction sweep — and only leases stand between a running cell and its
+  // checkpoint being unlinked mid-use.  Tallies must match a storeless
+  // reference at 1 and 4 engine threads.
+  constexpr std::uint64_t kRuns = 8;
+  constexpr int kEngines = 3;
+
+  nyx::NyxApp ref_app(small_nyx_config());
+  exp::EngineOptions ref_options;
+  ref_options.threads = 2;
+  const auto reference = exp::Engine(ref_options).run(nyx_plan(ref_app, kRuns));
+
+  for (const std::size_t engine_threads : {std::size_t{1}, std::size_t{4}}) {
+    const StoreDir dir("engine-tight-" + std::to_string(engine_threads));
+    std::vector<exp::ExperimentReport> reports(kEngines);
+    std::vector<std::unique_ptr<nyx::NyxApp>> apps;
+    for (int e = 0; e < kEngines; ++e) {
+      apps.push_back(std::make_unique<nyx::NyxApp>(small_nyx_config()));
+    }
+    std::vector<std::thread> threads;
+    for (int e = 0; e < kEngines; ++e) {
+      threads.emplace_back([&, e] {
+        exp::EngineOptions options;
+        options.threads = engine_threads;
+        options.checkpoint_dir = dir.path();
+        options.checkpoint_budget = 1;  // pathological: evict everything unleased
+        reports[static_cast<std::size_t>(e)] = exp::Engine(options).run(
+            nyx_plan(*apps[static_cast<std::size_t>(e)], kRuns));
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& report : reports) {
+      expect_equal_tallies(reference, report);
+    }
+  }
 }
 
 }  // namespace

@@ -76,6 +76,7 @@
 #include "ffis/apps/app_factory.hpp"
 #include "ffis/apps/nyx/plotfile.hpp"
 #include "ffis/core/campaign.hpp"
+#include "ffis/core/checkpoint_store.hpp"
 #include "ffis/core/io_profiler.hpp"
 #include "ffis/exp/engine.hpp"
 #include "ffis/exp/plan_config.hpp"
@@ -91,12 +92,14 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ffis plan <config-file> [--checkpoint-dir DIR] [--serve PORT]\n"
+               "                 [--checkpoint-budget BYTES] [--checkpoint-no-mmap]\n"
                "                 [--workers N] [--unit-runs N] [--unit-timeout MS]\n"
                "                 [--journal PATH] [--auth-token TOK] [--block-device]\n"
                "                 [--dry-run]\n"
                "       ffis worker <host:port> [--threads N] [--checkpoint-dir DIR]\n"
                "                 [--name NAME] [--retry N] [--retry-backoff MS]\n"
                "                 [--auth-token TOK]\n"
+               "       ffis store gc <dir>\n"
                "       ffis <campaign|sweep|profile> <config-file>\n"
                "       ffis doctor <host-dir> </file.h5> [--grid N]\n"
                "       ffis demo\n"
@@ -107,7 +110,12 @@ int usage() {
                "(application, fault, stage, label, app extras).  With a\n"
                "checkpoint dir (flag or config key), golden runs and pre-fault\n"
                "checkpoints persist across invocations and a repeated plan\n"
-               "skips the fault-free prefix entirely.\n"
+               "skips the fault-free prefix entirely.  --checkpoint-budget\n"
+               "bounds the store: over budget, least-recently-used entries\n"
+               "are evicted (never ones a running plan holds); tallies stay\n"
+               "bit-identical under any budget.  Warm entries decode through\n"
+               "a zero-copy read-only mmap unless --checkpoint-no-mmap.\n"
+               "`ffis store gc <dir>` runs an offline GC/compaction pass.\n"
                "\n"
                "--serve and/or --workers switch plan to distributed execution:\n"
                "the process becomes a coordinator that shards the plan into\n"
@@ -187,6 +195,12 @@ int cmd_campaign(const std::string& config_path) {
 
 struct PlanFlags {
   std::string checkpoint_dir;  ///< overrides the config's checkpoint_dir
+  std::uint64_t checkpoint_budget = 0;  ///< --checkpoint-budget BYTES
+  bool checkpoint_budget_set = false;   ///< flag overrides the config key
+  /// --checkpoint-no-mmap: buffered store decode instead of the zero-copy
+  /// mmap path; tallies are bit-identical — an A/B and escape hatch for
+  /// mmap-hostile filesystems.
+  bool checkpoint_no_mmap = false;
   bool serve = false;          ///< act as a distributed coordinator
   std::uint16_t port = 0;      ///< --serve PORT (0 = ephemeral)
   std::size_t workers = 0;     ///< local worker processes to fork
@@ -342,6 +356,10 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
     options.auth_token = resolve_auth_token(flags.auth_token);
     options.plan_text = config_text;  // remote workers rebuild the plan from it
     options.engine.checkpoint_dir = plan_config.checkpoint_dir;
+    options.engine.checkpoint_budget = flags.checkpoint_budget_set
+                                           ? flags.checkpoint_budget
+                                           : plan_config.checkpoint_budget;
+    options.engine.checkpoint_mmap = !flags.checkpoint_no_mmap;
     dist::Coordinator coordinator(plan, options);
     SigintDrain drain(coordinator);
     std::printf("coordinator listening on port %u (%zu local workers)\n",
@@ -377,6 +395,10 @@ int cmd_plan(const std::string& config_path, const PlanFlags& flags) {
     exp::EngineOptions options;
     options.threads = plan_config.threads;
     options.checkpoint_dir = plan_config.checkpoint_dir;
+    options.checkpoint_budget = flags.checkpoint_budget_set
+                                    ? flags.checkpoint_budget
+                                    : plan_config.checkpoint_budget;
+    options.checkpoint_mmap = !flags.checkpoint_no_mmap;
     options.force_block_device = flags.block_device;
     options.progress = print_run_progress;
     exp::Engine engine(options);
@@ -530,6 +552,30 @@ int cmd_demo() {
   return 0;
 }
 
+/// `ffis store gc <dir>`: one offline GC/compaction pass over a checkpoint
+/// store directory — drops orphaned temp files and corrupt/stale entries,
+/// compacts entries carrying unreferenced snapshot chunks.  Safe to run
+/// while engines use the directory (every rewrite is temp + atomic rename;
+/// a concurrently mmap'd entry stays valid for its holder).
+int cmd_store_gc(const std::string& dir) {
+  const core::CheckpointStore store(dir);
+  const auto result = store.gc();
+  std::printf("store gc %s:\n", dir.c_str());
+  std::printf("  temp files removed:      %llu\n",
+              static_cast<unsigned long long>(result.temp_files_removed));
+  std::printf("  invalid entries removed: %llu\n",
+              static_cast<unsigned long long>(result.invalid_entries_removed));
+  std::printf("  entries compacted:       %llu\n",
+              static_cast<unsigned long long>(result.entries_compacted));
+  std::printf("  entries kept:            %llu\n",
+              static_cast<unsigned long long>(result.entries_kept));
+  std::printf("  bytes reclaimed:         %llu\n",
+              static_cast<unsigned long long>(result.bytes_reclaimed));
+  std::printf("  bytes after:             %llu\n",
+              static_cast<unsigned long long>(result.bytes_after));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -542,6 +588,11 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--checkpoint-dir" && i + 1 < argc) {
           flags.checkpoint_dir = argv[++i];
+        } else if (arg == "--checkpoint-budget" && i + 1 < argc) {
+          flags.checkpoint_budget = std::stoull(argv[++i]);
+          flags.checkpoint_budget_set = true;
+        } else if (arg == "--checkpoint-no-mmap") {
+          flags.checkpoint_no_mmap = true;
         } else if (arg == "--serve" && i + 1 < argc) {
           const int port = std::stoi(argv[++i]);
           if (port < 0 || port > 65535) return usage();
@@ -592,6 +643,9 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_worker(argv[2], flags);
+    }
+    if (command == "store" && argc == 4 && std::string(argv[2]) == "gc") {
+      return cmd_store_gc(argv[3]);
     }
     if (command == "campaign" && argc == 3) return cmd_campaign(argv[2]);
     if (command == "sweep" && argc == 3) return cmd_sweep(argv[2]);
